@@ -1,0 +1,35 @@
+//! E4 benchmark: cost of drawing samples (the exactness and composition
+//! numbers are produced by the `report` binary; this bench tracks the
+//! sample-query latency of the framework and of the M-estimator samplers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tps_core::lp::TrulyPerfectLpSampler;
+use tps_core::mestimators::{HuberSampler, L1L2Sampler};
+use tps_random::default_rng;
+use tps_streams::generators::zipfian_stream;
+use tps_streams::StreamSampler;
+
+fn bench_sample_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_sample_latency");
+    group.sample_size(20).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    let mut rng = default_rng(4);
+    let stream = zipfian_stream(&mut rng, 2_048, 20_000, 1.1);
+
+    let mut l2 = TrulyPerfectLpSampler::new(2.0, 2_048, 0.05, 11);
+    l2.update_all(&stream);
+    group.bench_function("truly_perfect_l2_sample", |b| b.iter(|| l2.sample()));
+
+    let mut l1l2 = L1L2Sampler::l1l2(stream.len() as u64, 0.05, 11);
+    l1l2.update_all(&stream);
+    group.bench_function("l1l2_sample", |b| b.iter(|| l1l2.sample()));
+
+    let mut huber = HuberSampler::huber(4.0, stream.len() as u64, 0.05, 11);
+    huber.update_all(&stream);
+    group.bench_function("huber_sample", |b| b.iter(|| huber.sample()));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sample_latency);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E6 benchmark: ingest and query cost of the truly perfect `F_0` samplers
+//! (insertion-only, sliding-window, and the random-oracle comparator).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use tps_core::f0::{RandomOracleF0Sampler, SlidingWindowF0Sampler, TrulyPerfectF0Sampler};
+use tps_random::default_rng;
+use tps_streams::generators::uniform_stream;
+use tps_streams::{SlidingWindowSampler, StreamSampler};
+
+fn bench_f0(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_f0");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    let mut rng = default_rng(5);
+    let stream = uniform_stream(&mut rng, 5_000, 20_000);
+    group.throughput(Throughput::Elements(stream.len() as u64));
+
+    for &n in &[4_096u64, 65_536] {
+        group.bench_with_input(BenchmarkId::new("truly_perfect", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = TrulyPerfectF0Sampler::new(n, 0.05, 3);
+                s.update_all(&stream);
+                s.sample()
+            })
+        });
+    }
+
+    group.bench_function("sliding_window", |b| {
+        b.iter(|| {
+            let mut s = SlidingWindowF0Sampler::new(65_536, 5_000, 0.05, 3);
+            for &x in &stream {
+                SlidingWindowSampler::update(&mut s, x);
+            }
+            SlidingWindowSampler::sample(&mut s)
+        })
+    });
+
+    group.bench_function("random_oracle", |b| {
+        b.iter(|| {
+            let mut s = RandomOracleF0Sampler::new(3);
+            s.update_all(&stream);
+            s.sample()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_f0);
+criterion_main!(benches);

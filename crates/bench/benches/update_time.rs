@@ -1,0 +1,58 @@
+//! E3 benchmark: per-update cost of the truly perfect `L_p` sampler
+//! (Theorem 1.4: `O(1)` expected) against the duplication-based perfect
+//! baseline, whose per-update cost grows with its accuracy knob.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use tps_core::lp::TrulyPerfectLpSampler;
+use tps_core::perfect_baselines::ExponentialScalingSampler;
+use tps_random::default_rng;
+use tps_streams::generators::zipfian_stream;
+use tps_streams::StreamSampler;
+
+fn bench_update_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_update_time");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    let mut rng = default_rng(3);
+    let stream = zipfian_stream(&mut rng, 4_096, 10_000, 1.1);
+    group.throughput(Throughput::Elements(stream.len() as u64));
+
+    group.bench_function("truly_perfect_l2", |b| {
+        b.iter(|| {
+            let mut sampler = TrulyPerfectLpSampler::new(2.0, 4_096, 0.1, 9);
+            sampler.update_all(&stream);
+            sampler.processed()
+        })
+    });
+
+    for &dup in &[8usize, 32, 128] {
+        group.bench_with_input(
+            BenchmarkId::new("perfect_baseline_dup", dup),
+            &dup,
+            |b, &dup| {
+                b.iter(|| {
+                    let mut sampler = ExponentialScalingSampler::new(2.0, dup, 128, 9);
+                    sampler.update_all(&stream);
+                    sampler.duplication()
+                })
+            },
+        );
+    }
+
+    // Update-time growth of the truly perfect sampler with the universe
+    // size: should be flat (the instance pool only affects memory, not the
+    // per-update path).
+    for &n in &[1_024u64, 16_384, 262_144] {
+        group.bench_with_input(BenchmarkId::new("truly_perfect_universe", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sampler = TrulyPerfectLpSampler::new(2.0, n, 0.1, 9);
+                sampler.update_all(&stream);
+                sampler.processed()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_time);
+criterion_main!(benches);

@@ -1,0 +1,194 @@
+//! The experiment report generator.
+//!
+//! Runs every experiment of `EXPERIMENTS.md` (E1–E11, F1) at full scale and
+//! prints the result rows as human-readable tables; pass `--json` to emit a
+//! machine-readable JSON document instead, and `--quick` to run at the
+//! reduced scale used by CI.
+//!
+//! ```text
+//! cargo run --release -p tps-bench --bin report -- [--quick] [--json]
+//! ```
+
+use serde::Serialize;
+use tps_bench::experiments as exp;
+
+#[derive(Serialize)]
+struct Report {
+    scale: &'static str,
+    e1_lp_space: Vec<exp::LpSpaceRow>,
+    e2_fractional_space: Vec<exp::LpSpaceRow>,
+    e3_update_time: exp::UpdateTimeRow,
+    e4_distribution: exp::DistributionRow,
+    e5_mestimators: Vec<exp::SamplerRow>,
+    e6_f0: exp::F0Row,
+    e7_sliding: Vec<exp::SamplerRow>,
+    e8_random_order: Vec<exp::SamplerRow>,
+    e9_equality: Vec<exp::EqualityRow>,
+    e10_multipass: Vec<exp::MultiPassRow>,
+    e11_matrix: Vec<exp::SamplerRow>,
+    f1_checkpoints: Vec<exp::CheckpointRow>,
+}
+
+fn build_report(quick: bool) -> Report {
+    if quick {
+        Report {
+            scale: "quick",
+            e1_lp_space: exp::e1_lp_space(&[256, 1_024, 4_096], &[1.25, 1.5, 2.0], 0.1),
+            e2_fractional_space: exp::e2_fractional_space(&[1_000, 4_000, 16_000], &[0.5, 0.75], 0.1),
+            e3_update_time: exp::e3_update_time(20_000, 1_024, &[8, 32, 128]),
+            e4_distribution: exp::e4_distribution(10_000, 64, 10, 500, 0.05),
+            e5_mestimators: exp::e5_mestimators(4_000, 48, 800),
+            e6_f0: exp::e6_f0(&[1_024, 4_096, 16_384], 500),
+            e7_sliding: exp::e7_sliding(300, 1_800, 400),
+            e8_random_order: exp::e8_random_order(2_000),
+            e9_equality: exp::e9_equality(&[0.0, 0.01, 0.05, 0.1], 128, 4_000),
+            e10_multipass: exp::e10_multipass(4_096, 3_000, &[0.5, 0.25, 0.125]),
+            e11_matrix: exp::e11_matrix(&[4, 16], 400),
+            f1_checkpoints: exp::f1_checkpoints(&[1_000, 10_000]),
+        }
+    } else {
+        Report {
+            scale: "full",
+            e1_lp_space: exp::e1_lp_space(
+                &[256, 1_024, 4_096, 16_384],
+                &[1.0, 1.25, 1.5, 2.0],
+                0.05,
+            ),
+            e2_fractional_space: exp::e2_fractional_space(
+                &[1_000, 4_000, 16_000, 64_000],
+                &[0.25, 0.5, 0.75],
+                0.05,
+            ),
+            e3_update_time: exp::e3_update_time(100_000, 4_096, &[8, 32, 128, 512]),
+            e4_distribution: exp::e4_distribution(40_000, 128, 20, 1_500, 0.05),
+            e5_mestimators: exp::e5_mestimators(20_000, 64, 2_000),
+            e6_f0: exp::e6_f0(&[1_024, 4_096, 16_384, 65_536], 1_500),
+            e7_sliding: exp::e7_sliding(400, 2_400, 500),
+            e8_random_order: exp::e8_random_order(8_000),
+            e9_equality: exp::e9_equality(&[0.0, 0.001, 0.01, 0.05, 0.1], 256, 20_000),
+            e10_multipass: exp::e10_multipass(16_384, 8_000, &[0.5, 0.25, 0.125]),
+            e11_matrix: exp::e11_matrix(&[4, 16, 64], 800),
+            f1_checkpoints: exp::f1_checkpoints(&[1_000, 10_000, 100_000]),
+        }
+    }
+}
+
+fn print_sampler_rows(title: &str, rows: &[exp::SamplerRow]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<28} {:>10} {:>12} {:>10} {:>12}",
+        "sampler", "TV", "noise floor", "fail rate", "space (KiB)"
+    );
+    for r in rows {
+        println!(
+            "{:<28} {:>10.4} {:>12.4} {:>10.3} {:>12.1}",
+            r.measure,
+            r.tv_distance,
+            r.expected_noise,
+            r.fail_rate,
+            r.space_bytes as f64 / 1024.0
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let report = build_report(quick);
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&report).expect("serializable report"));
+        return;
+    }
+
+    println!("truly-perfect-samplers experiment report (scale: {})", report.scale);
+
+    println!("\n== E1: truly perfect Lp space vs universe size (theory: n^(1-1/p)) ==");
+    println!("{:<6} {:>40} {:>12} {:>12}", "p", "space bytes per n", "fitted exp", "theory exp");
+    for r in &report.e1_lp_space {
+        let pts: Vec<String> = r.points.iter().map(|(n, b)| format!("{n}:{b}")).collect();
+        println!(
+            "{:<6} {:>40} {:>12.3} {:>12.3}",
+            r.p,
+            pts.join(" "),
+            r.fitted_exponent,
+            r.theory_exponent
+        );
+    }
+
+    println!("\n== E2: fractional-p instance count vs stream length (theory: m^(1-p)) ==");
+    println!("{:<6} {:>40} {:>12} {:>12}", "p", "instances per m", "fitted exp", "theory exp");
+    for r in &report.e2_fractional_space {
+        let pts: Vec<String> = r
+            .points
+            .iter()
+            .zip(&r.instances)
+            .map(|((m, _), k)| format!("{m}:{k}"))
+            .collect();
+        println!(
+            "{:<6} {:>40} {:>12.3} {:>12.3}",
+            r.p,
+            pts.join(" "),
+            r.fitted_exponent,
+            r.theory_exponent
+        );
+    }
+
+    println!("\n== E3: update time (ns/update) ==");
+    println!(
+        "truly perfect L2 sampler      : {:>10.0}",
+        report.e3_update_time.truly_perfect_nanos_per_update
+    );
+    for (dup, nanos) in report
+        .e3_update_time
+        .baseline_duplications
+        .iter()
+        .zip(&report.e3_update_time.baseline_nanos_per_update)
+    {
+        println!("perfect baseline, dup = {dup:<6}: {nanos:>10.0}");
+    }
+
+    println!("\n== E4: exactness and composition drift ==");
+    let d = &report.e4_distribution;
+    println!("single-run TV (truly perfect)     : {:.4}", d.truly_perfect_tv);
+    println!("multinomial noise floor           : {:.4}", d.expected_noise);
+    println!("drift ratio, truly perfect        : {:.2}", d.truly_perfect_drift_ratio);
+    println!("drift ratio, gamma = {:<12.3}: {:.2}", d.gamma, d.biased_drift_ratio);
+
+    print_sampler_rows("E5: M-estimator samplers", &report.e5_mestimators);
+
+    println!("\n== E6: F0 sampler ==");
+    let f = &report.e6_f0;
+    let pts: Vec<String> = f.points.iter().map(|(n, b)| format!("{n}:{b}")).collect();
+    println!("space per universe size           : {}", pts.join(" "));
+    println!("fitted space exponent (theory 0.5): {:.3}", f.fitted_space_exponent);
+    println!("TV at largest size                : {:.4}", f.tv_distance);
+    println!("fail rate at largest size         : {:.4}", f.fail_rate);
+
+    print_sampler_rows("E7: sliding-window samplers", &report.e7_sliding);
+    print_sampler_rows("E8: random-order samplers", &report.e8_random_order);
+
+    println!("\n== E9: equality attack vs gamma (Theorem 1.2) ==");
+    println!("{:>10} {:>22} {:>22}", "gamma", "observed advantage", "lower bound (bits)");
+    for r in &report.e9_equality {
+        println!("{:>10.4} {:>22.4} {:>22.2}", r.gamma, r.observed_advantage, r.lower_bound_bits);
+    }
+
+    println!("\n== E10: strict-turnstile multi-pass trade-off (Theorem 1.5) ==");
+    println!("{:>10} {:>10} {:>16} {:>10}", "gamma", "passes", "peak counters", "TV");
+    for r in &report.e10_multipass {
+        println!(
+            "{:>10.3} {:>10} {:>16} {:>10.4}",
+            r.gamma, r.passes, r.peak_counters, r.tv_distance
+        );
+    }
+
+    print_sampler_rows("E11: matrix row sampling", &report.e11_matrix);
+
+    println!("\n== F1: smooth-histogram checkpoints ==");
+    println!("{:>12} {:>14} {:>16}", "window", "checkpoints", "sandwich holds");
+    for r in &report.f1_checkpoints {
+        println!("{:>12} {:>14} {:>16}", r.window, r.checkpoints, r.sandwich_holds);
+    }
+}

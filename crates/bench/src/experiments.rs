@@ -1,0 +1,655 @@
+//! Experiment implementations, one per theorem-level claim of the paper.
+//!
+//! Each function is deterministic given its inputs (seeds are fixed
+//! internally), returns plain-data rows, and is used both by the `report`
+//! binary and by the smoke tests. Experiment identifiers (E1–E11, F1) match
+//! `DESIGN.md` §3 and `EXPERIMENTS.md`.
+
+use serde::Serialize;
+use std::time::Instant;
+
+use tps_core::composition::run_composition;
+use tps_core::f0::TrulyPerfectF0Sampler;
+use tps_core::lp::TrulyPerfectLpSampler;
+use tps_core::matrix::{MatrixRowSampler, RowL2};
+use tps_core::mestimators::{FairSampler, HuberSampler, L1L2Sampler, TukeySampler};
+use tps_core::perfect_baselines::{BiasedReferenceSampler, ExponentialScalingSampler};
+use tps_core::random_order::{RandomOrderL2Sampler, RandomOrderLpSampler};
+use tps_core::sliding::{SlidingWindowGSampler, SlidingWindowLpSampler};
+use tps_core::turnstile::{lower_bound_bits, EqualityReduction, MultiPassL1Sampler};
+use tps_random::default_rng;
+use tps_streams::frequency::{FrequencyVector, MatrixAccumulator};
+use tps_streams::generators::{
+    drifting_stream, matrix_stream, random_order_stream, split_into_portions, zipfian_stream,
+};
+use tps_streams::stats::{expected_sampling_tv, fit_power_law, SampleHistogram};
+use tps_streams::update::WindowSpec;
+use tps_random::StreamRng;
+use tps_streams::{
+    Fair, Huber, MatrixSampler, SlidingWindowSampler, SpaceUsage, StreamSampler, Tukey, L1L2,
+};
+use tps_window::SmoothHistogram;
+
+/// E1 / E2: measured space of an `L_p` sampler across problem sizes, with
+/// the fitted power-law exponent.
+#[derive(Debug, Clone, Serialize)]
+pub struct LpSpaceRow {
+    /// The exponent `p`.
+    pub p: f64,
+    /// `(problem size, measured bytes)` pairs — the problem size is the
+    /// universe `n` for E1 and the stream length `m` for E2.
+    pub points: Vec<(u64, usize)>,
+    /// Parallel instance counts at each problem size.
+    pub instances: Vec<usize>,
+    /// Least-squares exponent of `bytes ~ size^e`.
+    pub fitted_exponent: f64,
+    /// The exponent the paper predicts (`1 − 1/p` for E1, `1 − p` for E2).
+    pub theory_exponent: f64,
+}
+
+/// E1: space of the truly perfect `L_p` sampler, `p ∈ [1, 2]`, as a function
+/// of the universe size `n` (Theorem 1.4 / 3.4: `Õ(n^{1−1/p})`).
+pub fn e1_lp_space(universes: &[u64], ps: &[f64], delta: f64) -> Vec<LpSpaceRow> {
+    ps.iter()
+        .map(|&p| {
+            let mut points = Vec::new();
+            let mut instances = Vec::new();
+            for &n in universes {
+                let mut rng = default_rng(100 + n);
+                let stream = zipfian_stream(&mut rng, n, (4 * n as usize).max(4_000), 1.1);
+                let mut sampler = TrulyPerfectLpSampler::new(p, n, delta, n);
+                sampler.update_all(&stream);
+                points.push((n, sampler.space_bytes()));
+                instances.push(sampler.instance_count());
+            }
+            let fitted = fit_power_law(
+                &points.iter().map(|&(n, b)| (n as f64, b as f64)).collect::<Vec<_>>(),
+            );
+            LpSpaceRow {
+                p,
+                points,
+                instances,
+                fitted_exponent: fitted,
+                theory_exponent: 1.0 - 1.0 / p,
+            }
+        })
+        .collect()
+}
+
+/// E2: space of the truly perfect `L_p` sampler, `p ∈ (0, 1)`, as a function
+/// of the stream length `m` (Theorem 3.5: `O(m^{1−p} log n)`).
+pub fn e2_fractional_space(lengths: &[u64], ps: &[f64], delta: f64) -> Vec<LpSpaceRow> {
+    ps.iter()
+        .map(|&p| {
+            let mut points = Vec::new();
+            let mut instances = Vec::new();
+            for &m in lengths {
+                let mut rng = default_rng(200 + m);
+                let stream = zipfian_stream(&mut rng, 1_024, m as usize, 1.0);
+                let mut sampler = TrulyPerfectLpSampler::fractional(p, m, delta, m);
+                sampler.update_all(&stream);
+                points.push((m, sampler.space_bytes()));
+                instances.push(sampler.instance_count());
+            }
+            // Fit the instance count (the space term the theorem bounds);
+            // byte-level space adds universe-independent constants.
+            let fitted = fit_power_law(
+                &points
+                    .iter()
+                    .zip(&instances)
+                    .map(|(&(m, _), &k)| (m as f64, k as f64))
+                    .collect::<Vec<_>>(),
+            );
+            LpSpaceRow {
+                p,
+                points,
+                instances,
+                fitted_exponent: fitted,
+                theory_exponent: 1.0 - p,
+            }
+        })
+        .collect()
+}
+
+/// E3: per-update wall-clock time of the truly perfect sampler vs the
+/// duplication-based perfect baseline at increasing accuracy (duplication).
+#[derive(Debug, Clone, Serialize)]
+pub struct UpdateTimeRow {
+    /// Nanoseconds per update for the truly perfect `L_2` sampler.
+    pub truly_perfect_nanos_per_update: f64,
+    /// The duplication factors measured for the baseline.
+    pub baseline_duplications: Vec<usize>,
+    /// Nanoseconds per update for the baseline at each duplication factor.
+    pub baseline_nanos_per_update: Vec<f64>,
+}
+
+/// E3: update-time comparison (Theorem 1.4's `O(1)` update time vs the
+/// `n^{Θ(c)}` update time of prior perfect samplers).
+pub fn e3_update_time(stream_length: usize, universe: u64, duplications: &[usize]) -> UpdateTimeRow {
+    let mut rng = default_rng(300);
+    let stream = zipfian_stream(&mut rng, universe, stream_length, 1.1);
+
+    let mut sampler = TrulyPerfectLpSampler::new(2.0, universe, 0.1, 1);
+    let start = Instant::now();
+    sampler.update_all(&stream);
+    let truly_perfect = start.elapsed().as_nanos() as f64 / stream.len() as f64;
+    // Keep the sampler alive so the measured loop is not optimised away.
+    let _ = sampler.sample();
+
+    let mut baseline_nanos = Vec::new();
+    for &dup in duplications {
+        let mut baseline = ExponentialScalingSampler::new(2.0, dup, 256, 2);
+        let start = Instant::now();
+        baseline.update_all(&stream);
+        baseline_nanos.push(start.elapsed().as_nanos() as f64 / stream.len() as f64);
+        let _ = baseline.sample();
+    }
+    UpdateTimeRow {
+        truly_perfect_nanos_per_update: truly_perfect,
+        baseline_duplications: duplications.to_vec(),
+        baseline_nanos_per_update: baseline_nanos,
+    }
+}
+
+/// E4: distributional exactness and composition drift.
+#[derive(Debug, Clone, Serialize)]
+pub struct DistributionRow {
+    /// Single-portion TV distance of the truly perfect sampler.
+    pub truly_perfect_tv: f64,
+    /// Expected multinomial-noise TV at the same sample count.
+    pub expected_noise: f64,
+    /// Cumulative drift ratio (drift / noise floor) across portions for the
+    /// truly perfect sampler.
+    pub truly_perfect_drift_ratio: f64,
+    /// Cumulative drift ratio for the γ-additive baseline.
+    pub biased_drift_ratio: f64,
+    /// The γ injected into the baseline.
+    pub gamma: f64,
+}
+
+/// E4: exactness of the output distribution and drift under composition
+/// (the §1 motivation: truly perfect ⇒ drift is pure sampling noise).
+pub fn e4_distribution(
+    stream_length: usize,
+    universe: u64,
+    portions: usize,
+    samples_per_portion: usize,
+    gamma: f64,
+) -> DistributionRow {
+    let mut rng = default_rng(400);
+    let stream = zipfian_stream(&mut rng, universe, stream_length, 1.0);
+    let split = split_into_portions(&stream, portions);
+
+    // Single-portion exactness on the full stream.
+    let truth = FrequencyVector::from_stream(&stream);
+    let target = truth.lp_distribution(1.0);
+    let mut histogram = SampleHistogram::new();
+    for seed in 0..samples_per_portion as u64 {
+        let mut sampler = TrulyPerfectLpSampler::new(1.0, universe, 0.1, seed);
+        sampler.update_all(&stream);
+        histogram.record(sampler.sample());
+    }
+    let truly_perfect_tv = histogram.tv_distance(&target);
+    let expected_noise = expected_sampling_tv(&target, histogram.successes());
+
+    let perfect = run_composition(
+        &split,
+        samples_per_portion,
+        |seed| TrulyPerfectLpSampler::new(1.0, universe, 0.1, seed),
+        |truth| truth.lp_distribution(1.0),
+    );
+    let biased = run_composition(
+        &split,
+        samples_per_portion,
+        |seed| {
+            BiasedReferenceSampler::new(
+                TrulyPerfectLpSampler::new(1.0, universe, 0.1, seed),
+                gamma,
+                universe - 1,
+                seed ^ 0xFACE,
+            )
+        },
+        |truth| truth.lp_distribution(1.0),
+    );
+    DistributionRow {
+        truly_perfect_tv,
+        expected_noise,
+        truly_perfect_drift_ratio: perfect.drift_ratio(),
+        biased_drift_ratio: biased.drift_ratio(),
+        gamma,
+    }
+}
+
+/// E5 / E7 / E8 / E11: a generic "one sampler, one workload" result row.
+#[derive(Debug, Clone, Serialize)]
+pub struct SamplerRow {
+    /// Which sampler / measure the row describes.
+    pub measure: String,
+    /// TV distance between the empirical sample distribution and the exact
+    /// target.
+    pub tv_distance: f64,
+    /// Expected multinomial-noise TV at the same sample count.
+    pub expected_noise: f64,
+    /// Observed failure rate.
+    pub fail_rate: f64,
+    /// Measured memory of one sampler instance in bytes.
+    pub space_bytes: usize,
+}
+
+/// E5: the M-estimator samplers (L1–L2, Fair, Huber, Tukey) — `O(log n)`
+/// space and exact output distribution (Corollary 3.6, Theorem 5.4).
+pub fn e5_mestimators(stream_length: usize, universe: u64, draws: usize) -> Vec<SamplerRow> {
+    let mut rng = default_rng(500);
+    let stream = zipfian_stream(&mut rng, universe, stream_length, 1.2);
+    let truth = FrequencyVector::from_stream(&stream);
+    let m = stream.len() as u64;
+
+    let mut rows = Vec::new();
+    {
+        let target = truth.g_distribution(&L1L2);
+        let mut histogram = SampleHistogram::new();
+        let mut space = 0;
+        for seed in 0..draws as u64 {
+            let mut s = L1L2Sampler::l1l2(m, 0.05, seed);
+            s.update_all(&stream);
+            space = s.space_bytes();
+            histogram.record(s.sample());
+        }
+        rows.push(SamplerRow {
+            measure: "L1-L2".into(),
+            tv_distance: histogram.tv_distance(&target),
+            expected_noise: expected_sampling_tv(&target, histogram.successes().max(1)),
+            fail_rate: histogram.fail_rate(),
+            space_bytes: space,
+        });
+    }
+    {
+        let g = Fair::new(2.0);
+        let target = truth.g_distribution(&g);
+        let mut histogram = SampleHistogram::new();
+        let mut space = 0;
+        for seed in 0..draws as u64 {
+            let mut s = FairSampler::fair(2.0, m, 0.05, seed);
+            s.update_all(&stream);
+            space = s.space_bytes();
+            histogram.record(s.sample());
+        }
+        rows.push(SamplerRow {
+            measure: "Fair(2)".into(),
+            tv_distance: histogram.tv_distance(&target),
+            expected_noise: expected_sampling_tv(&target, histogram.successes().max(1)),
+            fail_rate: histogram.fail_rate(),
+            space_bytes: space,
+        });
+    }
+    {
+        let g = Huber::new(3.0);
+        let target = truth.g_distribution(&g);
+        let mut histogram = SampleHistogram::new();
+        let mut space = 0;
+        for seed in 0..draws as u64 {
+            let mut s = HuberSampler::huber(3.0, m, 0.05, seed);
+            s.update_all(&stream);
+            space = s.space_bytes();
+            histogram.record(s.sample());
+        }
+        rows.push(SamplerRow {
+            measure: "Huber(3)".into(),
+            tv_distance: histogram.tv_distance(&target),
+            expected_noise: expected_sampling_tv(&target, histogram.successes().max(1)),
+            fail_rate: histogram.fail_rate(),
+            space_bytes: space,
+        });
+    }
+    {
+        let g = Tukey::new(3.0);
+        let target = truth.g_distribution(&g);
+        let mut histogram = SampleHistogram::new();
+        let mut space = 0;
+        for seed in 0..draws as u64 {
+            let mut s = TukeySampler::new(3.0, universe, 0.05, seed);
+            s.update_all(&stream);
+            space = s.space_bytes();
+            histogram.record(s.sample());
+        }
+        rows.push(SamplerRow {
+            measure: "Tukey(3)".into(),
+            tv_distance: histogram.tv_distance(&target),
+            expected_noise: expected_sampling_tv(&target, histogram.successes().max(1)),
+            fail_rate: histogram.fail_rate(),
+            space_bytes: space,
+        });
+    }
+    rows
+}
+
+/// E6: the `F_0` sampler — `O(√n)` space scaling and uniform-over-support
+/// output (Theorem 5.2).
+#[derive(Debug, Clone, Serialize)]
+pub struct F0Row {
+    /// `(universe, measured bytes)` pairs.
+    pub points: Vec<(u64, usize)>,
+    /// Fitted exponent of `bytes ~ n^e` (theory: 1/2).
+    pub fitted_space_exponent: f64,
+    /// TV distance to the uniform-over-support target at the largest size.
+    pub tv_distance: f64,
+    /// Failure rate at the largest size.
+    pub fail_rate: f64,
+}
+
+/// E6: see [`F0Row`].
+pub fn e6_f0(universes: &[u64], draws: usize) -> F0Row {
+    let mut points = Vec::new();
+    let mut tv = 0.0;
+    let mut fail_rate = 0.0;
+    for (idx, &n) in universes.iter().enumerate() {
+        let mut rng = default_rng(600 + n);
+        // A moderate support so the random-subset side is exercised for the
+        // smaller universes while the sample histogram stays well resolved.
+        let support = (n / 8).clamp(4, 48);
+        let stream: Vec<u64> =
+            (0..(4 * support)).map(|_| rng.gen_range(support)).collect();
+        let truth = FrequencyVector::from_stream(&stream);
+        let target = truth.f0_distribution();
+        let mut histogram = SampleHistogram::new();
+        let mut space = 0usize;
+        for seed in 0..draws as u64 {
+            let mut s = TrulyPerfectF0Sampler::new(n, 0.05, seed);
+            s.update_all(&stream);
+            space = s.space_bytes();
+            histogram.record(s.sample());
+        }
+        points.push((n, space));
+        if idx == universes.len() - 1 {
+            tv = histogram.tv_distance(&target);
+            fail_rate = histogram.fail_rate();
+        }
+    }
+    let fitted = fit_power_law(
+        &points.iter().map(|&(n, b)| (n as f64, b as f64)).collect::<Vec<_>>(),
+    );
+    F0Row { points, fitted_space_exponent: fitted, tv_distance: tv, fail_rate }
+}
+
+/// E7: sliding-window samplers on a drifting stream.
+pub fn e7_sliding(window: u64, stream_length: usize, draws: usize) -> Vec<SamplerRow> {
+    let mut rng = default_rng(700);
+    let universe = 4 * window;
+    let stream =
+        drifting_stream(&mut rng, universe, stream_length, stream_length / 6, 64, 128);
+    let truth = FrequencyVector::from_window(&stream, WindowSpec::new(window));
+    let mut rows = Vec::new();
+    {
+        let g = Huber::new(4.0);
+        let target = truth.g_distribution(&g);
+        let mut histogram = SampleHistogram::new();
+        let mut space = 0;
+        for seed in 0..draws as u64 {
+            let mut s = SlidingWindowGSampler::new(g.clone(), window, 0.1, seed);
+            for &x in &stream {
+                SlidingWindowSampler::update(&mut s, x);
+            }
+            space = s.space_bytes();
+            histogram.record(SlidingWindowSampler::sample(&mut s));
+        }
+        rows.push(SamplerRow {
+            measure: format!("sliding Huber(4), W={window}"),
+            tv_distance: histogram.tv_distance(&target),
+            expected_noise: expected_sampling_tv(&target, histogram.successes().max(1)),
+            fail_rate: histogram.fail_rate(),
+            space_bytes: space,
+        });
+    }
+    {
+        let target = truth.lp_distribution(2.0);
+        let mut histogram = SampleHistogram::new();
+        let mut space = 0;
+        for seed in 0..draws as u64 {
+            let mut s =
+                SlidingWindowLpSampler::with_estimator_size(2.0, window, 0.1, 2, 24, 7_000 + seed);
+            for &x in &stream {
+                SlidingWindowSampler::update(&mut s, x);
+            }
+            space = s.space_bytes();
+            histogram.record(SlidingWindowSampler::sample(&mut s));
+        }
+        rows.push(SamplerRow {
+            measure: format!("sliding L2, W={window}"),
+            tv_distance: histogram.tv_distance(&target),
+            expected_noise: expected_sampling_tv(&target, histogram.successes().max(1)),
+            fail_rate: histogram.fail_rate(),
+            space_bytes: space,
+        });
+    }
+    rows
+}
+
+/// E8: random-order collision samplers (Theorems 1.6 and 1.7).
+pub fn e8_random_order(draws: usize) -> Vec<SamplerRow> {
+    let counts: Vec<(u64, u64)> = vec![(1, 120), (2, 60), (3, 30), (4, 15), (5, 5)];
+    let m: u64 = counts.iter().map(|&(_, c)| c).sum();
+    let truth = FrequencyVector::from_counts(
+        &counts.iter().map(|&(i, c)| (i, c as i64)).collect::<Vec<_>>(),
+    );
+    let mut order_rng = default_rng(800);
+    let mut rows = Vec::new();
+    {
+        let target = truth.lp_distribution(2.0);
+        let mut histogram = SampleHistogram::new();
+        let mut space = 0;
+        for seed in 0..draws as u64 {
+            let stream = random_order_stream(&mut order_rng, &counts);
+            let mut s = RandomOrderL2Sampler::new(m, seed);
+            s.update_all(&stream);
+            space = s.space_bytes();
+            histogram.record(s.sample());
+        }
+        rows.push(SamplerRow {
+            measure: "random-order L2".into(),
+            tv_distance: histogram.tv_distance(&target),
+            expected_noise: expected_sampling_tv(&target, histogram.successes().max(1)),
+            fail_rate: histogram.fail_rate(),
+            space_bytes: space,
+        });
+    }
+    {
+        let target = truth.lp_distribution(3.0);
+        let mut histogram = SampleHistogram::new();
+        let mut space = 0;
+        for seed in 0..draws as u64 {
+            let stream = random_order_stream(&mut order_rng, &counts);
+            let mut s = RandomOrderLpSampler::new(3, m, seed);
+            s.update_all(&stream);
+            space = s.space_bytes();
+            histogram.record(s.sample());
+        }
+        rows.push(SamplerRow {
+            measure: "random-order L3".into(),
+            tv_distance: histogram.tv_distance(&target),
+            expected_noise: expected_sampling_tv(&target, histogram.successes().max(1)),
+            fail_rate: histogram.fail_rate(),
+            space_bytes: space,
+        });
+    }
+    rows
+}
+
+/// E9: the equality-reduction attack behind the turnstile lower bound.
+#[derive(Debug, Clone, Serialize)]
+pub struct EqualityRow {
+    /// Additive error of the sampler under attack.
+    pub gamma: f64,
+    /// Observed probability of declaring "equal" on unequal inputs.
+    pub observed_advantage: f64,
+    /// The Theorem 1.2 space lower bound implied by tolerating this γ, in
+    /// bits.
+    pub lower_bound_bits: f64,
+}
+
+/// E9: see [`EqualityRow`].
+pub fn e9_equality(gammas: &[f64], n: usize, trials: usize) -> Vec<EqualityRow> {
+    let mut rng = default_rng(900);
+    gammas
+        .iter()
+        .map(|&gamma| {
+            let reduction = EqualityReduction::new(gamma);
+            let observed = reduction.refutation_error(n, trials, &mut rng);
+            let bound_gamma = gamma.clamp(1e-12, 0.249);
+            EqualityRow {
+                gamma,
+                observed_advantage: observed,
+                lower_bound_bits: lower_bound_bits(n as u64, bound_gamma),
+            }
+        })
+        .collect()
+}
+
+/// E10: the strict-turnstile multi-pass pass/space trade-off
+/// (Theorem 1.5).
+#[derive(Debug, Clone, Serialize)]
+pub struct MultiPassRow {
+    /// The trade-off parameter γ (chunks per pass ≈ n^γ).
+    pub gamma: f64,
+    /// Passes needed over the stream.
+    pub passes: usize,
+    /// Peak number of live counters.
+    pub peak_counters: usize,
+    /// TV distance of the resulting samples from the exact `L_1` target.
+    pub tv_distance: f64,
+}
+
+/// E10: see [`MultiPassRow`].
+pub fn e10_multipass(universe: u64, stream_length: usize, gammas: &[f64]) -> Vec<MultiPassRow> {
+    let mut rng = default_rng(1_000);
+    let updates =
+        tps_streams::generators::strict_turnstile_stream(&mut rng, universe, stream_length, 0.3);
+    let truth = FrequencyVector::from_signed_stream(&updates);
+    let target = truth.lp_distribution(1.0);
+    gammas
+        .iter()
+        .map(|&gamma| {
+            let sampler = MultiPassL1Sampler::new(universe, gamma);
+            let mut histogram = SampleHistogram::new();
+            let mut passes = 0;
+            let mut peak = 0;
+            let mut sample_rng = default_rng(1_001);
+            for _ in 0..2_000 {
+                let (outcome, report) = sampler.sample(&updates, &mut sample_rng);
+                passes = report.passes;
+                peak = report.peak_counters;
+                histogram.record(outcome);
+            }
+            MultiPassRow {
+                gamma,
+                passes,
+                peak_counters: peak,
+                tv_distance: histogram.tv_distance(&target),
+            }
+        })
+        .collect()
+}
+
+/// E11: matrix `L_{1,2}` row sampling (Theorem 3.7).
+pub fn e11_matrix(columns: &[u64], draws: usize) -> Vec<SamplerRow> {
+    columns
+        .iter()
+        .map(|&d| {
+            let mut rng = default_rng(1_100 + d);
+            let updates = matrix_stream(&mut rng, 128, d, 20_000);
+            let mut truth = MatrixAccumulator::new();
+            for u in &updates {
+                truth.insert(u.row, u.col);
+            }
+            let target = truth.row_distribution(2);
+            let mut histogram = SampleHistogram::new();
+            let mut space = 0;
+            for seed in 0..draws as u64 {
+                let mut s = MatrixRowSampler::<RowL2>::l12(d as usize, 0.05, seed);
+                for &u in &updates {
+                    s.update(u);
+                }
+                space = s.space_bytes();
+                histogram.record(s.sample());
+            }
+            SamplerRow {
+                measure: format!("L(1,2) rows, d={d}"),
+                tv_distance: tps_streams::stats::tv_distance(
+                    &histogram.empirical_distribution(),
+                    &target,
+                ),
+                expected_noise: expected_sampling_tv(&target, histogram.successes().max(1)),
+                fail_rate: histogram.fail_rate(),
+                space_bytes: space,
+            }
+        })
+        .collect()
+}
+
+/// F1: smooth-histogram checkpoint counts (Figure 1's structure).
+#[derive(Debug, Clone, Serialize)]
+pub struct CheckpointRow {
+    /// Window size.
+    pub window: u64,
+    /// Number of live checkpoints after a long stream.
+    pub checkpoints: usize,
+    /// Whether the first two checkpoints sandwich the window boundary.
+    pub sandwich_holds: bool,
+}
+
+/// F1: see [`CheckpointRow`].
+pub fn f1_checkpoints(windows: &[u64]) -> Vec<CheckpointRow> {
+    #[derive(Debug, Default)]
+    struct CountEstimator {
+        count: u64,
+    }
+    impl tps_streams::Estimator for CountEstimator {
+        fn update(&mut self, _item: u64) {
+            self.count += 1;
+        }
+        fn estimate(&self) -> f64 {
+            self.count as f64
+        }
+    }
+    windows
+        .iter()
+        .map(|&window| {
+            let mut hist = SmoothHistogram::new(window, 0.2, CountEstimator::default);
+            let length = 5 * window;
+            for t in 0..length {
+                hist.update(t % 97);
+            }
+            let starts = hist.checkpoint_starts();
+            let boundary = length - window + 1;
+            let sandwich_holds =
+                starts.first().map(|&s| s <= boundary).unwrap_or(false)
+                    && starts.get(1).map(|&s| s >= boundary).unwrap_or(false);
+            CheckpointRow { window, checkpoints: hist.checkpoint_count(), sandwich_holds }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_rows_have_one_point_per_universe() {
+        let rows = e1_lp_space(&[64, 256], &[2.0], 0.2);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].points.len(), 2);
+        assert!(rows[0].points[1].1 > rows[0].points[0].1);
+    }
+
+    #[test]
+    fn e9_zero_gamma_has_zero_advantage() {
+        let rows = e9_equality(&[0.0], 32, 500);
+        assert_eq!(rows[0].observed_advantage, 0.0);
+    }
+
+    #[test]
+    fn f1_reports_sandwich() {
+        let rows = f1_checkpoints(&[500]);
+        assert!(rows[0].sandwich_holds);
+        assert!(rows[0].checkpoints > 2);
+    }
+}

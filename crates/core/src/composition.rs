@@ -1,0 +1,185 @@
+//! Composition / drift experiments (the motivation in Section 1 of the
+//! paper).
+//!
+//! When a sampler is re-run on many successive portions of a stream (one per
+//! minute of network traffic, one per shard of a distributed database, …),
+//! per-run error composes. For a truly perfect sampler the only error is
+//! multinomial sampling noise, which grows like `√s` over `s` portions; for
+//! a `(0, γ, δ)` sampler the additive bias `γ` accumulates linearly, and the
+//! joint distribution of the samples drifts arbitrarily far from the truth.
+//! This module measures that drift so the E4 experiment (and the
+//! `composition_drift` example) can put numbers on the paper's argument.
+
+use tps_streams::frequency::FrequencyVector;
+use tps_streams::stats::{expected_sampling_tv, SampleHistogram};
+use tps_streams::{Item, StreamSampler};
+
+/// The measured drift of repeated sampling across stream portions.
+#[derive(Debug, Clone)]
+pub struct CompositionReport {
+    /// Total-variation distance between the empirical sample distribution
+    /// and the exact target, per portion.
+    pub per_portion_tv: Vec<f64>,
+    /// Running sum of the per-portion TV distances — an upper bound proxy
+    /// for the joint-distribution drift, the quantity the paper's
+    /// motivation discusses.
+    pub cumulative_drift: Vec<f64>,
+    /// The expected per-portion TV distance of an *exact* sampler with the
+    /// same number of draws (pure multinomial noise), for reference.
+    pub expected_noise: Vec<f64>,
+    /// Observed failure rate across all portions.
+    pub fail_rate: f64,
+}
+
+impl CompositionReport {
+    /// The final cumulative drift after all portions.
+    pub fn total_drift(&self) -> f64 {
+        self.cumulative_drift.last().copied().unwrap_or(0.0)
+    }
+
+    /// The final cumulative noise floor.
+    pub fn total_noise_floor(&self) -> f64 {
+        self.expected_noise.iter().sum()
+    }
+
+    /// The ratio of measured drift to the noise floor: ≈ 1 for a truly
+    /// perfect sampler, and growing with the number of portions for a
+    /// sampler with additive bias.
+    pub fn drift_ratio(&self) -> f64 {
+        let noise = self.total_noise_floor();
+        if noise <= 0.0 {
+            return 0.0;
+        }
+        self.total_drift() / noise
+    }
+}
+
+/// Runs the composition experiment: for each portion, draw
+/// `samples_per_portion` outcomes from *fresh, independent* sampler
+/// instances produced by `factory` (seeded distinctly per draw), and compare
+/// against the portion's exact target distribution given by `target_of`.
+pub fn run_composition<S, F, T>(
+    portions: &[Vec<Item>],
+    samples_per_portion: usize,
+    mut factory: F,
+    target_of: T,
+) -> CompositionReport
+where
+    S: StreamSampler,
+    F: FnMut(u64) -> S,
+    T: Fn(&FrequencyVector) -> std::collections::HashMap<Item, f64>,
+{
+    let mut per_portion_tv = Vec::with_capacity(portions.len());
+    let mut cumulative_drift = Vec::with_capacity(portions.len());
+    let mut expected_noise = Vec::with_capacity(portions.len());
+    let mut running = 0.0;
+    let mut fails = 0u64;
+    let mut draws = 0u64;
+    for (portion_idx, portion) in portions.iter().enumerate() {
+        let truth = FrequencyVector::from_stream(portion);
+        let target = target_of(&truth);
+        let mut histogram = SampleHistogram::new();
+        for draw in 0..samples_per_portion {
+            let seed = (portion_idx as u64) << 32 | draw as u64;
+            let mut sampler = factory(seed);
+            sampler.update_all(portion);
+            histogram.record(sampler.sample());
+        }
+        fails += histogram.fails();
+        draws += histogram.total_draws();
+        let tv = histogram.tv_distance(&target);
+        running += tv;
+        per_portion_tv.push(tv);
+        cumulative_drift.push(running);
+        expected_noise.push(expected_sampling_tv(&target, histogram.successes().max(1)));
+    }
+    CompositionReport {
+        per_portion_tv,
+        cumulative_drift,
+        expected_noise,
+        fail_rate: if draws == 0 { 0.0 } else { fails as f64 / draws as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp::TrulyPerfectLpSampler;
+    use crate::perfect_baselines::BiasedReferenceSampler;
+    use tps_random::default_rng;
+    use tps_streams::generators::{split_into_portions, zipfian_stream};
+
+    fn portions() -> Vec<Vec<Item>> {
+        let mut rng = default_rng(1);
+        let stream = zipfian_stream(&mut rng, 32, 4_000, 1.0);
+        split_into_portions(&stream, 8)
+    }
+
+    #[test]
+    fn truly_perfect_sampler_stays_at_the_noise_floor() {
+        let report = run_composition(
+            &portions(),
+            400,
+            |seed| TrulyPerfectLpSampler::new(1.0, 32, 0.1, seed),
+            |truth| truth.lp_distribution(1.0),
+        );
+        assert_eq!(report.fail_rate, 0.0);
+        // Drift should be explained by multinomial noise (ratio near 1).
+        let ratio = report.drift_ratio();
+        assert!(ratio < 1.6, "truly perfect drift ratio {ratio} too large");
+    }
+
+    #[test]
+    fn biased_sampler_drifts_linearly() {
+        let gamma = 0.25;
+        let report = run_composition(
+            &portions(),
+            400,
+            |seed| {
+                BiasedReferenceSampler::new(
+                    TrulyPerfectLpSampler::new(1.0, 32, 0.1, seed),
+                    gamma,
+                    // Bias towards the lightest Zipf item so the injected
+                    // error is clearly visible above the noise floor.
+                    31,
+                    seed ^ 0xABCD,
+                )
+            },
+            |truth| truth.lp_distribution(1.0),
+        );
+        // Per-portion TV should sit near the injected bias, so cumulative
+        // drift is ≈ portions·γ·(1 − mass of the bias target).
+        let ratio = report.drift_ratio();
+        assert!(ratio > 2.0, "biased drift ratio {ratio} should clearly exceed the noise floor");
+        assert!(
+            report.total_drift() > 0.5 * gamma * report.per_portion_tv.len() as f64 * 0.5,
+            "cumulative drift {} too small",
+            report.total_drift()
+        );
+    }
+
+    #[test]
+    fn report_accessors_are_consistent() {
+        let report = CompositionReport {
+            per_portion_tv: vec![0.1, 0.2],
+            cumulative_drift: vec![0.1, 0.3],
+            expected_noise: vec![0.05, 0.05],
+            fail_rate: 0.0,
+        };
+        assert!((report.total_drift() - 0.3).abs() < 1e-12);
+        assert!((report.total_noise_floor() - 0.1).abs() < 1e-12);
+        assert!((report.drift_ratio() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_portions_produce_empty_report() {
+        let report = run_composition(
+            &[],
+            10,
+            |seed| TrulyPerfectLpSampler::new(1.0, 8, 0.1, seed),
+            |truth| truth.lp_distribution(1.0),
+        );
+        assert!(report.per_portion_tv.is_empty());
+        assert_eq!(report.total_drift(), 0.0);
+    }
+}

@@ -1,0 +1,481 @@
+//! Truly perfect `F_0` (support) samplers
+//! (Section 5: Theorem 5.2, Corollary 5.3, Remark 5.1).
+//!
+//! The target distribution is uniform over the nonzero coordinates. The
+//! framework of Section 3 cannot be applied directly without trivialising
+//! the space (its instance count scales with `m / F_G` and `F_0` can be far
+//! smaller than `m`), so the paper gives a dedicated algorithm:
+//!
+//! * keep the **first `√n` distinct items** of the stream (set `T`), which
+//!   answers exactly when `F_0 ≤ √n`; and
+//! * keep a **uniform random pre-drawn subset `S ⊆ [n]` of `2√n` items** and
+//!   record which of them occur (set `U`); when `F_0 > √n`, a uniform element
+//!   of `U` is a truly perfect sample and `U` is non-empty with constant
+//!   probability, amplified by independent repetitions.
+//!
+//! Both sets also carry exact frequencies, so the sampler can report
+//! `(i, f_i)` — the property Theorem 5.4 uses to build the Tukey sampler.
+//! The random-oracle min-hash sampler of Remark 5.1 is provided as a
+//! comparator ([`RandomOracleF0Sampler`]).
+
+use std::collections::{HashMap, HashSet};
+use tps_random::{random_subset, StreamRng, TabulationHash, Xoshiro256};
+use tps_streams::space::{hashmap_bytes, hashset_bytes};
+use tps_streams::{
+    Item, SampleOutcome, SlidingWindowSampler, SpaceUsage, StreamSampler, Timestamp, WindowSpec,
+};
+
+/// One repetition of the random-subset side of Algorithm 5: a pre-drawn
+/// subset `S` and the frequencies of its members that appeared.
+#[derive(Debug, Clone)]
+struct CandidateSet {
+    subset: HashSet<Item>,
+    seen: HashMap<Item, u64>,
+}
+
+impl CandidateSet {
+    fn new<R: StreamRng>(rng: &mut R, n: u64, size: usize) -> Self {
+        Self { subset: random_subset(rng, n, size.min(n as usize)), seen: HashMap::new() }
+    }
+
+    fn update(&mut self, item: Item) {
+        if self.subset.contains(&item) {
+            *self.seen.entry(item).or_insert(0) += 1;
+        }
+    }
+
+    fn space_bytes(&self) -> usize {
+        hashset_bytes(&self.subset) + hashmap_bytes(&self.seen)
+    }
+}
+
+/// The truly perfect `F_0` sampler for insertion-only streams
+/// (Algorithm 5 / Theorem 5.2). Uses `O(√n log n log 1/δ)` bits.
+#[derive(Debug, Clone)]
+pub struct TrulyPerfectF0Sampler {
+    universe: u64,
+    threshold: usize,
+    /// `T`: the first `√n` distinct items, with exact frequencies.
+    first_distinct: HashMap<Item, u64>,
+    /// Whether more than `threshold` distinct items have appeared
+    /// (i.e. `F_0 > √n` is certain).
+    overflowed: bool,
+    candidates: Vec<CandidateSet>,
+    processed: u64,
+    rng: Xoshiro256,
+}
+
+impl TrulyPerfectF0Sampler {
+    /// Creates the sampler over the universe `[0, n)` with failure
+    /// probability at most `delta` (amplified by independent random
+    /// subsets).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n ≥ 1` and `δ ∈ (0, 1)`.
+    pub fn new(n: u64, delta: f64, seed: u64) -> Self {
+        assert!(n >= 1, "universe must be non-empty");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let threshold = (n as f64).sqrt().ceil() as usize;
+        let subset_size = (2 * threshold).min(n as usize).max(1);
+        // Each repetition fails (conditioned on F0 ≥ √n) with probability at
+        // most e^{-2}; ⌈ln(1/δ)/2⌉ repetitions push this below δ.
+        let repetitions = ((1.0 / delta).ln() / 2.0).ceil().max(1.0) as usize;
+        let candidates =
+            (0..repetitions).map(|_| CandidateSet::new(&mut rng, n, subset_size)).collect();
+        Self {
+            universe: n,
+            threshold,
+            first_distinct: HashMap::new(),
+            overflowed: false,
+            candidates,
+            processed: 0,
+            rng,
+        }
+    }
+
+    /// The universe size `n`.
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// Number of updates processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Whether the stream is known to have support larger than `√n`.
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Draws a uniform nonzero coordinate together with its exact frequency,
+    /// or `None` on failure. The distribution over coordinates is exactly
+    /// uniform over the support, conditioned on not failing.
+    pub fn sample_with_frequency(&mut self) -> Option<(Item, u64)> {
+        if self.processed == 0 {
+            return None;
+        }
+        if !self.overflowed {
+            // T holds the entire support with exact counts.
+            let idx = self.rng.gen_index(self.first_distinct.len());
+            return self.first_distinct.iter().nth(idx).map(|(&i, &c)| (i, c));
+        }
+        for candidate in &self.candidates {
+            if candidate.seen.is_empty() {
+                continue;
+            }
+            let idx = self.rng.gen_index(candidate.seen.len());
+            return candidate.seen.iter().nth(idx).map(|(&i, &c)| (i, c));
+        }
+        None
+    }
+}
+
+impl StreamSampler for TrulyPerfectF0Sampler {
+    fn update(&mut self, item: Item) {
+        self.processed += 1;
+        if let Some(count) = self.first_distinct.get_mut(&item) {
+            *count += 1;
+        } else if self.first_distinct.len() < self.threshold {
+            self.first_distinct.insert(item, 1);
+        } else {
+            self.overflowed = true;
+        }
+        for candidate in &mut self.candidates {
+            candidate.update(item);
+        }
+    }
+
+    fn sample(&mut self) -> SampleOutcome {
+        if self.processed == 0 {
+            return SampleOutcome::Empty;
+        }
+        match self.sample_with_frequency() {
+            Some((item, _)) => SampleOutcome::Index(item),
+            None => SampleOutcome::Fail,
+        }
+    }
+}
+
+impl SpaceUsage for TrulyPerfectF0Sampler {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + hashmap_bytes(&self.first_distinct)
+            + self.candidates.iter().map(CandidateSet::space_bytes).sum::<usize>()
+    }
+}
+
+/// The sliding-window truly perfect `F_0` sampler (Corollary 5.3): the same
+/// two-sided construction with `T` replaced by the *most recent* `√n`
+/// distinct items and all records carrying last-seen timestamps so expired
+/// items can be ignored.
+#[derive(Debug, Clone)]
+pub struct SlidingWindowF0Sampler {
+    window: WindowSpec,
+    threshold: usize,
+    /// Most recent `√n` distinct items, keyed to their last-seen time.
+    recent_distinct: HashMap<Item, Timestamp>,
+    /// Random pre-drawn subsets with last-seen times of their members.
+    candidates: Vec<(HashSet<Item>, HashMap<Item, Timestamp>)>,
+    time: Timestamp,
+    rng: Xoshiro256,
+}
+
+impl SlidingWindowF0Sampler {
+    /// Creates the sampler over universe `[0, n)` and windows of `window`
+    /// updates, with failure probability roughly `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n ≥ 1`, `window ≥ 1` and `δ ∈ (0, 1)`.
+    pub fn new(n: u64, window: u64, delta: f64, seed: u64) -> Self {
+        assert!(n >= 1, "universe must be non-empty");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let threshold = (n as f64).sqrt().ceil() as usize;
+        let subset_size = (2 * threshold).min(n as usize).max(1);
+        let repetitions = ((1.0 / delta).ln() / 2.0).ceil().max(1.0) as usize;
+        let candidates = (0..repetitions)
+            .map(|_| (random_subset(&mut rng, n, subset_size), HashMap::new()))
+            .collect();
+        Self {
+            window: WindowSpec::new(window),
+            threshold,
+            recent_distinct: HashMap::new(),
+            candidates,
+            time: 0,
+            rng,
+        }
+    }
+
+    fn active(&self, t: Timestamp) -> bool {
+        self.window.is_active(t, self.time)
+    }
+}
+
+impl SlidingWindowSampler for SlidingWindowF0Sampler {
+    fn update(&mut self, item: Item) {
+        self.time += 1;
+        self.recent_distinct.insert(item, self.time);
+        if self.recent_distinct.len() > self.threshold {
+            // Evict the least recently seen item to keep only the most
+            // recent √n distinct items.
+            if let Some((&oldest, _)) =
+                self.recent_distinct.iter().min_by_key(|&(_, &t)| t)
+            {
+                self.recent_distinct.remove(&oldest);
+            }
+        }
+        for (subset, seen) in &mut self.candidates {
+            if subset.contains(&item) {
+                seen.insert(item, self.time);
+            }
+        }
+    }
+
+    fn sample(&mut self) -> SampleOutcome {
+        if self.time == 0 {
+            return SampleOutcome::Empty;
+        }
+        // Active portion of the recent-distinct set.
+        let active_recent: Vec<Item> = self
+            .recent_distinct
+            .iter()
+            .filter(|&(_, &t)| self.active(t))
+            .map(|(&i, _)| i)
+            .collect();
+        if active_recent.is_empty() {
+            return SampleOutcome::Empty;
+        }
+        // If the recent-distinct set did not fill up, it contains the entire
+        // window support and answers exactly.
+        if self.recent_distinct.len() < self.threshold {
+            let idx = self.rng.gen_index(active_recent.len());
+            return SampleOutcome::Index(active_recent[idx]);
+        }
+        for (_, seen) in &self.candidates {
+            let active: Vec<Item> = seen
+                .iter()
+                .filter(|&(_, &t)| self.active(t))
+                .map(|(&i, _)| i)
+                .collect();
+            if !active.is_empty() {
+                let idx = self.rng.gen_index(active.len());
+                return SampleOutcome::Index(active[idx]);
+            }
+        }
+        SampleOutcome::Fail
+    }
+
+    fn window(&self) -> u64 {
+        self.window.width
+    }
+}
+
+impl SpaceUsage for SlidingWindowF0Sampler {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + hashmap_bytes(&self.recent_distinct)
+            + self
+                .candidates
+                .iter()
+                .map(|(s, m)| hashset_bytes(s) + hashmap_bytes(m))
+                .sum::<usize>()
+    }
+}
+
+/// The `O(log n)`-bit random-oracle `F_0` sampler of Remark 5.1: output the
+/// nonzero coordinate minimising a random hash. Included as a comparator —
+/// its guarantee is only as good as the concrete hash family standing in for
+/// the oracle (tabulation hashing here).
+#[derive(Debug, Clone)]
+pub struct RandomOracleF0Sampler {
+    hash: TabulationHash,
+    best: Option<(Item, f64, u64)>,
+    processed: u64,
+}
+
+impl RandomOracleF0Sampler {
+    /// Creates the sampler with a seeded tabulation hash.
+    pub fn new(seed: u64) -> Self {
+        Self { hash: TabulationHash::from_seed(seed), best: None, processed: 0 }
+    }
+
+    /// The sampled item and its exact frequency, if the stream is non-empty.
+    pub fn sample_with_frequency(&self) -> Option<(Item, u64)> {
+        self.best.map(|(i, _, c)| (i, c))
+    }
+}
+
+impl StreamSampler for RandomOracleF0Sampler {
+    fn update(&mut self, item: Item) {
+        self.processed += 1;
+        let value = self.hash.unit(item);
+        match &mut self.best {
+            Some((held, held_value, count)) => {
+                if *held == item {
+                    *count += 1;
+                } else if value < *held_value {
+                    *held = item;
+                    *held_value = value;
+                    *count = 1;
+                }
+            }
+            None => self.best = Some((item, value, 1)),
+        }
+    }
+
+    fn sample(&mut self) -> SampleOutcome {
+        match self.best {
+            Some((item, _, _)) => SampleOutcome::Index(item),
+            None => SampleOutcome::Empty,
+        }
+    }
+}
+
+impl SpaceUsage for RandomOracleF0Sampler {
+    fn space_bytes(&self) -> usize {
+        // The tabulation tables stand in for the random oracle and are not
+        // charged to the algorithm, matching the random-oracle accounting of
+        // Remark 5.1.
+        std::mem::size_of::<Self>() - std::mem::size_of::<TabulationHash>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_random::default_rng;
+    use tps_streams::frequency::FrequencyVector;
+    use tps_streams::stats::SampleHistogram;
+
+    #[test]
+    fn small_support_is_answered_exactly_and_uniformly() {
+        // F0 = 3 < sqrt(10000), so T answers exactly.
+        let stream = [(7u64, 100u64), (8, 1), (9, 10)]
+            .iter()
+            .flat_map(|&(i, c)| std::iter::repeat(i).take(c as usize))
+            .collect::<Vec<_>>();
+        let target = FrequencyVector::from_stream(&stream).f0_distribution();
+        let mut histogram = SampleHistogram::new();
+        for seed in 0..4_000u64 {
+            let mut s = TrulyPerfectF0Sampler::new(10_000, 0.1, seed);
+            s.update_all(&stream);
+            histogram.record(s.sample());
+        }
+        assert_eq!(histogram.fails(), 0);
+        assert!(histogram.tv_distance(&target) < 0.03);
+    }
+
+    #[test]
+    fn large_support_is_uniform_and_rarely_fails() {
+        // F0 = 400 > sqrt(1000) ≈ 32: the random-subset side must kick in.
+        let n = 1_000u64;
+        let stream: Vec<Item> = (0..400u64).flat_map(|i| std::iter::repeat(i).take(3)).collect();
+        let target = FrequencyVector::from_stream(&stream).f0_distribution();
+        let mut histogram = SampleHistogram::new();
+        for seed in 0..4_000u64 {
+            let mut s = TrulyPerfectF0Sampler::new(n, 0.05, 10_000 + seed);
+            s.update_all(&stream);
+            histogram.record(s.sample());
+        }
+        assert!(histogram.fail_rate() < 0.05, "fail rate {}", histogram.fail_rate());
+        assert!(histogram.tv_distance(&target) < 0.25, "tv {}", histogram.tv_distance(&target));
+        // Pointwise check: no item should be sampled wildly more often than
+        // the uniform rate.
+        let succ = histogram.successes() as f64;
+        for item in 0..400u64 {
+            let rate = histogram.count(item) as f64 / succ;
+            assert!(rate < 5.0 / 400.0, "item {item} oversampled: {rate}");
+        }
+    }
+
+    #[test]
+    fn frequencies_are_reported_exactly() {
+        let mut s = TrulyPerfectF0Sampler::new(100, 0.1, 3);
+        for _ in 0..5 {
+            s.update(42);
+        }
+        s.update(7);
+        let (item, freq) = s.sample_with_frequency().unwrap();
+        if item == 42 {
+            assert_eq!(freq, 5);
+        } else {
+            assert_eq!((item, freq), (7, 1));
+        }
+    }
+
+    #[test]
+    fn empty_stream_reports_empty() {
+        let mut s = TrulyPerfectF0Sampler::new(100, 0.1, 4);
+        assert_eq!(s.sample(), SampleOutcome::Empty);
+    }
+
+    #[test]
+    fn space_scales_like_sqrt_n() {
+        let small = TrulyPerfectF0Sampler::new(1_000, 0.1, 1).space_bytes();
+        let large = TrulyPerfectF0Sampler::new(100_000, 0.1, 1).space_bytes();
+        let ratio = large as f64 / small as f64;
+        assert!((4.0..30.0).contains(&ratio), "ratio {ratio} should be near sqrt(100) = 10");
+    }
+
+    #[test]
+    fn sliding_window_sampler_only_reports_active_items() {
+        let n = 10_000u64;
+        let window = 50u64;
+        let mut rng = default_rng(9);
+        let mut s = SlidingWindowF0Sampler::new(n, window, 0.1, 11);
+        let mut stream = Vec::new();
+        // Early phase: items 0..20; late phase: items 100..120.
+        for _ in 0..500 {
+            stream.push(rng.gen_range(20));
+        }
+        for _ in 0..500 {
+            stream.push(100 + rng.gen_range(20));
+        }
+        for &x in &stream {
+            SlidingWindowSampler::update(&mut s, x);
+        }
+        for _ in 0..50 {
+            if let SampleOutcome::Index(i) = SlidingWindowSampler::sample(&mut s) {
+                assert!((100..120).contains(&i), "expired item {i} reported");
+            }
+        }
+    }
+
+    #[test]
+    fn sliding_window_small_support_is_uniform() {
+        let window = 200u64;
+        let mut stream = Vec::new();
+        for t in 0..600u64 {
+            stream.push(t % 3 + 40); // window support is {40, 41, 42}
+        }
+        let mut histogram = SampleHistogram::new();
+        for seed in 0..3_000u64 {
+            let mut s = SlidingWindowF0Sampler::new(100_000, window, 0.1, 20_000 + seed);
+            for &x in &stream {
+                SlidingWindowSampler::update(&mut s, x);
+            }
+            histogram.record(SlidingWindowSampler::sample(&mut s));
+        }
+        let target: std::collections::HashMap<Item, f64> =
+            [(40u64, 1.0 / 3.0), (41, 1.0 / 3.0), (42, 1.0 / 3.0)].into_iter().collect();
+        assert!(histogram.tv_distance(&target) < 0.04);
+    }
+
+    #[test]
+    fn random_oracle_sampler_is_roughly_uniform() {
+        let stream: Vec<Item> = (0..50u64).flat_map(|i| std::iter::repeat(i).take(5)).collect();
+        let mut histogram = SampleHistogram::new();
+        for seed in 0..5_000u64 {
+            let mut s = RandomOracleF0Sampler::new(seed);
+            s.update_all(&stream);
+            histogram.record(s.sample());
+        }
+        let target = FrequencyVector::from_stream(&stream).f0_distribution();
+        assert!(histogram.tv_distance(&target) < 0.1);
+        assert_eq!(histogram.fails(), 0);
+    }
+}

@@ -1,0 +1,444 @@
+//! The truly perfect `G`-sampler framework for insertion-only streams
+//! (Framework 1.3, Theorem 3.1, Algorithm 2 of the paper).
+//!
+//! The construction has three moving parts:
+//!
+//! 1. **Timestamp-based reservoir sampling.** Each of `k` parallel instances
+//!    holds one uniformly random stream position (Algorithm 1) together with
+//!    the number `c` of occurrences of the sampled item *after* that
+//!    position.
+//! 2. **Telescoping rejection.** At query time an instance holding item `s`
+//!    with suffix count `c` proposes `s` with probability
+//!    `(G(c+1) − G(c)) / ζ`. Summed over the `f_s` possible positions, item
+//!    `s` is proposed with probability exactly `G(f_s) / (ζ·m)` — so
+//!    conditioned on some instance succeeding, the output distribution is
+//!    exactly `G(f_i)/F_G`, with zero relative and zero additive error.
+//! 3. **A certain normaliser `ζ`.** The rejection step is only valid if
+//!    `ζ ≥ G(c+1) − G(c)` with certainty; any *randomised* bound that can
+//!    fail would re-introduce additive error. The [`RejectionNormalizer`]
+//!    trait abstracts how `ζ` is obtained (a closed-form bound for bounded-
+//!    increment measures, a deterministic Misra–Gries bound for `L_p`,
+//!    `p > 1`).
+//!
+//! Two engineering details from the paper are implemented as described:
+//!
+//! * **`O(1)` expected update time.** Instances do not flip a reservoir coin
+//!    per update. Each instance schedules the position of its next
+//!    replacement with the skip-ahead distribution (`O(log m)` reschedules
+//!    per instance over the whole stream), and suffix counting is shared: a
+//!    single hash table keeps one counter per *distinct* tracked item and
+//!    each instance only remembers an offset into it, so a stream update
+//!    touches one hash-table entry regardless of how many instances track
+//!    the item.
+//! * **First-success aggregation.** `sample()` scans the instances in order
+//!    and returns the first accepted proposal. Because instances are
+//!    i.i.d., conditioning on which instance succeeds does not change the
+//!    conditional output distribution.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use tps_random::{StreamRng, Xoshiro256};
+use tps_sketches::exact_counter::SuffixCountTable;
+use tps_sketches::MisraGries;
+use tps_streams::space::hashmap_bytes;
+use tps_streams::{Item, MeasureFn, SampleOutcome, SpaceUsage, StreamSampler, Timestamp};
+
+/// A source of the rejection normaliser `ζ`.
+///
+/// Implementations must guarantee — with certainty, not merely with high
+/// probability — that `ζ ≥ G(x) − G(x−1)` for every frequency `x` that can
+/// occur in the stream processed so far.
+pub trait RejectionNormalizer {
+    /// Observes one stream update (so deterministic summaries can be
+    /// maintained).
+    fn observe(&mut self, item: Item);
+
+    /// The current certain bound `ζ` given that `processed` updates have
+    /// been seen.
+    fn zeta(&self, processed: u64) -> f64;
+
+    /// Memory used by the normaliser.
+    fn normalizer_space_bytes(&self) -> usize;
+}
+
+/// The closed-form normaliser: `ζ = G.increment_bound(m)` where `m` is the
+/// stream length so far.
+///
+/// Appropriate for measures whose increments are bounded by a constant
+/// independent of the frequencies (all the M-estimators of Corollary 3.6 and
+/// `L_p` with `p ≤ 1`).
+#[derive(Debug, Clone)]
+pub struct MeasureNormalizer<G: MeasureFn> {
+    g: G,
+}
+
+impl<G: MeasureFn> MeasureNormalizer<G> {
+    /// Creates the normaliser for a measure.
+    pub fn new(g: G) -> Self {
+        Self { g }
+    }
+}
+
+impl<G: MeasureFn> RejectionNormalizer for MeasureNormalizer<G> {
+    fn observe(&mut self, _item: Item) {}
+
+    fn zeta(&self, processed: u64) -> f64 {
+        self.g.increment_bound(processed.max(1))
+    }
+
+    fn normalizer_space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+/// The deterministic Misra–Gries normaliser used by the `L_p` samplers for
+/// `p ∈ (1, 2]` (Theorem 3.4): `ζ = p·Z^{p−1}` where
+/// `‖f‖_∞ ≤ Z ≤ ‖f‖_∞ + m/(capacity+1)` is certain.
+#[derive(Debug, Clone)]
+pub struct MisraGriesNormalizer {
+    p: f64,
+    summary: MisraGries,
+}
+
+impl MisraGriesNormalizer {
+    /// Creates the normaliser with the given exponent and counter budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p ∈ [1, 2]`.
+    pub fn new(p: f64, counters: usize) -> Self {
+        assert!((1.0..=2.0).contains(&p), "Misra-Gries normaliser requires p in [1,2]");
+        Self { p, summary: MisraGries::new(counters.max(1)) }
+    }
+
+    /// The current certain upper bound `Z ≥ ‖f‖_∞`.
+    pub fn max_frequency_bound(&self) -> u64 {
+        self.summary.max_frequency_upper_bound()
+    }
+}
+
+impl RejectionNormalizer for MisraGriesNormalizer {
+    fn observe(&mut self, item: Item) {
+        self.summary.update(item);
+    }
+
+    fn zeta(&self, _processed: u64) -> f64 {
+        let z = self.max_frequency_bound().max(1) as f64;
+        self.p * z.powf(self.p - 1.0)
+    }
+
+    fn normalizer_space_bytes(&self) -> usize {
+        self.summary.space_bytes()
+    }
+}
+
+/// Per-instance state: the held item (if any) and the offset into the shared
+/// suffix-count table captured when the item was sampled.
+#[derive(Debug, Clone, Copy, Default)]
+struct Instance {
+    item: Option<Item>,
+    offset: u64,
+}
+
+/// The generic truly perfect `G`-sampler for insertion-only streams.
+#[derive(Debug)]
+pub struct TrulyPerfectGSampler<G: MeasureFn, N: RejectionNormalizer> {
+    g: G,
+    normalizer: N,
+    instances: Vec<Instance>,
+    /// Min-heap of (next replacement position, instance index).
+    schedule: BinaryHeap<Reverse<(Timestamp, usize)>>,
+    table: SuffixCountTable,
+    /// Number of instances currently holding each tracked item, for garbage
+    /// collecting the shared table.
+    references: HashMap<Item, u32>,
+    rng: Xoshiro256,
+    processed: u64,
+}
+
+impl<G: MeasureFn, N: RejectionNormalizer> TrulyPerfectGSampler<G, N> {
+    /// Creates a sampler with an explicit number of parallel instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances == 0`.
+    pub fn with_instances(g: G, normalizer: N, instances: usize, seed: u64) -> Self {
+        assert!(instances > 0, "need at least one sampler instance");
+        let schedule =
+            (0..instances).map(|idx| Reverse((1u64, idx))).collect::<BinaryHeap<_>>();
+        Self {
+            g,
+            normalizer,
+            instances: vec![Instance::default(); instances],
+            schedule,
+            table: SuffixCountTable::new(),
+            references: HashMap::new(),
+            rng: Xoshiro256::seed_from_u64(seed),
+            processed: 0,
+        }
+    }
+
+    /// Number of parallel instances.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Number of updates processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// The measure function being sampled.
+    pub fn measure(&self) -> &G {
+        &self.g
+    }
+
+    /// Read access to the normaliser (used by the ablation experiments).
+    pub fn normalizer(&self) -> &N {
+        &self.normalizer
+    }
+
+    /// The number of distinct items currently tracked by the shared
+    /// suffix-count table (a space diagnostic).
+    pub fn tracked_items(&self) -> usize {
+        self.table.tracked()
+    }
+
+    fn switch_sample(&mut self, idx: usize, item: Item) {
+        // Release the previous sample's reference.
+        if let Some(old) = self.instances[idx].item {
+            if let Some(count) = self.references.get_mut(&old) {
+                *count -= 1;
+                if *count == 0 {
+                    self.references.remove(&old);
+                    self.table.untrack(old);
+                }
+            }
+        }
+        // Acquire the new sample. The shared counter was already updated for
+        // the current occurrence (if tracked), so the captured offset always
+        // excludes it and the reconstructed suffix count matches Algorithm 1.
+        *self.references.entry(item).or_insert(0) += 1;
+        let offset = self.table.track(item);
+        self.instances[idx] = Instance { item: Some(item), offset };
+    }
+
+    /// Draws the skip-ahead replacement position after an acceptance at
+    /// position `t`: `P[next > t + s] = t / (t + s)`.
+    fn next_replacement<R: StreamRng>(rng: &mut R, t: Timestamp) -> Timestamp {
+        let u = rng.next_f64().max(f64::MIN_POSITIVE);
+        let skip = ((t as f64) * (1.0 - u) / u).floor();
+        // Saturate to avoid overflow on astronomically unlikely draws.
+        let skip = if skip.is_finite() { skip.min(1e18) as u64 } else { 1_000_000_000_000_000_000 };
+        t + 1 + skip
+    }
+
+    /// One proposal round over all instances; returns the first acceptance.
+    fn propose(&mut self) -> SampleOutcome {
+        if self.processed == 0 {
+            return SampleOutcome::Empty;
+        }
+        let zeta = self.normalizer.zeta(self.processed);
+        if !(zeta > 0.0) {
+            return SampleOutcome::Fail;
+        }
+        for idx in 0..self.instances.len() {
+            let Instance { item, offset } = self.instances[idx];
+            let Some(item) = item else { continue };
+            let c = self.table.suffix_count(item, offset);
+            let accept = (self.g.value(c + 1) - self.g.value(c)) / zeta;
+            debug_assert!(
+                accept <= 1.0 + 1e-9,
+                "rejection probability {accept} exceeds 1: the normaliser is not a certain bound"
+            );
+            if self.rng.gen_bool(accept) {
+                return SampleOutcome::Index(item);
+            }
+        }
+        SampleOutcome::Fail
+    }
+}
+
+impl<G: MeasureFn, N: RejectionNormalizer> StreamSampler for TrulyPerfectGSampler<G, N> {
+    fn update(&mut self, item: Item) {
+        self.processed += 1;
+        // Shared suffix counting: one hash-table touch per update.
+        self.table.update(item);
+        // Wake the instances scheduled to replace their sample now.
+        while let Some(&Reverse((when, idx))) = self.schedule.peek() {
+            if when != self.processed {
+                break;
+            }
+            self.schedule.pop();
+            self.switch_sample(idx, item);
+            let next = Self::next_replacement(&mut self.rng, self.processed);
+            self.schedule.push(Reverse((next, idx)));
+        }
+        self.normalizer.observe(item);
+    }
+
+    fn sample(&mut self) -> SampleOutcome {
+        self.propose()
+    }
+}
+
+impl<G: MeasureFn, N: RejectionNormalizer> SpaceUsage for TrulyPerfectGSampler<G, N> {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.instances.capacity() * std::mem::size_of::<Instance>()
+            + self.schedule.len() * std::mem::size_of::<Reverse<(Timestamp, usize)>>()
+            + self.table.space_bytes()
+            + hashmap_bytes(&self.references)
+            + self.normalizer.normalizer_space_bytes()
+    }
+}
+
+/// The number of parallel instances Theorem 3.1 prescribes for a target
+/// failure probability `δ`, given a certain lower bound on the per-instance
+/// success probability `F̂_G / (ζ·m)` computed from the measure's worst-case
+/// bounds at an anticipated stream length.
+pub fn recommended_instances<G: MeasureFn>(g: &G, expected_length: u64, delta: f64) -> usize {
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    let m = expected_length.max(1);
+    let zeta = g.increment_bound(m).max(f64::MIN_POSITIVE);
+    let fg = g.fg_lower_bound(m).max(f64::MIN_POSITIVE);
+    let per_instance = (fg / (zeta * m as f64)).clamp(1e-12, 1.0);
+    if per_instance >= 1.0 {
+        return 1;
+    }
+    (delta.ln() / (1.0 - per_instance).ln()).ceil().max(1.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_streams::frequency::FrequencyVector;
+    use tps_streams::stats::SampleHistogram;
+    use tps_streams::{Huber, Lp, L1L2};
+
+    fn run_distribution_check<G: MeasureFn + 'static>(
+        g: G,
+        instances: usize,
+        stream: &[Item],
+        trials: usize,
+        tolerance: f64,
+        max_fail_rate: f64,
+    ) {
+        let truth = FrequencyVector::from_stream(stream);
+        let target = truth.g_distribution(&g);
+        let mut histogram = SampleHistogram::new();
+        for seed in 0..trials as u64 {
+            let normalizer = MeasureNormalizer::new(g.clone());
+            let mut sampler =
+                TrulyPerfectGSampler::with_instances(g.clone(), normalizer, instances, 1_000 + seed);
+            sampler.update_all(stream);
+            histogram.record(sampler.sample());
+        }
+        assert!(
+            histogram.fail_rate() <= max_fail_rate,
+            "fail rate {} too high",
+            histogram.fail_rate()
+        );
+        let tv = histogram.tv_distance(&target);
+        assert!(tv < tolerance, "TV distance {tv} exceeds tolerance {tolerance}");
+    }
+
+    #[test]
+    fn l1_sampler_matches_frequency_distribution() {
+        let stream: Vec<Item> = [(1u64, 8u64), (2, 4), (3, 2), (4, 1)]
+            .iter()
+            .flat_map(|&(i, c)| std::iter::repeat(i).take(c as usize))
+            .collect();
+        run_distribution_check(Lp::new(1.0), 1, &stream, 6_000, 0.03, 0.0);
+    }
+
+    #[test]
+    fn huber_sampler_matches_g_distribution() {
+        let stream: Vec<Item> = [(10u64, 12u64), (20, 6), (30, 3), (40, 1)]
+            .iter()
+            .flat_map(|&(i, c)| std::iter::repeat(i).take(c as usize))
+            .collect();
+        run_distribution_check(Huber::new(2.0), 16, &stream, 6_000, 0.04, 0.2);
+    }
+
+    #[test]
+    fn l1l2_sampler_matches_g_distribution() {
+        let stream: Vec<Item> = [(5u64, 10u64), (6, 5), (7, 1)]
+            .iter()
+            .flat_map(|&(i, c)| std::iter::repeat(i).take(c as usize))
+            .collect();
+        run_distribution_check(L1L2, 16, &stream, 6_000, 0.04, 0.2);
+    }
+
+    #[test]
+    fn empty_stream_reports_empty() {
+        let g = Lp::new(1.0);
+        let mut sampler =
+            TrulyPerfectGSampler::with_instances(g.clone(), MeasureNormalizer::new(g), 4, 7);
+        assert_eq!(sampler.sample(), SampleOutcome::Empty);
+    }
+
+    #[test]
+    fn misra_gries_normalizer_bounds_increments() {
+        let mut norm = MisraGriesNormalizer::new(2.0, 8);
+        let stream: Vec<Item> = (0..2_000u64).map(|i| if i % 3 == 0 { 1 } else { i }).collect();
+        for &x in &stream {
+            norm.observe(x);
+        }
+        let truth = FrequencyVector::from_stream(&stream);
+        let max_f = truth.l_inf();
+        let zeta = norm.zeta(stream.len() as u64);
+        // Every achievable increment for G(x) = x^2 is at most 2·‖f‖_∞.
+        let largest_increment = (max_f as f64).powi(2) - ((max_f - 1) as f64).powi(2);
+        assert!(zeta >= largest_increment, "zeta {zeta} < largest increment {largest_increment}");
+        assert!(norm.max_frequency_bound() >= max_f);
+    }
+
+    #[test]
+    fn shared_table_is_garbage_collected() {
+        let g = Lp::new(1.0);
+        let mut sampler =
+            TrulyPerfectGSampler::with_instances(g.clone(), MeasureNormalizer::new(g), 8, 9);
+        for t in 0..20_000u64 {
+            sampler.update(t % 97);
+        }
+        // At most one tracked item per instance once the stream is long.
+        assert!(sampler.tracked_items() <= 8, "tracked {}", sampler.tracked_items());
+    }
+
+    #[test]
+    fn recommended_instances_scale_with_measure() {
+        // Constant-increment measures need O(log 1/δ) instances.
+        let huber = recommended_instances(&Huber::new(2.0), 100_000, 0.01);
+        assert!(huber <= 80, "Huber instance count {huber}");
+        // L_p with p = 0.5 needs about m^{1/2} instances.
+        let half = recommended_instances(&Lp::new(0.5), 10_000, 0.5);
+        assert!(half >= 50 && half <= 500, "L_0.5 instance count {half}");
+        // More stringent delta needs more instances.
+        assert!(
+            recommended_instances(&Huber::new(2.0), 100_000, 0.001)
+                > recommended_instances(&Huber::new(2.0), 100_000, 0.1)
+        );
+    }
+
+    #[test]
+    fn sampler_never_outputs_absent_items() {
+        let g = Lp::new(1.0);
+        for seed in 0..200 {
+            let mut sampler =
+                TrulyPerfectGSampler::with_instances(g.clone(), MeasureNormalizer::new(g.clone()), 2, seed);
+            sampler.update_all(&[11, 22, 33]);
+            if let SampleOutcome::Index(i) = sampler.sample() {
+                assert!([11, 22, 33].contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sampler instance")]
+    fn zero_instances_panics() {
+        let g = Lp::new(1.0);
+        let _ = TrulyPerfectGSampler::with_instances(g.clone(), MeasureNormalizer::new(g), 0, 1);
+    }
+}

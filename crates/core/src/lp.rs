@@ -1,0 +1,279 @@
+//! Truly perfect `L_p` samplers for insertion-only streams
+//! (Theorems 1.4 and 3.3–3.5 of the paper).
+//!
+//! The target distribution is `Pr[i] = |f_i|^p / F_p`. Two regimes:
+//!
+//! * **`p ∈ (0, 1]`** (Theorem 3.5): the increment `x^p − (x−1)^p` is at most
+//!   1, so the closed-form normaliser `ζ = 1` works and
+//!   `O(m^{1−p} log 1/δ)` parallel instances suffice.
+//! * **`p ∈ [1, 2]`** (Theorem 3.4): increments grow like `p·‖f‖_∞^{p−1}`,
+//!   so the sampler carries a single deterministic Misra–Gries summary with
+//!   `⌈n^{1−1/p}⌉` counters. The certain bound
+//!   `‖f‖_∞ ≤ Z ≤ ‖f‖_∞ + m/n^{1−1/p}` yields `ζ = p·Z^{p−1}` and an
+//!   acceptance probability of at least `Ω(n^{−(1−1/p)})` per instance, so
+//!   `O(n^{1−1/p} log 1/δ)` instances suffice — and the normaliser is
+//!   deterministic, so no additive error is introduced.
+//!
+//! For `p = 1` both regimes degenerate to plain reservoir sampling
+//! (`ζ = 1`, one instance), matching the classical fact that reservoir
+//! sampling is already a truly perfect `L_1` sampler.
+
+use crate::framework::{
+    recommended_instances, MeasureNormalizer, MisraGriesNormalizer, TrulyPerfectGSampler,
+};
+use tps_streams::{Item, Lp, SampleOutcome, SpaceUsage, StreamSampler};
+
+/// Which normaliser the sampler is running with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    /// `p ≤ 1`: constant increment bound.
+    Fractional,
+    /// `p ∈ (1, 2]`: Misra–Gries bound on `‖f‖_∞`.
+    MisraGries,
+}
+
+/// A truly perfect `L_p` sampler for insertion-only streams.
+#[derive(Debug)]
+pub struct TrulyPerfectLpSampler {
+    p: f64,
+    flavor: Flavor,
+    fractional: Option<TrulyPerfectGSampler<Lp, MeasureNormalizer<Lp>>>,
+    heavy: Option<TrulyPerfectGSampler<Lp, MisraGriesNormalizer>>,
+}
+
+impl TrulyPerfectLpSampler {
+    /// Creates a truly perfect `L_p` sampler for `p ∈ [1, 2]` over the
+    /// universe `[0, n)` with failure probability at most `delta`.
+    ///
+    /// Space is `O(n^{1−1/p}·polylog)` as in Theorem 1.4; the universe size
+    /// `n` is needed to size the instance pool and the Misra–Gries summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p ∈ [1, 2]`, `n ≥ 1` and `δ ∈ (0, 1)`.
+    pub fn new(p: f64, n: u64, delta: f64, seed: u64) -> Self {
+        assert!((1.0..=2.0).contains(&p), "use `fractional` for p < 1 (got p = {p})");
+        assert!(n >= 1, "universe must be non-empty");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let exponent = 1.0 - 1.0 / p;
+        let pool = (n as f64).powf(exponent).ceil().max(1.0);
+        // Per-instance success probability is at least 1/(4·n^{1-1/p})
+        // (Theorem 3.4); (1 - q)^k ≤ δ with q = 1/(4·pool). For p = 1 the
+        // acceptance probability is exactly 1, so a single instance
+        // (classical reservoir sampling) suffices.
+        let q = if p == 1.0 { 1.0 } else { (1.0 / (4.0 * pool)).min(1.0) };
+        let instances = if q >= 1.0 {
+            1
+        } else {
+            (delta.ln() / (1.0 - q).ln()).ceil().max(1.0) as usize
+        };
+        let counters = pool as usize;
+        let g = Lp::new(p);
+        let normalizer = MisraGriesNormalizer::new(p, counters);
+        let sampler = TrulyPerfectGSampler::with_instances(g, normalizer, instances, seed);
+        Self { p, flavor: Flavor::MisraGries, fractional: None, heavy: Some(sampler) }
+    }
+
+    /// Creates a truly perfect `L_p` sampler for `p ∈ (0, 1]` sized for
+    /// streams of (roughly) `expected_length` updates, with failure
+    /// probability at most `delta` at that length (Theorem 3.5; space
+    /// `O(m^{1−p} log n)`).
+    ///
+    /// The sampler remains *correct* for any stream length — only the
+    /// failure probability degrades if the stream is much longer than
+    /// anticipated.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p ∈ (0, 1]` and `δ ∈ (0, 1)`.
+    pub fn fractional(p: f64, expected_length: u64, delta: f64, seed: u64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "fractional sampler requires p in (0,1] (got p = {p})");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let g = Lp::new(p);
+        let instances = recommended_instances(&g, expected_length, delta);
+        let normalizer = MeasureNormalizer::new(g.clone());
+        let sampler = TrulyPerfectGSampler::with_instances(g, normalizer, instances, seed);
+        Self { p, flavor: Flavor::Fractional, fractional: Some(sampler), heavy: None }
+    }
+
+    /// The exponent `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of parallel sampler instances (the dominant space term).
+    pub fn instance_count(&self) -> usize {
+        match self.flavor {
+            Flavor::Fractional => self.fractional.as_ref().unwrap().instance_count(),
+            Flavor::MisraGries => self.heavy.as_ref().unwrap().instance_count(),
+        }
+    }
+
+    /// Number of updates processed.
+    pub fn processed(&self) -> u64 {
+        match self.flavor {
+            Flavor::Fractional => self.fractional.as_ref().unwrap().processed(),
+            Flavor::MisraGries => self.heavy.as_ref().unwrap().processed(),
+        }
+    }
+}
+
+impl StreamSampler for TrulyPerfectLpSampler {
+    fn update(&mut self, item: Item) {
+        match self.flavor {
+            Flavor::Fractional => self.fractional.as_mut().unwrap().update(item),
+            Flavor::MisraGries => self.heavy.as_mut().unwrap().update(item),
+        }
+    }
+
+    fn sample(&mut self) -> SampleOutcome {
+        match self.flavor {
+            Flavor::Fractional => self.fractional.as_mut().unwrap().sample(),
+            Flavor::MisraGries => self.heavy.as_mut().unwrap().sample(),
+        }
+    }
+}
+
+impl SpaceUsage for TrulyPerfectLpSampler {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + match self.flavor {
+                Flavor::Fractional => self.fractional.as_ref().unwrap().space_bytes(),
+                Flavor::MisraGries => self.heavy.as_ref().unwrap().space_bytes(),
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_streams::frequency::FrequencyVector;
+    use tps_streams::stats::SampleHistogram;
+
+    fn stream_from(counts: &[(Item, u64)]) -> Vec<Item> {
+        counts
+            .iter()
+            .flat_map(|&(i, c)| std::iter::repeat(i).take(c as usize))
+            .collect()
+    }
+
+    fn check_lp_distribution(
+        p: f64,
+        counts: &[(Item, u64)],
+        build: impl Fn(u64) -> TrulyPerfectLpSampler,
+        trials: usize,
+        tolerance: f64,
+        max_fail: f64,
+    ) {
+        let stream = stream_from(counts);
+        let truth = FrequencyVector::from_stream(&stream);
+        let target = truth.lp_distribution(p);
+        let mut histogram = SampleHistogram::new();
+        for seed in 0..trials as u64 {
+            let mut sampler = build(seed);
+            sampler.update_all(&stream);
+            histogram.record(sampler.sample());
+        }
+        assert!(
+            histogram.fail_rate() <= max_fail,
+            "p={p}: fail rate {} exceeds {max_fail}",
+            histogram.fail_rate()
+        );
+        let tv = histogram.tv_distance(&target);
+        assert!(tv < tolerance, "p={p}: TV distance {tv} exceeds {tolerance}");
+    }
+
+    #[test]
+    fn l2_sampler_matches_quadratic_distribution() {
+        let counts = [(1u64, 10u64), (2, 5), (3, 2), (4, 1)];
+        check_lp_distribution(
+            2.0,
+            &counts,
+            |seed| TrulyPerfectLpSampler::new(2.0, 64, 0.05, 500 + seed),
+            5_000,
+            0.04,
+            0.05,
+        );
+    }
+
+    #[test]
+    fn l1_5_sampler_matches_distribution() {
+        let counts = [(7u64, 9u64), (8, 3), (9, 1)];
+        check_lp_distribution(
+            1.5,
+            &counts,
+            |seed| TrulyPerfectLpSampler::new(1.5, 32, 0.05, 900 + seed),
+            5_000,
+            0.04,
+            0.05,
+        );
+    }
+
+    #[test]
+    fn l1_sampler_is_reservoir_sampling() {
+        let counts = [(1u64, 6u64), (2, 3), (3, 1)];
+        check_lp_distribution(
+            1.0,
+            &counts,
+            |seed| TrulyPerfectLpSampler::new(1.0, 16, 0.1, 1_300 + seed),
+            5_000,
+            0.03,
+            0.0,
+        );
+        // p = 1 needs a single instance.
+        assert_eq!(TrulyPerfectLpSampler::new(1.0, 1_000_000, 0.3, 1).instance_count(), 1);
+    }
+
+    #[test]
+    fn half_sampler_matches_sqrt_distribution() {
+        let counts = [(1u64, 16u64), (2, 4), (3, 1)];
+        check_lp_distribution(
+            0.5,
+            &counts,
+            |seed| TrulyPerfectLpSampler::fractional(0.5, 21, 0.05, 1_700 + seed),
+            5_000,
+            0.04,
+            0.05,
+        );
+    }
+
+    #[test]
+    fn instance_count_grows_like_n_to_one_minus_inv_p() {
+        let small = TrulyPerfectLpSampler::new(2.0, 256, 0.1, 1).instance_count();
+        let large = TrulyPerfectLpSampler::new(2.0, 4096, 0.1, 1).instance_count();
+        let ratio = large as f64 / small as f64;
+        // n^{1/2} scaling: ratio should be near (4096/256)^{1/2} = 4.
+        assert!((2.5..6.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn empty_stream_reports_empty() {
+        let mut sampler = TrulyPerfectLpSampler::new(2.0, 10, 0.1, 3);
+        assert_eq!(sampler.sample(), SampleOutcome::Empty);
+        let mut frac = TrulyPerfectLpSampler::fractional(0.5, 100, 0.1, 3);
+        assert_eq!(frac.sample(), SampleOutcome::Empty);
+    }
+
+    #[test]
+    fn only_present_items_are_sampled() {
+        for seed in 0..100 {
+            let mut sampler = TrulyPerfectLpSampler::new(2.0, 100, 0.2, seed);
+            sampler.update_all(&[42, 42, 17]);
+            if let SampleOutcome::Index(i) = sampler.sample() {
+                assert!(i == 42 || i == 17);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "use `fractional`")]
+    fn new_rejects_small_p() {
+        let _ = TrulyPerfectLpSampler::new(0.5, 10, 0.1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires p in (0,1]")]
+    fn fractional_rejects_large_p() {
+        let _ = TrulyPerfectLpSampler::fractional(1.5, 10, 0.1, 1);
+    }
+}

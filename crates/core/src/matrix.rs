@@ -1,0 +1,312 @@
+//! Truly perfect row sampling for matrix norms
+//! (Section 3.2.3, Algorithm 3, Theorem 3.7 of the paper).
+//!
+//! The stream consists of unit updates to entries of an implicit matrix
+//! `M ∈ R^{n×d}`; the goal is to output row `r` with probability
+//! `G(m_r)/Σ_s G(m_s)` for a row measure `G : R^d → R≥0`. The construction
+//! mirrors the vector framework: reservoir-sample one update `(r, c)`,
+//! accumulate the vector `v` of *subsequent* updates to row `r`, and accept
+//! with probability `(G(v + e_c) − G(v))/ζ`, which telescopes to `G(m_r)`
+//! over the updates of the row.
+//!
+//! Two standard row measures are provided: the row `L_1` norm (giving
+//! `L_{1,1}` sampling) and the row `L_2` norm (giving `L_{1,2}` sampling,
+//! the primitive used by adaptive-sampling algorithms).
+
+use tps_random::{StreamRng, Xoshiro256};
+use tps_streams::{MatrixSampler, MatrixUpdate, SampleOutcome, SpaceUsage};
+
+/// A non-negative measure on matrix rows with coordinate-increment bound `ζ`.
+pub trait RowMeasure: Clone + Send + Sync {
+    /// A short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// `G(v)` for a non-negative integer row vector.
+    fn value(&self, row: &[u64]) -> f64;
+
+    /// A certain bound `ζ ≥ G(v + e_c) − G(v)` for every non-negative `v`
+    /// and coordinate `c`.
+    fn increment_bound(&self) -> f64;
+}
+
+/// The row `L_1` norm: `G(v) = Σ_c v_c` (so `F_G` is the `L_{1,1}` norm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RowL1;
+
+impl RowMeasure for RowL1 {
+    fn name(&self) -> &'static str {
+        "L1,1"
+    }
+
+    fn value(&self, row: &[u64]) -> f64 {
+        row.iter().map(|&v| v as f64).sum()
+    }
+
+    fn increment_bound(&self) -> f64 {
+        1.0
+    }
+}
+
+/// The row `L_2` norm: `G(v) = √(Σ_c v_c²)` (so `F_G` is the `L_{1,2}`
+/// norm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RowL2;
+
+impl RowMeasure for RowL2 {
+    fn name(&self) -> &'static str {
+        "L1,2"
+    }
+
+    fn value(&self, row: &[u64]) -> f64 {
+        row.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt()
+    }
+
+    fn increment_bound(&self) -> f64 {
+        // ‖v + e_c‖_2 − ‖v‖_2 ≤ ‖e_c‖_2 = 1 by the triangle inequality.
+        1.0
+    }
+}
+
+/// One instance of Algorithm 3: a reservoir-sampled update and the vector of
+/// subsequent updates to its row.
+#[derive(Debug, Clone)]
+struct RowInstance {
+    seen: u64,
+    sample: Option<(u64, u64)>,
+    /// Updates to the sampled row made strictly after the sampled update.
+    suffix: Vec<u64>,
+}
+
+impl RowInstance {
+    fn new(columns: usize) -> Self {
+        Self { seen: 0, sample: None, suffix: vec![0; columns] }
+    }
+
+    fn update<R: StreamRng>(&mut self, rng: &mut R, update: MatrixUpdate) {
+        self.seen += 1;
+        if rng.gen_range(self.seen) == 0 {
+            self.sample = Some((update.row, update.col));
+            self.suffix.iter_mut().for_each(|v| *v = 0);
+            return;
+        }
+        if let Some((row, _)) = self.sample {
+            if row == update.row {
+                self.suffix[update.col as usize] += 1;
+            }
+        }
+    }
+}
+
+/// The truly perfect matrix row sampler (Algorithm 3 / Theorem 3.7).
+#[derive(Debug)]
+pub struct MatrixRowSampler<G: RowMeasure> {
+    g: G,
+    columns: usize,
+    instances: Vec<RowInstance>,
+    rng: Xoshiro256,
+    processed: u64,
+}
+
+impl<G: RowMeasure> MatrixRowSampler<G> {
+    /// Creates a sampler for matrices with `columns` columns using
+    /// `instances` parallel instances.
+    ///
+    /// Theorem 3.7 prescribes `O(ζ·d·m/F̂_G · log 1/δ)` instances; for the
+    /// row `L_1` norm `O(log 1/δ)` suffices and for the row `L_2` norm
+    /// `O(√d · log 1/δ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns == 0` or `instances == 0`.
+    pub fn new(g: G, columns: usize, instances: usize, seed: u64) -> Self {
+        assert!(columns > 0, "matrix must have at least one column");
+        assert!(instances > 0, "need at least one instance");
+        Self {
+            g,
+            columns,
+            instances: (0..instances).map(|_| RowInstance::new(columns)).collect(),
+            rng: Xoshiro256::seed_from_u64(seed),
+            processed: 0,
+        }
+    }
+
+    /// Creates an `L_{1,1}` row sampler with failure probability `delta`.
+    pub fn l11(columns: usize, delta: f64, seed: u64) -> MatrixRowSampler<RowL1> {
+        assert!(delta > 0.0 && delta < 1.0);
+        let instances = (1.0f64 / delta).ln().ceil().max(1.0) as usize * 2;
+        MatrixRowSampler::new(RowL1, columns, instances, seed)
+    }
+
+    /// Creates an `L_{1,2}` row sampler with failure probability `delta`.
+    pub fn l12(columns: usize, delta: f64, seed: u64) -> MatrixRowSampler<RowL2> {
+        assert!(delta > 0.0 && delta < 1.0);
+        let per_instance = 1.0 / (columns as f64).sqrt();
+        let instances =
+            (delta.ln() / (1.0 - per_instance).min(1.0 - 1e-9).ln()).ceil().max(1.0) as usize;
+        MatrixRowSampler::new(RowL2, columns, instances.max(2), seed)
+    }
+
+    /// Number of parallel instances.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Number of matrix updates processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+}
+
+impl<G: RowMeasure> MatrixSampler for MatrixRowSampler<G> {
+    fn update(&mut self, update: MatrixUpdate) {
+        assert!(
+            (update.col as usize) < self.columns,
+            "column {} outside declared width {}",
+            update.col,
+            self.columns
+        );
+        self.processed += 1;
+        for instance in &mut self.instances {
+            instance.update(&mut self.rng, update);
+        }
+    }
+
+    fn sample(&mut self) -> SampleOutcome {
+        if self.processed == 0 {
+            return SampleOutcome::Empty;
+        }
+        let zeta = self.g.increment_bound();
+        for idx in 0..self.instances.len() {
+            let Some((row, col)) = self.instances[idx].sample else { continue };
+            let with_sample = {
+                let mut v = self.instances[idx].suffix.clone();
+                v[col as usize] += 1;
+                self.g.value(&v)
+            };
+            let without = self.g.value(&self.instances[idx].suffix);
+            let accept = (with_sample - without) / zeta;
+            debug_assert!(accept <= 1.0 + 1e-9, "row-measure increment bound violated");
+            if self.rng.gen_bool(accept) {
+                return SampleOutcome::Index(row);
+            }
+        }
+        SampleOutcome::Fail
+    }
+}
+
+impl<G: RowMeasure> SpaceUsage for MatrixRowSampler<G> {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .instances
+                .iter()
+                .map(|i| std::mem::size_of::<RowInstance>() + i.suffix.capacity() * 8)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_streams::frequency::MatrixAccumulator;
+    use tps_streams::stats::{tv_distance, SampleHistogram};
+
+    /// A small deterministic matrix stream: row r gets updates spread over
+    /// the columns with total count `totals[r]`.
+    fn matrix_stream(totals: &[u64], columns: u64) -> Vec<MatrixUpdate> {
+        let mut out = Vec::new();
+        for (r, &total) in totals.iter().enumerate() {
+            for k in 0..total {
+                out.push(MatrixUpdate::new(r as u64, k % columns));
+            }
+        }
+        out
+    }
+
+    fn run_histogram<G: RowMeasure>(
+        updates: &[MatrixUpdate],
+        build: impl Fn(u64) -> MatrixRowSampler<G>,
+        trials: usize,
+    ) -> SampleHistogram {
+        let mut histogram = SampleHistogram::new();
+        for seed in 0..trials as u64 {
+            let mut s = build(seed);
+            for &u in updates {
+                s.update(u);
+            }
+            histogram.record(s.sample());
+        }
+        histogram
+    }
+
+    #[test]
+    fn l11_sampling_matches_row_mass() {
+        let updates = matrix_stream(&[8, 4, 2, 1], 3);
+        let mut truth = MatrixAccumulator::new();
+        for u in &updates {
+            truth.insert(u.row, u.col);
+        }
+        let target = truth.row_distribution(1);
+        let histogram = run_histogram(
+            &updates,
+            |seed| MatrixRowSampler::<RowL1>::l11(3, 0.05, 6_000 + seed),
+            6_000,
+        );
+        assert_eq!(histogram.fails(), 0, "L1,1 acceptance probability is 1");
+        assert!(tv_distance(&histogram.empirical_distribution(), &target) < 0.03);
+    }
+
+    #[test]
+    fn l12_sampling_matches_row_l2_norms() {
+        // Row 0: concentrated (high L2 for its mass); row 1: spread out.
+        let mut updates = Vec::new();
+        for _ in 0..9 {
+            updates.push(MatrixUpdate::new(0, 0));
+        }
+        for c in 0..9u64 {
+            updates.push(MatrixUpdate::new(1, c % 4));
+        }
+        let mut truth = MatrixAccumulator::new();
+        for u in &updates {
+            truth.insert(u.row, u.col);
+        }
+        let target = truth.row_distribution(2);
+        let histogram = run_histogram(
+            &updates,
+            |seed| MatrixRowSampler::<RowL2>::l12(4, 0.05, 8_000 + seed),
+            6_000,
+        );
+        assert!(histogram.fail_rate() < 0.1, "fail rate {}", histogram.fail_rate());
+        assert!(
+            tv_distance(&histogram.empirical_distribution(), &target) < 0.04,
+            "tv {}",
+            tv_distance(&histogram.empirical_distribution(), &target)
+        );
+    }
+
+    #[test]
+    fn empty_matrix_reports_empty() {
+        let mut s = MatrixRowSampler::<RowL1>::l11(4, 0.1, 1);
+        assert_eq!(s.sample(), SampleOutcome::Empty);
+    }
+
+    #[test]
+    fn row_measures_satisfy_their_increment_bounds() {
+        let rows = [vec![0u64, 0, 0], vec![5, 0, 2], vec![100, 100, 100]];
+        for row in &rows {
+            for c in 0..row.len() {
+                let mut bumped = row.clone();
+                bumped[c] += 1;
+                assert!(RowL1.value(&bumped) - RowL1.value(row) <= RowL1.increment_bound() + 1e-12);
+                assert!(RowL2.value(&bumped) - RowL2.value(row) <= RowL2.increment_bound() + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside declared width")]
+    fn out_of_range_column_panics() {
+        let mut s = MatrixRowSampler::<RowL1>::l11(2, 0.1, 1);
+        s.update(MatrixUpdate::new(0, 5));
+    }
+}

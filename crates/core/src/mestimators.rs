@@ -1,0 +1,268 @@
+//! Truly perfect samplers for M-estimator measures
+//! (Corollary 3.6 and Theorem 5.4 of the paper).
+//!
+//! For the `L_1–L_2`, Fair and Huber estimators the measure's increments are
+//! bounded by a constant and `F_G ≥ G(1)·m`, so the generic framework with
+//! the closed-form normaliser needs only `O(log 1/δ)` parallel instances —
+//! `O(log n log 1/δ)` bits in total.
+//!
+//! The Tukey biweight is *bounded* (`G(x) ≤ τ²/6`), so `F_G` can be far
+//! smaller than `m` and the generic framework would need too many instances.
+//! Following Theorem 5.4, the Tukey sampler instead draws a uniform nonzero
+//! coordinate from a truly perfect `F_0` sampler (which also reports the
+//! coordinate's frequency) and accepts it with probability `G(f_i)/G(τ)`,
+//! which corrects the uniform distribution to `G(f_i)/F_G`.
+
+use crate::f0::TrulyPerfectF0Sampler;
+use crate::framework::{recommended_instances, MeasureNormalizer, TrulyPerfectGSampler};
+use tps_random::{StreamRng, Xoshiro256};
+use tps_streams::{Fair, Huber, Item, MeasureFn, SampleOutcome, SpaceUsage, StreamSampler, Tukey, L1L2};
+
+/// A truly perfect sampler for any bounded-increment M-estimator measure.
+///
+/// This is a thin, documented wrapper over the generic framework that picks
+/// the instance count of Corollary 3.6.
+#[derive(Debug)]
+pub struct MEstimatorSampler<G: MeasureFn> {
+    inner: TrulyPerfectGSampler<G, MeasureNormalizer<G>>,
+}
+
+impl<G: MeasureFn> MEstimatorSampler<G> {
+    /// Creates a sampler for the measure `g`, sized for streams of roughly
+    /// `expected_length` updates and failure probability `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `δ ∈ (0, 1)`.
+    pub fn new(g: G, expected_length: u64, delta: f64, seed: u64) -> Self {
+        let instances = recommended_instances(&g, expected_length, delta);
+        let normalizer = MeasureNormalizer::new(g.clone());
+        Self { inner: TrulyPerfectGSampler::with_instances(g, normalizer, instances, seed) }
+    }
+
+    /// Number of parallel instances.
+    pub fn instance_count(&self) -> usize {
+        self.inner.instance_count()
+    }
+}
+
+impl<G: MeasureFn> StreamSampler for MEstimatorSampler<G> {
+    fn update(&mut self, item: Item) {
+        self.inner.update(item);
+    }
+
+    fn sample(&mut self) -> SampleOutcome {
+        self.inner.sample()
+    }
+}
+
+impl<G: MeasureFn> SpaceUsage for MEstimatorSampler<G> {
+    fn space_bytes(&self) -> usize {
+        self.inner.space_bytes()
+    }
+}
+
+/// A truly perfect `L_1–L_2` estimator sampler (Corollary 3.6).
+pub type L1L2Sampler = MEstimatorSampler<L1L2>;
+
+/// A truly perfect Fair estimator sampler (Corollary 3.6).
+pub type FairSampler = MEstimatorSampler<Fair>;
+
+/// A truly perfect Huber estimator sampler (Corollary 3.6).
+pub type HuberSampler = MEstimatorSampler<Huber>;
+
+/// Convenience constructors matching the paper's statements.
+impl L1L2Sampler {
+    /// Creates an `L_1–L_2` sampler.
+    pub fn l1l2(expected_length: u64, delta: f64, seed: u64) -> Self {
+        MEstimatorSampler::new(L1L2, expected_length, delta, seed)
+    }
+}
+
+impl FairSampler {
+    /// Creates a Fair-estimator sampler with parameter `τ`.
+    pub fn fair(tau: f64, expected_length: u64, delta: f64, seed: u64) -> Self {
+        MEstimatorSampler::new(Fair::new(tau), expected_length, delta, seed)
+    }
+}
+
+impl HuberSampler {
+    /// Creates a Huber-estimator sampler with parameter `τ`.
+    pub fn huber(tau: f64, expected_length: u64, delta: f64, seed: u64) -> Self {
+        MEstimatorSampler::new(Huber::new(tau), expected_length, delta, seed)
+    }
+}
+
+/// A truly perfect Tukey-biweight sampler built on top of the truly perfect
+/// `F_0` sampler (Theorem 5.4).
+#[derive(Debug)]
+pub struct TukeySampler {
+    g: Tukey,
+    /// Independent F0 samplers, one per retry, so a rejected proposal can be
+    /// retried with fresh randomness.
+    f0_samplers: Vec<TrulyPerfectF0Sampler>,
+    rng: Xoshiro256,
+}
+
+impl TukeySampler {
+    /// Creates a Tukey sampler with parameter `τ` over the universe
+    /// `[0, n)`, with failure probability roughly `delta`.
+    ///
+    /// The number of retries is `O(G(τ)/G(1) · log 1/δ)`, each retry backed
+    /// by an independent `F_0` sampler of `O(√n log n)` bits (Theorem 5.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `δ ∈ (0, 1)` and `n ≥ 1`.
+    pub fn new(tau: f64, n: u64, delta: f64, seed: u64) -> Self {
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        assert!(n >= 1, "universe must be non-empty");
+        let g = Tukey::new(tau);
+        // Acceptance probability per proposal is at least G(1)/G(τ)
+        // (achieved when every nonzero coordinate has frequency 1).
+        let accept_floor = (g.value(1) / g.saturation()).clamp(1e-9, 1.0);
+        let retries = if accept_floor >= 1.0 {
+            1
+        } else {
+            (delta.ln() / (1.0 - accept_floor).ln()).ceil().max(1.0) as usize
+        };
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let f0_samplers = (0..retries)
+            .map(|i| TrulyPerfectF0Sampler::new(n, 0.05, seed.wrapping_add(1 + i as u64)))
+            .collect();
+        let _ = rng.next_u64();
+        Self { g, f0_samplers, rng }
+    }
+
+    /// Number of independent retries (each with its own `F_0` sampler).
+    pub fn retries(&self) -> usize {
+        self.f0_samplers.len()
+    }
+}
+
+impl StreamSampler for TukeySampler {
+    fn update(&mut self, item: Item) {
+        for s in &mut self.f0_samplers {
+            s.update(item);
+        }
+    }
+
+    fn sample(&mut self) -> SampleOutcome {
+        if self.f0_samplers.iter().all(|s| s.processed() == 0) {
+            return SampleOutcome::Empty;
+        }
+        let saturation = self.g.saturation();
+        for idx in 0..self.f0_samplers.len() {
+            let Some((item, frequency)) = self.f0_samplers[idx].sample_with_frequency() else {
+                continue;
+            };
+            let accept = (self.g.value(frequency) / saturation).min(1.0);
+            if self.rng.gen_bool(accept) {
+                return SampleOutcome::Index(item);
+            }
+        }
+        SampleOutcome::Fail
+    }
+}
+
+impl SpaceUsage for TukeySampler {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.f0_samplers.iter().map(SpaceUsage::space_bytes).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_streams::frequency::FrequencyVector;
+    use tps_streams::stats::SampleHistogram;
+
+    fn stream_from(counts: &[(Item, u64)]) -> Vec<Item> {
+        counts.iter().flat_map(|&(i, c)| std::iter::repeat(i).take(c as usize)).collect()
+    }
+
+    fn check_distribution<G, S, B>(g: &G, counts: &[(Item, u64)], build: B, trials: usize, tol: f64)
+    where
+        G: MeasureFn,
+        S: StreamSampler,
+        B: Fn(u64) -> S,
+    {
+        let stream = stream_from(counts);
+        let target = FrequencyVector::from_stream(&stream).g_distribution(g);
+        let mut histogram = SampleHistogram::new();
+        for seed in 0..trials as u64 {
+            let mut sampler = build(seed);
+            sampler.update_all(&stream);
+            histogram.record(sampler.sample());
+        }
+        assert!(histogram.fail_rate() < 0.25, "fail rate {}", histogram.fail_rate());
+        let tv = histogram.tv_distance(&target);
+        assert!(tv < tol, "{}: TV {tv} exceeds {tol}", g.name());
+    }
+
+    #[test]
+    fn l1l2_distribution_is_exact() {
+        let counts = [(1u64, 12u64), (2, 4), (3, 1)];
+        check_distribution(
+            &L1L2,
+            &counts,
+            |seed| L1L2Sampler::l1l2(17, 0.05, 2_000 + seed),
+            5_000,
+            0.04,
+        );
+    }
+
+    #[test]
+    fn fair_distribution_is_exact() {
+        let counts = [(5u64, 10u64), (6, 5), (7, 2)];
+        check_distribution(
+            &Fair::new(2.0),
+            &counts,
+            |seed| FairSampler::fair(2.0, 17, 0.05, 3_000 + seed),
+            5_000,
+            0.04,
+        );
+    }
+
+    #[test]
+    fn huber_distribution_is_exact() {
+        let counts = [(9u64, 8u64), (10, 4), (11, 1)];
+        check_distribution(
+            &Huber::new(3.0),
+            &counts,
+            |seed| HuberSampler::huber(3.0, 13, 0.05, 4_000 + seed),
+            5_000,
+            0.04,
+        );
+    }
+
+    #[test]
+    fn tukey_distribution_is_exact() {
+        // With τ = 6 and frequencies below τ the Tukey weights differ
+        // meaningfully between items, so the acceptance correction is
+        // genuinely exercised.
+        let counts = [(1u64, 1u64), (2, 2), (3, 4)];
+        check_distribution(
+            &Tukey::new(6.0),
+            &counts,
+            |seed| TukeySampler::new(6.0, 64, 0.05, 5_000 + seed),
+            5_000,
+            0.05,
+        );
+    }
+
+    #[test]
+    fn m_estimator_space_is_logarithmic_in_delta_only() {
+        let loose = L1L2Sampler::l1l2(1_000_000, 0.2, 1);
+        let tight = L1L2Sampler::l1l2(1_000_000, 0.001, 1);
+        assert!(loose.instance_count() < tight.instance_count());
+        assert!(tight.instance_count() <= 60, "instances {}", tight.instance_count());
+    }
+
+    #[test]
+    fn tukey_empty_stream_reports_empty() {
+        let mut s = TukeySampler::new(3.0, 16, 0.1, 9);
+        assert_eq!(s.sample(), SampleOutcome::Empty);
+    }
+}

@@ -1,0 +1,415 @@
+//! Truly perfect samplers for random-order streams
+//! (Appendix C: Theorem 1.6 / Algorithm 9 for `L_2`, and Theorem 1.7 /
+//! Algorithm 10 for integer `p > 2`).
+//!
+//! In the random-order model the multiset of updates is adversarial but
+//! their arrival order is a uniformly random permutation. Collisions between
+//! nearby stream positions then carry information about the frequency
+//! moments:
+//!
+//! * **`p = 2`** ([`RandomOrderL2Sampler`]): look at disjoint adjacent
+//!   pairs. A pair is two occurrences of item `i` with probability
+//!   `f_i(f_i−1)/(m(m−1))`; mixing in a `1/m` chance of keeping the first
+//!   element unconditionally "corrects" this to exactly `f_i²/m²`
+//!   (Lemma C.2). Timestamps are kept so the sampler also works over sliding
+//!   windows.
+//! * **integer `p > 2`** ([`RandomOrderLpSampler`]): within blocks of
+//!   `m^{1−1/(p−1)}` consecutive elements, `q`-fold collisions for
+//!   `q = 1..p` are combined with Stirling-number weights so the expected
+//!   number of insertions of item `i` is proportional to `f_i^p`
+//!   (Lemmas C.5–C.7). Following Theorem 1.7, the implementation maintains
+//!   only the per-block frequency counts and simulates the per-level
+//!   insertion counts (with a Poisson draw per item and level, an
+//!   approximation that is accurate because each individual tuple's
+//!   insertion probability is `O(m^{-(p-1)})`).
+
+use std::collections::HashMap;
+use tps_random::{StreamRng, Xoshiro256};
+use tps_streams::space::vec_bytes;
+use tps_streams::{Item, SampleOutcome, SpaceUsage, StreamSampler, Timestamp, WindowSpec};
+
+/// Draws a Poisson random variable with mean `lambda`.
+///
+/// Knuth's product-of-uniforms method for small means, normal approximation
+/// (rounded and clamped at zero) for large means.
+fn poisson<R: StreamRng>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let threshold = (-lambda).exp();
+        let mut count = 0u64;
+        let mut product = 1.0;
+        loop {
+            product *= rng.next_f64().max(f64::MIN_POSITIVE);
+            if product <= threshold {
+                return count;
+            }
+            count += 1;
+        }
+    }
+    // Normal approximation with a Box-Muller draw.
+    let u1 = rng.next_f64().max(f64::MIN_POSITIVE);
+    let u2 = rng.next_f64();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (lambda + lambda.sqrt() * z).round().max(0.0) as u64
+}
+
+/// Stirling numbers of the second kind `S(p, q)` for `q = 0..=p`
+/// (Lemma C.5).
+fn stirling_row(p: u32) -> Vec<f64> {
+    let mut row = vec![0.0f64; p as usize + 1];
+    row[0] = 1.0; // S(0,0) = 1
+    for n in 1..=p {
+        let mut next = vec![0.0f64; p as usize + 1];
+        for (k, value) in next.iter_mut().enumerate().take(n as usize + 1).skip(1) {
+            *value = k as f64 * row[k] + row[k - 1];
+        }
+        row = next;
+    }
+    row
+}
+
+/// The falling factorial `(x)_q = x(x−1)⋯(x−q+1)` as a float.
+fn falling(x: u64, q: u32) -> f64 {
+    let mut acc = 1.0f64;
+    for step in 0..q as u64 {
+        if x <= step {
+            return 0.0;
+        }
+        acc *= (x - step) as f64;
+    }
+    acc
+}
+
+/// The truly perfect `L_2` sampler for random-order streams and sliding
+/// windows (Algorithm 9 / Theorem 1.6).
+#[derive(Debug)]
+pub struct RandomOrderL2Sampler {
+    window: WindowSpec,
+    time: Timestamp,
+    /// First element of the current (not yet complete) pair.
+    pending: Option<(Item, Timestamp)>,
+    /// Sampled (item, timestamp) pairs, capped at `capacity`.
+    samples: Vec<(Item, Timestamp)>,
+    capacity: usize,
+    rng: Xoshiro256,
+}
+
+impl RandomOrderL2Sampler {
+    /// Creates the sampler for windows of `window` updates. For a plain
+    /// (non-windowed) random-order stream pass the stream length as the
+    /// window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: u64, seed: u64) -> Self {
+        let capacity = (4.0 * (window.max(2) as f64).ln()).ceil() as usize + 16;
+        Self {
+            window: WindowSpec::new(window),
+            time: 0,
+            pending: None,
+            samples: Vec::new(),
+            capacity,
+            rng: Xoshiro256::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of currently held (unexpired) samples.
+    pub fn held_samples(&self) -> usize {
+        self.samples.len()
+    }
+
+    fn expire(&mut self) {
+        let window = self.window;
+        let time = self.time;
+        self.samples.retain(|&(_, ts)| window.is_active(ts, time));
+    }
+}
+
+impl StreamSampler for RandomOrderL2Sampler {
+    fn update(&mut self, item: Item) {
+        self.time += 1;
+        match self.pending.take() {
+            None => {
+                self.pending = Some((item, self.time));
+            }
+            Some((first, first_ts)) => {
+                // Correction step of Lemma C.2: keep the first element with
+                // probability 1/W; otherwise keep it only on a collision.
+                let keep = if self.rng.gen_bool(1.0 / self.window.width as f64) {
+                    true
+                } else {
+                    first == item
+                };
+                if keep {
+                    self.samples.push((first, first_ts));
+                }
+            }
+        }
+        self.expire();
+        if self.samples.len() > 2 * self.capacity {
+            // Drop a uniformly random half to respect the space budget.
+            while self.samples.len() > self.capacity {
+                let idx = self.rng.gen_index(self.samples.len());
+                self.samples.swap_remove(idx);
+            }
+        }
+    }
+
+    fn sample(&mut self) -> SampleOutcome {
+        if self.time == 0 {
+            return SampleOutcome::Empty;
+        }
+        if self.samples.is_empty() {
+            return SampleOutcome::Fail;
+        }
+        let idx = self.rng.gen_index(self.samples.len());
+        SampleOutcome::Index(self.samples[idx].0)
+    }
+}
+
+impl SpaceUsage for RandomOrderL2Sampler {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + vec_bytes(&self.samples)
+    }
+}
+
+/// The truly perfect `L_p` sampler for integer `p > 2` on random-order
+/// insertion-only streams (Algorithm 10 / Theorem 1.7), in the
+/// frequency-per-block formulation with simulated collision counts.
+#[derive(Debug)]
+pub struct RandomOrderLpSampler {
+    p: u32,
+    /// Anticipated stream length `m` (the paper's `W`): needed for the level
+    /// weights. The sampler remains correct for other lengths; only its
+    /// success probability degrades.
+    stream_length: u64,
+    block_size: u64,
+    stirling: Vec<f64>,
+    /// Frequencies within the current (incomplete) block.
+    block_counts: HashMap<Item, u64>,
+    in_block: u64,
+    samples: Vec<Item>,
+    capacity: usize,
+    time: Timestamp,
+    rng: Xoshiro256,
+}
+
+impl RandomOrderLpSampler {
+    /// Creates the sampler for integer `p ≥ 3` on a random-order stream of
+    /// (roughly) `stream_length` updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p ≥ 3` and `stream_length ≥ 2`.
+    pub fn new(p: u32, stream_length: u64, seed: u64) -> Self {
+        assert!(p >= 3, "use RandomOrderL2Sampler for p = 2");
+        assert!(stream_length >= 2, "stream length must be at least 2");
+        let exponent = 1.0 - 1.0 / (p as f64 - 1.0);
+        let block_size = (stream_length as f64).powf(exponent).ceil().max(p as f64) as u64;
+        let capacity = (2.0 * (block_size as f64)).ceil() as usize + 16;
+        Self {
+            p,
+            stream_length,
+            block_size,
+            stirling: stirling_row(p),
+            block_counts: HashMap::new(),
+            in_block: 0,
+            samples: Vec::new(),
+            capacity,
+            time: 0,
+            rng: Xoshiro256::seed_from_u64(seed),
+        }
+    }
+
+    /// The block size `m^{1−1/(p−1)}` used by the sampler.
+    pub fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    /// Processes a completed block: simulate the level-weighted collision
+    /// insertions of Algorithm 10 from the block's frequency counts.
+    fn flush_block(&mut self) {
+        let m = self.stream_length as f64;
+        let b = self.block_size;
+        for (&item, &count) in &self.block_counts {
+            // λ = (B/m²) · Σ_q S(p,q) · (g_j)_q · (m)_q / (B)_q, whose
+            // expectation over the random order is (B/m²)·f_j^p; summed over
+            // the m/B blocks this is f_j^p/m, matching Lemma C.7.
+            let mut weighted = 0.0;
+            for q in 1..=self.p {
+                let numerator = falling(self.stream_length, q);
+                let denominator = falling(b, q);
+                if denominator == 0.0 {
+                    continue;
+                }
+                weighted += self.stirling[q as usize] * falling(count, q) * numerator / denominator;
+            }
+            let lambda = (b as f64 / (m * m)) * weighted;
+            let insertions = poisson(&mut self.rng, lambda.min(4.0 * self.capacity as f64));
+            for _ in 0..insertions {
+                self.samples.push(item);
+            }
+        }
+        self.block_counts.clear();
+        self.in_block = 0;
+        if self.samples.len() > 2 * self.capacity {
+            while self.samples.len() > self.capacity {
+                let idx = self.rng.gen_index(self.samples.len());
+                self.samples.swap_remove(idx);
+            }
+        }
+    }
+}
+
+impl StreamSampler for RandomOrderLpSampler {
+    fn update(&mut self, item: Item) {
+        self.time += 1;
+        *self.block_counts.entry(item).or_insert(0) += 1;
+        self.in_block += 1;
+        if self.in_block == self.block_size {
+            self.flush_block();
+        }
+    }
+
+    fn sample(&mut self) -> SampleOutcome {
+        if self.time == 0 {
+            return SampleOutcome::Empty;
+        }
+        if self.in_block > 0 {
+            self.flush_block();
+        }
+        if self.samples.is_empty() {
+            return SampleOutcome::Fail;
+        }
+        let idx = self.rng.gen_index(self.samples.len());
+        SampleOutcome::Index(self.samples[idx])
+    }
+}
+
+impl SpaceUsage for RandomOrderLpSampler {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + vec_bytes(&self.samples)
+            + tps_streams::space::hashmap_bytes(&self.block_counts)
+            + self.stirling.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_random::default_rng;
+    use tps_streams::frequency::FrequencyVector;
+    use tps_streams::generators::random_order_stream;
+    use tps_streams::stats::SampleHistogram;
+
+    #[test]
+    fn stirling_numbers_are_correct() {
+        // S(3, ·) = [0, 1, 3, 1]; S(4, ·) = [0, 1, 7, 6, 1].
+        assert_eq!(stirling_row(3), vec![0.0, 1.0, 3.0, 1.0]);
+        assert_eq!(stirling_row(4), vec![0.0, 1.0, 7.0, 6.0, 1.0]);
+    }
+
+    #[test]
+    fn stirling_identity_reconstructs_powers() {
+        // Σ_q S(p,q)·(x)_q = x^p (Lemma C.5).
+        for p in [3u32, 4, 5] {
+            let row = stirling_row(p);
+            for x in 0..12u64 {
+                let sum: f64 = (0..=p).map(|q| row[q as usize] * falling(x, q)).sum();
+                assert!((sum - (x as f64).powi(p as i32)).abs() < 1e-6, "p={p}, x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn falling_factorial_edge_cases() {
+        assert_eq!(falling(5, 0), 1.0);
+        assert_eq!(falling(5, 3), 60.0);
+        assert_eq!(falling(2, 3), 0.0);
+    }
+
+    #[test]
+    fn poisson_mean_is_respected() {
+        let mut rng = default_rng(1);
+        for &lambda in &[0.5f64, 5.0, 80.0] {
+            let n = 20_000;
+            let mean: f64 =
+                (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+            assert!((mean / lambda - 1.0).abs() < 0.05, "lambda {lambda}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn l2_random_order_distribution() {
+        let counts = [(1u64, 60u64), (2, 30), (3, 10)];
+        let m: u64 = counts.iter().map(|&(_, c)| c).sum();
+        let target = FrequencyVector::from_counts(&[(1, 60), (2, 30), (3, 10)]).lp_distribution(2.0);
+        let mut order_rng = default_rng(77);
+        let mut histogram = SampleHistogram::new();
+        for seed in 0..6_000u64 {
+            let stream = random_order_stream(&mut order_rng, &counts);
+            let mut s = RandomOrderL2Sampler::new(m, 60_000 + seed);
+            s.update_all(&stream);
+            histogram.record(s.sample());
+        }
+        assert!(
+            histogram.fail_rate() < 1.0 / 3.0 + 0.05,
+            "fail rate {}",
+            histogram.fail_rate()
+        );
+        let tv = histogram.tv_distance(&target);
+        assert!(tv < 0.08, "TV {tv}");
+    }
+
+    #[test]
+    fn l2_sampler_space_is_logarithmic() {
+        let mut s = RandomOrderL2Sampler::new(1_000_000, 5);
+        let mut rng = default_rng(3);
+        for _ in 0..20_000 {
+            s.update(rng.gen_range(100));
+        }
+        assert!(s.held_samples() <= 2 * ((4.0 * (1_000_000f64).ln()) as usize + 16));
+        assert!(s.space_bytes() < 16_384);
+    }
+
+    #[test]
+    fn l3_random_order_distribution() {
+        let counts = [(1u64, 40u64), (2, 20), (3, 10)];
+        let m: u64 = counts.iter().map(|&(_, c)| c).sum();
+        let target =
+            FrequencyVector::from_counts(&[(1, 40), (2, 20), (3, 10)]).lp_distribution(3.0);
+        let mut order_rng = default_rng(99);
+        let mut histogram = SampleHistogram::new();
+        for seed in 0..6_000u64 {
+            let stream = random_order_stream(&mut order_rng, &counts);
+            let mut s = RandomOrderLpSampler::new(3, m, 70_000 + seed);
+            s.update_all(&stream);
+            histogram.record(s.sample());
+        }
+        assert!(
+            histogram.fail_rate() < 1.0 / 3.0 + 0.05,
+            "fail rate {}",
+            histogram.fail_rate()
+        );
+        let tv = histogram.tv_distance(&target);
+        assert!(tv < 0.1, "TV {tv}");
+    }
+
+    #[test]
+    fn empty_stream_reports_empty() {
+        let mut l2 = RandomOrderL2Sampler::new(10, 1);
+        assert_eq!(l2.sample(), SampleOutcome::Empty);
+        let mut l3 = RandomOrderLpSampler::new(3, 10, 1);
+        assert_eq!(l3.sample(), SampleOutcome::Empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "use RandomOrderL2Sampler")]
+    fn p_two_is_rejected_by_lp_sampler() {
+        let _ = RandomOrderLpSampler::new(2, 100, 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Algorithm 1 of the paper: `Sampler` — reservoir-sample one stream
+//! position and count how many times the sampled item appears afterwards.
+//!
+//! A single unit uses `O(log n)` bits (the sampled item, its timestamp, and a
+//! counter) and is the building block of every sampler in the framework. The
+//! framework ([`crate::framework`]) runs many units in parallel and shares
+//! the suffix counting across them; this standalone version keeps its own
+//! counter and is used directly where only a handful of units are needed
+//! (sliding-window cohorts, tests, and the matrix sampler).
+
+use tps_random::StreamRng;
+use tps_streams::{Item, SpaceUsage, Timestamp};
+
+/// The state of one Algorithm-1 sampler unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SamplerUnit {
+    /// The currently held sample, with the 1-based position at which it was
+    /// admitted.
+    sample: Option<(Item, Timestamp)>,
+    /// Number of occurrences of the sampled item *after* its admission.
+    suffix_count: u64,
+    /// Number of stream updates offered so far.
+    seen: u64,
+}
+
+impl SamplerUnit {
+    /// Creates an empty unit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of updates offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The held sample `(item, timestamp)`, if any.
+    pub fn sample(&self) -> Option<(Item, Timestamp)> {
+        self.sample
+    }
+
+    /// The number of occurrences of the sampled item after its admission
+    /// (the counter `c` of Algorithm 1).
+    pub fn suffix_count(&self) -> u64 {
+        self.suffix_count
+    }
+
+    /// Processes one stream update (one reservoir coin per update).
+    pub fn update<R: StreamRng>(&mut self, rng: &mut R, item: Item) {
+        self.seen += 1;
+        // Reservoir sampling: replace the held sample with probability 1/seen.
+        if rng.gen_range(self.seen) == 0 {
+            self.sample = Some((item, self.seen));
+            self.suffix_count = 0;
+            return;
+        }
+        if let Some((held, _)) = self.sample {
+            if held == item {
+                self.suffix_count += 1;
+            }
+        }
+    }
+
+    /// Resets the unit to its initial state.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+impl SpaceUsage for SamplerUnit {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_random::default_rng;
+
+    #[test]
+    fn empty_unit_has_no_sample() {
+        let unit = SamplerUnit::new();
+        assert_eq!(unit.sample(), None);
+        assert_eq!(unit.suffix_count(), 0);
+        assert_eq!(unit.seen(), 0);
+    }
+
+    #[test]
+    fn sampled_position_is_uniform() {
+        let mut rng = default_rng(1);
+        let m = 12u64;
+        let trials = 60_000;
+        let mut counts = vec![0u64; m as usize];
+        for _ in 0..trials {
+            let mut unit = SamplerUnit::new();
+            for pos in 0..m {
+                unit.update(&mut rng, pos);
+            }
+            let (item, ts) = unit.sample().unwrap();
+            assert_eq!(item, ts - 1, "item encodes its own position in this test");
+            counts[item as usize] += 1;
+        }
+        let expected = trials as f64 / m as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 / expected - 1.0).abs() < 0.12,
+                "position {i} sampled {c} times"
+            );
+        }
+    }
+
+    #[test]
+    fn suffix_count_matches_occurrences_after_sample() {
+        // Deterministic check: replay the stream and verify the counter
+        // against a brute-force recount for whatever position was sampled.
+        let mut rng = default_rng(2);
+        let stream = [5u64, 9, 5, 5, 7, 5, 9, 5];
+        for _ in 0..200 {
+            let mut unit = SamplerUnit::new();
+            for &x in &stream {
+                unit.update(&mut rng, x);
+            }
+            let (item, ts) = unit.sample().unwrap();
+            let expected = stream[ts as usize..].iter().filter(|&&x| x == item).count() as u64;
+            assert_eq!(unit.suffix_count(), expected);
+        }
+    }
+
+    #[test]
+    fn telescoping_identity_gives_lp_distribution() {
+        // The heart of the framework: output the sampled item with
+        // probability proportional to G(c+1) - G(c). Empirically this must
+        // give the |f_i|^p / F_p distribution. Checked here for p = 2 on a
+        // tiny stream so the unit itself is validated end-to-end.
+        use std::collections::HashMap;
+        let stream = [1u64, 1, 1, 1, 2, 2, 3];
+        let p = 2.0f64;
+        let zeta = 2.0 * (4.0f64).powf(p - 1.0); // 2·‖f‖_∞^{p-1}
+        let mut rng = default_rng(3);
+        let mut hits: HashMap<u64, u64> = HashMap::new();
+        let trials = 200_000;
+        for _ in 0..trials {
+            let mut unit = SamplerUnit::new();
+            for &x in &stream {
+                unit.update(&mut rng, x);
+            }
+            let (item, _) = unit.sample().unwrap();
+            let c = unit.suffix_count() as f64;
+            let accept = ((c + 1.0).powf(p) - c.powf(p)) / zeta;
+            if rng.gen_bool(accept) {
+                *hits.entry(item).or_insert(0) += 1;
+            }
+        }
+        let total: u64 = hits.values().sum();
+        let fp = 16.0 + 4.0 + 1.0;
+        for (item, expected_mass) in [(1u64, 16.0 / fp), (2, 4.0 / fp), (3, 1.0 / fp)] {
+            let observed = *hits.get(&item).unwrap_or(&0) as f64 / total as f64;
+            assert!(
+                (observed - expected_mass).abs() < 0.02,
+                "item {item}: observed {observed}, expected {expected_mass}"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut rng = default_rng(4);
+        let mut unit = SamplerUnit::new();
+        unit.update(&mut rng, 1);
+        unit.reset();
+        assert_eq!(unit, SamplerUnit::new());
+    }
+}

@@ -1,0 +1,434 @@
+//! Truly perfect samplers for the sliding-window model
+//! (Section 4: Algorithm 4 / Theorem 4.1 / Corollary 4.2, and Algorithm 6 /
+//! the sliding-window part of Theorem 1.4).
+//!
+//! In the sliding-window model only the `W` most recent updates are active.
+//! The construction keeps *cohorts* of Algorithm-1 sampler units, starting a
+//! fresh cohort every `W` updates and retaining the two most recent ones.
+//! At query time the older of the two cohorts has seen every active update
+//! (its suffix has length at most `2W`), so:
+//!
+//! * a unit whose sampled timestamp falls inside the window is a uniform
+//!   sample of the window's positions (conditioned on being active, which
+//!   happens with probability at least 1/2), and
+//! * all occurrences counted after that timestamp are themselves active, so
+//!   the usual telescoping rejection step applies unchanged.
+//!
+//! For bounded-increment measures (the M-estimators of Corollary 4.2) the
+//! rejection normaliser is the closed-form `ζ`; for `L_p` with `p ∈ (1, 2]`
+//! (Algorithm 6) it is `p·F^{p−1}` where `F` is the sliding-window `L_p`
+//! norm estimate maintained by a smooth histogram
+//! ([`tps_window::SlidingWindowLpEstimate`], Theorem A.5). The estimate is
+//! randomized, so — exactly as in the paper — the `L_p` variant's guarantee
+//! is conditioned on the estimator's high-probability correctness event,
+//! while the M-estimator variant is unconditionally truly perfect.
+
+use crate::sampler_unit::SamplerUnit;
+use tps_random::{StreamRng, Xoshiro256};
+use tps_streams::{
+    Item, MeasureFn, SampleOutcome, SlidingWindowSampler, SpaceUsage, Timestamp, WindowSpec,
+};
+use tps_window::SlidingWindowLpEstimate;
+
+/// A cohort of sampler units all started at the same stream position.
+#[derive(Debug, Clone)]
+struct Cohort {
+    /// 1-based stream position of the first update this cohort has seen.
+    start: Timestamp,
+    units: Vec<SamplerUnit>,
+}
+
+impl Cohort {
+    fn new(start: Timestamp, size: usize) -> Self {
+        Self { start, units: vec![SamplerUnit::new(); size] }
+    }
+
+    fn update<R: StreamRng>(&mut self, rng: &mut R, item: Item) {
+        for unit in &mut self.units {
+            unit.update(rng, item);
+        }
+    }
+
+    /// Absolute timestamp of a unit's sample.
+    fn absolute_timestamp(&self, unit: &SamplerUnit) -> Option<Timestamp> {
+        unit.sample().map(|(_, local)| self.start - 1 + local)
+    }
+}
+
+/// Shared cohort management for both sliding-window samplers.
+#[derive(Debug)]
+struct CohortManager {
+    window: WindowSpec,
+    per_cohort: usize,
+    cohorts: Vec<Cohort>,
+    time: Timestamp,
+    rng: Xoshiro256,
+}
+
+impl CohortManager {
+    fn new(window: u64, per_cohort: usize, seed: u64) -> Self {
+        Self {
+            window: WindowSpec::new(window),
+            per_cohort,
+            cohorts: Vec::new(),
+            time: 0,
+            rng: Xoshiro256::seed_from_u64(seed),
+        }
+    }
+
+    fn update(&mut self, item: Item) {
+        self.time += 1;
+        // Start a fresh cohort every W updates (at positions 1, W+1, 2W+1, …)
+        // and keep only the two most recent.
+        if (self.time - 1) % self.window.width == 0 {
+            self.cohorts.push(Cohort::new(self.time, self.per_cohort));
+            if self.cohorts.len() > 2 {
+                self.cohorts.remove(0);
+            }
+        }
+        for cohort in &mut self.cohorts {
+            cohort.update(&mut self.rng, item);
+        }
+    }
+
+    /// The cohort that has seen every active update: the most recent cohort
+    /// whose start is at or before the window start.
+    fn covering_cohort(&self) -> Option<&Cohort> {
+        let window_start = self.window.earliest_active(self.time);
+        self.cohorts.iter().rev().find(|c| c.start <= window_start)
+    }
+
+    /// Active `(item, suffix_count)` pairs of the covering cohort's units.
+    fn active_candidates(&self) -> Vec<(Item, u64)> {
+        let Some(cohort) = self.covering_cohort() else { return Vec::new() };
+        cohort
+            .units
+            .iter()
+            .filter_map(|unit| {
+                let (item, _) = unit.sample()?;
+                let ts = cohort.absolute_timestamp(unit)?;
+                if self.window.is_active(ts, self.time) {
+                    Some((item, unit.suffix_count()))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .cohorts
+                .iter()
+                .map(|c| c.units.capacity() * std::mem::size_of::<SamplerUnit>())
+                .sum::<usize>()
+    }
+}
+
+/// The truly perfect sliding-window `G`-sampler for bounded-increment
+/// measures (Algorithm 4 / Theorem 4.1 / Corollary 4.2).
+#[derive(Debug)]
+pub struct SlidingWindowGSampler<G: MeasureFn> {
+    g: G,
+    manager: CohortManager,
+}
+
+impl<G: MeasureFn> SlidingWindowGSampler<G> {
+    /// Creates the sampler for windows of `window` updates with failure
+    /// probability at most `delta`.
+    ///
+    /// The per-cohort instance count follows Theorem 4.1:
+    /// `O(ζ·W/F̂_G(W) · log 1/δ)`, with an extra factor 2 because a unit's
+    /// sample is active only with probability at least 1/2.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `window ≥ 1` and `δ ∈ (0, 1)`.
+    pub fn new(g: G, window: u64, delta: f64, seed: u64) -> Self {
+        assert!(window >= 1, "window must be positive");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let zeta = g.increment_bound(window).max(f64::MIN_POSITIVE);
+        let fg = g.fg_lower_bound(window).max(f64::MIN_POSITIVE);
+        // Success probability per unit ≥ (1/2)·F_G/(ζ·2W) ≥ fg/(4·ζ·W).
+        let per_unit = (fg / (4.0 * zeta * window as f64)).clamp(1e-12, 1.0);
+        let per_cohort = if per_unit >= 1.0 {
+            1
+        } else {
+            (delta.ln() / (1.0 - per_unit).ln()).ceil().max(1.0) as usize
+        };
+        Self { g, manager: CohortManager::new(window, per_cohort, seed) }
+    }
+
+    /// Number of sampler units per cohort.
+    pub fn units_per_cohort(&self) -> usize {
+        self.manager.per_cohort
+    }
+}
+
+impl<G: MeasureFn> SlidingWindowSampler for SlidingWindowGSampler<G> {
+    fn update(&mut self, item: Item) {
+        self.manager.update(item);
+    }
+
+    fn sample(&mut self) -> SampleOutcome {
+        if self.manager.time == 0 {
+            return SampleOutcome::Empty;
+        }
+        let zeta = self.g.increment_bound(self.manager.window.width);
+        if !(zeta > 0.0) {
+            return SampleOutcome::Fail;
+        }
+        let candidates = self.manager.active_candidates();
+        for (item, c) in candidates {
+            let accept = (self.g.value(c + 1) - self.g.value(c)) / zeta;
+            if self.manager.rng.gen_bool(accept) {
+                return SampleOutcome::Index(item);
+            }
+        }
+        SampleOutcome::Fail
+    }
+
+    fn window(&self) -> u64 {
+        self.manager.window.width
+    }
+}
+
+impl<G: MeasureFn> SpaceUsage for SlidingWindowGSampler<G> {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.manager.space_bytes()
+    }
+}
+
+/// The truly perfect sliding-window `L_p` sampler for `p ∈ (1, 2]`
+/// (Algorithm 6 / Theorem 1.4, sliding-window part).
+#[derive(Debug)]
+pub struct SlidingWindowLpSampler {
+    p: f64,
+    manager: CohortManager,
+    estimate: SlidingWindowLpEstimate,
+}
+
+impl SlidingWindowLpSampler {
+    /// Creates the sampler for windows of `window` updates with failure
+    /// probability roughly `delta` (conditioned on the window-norm
+    /// estimator's success, as in the paper).
+    ///
+    /// The per-cohort unit count is `O(W^{1−1/p} log 1/δ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p ∈ (1, 2]`, `window ≥ 1` and `δ ∈ (0, 1)`.
+    pub fn new(p: f64, window: u64, delta: f64, seed: u64) -> Self {
+        Self::with_estimator_size(p, window, delta, 3, 80, seed)
+    }
+
+    /// Like [`SlidingWindowLpSampler::new`] but with an explicit size
+    /// (`rows × cols` AMS units per smooth-histogram checkpoint) for the
+    /// window-norm estimator. Smaller estimators are cheaper but give a
+    /// looser normaliser, which only affects the failure probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p ∈ (1, 2]`, `window ≥ 1` and `δ ∈ (0, 1)`.
+    pub fn with_estimator_size(
+        p: f64,
+        window: u64,
+        delta: f64,
+        estimator_rows: usize,
+        estimator_cols: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(p > 1.0 && p <= 2.0, "sliding-window Lp sampler requires p in (1, 2]");
+        assert!(window >= 1, "window must be positive");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        // Success probability per unit ≥ 1/(2·p·2^{p-1}·W^{1-1/p})
+        // (Theorem 1.4 with the extra 1/2 for window activity).
+        let pool = (window as f64).powf(1.0 - 1.0 / p).max(1.0);
+        let per_unit = (1.0 / (2.0 * p * 2f64.powf(p - 1.0) * pool)).clamp(1e-12, 1.0);
+        let per_cohort = if per_unit >= 1.0 {
+            1
+        } else {
+            (delta.ln() / (1.0 - per_unit).ln()).ceil().max(1.0) as usize
+        };
+        let estimate = SlidingWindowLpEstimate::new(
+            p,
+            window,
+            estimator_rows,
+            estimator_cols,
+            Xoshiro256::seed_from_u64(seed ^ 0x5EED),
+        );
+        Self { p, manager: CohortManager::new(window, per_cohort, seed), estimate }
+    }
+
+    /// Number of sampler units per cohort.
+    pub fn units_per_cohort(&self) -> usize {
+        self.manager.per_cohort
+    }
+
+    /// The exponent `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl SlidingWindowSampler for SlidingWindowLpSampler {
+    fn update(&mut self, item: Item) {
+        self.manager.update(item);
+        self.estimate.update(item);
+    }
+
+    fn sample(&mut self) -> SampleOutcome {
+        if self.manager.time == 0 {
+            return SampleOutcome::Empty;
+        }
+        let norm = self.estimate.lp_estimate().max(1.0);
+        let zeta = self.p * norm.powf(self.p - 1.0);
+        let candidates = self.manager.active_candidates();
+        for (item, c) in candidates {
+            let c = c as f64;
+            let accept = (((c + 1.0).powf(self.p) - c.powf(self.p)) / zeta).min(1.0);
+            if self.manager.rng.gen_bool(accept) {
+                return SampleOutcome::Index(item);
+            }
+        }
+        SampleOutcome::Fail
+    }
+
+    fn window(&self) -> u64 {
+        self.manager.window.width
+    }
+}
+
+impl SpaceUsage for SlidingWindowLpSampler {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.manager.space_bytes() + self.estimate.space_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_streams::frequency::FrequencyVector;
+    use tps_streams::stats::SampleHistogram;
+    use tps_streams::{Huber, Lp};
+
+    /// A stream whose window content differs sharply from its prefix, so any
+    /// failure to expire old items shows up as sampling mass on items that
+    /// should be gone.
+    fn two_phase_stream(window: usize) -> Vec<Item> {
+        let mut stream = Vec::new();
+        // Old phase: heavy on items 1..=3.
+        for t in 0..(3 * window) {
+            stream.push((t % 3) as u64 + 1);
+        }
+        // Active phase (exactly one window): items 10..=13, skewed.
+        for t in 0..window {
+            let item = match t % 8 {
+                0..=4 => 10u64,
+                5 | 6 => 11,
+                _ => 12,
+            };
+            stream.push(item);
+        }
+        stream
+    }
+
+    #[test]
+    fn huber_window_sampler_matches_window_distribution() {
+        let window = 100usize;
+        let stream = two_phase_stream(window);
+        let g = Huber::new(2.0);
+        let target = FrequencyVector::from_window(&stream, WindowSpec::new(window as u64))
+            .g_distribution(&g);
+        let mut histogram = SampleHistogram::new();
+        for seed in 0..2_500u64 {
+            let mut s = SlidingWindowGSampler::new(g.clone(), window as u64, 0.15, 30_000 + seed);
+            for &x in &stream {
+                SlidingWindowSampler::update(&mut s, x);
+            }
+            histogram.record(SlidingWindowSampler::sample(&mut s));
+        }
+        assert!(histogram.fail_rate() < 0.15, "fail rate {}", histogram.fail_rate());
+        // No expired item may ever be reported.
+        for expired in [1u64, 2, 3] {
+            assert_eq!(histogram.count(expired), 0, "expired item {expired} was sampled");
+        }
+        let tv = histogram.tv_distance(&target);
+        assert!(tv < 0.05, "TV {tv}");
+    }
+
+    #[test]
+    fn l1_window_sampler_via_g_framework() {
+        // Lp with p = 1 has constant increments, so it can run through the
+        // bounded-increment sliding-window sampler and must reproduce the
+        // window's frequency distribution.
+        let window = 120usize;
+        let stream = two_phase_stream(window);
+        let g = Lp::new(1.0);
+        let target = FrequencyVector::from_window(&stream, WindowSpec::new(window as u64))
+            .lp_distribution(1.0);
+        let mut histogram = SampleHistogram::new();
+        for seed in 0..3_000u64 {
+            let mut s = SlidingWindowGSampler::new(g.clone(), window as u64, 0.1, 40_000 + seed);
+            for &x in &stream {
+                SlidingWindowSampler::update(&mut s, x);
+            }
+            histogram.record(SlidingWindowSampler::sample(&mut s));
+        }
+        assert!(histogram.fail_rate() < 0.1);
+        assert!(histogram.tv_distance(&target) < 0.05);
+    }
+
+    #[test]
+    fn l2_window_sampler_matches_window_distribution() {
+        let window = 48usize;
+        let stream = two_phase_stream(window);
+        let target = FrequencyVector::from_window(&stream, WindowSpec::new(window as u64))
+            .lp_distribution(2.0);
+        let mut histogram = SampleHistogram::new();
+        for seed in 0..600u64 {
+            let mut s = SlidingWindowLpSampler::with_estimator_size(
+                2.0,
+                window as u64,
+                0.1,
+                2,
+                12,
+                50_000 + seed,
+            );
+            for &x in &stream {
+                SlidingWindowSampler::update(&mut s, x);
+            }
+            histogram.record(SlidingWindowSampler::sample(&mut s));
+        }
+        assert!(histogram.fail_rate() < 0.2, "fail rate {}", histogram.fail_rate());
+        for expired in [1u64, 2, 3] {
+            assert_eq!(histogram.count(expired), 0, "expired item {expired} was sampled");
+        }
+        let tv = histogram.tv_distance(&target);
+        assert!(tv < 0.1, "TV {tv}");
+    }
+
+    #[test]
+    fn empty_stream_reports_empty() {
+        let mut g = SlidingWindowGSampler::new(Huber::new(1.0), 10, 0.1, 1);
+        assert_eq!(SlidingWindowSampler::sample(&mut g), SampleOutcome::Empty);
+        let mut lp = SlidingWindowLpSampler::new(2.0, 10, 0.1, 1);
+        assert_eq!(SlidingWindowSampler::sample(&mut lp), SampleOutcome::Empty);
+    }
+
+    #[test]
+    fn window_accessor_reports_width() {
+        let g = SlidingWindowGSampler::new(Huber::new(1.0), 77, 0.1, 1);
+        assert_eq!(SlidingWindowSampler::window(&g), 77);
+    }
+
+    #[test]
+    fn unit_count_grows_with_window_for_lp() {
+        let small = SlidingWindowLpSampler::new(2.0, 64, 0.2, 1).units_per_cohort();
+        let large = SlidingWindowLpSampler::new(2.0, 4_096, 0.2, 1).units_per_cohort();
+        let ratio = large as f64 / small as f64;
+        // sqrt scaling: (4096/64)^{1/2} = 8.
+        assert!((4.0..16.0).contains(&ratio), "ratio {ratio}");
+    }
+}

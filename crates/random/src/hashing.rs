@@ -1,0 +1,288 @@
+//! Hash families used as randomness substrates.
+//!
+//! Three families are provided:
+//!
+//! * [`MultiplyShiftHash`] — 2-universal multiply-shift hashing, the cheapest
+//!   option, used to place sampled items into the shared offsets table that
+//!   gives the framework its `O(1)` expected update time (Theorem 3.1).
+//! * [`KWiseHash`] — `k`-wise independent polynomial hashing over the
+//!   Mersenne prime `2^61 - 1`, used by the CountMin / CountSketch / AMS
+//!   substrates which need limited-independence guarantees.
+//! * [`TabulationHash`] — simple tabulation hashing, used where a "random
+//!   oracle like" hash with strong empirical behaviour is wanted (e.g. the
+//!   random-oracle `F_0` sampler of Remark 5.1, which we reproduce only as a
+//!   comparator).
+
+use crate::{StreamRng, Xoshiro256};
+
+/// The Mersenne prime 2^61 - 1 used as the field for polynomial hashing.
+pub const MERSENNE_61: u64 = (1u64 << 61) - 1;
+
+/// Reduces a 128-bit product modulo the Mersenne prime 2^61 - 1.
+#[inline]
+fn mod_mersenne61(x: u128) -> u64 {
+    // x = hi * 2^61 + lo  ≡  hi + lo (mod 2^61 - 1)
+    let lo = (x as u64) & MERSENNE_61;
+    let hi = (x >> 61) as u64;
+    let mut r = lo + hi;
+    if r >= MERSENNE_61 {
+        r -= MERSENNE_61;
+    }
+    r
+}
+
+/// A 2-universal multiply-shift hash function mapping `u64` keys to
+/// `[0, 2^out_bits)`.
+///
+/// Uses the Dietzfelbinger et al. scheme: `h(x) = ((a * x + b) >> (64 -
+/// out_bits))` with odd `a`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiplyShiftHash {
+    a: u64,
+    b: u64,
+    out_bits: u32,
+}
+
+impl MultiplyShiftHash {
+    /// Draws a fresh function with `out_bits` output bits (`1..=64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out_bits` is zero or larger than 64.
+    pub fn new<R: StreamRng>(rng: &mut R, out_bits: u32) -> Self {
+        assert!(out_bits >= 1 && out_bits <= 64, "out_bits must be in 1..=64");
+        Self {
+            a: rng.next_u64() | 1,
+            b: rng.next_u64(),
+            out_bits,
+        }
+    }
+
+    /// Number of output bits.
+    pub fn out_bits(&self) -> u32 {
+        self.out_bits
+    }
+
+    /// Hashes a key into `[0, 2^out_bits)`.
+    #[inline]
+    pub fn hash(&self, key: u64) -> u64 {
+        let v = self.a.wrapping_mul(key).wrapping_add(self.b);
+        if self.out_bits == 64 {
+            v
+        } else {
+            v >> (64 - self.out_bits)
+        }
+    }
+
+    /// Hashes a key into `[0, buckets)` (for arbitrary, not necessarily
+    /// power-of-two, bucket counts).
+    #[inline]
+    pub fn bucket(&self, key: u64, buckets: usize) -> usize {
+        debug_assert!(buckets > 0);
+        // Map the out_bits-bit hash to [0, buckets) with the multiply-shift
+        // trick (unbiased enough for bucket placement).
+        let h = self.hash(key);
+        let width = if self.out_bits == 64 { u64::MAX } else { (1u64 << self.out_bits) - 1 };
+        ((h as u128 * buckets as u128) / (width as u128 + 1)) as usize
+    }
+}
+
+/// A `k`-wise independent hash family based on degree-(k-1) polynomials over
+/// the field `GF(2^61 - 1)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KWiseHash {
+    /// Polynomial coefficients, lowest degree first. Length = independence k.
+    coefficients: Vec<u64>,
+}
+
+impl KWiseHash {
+    /// Draws a fresh `k`-wise independent function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new<R: StreamRng>(rng: &mut R, k: usize) -> Self {
+        assert!(k >= 1, "independence k must be at least 1");
+        let coefficients = (0..k).map(|_| rng.gen_range(MERSENNE_61)).collect();
+        Self { coefficients }
+    }
+
+    /// The independence parameter `k` of this function.
+    pub fn independence(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// Evaluates the polynomial at `key`, producing a value in
+    /// `[0, 2^61 - 1)`.
+    #[inline]
+    pub fn hash(&self, key: u64) -> u64 {
+        let x = key % MERSENNE_61;
+        let mut acc: u64 = 0;
+        // Horner evaluation, highest degree first.
+        for &c in self.coefficients.iter().rev() {
+            acc = mod_mersenne61((acc as u128) * (x as u128) + c as u128);
+        }
+        acc
+    }
+
+    /// Hashes into `[0, buckets)`.
+    #[inline]
+    pub fn bucket(&self, key: u64, buckets: usize) -> usize {
+        debug_assert!(buckets > 0);
+        (self.hash(key) % buckets as u64) as usize
+    }
+
+    /// Hashes to a uniform sign in `{-1, +1}` (used by CountSketch / AMS).
+    #[inline]
+    pub fn sign(&self, key: u64) -> i64 {
+        if self.hash(key) & 1 == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Hashes into the unit interval `[0, 1)` (used by the random-oracle
+    /// min-hash `F_0` sampler comparator).
+    #[inline]
+    pub fn unit(&self, key: u64) -> f64 {
+        self.hash(key) as f64 / MERSENNE_61 as f64
+    }
+}
+
+/// Simple tabulation hashing over 8 byte-indexed tables.
+///
+/// Tabulation hashing is 3-independent but behaves like a much stronger hash
+/// in practice (Patrascu–Thorup); it is the stand-in for the random oracle of
+/// Remark 5.1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TabulationHash {
+    tables: Box<[[u64; 256]; 8]>,
+}
+
+impl TabulationHash {
+    /// Draws a fresh tabulation hash function (8 tables of 256 words, 16 KiB).
+    pub fn new<R: StreamRng>(rng: &mut R) -> Self {
+        let mut tables = Box::new([[0u64; 256]; 8]);
+        for table in tables.iter_mut() {
+            for entry in table.iter_mut() {
+                *entry = rng.next_u64();
+            }
+        }
+        Self { tables }
+    }
+
+    /// Creates a tabulation hash deterministically from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        Self::new(&mut rng)
+    }
+
+    /// Hashes a 64-bit key to a 64-bit value.
+    #[inline]
+    pub fn hash(&self, key: u64) -> u64 {
+        let bytes = key.to_le_bytes();
+        let mut h = 0u64;
+        for (i, &b) in bytes.iter().enumerate() {
+            h ^= self.tables[i][b as usize];
+        }
+        h
+    }
+
+    /// Hashes a key into the unit interval `[0, 1)`.
+    #[inline]
+    pub fn unit(&self, key: u64) -> f64 {
+        const SCALE: f64 = 1.0 / ((1u64 << 53) as f64);
+        (self.hash(key) >> 11) as f64 * SCALE
+    }
+
+    /// Hashes into `[0, buckets)`.
+    #[inline]
+    pub fn bucket(&self, key: u64, buckets: usize) -> usize {
+        debug_assert!(buckets > 0);
+        ((self.hash(key) as u128 * buckets as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::default_rng;
+
+    #[test]
+    fn mersenne_reduction_matches_naive() {
+        for x in [0u128, 1, MERSENNE_61 as u128, (MERSENNE_61 as u128) * 17 + 5, u128::from(u64::MAX) * 3] {
+            assert_eq!(mod_mersenne61(x) as u128, x % MERSENNE_61 as u128);
+        }
+    }
+
+    #[test]
+    fn multiply_shift_buckets_are_balanced() {
+        let mut rng = default_rng(3);
+        let h = MultiplyShiftHash::new(&mut rng, 32);
+        let buckets = 16;
+        let mut counts = vec![0usize; buckets];
+        for key in 0..16_000u64 {
+            counts[h.bucket(key, buckets)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 500 && c < 1500, "bucket count {c} badly unbalanced");
+        }
+    }
+
+    #[test]
+    fn kwise_is_deterministic_per_instance() {
+        let mut rng = default_rng(11);
+        let h = KWiseHash::new(&mut rng, 4);
+        assert_eq!(h.hash(12345), h.hash(12345));
+        assert_eq!(h.independence(), 4);
+    }
+
+    #[test]
+    fn kwise_signs_are_balanced() {
+        let mut rng = default_rng(17);
+        let h = KWiseHash::new(&mut rng, 4);
+        let sum: i64 = (0..100_000u64).map(|k| h.sign(k)).sum();
+        assert!(sum.abs() < 3_000, "sign sum {sum} too biased");
+    }
+
+    #[test]
+    fn kwise_pairwise_collision_rate_is_small() {
+        let mut rng = default_rng(23);
+        let h = KWiseHash::new(&mut rng, 2);
+        let buckets = 1024;
+        let mut collisions = 0usize;
+        for a in 0..200u64 {
+            for b in (a + 1)..200u64 {
+                if h.bucket(a, buckets) == h.bucket(b, buckets) {
+                    collisions += 1;
+                }
+            }
+        }
+        // Expected collisions ≈ C(200,2)/1024 ≈ 19.4; allow generous slack.
+        assert!(collisions < 80, "too many collisions: {collisions}");
+    }
+
+    #[test]
+    fn tabulation_unit_values_cover_interval() {
+        let h = TabulationHash::from_seed(9);
+        let mut min = 1.0f64;
+        let mut max = 0.0f64;
+        for key in 0..10_000u64 {
+            let u = h.unit(key);
+            assert!((0.0..1.0).contains(&u));
+            min = min.min(u);
+            max = max.max(u);
+        }
+        assert!(min < 0.01 && max > 0.99);
+    }
+
+    #[test]
+    fn tabulation_is_seed_deterministic() {
+        let a = TabulationHash::from_seed(77);
+        let b = TabulationHash::from_seed(77);
+        let c = TabulationHash::from_seed(78);
+        assert_eq!(a.hash(42), b.hash(42));
+        assert_ne!(a.hash(42), c.hash(42));
+    }
+}

@@ -1,0 +1,145 @@
+//! Uniform random subsets of the universe `[n]`.
+//!
+//! The truly perfect `F_0` sampler (Algorithm 5 of the paper) draws a uniform
+//! random subset `S ⊆ [n]` of size `2√n` *before* seeing the stream and later
+//! outputs a uniform element of `S` that actually occurred. Correctness
+//! requires `S` to be exactly uniform over size-`|S|` subsets, which is what
+//! [`random_subset`] provides (Floyd's algorithm).
+
+use crate::StreamRng;
+use std::collections::HashSet;
+
+/// Draws a uniformly random subset of `{0, 1, ..., n-1}` of exactly `k`
+/// elements using Robert Floyd's algorithm (O(k) expected work, no
+/// rejection over the full universe).
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn random_subset<R: StreamRng>(rng: &mut R, n: u64, k: usize) -> HashSet<u64> {
+    assert!((k as u64) <= n, "subset size {k} exceeds universe size {n}");
+    let mut chosen: HashSet<u64> = HashSet::with_capacity(k);
+    // Floyd: for j = n-k .. n-1, pick t uniform in [0, j]; insert t unless
+    // already present, in which case insert j.
+    let start = n - k as u64;
+    for j in start..n {
+        let t = rng.gen_range(j + 1);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    chosen
+}
+
+/// Samples `k` distinct values from `{0, ..., n-1}` and returns them in a
+/// uniformly random order (a random `k`-permutation prefix).
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn sample_without_replacement<R: StreamRng>(rng: &mut R, n: u64, k: usize) -> Vec<u64> {
+    assert!((k as u64) <= n, "sample size {k} exceeds universe size {n}");
+    let mut out: Vec<u64> = random_subset(rng, n, k).into_iter().collect();
+    // Fisher-Yates shuffle for a uniform ordering.
+    for i in (1..out.len()).rev() {
+        let j = rng.gen_index(i + 1);
+        out.swap(i, j);
+    }
+    out
+}
+
+/// Shuffles a slice in place with the Fisher–Yates algorithm.
+///
+/// Used by the random-order stream generators: a random-order stream is an
+/// adversarially chosen frequency vector whose updates arrive in a uniformly
+/// random permutation.
+pub fn shuffle<T, R: StreamRng>(rng: &mut R, values: &mut [T]) {
+    for i in (1..values.len()).rev() {
+        let j = rng.gen_index(i + 1);
+        values.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::default_rng;
+
+    #[test]
+    fn subset_has_exact_size_and_range() {
+        let mut rng = default_rng(31);
+        let s = random_subset(&mut rng, 1000, 100);
+        assert_eq!(s.len(), 100);
+        assert!(s.iter().all(|&x| x < 1000));
+    }
+
+    #[test]
+    fn subset_full_universe() {
+        let mut rng = default_rng(32);
+        let s = random_subset(&mut rng, 10, 10);
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds universe")]
+    fn oversized_subset_panics() {
+        let mut rng = default_rng(33);
+        let _ = random_subset(&mut rng, 5, 6);
+    }
+
+    #[test]
+    fn subset_membership_is_uniform() {
+        let mut rng = default_rng(34);
+        let n = 50u64;
+        let k = 10usize;
+        let trials = 30_000;
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..trials {
+            for x in random_subset(&mut rng, n, k) {
+                counts[x as usize] += 1;
+            }
+        }
+        let expected = trials as f64 * k as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let ratio = c as f64 / expected;
+            assert!((0.9..1.1).contains(&ratio), "element {i} ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn sample_without_replacement_is_distinct() {
+        let mut rng = default_rng(35);
+        let v = sample_without_replacement(&mut rng, 100, 40);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 40);
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let mut rng = default_rng(36);
+        let mut v: Vec<u32> = (0..100).collect();
+        shuffle(&mut rng, &mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, (0..100).collect::<Vec<u32>>(), "shuffle should permute");
+    }
+
+    #[test]
+    fn shuffle_first_position_is_uniform() {
+        let mut rng = default_rng(37);
+        let trials = 40_000;
+        let mut counts = [0u64; 5];
+        for _ in 0..trials {
+            let mut v = [0u8, 1, 2, 3, 4];
+            shuffle(&mut rng, &mut v);
+            counts[v[0] as usize] += 1;
+        }
+        let expected = trials as f64 / 5.0;
+        for &c in &counts {
+            assert!((c as f64 / expected - 1.0).abs() < 0.1);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! AMS "tug-of-war" `F_2` estimator (Alon–Matias–Szegedy).
+//!
+//! Maintains `rows × cols` counters `Σ_i s_{r,c}(i)·f_i` with 4-wise
+//! independent signs; each squared counter is an unbiased estimate of `F_2`
+//! and a median of means gives a `(1 ± ε)` approximation. The sliding-window
+//! `L_2` machinery uses this inside the smooth-histogram framework.
+
+use tps_random::{KWiseHash, StreamRng};
+use tps_streams::space::vec_bytes;
+use tps_streams::{Estimator, Item, SpaceUsage};
+
+/// An AMS `F_2` estimator with median-of-means aggregation.
+#[derive(Debug, Clone)]
+pub struct AmsF2 {
+    rows: usize,
+    cols: usize,
+    counters: Vec<i64>,
+    signs: Vec<KWiseHash>,
+}
+
+impl AmsF2 {
+    /// Creates an estimator with `rows` independent groups ("medians") of
+    /// `cols` counters each ("means").
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new<R: StreamRng>(rng: &mut R, rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "AMS dimensions must be positive");
+        let signs = (0..rows * cols).map(|_| KWiseHash::new(rng, 4)).collect();
+        Self { rows, cols, counters: vec![0; rows * cols], signs }
+    }
+
+    /// Creates an estimator targeting relative error `ε` with constant
+    /// failure probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < ε < 1`.
+    pub fn with_accuracy<R: StreamRng>(rng: &mut R, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0);
+        let cols = (8.0 / (epsilon * epsilon)).ceil() as usize;
+        Self::new(rng, 5, cols)
+    }
+
+    /// Processes a signed update.
+    pub fn update_signed(&mut self, item: Item, delta: i64) {
+        for (idx, h) in self.signs.iter().enumerate() {
+            self.counters[idx] += h.sign(item) * delta;
+        }
+    }
+
+    /// Current `F_2` estimate (median over rows of the mean of squared
+    /// counters within the row).
+    pub fn f2_estimate(&self) -> f64 {
+        let mut row_means: Vec<f64> = (0..self.rows)
+            .map(|r| {
+                let start = r * self.cols;
+                let sum: f64 = self.counters[start..start + self.cols]
+                    .iter()
+                    .map(|&c| (c as f64) * (c as f64))
+                    .sum();
+                sum / self.cols as f64
+            })
+            .collect();
+        row_means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        row_means[self.rows / 2]
+    }
+}
+
+impl Estimator for AmsF2 {
+    fn update(&mut self, item: Item) {
+        self.update_signed(item, 1);
+    }
+
+    fn estimate(&self) -> f64 {
+        self.f2_estimate()
+    }
+}
+
+impl SpaceUsage for AmsF2 {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + vec_bytes(&self.counters)
+            + self.signs.len() * std::mem::size_of::<KWiseHash>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_random::default_rng;
+    use tps_streams::frequency::FrequencyVector;
+
+    #[test]
+    fn estimates_f2_within_relative_error() {
+        let mut rng = default_rng(1);
+        let mut ams = AmsF2::with_accuracy(&mut rng, 0.2);
+        let stream: Vec<Item> = (0..30_000u64).map(|i| i % 100).collect();
+        for &x in &stream {
+            Estimator::update(&mut ams, x);
+        }
+        let truth = FrequencyVector::from_stream(&stream).fp(2.0);
+        let est = ams.f2_estimate();
+        assert!(
+            (est / truth - 1.0).abs() < 0.3,
+            "estimate {est} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn estimates_skewed_f2() {
+        let mut rng = default_rng(2);
+        let mut ams = AmsF2::new(&mut rng, 7, 400);
+        let mut stream = Vec::new();
+        for _ in 0..5_000 {
+            stream.push(1u64);
+        }
+        for i in 0..5_000u64 {
+            stream.push(100 + i % 1000);
+        }
+        for &x in &stream {
+            Estimator::update(&mut ams, x);
+        }
+        let truth = FrequencyVector::from_stream(&stream).fp(2.0);
+        let est = ams.f2_estimate();
+        assert!((est / truth - 1.0).abs() < 0.3, "estimate {est} vs truth {truth}");
+    }
+
+    #[test]
+    fn signed_updates_cancel() {
+        let mut rng = default_rng(3);
+        let mut ams = AmsF2::new(&mut rng, 3, 64);
+        ams.update_signed(7, 100);
+        ams.update_signed(7, -100);
+        assert_eq!(ams.f2_estimate(), 0.0);
+    }
+
+    #[test]
+    fn empty_stream_estimate_is_zero() {
+        let mut rng = default_rng(4);
+        let ams = AmsF2::new(&mut rng, 3, 8);
+        assert_eq!(ams.f2_estimate(), 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! CountMin sketch (Cormode–Muthukrishnan).
+//!
+//! A randomized frequency summary that never underestimates:
+//! `f_i ≤ f̂_i ≤ f_i + ε·m` with probability `1 − δ` using `⌈e/ε⌉` columns
+//! and `⌈ln 1/δ⌉` rows. Used here (a) by the fast baseline perfect sampler
+//! for heavy-hitter recovery, and (b) in the ablation experiment showing why
+//! substituting a randomized normaliser for the deterministic Misra–Gries
+//! bound breaks truly-perfect sampling: the failure probability, however
+//! small, becomes additive error in the output distribution.
+
+use tps_random::{KWiseHash, StreamRng};
+use tps_streams::space::vec_bytes;
+use tps_streams::{Item, SpaceUsage};
+
+/// A CountMin sketch over unit insertions.
+#[derive(Debug, Clone)]
+pub struct CountMin {
+    rows: usize,
+    cols: usize,
+    table: Vec<u64>,
+    hashes: Vec<KWiseHash>,
+    processed: u64,
+}
+
+impl CountMin {
+    /// Creates a sketch with the given number of rows and columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new<R: StreamRng>(rng: &mut R, rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "CountMin dimensions must be positive");
+        let hashes = (0..rows).map(|_| KWiseHash::new(rng, 2)).collect();
+        Self { rows, cols, table: vec![0; rows * cols], hashes, processed: 0 }
+    }
+
+    /// Creates a sketch sized for additive error `ε·m` with failure
+    /// probability `δ` (per query).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < ε < 1` and `0 < δ < 1`.
+    pub fn with_error<R: StreamRng>(rng: &mut R, epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let cols = (std::f64::consts::E / epsilon).ceil() as usize;
+        let rows = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(rng, rows, cols)
+    }
+
+    /// Number of updates processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// The `(rows, cols)` dimensions of the sketch table.
+    pub fn dimensions(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Processes one unit insertion.
+    pub fn update(&mut self, item: Item) {
+        self.processed += 1;
+        for (r, h) in self.hashes.iter().enumerate() {
+            let c = h.bucket(item, self.cols);
+            self.table[r * self.cols + c] += 1;
+        }
+    }
+
+    /// The point estimate `f̂_i = min_r table[r][h_r(i)]`, which never
+    /// underestimates the true frequency.
+    pub fn estimate(&self, item: Item) -> u64 {
+        self.hashes
+            .iter()
+            .enumerate()
+            .map(|(r, h)| self.table[r * self.cols + h.bucket(item, self.cols)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// An upper bound on `‖f‖_∞` derived from the sketch: the maximum point
+    /// estimate over a caller-provided candidate set, or the total mass if
+    /// the candidate set is empty. Correct only when the candidate set
+    /// contains the true maximiser (randomized guarantee — see the module
+    /// docs for why this is *not* good enough for truly perfect sampling).
+    pub fn max_frequency_upper_bound(&self, candidates: &[Item]) -> u64 {
+        if candidates.is_empty() {
+            return self.processed;
+        }
+        candidates.iter().map(|&i| self.estimate(i)).max().unwrap_or(0)
+    }
+}
+
+impl SpaceUsage for CountMin {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + vec_bytes(&self.table)
+            + self.hashes.len() * std::mem::size_of::<KWiseHash>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_random::default_rng;
+    use tps_streams::frequency::FrequencyVector;
+
+    #[test]
+    fn never_underestimates() {
+        let mut rng = default_rng(1);
+        let mut cm = CountMin::new(&mut rng, 4, 64);
+        let stream: Vec<Item> = (0..20_000u64).map(|i| i % 500).collect();
+        for &x in &stream {
+            cm.update(x);
+        }
+        let truth = FrequencyVector::from_stream(&stream);
+        for (item, freq) in truth.iter() {
+            assert!(cm.estimate(item) >= freq as u64);
+        }
+    }
+
+    #[test]
+    fn error_stays_within_epsilon_m_for_most_items() {
+        let mut rng = default_rng(2);
+        let epsilon = 0.01;
+        let mut cm = CountMin::with_error(&mut rng, epsilon, 0.01);
+        let stream: Vec<Item> = (0..50_000u64).map(|i| i % 1000).collect();
+        for &x in &stream {
+            cm.update(x);
+        }
+        let m = stream.len() as f64;
+        let truth = FrequencyVector::from_stream(&stream);
+        let mut violations = 0;
+        for (item, freq) in truth.iter() {
+            if (cm.estimate(item) - freq as u64) as f64 > epsilon * m {
+                violations += 1;
+            }
+        }
+        assert!(violations < 20, "too many error-bound violations: {violations}");
+    }
+
+    #[test]
+    fn heavy_item_estimate_is_close() {
+        let mut rng = default_rng(3);
+        let mut cm = CountMin::new(&mut rng, 5, 256);
+        for _ in 0..10_000 {
+            cm.update(42);
+        }
+        for i in 0..1_000u64 {
+            cm.update(i + 100);
+        }
+        let est = cm.estimate(42);
+        assert!(est >= 10_000 && est <= 10_200, "estimate {est}");
+    }
+
+    #[test]
+    fn max_bound_from_candidates() {
+        let mut rng = default_rng(4);
+        let mut cm = CountMin::new(&mut rng, 4, 128);
+        for _ in 0..500 {
+            cm.update(7);
+        }
+        cm.update(9);
+        assert!(cm.max_frequency_upper_bound(&[7, 9]) >= 500);
+        assert_eq!(cm.max_frequency_upper_bound(&[]), 501);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimension_panics() {
+        let mut rng = default_rng(5);
+        let _ = CountMin::new(&mut rng, 0, 8);
+    }
+}

@@ -1,0 +1,173 @@
+//! Sampling-based `F_p` estimation for insertion-only streams
+//! (Alon–Matias–Szegedy estimator).
+//!
+//! For each of `width` independent groups, reservoir-sample a stream
+//! position, count the number `c` of subsequent occurrences of the sampled
+//! item (inclusive), and output `m · (c^p − (c−1)^p)`. This is an unbiased
+//! estimator of `F_p`; a median of means over groups yields a constant-factor
+//! approximation with high probability. It is the estimation counterpart of
+//! the very telescoping identity that powers the truly perfect samplers, and
+//! it is the `Λ` algorithm plugged into the smooth-histogram framework for
+//! sliding-window `L_p` estimation (Theorem A.5).
+
+use tps_random::{ReservoirSampler, StreamRng, Xoshiro256};
+use tps_streams::space::vec_bytes;
+use tps_streams::{Estimator, Item, SpaceUsage};
+
+/// One AMS estimation unit: a reservoir-sampled item and its suffix count.
+#[derive(Debug, Clone)]
+struct Unit {
+    reservoir: ReservoirSampler<Item>,
+    /// Occurrences of the sampled item from its sampling position onwards
+    /// (inclusive of the sampled occurrence).
+    count: u64,
+}
+
+/// A median-of-means AMS `F_p` estimator for insertion-only streams.
+#[derive(Debug, Clone)]
+pub struct AmsFpEstimator {
+    p: f64,
+    rows: usize,
+    cols: usize,
+    units: Vec<Unit>,
+    rng: Xoshiro256,
+    processed: u64,
+}
+
+impl AmsFpEstimator {
+    /// Creates an estimator of `F_p` with `rows × cols` estimation units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ≤ 0` or either dimension is zero.
+    pub fn new(p: f64, rows: usize, cols: usize, mut rng: Xoshiro256) -> Self {
+        assert!(p > 0.0, "p must be positive");
+        assert!(rows > 0 && cols > 0, "dimensions must be positive");
+        let units = (0..rows * cols)
+            .map(|_| Unit { reservoir: ReservoirSampler::new(1), count: 0 })
+            .collect();
+        let _ = rng.next_u64();
+        Self { p, rows, cols, units, rng, processed: 0 }
+    }
+
+    /// The exponent `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of updates processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Current `F_p` estimate (median of row means of the per-unit unbiased
+    /// estimates). Returns 0 for an empty stream.
+    pub fn fp_estimate(&self) -> f64 {
+        if self.processed == 0 {
+            return 0.0;
+        }
+        let m = self.processed as f64;
+        let mut row_means: Vec<f64> = (0..self.rows)
+            .map(|r| {
+                let start = r * self.cols;
+                let sum: f64 = self.units[start..start + self.cols]
+                    .iter()
+                    .map(|u| {
+                        let c = u.count as f64;
+                        if c == 0.0 {
+                            0.0
+                        } else {
+                            m * (c.powf(self.p) - (c - 1.0).powf(self.p))
+                        }
+                    })
+                    .sum();
+                sum / self.cols as f64
+            })
+            .collect();
+        row_means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        row_means[self.rows / 2]
+    }
+}
+
+impl Estimator for AmsFpEstimator {
+    fn update(&mut self, item: Item) {
+        self.processed += 1;
+        for unit in &mut self.units {
+            let replaced = unit.reservoir.offer(&mut self.rng, item);
+            if replaced {
+                unit.count = 1;
+            } else if unit.reservoir.single().map(|s| s.value) == Some(item) {
+                unit.count += 1;
+            }
+        }
+    }
+
+    fn estimate(&self) -> f64 {
+        self.fp_estimate()
+    }
+}
+
+impl SpaceUsage for AmsFpEstimator {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + vec_bytes(&self.units)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_random::default_rng;
+    use tps_streams::frequency::FrequencyVector;
+
+    fn relative_error(p: f64, stream: &[Item], rows: usize, cols: usize, seed: u64) -> f64 {
+        let mut est = AmsFpEstimator::new(p, rows, cols, default_rng(seed));
+        for &x in stream {
+            Estimator::update(&mut est, x);
+        }
+        let truth = FrequencyVector::from_stream(stream).fp(p);
+        (est.fp_estimate() / truth - 1.0).abs()
+    }
+
+    #[test]
+    fn f2_estimate_on_moderately_skewed_stream() {
+        let stream: Vec<Item> = (0..20_000u64).map(|i| i % 50).collect();
+        let err = relative_error(2.0, &stream, 5, 300, 11);
+        assert!(err < 0.35, "relative error {err}");
+    }
+
+    #[test]
+    fn f1_estimate_is_nearly_exact() {
+        // For p = 1 every unit's estimate is exactly m, so the estimator is
+        // exact regardless of the stream.
+        let stream: Vec<Item> = (0..5_000u64).map(|i| i % 7).collect();
+        let err = relative_error(1.0, &stream, 3, 10, 12);
+        assert!(err < 1e-9, "relative error {err}");
+    }
+
+    #[test]
+    fn fractional_p_estimate() {
+        let stream: Vec<Item> = (0..20_000u64).map(|i| i % 200).collect();
+        let err = relative_error(0.5, &stream, 5, 300, 13);
+        assert!(err < 0.35, "relative error {err}");
+    }
+
+    #[test]
+    fn empty_stream_estimates_zero() {
+        let est = AmsFpEstimator::new(2.0, 3, 5, default_rng(1));
+        assert_eq!(est.fp_estimate(), 0.0);
+    }
+
+    #[test]
+    fn estimate_tracks_growing_stream() {
+        let mut est = AmsFpEstimator::new(2.0, 5, 200, default_rng(14));
+        let mut truth_stream = Vec::new();
+        for i in 0..10_000u64 {
+            let item = i % 20;
+            Estimator::update(&mut est, item);
+            truth_stream.push(item);
+        }
+        let truth = FrequencyVector::from_stream(&truth_stream).fp(2.0);
+        let ratio = est.fp_estimate() / truth;
+        assert!((0.6..1.6).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,224 @@
+//! Misra–Gries heavy hitters (Theorem 3.2 of the paper).
+//!
+//! The Misra–Gries summary with `k` counters processed over an
+//! insertion-only stream of length `m` maintains, for every item `i`, an
+//! estimate `f̂_i` with
+//!
+//! ```text
+//! f_i − m/k  ≤  f̂_i  ≤  f_i
+//! ```
+//!
+//! deterministically. The paper (Theorem 3.4) uses this to obtain a *certain*
+//! bound `Z` with `‖f‖_∞ ≤ Z ≤ ‖f‖_∞ + m/k`, which normalises the
+//! rejection-sampling step of the truly perfect `L_p` sampler for
+//! `p ∈ [1, 2]` without introducing any failure probability.
+
+use std::collections::HashMap;
+use tps_streams::space::hashmap_bytes;
+use tps_streams::{Item, SpaceUsage};
+
+/// The Misra–Gries heavy-hitter summary.
+#[derive(Debug, Clone)]
+pub struct MisraGries {
+    capacity: usize,
+    counters: HashMap<Item, u64>,
+    processed: u64,
+    /// Total amount decremented from every counter so far; the classic
+    /// analysis shows `decrements ≤ m / (capacity + 1)`.
+    decrements: u64,
+}
+
+impl MisraGries {
+    /// Creates a summary with `capacity` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "Misra-Gries needs at least one counter");
+        Self {
+            capacity,
+            counters: HashMap::with_capacity(capacity + 1),
+            processed: 0,
+            decrements: 0,
+        }
+    }
+
+    /// Number of counters.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of stream updates processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Processes one unit insertion.
+    pub fn update(&mut self, item: Item) {
+        self.processed += 1;
+        if let Some(c) = self.counters.get_mut(&item) {
+            *c += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(item, 1);
+            return;
+        }
+        // Decrement every counter; drop the ones that reach zero. This is the
+        // "cancel one occurrence of each of capacity+1 distinct items" step.
+        self.decrements += 1;
+        self.counters.retain(|_, c| {
+            *c -= 1;
+            *c > 0
+        });
+    }
+
+    /// The deterministic *lower* estimate `f̂_i ≤ f_i` for an item
+    /// (zero if the item is not tracked).
+    pub fn estimate(&self, item: Item) -> u64 {
+        self.counters.get(&item).copied().unwrap_or(0)
+    }
+
+    /// The deterministic error bound `m / (capacity + 1)` such that
+    /// `f_i − error ≤ f̂_i ≤ f_i` for every item.
+    pub fn error_bound(&self) -> u64 {
+        self.processed / (self.capacity as u64 + 1)
+    }
+
+    /// A certain upper bound `Z` on `‖f‖_∞` with
+    /// `‖f‖_∞ ≤ Z ≤ ‖f‖_∞ + m/(capacity+1)`.
+    ///
+    /// This is the quantity the truly perfect `L_p` sampler for `p ∈ [1, 2]`
+    /// uses as its rejection normaliser (Theorem 3.4).
+    pub fn max_frequency_upper_bound(&self) -> u64 {
+        let best_estimate = self.counters.values().copied().max().unwrap_or(0);
+        best_estimate + self.error_bound()
+    }
+
+    /// The tracked items and their (lower) estimates, sorted by decreasing
+    /// estimate.
+    pub fn heavy_hitters(&self) -> Vec<(Item, u64)> {
+        let mut v: Vec<(Item, u64)> = self.counters.iter().map(|(&i, &c)| (i, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// All items whose true frequency could exceed `threshold` (no false
+    /// negatives, by the deterministic error bound).
+    pub fn candidates_above(&self, threshold: u64) -> Vec<Item> {
+        let err = self.error_bound();
+        self.counters
+            .iter()
+            .filter(|&(_, &c)| c + err >= threshold)
+            .map(|(&i, _)| i)
+            .collect()
+    }
+}
+
+impl SpaceUsage for MisraGries {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + hashmap_bytes(&self.counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_streams::frequency::FrequencyVector;
+
+    fn check_invariant(stream: &[Item], capacity: usize) {
+        let mut mg = MisraGries::new(capacity);
+        for &x in stream {
+            mg.update(x);
+        }
+        let truth = FrequencyVector::from_stream(stream);
+        let err = mg.error_bound();
+        for (item, freq) in truth.iter() {
+            let est = mg.estimate(item);
+            assert!(est <= freq as u64, "estimate overshoots");
+            assert!(est + err >= freq as u64, "estimate undershoots beyond the bound");
+        }
+        // The Z bound sandwiches the true maximum frequency.
+        let z = mg.max_frequency_upper_bound();
+        assert!(z >= truth.l_inf());
+        assert!(z <= truth.l_inf() + err);
+    }
+
+    #[test]
+    fn invariants_on_skewed_stream() {
+        let mut stream = Vec::new();
+        for i in 0..200u64 {
+            for _ in 0..(200 - i) {
+                stream.push(i);
+            }
+        }
+        check_invariant(&stream, 10);
+        check_invariant(&stream, 50);
+    }
+
+    #[test]
+    fn invariants_on_uniform_stream() {
+        let stream: Vec<Item> = (0..5_000u64).map(|i| i % 500).collect();
+        check_invariant(&stream, 25);
+    }
+
+    #[test]
+    fn heavy_item_is_always_tracked() {
+        // An item with frequency > m/(k+1) must survive.
+        let mut stream = Vec::new();
+        for i in 0..1000u64 {
+            stream.push(i % 100 + 1000); // noise
+            stream.push(77); // heavy
+        }
+        let mut mg = MisraGries::new(10);
+        for &x in &stream {
+            mg.update(x);
+        }
+        assert!(mg.estimate(77) > 0, "majority-style item must be retained");
+        assert!(mg.heavy_hitters().iter().any(|&(i, _)| i == 77));
+    }
+
+    #[test]
+    fn candidates_above_has_no_false_negatives() {
+        let stream: Vec<Item> = (0..2_000u64).map(|i| if i % 3 == 0 { 5 } else { i }).collect();
+        let mut mg = MisraGries::new(20);
+        for &x in &stream {
+            mg.update(x);
+        }
+        let truth = FrequencyVector::from_stream(&stream);
+        let threshold = 300u64;
+        let cands = mg.candidates_above(threshold);
+        for (item, freq) in truth.iter() {
+            if freq as u64 >= threshold {
+                assert!(cands.contains(&item), "missed heavy item {item}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_summary_bounds() {
+        let mg = MisraGries::new(4);
+        assert_eq!(mg.estimate(1), 0);
+        assert_eq!(mg.error_bound(), 0);
+        assert_eq!(mg.max_frequency_upper_bound(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one counter")]
+    fn zero_capacity_panics() {
+        let _ = MisraGries::new(0);
+    }
+
+    #[test]
+    fn space_grows_with_capacity_not_stream() {
+        let mut small = MisraGries::new(8);
+        let mut large = MisraGries::new(1024);
+        for i in 0..100_000u64 {
+            small.update(i % 7777);
+            large.update(i % 7777);
+        }
+        assert!(small.space_bytes() < large.space_bytes());
+        assert!(small.space_bytes() < 10_000, "MG space must not grow with the stream");
+    }
+}

@@ -1,0 +1,167 @@
+//! SpaceSaving heavy hitters (Metwally, Agrawal, El Abbadi).
+//!
+//! A deterministic alternative to Misra–Gries with the complementary
+//! estimate direction: SpaceSaving *overestimates* (`f_i ≤ f̂_i ≤ f_i +
+//! m/k`), which makes `max_i f̂_i` directly an upper bound on `‖f‖_∞`. The
+//! ablation benchmarks compare it against Misra–Gries as the normaliser of
+//! the truly perfect `L_p` sampler.
+
+use std::collections::HashMap;
+use tps_streams::space::hashmap_bytes;
+use tps_streams::{Item, SpaceUsage};
+
+/// The SpaceSaving summary with a fixed number of counters.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    capacity: usize,
+    /// item -> (count, overestimation amount at admission time)
+    counters: HashMap<Item, (u64, u64)>,
+    processed: u64,
+}
+
+impl SpaceSaving {
+    /// Creates a summary with `capacity` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "SpaceSaving needs at least one counter");
+        Self { capacity, counters: HashMap::with_capacity(capacity + 1), processed: 0 }
+    }
+
+    /// Number of stream updates processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Processes one unit insertion.
+    pub fn update(&mut self, item: Item) {
+        self.processed += 1;
+        if let Some((c, _)) = self.counters.get_mut(&item) {
+            *c += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(item, (1, 0));
+            return;
+        }
+        // Evict the minimum-count item and inherit its count as the
+        // overestimation baseline.
+        let (&min_item, &(min_count, _)) =
+            self.counters.iter().min_by_key(|&(item, &(c, _))| (c, *item)).expect("non-empty");
+        self.counters.remove(&min_item);
+        self.counters.insert(item, (min_count + 1, min_count));
+    }
+
+    /// The overestimate `f̂_i ≥ f_i` for a tracked item, or the global error
+    /// bound for untracked items.
+    pub fn estimate(&self, item: Item) -> u64 {
+        match self.counters.get(&item) {
+            Some(&(c, _)) => c,
+            None => self.error_bound(),
+        }
+    }
+
+    /// The deterministic error bound `m / capacity`: every estimate satisfies
+    /// `f_i ≤ f̂_i ≤ f_i + error`.
+    pub fn error_bound(&self) -> u64 {
+        self.processed / self.capacity as u64
+    }
+
+    /// A certain upper bound on `‖f‖_∞` (the maximum stored count, which
+    /// overestimates every frequency it tracks and the minimum count bounds
+    /// everything untracked).
+    pub fn max_frequency_upper_bound(&self) -> u64 {
+        self.counters.values().map(|&(c, _)| c).max().unwrap_or(0)
+    }
+
+    /// Tracked items with guaranteed-frequency lower bounds
+    /// (`count − overestimate`), sorted by decreasing count.
+    pub fn heavy_hitters(&self) -> Vec<(Item, u64)> {
+        let mut v: Vec<(Item, u64)> =
+            self.counters.iter().map(|(&i, &(c, over))| (i, c - over)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+impl SpaceUsage for SpaceSaving {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + hashmap_bytes(&self.counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_streams::frequency::FrequencyVector;
+
+    fn check_invariant(stream: &[Item], capacity: usize) {
+        let mut ss = SpaceSaving::new(capacity);
+        for &x in stream {
+            ss.update(x);
+        }
+        let truth = FrequencyVector::from_stream(stream);
+        let err = ss.error_bound();
+        for (item, freq) in truth.iter() {
+            let est = ss.estimate(item);
+            assert!(est >= freq as u64 || est >= err, "estimate must overestimate");
+            assert!(est <= freq as u64 + err, "estimate exceeds error bound");
+        }
+        assert!(ss.max_frequency_upper_bound() >= truth.l_inf());
+    }
+
+    #[test]
+    fn invariants_on_skewed_stream() {
+        let mut stream = Vec::new();
+        for i in 0..150u64 {
+            for _ in 0..(150 - i) {
+                stream.push(i);
+            }
+        }
+        check_invariant(&stream, 10);
+        check_invariant(&stream, 64);
+    }
+
+    #[test]
+    fn invariants_on_cyclic_stream() {
+        let stream: Vec<Item> = (0..6_000u64).map(|i| i % 300).collect();
+        check_invariant(&stream, 16);
+    }
+
+    #[test]
+    fn max_bound_is_tight_for_single_heavy_item() {
+        let mut ss = SpaceSaving::new(8);
+        for _ in 0..1000 {
+            ss.update(3);
+        }
+        assert_eq!(ss.max_frequency_upper_bound(), 1000);
+        assert_eq!(ss.estimate(3), 1000);
+    }
+
+    #[test]
+    fn heavy_hitters_lower_bounds_are_sound() {
+        let mut stream = Vec::new();
+        for i in 0..3_000u64 {
+            stream.push(i % 200);
+            if i % 2 == 0 {
+                stream.push(9999);
+            }
+        }
+        let mut ss = SpaceSaving::new(32);
+        for &x in &stream {
+            ss.update(x);
+        }
+        let truth = FrequencyVector::from_stream(&stream);
+        for (item, lower) in ss.heavy_hitters() {
+            assert!(lower <= truth.get(item) as u64, "guaranteed count must be a lower bound");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one counter")]
+    fn zero_capacity_panics() {
+        let _ = SpaceSaving::new(0);
+    }
+}

@@ -1,0 +1,441 @@
+//! Deterministic `k`-sparse recovery from Reed–Solomon syndromes.
+//!
+//! Theorem D.2 of the paper (due to Ganguly / Ganguly–Majumder) asks for a
+//! deterministic structure of size `O(k log(Mn) log(n/k))` that exactly
+//! recovers a `k`-sparse frequency vector from a turnstile stream. We
+//! substitute the expander-based construction with the classical
+//! Reed–Solomon / Prony approach, which has the same interface and the same
+//! deterministic exact-recovery guarantee under the `k`-sparsity promise:
+//!
+//! * maintain the `2k` power-sum syndromes `S_j = Σ_i f_i · α_i^j`
+//!   (`j = 0..2k-1`) over the prime field `GF(2^61 − 1)`, updated linearly
+//!   per stream update;
+//! * at query time run Berlekamp–Massey on the syndrome sequence to find the
+//!   minimal linear recurrence (degree = sparsity), locate the support by
+//!   scanning the universe for roots of the connection polynomial, and solve
+//!   a Vandermonde system for the values;
+//! * re-verify the candidate solution against every stored syndrome
+//!   (including `extra` held-out syndromes) and return `None` on any
+//!   mismatch.
+//!
+//! If the vector really is `k`-sparse the recovery is exact and
+//! deterministic. If it is not, the verification step catches essentially
+//! all such cases; the residual possibility of a >k-sparse vector colliding
+//! with a sparse one on all `2k + extra` syndromes is the one place where
+//! this substitution is weaker than the paper's deterministic tester
+//! (Theorem D.1) — see `DESIGN.md` §2 for the discussion.
+
+use tps_streams::space::vec_bytes;
+use tps_streams::{Item, SignedUpdate, SpaceUsage};
+
+/// The Mersenne prime `2^61 − 1` over which syndromes are computed.
+pub const FIELD_PRIME: u64 = (1u64 << 61) - 1;
+
+#[inline]
+fn fadd(a: u64, b: u64) -> u64 {
+    let s = a + b;
+    if s >= FIELD_PRIME {
+        s - FIELD_PRIME
+    } else {
+        s
+    }
+}
+
+#[inline]
+fn fsub(a: u64, b: u64) -> u64 {
+    if a >= b {
+        a - b
+    } else {
+        a + FIELD_PRIME - b
+    }
+}
+
+#[inline]
+fn fmul(a: u64, b: u64) -> u64 {
+    ((a as u128 * b as u128) % FIELD_PRIME as u128) as u64
+}
+
+fn fpow(mut base: u64, mut exp: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= FIELD_PRIME;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = fmul(acc, base);
+        }
+        base = fmul(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+fn finv(a: u64) -> u64 {
+    assert!(a % FIELD_PRIME != 0, "zero has no inverse");
+    fpow(a, FIELD_PRIME - 2)
+}
+
+/// Encodes a signed integer value into the field (negative values map to the
+/// upper half of the field).
+fn encode_value(v: i64) -> u64 {
+    if v >= 0 {
+        v as u64 % FIELD_PRIME
+    } else {
+        fsub(0, (v.unsigned_abs()) % FIELD_PRIME)
+    }
+}
+
+/// Decodes a field element back to a signed integer using the half-field
+/// convention.
+fn decode_value(v: u64) -> i64 {
+    if v <= FIELD_PRIME / 2 {
+        v as i64
+    } else {
+        -((FIELD_PRIME - v) as i64)
+    }
+}
+
+/// The field evaluation point assigned to universe item `i` (must be nonzero
+/// and distinct per item).
+#[inline]
+fn locator(item: Item) -> u64 {
+    (item % (FIELD_PRIME - 1)) + 1
+}
+
+/// Berlekamp–Massey over `GF(FIELD_PRIME)`: returns the minimal connection
+/// polynomial `C(x) = 1 + c_1 x + ... + c_L x^L` of the syndrome sequence.
+fn berlekamp_massey(s: &[u64]) -> Vec<u64> {
+    let mut c = vec![1u64];
+    let mut b = vec![1u64];
+    let mut l = 0usize;
+    let mut m = 1usize;
+    let mut last_discrepancy = 1u64;
+    for n in 0..s.len() {
+        // discrepancy d = s[n] + Σ_{i=1}^{l} c_i · s[n-i]
+        let mut d = s[n];
+        for i in 1..=l.min(c.len() - 1) {
+            d = fadd(d, fmul(c[i], s[n - i]));
+        }
+        if d == 0 {
+            m += 1;
+            continue;
+        }
+        let coefficient = fmul(d, finv(last_discrepancy));
+        if 2 * l <= n {
+            let previous_c = c.clone();
+            if c.len() < b.len() + m {
+                c.resize(b.len() + m, 0);
+            }
+            for i in 0..b.len() {
+                c[i + m] = fsub(c[i + m], fmul(coefficient, b[i]));
+            }
+            l = n + 1 - l;
+            b = previous_c;
+            last_discrepancy = d;
+            m = 1;
+        } else {
+            if c.len() < b.len() + m {
+                c.resize(b.len() + m, 0);
+            }
+            for i in 0..b.len() {
+                c[i + m] = fsub(c[i + m], fmul(coefficient, b[i]));
+            }
+            m += 1;
+        }
+    }
+    c.truncate(l + 1);
+    c
+}
+
+/// Solves the Vandermonde system `Σ_t values_t · locators_t^j = syndromes_j`
+/// (`j = 0..L-1`) by Gaussian elimination over the field.
+fn solve_vandermonde(locators: &[u64], syndromes: &[u64]) -> Option<Vec<u64>> {
+    let l = locators.len();
+    debug_assert!(syndromes.len() >= l);
+    // Build the augmented matrix row j: [loc_0^j, ..., loc_{l-1}^j | S_j].
+    let mut matrix = vec![vec![0u64; l + 1]; l];
+    for (j, row) in matrix.iter_mut().enumerate() {
+        for (t, &x) in locators.iter().enumerate() {
+            row[t] = fpow(x, j as u64);
+        }
+        row[l] = syndromes[j];
+    }
+    // Gaussian elimination.
+    for col in 0..l {
+        let pivot_row = (col..l).find(|&r| matrix[r][col] != 0)?;
+        matrix.swap(col, pivot_row);
+        let inv_pivot = finv(matrix[col][col]);
+        for entry in matrix[col].iter_mut() {
+            *entry = fmul(*entry, inv_pivot);
+        }
+        for r in 0..l {
+            if r != col && matrix[r][col] != 0 {
+                let factor = matrix[r][col];
+                for cidx in col..=l {
+                    let subtrahend = fmul(factor, matrix[col][cidx]);
+                    matrix[r][cidx] = fsub(matrix[r][cidx], subtrahend);
+                }
+            }
+        }
+    }
+    Some(matrix.into_iter().map(|row| row[l]).collect())
+}
+
+/// A deterministic `k`-sparse recovery structure over turnstile streams.
+#[derive(Debug, Clone)]
+pub struct SparseRecovery {
+    sparsity: usize,
+    universe: u64,
+    /// `2·sparsity + extra` power-sum syndromes.
+    syndromes: Vec<u64>,
+    updates_processed: u64,
+}
+
+/// The result of a successful sparse recovery: `(item, frequency)` pairs
+/// sorted by item.
+pub type RecoveredVector = Vec<(Item, i64)>;
+
+impl SparseRecovery {
+    /// Number of held-out verification syndromes beyond the `2k` needed for
+    /// recovery.
+    const EXTRA_SYNDROMES: usize = 4;
+
+    /// Creates a recovery structure for vectors over the universe `[0,
+    /// universe)` with at most `sparsity` nonzero coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sparsity == 0` or `universe == 0`.
+    pub fn new(sparsity: usize, universe: u64) -> Self {
+        assert!(sparsity > 0, "sparsity must be positive");
+        assert!(universe > 0, "universe must be non-empty");
+        Self {
+            sparsity,
+            universe,
+            syndromes: vec![0; 2 * sparsity + Self::EXTRA_SYNDROMES],
+            updates_processed: 0,
+        }
+    }
+
+    /// The sparsity budget `k`.
+    pub fn sparsity(&self) -> usize {
+        self.sparsity
+    }
+
+    /// Number of updates processed.
+    pub fn updates_processed(&self) -> u64 {
+        self.updates_processed
+    }
+
+    /// Processes one signed update (`O(k)` field operations).
+    pub fn update(&mut self, update: SignedUpdate) {
+        assert!(update.item < self.universe, "item outside the declared universe");
+        self.updates_processed += 1;
+        let delta = encode_value(update.delta);
+        if delta == 0 {
+            return;
+        }
+        let x = locator(update.item);
+        let mut power = 1u64; // x^0
+        for s in self.syndromes.iter_mut() {
+            *s = fadd(*s, fmul(delta, power));
+            power = fmul(power, x);
+        }
+    }
+
+    /// Processes a unit insertion.
+    pub fn insert(&mut self, item: Item) {
+        self.update(SignedUpdate::insert(item));
+    }
+
+    /// Processes a unit deletion.
+    pub fn delete(&mut self, item: Item) {
+        self.update(SignedUpdate::delete(item));
+    }
+
+    /// Whether every syndrome is zero (true in particular for the zero
+    /// vector).
+    pub fn is_zero(&self) -> bool {
+        self.syndromes.iter().all(|&s| s == 0)
+    }
+
+    /// Attempts to recover the frequency vector. Returns `Some(pairs)` if a
+    /// vector with at most `k` nonzero coordinates reproduces every stored
+    /// syndrome; `None` if the vector is detectably not `k`-sparse.
+    pub fn recover(&self) -> Option<RecoveredVector> {
+        if self.is_zero() {
+            return Some(Vec::new());
+        }
+        let connection = berlekamp_massey(&self.syndromes[..2 * self.sparsity]);
+        let degree = connection.len() - 1;
+        if degree == 0 || degree > self.sparsity {
+            return None;
+        }
+        // Locate support: items whose locator's inverse is a root of C(x),
+        // i.e. C evaluated at locator(i)^{-1} equals zero. Equivalently,
+        // evaluate the reversed polynomial at locator(i).
+        let mut support = Vec::with_capacity(degree);
+        for item in 0..self.universe {
+            let x = locator(item);
+            // Evaluate Σ_j c_j · x^{-j} = 0 ⟺ Σ_j c_j · x^{L-j} = 0.
+            let mut acc = 0u64;
+            for &coef in &connection {
+                acc = fadd(fmul(acc, x), coef);
+            }
+            // Horner above evaluates c_0 x^L + c_1 x^{L-1} + ... + c_L,
+            // which is x^L · C(1/x).
+            if acc == 0 {
+                support.push(item);
+                if support.len() > degree {
+                    return None;
+                }
+            }
+        }
+        if support.len() != degree {
+            return None;
+        }
+        let locators: Vec<u64> = support.iter().map(|&i| locator(i)).collect();
+        let values = solve_vandermonde(&locators, &self.syndromes)?;
+        // Verify the candidate against every stored syndrome.
+        let mut expected = vec![0u64; self.syndromes.len()];
+        for (t, &x) in locators.iter().enumerate() {
+            let mut power = 1u64;
+            for e in expected.iter_mut() {
+                *e = fadd(*e, fmul(values[t], power));
+                power = fmul(power, x);
+            }
+        }
+        if expected != self.syndromes {
+            return None;
+        }
+        let mut out: RecoveredVector = support
+            .into_iter()
+            .zip(values.into_iter().map(decode_value))
+            .filter(|&(_, v)| v != 0)
+            .collect();
+        out.sort_unstable_by_key(|&(i, _)| i);
+        Some(out)
+    }
+}
+
+impl SpaceUsage for SparseRecovery {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + vec_bytes(&self.syndromes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_arithmetic_basics() {
+        assert_eq!(fadd(FIELD_PRIME - 1, 1), 0);
+        assert_eq!(fsub(0, 1), FIELD_PRIME - 1);
+        assert_eq!(fmul(finv(7), 7), 1);
+        assert_eq!(fpow(3, 0), 1);
+        assert_eq!(fpow(2, 61) % FIELD_PRIME, 1); // 2^61 ≡ 1 mod 2^61 - 1
+        assert_eq!(decode_value(encode_value(-42)), -42);
+        assert_eq!(decode_value(encode_value(42)), 42);
+    }
+
+    #[test]
+    fn berlekamp_massey_finds_short_recurrence() {
+        // Sequence s_j = 2·3^j + 5·7^j has a degree-2 recurrence.
+        let s: Vec<u64> = (0..8u64)
+            .map(|j| fadd(fmul(2, fpow(3, j)), fmul(5, fpow(7, j))))
+            .collect();
+        let c = berlekamp_massey(&s);
+        assert_eq!(c.len() - 1, 2, "recurrence degree should be 2");
+    }
+
+    #[test]
+    fn recovers_exact_sparse_vector() {
+        let mut sr = SparseRecovery::new(4, 1000);
+        let truth = [(3u64, 5i64), (77, 2), (901, 9)];
+        for &(item, count) in &truth {
+            for _ in 0..count {
+                sr.insert(item);
+            }
+        }
+        let recovered = sr.recover().expect("recovery should succeed");
+        assert_eq!(recovered, vec![(3, 5), (77, 2), (901, 9)]);
+    }
+
+    #[test]
+    fn recovers_after_deletions_and_negative_values() {
+        let mut sr = SparseRecovery::new(3, 100);
+        sr.insert(10);
+        sr.insert(10);
+        sr.delete(10);
+        sr.delete(20); // goes negative (general turnstile)
+        sr.insert(30);
+        let recovered = sr.recover().expect("recovery should succeed");
+        assert_eq!(recovered, vec![(10, 1), (20, -1), (30, 1)]);
+    }
+
+    #[test]
+    fn zero_vector_recovers_empty() {
+        let mut sr = SparseRecovery::new(2, 50);
+        sr.insert(7);
+        sr.delete(7);
+        assert!(sr.is_zero());
+        assert_eq!(sr.recover().unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn detects_over_sparse_vector() {
+        let mut sr = SparseRecovery::new(2, 200);
+        for item in 0..10u64 {
+            sr.insert(item);
+        }
+        assert!(sr.recover().is_none(), "10-sparse vector must not pass a 2-sparse recovery");
+    }
+
+    #[test]
+    fn exactly_k_sparse_vector_is_recovered() {
+        let k = 8usize;
+        let mut sr = SparseRecovery::new(k, 10_000);
+        let mut expected = Vec::new();
+        for t in 0..k as u64 {
+            let item = t * 997 + 13;
+            let count = (t + 1) as i64;
+            for _ in 0..count {
+                sr.insert(item);
+            }
+            expected.push((item, count));
+        }
+        expected.sort_unstable_by_key(|&(i, _)| i);
+        assert_eq!(sr.recover().unwrap(), expected);
+    }
+
+    #[test]
+    fn cancellation_down_to_sparse_is_recovered() {
+        // Insert widely, then delete most of it so the *final* vector is
+        // sparse even though the stream touched many items.
+        let mut sr = SparseRecovery::new(3, 500);
+        for item in 0..100u64 {
+            sr.insert(item);
+        }
+        for item in 0..100u64 {
+            if item != 5 && item != 50 {
+                sr.delete(item);
+            }
+        }
+        let recovered = sr.recover().unwrap();
+        assert_eq!(recovered, vec![(5, 1), (50, 1)]);
+    }
+
+    #[test]
+    fn space_is_linear_in_sparsity_not_universe() {
+        let small = SparseRecovery::new(4, 1_000_000);
+        let large = SparseRecovery::new(64, 1_000_000);
+        assert!(small.space_bytes() < large.space_bytes());
+        assert!(small.space_bytes() < 1_000, "space must not depend on the universe size");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the declared universe")]
+    fn out_of_universe_item_panics() {
+        let mut sr = SparseRecovery::new(2, 10);
+        sr.insert(10);
+    }
+}

@@ -1,0 +1,405 @@
+//! Exact frequency vectors and target sampling distributions.
+//!
+//! A truly perfect `G`-sampler must output index `i` with probability exactly
+//! `G(f_i) / Σ_j G(f_j)`. Everything in the benchmark harness is compared
+//! against the *exact* target distribution, which this module computes from a
+//! fully materialised frequency vector (the ground truth the streaming
+//! algorithms never get to see).
+
+use crate::measure::MeasureFn;
+use crate::update::{Item, SignedUpdate, Timestamp, WindowSpec};
+use std::collections::HashMap;
+
+/// A sparse, exact frequency vector over the universe `[n]` (only nonzero
+/// coordinates are stored).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FrequencyVector {
+    counts: HashMap<Item, i64>,
+}
+
+impl FrequencyVector {
+    /// Creates an empty (all-zero) frequency vector.
+    pub fn new() -> Self {
+        Self { counts: HashMap::new() }
+    }
+
+    /// Builds the frequency vector of an insertion-only stream.
+    pub fn from_stream(items: &[Item]) -> Self {
+        let mut v = Self::new();
+        for &item in items {
+            v.insert(item);
+        }
+        v
+    }
+
+    /// Builds the frequency vector induced by the active window of an
+    /// insertion-only stream: only the last `window.width` updates count.
+    pub fn from_window(items: &[Item], window: WindowSpec) -> Self {
+        let start = items.len().saturating_sub(window.width as usize);
+        Self::from_stream(&items[start..])
+    }
+
+    /// Builds the frequency vector of a turnstile stream.
+    pub fn from_signed_stream(updates: &[SignedUpdate]) -> Self {
+        let mut v = Self::new();
+        for u in updates {
+            v.apply(*u);
+        }
+        v
+    }
+
+    /// Builds a frequency vector directly from `(item, count)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an item appears twice.
+    pub fn from_counts(pairs: &[(Item, i64)]) -> Self {
+        let mut counts = HashMap::with_capacity(pairs.len());
+        for &(item, count) in pairs {
+            let prev = counts.insert(item, count);
+            assert!(prev.is_none(), "item {item} listed twice");
+        }
+        let mut v = Self { counts };
+        v.prune();
+        v
+    }
+
+    /// Applies one unit insertion.
+    pub fn insert(&mut self, item: Item) {
+        *self.counts.entry(item).or_insert(0) += 1;
+    }
+
+    /// Applies one signed update.
+    pub fn apply(&mut self, update: SignedUpdate) {
+        let entry = self.counts.entry(update.item).or_insert(0);
+        *entry += update.delta;
+        if *entry == 0 {
+            self.counts.remove(&update.item);
+        }
+    }
+
+    /// Removes explicit zero entries (only needed after `from_counts`).
+    fn prune(&mut self) {
+        self.counts.retain(|_, &mut c| c != 0);
+    }
+
+    /// The frequency of a coordinate (zero if absent).
+    pub fn get(&self, item: Item) -> i64 {
+        self.counts.get(&item).copied().unwrap_or(0)
+    }
+
+    /// Whether every coordinate is zero.
+    pub fn is_zero(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Whether every coordinate is non-negative (the strict turnstile
+    /// invariant).
+    pub fn is_non_negative(&self) -> bool {
+        self.counts.values().all(|&c| c >= 0)
+    }
+
+    /// Number of nonzero coordinates, `F_0`.
+    pub fn f0(&self) -> u64 {
+        self.counts.len() as u64
+    }
+
+    /// Iterates over `(item, frequency)` pairs of nonzero coordinates.
+    pub fn iter(&self) -> impl Iterator<Item = (Item, i64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// The support (nonzero coordinates), unsorted.
+    pub fn support(&self) -> Vec<Item> {
+        self.counts.keys().copied().collect()
+    }
+
+    /// Total mass `F_1 = Σ_i |f_i|` (equals the stream length for
+    /// insertion-only streams).
+    pub fn l1(&self) -> f64 {
+        self.counts.values().map(|&c| c.unsigned_abs() as f64).sum()
+    }
+
+    /// The `p`-th frequency moment `F_p = Σ_i |f_i|^p`.
+    pub fn fp(&self, p: f64) -> f64 {
+        assert!(p > 0.0, "p must be positive");
+        self.counts.values().map(|&c| (c.unsigned_abs() as f64).powf(p)).sum()
+    }
+
+    /// `‖f‖_∞`, the largest absolute frequency.
+    pub fn l_inf(&self) -> u64 {
+        self.counts.values().map(|&c| c.unsigned_abs()).max().unwrap_or(0)
+    }
+
+    /// `F_G = Σ_i G(|f_i|)` for a measure function `G`.
+    pub fn fg<G: MeasureFn>(&self, g: &G) -> f64 {
+        self.counts.values().map(|&c| g.value(c.unsigned_abs())).sum()
+    }
+
+    /// The exact target distribution of a `G`-sampler: `(i, G(f_i)/F_G)` for
+    /// each nonzero coordinate. Returns an empty map if `F_G = 0`.
+    pub fn g_distribution<G: MeasureFn>(&self, g: &G) -> HashMap<Item, f64> {
+        let total = self.fg(g);
+        if total <= 0.0 {
+            return HashMap::new();
+        }
+        self.counts
+            .iter()
+            .map(|(&i, &c)| (i, g.value(c.unsigned_abs()) / total))
+            .filter(|&(_, p)| p > 0.0)
+            .collect()
+    }
+
+    /// The exact target distribution of an `L_p` sampler:
+    /// `(i, |f_i|^p / F_p)`.
+    pub fn lp_distribution(&self, p: f64) -> HashMap<Item, f64> {
+        let total = self.fp(p);
+        if total <= 0.0 {
+            return HashMap::new();
+        }
+        self.counts
+            .iter()
+            .map(|(&i, &c)| (i, (c.unsigned_abs() as f64).powf(p) / total))
+            .collect()
+    }
+
+    /// The exact target distribution of an `F_0` sampler: uniform over the
+    /// support.
+    pub fn f0_distribution(&self) -> HashMap<Item, f64> {
+        let f0 = self.f0();
+        if f0 == 0 {
+            return HashMap::new();
+        }
+        self.counts.keys().map(|&i| (i, 1.0 / f0 as f64)).collect()
+    }
+}
+
+/// A materialised matrix of non-negative integer entries, used as ground
+/// truth for the row samplers of Section 3.2.3.
+#[derive(Debug, Clone, Default)]
+pub struct MatrixAccumulator {
+    rows: HashMap<u64, HashMap<u64, u64>>,
+}
+
+impl MatrixAccumulator {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies one unit update to `(row, col)`.
+    pub fn insert(&mut self, row: u64, col: u64) {
+        *self.rows.entry(row).or_default().entry(col).or_insert(0) += 1;
+    }
+
+    /// The `L_1` norm of a row (sum of entries).
+    pub fn row_l1(&self, row: u64) -> f64 {
+        self.rows
+            .get(&row)
+            .map(|cols| cols.values().map(|&v| v as f64).sum())
+            .unwrap_or(0.0)
+    }
+
+    /// The `L_2` norm of a row.
+    pub fn row_l2(&self, row: u64) -> f64 {
+        self.rows
+            .get(&row)
+            .map(|cols| cols.values().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt())
+            .unwrap_or(0.0)
+    }
+
+    /// The exact `L_{1,q}` row-sampling distribution: row `r` with
+    /// probability `‖m_r‖_q / Σ_s ‖m_s‖_q`, for `q ∈ {1, 2}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not 1 or 2.
+    pub fn row_distribution(&self, q: u32) -> HashMap<u64, f64> {
+        let norm = |row: &HashMap<u64, u64>| -> f64 {
+            match q {
+                1 => row.values().map(|&v| v as f64).sum(),
+                2 => row.values().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt(),
+                _ => panic!("only q = 1 or q = 2 row norms are supported"),
+            }
+        };
+        let total: f64 = self.rows.values().map(norm).sum();
+        if total <= 0.0 {
+            return HashMap::new();
+        }
+        self.rows.iter().map(|(&r, cols)| (r, norm(cols) / total)).collect()
+    }
+
+    /// Number of nonzero rows.
+    pub fn nonzero_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// Timestamped exact frequencies for sliding-window ground truth: records the
+/// full stream and answers window queries exactly.
+#[derive(Debug, Clone, Default)]
+pub struct WindowedGroundTruth {
+    items: Vec<Item>,
+}
+
+impl WindowedGroundTruth {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one update.
+    pub fn push(&mut self, item: Item) {
+        self.items.push(item);
+    }
+
+    /// Current stream length.
+    pub fn len(&self) -> u64 {
+        self.items.len() as u64
+    }
+
+    /// Whether no updates were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The exact frequency vector of the window ending at the current time.
+    pub fn window_frequencies(&self, window: WindowSpec) -> FrequencyVector {
+        FrequencyVector::from_window(&self.items, window)
+    }
+
+    /// The exact frequency vector of the window ending at an arbitrary past
+    /// time `t` (1-based; `t = len()` is "now").
+    pub fn window_frequencies_at(&self, window: WindowSpec, t: Timestamp) -> FrequencyVector {
+        let t = (t as usize).min(self.items.len());
+        let start = t.saturating_sub(window.width as usize);
+        FrequencyVector::from_stream(&self.items[start..t])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::Lp;
+
+    #[test]
+    fn from_stream_counts_correctly() {
+        let v = FrequencyVector::from_stream(&[1, 2, 2, 3, 3, 3]);
+        assert_eq!(v.get(1), 1);
+        assert_eq!(v.get(2), 2);
+        assert_eq!(v.get(3), 3);
+        assert_eq!(v.get(4), 0);
+        assert_eq!(v.f0(), 3);
+        assert_eq!(v.l1(), 6.0);
+        assert_eq!(v.l_inf(), 3);
+    }
+
+    #[test]
+    fn signed_stream_cancels_to_zero() {
+        let v = FrequencyVector::from_signed_stream(&[
+            SignedUpdate::insert(5),
+            SignedUpdate::insert(5),
+            SignedUpdate::delete(5),
+            SignedUpdate::delete(5),
+        ]);
+        assert!(v.is_zero());
+        assert!(v.is_non_negative());
+    }
+
+    #[test]
+    fn fp_moments() {
+        let v = FrequencyVector::from_counts(&[(1, 1), (2, 2), (3, 3)]);
+        assert!((v.fp(2.0) - 14.0).abs() < 1e-12);
+        assert!((v.fp(1.0) - 6.0).abs() < 1e-12);
+        let half = 1.0 + 2.0f64.sqrt() + 3.0f64.sqrt();
+        assert!((v.fp(0.5) - half).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lp_distribution_sums_to_one() {
+        let v = FrequencyVector::from_counts(&[(1, 1), (2, 2), (3, 3), (9, 10)]);
+        for p in [0.5, 1.0, 1.5, 2.0] {
+            let d = v.lp_distribution(p);
+            let total: f64 = d.values().sum();
+            assert!((total - 1.0).abs() < 1e-12, "p={p} total={total}");
+        }
+    }
+
+    #[test]
+    fn g_distribution_matches_lp_for_lp_measure() {
+        let v = FrequencyVector::from_counts(&[(1, 1), (2, 4), (3, 9)]);
+        let g = Lp::new(2.0);
+        let a = v.g_distribution(&g);
+        let b = v.lp_distribution(2.0);
+        for (k, pv) in &a {
+            assert!((pv - b[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn f0_distribution_is_uniform() {
+        let v = FrequencyVector::from_counts(&[(1, 1), (2, 100), (3, 5)]);
+        let d = v.f0_distribution();
+        for p in d.values() {
+            assert!((p - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_vector_distributions_are_empty() {
+        let v = FrequencyVector::new();
+        assert!(v.lp_distribution(1.0).is_empty());
+        assert!(v.f0_distribution().is_empty());
+        assert!(v.is_zero());
+    }
+
+    #[test]
+    fn window_restriction() {
+        let stream = [1u64, 1, 1, 2, 2, 3];
+        let v = FrequencyVector::from_window(&stream, WindowSpec::new(3));
+        assert_eq!(v.get(1), 0);
+        assert_eq!(v.get(2), 2);
+        assert_eq!(v.get(3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "listed twice")]
+    fn duplicate_counts_panic() {
+        let _ = FrequencyVector::from_counts(&[(1, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn matrix_row_norms_and_distribution() {
+        let mut m = MatrixAccumulator::new();
+        // row 0: [3, 4] -> L1 = 7, L2 = 5; row 1: [1] -> L1 = L2 = 1.
+        for _ in 0..3 {
+            m.insert(0, 0);
+        }
+        for _ in 0..4 {
+            m.insert(0, 1);
+        }
+        m.insert(1, 0);
+        assert_eq!(m.row_l1(0), 7.0);
+        assert_eq!(m.row_l2(0), 5.0);
+        assert_eq!(m.row_l1(1), 1.0);
+        let d1 = m.row_distribution(1);
+        assert!((d1[&0] - 7.0 / 8.0).abs() < 1e-12);
+        let d2 = m.row_distribution(2);
+        assert!((d2[&0] - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windowed_ground_truth_matches_direct_computation() {
+        let mut gt = WindowedGroundTruth::new();
+        let stream = [5u64, 6, 5, 7, 5, 6];
+        for &x in &stream {
+            gt.push(x);
+        }
+        let w = WindowSpec::new(4);
+        let direct = FrequencyVector::from_window(&stream, w);
+        assert_eq!(gt.window_frequencies(w), direct);
+        let at3 = gt.window_frequencies_at(w, 3);
+        assert_eq!(at3.get(5), 2);
+        assert_eq!(at3.get(6), 1);
+    }
+}

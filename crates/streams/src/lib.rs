@@ -1,0 +1,39 @@
+//! # tps-streams
+//!
+//! The data-stream model underlying the `truly-perfect-samplers` workspace.
+//!
+//! This crate contains everything the samplers of Jayaram, Woodruff and Zhou
+//! (PODS 2022) assume about their input but do not themselves implement:
+//!
+//! * the update types and stream-model traits ([`update`], [`model`]),
+//! * exact frequency vectors and the *target* sampling distributions that a
+//!   truly perfect sampler must hit exactly ([`frequency`]),
+//! * the measure functions `G` (Lp moments, M-estimators, concave functions)
+//!   with the per-increment bounds `ζ` that drive the framework's rejection
+//!   step ([`measure`]),
+//! * synthetic workload generators standing in for the network / database /
+//!   IoT streams that motivate the paper ([`generators`]),
+//! * statistical utilities for comparing empirical sample distributions
+//!   against the exact target (total-variation distance, χ² statistics,
+//!   composition-bias measurements) ([`stats`]), and
+//! * a tiny space-accounting trait so every data structure in the workspace
+//!   can report measured memory to the benchmark harness ([`space`]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod frequency;
+pub mod generators;
+pub mod measure;
+pub mod model;
+pub mod space;
+pub mod stats;
+pub mod update;
+
+pub use frequency::FrequencyVector;
+pub use measure::{CappedCount, ConcaveLog, Fair, Huber, L1L2, Lp, MeasureFn, Tukey};
+pub use model::{
+    Estimator, MatrixSampler, SampleOutcome, SlidingWindowSampler, StreamSampler, TurnstileSampler,
+};
+pub use space::SpaceUsage;
+pub use update::{Item, MatrixUpdate, SignedUpdate, Timestamp, WindowSpec};

@@ -1,0 +1,491 @@
+//! Measure functions `G` and their per-increment bounds.
+//!
+//! The paper's framework (Framework 1.3 / Theorem 3.1) applies to any
+//! measure function `G : R → R≥0` with `G(0) = 0`, `G(x) = G(-x)`, `G`
+//! non-decreasing in `|x|`, provided two quantities can be bounded *with
+//! certainty* (any randomised estimate would re-introduce additive error and
+//! destroy truly-perfectness):
+//!
+//! 1. `ζ`, an upper bound on the increment `G(x) - G(x-1)` over the range of
+//!    frequencies that can occur, which normalises the rejection step; and
+//! 2. `F̂_G`, a lower bound on `F_G = Σ_i G(f_i)`, which determines how many
+//!    parallel instances are needed for a target failure probability `δ`.
+//!
+//! Each implementation documents the bound it provides and the theorem in the
+//! paper it instantiates.
+
+use serde::{Deserialize, Serialize};
+
+/// A non-negative measure function `G` on integer frequencies.
+///
+/// Only non-negative integer frequencies are passed to
+/// [`MeasureFn::value`]; turnstile callers take absolute values first, which
+/// matches the paper's requirement `G(x) = G(-x)`.
+pub trait MeasureFn: Clone + Send + Sync {
+    /// A short human-readable name used in experiment reports.
+    fn name(&self) -> &'static str;
+
+    /// `G(x)` for a non-negative integer frequency `x`. Must satisfy
+    /// `G(0) = 0` and be non-decreasing.
+    fn value(&self, x: u64) -> f64;
+
+    /// The increment `G(c) - G(c-1)` for `c ≥ 1`. The default implementation
+    /// evaluates `value` twice; implementations may override it with a closed
+    /// form for numerical stability.
+    fn delta(&self, c: u64) -> f64 {
+        debug_assert!(c >= 1);
+        self.value(c) - self.value(c - 1)
+    }
+
+    /// An upper bound `ζ ≥ G(x) - G(x-1)` valid for every `1 ≤ x ≤ max_freq`.
+    ///
+    /// `max_freq` is a *certain* upper bound on any frequency that can occur
+    /// (e.g. the stream length, or the deterministic Misra–Gries bound on
+    /// `‖f‖_∞` used by the `L_p` samplers).
+    fn increment_bound(&self, max_freq: u64) -> f64;
+
+    /// A lower bound on `F_G` that holds with certainty for **any**
+    /// insertion-only stream of length `m ≥ 1`.
+    ///
+    /// Used to size the number of parallel sampler instances
+    /// (`O(ζ m / F̂_G · log 1/δ)`, Theorem 3.1). Implementations must never
+    /// overestimate: an overestimate would make the sampler fail too often
+    /// but, more importantly, a randomised estimate would break truly-perfect
+    /// sampling, so the bound must be a worst-case certainty.
+    fn fg_lower_bound(&self, m: u64) -> f64;
+}
+
+/// `G(x) = |x|^p` — the `L_p`/`F_p` sampling measure (Theorems 1.4 and 3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Lp {
+    p: f64,
+}
+
+impl Lp {
+    /// Creates the measure `G(x) = x^p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p ∈ (0, 2]` (the range covered by the paper's
+    /// insertion-only theorems; larger integer `p` is handled by the
+    /// random-order samplers instead).
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p <= 2.0, "Lp measure requires p in (0, 2], got {p}");
+        Self { p }
+    }
+
+    /// The exponent `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl MeasureFn for Lp {
+    fn name(&self) -> &'static str {
+        "Lp"
+    }
+
+    fn value(&self, x: u64) -> f64 {
+        (x as f64).powf(self.p)
+    }
+
+    fn increment_bound(&self, max_freq: u64) -> f64 {
+        if self.p <= 1.0 {
+            // x^p - (x-1)^p ≤ 1 for p ≤ 1 (Theorem 3.5).
+            1.0
+        } else {
+            // x^p - (x-1)^p ≤ p · max^{p-1} ≤ 2 · max^{p-1} for p ∈ (1, 2]
+            // (Theorem 3.4 uses 2·Z^{p-1}).
+            let m = (max_freq.max(1)) as f64;
+            self.p * m.powf(self.p - 1.0)
+        }
+    }
+
+    fn fg_lower_bound(&self, m: u64) -> f64 {
+        let m = m.max(1) as f64;
+        if self.p <= 1.0 {
+            // F_p ≥ m^p: concentrating all mass on one coordinate minimises
+            // F_p for p ≤ 1.
+            m.powf(self.p)
+        } else {
+            // F_p ≥ m^p / n^{p-1} in general, but without knowing n the only
+            // certain bound from the stream length alone is F_p ≥ m
+            // (spreading mass over m distinct items minimises F_p for p ≥ 1).
+            m
+        }
+    }
+}
+
+/// The `L_1 − L_2` M-estimator `G(x) = 2(√(1 + x²/2) − 1)` (Corollary 3.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct L1L2;
+
+impl MeasureFn for L1L2 {
+    fn name(&self) -> &'static str {
+        "L1-L2"
+    }
+
+    fn value(&self, x: u64) -> f64 {
+        let x = x as f64;
+        2.0 * ((1.0 + x * x / 2.0).sqrt() - 1.0)
+    }
+
+    fn increment_bound(&self, _max_freq: u64) -> f64 {
+        // G'(x) = x / sqrt(1 + x²/2) ≤ √2 < 3; the paper uses the slack
+        // constant 3.
+        3.0
+    }
+
+    fn fg_lower_bound(&self, m: u64) -> f64 {
+        // G is convex with G(0) = 0, hence G(x) ≥ G(1)·x for integer x ≥ 0,
+        // so F_G ≥ G(1) · m.
+        self.value(1) * m.max(1) as f64
+    }
+}
+
+/// The Fair M-estimator `G(x) = τ|x| − τ² ln(1 + |x|/τ)` (Corollary 3.6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fair {
+    tau: f64,
+}
+
+impl Fair {
+    /// Creates the Fair estimator with parameter `τ > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `τ` is not strictly positive.
+    pub fn new(tau: f64) -> Self {
+        assert!(tau > 0.0 && tau.is_finite(), "Fair estimator requires tau > 0");
+        Self { tau }
+    }
+
+    /// The parameter `τ`.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+}
+
+impl MeasureFn for Fair {
+    fn name(&self) -> &'static str {
+        "Fair"
+    }
+
+    fn value(&self, x: u64) -> f64 {
+        let x = x as f64;
+        self.tau * x - self.tau * self.tau * (1.0 + x / self.tau).ln()
+    }
+
+    fn increment_bound(&self, _max_freq: u64) -> f64 {
+        // G'(x) = τ·x/(τ + x) < τ.
+        self.tau
+    }
+
+    fn fg_lower_bound(&self, m: u64) -> f64 {
+        // Convex with G(0)=0 ⇒ F_G ≥ G(1)·m.
+        self.value(1) * m.max(1) as f64
+    }
+}
+
+/// The Huber M-estimator: `G(x) = x²/(2τ)` for `|x| ≤ τ`, `|x| − τ/2`
+/// otherwise (Corollary 3.6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Huber {
+    tau: f64,
+}
+
+impl Huber {
+    /// Creates the Huber estimator with parameter `τ > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `τ` is not strictly positive.
+    pub fn new(tau: f64) -> Self {
+        assert!(tau > 0.0 && tau.is_finite(), "Huber estimator requires tau > 0");
+        Self { tau }
+    }
+
+    /// The parameter `τ`.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+}
+
+impl MeasureFn for Huber {
+    fn name(&self) -> &'static str {
+        "Huber"
+    }
+
+    fn value(&self, x: u64) -> f64 {
+        let x = x as f64;
+        if x <= self.tau {
+            x * x / (2.0 * self.tau)
+        } else {
+            x - self.tau / 2.0
+        }
+    }
+
+    fn increment_bound(&self, _max_freq: u64) -> f64 {
+        // G'(x) = x/τ on [0, τ] and 1 afterwards, so increments are < 1
+        // whenever τ ≥ 1; for τ < 1 the quadratic branch only covers x < 1 so
+        // the first integer increment is G(1) - G(0) ≤ 1 - τ/2 < 1 as well.
+        1.0
+    }
+
+    fn fg_lower_bound(&self, m: u64) -> f64 {
+        // Convex with G(0)=0 ⇒ F_G ≥ G(1)·m (G(1) = min(1/(2τ), 1 − τ/2)).
+        self.value(1) * m.max(1) as f64
+    }
+}
+
+/// The Tukey biweight measure: `G(x) = τ²/6 · (1 − (1 − x²/τ²)³)` for
+/// `|x| ≤ τ` and `τ²/6` otherwise (Section 5).
+///
+/// Tukey is *bounded*, so `F_G` can be as small as `G(1)·F_0 ≪ m` and the
+/// generic insertion-only framework would need too many instances; the paper
+/// instead samples Tukey through an `F_0` sampler (Theorem 5.4). The measure
+/// is still defined here so the ground-truth distribution and the rejection
+/// step `G(c)/G(τ)` can be computed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tukey {
+    tau: f64,
+}
+
+impl Tukey {
+    /// Creates the Tukey estimator with parameter `τ > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `τ` is not strictly positive.
+    pub fn new(tau: f64) -> Self {
+        assert!(tau > 0.0 && tau.is_finite(), "Tukey estimator requires tau > 0");
+        Self { tau }
+    }
+
+    /// The parameter `τ`.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// The saturation value `G(τ) = τ²/6`, the maximum of the measure.
+    pub fn saturation(&self) -> f64 {
+        self.tau * self.tau / 6.0
+    }
+}
+
+impl MeasureFn for Tukey {
+    fn name(&self) -> &'static str {
+        "Tukey"
+    }
+
+    fn value(&self, x: u64) -> f64 {
+        let x = x as f64;
+        let t2 = self.tau * self.tau;
+        if x <= self.tau {
+            let r = 1.0 - x * x / t2;
+            t2 / 6.0 * (1.0 - r * r * r)
+        } else {
+            t2 / 6.0
+        }
+    }
+
+    fn increment_bound(&self, _max_freq: u64) -> f64 {
+        // G' is maximised at x = τ/√5 with value 16τ/(25√5) < 0.287·τ; a
+        // simple certain bound is τ/2. For τ < 2 the whole function is below
+        // τ²/6 so increments are also below τ²/6.
+        (self.tau / 2.0).min(self.saturation())
+    }
+
+    fn fg_lower_bound(&self, m: u64) -> f64 {
+        // Bounded measure: the only certain bound from the stream length is a
+        // single item's first increment.
+        let _ = m;
+        self.value(1)
+    }
+}
+
+/// A concave sublinear measure `G(x) = ln(1 + x)`, representative of the
+/// concave-function samplers of Cohen–Geri that the framework also covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ConcaveLog;
+
+impl MeasureFn for ConcaveLog {
+    fn name(&self) -> &'static str {
+        "log(1+x)"
+    }
+
+    fn value(&self, x: u64) -> f64 {
+        (1.0 + x as f64).ln()
+    }
+
+    fn increment_bound(&self, _max_freq: u64) -> f64 {
+        // ln(1 + x) − ln(x) ≤ ln 2 for x ≥ 1.
+        std::f64::consts::LN_2
+    }
+
+    fn fg_lower_bound(&self, m: u64) -> f64 {
+        // Concentrating all mass on one coordinate minimises F_G for concave
+        // G, so F_G ≥ ln(1 + m).
+        (1.0 + m.max(1) as f64).ln()
+    }
+}
+
+/// A capped count `G(x) = min(x, cap)`, a simple concave measure used by
+/// frequency-cap statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CappedCount {
+    cap: u64,
+}
+
+impl CappedCount {
+    /// Creates a capped-count measure with the given cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn new(cap: u64) -> Self {
+        assert!(cap > 0, "cap must be positive");
+        Self { cap }
+    }
+
+    /// The cap value.
+    pub fn cap(&self) -> u64 {
+        self.cap
+    }
+}
+
+impl MeasureFn for CappedCount {
+    fn name(&self) -> &'static str {
+        "capped-count"
+    }
+
+    fn value(&self, x: u64) -> f64 {
+        x.min(self.cap) as f64
+    }
+
+    fn increment_bound(&self, _max_freq: u64) -> f64 {
+        1.0
+    }
+
+    fn fg_lower_bound(&self, m: u64) -> f64 {
+        // Worst case: everything lands on one coordinate, F_G = cap; for
+        // m < cap it is m.
+        m.min(self.cap).max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_increment_bound<G: MeasureFn>(g: &G, max_freq: u64) {
+        let zeta = g.increment_bound(max_freq);
+        for c in 1..=max_freq {
+            let d = g.delta(c);
+            assert!(
+                d <= zeta + 1e-9,
+                "{}: increment at {c} is {d} > zeta {zeta}",
+                g.name()
+            );
+            assert!(d >= -1e-9, "{}: measure must be non-decreasing", g.name());
+        }
+    }
+
+    #[test]
+    fn all_measures_have_zero_at_origin() {
+        assert_eq!(Lp::new(1.5).value(0), 0.0);
+        assert_eq!(L1L2.value(0), 0.0);
+        assert_eq!(Fair::new(2.0).value(0), 0.0);
+        assert_eq!(Huber::new(2.0).value(0), 0.0);
+        assert_eq!(Tukey::new(5.0).value(0), 0.0);
+        assert_eq!(ConcaveLog.value(0), 0.0);
+        assert_eq!(CappedCount::new(3).value(0), 0.0);
+    }
+
+    #[test]
+    fn increment_bounds_hold_for_all_measures() {
+        check_increment_bound(&Lp::new(0.5), 500);
+        check_increment_bound(&Lp::new(1.0), 500);
+        check_increment_bound(&Lp::new(1.5), 500);
+        check_increment_bound(&Lp::new(2.0), 500);
+        check_increment_bound(&L1L2, 500);
+        check_increment_bound(&Fair::new(3.0), 500);
+        check_increment_bound(&Huber::new(2.5), 500);
+        check_increment_bound(&Huber::new(0.5), 500);
+        check_increment_bound(&Tukey::new(10.0), 500);
+        check_increment_bound(&ConcaveLog, 500);
+        check_increment_bound(&CappedCount::new(7), 500);
+    }
+
+    #[test]
+    fn lp_telescoping_sums_to_value() {
+        // Σ_{c=1}^{x} (G(c) - G(c-1)) = G(x): the identity behind the
+        // framework's correctness (Section 1.2).
+        let g = Lp::new(1.7);
+        let x = 40u64;
+        let sum: f64 = (1..=x).map(|c| g.delta(c)).sum();
+        assert!((sum - g.value(x)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fg_lower_bounds_are_actual_lower_bounds() {
+        // Compare against the two extreme streams of length m: all mass on
+        // one item, and all items distinct.
+        let m = 1000u64;
+        let single = |g: &dyn Fn(u64) -> f64| g(m);
+        let spread = |g: &dyn Fn(u64) -> f64| m as f64 * g(1);
+
+        let cases: Vec<(f64, Box<dyn Fn(u64) -> f64>)> = vec![
+            (Lp::new(0.5).fg_lower_bound(m), Box::new(|x| Lp::new(0.5).value(x))),
+            (Lp::new(2.0).fg_lower_bound(m), Box::new(|x| Lp::new(2.0).value(x))),
+            (L1L2.fg_lower_bound(m), Box::new(|x| L1L2.value(x))),
+            (Fair::new(2.0).fg_lower_bound(m), Box::new(|x| Fair::new(2.0).value(x))),
+            (Huber::new(2.0).fg_lower_bound(m), Box::new(|x| Huber::new(2.0).value(x))),
+            (Tukey::new(4.0).fg_lower_bound(m), Box::new(|x| Tukey::new(4.0).value(x))),
+            (ConcaveLog.fg_lower_bound(m), Box::new(|x| ConcaveLog.value(x))),
+            (CappedCount::new(10).fg_lower_bound(m), Box::new(|x| CappedCount::new(10).value(x))),
+        ];
+        for (bound, g) in cases {
+            let worst = single(&*g).min(spread(&*g));
+            assert!(
+                bound <= worst + 1e-9,
+                "lower bound {bound} exceeds worst-case F_G {worst}"
+            );
+        }
+    }
+
+    #[test]
+    fn huber_branches_agree_at_tau() {
+        let g = Huber::new(3.0);
+        // At x = τ both branches give τ/2.
+        assert!((g.value(3) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tukey_saturates() {
+        let g = Tukey::new(4.0);
+        assert!((g.value(4) - g.saturation()).abs() < 1e-12);
+        assert!((g.value(100) - g.saturation()).abs() < 1e-12);
+        assert!(g.value(2) < g.saturation());
+    }
+
+    #[test]
+    #[should_panic(expected = "p in (0, 2]")]
+    fn lp_rejects_invalid_exponent() {
+        let _ = Lp::new(3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau > 0")]
+    fn fair_rejects_zero_tau() {
+        let _ = Fair::new(0.0);
+    }
+
+    #[test]
+    fn capped_count_value() {
+        let g = CappedCount::new(3);
+        assert_eq!(g.value(2), 2.0);
+        assert_eq!(g.value(3), 3.0);
+        assert_eq!(g.value(10), 3.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Stream-model traits and sampler outcomes.
+//!
+//! Definition 1.1 of the paper allows a `G`-sampler three behaviours:
+//! return an index `i ∈ [n]`, return the special symbol `⊥` (only meaningful
+//! when `f = 0`), or declare `FAIL` (with probability at most `δ`), in which
+//! case it returns nothing and the distributional guarantee is conditioned on
+//! not failing. [`SampleOutcome`] encodes exactly these three cases.
+
+use crate::update::{Item, MatrixUpdate, SignedUpdate};
+use serde::{Deserialize, Serialize};
+
+/// The result of querying a `G`-sampler (Definition 1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SampleOutcome {
+    /// The sampler produced a coordinate index.
+    Index(Item),
+    /// The sampler reports that the frequency vector is identically zero
+    /// (the paper's `⊥` symbol).
+    Empty,
+    /// The sampler failed (allowed with probability at most `δ`); it returns
+    /// nothing and the caller may retry with an independent instance.
+    Fail,
+}
+
+impl SampleOutcome {
+    /// Returns the sampled index, if any.
+    pub fn index(&self) -> Option<Item> {
+        match self {
+            SampleOutcome::Index(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Whether the sampler produced an index.
+    pub fn is_index(&self) -> bool {
+        matches!(self, SampleOutcome::Index(_))
+    }
+
+    /// Whether the sampler failed.
+    pub fn is_fail(&self) -> bool {
+        matches!(self, SampleOutcome::Fail)
+    }
+}
+
+/// A one-pass sampler over an insertion-only stream.
+///
+/// The stream is fed one unit update at a time through
+/// [`StreamSampler::update`]; at any point [`StreamSampler::sample`] may be
+/// called to draw an outcome for the stream seen so far. Samplers are allowed
+/// to be stateful across `sample` calls only in ways that do not violate
+/// their distributional guarantee for a single call; the experiment harness
+/// always uses fresh instances when it needs independent samples.
+pub trait StreamSampler {
+    /// Processes one unit insertion to coordinate `item`.
+    fn update(&mut self, item: Item);
+
+    /// Draws an outcome for the stream processed so far.
+    fn sample(&mut self) -> SampleOutcome;
+
+    /// Convenience: processes an entire slice of updates.
+    fn update_all(&mut self, items: &[Item]) {
+        for &item in items {
+            self.update(item);
+        }
+    }
+}
+
+/// A one-pass sampler over a sliding window of an insertion-only stream.
+///
+/// Identical to [`StreamSampler`], except the distributional guarantee of
+/// [`SlidingWindowSampler::sample`] refers only to the `W` most recent
+/// updates (the active window).
+pub trait SlidingWindowSampler {
+    /// Processes one unit insertion to coordinate `item`.
+    fn update(&mut self, item: Item);
+
+    /// Draws an outcome for the currently active window.
+    fn sample(&mut self) -> SampleOutcome;
+
+    /// Window width `W`.
+    fn window(&self) -> u64;
+}
+
+/// A sampler over a turnstile stream (signed updates).
+pub trait TurnstileSampler {
+    /// Processes one signed update `(i, Δ)`.
+    fn update(&mut self, update: SignedUpdate);
+
+    /// Draws an outcome for the stream processed so far.
+    fn sample(&mut self) -> SampleOutcome;
+}
+
+/// A row sampler over an insertion-only stream of matrix updates
+/// (Section 3.2.3).
+pub trait MatrixSampler {
+    /// Processes one unit update to matrix entry `(row, col)`.
+    fn update(&mut self, update: MatrixUpdate);
+
+    /// Draws a row-index outcome for the matrix seen so far.
+    fn sample(&mut self) -> SampleOutcome;
+}
+
+/// A streaming estimator of a scalar statistic of the frequency vector
+/// (e.g. `F_p`, `‖f‖_∞`, `F_0`).
+pub trait Estimator {
+    /// Processes one unit insertion to coordinate `item`.
+    fn update(&mut self, item: Item);
+
+    /// Returns the current estimate.
+    fn estimate(&self) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accessors() {
+        assert_eq!(SampleOutcome::Index(7).index(), Some(7));
+        assert_eq!(SampleOutcome::Fail.index(), None);
+        assert!(SampleOutcome::Index(0).is_index());
+        assert!(SampleOutcome::Fail.is_fail());
+        assert!(!SampleOutcome::Empty.is_fail());
+    }
+
+    struct CountingSampler {
+        count: u64,
+    }
+
+    impl StreamSampler for CountingSampler {
+        fn update(&mut self, _item: Item) {
+            self.count += 1;
+        }
+        fn sample(&mut self) -> SampleOutcome {
+            if self.count == 0 {
+                SampleOutcome::Empty
+            } else {
+                SampleOutcome::Index(self.count)
+            }
+        }
+    }
+
+    #[test]
+    fn update_all_feeds_every_item() {
+        let mut s = CountingSampler { count: 0 };
+        s.update_all(&[1, 2, 3, 4]);
+        assert_eq!(s.sample(), SampleOutcome::Index(4));
+    }
+}

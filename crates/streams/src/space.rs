@@ -1,0 +1,83 @@
+//! Space accounting.
+//!
+//! Every space bound in the paper is stated in bits; the experiments verify
+//! the *shape* of those bounds by measuring the actual heap + inline size of
+//! each data structure. The [`SpaceUsage`] trait gives every structure in the
+//! workspace a uniform way to report that size.
+
+/// A data structure that can report (an estimate of) its memory footprint.
+pub trait SpaceUsage {
+    /// Total bytes used: the size of `Self` plus owned heap allocations.
+    ///
+    /// Implementations should count capacity (allocated space), not just
+    /// occupied length, since the paper's bounds refer to the memory the
+    /// algorithm must reserve.
+    fn space_bytes(&self) -> usize;
+
+    /// Space in bits, the unit the paper uses.
+    fn space_bits(&self) -> usize {
+        self.space_bytes() * 8
+    }
+}
+
+/// Helper: bytes used by a `Vec`'s heap buffer plus its inline header.
+pub fn vec_bytes<T>(v: &Vec<T>) -> usize {
+    std::mem::size_of::<Vec<T>>() + v.capacity() * std::mem::size_of::<T>()
+}
+
+/// Helper: approximate bytes used by a `HashMap`, counting one slot per unit
+/// of capacity plus per-slot bookkeeping overhead (hashbrown uses one byte of
+/// control metadata per slot).
+pub fn hashmap_bytes<K, V>(m: &std::collections::HashMap<K, V>) -> usize {
+    std::mem::size_of::<std::collections::HashMap<K, V>>()
+        + m.capacity() * (std::mem::size_of::<(K, V)>() + 1)
+}
+
+/// Helper: approximate bytes used by a `HashSet`.
+pub fn hashset_bytes<K>(s: &std::collections::HashSet<K>) -> usize {
+    std::mem::size_of::<std::collections::HashSet<K>>()
+        + s.capacity() * (std::mem::size_of::<K>() + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    struct Wrapper {
+        data: Vec<u64>,
+    }
+
+    impl SpaceUsage for Wrapper {
+        fn space_bytes(&self) -> usize {
+            vec_bytes(&self.data)
+        }
+    }
+
+    #[test]
+    fn vec_bytes_counts_capacity() {
+        let mut v: Vec<u64> = Vec::with_capacity(100);
+        v.push(1);
+        assert!(vec_bytes(&v) >= 100 * 8);
+    }
+
+    #[test]
+    fn space_bits_is_eight_times_bytes() {
+        let w = Wrapper { data: vec![0; 10] };
+        assert_eq!(w.space_bits(), w.space_bytes() * 8);
+    }
+
+    #[test]
+    fn hashmap_and_hashset_bytes_grow_with_capacity() {
+        let mut m: HashMap<u64, u64> = HashMap::new();
+        let mut s: HashSet<u64> = HashSet::new();
+        let empty_m = hashmap_bytes(&m);
+        let empty_s = hashset_bytes(&s);
+        for i in 0..1000 {
+            m.insert(i, i);
+            s.insert(i);
+        }
+        assert!(hashmap_bytes(&m) > empty_m + 1000 * 16);
+        assert!(hashset_bytes(&s) > empty_s + 1000 * 8);
+    }
+}

@@ -1,0 +1,331 @@
+//! Statistics for validating sampler output distributions.
+//!
+//! A truly perfect sampler's conditional output distribution equals the
+//! target exactly, so any statistical distance measured between an empirical
+//! histogram of its samples and the target must be explained by sampling
+//! noise alone. The experiments therefore report:
+//!
+//! * total-variation distance between the empirical distribution and the
+//!   exact target, together with the *expected* TV distance of a perfect
+//!   multinomial sample of the same size (so "indistinguishable from noise"
+//!   is a quantitative statement), and
+//! * Pearson χ² statistics with their degrees of freedom, and
+//! * the composition bias of running many independent samplers on successive
+//!   stream portions (the paper's motivating failure mode for γ > 0).
+
+use crate::model::SampleOutcome;
+use crate::update::Item;
+use std::collections::HashMap;
+
+/// An empirical histogram of sampler outcomes.
+#[derive(Debug, Clone, Default)]
+pub struct SampleHistogram {
+    counts: HashMap<Item, u64>,
+    fails: u64,
+    empties: u64,
+    total_draws: u64,
+}
+
+impl SampleHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sampler outcome.
+    pub fn record(&mut self, outcome: SampleOutcome) {
+        self.total_draws += 1;
+        match outcome {
+            SampleOutcome::Index(i) => *self.counts.entry(i).or_insert(0) += 1,
+            SampleOutcome::Fail => self.fails += 1,
+            SampleOutcome::Empty => self.empties += 1,
+        }
+    }
+
+    /// Number of outcomes recorded (including failures).
+    pub fn total_draws(&self) -> u64 {
+        self.total_draws
+    }
+
+    /// Number of successful index outcomes.
+    pub fn successes(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Number of `FAIL` outcomes.
+    pub fn fails(&self) -> u64 {
+        self.fails
+    }
+
+    /// Number of `⊥` outcomes.
+    pub fn empties(&self) -> u64 {
+        self.empties
+    }
+
+    /// Empirical failure rate.
+    pub fn fail_rate(&self) -> f64 {
+        if self.total_draws == 0 {
+            0.0
+        } else {
+            self.fails as f64 / self.total_draws as f64
+        }
+    }
+
+    /// The number of times a specific index was sampled.
+    pub fn count(&self, item: Item) -> u64 {
+        self.counts.get(&item).copied().unwrap_or(0)
+    }
+
+    /// The empirical conditional distribution over indices (conditioned on a
+    /// successful outcome).
+    pub fn empirical_distribution(&self) -> HashMap<Item, f64> {
+        let succ = self.successes();
+        if succ == 0 {
+            return HashMap::new();
+        }
+        self.counts.iter().map(|(&i, &c)| (i, c as f64 / succ as f64)).collect()
+    }
+
+    /// Total-variation distance between the empirical conditional
+    /// distribution and a target distribution.
+    pub fn tv_distance(&self, target: &HashMap<Item, f64>) -> f64 {
+        tv_distance(&self.empirical_distribution(), target)
+    }
+
+    /// Pearson χ² statistic of the successful samples against a target
+    /// distribution, together with the degrees of freedom.
+    ///
+    /// Buckets with expected count below 1 are merged into a single "rare"
+    /// bucket to keep the statistic well behaved.
+    pub fn chi_square(&self, target: &HashMap<Item, f64>) -> ChiSquare {
+        let n = self.successes() as f64;
+        if n == 0.0 || target.is_empty() {
+            return ChiSquare { statistic: 0.0, degrees_of_freedom: 0 };
+        }
+        let mut statistic = 0.0;
+        let mut rare_expected = 0.0;
+        let mut rare_observed = 0.0;
+        let mut cells = 0usize;
+        for (&item, &prob) in target {
+            let expected = prob * n;
+            let observed = self.count(item) as f64;
+            if expected < 1.0 {
+                rare_expected += expected;
+                rare_observed += observed;
+            } else {
+                statistic += (observed - expected).powi(2) / expected;
+                cells += 1;
+            }
+        }
+        if rare_expected > 0.0 {
+            statistic += (rare_observed - rare_expected).powi(2) / rare_expected;
+            cells += 1;
+        }
+        ChiSquare { statistic, degrees_of_freedom: cells.saturating_sub(1) }
+    }
+}
+
+/// A χ² statistic with its degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquare {
+    /// The Pearson χ² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom (number of cells minus one).
+    pub degrees_of_freedom: usize,
+}
+
+impl ChiSquare {
+    /// A crude acceptance test: the statistic of a correct sampler
+    /// concentrates around its degrees of freedom with standard deviation
+    /// `√(2·dof)`; this accepts anything within `sigmas` standard deviations
+    /// above the mean.
+    ///
+    /// This is intentionally loose — it is a regression tripwire for grossly
+    /// wrong distributions, not a calibrated hypothesis test.
+    pub fn within_sigmas(&self, sigmas: f64) -> bool {
+        let dof = self.degrees_of_freedom as f64;
+        if dof == 0.0 {
+            return true;
+        }
+        self.statistic <= dof + sigmas * (2.0 * dof).sqrt()
+    }
+}
+
+/// Total-variation distance between two distributions given as maps.
+/// Missing keys are treated as zero mass.
+pub fn tv_distance(a: &HashMap<Item, f64>, b: &HashMap<Item, f64>) -> f64 {
+    let mut keys: Vec<Item> = a.keys().chain(b.keys()).copied().collect();
+    keys.sort_unstable();
+    keys.dedup();
+    0.5 * keys
+        .iter()
+        .map(|k| (a.get(k).copied().unwrap_or(0.0) - b.get(k).copied().unwrap_or(0.0)).abs())
+        .sum::<f64>()
+}
+
+/// The expected total-variation distance between the empirical distribution
+/// of `samples` i.i.d. draws from `target` and `target` itself, approximated
+/// by the standard `Σ_i √(p_i(1-p_i)) / √(2π·samples)`-style bound
+/// `E[TV] ≈ Σ_i √(p_i (1 - p_i) / (2 π samples))`.
+///
+/// Used to decide whether a measured TV distance is explained by sampling
+/// noise: a truly perfect sampler's TV distance should be within a small
+/// constant factor of this quantity, while a biased sampler's TV distance
+/// plateaus at its bias.
+pub fn expected_sampling_tv(target: &HashMap<Item, f64>, samples: u64) -> f64 {
+    if samples == 0 {
+        return 1.0;
+    }
+    let s = samples as f64;
+    target
+        .values()
+        .map(|&p| (p * (1.0 - p) / (2.0 * std::f64::consts::PI * s)).sqrt())
+        .sum()
+}
+
+/// Measures how the bias of repeated sampling *composes* across independent
+/// runs: given per-run empirical distributions and the common target, returns
+/// the total-variation distance between the product (joint) empirical
+/// distribution and the product target, approximated through the standard
+/// additive bound `TV(⊗P_i, ⊗Q_i) ≤ Σ_i TV(P_i, Q_i)` (reported as the sum).
+///
+/// For a truly perfect sampler each term is pure sampling noise and the sum
+/// grows like `√(portions)·noise`; for a sampler with additive error γ the
+/// sum grows like `portions · γ`, which is the accumulation phenomenon the
+/// paper's introduction warns about.
+pub fn composed_bias(per_run_tv: &[f64]) -> f64 {
+    per_run_tv.iter().sum()
+}
+
+/// Scaling-exponent estimation by least squares on log-log data: fits
+/// `y ≈ c · x^e` and returns `e`.
+///
+/// The experiment harness uses this to verify claims of the form "space grows
+/// like n^{1 - 1/p}".
+pub fn fit_power_law(points: &[(f64, f64)]) -> f64 {
+    let filtered: Vec<(f64, f64)> =
+        points.iter().copied().filter(|&(x, y)| x > 0.0 && y > 0.0).collect();
+    assert!(filtered.len() >= 2, "need at least two positive points to fit");
+    let n = filtered.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for (x, y) in filtered {
+        let lx = x.ln();
+        let ly = y.ln();
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target_of(pairs: &[(Item, f64)]) -> HashMap<Item, f64> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn tv_distance_basic_properties() {
+        let a = target_of(&[(1, 0.5), (2, 0.5)]);
+        let b = target_of(&[(1, 0.5), (2, 0.5)]);
+        let c = target_of(&[(3, 1.0)]);
+        assert_eq!(tv_distance(&a, &b), 0.0);
+        assert!((tv_distance(&a, &c) - 1.0).abs() < 1e-12);
+        let d = target_of(&[(1, 1.0)]);
+        assert!((tv_distance(&a, &d) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_records_all_outcome_kinds() {
+        let mut h = SampleHistogram::new();
+        h.record(SampleOutcome::Index(4));
+        h.record(SampleOutcome::Index(4));
+        h.record(SampleOutcome::Index(5));
+        h.record(SampleOutcome::Fail);
+        h.record(SampleOutcome::Empty);
+        assert_eq!(h.total_draws(), 5);
+        assert_eq!(h.successes(), 3);
+        assert_eq!(h.fails(), 1);
+        assert_eq!(h.empties(), 1);
+        assert_eq!(h.count(4), 2);
+        assert!((h.fail_rate() - 0.2).abs() < 1e-12);
+        let emp = h.empirical_distribution();
+        assert!((emp[&4] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_accepts_exact_multinomial() {
+        // Draw from the exact target using a simple inverse-CDF and verify
+        // the chi-square statistic is near its degrees of freedom.
+        let target = target_of(&[(0, 0.1), (1, 0.2), (2, 0.3), (3, 0.4)]);
+        let mut h = SampleHistogram::new();
+        let mut rng = tps_random::default_rng(42);
+        use tps_random::StreamRng;
+        for _ in 0..50_000 {
+            let u = rng.next_f64();
+            let idx = if u < 0.1 {
+                0
+            } else if u < 0.3 {
+                1
+            } else if u < 0.6 {
+                2
+            } else {
+                3
+            };
+            h.record(SampleOutcome::Index(idx));
+        }
+        let cs = h.chi_square(&target);
+        assert_eq!(cs.degrees_of_freedom, 3);
+        assert!(cs.within_sigmas(4.0), "chi2 = {}", cs.statistic);
+        assert!(h.tv_distance(&target) < 0.02);
+    }
+
+    #[test]
+    fn chi_square_rejects_biased_sampler() {
+        let target = target_of(&[(0, 0.5), (1, 0.5)]);
+        let mut h = SampleHistogram::new();
+        // A sampler that outputs 0 with probability 0.6.
+        let mut rng = tps_random::default_rng(7);
+        use tps_random::StreamRng;
+        for _ in 0..50_000 {
+            let idx = if rng.gen_bool(0.6) { 0 } else { 1 };
+            h.record(SampleOutcome::Index(idx));
+        }
+        let cs = h.chi_square(&target);
+        assert!(!cs.within_sigmas(6.0), "bias should be detected, chi2={}", cs.statistic);
+    }
+
+    #[test]
+    fn expected_sampling_tv_shrinks_with_samples() {
+        let target = target_of(&[(0, 0.25), (1, 0.25), (2, 0.25), (3, 0.25)]);
+        let small = expected_sampling_tv(&target, 100);
+        let large = expected_sampling_tv(&target, 10_000);
+        assert!(large < small);
+        assert!((small / large - 10.0).abs() < 0.5, "should shrink like 1/sqrt(samples)");
+    }
+
+    #[test]
+    fn fit_power_law_recovers_exponent() {
+        let points: Vec<(f64, f64)> =
+            (1..=8).map(|i| (2f64.powi(i), 3.0 * 2f64.powi(i).powf(0.5))).collect();
+        let e = fit_power_law(&points);
+        assert!((e - 0.5).abs() < 1e-9, "exponent {e}");
+    }
+
+    #[test]
+    fn composed_bias_is_additive() {
+        assert!((composed_bias(&[0.1, 0.2, 0.3]) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_edge_cases() {
+        let h = SampleHistogram::new();
+        assert_eq!(h.fail_rate(), 0.0);
+        assert!(h.empirical_distribution().is_empty());
+        let cs = h.chi_square(&target_of(&[(0, 1.0)]));
+        assert_eq!(cs.degrees_of_freedom, 0);
+    }
+}

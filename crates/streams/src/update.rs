@@ -1,0 +1,121 @@
+//! Stream update types and window specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// A coordinate index of the underlying frequency vector `f ∈ R^n`.
+///
+/// The paper indexes coordinates by `i ∈ [n]`; we use `u64` so the same type
+/// works for the polynomially-duplicated universes of the baseline samplers.
+pub type Item = u64;
+
+/// A 1-based position in the stream (the paper's "timestamp").
+pub type Timestamp = u64;
+
+/// A signed update `(i, Δ)` in the (strict or general) turnstile model.
+///
+/// The update causes `f_i ← f_i + Δ`. In the insertion-only model every
+/// `Δ = +1`, which is represented directly by a bare [`Item`] instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SignedUpdate {
+    /// Coordinate being updated.
+    pub item: Item,
+    /// Signed change applied to the coordinate.
+    pub delta: i64,
+}
+
+impl SignedUpdate {
+    /// A unit insertion to `item`.
+    pub fn insert(item: Item) -> Self {
+        Self { item, delta: 1 }
+    }
+
+    /// A unit deletion from `item`.
+    pub fn delete(item: Item) -> Self {
+        Self { item, delta: -1 }
+    }
+}
+
+/// A unit update to entry `(row, col)` of an implicit matrix `M ∈ R^{n×d}`
+/// in the insertion-only model (Section 3.2.3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MatrixUpdate {
+    /// Row index of the updated entry.
+    pub row: u64,
+    /// Column index of the updated entry.
+    pub col: u64,
+}
+
+impl MatrixUpdate {
+    /// Creates a unit update to `(row, col)`.
+    pub fn new(row: u64, col: u64) -> Self {
+        Self { row, col }
+    }
+}
+
+/// A sliding-window specification: only the `width` most recent updates are
+/// active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSpec {
+    /// Window size `W` in number of updates.
+    pub width: u64,
+}
+
+impl WindowSpec {
+    /// Creates a window of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: u64) -> Self {
+        assert!(width > 0, "window width must be positive");
+        Self { width }
+    }
+
+    /// Whether an update made at `update_time` is still active at
+    /// `current_time` (both 1-based stream positions).
+    ///
+    /// Mirrors the paper's convention: at time `t` the active updates are
+    /// those with positions in `(t - W, t]`.
+    pub fn is_active(&self, update_time: Timestamp, current_time: Timestamp) -> bool {
+        update_time <= current_time && update_time + self.width > current_time
+    }
+
+    /// The earliest still-active position at `current_time`.
+    pub fn earliest_active(&self, current_time: Timestamp) -> Timestamp {
+        (current_time + 1).saturating_sub(self.width).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_update_constructors() {
+        assert_eq!(SignedUpdate::insert(3), SignedUpdate { item: 3, delta: 1 });
+        assert_eq!(SignedUpdate::delete(3), SignedUpdate { item: 3, delta: -1 });
+    }
+
+    #[test]
+    fn window_activity_boundaries() {
+        let w = WindowSpec::new(5);
+        // At time 10, active positions are 6..=10.
+        assert!(!w.is_active(5, 10));
+        assert!(w.is_active(6, 10));
+        assert!(w.is_active(10, 10));
+        assert!(!w.is_active(11, 10));
+        assert_eq!(w.earliest_active(10), 6);
+    }
+
+    #[test]
+    fn window_earliest_active_at_stream_start() {
+        let w = WindowSpec::new(100);
+        assert_eq!(w.earliest_active(5), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_window_panics() {
+        let _ = WindowSpec::new(0);
+    }
+}

@@ -1,0 +1,278 @@
+//! The smooth-histogram data structure (Definition A.2 of the paper,
+//! following Braverman–Ostrovsky).
+//!
+//! A smooth histogram maintains a sequence of timestamps `x_1 < x_2 < … <
+//! x_s` and, for each, an instance of a streaming estimator applied to the
+//! suffix of the stream starting at that timestamp. Two invariants are
+//! maintained:
+//!
+//! 1. `x_1` is expired (or the stream start) and `x_2` is active, so the
+//!    active window is sandwiched between the suffixes of `x_1` and `x_2`
+//!    (Figure 1 of the paper); and
+//! 2. adjacent estimates are separated by at least a `(1 − β)` factor, which
+//!    for a polynomially bounded monotone function caps the number of
+//!    instances at `O((log W)/β)`.
+
+use tps_streams::{Estimator, Item, SpaceUsage, Timestamp};
+
+/// A factory producing fresh estimator instances, one per checkpoint.
+pub trait EstimatorFactory {
+    /// The estimator type produced.
+    type Output: Estimator;
+
+    /// Creates a fresh estimator (applied to the stream suffix that starts
+    /// at the checkpoint being created).
+    fn create(&mut self) -> Self::Output;
+}
+
+impl<E: Estimator, F: FnMut() -> E> EstimatorFactory for F {
+    type Output = E;
+
+    fn create(&mut self) -> E {
+        self()
+    }
+}
+
+/// One checkpointed estimator instance.
+#[derive(Debug, Clone)]
+struct Checkpoint<E> {
+    /// 1-based stream position of the first update this instance has seen.
+    start: Timestamp,
+    estimator: E,
+}
+
+/// A smooth histogram over a monotone non-negative statistic of the window.
+#[derive(Debug)]
+pub struct SmoothHistogram<F: EstimatorFactory> {
+    window: u64,
+    beta: f64,
+    factory: F,
+    checkpoints: Vec<Checkpoint<F::Output>>,
+    time: Timestamp,
+}
+
+impl<F: EstimatorFactory> SmoothHistogram<F> {
+    /// Creates a smooth histogram for windows of `window` updates with
+    /// pruning ratio `beta ∈ (0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `beta` is outside `(0, 1)`.
+    pub fn new(window: u64, beta: f64, factory: F) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(beta > 0.0 && beta < 1.0, "beta must be in (0,1)");
+        Self { window, beta, factory, checkpoints: Vec::new(), time: 0 }
+    }
+
+    /// The window size `W`.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Current stream position (number of updates processed).
+    pub fn time(&self) -> Timestamp {
+        self.time
+    }
+
+    /// Number of live checkpoints (experiment F1 measures this).
+    pub fn checkpoint_count(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// The start timestamps of the live checkpoints, oldest first.
+    pub fn checkpoint_starts(&self) -> Vec<Timestamp> {
+        self.checkpoints.iter().map(|c| c.start).collect()
+    }
+
+    /// Processes one stream update.
+    pub fn update(&mut self, item: Item) {
+        self.time += 1;
+        // Start a new instance at this position.
+        let estimator = self.factory.create();
+        self.checkpoints.push(Checkpoint { start: self.time, estimator });
+        // Feed the update to every instance (each covers a suffix).
+        for cp in &mut self.checkpoints {
+            cp.estimator.update(item);
+        }
+        self.prune();
+    }
+
+    /// The smooth-histogram pruning rule plus window expiry.
+    fn prune(&mut self) {
+        // Rule 1: among checkpoints whose estimates are within (1 - β) of an
+        // earlier one, keep only the endpoints (Definition A.2, property 3).
+        let mut i = 0;
+        while i + 2 < self.checkpoints.len() {
+            let outer = self.checkpoints[i].estimator.estimate();
+            let skip_to = self.checkpoints[i + 2].estimator.estimate();
+            if skip_to >= (1.0 - self.beta) * outer && outer > 0.0 {
+                // The middle checkpoint i+1 is redundant.
+                self.checkpoints.remove(i + 1);
+            } else {
+                i += 1;
+            }
+        }
+        // Rule 2: keep at most one expired checkpoint (x_1 may be expired,
+        // x_2 must be active).
+        let window_start = self.earliest_active();
+        while self.checkpoints.len() >= 2 && self.checkpoints[1].start < window_start {
+            self.checkpoints.remove(0);
+        }
+    }
+
+    /// The earliest active stream position for the current time.
+    fn earliest_active(&self) -> Timestamp {
+        (self.time + 1).saturating_sub(self.window).max(1)
+    }
+
+    /// The estimate of the oldest checkpoint, which covers a *superset* of
+    /// the active window (an over-approximation for monotone statistics).
+    /// Returns 0 for an empty stream.
+    pub fn over_estimate(&self) -> f64 {
+        self.checkpoints.first().map(|c| c.estimator.estimate()).unwrap_or(0.0)
+    }
+
+    /// The estimate of the newest checkpoint that is entirely inside the
+    /// active window (an under-approximation for monotone statistics).
+    /// Returns 0 if no checkpoint is active yet.
+    pub fn under_estimate(&self) -> f64 {
+        let window_start = self.earliest_active();
+        self.checkpoints
+            .iter()
+            .find(|c| c.start >= window_start)
+            .map(|c| c.estimator.estimate())
+            .unwrap_or(0.0)
+    }
+
+    /// The canonical smooth-histogram answer for the window: the estimate of
+    /// the checkpoint straddling the window boundary (`x_1`), which for an
+    /// `(α, β)`-smooth function is a `(1 ± α)`-approximation of the window
+    /// value (after the inner estimator's own error).
+    pub fn window_estimate(&self) -> f64 {
+        self.over_estimate()
+    }
+}
+
+impl<F: EstimatorFactory> SpaceUsage for SmoothHistogram<F>
+where
+    F::Output: SpaceUsage,
+{
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .checkpoints
+                .iter()
+                .map(|c| c.estimator.space_bytes() + std::mem::size_of::<Timestamp>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_random::{default_rng, StreamRng};
+    use tps_streams::frequency::FrequencyVector;
+    use tps_streams::update::WindowSpec;
+
+    /// An exact F1 (count) estimator used to exercise the histogram logic
+    /// without inner-estimator noise.
+    #[derive(Debug, Default)]
+    struct CountEstimator {
+        count: u64,
+    }
+
+    impl Estimator for CountEstimator {
+        fn update(&mut self, _item: Item) {
+            self.count += 1;
+        }
+        fn estimate(&self) -> f64 {
+            self.count as f64
+        }
+    }
+
+    /// An exact F2 estimator (stores the suffix's frequency vector; test-only).
+    #[derive(Debug, Default)]
+    struct ExactF2 {
+        freqs: FrequencyVector,
+    }
+
+    impl Estimator for ExactF2 {
+        fn update(&mut self, item: Item) {
+            self.freqs.insert(item);
+        }
+        fn estimate(&self) -> f64 {
+            self.freqs.fp(2.0)
+        }
+    }
+
+    #[test]
+    fn count_estimates_sandwich_the_window() {
+        let window = 100u64;
+        let mut hist = SmoothHistogram::new(window, 0.2, CountEstimator::default);
+        for t in 0..1000u64 {
+            hist.update(t % 17);
+            let active = window.min(t + 1) as f64;
+            assert!(hist.over_estimate() >= active, "over-estimate must cover the window");
+            assert!(hist.under_estimate() <= active, "under-estimate must stay inside");
+        }
+        // For F1 with beta = 0.2 the sandwich is within a (1 - beta) factor.
+        let over = hist.over_estimate();
+        let under = hist.under_estimate();
+        assert!(under >= (1.0 - 0.25) * over, "sandwich too loose: {under} vs {over}");
+    }
+
+    #[test]
+    fn checkpoint_count_is_logarithmic() {
+        let mut hist = SmoothHistogram::new(10_000, 0.25, CountEstimator::default);
+        for t in 0..50_000u64 {
+            hist.update(t);
+        }
+        let count = hist.checkpoint_count();
+        assert!(count <= 80, "checkpoint count {count} should be O(log W / beta)");
+        assert!(count >= 3);
+    }
+
+    #[test]
+    fn first_two_checkpoints_sandwich_window_start() {
+        let window = 500u64;
+        let mut hist = SmoothHistogram::new(window, 0.3, CountEstimator::default);
+        for t in 0..5_000u64 {
+            hist.update(t);
+        }
+        let starts = hist.checkpoint_starts();
+        let window_start = 5_000 - window + 1;
+        assert!(starts[0] <= window_start, "x1 must start at or before the window");
+        assert!(starts[1] >= window_start, "x2 must be active");
+    }
+
+    #[test]
+    fn exact_f2_window_estimate_is_constant_factor() {
+        let window = 200u64;
+        let mut hist = SmoothHistogram::new(window, 0.05, ExactF2::default);
+        let mut rng = default_rng(5);
+        let stream: Vec<Item> = (0..3_000).map(|_| rng.gen_range(40)).collect();
+        for &x in &stream {
+            hist.update(x);
+        }
+        let truth = FrequencyVector::from_window(&stream, WindowSpec::new(window)).fp(2.0);
+        let est = hist.window_estimate();
+        assert!(est >= truth, "window estimate must upper-bound the window F2");
+        assert!(est <= 2.0 * truth, "window estimate too loose: {est} vs {truth}");
+    }
+
+    #[test]
+    fn stream_shorter_than_window_is_exact_for_counts() {
+        let mut hist = SmoothHistogram::new(1_000, 0.2, CountEstimator::default);
+        for t in 0..50u64 {
+            hist.update(t);
+        }
+        assert_eq!(hist.over_estimate(), 50.0);
+        assert_eq!(hist.under_estimate(), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be in (0,1)")]
+    fn invalid_beta_panics() {
+        let _ = SmoothHistogram::new(10, 1.5, CountEstimator::default);
+    }
+}

@@ -1,0 +1,69 @@
+//! Smoothness parameters (Definition A.1 and Theorem A.4 of the paper).
+//!
+//! A function `f` is `(α, β)`-smooth when, once a suffix `B` of the stream
+//! satisfies `(1 − β)·f(A) ≤ f(B)`, appending any further updates `C` keeps
+//! `(1 − α)·f(A ∪ C) ≤ f(B ∪ C)`. The smooth-histogram pruning rule only
+//! needs the ratio `β` at which adjacent checkpoints may be discarded; this
+//! module computes the `β` that Theorem A.4 assigns to the frequency moments
+//! `F_p`.
+
+/// The `(α, β)` smoothness pair for the frequency moment `F_p` at target
+/// accuracy `ε` (Theorem A.4): `F_p` is `(ε, ε^p / p^p)`-smooth for `p ≥ 1`
+/// and `(ε, ε)`-smooth for `p < 1`.
+///
+/// # Panics
+///
+/// Panics unless `p > 0` and `0 < ε < 1`.
+pub fn fp_smoothness(p: f64, epsilon: f64) -> (f64, f64) {
+    assert!(p > 0.0, "p must be positive");
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+    if p < 1.0 {
+        (epsilon, epsilon)
+    } else {
+        (epsilon, (epsilon / p).powf(p))
+    }
+}
+
+/// Number of checkpoints the smooth histogram needs for a polynomially
+/// bounded monotone function with pruning ratio `β` over windows of size `W`:
+/// `O(log_{1/(1-β)} (W^{O(1)})) = O((log W) / β)`.
+///
+/// Used by the experiment harness to check the measured checkpoint count has
+/// the right shape (experiment F1).
+pub fn expected_checkpoints(beta: f64, window: u64) -> f64 {
+    assert!(beta > 0.0 && beta < 1.0);
+    ((window.max(2) as f64).ln() / -(1.0 - beta).ln()).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f2_smoothness_matches_theorem() {
+        let (alpha, beta) = fp_smoothness(2.0, 0.5);
+        assert_eq!(alpha, 0.5);
+        assert!((beta - 0.0625).abs() < 1e-12); // (0.5/2)^2
+    }
+
+    #[test]
+    fn sub_one_p_is_symmetric() {
+        let (alpha, beta) = fp_smoothness(0.5, 0.3);
+        assert_eq!(alpha, 0.3);
+        assert_eq!(beta, 0.3);
+    }
+
+    #[test]
+    fn checkpoint_count_grows_logarithmically() {
+        let small = expected_checkpoints(0.25, 1_000);
+        let large = expected_checkpoints(0.25, 1_000_000);
+        assert!(large > small);
+        assert!(large / small < 3.0, "growth should be logarithmic, not polynomial");
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in (0,1)")]
+    fn invalid_epsilon_panics() {
+        let _ = fp_smoothness(1.0, 1.5);
+    }
+}

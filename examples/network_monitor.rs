@@ -1,0 +1,100 @@
+//! Sliding-window network monitoring.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p tps-core --example network_monitor
+//! ```
+//!
+//! The scenario from the paper's introduction: a monitor watches a
+//! high-throughput packet stream and, every reporting period, wants a
+//! sample of flows drawn proportionally to their recent traffic — where
+//! "recent" means the last `W` packets, not the whole history. The example
+//! runs a drifting flow population through
+//!
+//! * a truly perfect sliding-window `L_1` sampler (per-flow packet counts),
+//! * a truly perfect sliding-window Huber sampler (robust weighting that
+//!   damps mega-flows), and
+//! * the truly perfect sliding-window `F_0` sampler (active flow discovery),
+//!
+//! and shows that expired flows never leak into the reports.
+
+use tps_core::f0::SlidingWindowF0Sampler;
+use tps_core::sliding::SlidingWindowGSampler;
+use tps_random::default_rng;
+use tps_streams::frequency::FrequencyVector;
+use tps_streams::generators::drifting_stream;
+use tps_streams::stats::SampleHistogram;
+use tps_streams::update::WindowSpec;
+use tps_streams::{Huber, Lp, SampleOutcome, SlidingWindowSampler};
+
+fn main() {
+    let universe = 4_096u64;
+    let window = 2_000u64;
+    let stream_length = 12_000usize;
+
+    // Flow population drifts every 1500 packets: old flows go quiet, new
+    // flows appear, so the active window keeps changing.
+    let mut rng = default_rng(42);
+    let stream = drifting_stream(&mut rng, universe, stream_length, 1_500, 64, 256);
+    let window_truth = FrequencyVector::from_window(&stream, WindowSpec::new(window));
+
+    println!("window size              : {window} packets");
+    println!("active flows in window   : {}", window_truth.f0());
+    println!("busiest active flow      : {} packets", window_truth.l_inf());
+
+    // --- Traffic-proportional sampling (L1) ------------------------------
+    let mut l1_hist = SampleHistogram::new();
+    for seed in 0..400u64 {
+        let mut sampler = SlidingWindowGSampler::new(Lp::new(1.0), window, 0.1, seed);
+        for &packet in &stream {
+            SlidingWindowSampler::update(&mut sampler, packet);
+        }
+        l1_hist.record(SlidingWindowSampler::sample(&mut sampler));
+    }
+    report("traffic-proportional (L1)", &l1_hist, &window_truth);
+
+    // --- Robust sampling (Huber) ------------------------------------------
+    let mut huber_hist = SampleHistogram::new();
+    for seed in 0..400u64 {
+        let mut sampler = SlidingWindowGSampler::new(Huber::new(8.0), window, 0.1, 10_000 + seed);
+        for &packet in &stream {
+            SlidingWindowSampler::update(&mut sampler, packet);
+        }
+        huber_hist.record(SlidingWindowSampler::sample(&mut sampler));
+    }
+    report("robust (Huber, tau = 8)", &huber_hist, &window_truth);
+
+    // --- Active-flow discovery (F0) ----------------------------------------
+    let mut f0_sampler = SlidingWindowF0Sampler::new(universe, window, 0.05, 7);
+    for &packet in &stream {
+        SlidingWindowSampler::update(&mut f0_sampler, packet);
+    }
+    let mut discovered = std::collections::HashSet::new();
+    for _ in 0..200 {
+        if let SampleOutcome::Index(flow) = SlidingWindowSampler::sample(&mut f0_sampler) {
+            assert!(window_truth.get(flow) > 0, "expired flow {flow} reported");
+            discovered.insert(flow);
+        }
+    }
+    println!(
+        "F0 sampler discovered {} distinct active flows in 200 draws (window has {}).",
+        discovered.len(),
+        window_truth.f0()
+    );
+}
+
+fn report(label: &str, histogram: &SampleHistogram, truth: &FrequencyVector) {
+    let expired_hits: u64 = histogram
+        .empirical_distribution()
+        .keys()
+        .filter(|&&flow| truth.get(flow) == 0)
+        .map(|&flow| histogram.count(flow))
+        .sum();
+    println!(
+        "{label:<28}: {} draws, {:.1}% failed, {} samples of expired flows",
+        histogram.total_draws(),
+        100.0 * histogram.fail_rate(),
+        expired_hits
+    );
+}

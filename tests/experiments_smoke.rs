@@ -1,0 +1,116 @@
+//! Smoke tests for the benchmark harness: every experiment of
+//! `EXPERIMENTS.md` can be executed at a reduced scale and produces rows
+//! whose *shape* matches the paper's claims. The full-scale numbers are
+//! produced by `cargo run --release -p tps-bench --bin report`.
+
+use tps_bench::experiments;
+
+#[test]
+fn e1_lp_space_scaling_exponent_matches_theorem() {
+    // Measured instance count should grow like n^{1-1/p}.
+    let rows = experiments::e1_lp_space(&[256, 1_024, 4_096], &[1.5, 2.0], 0.1);
+    for row in &rows {
+        let theory = 1.0 - 1.0 / row.p;
+        assert!(
+            (row.fitted_exponent - theory).abs() < 0.25,
+            "p={}: fitted {} vs theory {}",
+            row.p,
+            row.fitted_exponent,
+            theory
+        );
+    }
+}
+
+#[test]
+fn e2_fractional_lp_space_scaling() {
+    let rows = experiments::e2_fractional_space(&[1_000, 4_000, 16_000], &[0.5, 0.75], 0.2);
+    for row in &rows {
+        let theory = 1.0 - row.p;
+        assert!(
+            (row.fitted_exponent - theory).abs() < 0.25,
+            "p={}: fitted {} vs theory {}",
+            row.p,
+            row.fitted_exponent,
+            theory
+        );
+    }
+}
+
+#[test]
+fn e3_update_time_is_flat_for_truly_perfect_and_grows_for_baseline() {
+    let row = experiments::e3_update_time(20_000, 256, &[8, 32, 128]);
+    // Truly perfect sampler: per-update cost roughly constant in the
+    // baseline's duplication knob (it does not have one).
+    // Baseline: cost must grow roughly linearly with duplication.
+    let first = row.baseline_nanos_per_update[0];
+    let last = *row.baseline_nanos_per_update.last().unwrap();
+    assert!(
+        last > 4.0 * first,
+        "baseline update time should grow with duplication: {first} -> {last}"
+    );
+    assert!(
+        row.truly_perfect_nanos_per_update < first.max(1_000.0) * 10.0,
+        "truly perfect update time should not dwarf the cheapest baseline"
+    );
+}
+
+#[test]
+fn e4_exactness_and_composition() {
+    let row = experiments::e4_distribution(6_000, 48, 10, 300, 0.1);
+    assert!(row.truly_perfect_drift_ratio < 2.0);
+    assert!(row.biased_drift_ratio > row.truly_perfect_drift_ratio);
+}
+
+#[test]
+fn e5_mestimator_samplers_are_small_and_exact() {
+    let rows = experiments::e5_mestimators(2_000, 32, 600);
+    for row in rows {
+        assert!(
+            row.tv_distance < 3.0 * row.expected_noise.max(0.02),
+            "{}: tv {} vs noise {}",
+            row.measure,
+            row.tv_distance,
+            row.expected_noise
+        );
+        assert!(row.space_bytes < 64 * 1024, "{}: space {}", row.measure, row.space_bytes);
+    }
+}
+
+#[test]
+fn e6_f0_space_scaling_and_uniformity() {
+    let row = experiments::e6_f0(&[1_024, 16_384], 400);
+    assert!(row.fitted_space_exponent > 0.3 && row.fitted_space_exponent < 0.8);
+    assert!(row.tv_distance < 0.25);
+}
+
+#[test]
+fn e9_equality_attack_advantage_matches_gamma() {
+    let rows = experiments::e9_equality(&[0.0, 0.05, 0.1], 128, 2_000);
+    assert_eq!(rows[0].observed_advantage, 0.0);
+    assert!((rows[2].observed_advantage - 0.1).abs() < 0.03);
+    // Smaller additive error ⇒ larger implied space bound (gamma = 0 is
+    // clamped to a tiny positive value inside the experiment).
+    assert!(rows[0].lower_bound_bits > rows[2].lower_bound_bits);
+}
+
+#[test]
+fn e10_multipass_tradeoff() {
+    let rows = experiments::e10_multipass(4_096, 2_000, &[0.5, 0.25, 0.125]);
+    // More passes <=> fewer counters as gamma shrinks.
+    assert!(rows.windows(2).all(|w| w[1].passes >= w[0].passes));
+    assert!(rows.windows(2).all(|w| w[1].peak_counters <= w[0].peak_counters));
+}
+
+#[test]
+fn f1_smooth_histogram_checkpoints_are_logarithmic() {
+    let rows = experiments::f1_checkpoints(&[1_000, 10_000]);
+    for row in &rows {
+        assert!(
+            (row.checkpoints as f64) < 40.0 * (row.window as f64).ln(),
+            "window {}: {} checkpoints",
+            row.window,
+            row.checkpoints
+        );
+    }
+    assert!(rows[1].checkpoints < rows[0].checkpoints * 4);
+}

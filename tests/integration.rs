@@ -1,0 +1,204 @@
+//! Cross-crate integration tests: end-to-end scenarios exercising the
+//! samplers through the same public API the examples and benches use.
+
+use tps_core::f0::TrulyPerfectF0Sampler;
+use tps_core::lp::TrulyPerfectLpSampler;
+use tps_core::mestimators::{HuberSampler, L1L2Sampler};
+use tps_core::perfect_baselines::BiasedReferenceSampler;
+use tps_core::sliding::SlidingWindowGSampler;
+use tps_core::turnstile::{MultiPassLpSampler, StrictTurnstileF0Sampler};
+use tps_random::default_rng;
+use tps_streams::frequency::FrequencyVector;
+use tps_streams::generators::{
+    heavy_hitter_stream, split_into_portions, strict_turnstile_stream, zipfian_stream,
+};
+use tps_streams::stats::{expected_sampling_tv, SampleHistogram};
+use tps_streams::update::WindowSpec;
+use tps_streams::{
+    Huber, Lp, MeasureFn, SampleOutcome, SlidingWindowSampler, SpaceUsage, StreamSampler,
+    TurnstileSampler, L1L2,
+};
+
+/// E2E: a truly perfect L2 sampler on a realistic Zipfian workload matches
+/// the exact quadratic distribution to within sampling noise.
+#[test]
+fn l2_sampler_on_zipfian_workload_matches_exact_distribution() {
+    let universe = 512u64;
+    let mut rng = default_rng(1);
+    let stream = zipfian_stream(&mut rng, universe, 8_000, 1.3);
+    let truth = FrequencyVector::from_stream(&stream);
+    let target = truth.lp_distribution(2.0);
+
+    let mut histogram = SampleHistogram::new();
+    for seed in 0..1_200u64 {
+        let mut sampler = TrulyPerfectLpSampler::new(2.0, universe, 0.05, seed);
+        sampler.update_all(&stream);
+        histogram.record(sampler.sample());
+    }
+    assert!(histogram.fail_rate() < 0.05, "fail rate {}", histogram.fail_rate());
+    let tv = histogram.tv_distance(&target);
+    let noise = expected_sampling_tv(&target, histogram.successes());
+    assert!(tv < 4.0 * noise + 0.02, "TV {tv} vs noise floor {noise}");
+}
+
+/// E2E: the sampler only ever reports items that are actually present, on
+/// every supported measure.
+#[test]
+fn samplers_never_report_absent_items() {
+    let mut rng = default_rng(2);
+    let stream = heavy_hitter_stream(&mut rng, 10_000, 3_000, 5, 0.7);
+    let truth = FrequencyVector::from_stream(&stream);
+
+    for seed in 0..30u64 {
+        let mut l2 = TrulyPerfectLpSampler::new(2.0, 10_000, 0.1, seed);
+        let mut half = TrulyPerfectLpSampler::fractional(0.5, stream.len() as u64, 0.1, seed);
+        let mut l1l2 = L1L2Sampler::l1l2(stream.len() as u64, 0.1, seed);
+        let mut huber = HuberSampler::huber(4.0, stream.len() as u64, 0.1, seed);
+        let mut f0 = TrulyPerfectF0Sampler::new(10_000, 0.1, seed);
+        l2.update_all(&stream);
+        half.update_all(&stream);
+        l1l2.update_all(&stream);
+        huber.update_all(&stream);
+        f0.update_all(&stream);
+        for outcome in [l2.sample(), half.sample(), l1l2.sample(), huber.sample(), f0.sample()] {
+            if let SampleOutcome::Index(i) = outcome {
+                assert!(truth.get(i) > 0, "absent item {i} reported");
+            }
+        }
+    }
+}
+
+/// E2E: sliding-window sampling over a stream whose content changes
+/// completely never reports expired items and matches the window's own
+/// distribution.
+#[test]
+fn sliding_window_sampler_tracks_only_the_window() {
+    let window = 400u64;
+    let mut stream = Vec::new();
+    for t in 0..2_000u64 {
+        stream.push(t % 7); // items 0..6, later expired
+    }
+    for t in 0..400u64 {
+        stream.push(100 + (t % 3) * (t % 2)); // items 100, 101, 102
+    }
+    let truth = FrequencyVector::from_window(&stream, WindowSpec::new(window));
+    let g = Huber::new(2.0);
+    let target = truth.g_distribution(&g);
+
+    let mut histogram = SampleHistogram::new();
+    for seed in 0..800u64 {
+        let mut sampler = SlidingWindowGSampler::new(g.clone(), window, 0.1, seed);
+        for &x in &stream {
+            SlidingWindowSampler::update(&mut sampler, x);
+        }
+        histogram.record(SlidingWindowSampler::sample(&mut sampler));
+    }
+    for expired in 0..7u64 {
+        assert_eq!(histogram.count(expired), 0, "expired item {expired} sampled");
+    }
+    assert!(histogram.tv_distance(&target) < 0.08);
+}
+
+/// E2E: the strict-turnstile pipeline — multi-pass Lp sampling and
+/// sparse-recovery-based F0 sampling — agrees with ground truth after heavy
+/// insert/delete churn.
+#[test]
+fn strict_turnstile_pipeline_agrees_with_ground_truth() {
+    let universe = 256u64;
+    let mut rng = default_rng(3);
+    let updates = strict_turnstile_stream(&mut rng, universe, 4_000, 0.35);
+    let truth = FrequencyVector::from_signed_stream(&updates);
+    assert!(truth.is_non_negative());
+
+    // Multi-pass L2 sampling.
+    let sampler = MultiPassLpSampler::new(2.0, universe, 0.5, 0.1);
+    let target = truth.lp_distribution(2.0);
+    let mut histogram = SampleHistogram::new();
+    let mut sample_rng = default_rng(4);
+    for _ in 0..1_500 {
+        let (outcome, report) = sampler.sample(&updates, &mut sample_rng);
+        assert!(report.passes <= 4, "unexpected pass count {}", report.passes);
+        histogram.record(outcome);
+    }
+    assert!(histogram.fail_rate() < 0.3, "fail rate {}", histogram.fail_rate());
+    // The support is large (hundreds of live items), so the comparison is
+    // against the multinomial noise floor at this sample count rather than a
+    // fixed constant.
+    let noise = expected_sampling_tv(&target, histogram.successes());
+    assert!(
+        histogram.tv_distance(&target) < 2.0 * noise + 0.02,
+        "tv {} vs noise floor {noise}",
+        histogram.tv_distance(&target)
+    );
+
+    // Strict turnstile F0 sampling: every reported item must be live.
+    for seed in 0..40u64 {
+        let mut f0 = StrictTurnstileF0Sampler::new(universe, seed);
+        for &u in &updates {
+            f0.update(u);
+        }
+        if let SampleOutcome::Index(i) = f0.sample() {
+            assert!(truth.get(i) > 0, "dead item {i} reported by strict turnstile F0");
+        }
+    }
+}
+
+/// E2E: composing samplers across stream portions — the truly perfect
+/// sampler's drift stays at the noise floor while a γ-additive sampler's
+/// drift grows with the number of portions (the paper's motivating
+/// separation).
+#[test]
+fn composition_separates_truly_perfect_from_gamma_additive() {
+    let mut rng = default_rng(5);
+    let stream = zipfian_stream(&mut rng, 40, 6_000, 1.0);
+    let portions = split_into_portions(&stream, 12);
+    let gamma = 0.3;
+
+    let perfect = tps_core::composition::run_composition(
+        &portions,
+        400,
+        |seed| TrulyPerfectLpSampler::new(1.0, 40, 0.1, seed),
+        |truth| truth.lp_distribution(1.0),
+    );
+    let biased = tps_core::composition::run_composition(
+        &portions,
+        400,
+        |seed| {
+            BiasedReferenceSampler::new(
+                TrulyPerfectLpSampler::new(1.0, 40, 0.1, seed),
+                gamma,
+                39,
+                seed ^ 0xF00D,
+            )
+        },
+        |truth| truth.lp_distribution(1.0),
+    );
+    assert!(perfect.drift_ratio() < 1.7, "perfect ratio {}", perfect.drift_ratio());
+    assert!(biased.drift_ratio() > 2.0, "biased ratio {}", biased.drift_ratio());
+    assert!(biased.total_drift() > 1.8 * perfect.total_drift());
+}
+
+/// E2E: space accounting is wired through every sampler (needed by the
+/// benchmark harness) and reports sane, nonzero values.
+#[test]
+fn space_accounting_is_available_everywhere() {
+    let stream: Vec<u64> = (0..500u64).map(|i| i % 37).collect();
+    let mut l2 = TrulyPerfectLpSampler::new(2.0, 1_024, 0.1, 1);
+    let mut l1l2 = L1L2Sampler::l1l2(500, 0.1, 1);
+    let mut f0 = TrulyPerfectF0Sampler::new(1_024, 0.1, 1);
+    let mut window = SlidingWindowGSampler::new(Lp::new(1.0), 100, 0.1, 1);
+    l2.update_all(&stream);
+    l1l2.update_all(&stream);
+    f0.update_all(&stream);
+    for &x in &stream {
+        SlidingWindowSampler::update(&mut window, x);
+    }
+    for space in [l2.space_bytes(), l1l2.space_bytes(), f0.space_bytes(), window.space_bytes()] {
+        assert!(space > 0 && space < 10_000_000, "implausible space report {space}");
+    }
+    // Sanity: the M-estimator sampler (O(log) instances) is much smaller
+    // than the L2 sampler (O(sqrt(n)) instances) on the same stream.
+    assert!(l1l2.space_bytes() < l2.space_bytes());
+    // The measure is exposed end-to-end.
+    assert_eq!(L1L2.name(), "L1-L2");
+}

@@ -1,0 +1,232 @@
+//! Property-based tests (proptest) for the core data structures and the
+//! invariants the samplers' correctness rests on.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use tps_core::framework::{MisraGriesNormalizer, RejectionNormalizer};
+use tps_core::lp::TrulyPerfectLpSampler;
+use tps_core::turnstile::MultiPassL1Sampler;
+use tps_random::default_rng;
+use tps_sketches::{MisraGries, SparseRecovery, SpaceSaving};
+use tps_streams::frequency::FrequencyVector;
+use tps_streams::stats::{fit_power_law, tv_distance};
+use tps_streams::update::WindowSpec;
+use tps_streams::{
+    CappedCount, ConcaveLog, Fair, Huber, Item, Lp, MeasureFn, SampleOutcome, SignedUpdate,
+    StreamSampler, Tukey, L1L2,
+};
+
+/// Arbitrary small insertion-only streams.
+fn small_stream() -> impl Strategy<Value = Vec<Item>> {
+    proptest::collection::vec(0u64..50, 1..400)
+}
+
+/// Arbitrary strict-turnstile streams (inserts, then delete a prefix of the
+/// inserted copies so every intermediate frequency is non-negative).
+fn strict_stream() -> impl Strategy<Value = Vec<SignedUpdate>> {
+    (proptest::collection::vec(0u64..40, 1..150), any::<u64>()).prop_map(|(inserts, seed)| {
+        use tps_random::StreamRng;
+        let mut rng = default_rng(seed);
+        let mut updates: Vec<SignedUpdate> =
+            inserts.iter().map(|&i| SignedUpdate::insert(i)).collect();
+        // Delete a random subset of what was inserted, after the inserts.
+        let mut deletions = Vec::new();
+        for &i in &inserts {
+            if rng.gen_bool(0.4) {
+                deletions.push(SignedUpdate::delete(i));
+            }
+        }
+        updates.extend(deletions);
+        updates
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The telescoping identity Σ_{c=1}^{x} (G(c) − G(c−1)) = G(x) that the
+    /// framework's correctness proof relies on, for every measure.
+    #[test]
+    fn measures_telescope(x in 1u64..200) {
+        fn check<G: MeasureFn>(g: &G, x: u64) -> Result<(), TestCaseError> {
+            let sum: f64 = (1..=x).map(|c| g.delta(c)).sum();
+            prop_assert!((sum - g.value(x)).abs() < 1e-6 * g.value(x).max(1.0));
+            Ok(())
+        }
+        check(&Lp::new(0.5), x)?;
+        check(&Lp::new(1.5), x)?;
+        check(&Lp::new(2.0), x)?;
+        check(&L1L2, x)?;
+        check(&Fair::new(2.5), x)?;
+        check(&Huber::new(3.0), x)?;
+        check(&Tukey::new(9.0), x)?;
+        check(&ConcaveLog, x)?;
+        check(&CappedCount::new(7), x)?;
+    }
+
+    /// Every measure's increment bound really bounds every increment up to
+    /// the declared maximum frequency.
+    #[test]
+    fn increment_bounds_hold(max_freq in 1u64..500) {
+        fn check<G: MeasureFn>(g: &G, max_freq: u64) -> Result<(), TestCaseError> {
+            let zeta = g.increment_bound(max_freq);
+            for c in 1..=max_freq {
+                prop_assert!(g.delta(c) <= zeta + 1e-9);
+            }
+            Ok(())
+        }
+        check(&Lp::new(0.7), max_freq)?;
+        check(&Lp::new(2.0), max_freq)?;
+        check(&L1L2, max_freq)?;
+        check(&Fair::new(1.5), max_freq)?;
+        check(&Huber::new(0.8), max_freq)?;
+        check(&ConcaveLog, max_freq)?;
+    }
+
+    /// Misra–Gries: deterministic two-sided frequency bounds and a certain
+    /// upper bound on the maximum frequency, for arbitrary streams and
+    /// counter budgets.
+    #[test]
+    fn misra_gries_invariants(stream in small_stream(), capacity in 1usize..40) {
+        let mut mg = MisraGries::new(capacity);
+        for &x in &stream {
+            mg.update(x);
+        }
+        let truth = FrequencyVector::from_stream(&stream);
+        let err = mg.error_bound();
+        for (item, freq) in truth.iter() {
+            let est = mg.estimate(item);
+            prop_assert!(est <= freq as u64);
+            prop_assert!(est + err >= freq as u64);
+        }
+        prop_assert!(mg.max_frequency_upper_bound() >= truth.l_inf());
+        prop_assert!(mg.max_frequency_upper_bound() <= truth.l_inf() + err);
+    }
+
+    /// SpaceSaving overestimates and respects its error bound.
+    #[test]
+    fn space_saving_invariants(stream in small_stream(), capacity in 1usize..40) {
+        let mut ss = SpaceSaving::new(capacity);
+        for &x in &stream {
+            ss.update(x);
+        }
+        let truth = FrequencyVector::from_stream(&stream);
+        prop_assert!(ss.max_frequency_upper_bound() >= truth.l_inf());
+        for (item, freq) in truth.iter() {
+            prop_assert!(ss.estimate(item) <= freq as u64 + ss.error_bound());
+        }
+    }
+
+    /// The Misra–Gries normaliser used by the L_p sampler is always a valid
+    /// (certain) bound on the largest achievable increment.
+    #[test]
+    fn misra_gries_normalizer_is_certain(stream in small_stream(), p in 1.0f64..2.0) {
+        let mut norm = MisraGriesNormalizer::new(p, 8);
+        for &x in &stream {
+            norm.observe(x);
+        }
+        let truth = FrequencyVector::from_stream(&stream);
+        let max_f = truth.l_inf().max(1);
+        let zeta = norm.zeta(stream.len() as u64);
+        let largest_increment = (max_f as f64).powf(p) - ((max_f - 1) as f64).powf(p);
+        prop_assert!(zeta + 1e-9 >= largest_increment);
+    }
+
+    /// Sparse recovery is exact for any vector within its sparsity budget,
+    /// including after insert/delete churn.
+    #[test]
+    fn sparse_recovery_roundtrip(updates in strict_stream()) {
+        let truth = FrequencyVector::from_signed_stream(&updates);
+        let sparsity = (truth.f0() as usize).max(1);
+        let mut sr = SparseRecovery::new(sparsity, 40);
+        for &u in &updates {
+            sr.update(u);
+        }
+        let recovered = sr.recover();
+        prop_assert!(recovered.is_some());
+        let recovered = recovered.unwrap();
+        let as_vector = FrequencyVector::from_counts(&recovered);
+        prop_assert_eq!(as_vector, truth);
+    }
+
+    /// The frequency-vector window restriction agrees with replaying only
+    /// the suffix.
+    #[test]
+    fn window_restriction_is_suffix_replay(stream in small_stream(), window in 1u64..500) {
+        let via_window = FrequencyVector::from_window(&stream, WindowSpec::new(window));
+        let start = stream.len().saturating_sub(window as usize);
+        let via_suffix = FrequencyVector::from_stream(&stream[start..]);
+        prop_assert_eq!(via_window, via_suffix);
+    }
+
+    /// Exact target distributions are proper probability distributions for
+    /// every measure and every non-empty stream.
+    #[test]
+    fn target_distributions_are_normalised(stream in small_stream()) {
+        let truth = FrequencyVector::from_stream(&stream);
+        for p in [0.5, 1.0, 1.5, 2.0] {
+            let total: f64 = truth.lp_distribution(p).values().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+        let total_g: f64 = truth.g_distribution(&Huber::new(2.0)).values().sum();
+        prop_assert!((total_g - 1.0).abs() < 1e-9);
+        let total_f0: f64 = truth.f0_distribution().values().sum();
+        prop_assert!((total_f0 - 1.0).abs() < 1e-9);
+    }
+
+    /// TV distance is a metric-like quantity: symmetric, zero on identical
+    /// distributions, bounded by 1.
+    #[test]
+    fn tv_distance_properties(stream_a in small_stream(), stream_b in small_stream()) {
+        let a = FrequencyVector::from_stream(&stream_a).lp_distribution(1.0);
+        let b = FrequencyVector::from_stream(&stream_b).lp_distribution(1.0);
+        let d_ab = tv_distance(&a, &b);
+        let d_ba = tv_distance(&b, &a);
+        prop_assert!((d_ab - d_ba).abs() < 1e-12);
+        prop_assert!(tv_distance(&a, &a) < 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&d_ab));
+    }
+
+    /// The truly perfect L1 sampler (single reservoir instance) never fails
+    /// and never reports an absent item, for arbitrary streams.
+    #[test]
+    fn l1_sampler_total_correctness(stream in small_stream(), seed in any::<u64>()) {
+        let truth = FrequencyVector::from_stream(&stream);
+        let mut sampler = TrulyPerfectLpSampler::new(1.0, 64, 0.1, seed);
+        sampler.update_all(&stream);
+        match sampler.sample() {
+            SampleOutcome::Index(i) => prop_assert!(truth.get(i) > 0),
+            SampleOutcome::Empty => prop_assert!(truth.is_zero()),
+            SampleOutcome::Fail => prop_assert!(false, "L1 sampler must never fail"),
+        }
+    }
+
+    /// The multi-pass strict-turnstile L1 sampler never reports an item with
+    /// zero final frequency and reports Empty exactly on the zero vector.
+    #[test]
+    fn multipass_l1_soundness(updates in strict_stream(), seed in any::<u64>()) {
+        let truth = FrequencyVector::from_signed_stream(&updates);
+        let sampler = MultiPassL1Sampler::new(64, 0.5);
+        let mut rng = default_rng(seed);
+        let (outcome, report) = sampler.sample(&updates, &mut rng);
+        prop_assert!(report.passes <= 4);
+        match outcome {
+            SampleOutcome::Index(i) => prop_assert!(truth.get(i) > 0),
+            SampleOutcome::Empty => prop_assert!(truth.is_zero()),
+            SampleOutcome::Fail => prop_assert!(false, "multi-pass L1 never fails"),
+        }
+    }
+
+    /// Power-law fitting recovers planted exponents (used to validate the
+    /// scaling experiments' methodology).
+    #[test]
+    fn power_law_fit_recovers_exponent(exponent in 0.1f64..2.0, scale in 0.5f64..10.0) {
+        let points: Vec<(f64, f64)> =
+            (1..=10).map(|i| {
+                let x = 2f64.powi(i);
+                (x, scale * x.powf(exponent))
+            }).collect();
+        let fitted = fit_power_law(&points);
+        prop_assert!((fitted - exponent).abs() < 1e-6);
+    }
+}
