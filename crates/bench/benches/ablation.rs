@@ -17,7 +17,10 @@ use tps_streams::{Lp, StreamSampler};
 
 fn bench_normalizers(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_normalizer");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
     let mut rng = default_rng(8);
     let stream = zipfian_stream(&mut rng, 4_096, 30_000, 1.1);
     group.throughput(Throughput::Elements(stream.len() as u64));
@@ -45,7 +48,10 @@ fn bench_normalizers(c: &mut Criterion) {
 
 fn bench_shared_offsets(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_shared_offsets");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
     let mut rng = default_rng(9);
     let stream = zipfian_stream(&mut rng, 4_096, 30_000, 1.1);
     let instances = 128usize;
@@ -77,7 +83,10 @@ fn bench_shared_offsets(c: &mut Criterion) {
 
 fn bench_reservoir_variants(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_reservoir");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
     let mut rng = default_rng(10);
     let stream = zipfian_stream(&mut rng, 4_096, 100_000, 1.0);
     group.throughput(Throughput::Elements(stream.len() as u64));
@@ -105,5 +114,10 @@ fn bench_reservoir_variants(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_normalizers, bench_shared_offsets, bench_reservoir_variants);
+criterion_group!(
+    benches,
+    bench_normalizers,
+    bench_shared_offsets,
+    bench_reservoir_variants
+);
 criterion_main!(benches);

@@ -12,7 +12,10 @@ use tps_streams::StreamSampler;
 
 fn bench_sample_latency(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_sample_latency");
-    group.sample_size(20).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
     let mut rng = default_rng(4);
     let stream = zipfian_stream(&mut rng, 2_048, 20_000, 1.1);
 

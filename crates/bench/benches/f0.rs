@@ -10,7 +10,10 @@ use tps_streams::{SlidingWindowSampler, StreamSampler};
 
 fn bench_f0(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_f0");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
     let mut rng = default_rng(5);
     let stream = uniform_stream(&mut rng, 5_000, 20_000);
     group.throughput(Throughput::Elements(stream.len() as u64));

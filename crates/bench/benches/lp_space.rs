@@ -12,11 +12,20 @@ use tps_streams::StreamSampler;
 
 fn bench_lp_ingest(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_lp_ingest");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
     let mut rng = default_rng(1);
     let stream = zipfian_stream(&mut rng, 4_096, 20_000, 1.1);
     group.throughput(Throughput::Elements(stream.len() as u64));
-    for &(p, n) in &[(1.0, 4_096u64), (1.5, 4_096), (2.0, 1_024), (2.0, 4_096), (2.0, 16_384)] {
+    for &(p, n) in &[
+        (1.0, 4_096u64),
+        (1.5, 4_096),
+        (2.0, 1_024),
+        (2.0, 4_096),
+        (2.0, 16_384),
+    ] {
         group.bench_with_input(
             BenchmarkId::new(format!("p={p}"), n),
             &(p, n),
@@ -34,15 +43,17 @@ fn bench_lp_ingest(c: &mut Criterion) {
 
 fn bench_fractional_ingest(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_fractional_ingest");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
     let mut rng = default_rng(2);
     let stream = zipfian_stream(&mut rng, 1_024, 20_000, 1.0);
     group.throughput(Throughput::Elements(stream.len() as u64));
     for &p in &[0.25, 0.5, 0.75] {
         group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
             b.iter(|| {
-                let mut sampler =
-                    TrulyPerfectLpSampler::fractional(p, stream.len() as u64, 0.1, 7);
+                let mut sampler = TrulyPerfectLpSampler::fractional(p, stream.len() as u64, 0.1, 7);
                 sampler.update_all(&stream);
                 sampler.sample()
             })

@@ -4,19 +4,24 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::time::Duration;
 use tps_core::random_order::{RandomOrderL2Sampler, RandomOrderLpSampler};
 use tps_random::default_rng;
-use tps_streams::generators::{random_order_stream, zipfian_stream};
 use tps_streams::frequency::FrequencyVector;
+use tps_streams::generators::{random_order_stream, zipfian_stream};
 use tps_streams::StreamSampler;
 
 fn bench_random_order(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8_random_order");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
 
     // A fixed frequency vector delivered in random order.
     let mut rng = default_rng(7);
     let base = zipfian_stream(&mut rng, 256, 20_000, 1.2);
-    let counts: Vec<(u64, u64)> =
-        FrequencyVector::from_stream(&base).iter().map(|(i, c)| (i, c as u64)).collect();
+    let counts: Vec<(u64, u64)> = FrequencyVector::from_stream(&base)
+        .iter()
+        .map(|(i, c)| (i, c as u64))
+        .collect();
     let stream = random_order_stream(&mut rng, &counts);
     group.throughput(Throughput::Elements(stream.len() as u64));
 

@@ -25,21 +25,28 @@ impl Estimator for CountEstimator {
 
 fn bench_sliding(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_sliding_ingest");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
     let mut rng = default_rng(6);
     let stream = drifting_stream(&mut rng, 4_096, 6_000, 1_000, 64, 128);
     group.throughput(Throughput::Elements(stream.len() as u64));
 
     for &window in &[200u64, 800] {
-        group.bench_with_input(BenchmarkId::new("huber_g_sampler", window), &window, |b, &w| {
-            b.iter(|| {
-                let mut s = SlidingWindowGSampler::new(Huber::new(4.0), w, 0.1, 13);
-                for &x in &stream {
-                    SlidingWindowSampler::update(&mut s, x);
-                }
-                SlidingWindowSampler::sample(&mut s)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("huber_g_sampler", window),
+            &window,
+            |b, &w| {
+                b.iter(|| {
+                    let mut s = SlidingWindowGSampler::new(Huber::new(4.0), w, 0.1, 13);
+                    for &x in &stream {
+                        SlidingWindowSampler::update(&mut s, x);
+                    }
+                    SlidingWindowSampler::sample(&mut s)
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("l2_sampler", window), &window, |b, &w| {
             b.iter(|| {
                 let mut s = SlidingWindowLpSampler::with_estimator_size(2.0, w, 0.1, 2, 24, 13);
@@ -53,7 +60,10 @@ fn bench_sliding(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("f1_smooth_histogram");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
     for &window in &[1_000u64, 10_000] {
         group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
             b.iter(|| {

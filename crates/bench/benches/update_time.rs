@@ -1,6 +1,8 @@
 //! E3 benchmark: per-update cost of the truly perfect `L_p` sampler
 //! (Theorem 1.4: `O(1)` expected) against the duplication-based perfect
-//! baseline, whose per-update cost grows with its accuracy knob.
+//! baseline, whose per-update cost grows with its accuracy knob — plus the
+//! batch-vs-loop comparison of the amortised `update_batch` engine on a
+//! 1M-update Zipf stream.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Duration;
@@ -12,15 +14,23 @@ use tps_streams::StreamSampler;
 
 fn bench_update_time(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_update_time");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
     let mut rng = default_rng(3);
     let stream = zipfian_stream(&mut rng, 4_096, 10_000, 1.1);
     group.throughput(Throughput::Elements(stream.len() as u64));
 
+    // Explicit per-item loop: `update_all` routes through the batched
+    // engine, and this group's claim is the cost of the *per-item* path
+    // (the batch-vs-loop comparison lives in `e3_batch_vs_loop`).
     group.bench_function("truly_perfect_l2", |b| {
         b.iter(|| {
             let mut sampler = TrulyPerfectLpSampler::new(2.0, 4_096, 0.1, 9);
-            sampler.update_all(&stream);
+            for &x in &stream {
+                sampler.update(x);
+            }
             sampler.processed()
         })
     });
@@ -43,16 +53,72 @@ fn bench_update_time(c: &mut Criterion) {
     // size: should be flat (the instance pool only affects memory, not the
     // per-update path).
     for &n in &[1_024u64, 16_384, 262_144] {
-        group.bench_with_input(BenchmarkId::new("truly_perfect_universe", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut sampler = TrulyPerfectLpSampler::new(2.0, n, 0.1, 9);
-                sampler.update_all(&stream);
-                sampler.processed()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("truly_perfect_universe", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut sampler = TrulyPerfectLpSampler::new(2.0, n, 0.1, 9);
+                    for &x in &stream {
+                        sampler.update(x);
+                    }
+                    sampler.processed()
+                })
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_update_time);
+/// Batch-vs-loop throughput of the truly perfect `L_2` sampler on a
+/// 1M-update Zipf(1.1) stream: the per-item `update` loop against one
+/// whole-stream `update_batch` call and against realistic mid-size batches
+/// (as an ingest pipeline hands them over).
+fn bench_batch_vs_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_batch_vs_loop");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    let mut rng = default_rng(4);
+    let stream = zipfian_stream(&mut rng, 4_096, 1_000_000, 1.1);
+    group.throughput(Throughput::Elements(stream.len() as u64));
+
+    group.bench_function("truly_perfect_l2_loop", |b| {
+        b.iter(|| {
+            let mut sampler = TrulyPerfectLpSampler::new(2.0, 4_096, 0.1, 9);
+            for &x in &stream {
+                sampler.update(x);
+            }
+            sampler.processed()
+        })
+    });
+
+    group.bench_function("truly_perfect_l2_batch", |b| {
+        b.iter(|| {
+            let mut sampler = TrulyPerfectLpSampler::new(2.0, 4_096, 0.1, 9);
+            sampler.update_batch(&stream);
+            sampler.processed()
+        })
+    });
+
+    for &chunk in &[1_024usize, 65_536] {
+        group.bench_with_input(
+            BenchmarkId::new("truly_perfect_l2_batch_chunked", chunk),
+            &chunk,
+            |b, &chunk| {
+                b.iter(|| {
+                    let mut sampler = TrulyPerfectLpSampler::new(2.0, 4_096, 0.1, 9);
+                    for piece in stream.chunks(chunk) {
+                        sampler.update_batch(piece);
+                    }
+                    sampler.processed()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_time, bench_batch_vs_loop);
 criterion_main!(benches);

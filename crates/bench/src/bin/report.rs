@@ -9,10 +9,9 @@
 //! cargo run --release -p tps-bench --bin report -- [--quick] [--json]
 //! ```
 
-use serde::Serialize;
 use tps_bench::experiments as exp;
+use tps_bench::json::{Json, ToJson};
 
-#[derive(Serialize)]
 struct Report {
     scale: &'static str,
     e1_lp_space: Vec<exp::LpSpaceRow>,
@@ -29,12 +28,36 @@ struct Report {
     f1_checkpoints: Vec<exp::CheckpointRow>,
 }
 
+impl ToJson for Report {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("scale", self.scale.to_json()),
+            ("e1_lp_space", self.e1_lp_space.to_json()),
+            ("e2_fractional_space", self.e2_fractional_space.to_json()),
+            ("e3_update_time", self.e3_update_time.to_json()),
+            ("e4_distribution", self.e4_distribution.to_json()),
+            ("e5_mestimators", self.e5_mestimators.to_json()),
+            ("e6_f0", self.e6_f0.to_json()),
+            ("e7_sliding", self.e7_sliding.to_json()),
+            ("e8_random_order", self.e8_random_order.to_json()),
+            ("e9_equality", self.e9_equality.to_json()),
+            ("e10_multipass", self.e10_multipass.to_json()),
+            ("e11_matrix", self.e11_matrix.to_json()),
+            ("f1_checkpoints", self.f1_checkpoints.to_json()),
+        ])
+    }
+}
+
 fn build_report(quick: bool) -> Report {
     if quick {
         Report {
             scale: "quick",
             e1_lp_space: exp::e1_lp_space(&[256, 1_024, 4_096], &[1.25, 1.5, 2.0], 0.1),
-            e2_fractional_space: exp::e2_fractional_space(&[1_000, 4_000, 16_000], &[0.5, 0.75], 0.1),
+            e2_fractional_space: exp::e2_fractional_space(
+                &[1_000, 4_000, 16_000],
+                &[0.5, 0.75],
+                0.1,
+            ),
             e3_update_time: exp::e3_update_time(20_000, 1_024, &[8, 32, 128]),
             e4_distribution: exp::e4_distribution(10_000, 64, 10, 500, 0.05),
             e5_mestimators: exp::e5_mestimators(4_000, 48, 800),
@@ -98,14 +121,20 @@ fn main() {
     let report = build_report(quick);
 
     if json {
-        println!("{}", serde_json::to_string_pretty(&report).expect("serializable report"));
+        println!("{}", report.to_json().pretty());
         return;
     }
 
-    println!("truly-perfect-samplers experiment report (scale: {})", report.scale);
+    println!(
+        "truly-perfect-samplers experiment report (scale: {})",
+        report.scale
+    );
 
     println!("\n== E1: truly perfect Lp space vs universe size (theory: n^(1-1/p)) ==");
-    println!("{:<6} {:>40} {:>12} {:>12}", "p", "space bytes per n", "fitted exp", "theory exp");
+    println!(
+        "{:<6} {:>40} {:>12} {:>12}",
+        "p", "space bytes per n", "fitted exp", "theory exp"
+    );
     for r in &report.e1_lp_space {
         let pts: Vec<String> = r.points.iter().map(|(n, b)| format!("{n}:{b}")).collect();
         println!(
@@ -118,7 +147,10 @@ fn main() {
     }
 
     println!("\n== E2: fractional-p instance count vs stream length (theory: m^(1-p)) ==");
-    println!("{:<6} {:>40} {:>12} {:>12}", "p", "instances per m", "fitted exp", "theory exp");
+    println!(
+        "{:<6} {:>40} {:>12} {:>12}",
+        "p", "instances per m", "fitted exp", "theory exp"
+    );
     for r in &report.e2_fractional_space {
         let pts: Vec<String> = r
             .points
@@ -140,6 +172,11 @@ fn main() {
         "truly perfect L2 sampler      : {:>10.0}",
         report.e3_update_time.truly_perfect_nanos_per_update
     );
+    println!(
+        "truly perfect L2, batched     : {:>10.0}  (speedup {:.2}x)",
+        report.e3_update_time.truly_perfect_batch_nanos_per_update,
+        report.e3_update_time.batch_speedup
+    );
     for (dup, nanos) in report
         .e3_update_time
         .baseline_duplications
@@ -151,10 +188,22 @@ fn main() {
 
     println!("\n== E4: exactness and composition drift ==");
     let d = &report.e4_distribution;
-    println!("single-run TV (truly perfect)     : {:.4}", d.truly_perfect_tv);
-    println!("multinomial noise floor           : {:.4}", d.expected_noise);
-    println!("drift ratio, truly perfect        : {:.2}", d.truly_perfect_drift_ratio);
-    println!("drift ratio, gamma = {:<12.3}: {:.2}", d.gamma, d.biased_drift_ratio);
+    println!(
+        "single-run TV (truly perfect)     : {:.4}",
+        d.truly_perfect_tv
+    );
+    println!(
+        "multinomial noise floor           : {:.4}",
+        d.expected_noise
+    );
+    println!(
+        "drift ratio, truly perfect        : {:.2}",
+        d.truly_perfect_drift_ratio
+    );
+    println!(
+        "drift ratio, gamma = {:<12.3}: {:.2}",
+        d.gamma, d.biased_drift_ratio
+    );
 
     print_sampler_rows("E5: M-estimator samplers", &report.e5_mestimators);
 
@@ -162,7 +211,10 @@ fn main() {
     let f = &report.e6_f0;
     let pts: Vec<String> = f.points.iter().map(|(n, b)| format!("{n}:{b}")).collect();
     println!("space per universe size           : {}", pts.join(" "));
-    println!("fitted space exponent (theory 0.5): {:.3}", f.fitted_space_exponent);
+    println!(
+        "fitted space exponent (theory 0.5): {:.3}",
+        f.fitted_space_exponent
+    );
     println!("TV at largest size                : {:.4}", f.tv_distance);
     println!("fail rate at largest size         : {:.4}", f.fail_rate);
 
@@ -170,13 +222,22 @@ fn main() {
     print_sampler_rows("E8: random-order samplers", &report.e8_random_order);
 
     println!("\n== E9: equality attack vs gamma (Theorem 1.2) ==");
-    println!("{:>10} {:>22} {:>22}", "gamma", "observed advantage", "lower bound (bits)");
+    println!(
+        "{:>10} {:>22} {:>22}",
+        "gamma", "observed advantage", "lower bound (bits)"
+    );
     for r in &report.e9_equality {
-        println!("{:>10.4} {:>22.4} {:>22.2}", r.gamma, r.observed_advantage, r.lower_bound_bits);
+        println!(
+            "{:>10.4} {:>22.4} {:>22.2}",
+            r.gamma, r.observed_advantage, r.lower_bound_bits
+        );
     }
 
     println!("\n== E10: strict-turnstile multi-pass trade-off (Theorem 1.5) ==");
-    println!("{:>10} {:>10} {:>16} {:>10}", "gamma", "passes", "peak counters", "TV");
+    println!(
+        "{:>10} {:>10} {:>16} {:>10}",
+        "gamma", "passes", "peak counters", "TV"
+    );
     for r in &report.e10_multipass {
         println!(
             "{:>10.3} {:>10} {:>16} {:>10.4}",
@@ -187,8 +248,14 @@ fn main() {
     print_sampler_rows("E11: matrix row sampling", &report.e11_matrix);
 
     println!("\n== F1: smooth-histogram checkpoints ==");
-    println!("{:>12} {:>14} {:>16}", "window", "checkpoints", "sandwich holds");
+    println!(
+        "{:>12} {:>14} {:>16}",
+        "window", "checkpoints", "sandwich holds"
+    );
     for r in &report.f1_checkpoints {
-        println!("{:>12} {:>14} {:>16}", r.window, r.checkpoints, r.sandwich_holds);
+        println!(
+            "{:>12} {:>14} {:>16}",
+            r.window, r.checkpoints, r.sandwich_holds
+        );
     }
 }

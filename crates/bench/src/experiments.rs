@@ -5,7 +5,6 @@
 //! binary and by the smoke tests. Experiment identifiers (E1–E11, F1) match
 //! `DESIGN.md` §3 and `EXPERIMENTS.md`.
 
-use serde::Serialize;
 use std::time::Instant;
 
 use tps_core::composition::run_composition;
@@ -18,13 +17,13 @@ use tps_core::random_order::{RandomOrderL2Sampler, RandomOrderLpSampler};
 use tps_core::sliding::{SlidingWindowGSampler, SlidingWindowLpSampler};
 use tps_core::turnstile::{lower_bound_bits, EqualityReduction, MultiPassL1Sampler};
 use tps_random::default_rng;
+use tps_random::StreamRng;
 use tps_streams::frequency::{FrequencyVector, MatrixAccumulator};
 use tps_streams::generators::{
     drifting_stream, matrix_stream, random_order_stream, split_into_portions, zipfian_stream,
 };
 use tps_streams::stats::{expected_sampling_tv, fit_power_law, SampleHistogram};
 use tps_streams::update::WindowSpec;
-use tps_random::StreamRng;
 use tps_streams::{
     Fair, Huber, MatrixSampler, SlidingWindowSampler, SpaceUsage, StreamSampler, Tukey, L1L2,
 };
@@ -32,7 +31,7 @@ use tps_window::SmoothHistogram;
 
 /// E1 / E2: measured space of an `L_p` sampler across problem sizes, with
 /// the fitted power-law exponent.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LpSpaceRow {
     /// The exponent `p`.
     pub p: f64,
@@ -63,7 +62,10 @@ pub fn e1_lp_space(universes: &[u64], ps: &[f64], delta: f64) -> Vec<LpSpaceRow>
                 instances.push(sampler.instance_count());
             }
             let fitted = fit_power_law(
-                &points.iter().map(|&(n, b)| (n as f64, b as f64)).collect::<Vec<_>>(),
+                &points
+                    .iter()
+                    .map(|&(n, b)| (n as f64, b as f64))
+                    .collect::<Vec<_>>(),
             );
             LpSpaceRow {
                 p,
@@ -113,10 +115,16 @@ pub fn e2_fractional_space(lengths: &[u64], ps: &[f64], delta: f64) -> Vec<LpSpa
 
 /// E3: per-update wall-clock time of the truly perfect sampler vs the
 /// duplication-based perfect baseline at increasing accuracy (duplication).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct UpdateTimeRow {
-    /// Nanoseconds per update for the truly perfect `L_2` sampler.
+    /// Nanoseconds per update for the truly perfect `L_2` sampler driven one
+    /// item at a time through [`StreamSampler::update`].
     pub truly_perfect_nanos_per_update: f64,
+    /// Nanoseconds per update for the same sampler driven through the
+    /// batched engine ([`StreamSampler::update_batch`]).
+    pub truly_perfect_batch_nanos_per_update: f64,
+    /// Per-item over batched time (>1 means the batch path is faster).
+    pub batch_speedup: f64,
     /// The duplication factors measured for the baseline.
     pub baseline_duplications: Vec<usize>,
     /// Nanoseconds per update for the baseline at each duplication factor.
@@ -125,16 +133,28 @@ pub struct UpdateTimeRow {
 
 /// E3: update-time comparison (Theorem 1.4's `O(1)` update time vs the
 /// `n^{Θ(c)}` update time of prior perfect samplers).
-pub fn e3_update_time(stream_length: usize, universe: u64, duplications: &[usize]) -> UpdateTimeRow {
+pub fn e3_update_time(
+    stream_length: usize,
+    universe: u64,
+    duplications: &[usize],
+) -> UpdateTimeRow {
     let mut rng = default_rng(300);
     let stream = zipfian_stream(&mut rng, universe, stream_length, 1.1);
 
     let mut sampler = TrulyPerfectLpSampler::new(2.0, universe, 0.1, 1);
     let start = Instant::now();
-    sampler.update_all(&stream);
+    for &x in &stream {
+        sampler.update(x);
+    }
     let truly_perfect = start.elapsed().as_nanos() as f64 / stream.len() as f64;
     // Keep the sampler alive so the measured loop is not optimised away.
     let _ = sampler.sample();
+
+    let mut batched = TrulyPerfectLpSampler::new(2.0, universe, 0.1, 1);
+    let start = Instant::now();
+    batched.update_batch(&stream);
+    let truly_perfect_batch = start.elapsed().as_nanos() as f64 / stream.len() as f64;
+    let _ = batched.sample();
 
     let mut baseline_nanos = Vec::new();
     for &dup in duplications {
@@ -146,13 +166,15 @@ pub fn e3_update_time(stream_length: usize, universe: u64, duplications: &[usize
     }
     UpdateTimeRow {
         truly_perfect_nanos_per_update: truly_perfect,
+        truly_perfect_batch_nanos_per_update: truly_perfect_batch,
+        batch_speedup: truly_perfect / truly_perfect_batch.max(f64::MIN_POSITIVE),
         baseline_duplications: duplications.to_vec(),
         baseline_nanos_per_update: baseline_nanos,
     }
 }
 
 /// E4: distributional exactness and composition drift.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DistributionRow {
     /// Single-portion TV distance of the truly perfect sampler.
     pub truly_perfect_tv: f64,
@@ -221,7 +243,7 @@ pub fn e4_distribution(
 }
 
 /// E5 / E7 / E8 / E11: a generic "one sampler, one workload" result row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SamplerRow {
     /// Which sampler / measure the row describes.
     pub measure: String,
@@ -325,7 +347,7 @@ pub fn e5_mestimators(stream_length: usize, universe: u64, draws: usize) -> Vec<
 
 /// E6: the `F_0` sampler — `O(√n)` space scaling and uniform-over-support
 /// output (Theorem 5.2).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct F0Row {
     /// `(universe, measured bytes)` pairs.
     pub points: Vec<(u64, usize)>,
@@ -347,8 +369,7 @@ pub fn e6_f0(universes: &[u64], draws: usize) -> F0Row {
         // A moderate support so the random-subset side is exercised for the
         // smaller universes while the sample histogram stays well resolved.
         let support = (n / 8).clamp(4, 48);
-        let stream: Vec<u64> =
-            (0..(4 * support)).map(|_| rng.gen_range(support)).collect();
+        let stream: Vec<u64> = (0..(4 * support)).map(|_| rng.gen_range(support)).collect();
         let truth = FrequencyVector::from_stream(&stream);
         let target = truth.f0_distribution();
         let mut histogram = SampleHistogram::new();
@@ -366,17 +387,31 @@ pub fn e6_f0(universes: &[u64], draws: usize) -> F0Row {
         }
     }
     let fitted = fit_power_law(
-        &points.iter().map(|&(n, b)| (n as f64, b as f64)).collect::<Vec<_>>(),
+        &points
+            .iter()
+            .map(|&(n, b)| (n as f64, b as f64))
+            .collect::<Vec<_>>(),
     );
-    F0Row { points, fitted_space_exponent: fitted, tv_distance: tv, fail_rate }
+    F0Row {
+        points,
+        fitted_space_exponent: fitted,
+        tv_distance: tv,
+        fail_rate,
+    }
 }
 
 /// E7: sliding-window samplers on a drifting stream.
 pub fn e7_sliding(window: u64, stream_length: usize, draws: usize) -> Vec<SamplerRow> {
     let mut rng = default_rng(700);
     let universe = 4 * window;
-    let stream =
-        drifting_stream(&mut rng, universe, stream_length, stream_length / 6, 64, 128);
+    let stream = drifting_stream(
+        &mut rng,
+        universe,
+        stream_length,
+        stream_length / 6,
+        64,
+        128,
+    );
     let truth = FrequencyVector::from_window(&stream, WindowSpec::new(window));
     let mut rows = Vec::new();
     {
@@ -385,7 +420,7 @@ pub fn e7_sliding(window: u64, stream_length: usize, draws: usize) -> Vec<Sample
         let mut histogram = SampleHistogram::new();
         let mut space = 0;
         for seed in 0..draws as u64 {
-            let mut s = SlidingWindowGSampler::new(g.clone(), window, 0.1, seed);
+            let mut s = SlidingWindowGSampler::new(g, window, 0.1, seed);
             for &x in &stream {
                 SlidingWindowSampler::update(&mut s, x);
             }
@@ -429,7 +464,10 @@ pub fn e8_random_order(draws: usize) -> Vec<SamplerRow> {
     let counts: Vec<(u64, u64)> = vec![(1, 120), (2, 60), (3, 30), (4, 15), (5, 5)];
     let m: u64 = counts.iter().map(|&(_, c)| c).sum();
     let truth = FrequencyVector::from_counts(
-        &counts.iter().map(|&(i, c)| (i, c as i64)).collect::<Vec<_>>(),
+        &counts
+            .iter()
+            .map(|&(i, c)| (i, c as i64))
+            .collect::<Vec<_>>(),
     );
     let mut order_rng = default_rng(800);
     let mut rows = Vec::new();
@@ -475,7 +513,7 @@ pub fn e8_random_order(draws: usize) -> Vec<SamplerRow> {
 }
 
 /// E9: the equality-reduction attack behind the turnstile lower bound.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct EqualityRow {
     /// Additive error of the sampler under attack.
     pub gamma: f64,
@@ -506,7 +544,7 @@ pub fn e9_equality(gammas: &[f64], n: usize, trials: usize) -> Vec<EqualityRow> 
 
 /// E10: the strict-turnstile multi-pass pass/space trade-off
 /// (Theorem 1.5).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MultiPassRow {
     /// The trade-off parameter γ (chunks per pass ≈ n^γ).
     pub gamma: f64,
@@ -586,7 +624,7 @@ pub fn e11_matrix(columns: &[u64], draws: usize) -> Vec<SamplerRow> {
 }
 
 /// F1: smooth-histogram checkpoint counts (Figure 1's structure).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CheckpointRow {
     /// Window size.
     pub window: u64,
@@ -620,10 +658,13 @@ pub fn f1_checkpoints(windows: &[u64]) -> Vec<CheckpointRow> {
             }
             let starts = hist.checkpoint_starts();
             let boundary = length - window + 1;
-            let sandwich_holds =
-                starts.first().map(|&s| s <= boundary).unwrap_or(false)
-                    && starts.get(1).map(|&s| s >= boundary).unwrap_or(false);
-            CheckpointRow { window, checkpoints: hist.checkpoint_count(), sandwich_holds }
+            let sandwich_holds = starts.first().map(|&s| s <= boundary).unwrap_or(false)
+                && starts.get(1).map(|&s| s >= boundary).unwrap_or(false);
+            CheckpointRow {
+                window,
+                checkpoints: hist.checkpoint_count(),
+                sandwich_holds,
+            }
         })
         .collect()
 }

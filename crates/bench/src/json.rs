@@ -1,0 +1,311 @@
+//! Minimal JSON serialization for the experiment report.
+//!
+//! The offline build environment has no `serde`/`serde_json`, and the report
+//! binary only ever *writes* JSON for a handful of plain-data row types, so
+//! a small value tree plus hand-written [`ToJson`] impls covers the whole
+//! need without a derive macro.
+
+use crate::experiments as exp;
+
+/// A JSON value tree.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `null` (also used for non-finite floats).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An integer (kept separate from floats so counts print exactly).
+    Int(i64),
+    /// A finite double.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    /// Serializes with two-space indentation (the `serde_json` pretty style).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // `{}` on f64 is shortest-roundtrip and always parses as
+                    // a JSON number for finite values.
+                    out.push_str(&x.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] value tree.
+pub trait ToJson {
+    /// Converts `self` into a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::Int(*self as i64)
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::Int(*self as i64)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl ToJson for exp::LpSpaceRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("p", self.p.to_json()),
+            ("points", self.points.to_json()),
+            ("instances", self.instances.to_json()),
+            ("fitted_exponent", self.fitted_exponent.to_json()),
+            ("theory_exponent", self.theory_exponent.to_json()),
+        ])
+    }
+}
+
+impl ToJson for exp::UpdateTimeRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "truly_perfect_nanos_per_update",
+                self.truly_perfect_nanos_per_update.to_json(),
+            ),
+            (
+                "truly_perfect_batch_nanos_per_update",
+                self.truly_perfect_batch_nanos_per_update.to_json(),
+            ),
+            ("batch_speedup", self.batch_speedup.to_json()),
+            (
+                "baseline_duplications",
+                self.baseline_duplications.to_json(),
+            ),
+            (
+                "baseline_nanos_per_update",
+                self.baseline_nanos_per_update.to_json(),
+            ),
+        ])
+    }
+}
+
+impl ToJson for exp::DistributionRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("truly_perfect_tv", self.truly_perfect_tv.to_json()),
+            ("expected_noise", self.expected_noise.to_json()),
+            (
+                "truly_perfect_drift_ratio",
+                self.truly_perfect_drift_ratio.to_json(),
+            ),
+            ("biased_drift_ratio", self.biased_drift_ratio.to_json()),
+            ("gamma", self.gamma.to_json()),
+        ])
+    }
+}
+
+impl ToJson for exp::SamplerRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("measure", self.measure.to_json()),
+            ("tv_distance", self.tv_distance.to_json()),
+            ("expected_noise", self.expected_noise.to_json()),
+            ("fail_rate", self.fail_rate.to_json()),
+            ("space_bytes", self.space_bytes.to_json()),
+        ])
+    }
+}
+
+impl ToJson for exp::F0Row {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("points", self.points.to_json()),
+            (
+                "fitted_space_exponent",
+                self.fitted_space_exponent.to_json(),
+            ),
+            ("tv_distance", self.tv_distance.to_json()),
+            ("fail_rate", self.fail_rate.to_json()),
+        ])
+    }
+}
+
+impl ToJson for exp::EqualityRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("gamma", self.gamma.to_json()),
+            ("observed_advantage", self.observed_advantage.to_json()),
+            ("lower_bound_bits", self.lower_bound_bits.to_json()),
+        ])
+    }
+}
+
+impl ToJson for exp::MultiPassRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("gamma", self.gamma.to_json()),
+            ("passes", self.passes.to_json()),
+            ("peak_counters", self.peak_counters.to_json()),
+            ("tv_distance", self.tv_distance.to_json()),
+        ])
+    }
+}
+
+impl ToJson for exp::CheckpointRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("window", self.window.to_json()),
+            ("checkpoints", self.checkpoints.to_json()),
+            ("sandwich_holds", self.sandwich_holds.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_nested_structures() {
+        let v = Json::Obj(vec![
+            ("name", Json::Str("a \"quoted\" name".into())),
+            (
+                "xs",
+                Json::Arr(vec![Json::Int(1), Json::Num(0.5), Json::Null]),
+            ),
+            ("ok", Json::Bool(true)),
+        ]);
+        let s = v.pretty();
+        assert!(s.contains("\"a \\\"quoted\\\" name\""));
+        assert!(s.contains("0.5"));
+        assert!(s.starts_with('{') && s.ends_with('}'));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Num(f64::NAN).pretty(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).pretty(), "null");
+    }
+
+    #[test]
+    fn empty_containers_are_compact() {
+        assert_eq!(Json::Arr(vec![]).pretty(), "[]");
+        assert_eq!(Json::Obj(vec![]).pretty(), "{}");
+    }
+}

@@ -97,7 +97,11 @@ where
         per_portion_tv,
         cumulative_drift,
         expected_noise,
-        fail_rate: if draws == 0 { 0.0 } else { fails as f64 / draws as f64 },
+        fail_rate: if draws == 0 {
+            0.0
+        } else {
+            fails as f64 / draws as f64
+        },
     }
 }
 
@@ -150,7 +154,10 @@ mod tests {
         // Per-portion TV should sit near the injected bias, so cumulative
         // drift is ≈ portions·γ·(1 − mass of the bias target).
         let ratio = report.drift_ratio();
-        assert!(ratio > 2.0, "biased drift ratio {ratio} should clearly exceed the noise floor");
+        assert!(
+            ratio > 2.0,
+            "biased drift ratio {ratio} should clearly exceed the noise floor"
+        );
         assert!(
             report.total_drift() > 0.5 * gamma * report.per_portion_tv.len() as f64 * 0.5,
             "cumulative drift {} too small",

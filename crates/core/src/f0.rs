@@ -27,25 +27,44 @@ use tps_streams::{
 
 /// One repetition of the random-subset side of Algorithm 5: a pre-drawn
 /// subset `S` and the frequencies of its members that appeared.
+///
+/// Members that occurred are additionally kept in first-occurrence order
+/// (`order`), so drawing a uniform member is `O(1)` indexing — and, unlike
+/// `HashMap` iteration order, *deterministic* given the sampler's seed.
 #[derive(Debug, Clone)]
 struct CandidateSet {
     subset: HashSet<Item>,
     seen: HashMap<Item, u64>,
+    order: Vec<Item>,
 }
 
 impl CandidateSet {
     fn new<R: StreamRng>(rng: &mut R, n: u64, size: usize) -> Self {
-        Self { subset: random_subset(rng, n, size.min(n as usize)), seen: HashMap::new() }
+        Self {
+            subset: random_subset(rng, n, size.min(n as usize)),
+            seen: HashMap::new(),
+            order: Vec::new(),
+        }
     }
 
     fn update(&mut self, item: Item) {
+        self.record(item, 1);
+    }
+
+    fn record(&mut self, item: Item, count: u64) {
         if self.subset.contains(&item) {
-            *self.seen.entry(item).or_insert(0) += 1;
+            let entry = self.seen.entry(item).or_insert(0);
+            if *entry == 0 {
+                self.order.push(item);
+            }
+            *entry += count;
         }
     }
 
     fn space_bytes(&self) -> usize {
-        hashset_bytes(&self.subset) + hashmap_bytes(&self.seen)
+        hashset_bytes(&self.subset)
+            + hashmap_bytes(&self.seen)
+            + self.order.capacity() * std::mem::size_of::<Item>()
     }
 }
 
@@ -57,6 +76,9 @@ pub struct TrulyPerfectF0Sampler {
     threshold: usize,
     /// `T`: the first `√n` distinct items, with exact frequencies.
     first_distinct: HashMap<Item, u64>,
+    /// Insertion order of `T`, so uniform draws are `O(1)` and
+    /// seed-deterministic (a `HashMap`'s iteration order is not).
+    first_order: Vec<Item>,
     /// Whether more than `threshold` distinct items have appeared
     /// (i.e. `F_0 > √n` is certain).
     overflowed: bool,
@@ -82,12 +104,14 @@ impl TrulyPerfectF0Sampler {
         // Each repetition fails (conditioned on F0 ≥ √n) with probability at
         // most e^{-2}; ⌈ln(1/δ)/2⌉ repetitions push this below δ.
         let repetitions = ((1.0 / delta).ln() / 2.0).ceil().max(1.0) as usize;
-        let candidates =
-            (0..repetitions).map(|_| CandidateSet::new(&mut rng, n, subset_size)).collect();
+        let candidates = (0..repetitions)
+            .map(|_| CandidateSet::new(&mut rng, n, subset_size))
+            .collect();
         Self {
             universe: n,
             threshold,
             first_distinct: HashMap::new(),
+            first_order: Vec::new(),
             overflowed: false,
             candidates,
             processed: 0,
@@ -119,32 +143,59 @@ impl TrulyPerfectF0Sampler {
         }
         if !self.overflowed {
             // T holds the entire support with exact counts.
-            let idx = self.rng.gen_index(self.first_distinct.len());
-            return self.first_distinct.iter().nth(idx).map(|(&i, &c)| (i, c));
+            let idx = self.rng.gen_index(self.first_order.len());
+            let item = self.first_order[idx];
+            return Some((item, self.first_distinct[&item]));
         }
         for candidate in &self.candidates {
-            if candidate.seen.is_empty() {
+            if candidate.order.is_empty() {
                 continue;
             }
-            let idx = self.rng.gen_index(candidate.seen.len());
-            return candidate.seen.iter().nth(idx).map(|(&i, &c)| (i, c));
+            let idx = self.rng.gen_index(candidate.order.len());
+            let item = candidate.order[idx];
+            return Some((item, candidate.seen[&item]));
         }
         None
+    }
+
+    /// Applies `count` occurrences of `item` to the first-distinct side,
+    /// exactly as `count` sequential updates would.
+    fn record_first_distinct(&mut self, item: Item, count: u64) {
+        if let Some(c) = self.first_distinct.get_mut(&item) {
+            *c += count;
+        } else if self.first_distinct.len() < self.threshold {
+            self.first_distinct.insert(item, count);
+            self.first_order.push(item);
+        } else {
+            self.overflowed = true;
+        }
     }
 }
 
 impl StreamSampler for TrulyPerfectF0Sampler {
     fn update(&mut self, item: Item) {
         self.processed += 1;
-        if let Some(count) = self.first_distinct.get_mut(&item) {
-            *count += 1;
-        } else if self.first_distinct.len() < self.threshold {
-            self.first_distinct.insert(item, 1);
-        } else {
-            self.overflowed = true;
-        }
+        self.record_first_distinct(item, 1);
         for candidate in &mut self.candidates {
             candidate.update(item);
+        }
+    }
+
+    /// Amortised batch path: the update logic consumes no randomness and
+    /// every decision depends only on (a) which distinct items appear, in
+    /// first-occurrence order, and (b) how often — so the batch is
+    /// aggregated to `(item, multiplicity)` pairs once and the
+    /// per-candidate-set subset probes run per *distinct* item instead of
+    /// per occurrence. Final state is identical to the per-item loop's.
+    fn update_batch(&mut self, items: &[Item]) {
+        self.processed += items.len() as u64;
+        let (order, multiplicities) = tps_streams::aggregate_in_order(items);
+        for &item in &order {
+            let count = multiplicities[&item];
+            self.record_first_distinct(item, count);
+            for candidate in &mut self.candidates {
+                candidate.record(item, count);
+            }
         }
     }
 
@@ -163,7 +214,12 @@ impl SpaceUsage for TrulyPerfectF0Sampler {
     fn space_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + hashmap_bytes(&self.first_distinct)
-            + self.candidates.iter().map(CandidateSet::space_bytes).sum::<usize>()
+            + self.first_order.capacity() * std::mem::size_of::<Item>()
+            + self
+                .candidates
+                .iter()
+                .map(CandidateSet::space_bytes)
+                .sum::<usize>()
     }
 }
 
@@ -222,9 +278,7 @@ impl SlidingWindowSampler for SlidingWindowF0Sampler {
         if self.recent_distinct.len() > self.threshold {
             // Evict the least recently seen item to keep only the most
             // recent √n distinct items.
-            if let Some((&oldest, _)) =
-                self.recent_distinct.iter().min_by_key(|&(_, &t)| t)
-            {
+            if let Some((&oldest, _)) = self.recent_distinct.iter().min_by_key(|&(_, &t)| t) {
                 self.recent_distinct.remove(&oldest);
             }
         }
@@ -300,7 +354,11 @@ pub struct RandomOracleF0Sampler {
 impl RandomOracleF0Sampler {
     /// Creates the sampler with a seeded tabulation hash.
     pub fn new(seed: u64) -> Self {
-        Self { hash: TabulationHash::from_seed(seed), best: None, processed: 0 }
+        Self {
+            hash: TabulationHash::from_seed(seed),
+            best: None,
+            processed: 0,
+        }
     }
 
     /// The sampled item and its exact frequency, if the stream is non-empty.
@@ -356,7 +414,7 @@ mod tests {
         // F0 = 3 < sqrt(10000), so T answers exactly.
         let stream = [(7u64, 100u64), (8, 1), (9, 10)]
             .iter()
-            .flat_map(|&(i, c)| std::iter::repeat(i).take(c as usize))
+            .flat_map(|&(i, c)| std::iter::repeat_n(i, c as usize))
             .collect::<Vec<_>>();
         let target = FrequencyVector::from_stream(&stream).f0_distribution();
         let mut histogram = SampleHistogram::new();
@@ -373,7 +431,9 @@ mod tests {
     fn large_support_is_uniform_and_rarely_fails() {
         // F0 = 400 > sqrt(1000) ≈ 32: the random-subset side must kick in.
         let n = 1_000u64;
-        let stream: Vec<Item> = (0..400u64).flat_map(|i| std::iter::repeat(i).take(3)).collect();
+        let stream: Vec<Item> = (0..400u64)
+            .flat_map(|i| std::iter::repeat_n(i, 3))
+            .collect();
         let target = FrequencyVector::from_stream(&stream).f0_distribution();
         let mut histogram = SampleHistogram::new();
         for seed in 0..4_000u64 {
@@ -381,8 +441,16 @@ mod tests {
             s.update_all(&stream);
             histogram.record(s.sample());
         }
-        assert!(histogram.fail_rate() < 0.05, "fail rate {}", histogram.fail_rate());
-        assert!(histogram.tv_distance(&target) < 0.25, "tv {}", histogram.tv_distance(&target));
+        assert!(
+            histogram.fail_rate() < 0.05,
+            "fail rate {}",
+            histogram.fail_rate()
+        );
+        assert!(
+            histogram.tv_distance(&target) < 0.25,
+            "tv {}",
+            histogram.tv_distance(&target)
+        );
         // Pointwise check: no item should be sampled wildly more often than
         // the uniform rate.
         let succ = histogram.successes() as f64;
@@ -418,7 +486,10 @@ mod tests {
         let small = TrulyPerfectF0Sampler::new(1_000, 0.1, 1).space_bytes();
         let large = TrulyPerfectF0Sampler::new(100_000, 0.1, 1).space_bytes();
         let ratio = large as f64 / small as f64;
-        assert!((4.0..30.0).contains(&ratio), "ratio {ratio} should be near sqrt(100) = 10");
+        assert!(
+            (4.0..30.0).contains(&ratio),
+            "ratio {ratio} should be near sqrt(100) = 10"
+        );
     }
 
     #[test]
@@ -461,13 +532,15 @@ mod tests {
             histogram.record(SlidingWindowSampler::sample(&mut s));
         }
         let target: std::collections::HashMap<Item, f64> =
-            [(40u64, 1.0 / 3.0), (41, 1.0 / 3.0), (42, 1.0 / 3.0)].into_iter().collect();
+            [(40u64, 1.0 / 3.0), (41, 1.0 / 3.0), (42, 1.0 / 3.0)]
+                .into_iter()
+                .collect();
         assert!(histogram.tv_distance(&target) < 0.04);
     }
 
     #[test]
     fn random_oracle_sampler_is_roughly_uniform() {
-        let stream: Vec<Item> = (0..50u64).flat_map(|i| std::iter::repeat(i).take(5)).collect();
+        let stream: Vec<Item> = (0..50u64).flat_map(|i| std::iter::repeat_n(i, 5)).collect();
         let mut histogram = SampleHistogram::new();
         for seed in 0..5_000u64 {
             let mut s = RandomOracleF0Sampler::new(seed);

@@ -23,26 +23,28 @@
 //! Two engineering details from the paper are implemented as described:
 //!
 //! * **`O(1)` expected update time.** Instances do not flip a reservoir coin
-//!    per update. Each instance schedules the position of its next
-//!    replacement with the skip-ahead distribution (`O(log m)` reschedules
-//!    per instance over the whole stream), and suffix counting is shared: a
-//!    single hash table keeps one counter per *distinct* tracked item and
-//!    each instance only remembers an offset into it, so a stream update
-//!    touches one hash-table entry regardless of how many instances track
-//!    the item.
+//!   per update. Each instance schedules the position of its next
+//!   replacement with the skip-ahead distribution (`O(log m)` reschedules
+//!   per instance over the whole stream), and suffix counting is shared: a
+//!   single hash table keeps one counter per *distinct* tracked item and
+//!   each instance only remembers an offset into it, so a stream update
+//!   touches one hash-table entry regardless of how many instances track
+//!   the item.
 //! * **First-success aggregation.** `sample()` scans the instances in order
-//!    and returns the first accepted proposal. Because instances are
-//!    i.i.d., conditioning on which instance succeeds does not change the
-//!    conditional output distribution.
+//!   and returns the first accepted proposal. Because instances are
+//!   i.i.d., conditioning on which instance succeeds does not change the
+//!   conditional output distribution.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use tps_random::{StreamRng, Xoshiro256};
 use tps_sketches::exact_counter::SuffixCountTable;
 use tps_sketches::MisraGries;
 use tps_streams::space::hashmap_bytes;
-use tps_streams::{Item, MeasureFn, SampleOutcome, SpaceUsage, StreamSampler, Timestamp};
+use tps_streams::{
+    FastHashMap, Item, MeasureFn, SampleOutcome, SpaceUsage, StreamSampler, Timestamp,
+};
 
 /// A source of the rejection normaliser `ζ`.
 ///
@@ -53,6 +55,18 @@ pub trait RejectionNormalizer {
     /// Observes one stream update (so deterministic summaries can be
     /// maintained).
     fn observe(&mut self, item: Item);
+
+    /// Observes a run of `count` consecutive occurrences of `item`.
+    ///
+    /// The batch engine run-length-compresses each drained chunk once and
+    /// drives the normaliser and the shared suffix-count table from the
+    /// same runs; overrides must be exactly equivalent to `count` sequential
+    /// [`RejectionNormalizer::observe`] calls.
+    fn observe_run(&mut self, item: Item, count: u64) {
+        for _ in 0..count {
+            self.observe(item);
+        }
+    }
 
     /// The current certain bound `ζ` given that `processed` updates have
     /// been seen.
@@ -83,6 +97,8 @@ impl<G: MeasureFn> MeasureNormalizer<G> {
 impl<G: MeasureFn> RejectionNormalizer for MeasureNormalizer<G> {
     fn observe(&mut self, _item: Item) {}
 
+    fn observe_run(&mut self, _item: Item, _count: u64) {}
+
     fn zeta(&self, processed: u64) -> f64 {
         self.g.increment_bound(processed.max(1))
     }
@@ -108,8 +124,14 @@ impl MisraGriesNormalizer {
     ///
     /// Panics unless `p ∈ [1, 2]`.
     pub fn new(p: f64, counters: usize) -> Self {
-        assert!((1.0..=2.0).contains(&p), "Misra-Gries normaliser requires p in [1,2]");
-        Self { p, summary: MisraGries::new(counters.max(1)) }
+        assert!(
+            (1.0..=2.0).contains(&p),
+            "Misra-Gries normaliser requires p in [1,2]"
+        );
+        Self {
+            p,
+            summary: MisraGries::new(counters.max(1)),
+        }
     }
 
     /// The current certain upper bound `Z ≥ ‖f‖_∞`.
@@ -121,6 +143,10 @@ impl MisraGriesNormalizer {
 impl RejectionNormalizer for MisraGriesNormalizer {
     fn observe(&mut self, item: Item) {
         self.summary.update(item);
+    }
+
+    fn observe_run(&mut self, item: Item, count: u64) {
+        self.summary.update_run(item, count);
     }
 
     fn zeta(&self, _processed: u64) -> f64 {
@@ -152,7 +178,7 @@ pub struct TrulyPerfectGSampler<G: MeasureFn, N: RejectionNormalizer> {
     table: SuffixCountTable,
     /// Number of instances currently holding each tracked item, for garbage
     /// collecting the shared table.
-    references: HashMap<Item, u32>,
+    references: FastHashMap<Item, u32>,
     rng: Xoshiro256,
     processed: u64,
 }
@@ -165,15 +191,16 @@ impl<G: MeasureFn, N: RejectionNormalizer> TrulyPerfectGSampler<G, N> {
     /// Panics if `instances == 0`.
     pub fn with_instances(g: G, normalizer: N, instances: usize, seed: u64) -> Self {
         assert!(instances > 0, "need at least one sampler instance");
-        let schedule =
-            (0..instances).map(|idx| Reverse((1u64, idx))).collect::<BinaryHeap<_>>();
+        let schedule = (0..instances)
+            .map(|idx| Reverse((1u64, idx)))
+            .collect::<BinaryHeap<_>>();
         Self {
             g,
             normalizer,
             instances: vec![Instance::default(); instances],
             schedule,
             table: SuffixCountTable::new(),
-            references: HashMap::new(),
+            references: FastHashMap::default(),
             rng: Xoshiro256::seed_from_u64(seed),
             processed: 0,
         }
@@ -221,17 +248,16 @@ impl<G: MeasureFn, N: RejectionNormalizer> TrulyPerfectGSampler<G, N> {
         // excludes it and the reconstructed suffix count matches Algorithm 1.
         *self.references.entry(item).or_insert(0) += 1;
         let offset = self.table.track(item);
-        self.instances[idx] = Instance { item: Some(item), offset };
+        self.instances[idx] = Instance {
+            item: Some(item),
+            offset,
+        };
     }
 
     /// Draws the skip-ahead replacement position after an acceptance at
-    /// position `t`: `P[next > t + s] = t / (t + s)`.
+    /// position `t` (see [`skip_ahead_replacement`]).
     fn next_replacement<R: StreamRng>(rng: &mut R, t: Timestamp) -> Timestamp {
-        let u = rng.next_f64().max(f64::MIN_POSITIVE);
-        let skip = ((t as f64) * (1.0 - u) / u).floor();
-        // Saturate to avoid overflow on astronomically unlikely draws.
-        let skip = if skip.is_finite() { skip.min(1e18) as u64 } else { 1_000_000_000_000_000_000 };
-        t + 1 + skip
+        skip_ahead_replacement(rng, t)
     }
 
     /// One proposal round over all instances; returns the first acceptance.
@@ -240,7 +266,9 @@ impl<G: MeasureFn, N: RejectionNormalizer> TrulyPerfectGSampler<G, N> {
             return SampleOutcome::Empty;
         }
         let zeta = self.normalizer.zeta(self.processed);
-        if !(zeta > 0.0) {
+        // NaN or non-positive ζ means the normaliser cannot certify any
+        // rejection probability: fail rather than emit a biased sample.
+        if zeta.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return SampleOutcome::Fail;
         }
         for idx in 0..self.instances.len() {
@@ -278,6 +306,52 @@ impl<G: MeasureFn, N: RejectionNormalizer> StreamSampler for TrulyPerfectGSample
         self.normalizer.observe(item);
     }
 
+    /// The amortised batch engine.
+    ///
+    /// Skip-ahead resampling already guarantees that reservoir replacements
+    /// are rare (`O(k log m)` over the whole stream); the batch path
+    /// capitalises on that by splitting the batch at the scheduled
+    /// replacement positions and draining every intervening chunk in one
+    /// fused pass: the chunk is run-length-compressed once and each run
+    /// drives the shared suffix-count table
+    /// ([`SuffixCountTable::update_run`]) and the normaliser
+    /// ([`RejectionNormalizer::observe_run`]) with a single hash-table
+    /// touch apiece — no heap peeks, no per-item bookkeeping, one
+    /// `processed` add per chunk. Only the items that actually trigger a
+    /// replacement take the per-item path. The resulting state — including
+    /// the RNG position, which is touched only at replacements — is
+    /// bit-identical to the per-item loop's.
+    fn update_batch(&mut self, items: &[Item]) {
+        let mut idx = 0;
+        while idx < items.len() {
+            let remaining = items.len() - idx;
+            // Invariant: every scheduled position is `> self.processed`, so
+            // the item at batch offset `j` (stream position
+            // `processed + j + 1`) triggers a replacement iff a schedule
+            // entry equals that position.
+            let safe = match self.schedule.peek() {
+                Some(&Reverse((when, _))) => ((when - self.processed - 1) as usize).min(remaining),
+                None => remaining,
+            };
+            if safe > 0 {
+                let chunk = &items[idx..idx + safe];
+                let table = &mut self.table;
+                let normalizer = &mut self.normalizer;
+                tps_streams::for_each_run(chunk, |item, count| {
+                    table.update_run(item, count);
+                    normalizer.observe_run(item, count);
+                });
+                self.processed += chunk.len() as u64;
+                idx += safe;
+            }
+            if idx < items.len() && safe < remaining {
+                // This item wakes at least one instance: per-item path.
+                self.update(items[idx]);
+                idx += 1;
+            }
+        }
+    }
+
     fn sample(&mut self) -> SampleOutcome {
         self.propose()
     }
@@ -292,6 +366,24 @@ impl<G: MeasureFn, N: RejectionNormalizer> SpaceUsage for TrulyPerfectGSampler<G
             + hashmap_bytes(&self.references)
             + self.normalizer.normalizer_space_bytes()
     }
+}
+
+/// Draws the position of a reservoir's next replacement after holding a
+/// sample admitted at position `t`: `P[next > t + s] = t / (t + s)`, the
+/// skip-ahead distribution that gives Algorithm 1 its `O(1)` expected
+/// update time (`O(log m)` reschedules per reservoir over a length-`m`
+/// stream). Shared by the insertion-only framework and the sliding-window
+/// cohorts.
+pub fn skip_ahead_replacement<R: StreamRng>(rng: &mut R, t: Timestamp) -> Timestamp {
+    let u = rng.next_f64().max(f64::MIN_POSITIVE);
+    let skip = ((t as f64) * (1.0 - u) / u).floor();
+    // Saturate to avoid overflow on astronomically unlikely draws.
+    let skip = if skip.is_finite() {
+        skip.min(1e18) as u64
+    } else {
+        1_000_000_000_000_000_000
+    };
+    t + 1 + skip
 }
 
 /// The number of parallel instances Theorem 3.1 prescribes for a target
@@ -330,8 +422,12 @@ mod tests {
         let mut histogram = SampleHistogram::new();
         for seed in 0..trials as u64 {
             let normalizer = MeasureNormalizer::new(g.clone());
-            let mut sampler =
-                TrulyPerfectGSampler::with_instances(g.clone(), normalizer, instances, 1_000 + seed);
+            let mut sampler = TrulyPerfectGSampler::with_instances(
+                g.clone(),
+                normalizer,
+                instances,
+                1_000 + seed,
+            );
             sampler.update_all(stream);
             histogram.record(sampler.sample());
         }
@@ -341,14 +437,17 @@ mod tests {
             histogram.fail_rate()
         );
         let tv = histogram.tv_distance(&target);
-        assert!(tv < tolerance, "TV distance {tv} exceeds tolerance {tolerance}");
+        assert!(
+            tv < tolerance,
+            "TV distance {tv} exceeds tolerance {tolerance}"
+        );
     }
 
     #[test]
     fn l1_sampler_matches_frequency_distribution() {
         let stream: Vec<Item> = [(1u64, 8u64), (2, 4), (3, 2), (4, 1)]
             .iter()
-            .flat_map(|&(i, c)| std::iter::repeat(i).take(c as usize))
+            .flat_map(|&(i, c)| std::iter::repeat_n(i, c as usize))
             .collect();
         run_distribution_check(Lp::new(1.0), 1, &stream, 6_000, 0.03, 0.0);
     }
@@ -357,7 +456,7 @@ mod tests {
     fn huber_sampler_matches_g_distribution() {
         let stream: Vec<Item> = [(10u64, 12u64), (20, 6), (30, 3), (40, 1)]
             .iter()
-            .flat_map(|&(i, c)| std::iter::repeat(i).take(c as usize))
+            .flat_map(|&(i, c)| std::iter::repeat_n(i, c as usize))
             .collect();
         run_distribution_check(Huber::new(2.0), 16, &stream, 6_000, 0.04, 0.2);
     }
@@ -366,7 +465,7 @@ mod tests {
     fn l1l2_sampler_matches_g_distribution() {
         let stream: Vec<Item> = [(5u64, 10u64), (6, 5), (7, 1)]
             .iter()
-            .flat_map(|&(i, c)| std::iter::repeat(i).take(c as usize))
+            .flat_map(|&(i, c)| std::iter::repeat_n(i, c as usize))
             .collect();
         run_distribution_check(L1L2, 16, &stream, 6_000, 0.04, 0.2);
     }
@@ -374,15 +473,16 @@ mod tests {
     #[test]
     fn empty_stream_reports_empty() {
         let g = Lp::new(1.0);
-        let mut sampler =
-            TrulyPerfectGSampler::with_instances(g.clone(), MeasureNormalizer::new(g), 4, 7);
+        let mut sampler = TrulyPerfectGSampler::with_instances(g, MeasureNormalizer::new(g), 4, 7);
         assert_eq!(sampler.sample(), SampleOutcome::Empty);
     }
 
     #[test]
     fn misra_gries_normalizer_bounds_increments() {
         let mut norm = MisraGriesNormalizer::new(2.0, 8);
-        let stream: Vec<Item> = (0..2_000u64).map(|i| if i % 3 == 0 { 1 } else { i }).collect();
+        let stream: Vec<Item> = (0..2_000u64)
+            .map(|i| if i % 3 == 0 { 1 } else { i })
+            .collect();
         for &x in &stream {
             norm.observe(x);
         }
@@ -391,20 +491,26 @@ mod tests {
         let zeta = norm.zeta(stream.len() as u64);
         // Every achievable increment for G(x) = x^2 is at most 2·‖f‖_∞.
         let largest_increment = (max_f as f64).powi(2) - ((max_f - 1) as f64).powi(2);
-        assert!(zeta >= largest_increment, "zeta {zeta} < largest increment {largest_increment}");
+        assert!(
+            zeta >= largest_increment,
+            "zeta {zeta} < largest increment {largest_increment}"
+        );
         assert!(norm.max_frequency_bound() >= max_f);
     }
 
     #[test]
     fn shared_table_is_garbage_collected() {
         let g = Lp::new(1.0);
-        let mut sampler =
-            TrulyPerfectGSampler::with_instances(g.clone(), MeasureNormalizer::new(g), 8, 9);
+        let mut sampler = TrulyPerfectGSampler::with_instances(g, MeasureNormalizer::new(g), 8, 9);
         for t in 0..20_000u64 {
             sampler.update(t % 97);
         }
         // At most one tracked item per instance once the stream is long.
-        assert!(sampler.tracked_items() <= 8, "tracked {}", sampler.tracked_items());
+        assert!(
+            sampler.tracked_items() <= 8,
+            "tracked {}",
+            sampler.tracked_items()
+        );
     }
 
     #[test]
@@ -414,7 +520,7 @@ mod tests {
         assert!(huber <= 80, "Huber instance count {huber}");
         // L_p with p = 0.5 needs about m^{1/2} instances.
         let half = recommended_instances(&Lp::new(0.5), 10_000, 0.5);
-        assert!(half >= 50 && half <= 500, "L_0.5 instance count {half}");
+        assert!((50..=500).contains(&half), "L_0.5 instance count {half}");
         // More stringent delta needs more instances.
         assert!(
             recommended_instances(&Huber::new(2.0), 100_000, 0.001)
@@ -427,7 +533,7 @@ mod tests {
         let g = Lp::new(1.0);
         for seed in 0..200 {
             let mut sampler =
-                TrulyPerfectGSampler::with_instances(g.clone(), MeasureNormalizer::new(g.clone()), 2, seed);
+                TrulyPerfectGSampler::with_instances(g, MeasureNormalizer::new(g), 2, seed);
             sampler.update_all(&[11, 22, 33]);
             if let SampleOutcome::Index(i) = sampler.sample() {
                 assert!([11, 22, 33].contains(&i));
@@ -439,6 +545,6 @@ mod tests {
     #[should_panic(expected = "at least one sampler instance")]
     fn zero_instances_panics() {
         let g = Lp::new(1.0);
-        let _ = TrulyPerfectGSampler::with_instances(g.clone(), MeasureNormalizer::new(g), 0, 1);
+        let _ = TrulyPerfectGSampler::with_instances(g, MeasureNormalizer::new(g), 0, 1);
     }
 }

@@ -52,7 +52,10 @@ impl TrulyPerfectLpSampler {
     ///
     /// Panics unless `p ∈ [1, 2]`, `n ≥ 1` and `δ ∈ (0, 1)`.
     pub fn new(p: f64, n: u64, delta: f64, seed: u64) -> Self {
-        assert!((1.0..=2.0).contains(&p), "use `fractional` for p < 1 (got p = {p})");
+        assert!(
+            (1.0..=2.0).contains(&p),
+            "use `fractional` for p < 1 (got p = {p})"
+        );
         assert!(n >= 1, "universe must be non-empty");
         assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
         let exponent = 1.0 - 1.0 / p;
@@ -61,7 +64,11 @@ impl TrulyPerfectLpSampler {
         // (Theorem 3.4); (1 - q)^k ≤ δ with q = 1/(4·pool). For p = 1 the
         // acceptance probability is exactly 1, so a single instance
         // (classical reservoir sampling) suffices.
-        let q = if p == 1.0 { 1.0 } else { (1.0 / (4.0 * pool)).min(1.0) };
+        let q = if p == 1.0 {
+            1.0
+        } else {
+            (1.0 / (4.0 * pool)).min(1.0)
+        };
         let instances = if q >= 1.0 {
             1
         } else {
@@ -71,7 +78,12 @@ impl TrulyPerfectLpSampler {
         let g = Lp::new(p);
         let normalizer = MisraGriesNormalizer::new(p, counters);
         let sampler = TrulyPerfectGSampler::with_instances(g, normalizer, instances, seed);
-        Self { p, flavor: Flavor::MisraGries, fractional: None, heavy: Some(sampler) }
+        Self {
+            p,
+            flavor: Flavor::MisraGries,
+            fractional: None,
+            heavy: Some(sampler),
+        }
     }
 
     /// Creates a truly perfect `L_p` sampler for `p ∈ (0, 1]` sized for
@@ -87,13 +99,21 @@ impl TrulyPerfectLpSampler {
     ///
     /// Panics unless `p ∈ (0, 1]` and `δ ∈ (0, 1)`.
     pub fn fractional(p: f64, expected_length: u64, delta: f64, seed: u64) -> Self {
-        assert!(p > 0.0 && p <= 1.0, "fractional sampler requires p in (0,1] (got p = {p})");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "fractional sampler requires p in (0,1] (got p = {p})"
+        );
         assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
         let g = Lp::new(p);
         let instances = recommended_instances(&g, expected_length, delta);
-        let normalizer = MeasureNormalizer::new(g.clone());
+        let normalizer = MeasureNormalizer::new(g);
         let sampler = TrulyPerfectGSampler::with_instances(g, normalizer, instances, seed);
-        Self { p, flavor: Flavor::Fractional, fractional: Some(sampler), heavy: None }
+        Self {
+            p,
+            flavor: Flavor::Fractional,
+            fractional: Some(sampler),
+            heavy: None,
+        }
     }
 
     /// The exponent `p`.
@@ -126,6 +146,15 @@ impl StreamSampler for TrulyPerfectLpSampler {
         }
     }
 
+    /// Resolves the `p`-regime once per batch (instead of once per item)
+    /// and hands the whole slice to the framework's amortised batch engine.
+    fn update_batch(&mut self, items: &[Item]) {
+        match self.flavor {
+            Flavor::Fractional => self.fractional.as_mut().unwrap().update_batch(items),
+            Flavor::MisraGries => self.heavy.as_mut().unwrap().update_batch(items),
+        }
+    }
+
     fn sample(&mut self) -> SampleOutcome {
         match self.flavor {
             Flavor::Fractional => self.fractional.as_mut().unwrap().sample(),
@@ -153,7 +182,7 @@ mod tests {
     fn stream_from(counts: &[(Item, u64)]) -> Vec<Item> {
         counts
             .iter()
-            .flat_map(|&(i, c)| std::iter::repeat(i).take(c as usize))
+            .flat_map(|&(i, c)| std::iter::repeat_n(i, c as usize))
             .collect()
     }
 
@@ -180,7 +209,10 @@ mod tests {
             histogram.fail_rate()
         );
         let tv = histogram.tv_distance(&target);
-        assert!(tv < tolerance, "p={p}: TV distance {tv} exceeds {tolerance}");
+        assert!(
+            tv < tolerance,
+            "p={p}: TV distance {tv} exceeds {tolerance}"
+        );
     }
 
     #[test]
@@ -221,7 +253,10 @@ mod tests {
             0.0,
         );
         // p = 1 needs a single instance.
-        assert_eq!(TrulyPerfectLpSampler::new(1.0, 1_000_000, 0.3, 1).instance_count(), 1);
+        assert_eq!(
+            TrulyPerfectLpSampler::new(1.0, 1_000_000, 0.3, 1).instance_count(),
+            1
+        );
     }
 
     #[test]

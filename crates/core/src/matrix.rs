@@ -58,7 +58,10 @@ impl RowMeasure for RowL2 {
     }
 
     fn value(&self, row: &[u64]) -> f64 {
-        row.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt()
+        row.iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt()
     }
 
     fn increment_bound(&self) -> f64 {
@@ -79,7 +82,11 @@ struct RowInstance {
 
 impl RowInstance {
     fn new(columns: usize) -> Self {
-        Self { seen: 0, sample: None, suffix: vec![0; columns] }
+        Self {
+            seen: 0,
+            sample: None,
+            suffix: vec![0; columns],
+        }
     }
 
     fn update<R: StreamRng>(&mut self, rng: &mut R, update: MatrixUpdate) {
@@ -141,8 +148,9 @@ impl<G: RowMeasure> MatrixRowSampler<G> {
     pub fn l12(columns: usize, delta: f64, seed: u64) -> MatrixRowSampler<RowL2> {
         assert!(delta > 0.0 && delta < 1.0);
         let per_instance = 1.0 / (columns as f64).sqrt();
-        let instances =
-            (delta.ln() / (1.0 - per_instance).min(1.0 - 1e-9).ln()).ceil().max(1.0) as usize;
+        let instances = (delta.ln() / (1.0 - per_instance).min(1.0 - 1e-9).ln())
+            .ceil()
+            .max(1.0) as usize;
         MatrixRowSampler::new(RowL2, columns, instances.max(2), seed)
     }
 
@@ -177,7 +185,9 @@ impl<G: RowMeasure> MatrixSampler for MatrixRowSampler<G> {
         }
         let zeta = self.g.increment_bound();
         for idx in 0..self.instances.len() {
-            let Some((row, col)) = self.instances[idx].sample else { continue };
+            let Some((row, col)) = self.instances[idx].sample else {
+                continue;
+            };
             let with_sample = {
                 let mut v = self.instances[idx].suffix.clone();
                 v[col as usize] += 1;
@@ -276,7 +286,11 @@ mod tests {
             |seed| MatrixRowSampler::<RowL2>::l12(4, 0.05, 8_000 + seed),
             6_000,
         );
-        assert!(histogram.fail_rate() < 0.1, "fail rate {}", histogram.fail_rate());
+        assert!(
+            histogram.fail_rate() < 0.1,
+            "fail rate {}",
+            histogram.fail_rate()
+        );
         assert!(
             tv_distance(&histogram.empirical_distribution(), &target) < 0.04,
             "tv {}",

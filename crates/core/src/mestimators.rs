@@ -16,7 +16,9 @@
 use crate::f0::TrulyPerfectF0Sampler;
 use crate::framework::{recommended_instances, MeasureNormalizer, TrulyPerfectGSampler};
 use tps_random::{StreamRng, Xoshiro256};
-use tps_streams::{Fair, Huber, Item, MeasureFn, SampleOutcome, SpaceUsage, StreamSampler, Tukey, L1L2};
+use tps_streams::{
+    Fair, Huber, Item, MeasureFn, SampleOutcome, SpaceUsage, StreamSampler, Tukey, L1L2,
+};
 
 /// A truly perfect sampler for any bounded-increment M-estimator measure.
 ///
@@ -37,7 +39,9 @@ impl<G: MeasureFn> MEstimatorSampler<G> {
     pub fn new(g: G, expected_length: u64, delta: f64, seed: u64) -> Self {
         let instances = recommended_instances(&g, expected_length, delta);
         let normalizer = MeasureNormalizer::new(g.clone());
-        Self { inner: TrulyPerfectGSampler::with_instances(g, normalizer, instances, seed) }
+        Self {
+            inner: TrulyPerfectGSampler::with_instances(g, normalizer, instances, seed),
+        }
     }
 
     /// Number of parallel instances.
@@ -131,7 +135,11 @@ impl TukeySampler {
             .map(|i| TrulyPerfectF0Sampler::new(n, 0.05, seed.wrapping_add(1 + i as u64)))
             .collect();
         let _ = rng.next_u64();
-        Self { g, f0_samplers, rng }
+        Self {
+            g,
+            f0_samplers,
+            rng,
+        }
     }
 
     /// Number of independent retries (each with its own `F_0` sampler).
@@ -168,7 +176,11 @@ impl StreamSampler for TukeySampler {
 impl SpaceUsage for TukeySampler {
     fn space_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
-            + self.f0_samplers.iter().map(SpaceUsage::space_bytes).sum::<usize>()
+            + self
+                .f0_samplers
+                .iter()
+                .map(SpaceUsage::space_bytes)
+                .sum::<usize>()
     }
 }
 
@@ -179,7 +191,10 @@ mod tests {
     use tps_streams::stats::SampleHistogram;
 
     fn stream_from(counts: &[(Item, u64)]) -> Vec<Item> {
-        counts.iter().flat_map(|&(i, c)| std::iter::repeat(i).take(c as usize)).collect()
+        counts
+            .iter()
+            .flat_map(|&(i, c)| std::iter::repeat_n(i, c as usize))
+            .collect()
     }
 
     fn check_distribution<G, S, B>(g: &G, counts: &[(Item, u64)], build: B, trials: usize, tol: f64)
@@ -196,7 +211,11 @@ mod tests {
             sampler.update_all(&stream);
             histogram.record(sampler.sample());
         }
-        assert!(histogram.fail_rate() < 0.25, "fail rate {}", histogram.fail_rate());
+        assert!(
+            histogram.fail_rate() < 0.25,
+            "fail rate {}",
+            histogram.fail_rate()
+        );
         let tv = histogram.tv_distance(&target);
         assert!(tv < tol, "{}: TV {tv} exceeds {tol}", g.name());
     }
@@ -257,7 +276,11 @@ mod tests {
         let loose = L1L2Sampler::l1l2(1_000_000, 0.2, 1);
         let tight = L1L2Sampler::l1l2(1_000_000, 0.001, 1);
         assert!(loose.instance_count() < tight.instance_count());
-        assert!(tight.instance_count() <= 60, "instances {}", tight.instance_count());
+        assert!(
+            tight.instance_count() <= 60,
+            "instances {}",
+            tight.instance_count()
+        );
     }
 
     #[test]

@@ -188,7 +188,12 @@ impl<S: StreamSampler> BiasedReferenceSampler<S> {
     /// Panics unless `γ ∈ [0, 1)`.
     pub fn new(inner: S, gamma: f64, bias_target: Item, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&gamma), "gamma must be in [0,1)");
-        Self { inner, gamma, bias_target, rng: Xoshiro256::seed_from_u64(seed) }
+        Self {
+            inner,
+            gamma,
+            bias_target,
+            rng: Xoshiro256::seed_from_u64(seed),
+        }
     }
 
     /// The injected additive error `γ`.
@@ -232,7 +237,7 @@ mod tests {
     fn skewed_stream() -> Vec<Item> {
         [(1u64, 9u64), (2, 3), (3, 1)]
             .iter()
-            .flat_map(|&(i, c)| std::iter::repeat(i).take(c as usize))
+            .flat_map(|&(i, c)| std::iter::repeat_n(i, c as usize))
             .collect()
     }
 

@@ -320,7 +320,10 @@ mod tests {
             let row = stirling_row(p);
             for x in 0..12u64 {
                 let sum: f64 = (0..=p).map(|q| row[q as usize] * falling(x, q)).sum();
-                assert!((sum - (x as f64).powi(p as i32)).abs() < 1e-6, "p={p}, x={x}");
+                assert!(
+                    (sum - (x as f64).powi(p as i32)).abs() < 1e-6,
+                    "p={p}, x={x}"
+                );
             }
         }
     }
@@ -337,9 +340,14 @@ mod tests {
         let mut rng = default_rng(1);
         for &lambda in &[0.5f64, 5.0, 80.0] {
             let n = 20_000;
-            let mean: f64 =
-                (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
-            assert!((mean / lambda - 1.0).abs() < 0.05, "lambda {lambda}: mean {mean}");
+            let mean: f64 = (0..n)
+                .map(|_| poisson(&mut rng, lambda) as f64)
+                .sum::<f64>()
+                / n as f64;
+            assert!(
+                (mean / lambda - 1.0).abs() < 0.05,
+                "lambda {lambda}: mean {mean}"
+            );
         }
     }
 
@@ -347,7 +355,8 @@ mod tests {
     fn l2_random_order_distribution() {
         let counts = [(1u64, 60u64), (2, 30), (3, 10)];
         let m: u64 = counts.iter().map(|&(_, c)| c).sum();
-        let target = FrequencyVector::from_counts(&[(1, 60), (2, 30), (3, 10)]).lp_distribution(2.0);
+        let target =
+            FrequencyVector::from_counts(&[(1, 60), (2, 30), (3, 10)]).lp_distribution(2.0);
         let mut order_rng = default_rng(77);
         let mut histogram = SampleHistogram::new();
         for seed in 0..6_000u64 {

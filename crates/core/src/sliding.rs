@@ -23,35 +23,138 @@
 //! is conditioned on the estimator's high-probability correctness event,
 //! while the M-estimator variant is unconditionally truly perfect.
 
-use crate::sampler_unit::SamplerUnit;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use tps_random::{StreamRng, Xoshiro256};
+use tps_sketches::exact_counter::SuffixCountTable;
+use tps_streams::space::hashmap_bytes;
 use tps_streams::{
-    Item, MeasureFn, SampleOutcome, SlidingWindowSampler, SpaceUsage, Timestamp, WindowSpec,
+    FastHashMap, Item, MeasureFn, SampleOutcome, SlidingWindowSampler, SpaceUsage, Timestamp,
+    WindowSpec,
 };
 use tps_window::SlidingWindowLpEstimate;
 
-/// A cohort of sampler units all started at the same stream position.
-#[derive(Debug, Clone)]
+/// Per-unit state inside a cohort: the held item, the offset into the
+/// cohort's shared suffix-count table captured at admission, and the global
+/// stream position of the admitted update (needed for window-activity
+/// checks at query time).
+#[derive(Debug, Clone, Copy, Default)]
+struct CohortInstance {
+    item: Option<Item>,
+    offset: u64,
+    timestamp: Timestamp,
+}
+
+/// A cohort of Algorithm-1 sampler units all started at the same stream
+/// position.
+///
+/// Runs the same `O(1)`-expected-update engine as
+/// [`crate::framework::TrulyPerfectGSampler`]: units schedule their next
+/// reservoir replacement with the skip-ahead distribution instead of
+/// flipping a coin per update, and suffix counting is shared through one
+/// [`SuffixCountTable`] per cohort, so a stream update costs one hash-table
+/// touch per cohort regardless of how many units the cohort runs.
+#[derive(Debug)]
 struct Cohort {
     /// 1-based stream position of the first update this cohort has seen.
     start: Timestamp,
-    units: Vec<SamplerUnit>,
+    instances: Vec<CohortInstance>,
+    /// Min-heap of (next replacement position *local* to the cohort, unit).
+    schedule: BinaryHeap<Reverse<(Timestamp, usize)>>,
+    table: SuffixCountTable,
+    /// Units currently holding each tracked item, for garbage-collecting
+    /// the shared table.
+    references: FastHashMap<Item, u32>,
+    /// Number of updates this cohort has seen.
+    seen: u64,
+    /// The cohort's private RNG, split off the manager's at creation. Each
+    /// cohort owning its own stream keeps the draw sequence *per cohort*
+    /// independent of how updates are grouped across cohorts, which is what
+    /// lets the batch path process one cohort at a time and still satisfy
+    /// the batch ≡ loop law.
+    rng: Xoshiro256,
 }
 
 impl Cohort {
-    fn new(start: Timestamp, size: usize) -> Self {
-        Self { start, units: vec![SamplerUnit::new(); size] }
-    }
-
-    fn update<R: StreamRng>(&mut self, rng: &mut R, item: Item) {
-        for unit in &mut self.units {
-            unit.update(rng, item);
+    fn new(start: Timestamp, size: usize, rng: Xoshiro256) -> Self {
+        let schedule = (0..size)
+            .map(|idx| Reverse((1u64, idx)))
+            .collect::<BinaryHeap<_>>();
+        Self {
+            start,
+            instances: vec![CohortInstance::default(); size],
+            schedule,
+            table: SuffixCountTable::new(),
+            references: FastHashMap::default(),
+            seen: 0,
+            rng,
         }
     }
 
-    /// Absolute timestamp of a unit's sample.
-    fn absolute_timestamp(&self, unit: &SamplerUnit) -> Option<Timestamp> {
-        unit.sample().map(|(_, local)| self.start - 1 + local)
+    fn switch_sample(&mut self, idx: usize, item: Item) {
+        if let Some(old) = self.instances[idx].item {
+            if let Some(count) = self.references.get_mut(&old) {
+                *count -= 1;
+                if *count == 0 {
+                    self.references.remove(&old);
+                    self.table.untrack(old);
+                }
+            }
+        }
+        *self.references.entry(item).or_insert(0) += 1;
+        let offset = self.table.track(item);
+        self.instances[idx] = CohortInstance {
+            item: Some(item),
+            offset,
+            timestamp: self.start - 1 + self.seen,
+        };
+    }
+
+    fn update(&mut self, item: Item) {
+        self.seen += 1;
+        self.table.update(item);
+        // Wake every unit scheduled to replace its sample at this position.
+        while let Some(&Reverse((when, idx))) = self.schedule.peek() {
+            if when != self.seen {
+                break;
+            }
+            self.schedule.pop();
+            self.switch_sample(idx, item);
+            let next = crate::framework::skip_ahead_replacement(&mut self.rng, self.seen);
+            self.schedule.push(Reverse((next, idx)));
+        }
+    }
+
+    fn update_batch(&mut self, items: &[Item]) {
+        let mut idx = 0;
+        while idx < items.len() {
+            let remaining = items.len() - idx;
+            // Every scheduled local position is `> seen`; the item at batch
+            // offset `j` lands on local position `seen + j + 1`.
+            let safe = match self.schedule.peek() {
+                Some(&Reverse((when, _))) => ((when - self.seen - 1) as usize).min(remaining),
+                None => remaining,
+            };
+            if safe > 0 {
+                let run = &items[idx..idx + safe];
+                self.table.update_batch(run);
+                self.seen += run.len() as u64;
+                idx += safe;
+            }
+            if idx < items.len() && safe < remaining {
+                self.update(items[idx]);
+                idx += 1;
+            }
+        }
+    }
+
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.instances.capacity() * std::mem::size_of::<CohortInstance>()
+            + self.schedule.len() * std::mem::size_of::<Reverse<(Timestamp, usize)>>()
+            + self.table.space_bytes()
+            + hashmap_bytes(&self.references)
     }
 }
 
@@ -76,18 +179,45 @@ impl CohortManager {
         }
     }
 
-    fn update(&mut self, item: Item) {
-        self.time += 1;
-        // Start a fresh cohort every W updates (at positions 1, W+1, 2W+1, …)
-        // and keep only the two most recent.
-        if (self.time - 1) % self.window.width == 0 {
-            self.cohorts.push(Cohort::new(self.time, self.per_cohort));
+    /// Starts a fresh cohort if the *next* update opens a new epoch
+    /// (positions 1, W+1, 2W+1, …), keeping only the two most recent.
+    fn maybe_start_cohort(&mut self) {
+        if self.time.is_multiple_of(self.window.width) {
+            let cohort_rng = Xoshiro256::seed_from_u64(self.rng.next_u64());
+            self.cohorts
+                .push(Cohort::new(self.time + 1, self.per_cohort, cohort_rng));
             if self.cohorts.len() > 2 {
                 self.cohorts.remove(0);
             }
         }
+    }
+
+    fn update(&mut self, item: Item) {
+        self.maybe_start_cohort();
+        self.time += 1;
         for cohort in &mut self.cohorts {
-            cohort.update(&mut self.rng, item);
+            cohort.update(item);
+        }
+    }
+
+    /// Batch path: split the batch at cohort-epoch boundaries (at most one
+    /// per `W` updates) and hand each intervening run to the cohorts'
+    /// amortised batch engines in one call.
+    fn update_batch(&mut self, items: &[Item]) {
+        let width = self.window.width;
+        let mut idx = 0;
+        while idx < items.len() {
+            self.maybe_start_cohort();
+            // Updates until the next epoch boundary (the boundary item
+            // itself starts the next chunk).
+            let until_boundary = (width - self.time % width) as usize;
+            let end = (idx + until_boundary).min(items.len());
+            let chunk = &items[idx..end];
+            self.time += chunk.len() as u64;
+            for cohort in &mut self.cohorts {
+                cohort.update_batch(chunk);
+            }
+            idx = end;
         }
     }
 
@@ -100,15 +230,16 @@ impl CohortManager {
 
     /// Active `(item, suffix_count)` pairs of the covering cohort's units.
     fn active_candidates(&self) -> Vec<(Item, u64)> {
-        let Some(cohort) = self.covering_cohort() else { return Vec::new() };
+        let Some(cohort) = self.covering_cohort() else {
+            return Vec::new();
+        };
         cohort
-            .units
+            .instances
             .iter()
-            .filter_map(|unit| {
-                let (item, _) = unit.sample()?;
-                let ts = cohort.absolute_timestamp(unit)?;
-                if self.window.is_active(ts, self.time) {
-                    Some((item, unit.suffix_count()))
+            .filter_map(|inst| {
+                let item = inst.item?;
+                if self.window.is_active(inst.timestamp, self.time) {
+                    Some((item, cohort.table.suffix_count(item, inst.offset)))
                 } else {
                     None
                 }
@@ -117,12 +248,7 @@ impl CohortManager {
     }
 
     fn space_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self
-                .cohorts
-                .iter()
-                .map(|c| c.units.capacity() * std::mem::size_of::<SamplerUnit>())
-                .sum::<usize>()
+        std::mem::size_of::<Self>() + self.cohorts.iter().map(Cohort::space_bytes).sum::<usize>()
     }
 }
 
@@ -157,7 +283,10 @@ impl<G: MeasureFn> SlidingWindowGSampler<G> {
         } else {
             (delta.ln() / (1.0 - per_unit).ln()).ceil().max(1.0) as usize
         };
-        Self { g, manager: CohortManager::new(window, per_cohort, seed) }
+        Self {
+            g,
+            manager: CohortManager::new(window, per_cohort, seed),
+        }
     }
 
     /// Number of sampler units per cohort.
@@ -171,12 +300,16 @@ impl<G: MeasureFn> SlidingWindowSampler for SlidingWindowGSampler<G> {
         self.manager.update(item);
     }
 
+    fn update_batch(&mut self, items: &[Item]) {
+        self.manager.update_batch(items);
+    }
+
     fn sample(&mut self) -> SampleOutcome {
         if self.manager.time == 0 {
             return SampleOutcome::Empty;
         }
         let zeta = self.g.increment_bound(self.manager.window.width);
-        if !(zeta > 0.0) {
+        if zeta.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return SampleOutcome::Fail;
         }
         let candidates = self.manager.active_candidates();
@@ -239,7 +372,10 @@ impl SlidingWindowLpSampler {
         estimator_cols: usize,
         seed: u64,
     ) -> Self {
-        assert!(p > 1.0 && p <= 2.0, "sliding-window Lp sampler requires p in (1, 2]");
+        assert!(
+            p > 1.0 && p <= 2.0,
+            "sliding-window Lp sampler requires p in (1, 2]"
+        );
         assert!(window >= 1, "window must be positive");
         assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
         // Success probability per unit ≥ 1/(2·p·2^{p-1}·W^{1-1/p})
@@ -258,7 +394,11 @@ impl SlidingWindowLpSampler {
             estimator_cols,
             Xoshiro256::seed_from_u64(seed ^ 0x5EED),
         );
-        Self { p, manager: CohortManager::new(window, per_cohort, seed), estimate }
+        Self {
+            p,
+            manager: CohortManager::new(window, per_cohort, seed),
+            estimate,
+        }
     }
 
     /// Number of sampler units per cohort.
@@ -276,6 +416,16 @@ impl SlidingWindowSampler for SlidingWindowLpSampler {
     fn update(&mut self, item: Item) {
         self.manager.update(item);
         self.estimate.update(item);
+    }
+
+    fn update_batch(&mut self, items: &[Item]) {
+        self.manager.update_batch(items);
+        // The smooth-histogram estimator keeps per-item checkpoint logic;
+        // its updates commute with the cohorts', so feeding it after the
+        // whole cohort batch leaves identical state.
+        for &item in items {
+            self.estimate.update(item);
+        }
     }
 
     fn sample(&mut self) -> SampleOutcome {
@@ -343,16 +493,24 @@ mod tests {
             .g_distribution(&g);
         let mut histogram = SampleHistogram::new();
         for seed in 0..2_500u64 {
-            let mut s = SlidingWindowGSampler::new(g.clone(), window as u64, 0.15, 30_000 + seed);
+            let mut s = SlidingWindowGSampler::new(g, window as u64, 0.15, 30_000 + seed);
             for &x in &stream {
                 SlidingWindowSampler::update(&mut s, x);
             }
             histogram.record(SlidingWindowSampler::sample(&mut s));
         }
-        assert!(histogram.fail_rate() < 0.15, "fail rate {}", histogram.fail_rate());
+        assert!(
+            histogram.fail_rate() < 0.15,
+            "fail rate {}",
+            histogram.fail_rate()
+        );
         // No expired item may ever be reported.
         for expired in [1u64, 2, 3] {
-            assert_eq!(histogram.count(expired), 0, "expired item {expired} was sampled");
+            assert_eq!(
+                histogram.count(expired),
+                0,
+                "expired item {expired} was sampled"
+            );
         }
         let tv = histogram.tv_distance(&target);
         assert!(tv < 0.05, "TV {tv}");
@@ -370,7 +528,7 @@ mod tests {
             .lp_distribution(1.0);
         let mut histogram = SampleHistogram::new();
         for seed in 0..3_000u64 {
-            let mut s = SlidingWindowGSampler::new(g.clone(), window as u64, 0.1, 40_000 + seed);
+            let mut s = SlidingWindowGSampler::new(g, window as u64, 0.1, 40_000 + seed);
             for &x in &stream {
                 SlidingWindowSampler::update(&mut s, x);
             }
@@ -401,9 +559,17 @@ mod tests {
             }
             histogram.record(SlidingWindowSampler::sample(&mut s));
         }
-        assert!(histogram.fail_rate() < 0.2, "fail rate {}", histogram.fail_rate());
+        assert!(
+            histogram.fail_rate() < 0.2,
+            "fail rate {}",
+            histogram.fail_rate()
+        );
         for expired in [1u64, 2, 3] {
-            assert_eq!(histogram.count(expired), 0, "expired item {expired} was sampled");
+            assert_eq!(
+                histogram.count(expired),
+                0,
+                "expired item {expired} was sampled"
+            );
         }
         let tv = histogram.tv_distance(&target);
         assert!(tv < 0.1, "TV {tv}");

@@ -22,20 +22,23 @@
 //!   with a pre-drawn random subset to sample the support of a strict
 //!   turnstile stream in `Õ(√n)` space (Theorem D.3).
 
+use std::collections::{HashMap, HashSet};
 use tps_random::{random_subset, StreamRng, Xoshiro256};
 use tps_sketches::SparseRecovery;
 use tps_streams::frequency::FrequencyVector;
 use tps_streams::generators::EqualityInstance;
 use tps_streams::space::{hashmap_bytes, hashset_bytes};
 use tps_streams::{Item, SampleOutcome, SignedUpdate, SpaceUsage, TurnstileSampler};
-use std::collections::{HashMap, HashSet};
 
 /// The space lower bound of Theorem 1.2, in bits:
 /// `Ω(min{n, log₂ 1/γ})` for any `(ε₀, γ, 1/2)`-approximate `G`-sampler in
 /// the turnstile model. The constant is taken as 1/8·(effective instance
 /// size − 7), following the proof.
 pub fn lower_bound_bits(n: u64, gamma: f64) -> f64 {
-    assert!(gamma > 0.0 && gamma < 0.25, "the bound is stated for gamma in (0, 1/4)");
+    assert!(
+        gamma > 0.0 && gamma < 0.25,
+        "the bound is stated for gamma in (0, 1/4)"
+    );
     let effective = (n as f64 / 2.0).min((1.0 / (16.0 * gamma)).log2());
     ((effective - 7.0) / 128.0).max(0.0)
 }
@@ -69,7 +72,10 @@ impl MultiPassL1Sampler {
         assert!(universe >= 1, "universe must be non-empty");
         assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0,1]");
         let chunks = (universe as f64).powf(gamma).ceil().max(2.0) as usize;
-        Self { universe, chunks_per_pass: chunks }
+        Self {
+            universe,
+            chunks_per_pass: chunks,
+        }
     }
 
     /// Number of chunks maintained per pass.
@@ -111,7 +117,13 @@ impl MultiPassL1Sampler {
             );
             let total: i64 = masses.iter().sum();
             if total <= 0 {
-                return (SampleOutcome::Empty, PassReport { passes, peak_counters: peak });
+                return (
+                    SampleOutcome::Empty,
+                    PassReport {
+                        passes,
+                        peak_counters: peak,
+                    },
+                );
             }
             // Choose a chunk with probability proportional to its mass.
             let mut target = rng.gen_range(total as u64) as i64;
@@ -126,7 +138,13 @@ impl MultiPassL1Sampler {
             low += chosen as u64 * chunk_width;
             high = (low + chunk_width).min(high);
         }
-        (SampleOutcome::Index(low), PassReport { passes, peak_counters: peak })
+        (
+            SampleOutcome::Index(low),
+            PassReport {
+                passes,
+                peak_counters: peak,
+            },
+        )
     }
 }
 
@@ -160,7 +178,11 @@ impl MultiPassLpSampler {
         } else {
             (delta.ln() / (1.0 - per_candidate).ln()).ceil().max(1.0) as usize
         };
-        Self { p, l1: MultiPassL1Sampler::new(universe, gamma), candidates }
+        Self {
+            p,
+            l1: MultiPassL1Sampler::new(universe, gamma),
+            candidates,
+        }
     }
 
     /// Number of `L_1` candidates drawn per sample attempt.
@@ -188,7 +210,13 @@ impl MultiPassLpSampler {
             match outcome {
                 SampleOutcome::Index(i) => drawn.push(i),
                 SampleOutcome::Empty => {
-                    return (SampleOutcome::Empty, PassReport { passes, peak_counters: peak })
+                    return (
+                        SampleOutcome::Empty,
+                        PassReport {
+                            passes,
+                            peak_counters: peak,
+                        },
+                    )
                 }
                 SampleOutcome::Fail => {}
             }
@@ -215,10 +243,22 @@ impl MultiPassLpSampler {
             let f = exact[&candidate].max(0) as f64;
             let accept = (f / z).powf(self.p - 1.0).min(1.0);
             if rng.gen_bool(accept) {
-                return (SampleOutcome::Index(candidate), PassReport { passes, peak_counters: peak });
+                return (
+                    SampleOutcome::Index(candidate),
+                    PassReport {
+                        passes,
+                        peak_counters: peak,
+                    },
+                );
             }
         }
-        (SampleOutcome::Fail, PassReport { passes, peak_counters: peak })
+        (
+            SampleOutcome::Fail,
+            PassReport {
+                passes,
+                peak_counters: peak,
+            },
+        )
     }
 }
 
@@ -278,8 +318,11 @@ impl TurnstileSampler for StrictTurnstileF0Sampler {
             return SampleOutcome::Empty;
         }
         if let Some(recovered) = self.recovery.recover() {
-            let support: Vec<Item> =
-                recovered.iter().filter(|&&(_, v)| v != 0).map(|&(i, _)| i).collect();
+            let support: Vec<Item> = recovered
+                .iter()
+                .filter(|&&(_, v)| v != 0)
+                .map(|&(i, _)| i)
+                .collect();
             if support.is_empty() {
                 return SampleOutcome::Empty;
             }
@@ -288,8 +331,12 @@ impl TurnstileSampler for StrictTurnstileF0Sampler {
         }
         // Dense case: the support exceeds the recovery budget; fall back to
         // the random pre-drawn subset.
-        let live: Vec<Item> =
-            self.subset_counts.iter().filter(|&(_, &c)| c > 0).map(|(&i, _)| i).collect();
+        let live: Vec<Item> = self
+            .subset_counts
+            .iter()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(&i, _)| i)
+            .collect();
         if live.is_empty() {
             return SampleOutcome::Fail;
         }
@@ -335,7 +382,10 @@ impl EqualityReduction {
     /// Panics unless `γ ∈ [0, 1)`.
     pub fn new(gamma: f64) -> Self {
         assert!((0.0..1.0).contains(&gamma), "gamma must be in [0,1)");
-        Self { gamma, fail_probability: 0.0 }
+        Self {
+            gamma,
+            fail_probability: 0.0,
+        }
     }
 
     /// Runs the protocol on one instance and returns Bob's declaration
@@ -344,14 +394,14 @@ impl EqualityReduction {
         let mut updates = instance.alice_stream();
         updates.extend(instance.bob_stream());
         let vector = FrequencyVector::from_signed_stream(&updates);
-        let saw_bottom = if vector.is_zero() {
+
+        if vector.is_zero() {
             true
         } else {
             // A γ-additive sampler may report ⊥ on a nonzero vector with
             // probability up to γ; a truly perfect sampler never does.
             rng.gen_bool(self.gamma)
-        };
-        saw_bottom
+        }
     }
 
     /// Estimates the protocol's refutation error (probability of declaring
@@ -441,7 +491,11 @@ mod tests {
             let (outcome, _) = sampler.sample(&stream, &mut rng);
             histogram.record(outcome);
         }
-        assert!(histogram.fail_rate() < 0.1, "fail rate {}", histogram.fail_rate());
+        assert!(
+            histogram.fail_rate() < 0.1,
+            "fail rate {}",
+            histogram.fail_rate()
+        );
         assert!(histogram.tv_distance(&target) < 0.04);
     }
 
@@ -476,8 +530,9 @@ mod tests {
             histogram.record(s.sample());
         }
         assert_eq!(histogram.fails(), 0);
-        let target: HashMap<Item, f64> =
-            [(7u64, 1.0 / 3.0), (21, 1.0 / 3.0), (42, 1.0 / 3.0)].into_iter().collect();
+        let target: HashMap<Item, f64> = [(7u64, 1.0 / 3.0), (21, 1.0 / 3.0), (42, 1.0 / 3.0)]
+            .into_iter()
+            .collect();
         assert!(histogram.tv_distance(&target) < 0.04);
     }
 
@@ -499,7 +554,11 @@ mod tests {
             }
             histogram.record(outcome);
         }
-        assert!(histogram.fail_rate() < 0.2, "fail rate {}", histogram.fail_rate());
+        assert!(
+            histogram.fail_rate() < 0.2,
+            "fail rate {}",
+            histogram.fail_rate()
+        );
     }
 
     #[test]
@@ -509,7 +568,10 @@ mod tests {
         let leaky = EqualityReduction::new(0.1);
         assert_eq!(perfect.refutation_error(64, 2_000, &mut rng), 0.0);
         let observed = leaky.refutation_error(64, 4_000, &mut rng);
-        assert!((observed - 0.1).abs() < 0.02, "observed advantage {observed}");
+        assert!(
+            (observed - 0.1).abs() < 0.02,
+            "observed advantage {observed}"
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub fn exponential<R: StreamRng>(rng: &mut R) -> f64 {
 /// Panics if `rate` is not strictly positive and finite.
 #[inline]
 pub fn exponential_with_rate<R: StreamRng>(rng: &mut R, rate: f64) -> f64 {
-    assert!(rate > 0.0 && rate.is_finite(), "exponential rate must be positive");
+    assert!(
+        rate > 0.0 && rate.is_finite(),
+        "exponential rate must be positive"
+    );
     exponential(rng) / rate
 }
 
@@ -124,8 +127,10 @@ mod tests {
     fn exponential_with_rate_scales_mean() {
         let mut rng = default_rng(3);
         let n = 200_000;
-        let mean: f64 =
-            (0..n).map(|_| exponential_with_rate(&mut rng, 4.0)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| exponential_with_rate(&mut rng, 4.0))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
     }
 
@@ -152,13 +157,13 @@ mod tests {
         let helper = AntiRanks::new(weights);
         let mut rng = default_rng(6);
         let trials = 100_000;
-        let mut counts = vec![0usize; 4];
+        let mut counts = [0usize; 4];
         for _ in 0..trials {
             counts[helper.sample_argmin(&mut rng).unwrap()] += 1;
         }
-        for i in 0..4 {
+        for (i, &count) in counts.iter().enumerate() {
             let expected = helper.min_probability(i);
-            let observed = counts[i] as f64 / trials as f64;
+            let observed = count as f64 / trials as f64;
             assert!(
                 (observed - expected).abs() < 0.01,
                 "index {i}: expected {expected}, observed {observed}"

@@ -50,7 +50,7 @@ impl MultiplyShiftHash {
     ///
     /// Panics if `out_bits` is zero or larger than 64.
     pub fn new<R: StreamRng>(rng: &mut R, out_bits: u32) -> Self {
-        assert!(out_bits >= 1 && out_bits <= 64, "out_bits must be in 1..=64");
+        assert!((1..=64).contains(&out_bits), "out_bits must be in 1..=64");
         Self {
             a: rng.next_u64() | 1,
             b: rng.next_u64(),
@@ -82,7 +82,11 @@ impl MultiplyShiftHash {
         // Map the out_bits-bit hash to [0, buckets) with the multiply-shift
         // trick (unbiased enough for bucket placement).
         let h = self.hash(key);
-        let width = if self.out_bits == 64 { u64::MAX } else { (1u64 << self.out_bits) - 1 };
+        let width = if self.out_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.out_bits) - 1
+        };
         ((h as u128 * buckets as u128) / (width as u128 + 1)) as usize
     }
 }
@@ -211,7 +215,13 @@ mod tests {
 
     #[test]
     fn mersenne_reduction_matches_naive() {
-        for x in [0u128, 1, MERSENNE_61 as u128, (MERSENNE_61 as u128) * 17 + 5, u128::from(u64::MAX) * 3] {
+        for x in [
+            0u128,
+            1,
+            MERSENNE_61 as u128,
+            (MERSENNE_61 as u128) * 17 + 5,
+            u128::from(u64::MAX) * 3,
+        ] {
             assert_eq!(mod_mersenne61(x) as u128, x % MERSENNE_61 as u128);
         }
     }

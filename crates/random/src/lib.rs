@@ -20,9 +20,10 @@
 //! the benchmark harness is reproducible.
 //!
 //! The crate deliberately exposes its own small [`StreamRng`] trait rather
-//! than requiring a specific external RNG everywhere; interop with the
-//! [`rand`] ecosystem is provided by implementing [`rand::RngCore`] for the
-//! concrete generators.
+//! than requiring a specific external RNG everywhere, and carries no
+//! external dependencies; `rand` interop can be layered on by implementing
+//! `RngCore` in terms of [`StreamRng::next_u64`] and
+//! [`Xoshiro256::fill_bytes`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

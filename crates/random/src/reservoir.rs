@@ -70,13 +70,19 @@ impl<T> ReservoirSampler<T> {
     pub fn offer<R: StreamRng>(&mut self, rng: &mut R, value: T) -> bool {
         self.seen += 1;
         if self.items.len() < self.capacity {
-            self.items.push(ReservoirItem { value, timestamp: self.seen });
+            self.items.push(ReservoirItem {
+                value,
+                timestamp: self.seen,
+            });
             return true;
         }
         // Replace a uniformly random slot with probability capacity / seen.
         let j = rng.gen_range(self.seen);
         if (j as usize) < self.capacity {
-            self.items[j as usize] = ReservoirItem { value, timestamp: self.seen };
+            self.items[j as usize] = ReservoirItem {
+                value,
+                timestamp: self.seen,
+            };
             true
         } else {
             false
@@ -120,7 +126,11 @@ pub struct SkipReservoirSampler<T> {
 impl<T> SkipReservoirSampler<T> {
     /// Creates an empty skip-ahead reservoir.
     pub fn new() -> Self {
-        Self { seen: 0, next_take: 1, item: None }
+        Self {
+            seen: 0,
+            next_take: 1,
+            item: None,
+        }
     }
 
     /// Number of stream items offered so far.
@@ -140,7 +150,10 @@ impl<T> SkipReservoirSampler<T> {
             return false;
         }
         // Admit this item.
-        self.item = Some(ReservoirItem { value, timestamp: self.seen });
+        self.item = Some(ReservoirItem {
+            value,
+            timestamp: self.seen,
+        });
         // For a size-1 reservoir the acceptance probability at position t is
         // 1/t; the skip length S after accepting at position t satisfies
         // P[S > s] = t / (t + s), i.e. S = floor(t * (1-U)/U) for uniform U.
@@ -180,7 +193,11 @@ pub struct WeightedReservoir<T> {
 impl<T> WeightedReservoir<T> {
     /// Creates an empty weighted reservoir.
     pub fn new() -> Self {
-        Self { best_key: f64::NEG_INFINITY, item: None, total_weight: 0.0 }
+        Self {
+            best_key: f64::NEG_INFINITY,
+            item: None,
+            total_weight: 0.0,
+        }
     }
 
     /// Offers an item with the given weight; zero-weight items are ignored.
@@ -189,7 +206,10 @@ impl<T> WeightedReservoir<T> {
     ///
     /// Panics if `weight` is negative or non-finite.
     pub fn offer<R: StreamRng>(&mut self, rng: &mut R, value: T, weight: f64) {
-        assert!(weight >= 0.0 && weight.is_finite(), "weights must be non-negative");
+        assert!(
+            weight >= 0.0 && weight.is_finite(),
+            "weights must be non-negative"
+        );
         if weight == 0.0 {
             return;
         }
@@ -264,7 +284,10 @@ mod tests {
         }
         let frac = hit as f64 / trials as f64;
         let expected = k as f64 / m as f64;
-        assert!((frac - expected).abs() < 0.02, "inclusion {frac} vs {expected}");
+        assert!(
+            (frac - expected).abs() < 0.02,
+            "inclusion {frac} vs {expected}"
+        );
     }
 
     #[test]

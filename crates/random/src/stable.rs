@@ -103,7 +103,9 @@ mod tests {
     fn cauchy_median_is_zero() {
         let mut rng = default_rng(10);
         let n = 100_000;
-        let negatives = (0..n).filter(|_| symmetric_stable(&mut rng, 1.0) < 0.0).count();
+        let negatives = (0..n)
+            .filter(|_| symmetric_stable(&mut rng, 1.0) < 0.0)
+            .count();
         let frac = negatives as f64 / n as f64;
         assert!((frac - 0.5).abs() < 0.01, "fraction below zero {frac}");
     }
@@ -141,7 +143,9 @@ mod tests {
     fn symmetric_stable_median_matches_sign_symmetry_for_p_half() {
         let mut rng = default_rng(13);
         let n = 100_000;
-        let negatives = (0..n).filter(|_| symmetric_stable(&mut rng, 0.5) < 0.0).count();
+        let negatives = (0..n)
+            .filter(|_| symmetric_stable(&mut rng, 0.5) < 0.0)
+            .count();
         let frac = negatives as f64 / n as f64;
         assert!((frac - 0.5).abs() < 0.01);
     }
@@ -160,13 +164,18 @@ mod tests {
         // in distribution; medians over many draws should reflect the scale
         // difference between dup=4 and dup=16 (factor ~16).
         let draws = 4001;
-        let mut small: Vec<f64> =
-            (0..draws).map(|_| inverse_power_exponential_sum(&mut rng, 0.5, 4)).collect();
-        let mut large: Vec<f64> =
-            (0..draws).map(|_| inverse_power_exponential_sum(&mut rng, 0.5, 16)).collect();
+        let mut small: Vec<f64> = (0..draws)
+            .map(|_| inverse_power_exponential_sum(&mut rng, 0.5, 4))
+            .collect();
+        let mut large: Vec<f64> = (0..draws)
+            .map(|_| inverse_power_exponential_sum(&mut rng, 0.5, 16))
+            .collect();
         small.sort_by(|a, b| a.partial_cmp(b).unwrap());
         large.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let ratio = large[draws / 2] / small[draws / 2];
-        assert!(ratio > 4.0, "median ratio {ratio} should reflect dup^2 scaling");
+        assert!(
+            ratio > 4.0,
+            "median ratio {ratio} should reflect dup^2 scaling"
+        );
     }
 }

@@ -79,10 +79,7 @@ impl Xoshiro256 {
 impl StreamRng for Xoshiro256 {
     #[inline]
     fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -94,16 +91,12 @@ impl StreamRng for Xoshiro256 {
     }
 }
 
-impl rand::RngCore for Xoshiro256 {
-    fn next_u32(&mut self) -> u32 {
-        (StreamRng::next_u64(self) >> 32) as u32
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        StreamRng::next_u64(self)
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+impl Xoshiro256 {
+    /// Fills a byte slice with uniform random bytes (the `rand::RngCore`
+    /// surface, exposed directly so the crate stays dependency-free in
+    /// offline builds — implement `RngCore` by delegating here if `rand`
+    /// interop is needed).
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
             chunk.copy_from_slice(&StreamRng::next_u64(self).to_le_bytes());
@@ -113,11 +106,6 @@ impl rand::RngCore for Xoshiro256 {
             let bytes = StreamRng::next_u64(self).to_le_bytes();
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 
@@ -163,8 +151,7 @@ mod tests {
     }
 
     #[test]
-    fn rand_core_interop_fill_bytes() {
-        use rand::RngCore;
+    fn fill_bytes_covers_partial_chunks() {
         let mut rng = Xoshiro256::seed_from_u64(5);
         let mut buf = [0u8; 13];
         rng.fill_bytes(&mut buf);

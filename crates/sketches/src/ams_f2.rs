@@ -28,7 +28,12 @@ impl AmsF2 {
     pub fn new<R: StreamRng>(rng: &mut R, rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "AMS dimensions must be positive");
         let signs = (0..rows * cols).map(|_| KWiseHash::new(rng, 4)).collect();
-        Self { rows, cols, counters: vec![0; rows * cols], signs }
+        Self {
+            rows,
+            cols,
+            counters: vec![0; rows * cols],
+            signs,
+        }
     }
 
     /// Creates an estimator targeting relative error `ε` with constant
@@ -113,9 +118,7 @@ mod tests {
         let mut rng = default_rng(2);
         let mut ams = AmsF2::new(&mut rng, 7, 400);
         let mut stream = Vec::new();
-        for _ in 0..5_000 {
-            stream.push(1u64);
-        }
+        stream.extend(std::iter::repeat_n(1u64, 5_000));
         for i in 0..5_000u64 {
             stream.push(100 + i % 1000);
         }
@@ -124,7 +127,10 @@ mod tests {
         }
         let truth = FrequencyVector::from_stream(&stream).fp(2.0);
         let est = ams.f2_estimate();
-        assert!((est / truth - 1.0).abs() < 0.3, "estimate {est} vs truth {truth}");
+        assert!(
+            (est / truth - 1.0).abs() < 0.3,
+            "estimate {est} vs truth {truth}"
+        );
     }
 
     #[test]

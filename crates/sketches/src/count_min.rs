@@ -31,7 +31,13 @@ impl CountMin {
     pub fn new<R: StreamRng>(rng: &mut R, rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "CountMin dimensions must be positive");
         let hashes = (0..rows).map(|_| KWiseHash::new(rng, 2)).collect();
-        Self { rows, cols, table: vec![0; rows * cols], hashes, processed: 0 }
+        Self {
+            rows,
+            cols,
+            table: vec![0; rows * cols],
+            hashes,
+            processed: 0,
+        }
     }
 
     /// Creates a sketch sized for additive error `ε·m` with failure
@@ -67,6 +73,24 @@ impl CountMin {
         }
     }
 
+    /// Processes a contiguous batch of unit insertions, vectorised per
+    /// distinct item.
+    ///
+    /// The table is a sum of per-item contributions, so the batch is first
+    /// aggregated into `(item, multiplicity)` pairs and each row is then
+    /// touched once per *distinct* item: the `rows` hash evaluations are
+    /// paid once per distinct item instead of once per occurrence. The
+    /// final sketch state is exactly the per-item loop's.
+    pub fn update_batch(&mut self, items: &[Item]) {
+        self.processed += items.len() as u64;
+        for (item, count) in tps_streams::count_multiplicities(items) {
+            for (r, h) in self.hashes.iter().enumerate() {
+                let c = h.bucket(item, self.cols);
+                self.table[r * self.cols + c] += count;
+            }
+        }
+    }
+
     /// The point estimate `f̂_i = min_r table[r][h_r(i)]`, which never
     /// underestimates the true frequency.
     pub fn estimate(&self, item: Item) -> u64 {
@@ -87,7 +111,11 @@ impl CountMin {
         if candidates.is_empty() {
             return self.processed;
         }
-        candidates.iter().map(|&i| self.estimate(i)).max().unwrap_or(0)
+        candidates
+            .iter()
+            .map(|&i| self.estimate(i))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -136,7 +164,10 @@ mod tests {
                 violations += 1;
             }
         }
-        assert!(violations < 20, "too many error-bound violations: {violations}");
+        assert!(
+            violations < 20,
+            "too many error-bound violations: {violations}"
+        );
     }
 
     #[test]
@@ -150,7 +181,7 @@ mod tests {
             cm.update(i + 100);
         }
         let est = cm.estimate(42);
-        assert!(est >= 10_000 && est <= 10_200, "estimate {est}");
+        assert!((10_000..=10_200).contains(&est), "estimate {est}");
     }
 
     #[test]

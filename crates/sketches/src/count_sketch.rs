@@ -27,10 +27,19 @@ impl CountSketch {
     ///
     /// Panics if either dimension is zero.
     pub fn new<R: StreamRng>(rng: &mut R, rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "CountSketch dimensions must be positive");
+        assert!(
+            rows > 0 && cols > 0,
+            "CountSketch dimensions must be positive"
+        );
         let bucket_hashes = (0..rows).map(|_| KWiseHash::new(rng, 2)).collect();
         let sign_hashes = (0..rows).map(|_| KWiseHash::new(rng, 4)).collect();
-        Self { rows, cols, table: vec![0; rows * cols], bucket_hashes, sign_hashes }
+        Self {
+            rows,
+            cols,
+            table: vec![0; rows * cols],
+            bucket_hashes,
+            sign_hashes,
+        }
     }
 
     /// Processes a signed update `(item, delta)`.
@@ -45,6 +54,18 @@ impl CountSketch {
     /// Processes a unit insertion.
     pub fn insert(&mut self, item: Item) {
         self.update(item, 1);
+    }
+
+    /// Processes a contiguous batch of unit insertions, vectorised per
+    /// distinct item (the signed-counter analogue of
+    /// [`CountMin::update_batch`](crate::CountMin::update_batch)): the
+    /// batch is aggregated into `(item, multiplicity)` pairs and each row's
+    /// hashes are evaluated once per distinct item. Counters are additive,
+    /// so the final state is exactly the per-item loop's.
+    pub fn insert_batch(&mut self, items: &[Item]) {
+        for (item, count) in tps_streams::count_multiplicities(items) {
+            self.update(item, count as i64);
+        }
     }
 
     /// The median-of-rows point estimate of `f_i` (unbiased per row).
@@ -63,7 +84,10 @@ impl CountSketch {
     /// Returns the candidate from `candidates` with the largest estimated
     /// absolute frequency, if any.
     pub fn argmax(&self, candidates: &[Item]) -> Option<Item> {
-        candidates.iter().copied().max_by_key(|&i| self.estimate(i).unsigned_abs())
+        candidates
+            .iter()
+            .copied()
+            .max_by_key(|&i| self.estimate(i).unsigned_abs())
     }
 }
 
@@ -71,8 +95,7 @@ impl SpaceUsage for CountSketch {
     fn space_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + vec_bytes(&self.table)
-            + (self.bucket_hashes.len() + self.sign_hashes.len())
-                * std::mem::size_of::<KWiseHash>()
+            + (self.bucket_hashes.len() + self.sign_hashes.len()) * std::mem::size_of::<KWiseHash>()
     }
 }
 

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 use tps_streams::space::hashmap_bytes;
-use tps_streams::{Estimator, Item, SpaceUsage};
+use tps_streams::{Estimator, FastHashMap, Item, SpaceUsage};
 
 /// An exact hash-map frequency counter.
 #[derive(Debug, Clone, Default)]
@@ -80,8 +80,10 @@ impl SpaceUsage for ExactCounter {
 /// track the item.
 #[derive(Debug, Clone, Default)]
 pub struct SuffixCountTable {
-    /// Occurrences of each tracked item since it was first tracked.
-    counts: HashMap<Item, u64>,
+    /// Occurrences of each tracked item since it was first tracked. Keyed
+    /// with the fast internal hasher: this map is touched once per stream
+    /// update and dominates the engine's per-update cost.
+    counts: FastHashMap<Item, u64>,
 }
 
 impl SuffixCountTable {
@@ -109,12 +111,38 @@ impl SuffixCountTable {
         }
     }
 
+    /// Processes a contiguous batch of stream updates, leaving the table in
+    /// exactly the state the per-item loop would.
+    ///
+    /// Runs of equal adjacent items are folded into one hash-table touch, so
+    /// heavy skewed streams cost one lookup per *run* rather than per
+    /// occurrence; an empty table short-circuits the whole batch.
+    pub fn update_batch(&mut self, items: &[Item]) {
+        if self.counts.is_empty() {
+            return;
+        }
+        tps_streams::for_each_run(items, |item, count| self.update_run(item, count));
+    }
+
+    /// Processes `count` consecutive occurrences of `item` with a single
+    /// hash-table touch (exactly equivalent to `count` [`Self::update`]
+    /// calls, since the counter is plain addition).
+    #[inline]
+    pub fn update_run(&mut self, item: Item, count: u64) {
+        if let Some(c) = self.counts.get_mut(&item) {
+            *c += count;
+        }
+    }
+
     /// Reconstructs an instance's suffix count from its stored offset.
     ///
     /// Returns 0 if the item is not tracked (can only happen for instances
     /// that never sampled anything).
     pub fn suffix_count(&self, item: Item, offset: u64) -> u64 {
-        self.counts.get(&item).map(|&c| c.saturating_sub(offset)).unwrap_or(0)
+        self.counts
+            .get(&item)
+            .map(|&c| c.saturating_sub(offset))
+            .unwrap_or(0)
     }
 
     /// Stops tracking an item and frees its counter. Callers are responsible
@@ -169,7 +197,11 @@ mod tests {
         table.update(5);
         assert_eq!(table.suffix_count(5, offset_a), 3);
         assert_eq!(table.suffix_count(5, offset_b), 1);
-        assert_eq!(table.suffix_count(9, 0), 0, "untracked items have no suffix count");
+        assert_eq!(
+            table.suffix_count(9, 0),
+            0,
+            "untracked items have no suffix count"
+        );
         assert_eq!(table.tracked(), 1);
     }
 

@@ -44,10 +44,20 @@ impl AmsFpEstimator {
         assert!(p > 0.0, "p must be positive");
         assert!(rows > 0 && cols > 0, "dimensions must be positive");
         let units = (0..rows * cols)
-            .map(|_| Unit { reservoir: ReservoirSampler::new(1), count: 0 })
+            .map(|_| Unit {
+                reservoir: ReservoirSampler::new(1),
+                count: 0,
+            })
             .collect();
         let _ = rng.next_u64();
-        Self { p, rows, cols, units, rng, processed: 0 }
+        Self {
+            p,
+            rows,
+            cols,
+            units,
+            rng,
+            processed: 0,
+        }
     }
 
     /// The exponent `p`.

@@ -13,15 +13,14 @@
 //! rejection-sampling step of the truly perfect `L_p` sampler for
 //! `p ∈ [1, 2]` without introducing any failure probability.
 
-use std::collections::HashMap;
 use tps_streams::space::hashmap_bytes;
-use tps_streams::{Item, SpaceUsage};
+use tps_streams::{FastHashMap, Item, SpaceUsage};
 
 /// The Misra–Gries heavy-hitter summary.
 #[derive(Debug, Clone)]
 pub struct MisraGries {
     capacity: usize,
-    counters: HashMap<Item, u64>,
+    counters: FastHashMap<Item, u64>,
     processed: u64,
     /// Total amount decremented from every counter so far; the classic
     /// analysis shows `decrements ≤ m / (capacity + 1)`.
@@ -38,7 +37,7 @@ impl MisraGries {
         assert!(capacity > 0, "Misra-Gries needs at least one counter");
         Self {
             capacity,
-            counters: HashMap::with_capacity(capacity + 1),
+            counters: FastHashMap::with_capacity_and_hasher(capacity + 1, Default::default()),
             processed: 0,
             decrements: 0,
         }
@@ -72,6 +71,53 @@ impl MisraGries {
             *c -= 1;
             *c > 0
         });
+    }
+
+    /// Processes a contiguous batch of unit insertions, leaving the summary
+    /// in exactly the state the per-item [`MisraGries::update`] loop would.
+    ///
+    /// Runs of equal adjacent items are replayed in closed form: a tracked
+    /// (or insertable) item absorbs its whole run with one hash-table touch,
+    /// and a run that hits a full table performs `min(run, min-counter)`
+    /// decrement rounds as a single subtraction instead of `run` separate
+    /// `retain` sweeps.
+    pub fn update_batch(&mut self, items: &[Item]) {
+        tps_streams::for_each_run(items, |item, count| self.update_run(item, count));
+    }
+
+    /// Processes `count` consecutive occurrences of `item` in closed form,
+    /// leaving exactly the state `count` sequential [`MisraGries::update`]
+    /// calls would. (Order matters across *different* items — aggregating a
+    /// whole stream per item is **not** equivalent — but a contiguous run of
+    /// one item replays exactly: a tracked or insertable item absorbs the
+    /// run with one hash-table touch, and a run hitting a full table funds
+    /// `d = min(count, smallest counter)` decrement rounds as a single
+    /// subtraction.)
+    #[inline]
+    pub fn update_run(&mut self, item: Item, count: u64) {
+        let mut run = count;
+        self.processed += run;
+        if let Some(c) = self.counters.get_mut(&item) {
+            *c += run;
+        } else if self.counters.len() < self.capacity {
+            self.counters.insert(item, run);
+        } else {
+            // Sequentially, each copy decrements every counter until one
+            // reaches zero and frees a slot; the copy *causing* the final
+            // decrement is itself consumed.
+            let min = self.counters.values().copied().min().unwrap_or(0);
+            let d = run.min(min);
+            self.decrements += d;
+            self.counters.retain(|_, c| {
+                *c -= d;
+                *c > 0
+            });
+            run -= d;
+            if run > 0 {
+                // A slot is now free (some counter hit zero above).
+                self.counters.insert(item, run);
+            }
+        }
     }
 
     /// The deterministic *lower* estimate `f̂_i ≤ f_i` for an item
@@ -137,7 +183,10 @@ mod tests {
         for (item, freq) in truth.iter() {
             let est = mg.estimate(item);
             assert!(est <= freq as u64, "estimate overshoots");
-            assert!(est + err >= freq as u64, "estimate undershoots beyond the bound");
+            assert!(
+                est + err >= freq as u64,
+                "estimate undershoots beyond the bound"
+            );
         }
         // The Z bound sandwiches the true maximum frequency.
         let z = mg.max_frequency_upper_bound();
@@ -181,7 +230,9 @@ mod tests {
 
     #[test]
     fn candidates_above_has_no_false_negatives() {
-        let stream: Vec<Item> = (0..2_000u64).map(|i| if i % 3 == 0 { 5 } else { i }).collect();
+        let stream: Vec<Item> = (0..2_000u64)
+            .map(|i| if i % 3 == 0 { 5 } else { i })
+            .collect();
         let mut mg = MisraGries::new(20);
         for &x in &stream {
             mg.update(x);
@@ -219,6 +270,9 @@ mod tests {
             large.update(i % 7777);
         }
         assert!(small.space_bytes() < large.space_bytes());
-        assert!(small.space_bytes() < 10_000, "MG space must not grow with the stream");
+        assert!(
+            small.space_bytes() < 10_000,
+            "MG space must not grow with the stream"
+        );
     }
 }

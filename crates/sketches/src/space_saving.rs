@@ -27,7 +27,11 @@ impl SpaceSaving {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "SpaceSaving needs at least one counter");
-        Self { capacity, counters: HashMap::with_capacity(capacity + 1), processed: 0 }
+        Self {
+            capacity,
+            counters: HashMap::with_capacity(capacity + 1),
+            processed: 0,
+        }
     }
 
     /// Number of stream updates processed.
@@ -48,8 +52,11 @@ impl SpaceSaving {
         }
         // Evict the minimum-count item and inherit its count as the
         // overestimation baseline.
-        let (&min_item, &(min_count, _)) =
-            self.counters.iter().min_by_key(|&(item, &(c, _))| (c, *item)).expect("non-empty");
+        let (&min_item, &(min_count, _)) = self
+            .counters
+            .iter()
+            .min_by_key(|&(item, &(c, _))| (c, *item))
+            .expect("non-empty");
         self.counters.remove(&min_item);
         self.counters.insert(item, (min_count + 1, min_count));
     }
@@ -79,8 +86,11 @@ impl SpaceSaving {
     /// Tracked items with guaranteed-frequency lower bounds
     /// (`count − overestimate`), sorted by decreasing count.
     pub fn heavy_hitters(&self) -> Vec<(Item, u64)> {
-        let mut v: Vec<(Item, u64)> =
-            self.counters.iter().map(|(&i, &(c, over))| (i, c - over)).collect();
+        let mut v: Vec<(Item, u64)> = self
+            .counters
+            .iter()
+            .map(|(&i, &(c, over))| (i, c - over))
+            .collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
@@ -106,7 +116,10 @@ mod tests {
         let err = ss.error_bound();
         for (item, freq) in truth.iter() {
             let est = ss.estimate(item);
-            assert!(est >= freq as u64 || est >= err, "estimate must overestimate");
+            assert!(
+                est >= freq as u64 || est >= err,
+                "estimate must overestimate"
+            );
             assert!(est <= freq as u64 + err, "estimate exceeds error bound");
         }
         assert!(ss.max_frequency_upper_bound() >= truth.l_inf());
@@ -155,7 +168,10 @@ mod tests {
         }
         let truth = FrequencyVector::from_stream(&stream);
         for (item, lower) in ss.heavy_hitters() {
-            assert!(lower <= truth.get(item) as u64, "guaranteed count must be a lower bound");
+            assert!(
+                lower <= truth.get(item) as u64,
+                "guaranteed count must be a lower bound"
+            );
         }
     }
 

@@ -69,7 +69,7 @@ fn fpow(mut base: u64, mut exp: u64) -> u64 {
 }
 
 fn finv(a: u64) -> u64 {
-    assert!(a % FIELD_PRIME != 0, "zero has no inverse");
+    assert!(!a.is_multiple_of(FIELD_PRIME), "zero has no inverse");
     fpow(a, FIELD_PRIME - 2)
 }
 
@@ -166,12 +166,12 @@ fn solve_vandermonde(locators: &[u64], syndromes: &[u64]) -> Option<Vec<u64>> {
         for entry in matrix[col].iter_mut() {
             *entry = fmul(*entry, inv_pivot);
         }
-        for r in 0..l {
-            if r != col && matrix[r][col] != 0 {
-                let factor = matrix[r][col];
-                for cidx in col..=l {
-                    let subtrahend = fmul(factor, matrix[col][cidx]);
-                    matrix[r][cidx] = fsub(matrix[r][cidx], subtrahend);
+        let pivot: Vec<u64> = matrix[col][col..=l].to_vec();
+        for (r, row) in matrix.iter_mut().enumerate() {
+            if r != col && row[col] != 0 {
+                let factor = row[col];
+                for (entry, &pval) in row[col..=l].iter_mut().zip(&pivot) {
+                    *entry = fsub(*entry, fmul(factor, pval));
                 }
             }
         }
@@ -227,7 +227,10 @@ impl SparseRecovery {
 
     /// Processes one signed update (`O(k)` field operations).
     pub fn update(&mut self, update: SignedUpdate) {
-        assert!(update.item < self.universe, "item outside the declared universe");
+        assert!(
+            update.item < self.universe,
+            "item outside the declared universe"
+        );
         self.updates_processed += 1;
         let delta = encode_value(update.delta);
         if delta == 0 {
@@ -387,7 +390,10 @@ mod tests {
         for item in 0..10u64 {
             sr.insert(item);
         }
-        assert!(sr.recover().is_none(), "10-sparse vector must not pass a 2-sparse recovery");
+        assert!(
+            sr.recover().is_none(),
+            "10-sparse vector must not pass a 2-sparse recovery"
+        );
     }
 
     #[test]
@@ -429,7 +435,10 @@ mod tests {
         let small = SparseRecovery::new(4, 1_000_000);
         let large = SparseRecovery::new(64, 1_000_000);
         assert!(small.space_bytes() < large.space_bytes());
-        assert!(small.space_bytes() < 1_000, "space must not depend on the universe size");
+        assert!(
+            small.space_bytes() < 1_000,
+            "space must not depend on the universe size"
+        );
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Shared primitives for the batched-update engine.
+//!
+//! Every amortised `update_batch` override in the workspace reduces to one
+//! of two traversals of the incoming slice, collected here so the
+//! batch ≡ loop law has a single implementation to audit:
+//!
+//! * [`for_each_run`] — run-length compression for order-*sensitive*
+//!   consumers (Misra–Gries, the shared suffix-count table): only
+//!   *contiguous* runs of one item may be folded, because interleavings
+//!   across different items are not commutative for those structures.
+//! * [`count_multiplicities`] / [`aggregate_in_order`] — full per-item
+//!   aggregation for order-*insensitive* (additive) consumers (CountMin,
+//!   CountSketch) and for consumers whose decisions depend only on
+//!   first-occurrence order and multiplicity (the `F_0` sampler).
+
+use crate::fasthash::FastHashMap;
+use crate::update::Item;
+
+/// Calls `f(item, count)` once per maximal run of equal adjacent items,
+/// in order. `Σ count` over all calls equals `items.len()`.
+#[inline]
+pub fn for_each_run(items: &[Item], mut f: impl FnMut(Item, u64)) {
+    let mut iter = items.iter().copied();
+    let Some(mut current) = iter.next() else {
+        return;
+    };
+    let mut count = 1u64;
+    for item in iter {
+        if item == current {
+            count += 1;
+        } else {
+            f(current, count);
+            current = item;
+            count = 1;
+        }
+    }
+    f(current, count);
+}
+
+/// Aggregates a batch to `item → multiplicity` (order discarded; valid only
+/// for additive consumers).
+pub fn count_multiplicities(items: &[Item]) -> FastHashMap<Item, u64> {
+    let mut counts =
+        FastHashMap::with_capacity_and_hasher(items.len().min(1024), Default::default());
+    for &item in items {
+        *counts.entry(item).or_insert(0u64) += 1;
+    }
+    counts
+}
+
+/// Aggregates a batch to `(first-occurrence order, item → multiplicity)` —
+/// the traversal order per-item logic sees when every occurrence of an item
+/// is folded into its first.
+pub fn aggregate_in_order(items: &[Item]) -> (Vec<Item>, FastHashMap<Item, u64>) {
+    let mut counts: FastHashMap<Item, u64> =
+        FastHashMap::with_capacity_and_hasher(items.len().min(1024), Default::default());
+    let mut order = Vec::new();
+    for &item in items {
+        let entry = counts.entry(item).or_insert(0);
+        if *entry == 0 {
+            order.push(item);
+        }
+        *entry += 1;
+    }
+    (order, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_cover_the_slice_in_order() {
+        let items = [3u64, 3, 3, 7, 7, 3, 9];
+        let mut seen = Vec::new();
+        for_each_run(&items, |item, count| seen.push((item, count)));
+        assert_eq!(seen, vec![(3, 3), (7, 2), (3, 1), (9, 1)]);
+        assert_eq!(
+            seen.iter().map(|&(_, c)| c).sum::<u64>(),
+            items.len() as u64
+        );
+    }
+
+    #[test]
+    fn empty_slice_produces_no_runs() {
+        let mut calls = 0;
+        for_each_run(&[], |_, _| calls += 1);
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn multiplicities_and_order_agree() {
+        let items = [5u64, 1, 5, 2, 1, 5];
+        let counts = count_multiplicities(&items);
+        let (order, ordered_counts) = aggregate_in_order(&items);
+        assert_eq!(order, vec![5, 1, 2]);
+        for (&item, &count) in &counts {
+            assert_eq!(ordered_counts[&item], count);
+        }
+        assert_eq!(counts[&5], 3);
+        assert_eq!(counts[&1], 2);
+        assert_eq!(counts[&2], 1);
+    }
+}

@@ -20,7 +20,9 @@ pub struct FrequencyVector {
 impl FrequencyVector {
     /// Creates an empty (all-zero) frequency vector.
     pub fn new() -> Self {
-        Self { counts: HashMap::new() }
+        Self {
+            counts: HashMap::new(),
+        }
     }
 
     /// Builds the frequency vector of an insertion-only stream.
@@ -123,17 +125,27 @@ impl FrequencyVector {
     /// The `p`-th frequency moment `F_p = Σ_i |f_i|^p`.
     pub fn fp(&self, p: f64) -> f64 {
         assert!(p > 0.0, "p must be positive");
-        self.counts.values().map(|&c| (c.unsigned_abs() as f64).powf(p)).sum()
+        self.counts
+            .values()
+            .map(|&c| (c.unsigned_abs() as f64).powf(p))
+            .sum()
     }
 
     /// `‖f‖_∞`, the largest absolute frequency.
     pub fn l_inf(&self) -> u64 {
-        self.counts.values().map(|&c| c.unsigned_abs()).max().unwrap_or(0)
+        self.counts
+            .values()
+            .map(|&c| c.unsigned_abs())
+            .max()
+            .unwrap_or(0)
     }
 
     /// `F_G = Σ_i G(|f_i|)` for a measure function `G`.
     pub fn fg<G: MeasureFn>(&self, g: &G) -> f64 {
-        self.counts.values().map(|&c| g.value(c.unsigned_abs())).sum()
+        self.counts
+            .values()
+            .map(|&c| g.value(c.unsigned_abs()))
+            .sum()
     }
 
     /// The exact target distribution of a `G`-sampler: `(i, G(f_i)/F_G)` for
@@ -204,7 +216,12 @@ impl MatrixAccumulator {
     pub fn row_l2(&self, row: u64) -> f64 {
         self.rows
             .get(&row)
-            .map(|cols| cols.values().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt())
+            .map(|cols| {
+                cols.values()
+                    .map(|&v| (v as f64) * (v as f64))
+                    .sum::<f64>()
+                    .sqrt()
+            })
             .unwrap_or(0.0)
     }
 
@@ -218,7 +235,11 @@ impl MatrixAccumulator {
         let norm = |row: &HashMap<u64, u64>| -> f64 {
             match q {
                 1 => row.values().map(|&v| v as f64).sum(),
-                2 => row.values().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt(),
+                2 => row
+                    .values()
+                    .map(|&v| (v as f64) * (v as f64))
+                    .sum::<f64>()
+                    .sqrt(),
                 _ => panic!("only q = 1 or q = 2 row norms are supported"),
             }
         };
@@ -226,7 +247,10 @@ impl MatrixAccumulator {
         if total <= 0.0 {
             return HashMap::new();
         }
-        self.rows.iter().map(|(&r, cols)| (r, norm(cols) / total)).collect()
+        self.rows
+            .iter()
+            .map(|(&r, cols)| (r, norm(cols) / total))
+            .collect()
     }
 
     /// Number of nonzero rows.

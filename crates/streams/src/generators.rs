@@ -56,8 +56,14 @@ pub fn heavy_hitter_stream<R: StreamRng>(
     heavy_count: u64,
     heavy_fraction: f64,
 ) -> Vec<Item> {
-    assert!(heavy_count > 0 && heavy_count < n, "need 0 < heavy_count < n");
-    assert!((0.0..=1.0).contains(&heavy_fraction), "heavy_fraction must be in [0,1]");
+    assert!(
+        heavy_count > 0 && heavy_count < n,
+        "need 0 < heavy_count < n"
+    );
+    assert!(
+        (0.0..=1.0).contains(&heavy_fraction),
+        "heavy_fraction must be in [0,1]"
+    );
     (0..m)
         .map(|_| {
             if rng.gen_bool(heavy_fraction) {
@@ -74,7 +80,7 @@ pub fn heavy_hitter_stream<R: StreamRng>(
 pub fn stream_from_frequencies(frequencies: &[(Item, u64)]) -> Vec<Item> {
     let mut out = Vec::with_capacity(frequencies.iter().map(|&(_, c)| c as usize).sum());
     for &(item, count) in frequencies {
-        out.extend(std::iter::repeat(item).take(count as usize));
+        out.extend(std::iter::repeat_n(item, count as usize));
     }
     out
 }
@@ -123,7 +129,10 @@ pub fn strict_turnstile_stream<R: StreamRng>(
     m: usize,
     delete_fraction: f64,
 ) -> Vec<SignedUpdate> {
-    assert!((0.0..1.0).contains(&delete_fraction), "delete_fraction must be in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&delete_fraction),
+        "delete_fraction must be in [0,1)"
+    );
     let mut live: Vec<Item> = Vec::new();
     let mut out = Vec::with_capacity(m);
     for _ in 0..m {
@@ -256,7 +265,12 @@ mod tests {
         let stream = zipfian_stream(&mut rng, 1000, 50_000, 1.2);
         let v = FrequencyVector::from_stream(&stream);
         // Item 0 should dominate item 100 heavily under alpha = 1.2.
-        assert!(v.get(0) > 10 * v.get(100).max(1), "f0={} f100={}", v.get(0), v.get(100));
+        assert!(
+            v.get(0) > 10 * v.get(100).max(1),
+            "f0={} f100={}",
+            v.get(0),
+            v.get(100)
+        );
     }
 
     #[test]
@@ -311,7 +325,11 @@ mod tests {
         let late = FrequencyVector::from_stream(&stream[9000..]);
         // Early and late phases should have (almost) disjoint supports.
         let early_support: std::collections::HashSet<_> = early.support().into_iter().collect();
-        let overlap = late.support().iter().filter(|i| early_support.contains(i)).count();
+        let overlap = late
+            .support()
+            .iter()
+            .filter(|i| early_support.contains(i))
+            .count();
         assert!(overlap < 3, "supports overlap too much: {overlap}");
     }
 

@@ -22,6 +22,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
+pub mod fasthash;
 pub mod frequency;
 pub mod generators;
 pub mod measure;
@@ -30,8 +32,10 @@ pub mod space;
 pub mod stats;
 pub mod update;
 
+pub use batch::{aggregate_in_order, count_multiplicities, for_each_run};
+pub use fasthash::{FastHashMap, FastHashSet};
 pub use frequency::FrequencyVector;
-pub use measure::{CappedCount, ConcaveLog, Fair, Huber, L1L2, Lp, MeasureFn, Tukey};
+pub use measure::{CappedCount, ConcaveLog, Fair, Huber, Lp, MeasureFn, Tukey, L1L2};
 pub use model::{
     Estimator, MatrixSampler, SampleOutcome, SlidingWindowSampler, StreamSampler, TurnstileSampler,
 };

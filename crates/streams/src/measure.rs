@@ -14,8 +14,6 @@
 //! Each implementation documents the bound it provides and the theorem in the
 //! paper it instantiates.
 
-use serde::{Deserialize, Serialize};
-
 /// A non-negative measure function `G` on integer frequencies.
 ///
 /// Only non-negative integer frequencies are passed to
@@ -56,7 +54,7 @@ pub trait MeasureFn: Clone + Send + Sync {
 }
 
 /// `G(x) = |x|^p` — the `L_p`/`F_p` sampling measure (Theorems 1.4 and 3.3).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Lp {
     p: f64,
 }
@@ -70,7 +68,10 @@ impl Lp {
     /// insertion-only theorems; larger integer `p` is handled by the
     /// random-order samplers instead).
     pub fn new(p: f64) -> Self {
-        assert!(p > 0.0 && p <= 2.0, "Lp measure requires p in (0, 2], got {p}");
+        assert!(
+            p > 0.0 && p <= 2.0,
+            "Lp measure requires p in (0, 2], got {p}"
+        );
         Self { p }
     }
 
@@ -117,7 +118,7 @@ impl MeasureFn for Lp {
 }
 
 /// The `L_1 − L_2` M-estimator `G(x) = 2(√(1 + x²/2) − 1)` (Corollary 3.6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct L1L2;
 
 impl MeasureFn for L1L2 {
@@ -144,7 +145,7 @@ impl MeasureFn for L1L2 {
 }
 
 /// The Fair M-estimator `G(x) = τ|x| − τ² ln(1 + |x|/τ)` (Corollary 3.6).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fair {
     tau: f64,
 }
@@ -156,7 +157,10 @@ impl Fair {
     ///
     /// Panics if `τ` is not strictly positive.
     pub fn new(tau: f64) -> Self {
-        assert!(tau > 0.0 && tau.is_finite(), "Fair estimator requires tau > 0");
+        assert!(
+            tau > 0.0 && tau.is_finite(),
+            "Fair estimator requires tau > 0"
+        );
         Self { tau }
     }
 
@@ -189,7 +193,7 @@ impl MeasureFn for Fair {
 
 /// The Huber M-estimator: `G(x) = x²/(2τ)` for `|x| ≤ τ`, `|x| − τ/2`
 /// otherwise (Corollary 3.6).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Huber {
     tau: f64,
 }
@@ -201,7 +205,10 @@ impl Huber {
     ///
     /// Panics if `τ` is not strictly positive.
     pub fn new(tau: f64) -> Self {
-        assert!(tau > 0.0 && tau.is_finite(), "Huber estimator requires tau > 0");
+        assert!(
+            tau > 0.0 && tau.is_finite(),
+            "Huber estimator requires tau > 0"
+        );
         Self { tau }
     }
 
@@ -246,7 +253,7 @@ impl MeasureFn for Huber {
 /// instead samples Tukey through an `F_0` sampler (Theorem 5.4). The measure
 /// is still defined here so the ground-truth distribution and the rejection
 /// step `G(c)/G(τ)` can be computed.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Tukey {
     tau: f64,
 }
@@ -258,7 +265,10 @@ impl Tukey {
     ///
     /// Panics if `τ` is not strictly positive.
     pub fn new(tau: f64) -> Self {
-        assert!(tau > 0.0 && tau.is_finite(), "Tukey estimator requires tau > 0");
+        assert!(
+            tau > 0.0 && tau.is_finite(),
+            "Tukey estimator requires tau > 0"
+        );
         Self { tau }
     }
 
@@ -306,7 +316,7 @@ impl MeasureFn for Tukey {
 
 /// A concave sublinear measure `G(x) = ln(1 + x)`, representative of the
 /// concave-function samplers of Cohen–Geri that the framework also covers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ConcaveLog;
 
 impl MeasureFn for ConcaveLog {
@@ -332,7 +342,7 @@ impl MeasureFn for ConcaveLog {
 
 /// A capped count `G(x) = min(x, cap)`, a simple concave measure used by
 /// frequency-cap statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CappedCount {
     cap: u64,
 }
@@ -435,15 +445,37 @@ mod tests {
         let single = |g: &dyn Fn(u64) -> f64| g(m);
         let spread = |g: &dyn Fn(u64) -> f64| m as f64 * g(1);
 
-        let cases: Vec<(f64, Box<dyn Fn(u64) -> f64>)> = vec![
-            (Lp::new(0.5).fg_lower_bound(m), Box::new(|x| Lp::new(0.5).value(x))),
-            (Lp::new(2.0).fg_lower_bound(m), Box::new(|x| Lp::new(2.0).value(x))),
+        type Case = (f64, Box<dyn Fn(u64) -> f64>);
+        let cases: Vec<Case> = vec![
+            (
+                Lp::new(0.5).fg_lower_bound(m),
+                Box::new(|x| Lp::new(0.5).value(x)),
+            ),
+            (
+                Lp::new(2.0).fg_lower_bound(m),
+                Box::new(|x| Lp::new(2.0).value(x)),
+            ),
             (L1L2.fg_lower_bound(m), Box::new(|x| L1L2.value(x))),
-            (Fair::new(2.0).fg_lower_bound(m), Box::new(|x| Fair::new(2.0).value(x))),
-            (Huber::new(2.0).fg_lower_bound(m), Box::new(|x| Huber::new(2.0).value(x))),
-            (Tukey::new(4.0).fg_lower_bound(m), Box::new(|x| Tukey::new(4.0).value(x))),
-            (ConcaveLog.fg_lower_bound(m), Box::new(|x| ConcaveLog.value(x))),
-            (CappedCount::new(10).fg_lower_bound(m), Box::new(|x| CappedCount::new(10).value(x))),
+            (
+                Fair::new(2.0).fg_lower_bound(m),
+                Box::new(|x| Fair::new(2.0).value(x)),
+            ),
+            (
+                Huber::new(2.0).fg_lower_bound(m),
+                Box::new(|x| Huber::new(2.0).value(x)),
+            ),
+            (
+                Tukey::new(4.0).fg_lower_bound(m),
+                Box::new(|x| Tukey::new(4.0).value(x)),
+            ),
+            (
+                ConcaveLog.fg_lower_bound(m),
+                Box::new(|x| ConcaveLog.value(x)),
+            ),
+            (
+                CappedCount::new(10).fg_lower_bound(m),
+                Box::new(|x| CappedCount::new(10).value(x)),
+            ),
         ];
         for (bound, g) in cases {
             let worst = single(&*g).min(spread(&*g));

@@ -7,10 +7,9 @@
 //! not failing. [`SampleOutcome`] encodes exactly these three cases.
 
 use crate::update::{Item, MatrixUpdate, SignedUpdate};
-use serde::{Deserialize, Serialize};
 
 /// The result of querying a `G`-sampler (Definition 1.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SampleOutcome {
     /// The sampler produced a coordinate index.
     Index(Item),
@@ -57,11 +56,31 @@ pub trait StreamSampler {
     /// Draws an outcome for the stream processed so far.
     fn sample(&mut self) -> SampleOutcome;
 
-    /// Convenience: processes an entire slice of updates.
-    fn update_all(&mut self, items: &[Item]) {
+    /// Processes a contiguous batch of unit insertions.
+    ///
+    /// The default implementation is the per-item loop. Implementations may
+    /// override it with an amortised fast path, but the override **must be
+    /// observationally identical** to the loop: after feeding the same
+    /// updates through `update_batch` or through repeated [`update`] calls
+    /// with the same seed, the sampler must hold the same logical state —
+    /// including its RNG position — so every subsequent [`sample`] draw
+    /// agrees. (`tests/properties.rs` enforces this batch ≡ loop law for
+    /// every sampler in the workspace.)
+    ///
+    /// [`update`]: StreamSampler::update
+    /// [`sample`]: StreamSampler::sample
+    fn update_batch(&mut self, items: &[Item]) {
         for &item in items {
             self.update(item);
         }
+    }
+
+    /// Convenience: processes an entire slice of updates.
+    ///
+    /// Routes through [`StreamSampler::update_batch`], so it benefits from
+    /// batched fast paths automatically.
+    fn update_all(&mut self, items: &[Item]) {
+        self.update_batch(items);
     }
 }
 
@@ -79,6 +98,16 @@ pub trait SlidingWindowSampler {
 
     /// Window width `W`.
     fn window(&self) -> u64;
+
+    /// Processes a contiguous batch of unit insertions.
+    ///
+    /// Subject to the same batch ≡ loop law as
+    /// [`StreamSampler::update_batch`].
+    fn update_batch(&mut self, items: &[Item]) {
+        for &item in items {
+            self.update(item);
+        }
+    }
 }
 
 /// A sampler over a turnstile stream (signed updates).
@@ -88,6 +117,16 @@ pub trait TurnstileSampler {
 
     /// Draws an outcome for the stream processed so far.
     fn sample(&mut self) -> SampleOutcome;
+
+    /// Processes a contiguous batch of signed updates.
+    ///
+    /// Subject to the same batch ≡ loop law as
+    /// [`StreamSampler::update_batch`].
+    fn update_batch(&mut self, updates: &[SignedUpdate]) {
+        for &u in updates {
+            self.update(u);
+        }
+    }
 }
 
 /// A row sampler over an insertion-only stream of matrix updates
@@ -108,6 +147,14 @@ pub trait Estimator {
 
     /// Returns the current estimate.
     fn estimate(&self) -> f64;
+
+    /// Processes a contiguous batch of unit insertions (default: per-item
+    /// loop; overrides must be observationally identical to the loop).
+    fn update_batch(&mut self, items: &[Item]) {
+        for &item in items {
+            self.update(item);
+        }
+    }
 }
 
 #[cfg(test)]

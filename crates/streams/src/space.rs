@@ -27,15 +27,16 @@ pub fn vec_bytes<T>(v: &Vec<T>) -> usize {
 
 /// Helper: approximate bytes used by a `HashMap`, counting one slot per unit
 /// of capacity plus per-slot bookkeeping overhead (hashbrown uses one byte of
-/// control metadata per slot).
-pub fn hashmap_bytes<K, V>(m: &std::collections::HashMap<K, V>) -> usize {
-    std::mem::size_of::<std::collections::HashMap<K, V>>()
+/// control metadata per slot). Generic over the hasher so the fast-hashed
+/// maps of the hot paths ([`crate::fasthash`]) are measured identically.
+pub fn hashmap_bytes<K, V, S>(m: &std::collections::HashMap<K, V, S>) -> usize {
+    std::mem::size_of::<std::collections::HashMap<K, V, S>>()
         + m.capacity() * (std::mem::size_of::<(K, V)>() + 1)
 }
 
 /// Helper: approximate bytes used by a `HashSet`.
-pub fn hashset_bytes<K>(s: &std::collections::HashSet<K>) -> usize {
-    std::mem::size_of::<std::collections::HashSet<K>>()
+pub fn hashset_bytes<K, S>(s: &std::collections::HashSet<K, S>) -> usize {
+    std::mem::size_of::<std::collections::HashSet<K, S>>()
         + s.capacity() * (std::mem::size_of::<K>() + 1)
 }
 

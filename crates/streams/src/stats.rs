@@ -83,7 +83,10 @@ impl SampleHistogram {
         if succ == 0 {
             return HashMap::new();
         }
-        self.counts.iter().map(|(&i, &c)| (i, c as f64 / succ as f64)).collect()
+        self.counts
+            .iter()
+            .map(|(&i, &c)| (i, c as f64 / succ as f64))
+            .collect()
     }
 
     /// Total-variation distance between the empirical conditional
@@ -100,7 +103,10 @@ impl SampleHistogram {
     pub fn chi_square(&self, target: &HashMap<Item, f64>) -> ChiSquare {
         let n = self.successes() as f64;
         if n == 0.0 || target.is_empty() {
-            return ChiSquare { statistic: 0.0, degrees_of_freedom: 0 };
+            return ChiSquare {
+                statistic: 0.0,
+                degrees_of_freedom: 0,
+            };
         }
         let mut statistic = 0.0;
         let mut rare_expected = 0.0;
@@ -121,7 +127,10 @@ impl SampleHistogram {
             statistic += (rare_observed - rare_expected).powi(2) / rare_expected;
             cells += 1;
         }
-        ChiSquare { statistic, degrees_of_freedom: cells.saturating_sub(1) }
+        ChiSquare {
+            statistic,
+            degrees_of_freedom: cells.saturating_sub(1),
+        }
     }
 }
 
@@ -203,9 +212,15 @@ pub fn composed_bias(per_run_tv: &[f64]) -> f64 {
 /// The experiment harness uses this to verify claims of the form "space grows
 /// like n^{1 - 1/p}".
 pub fn fit_power_law(points: &[(f64, f64)]) -> f64 {
-    let filtered: Vec<(f64, f64)> =
-        points.iter().copied().filter(|&(x, y)| x > 0.0 && y > 0.0).collect();
-    assert!(filtered.len() >= 2, "need at least two positive points to fit");
+    let filtered: Vec<(f64, f64)> = points
+        .iter()
+        .copied()
+        .filter(|&(x, y)| x > 0.0 && y > 0.0)
+        .collect();
+    assert!(
+        filtered.len() >= 2,
+        "need at least two positive points to fit"
+    );
     let n = filtered.len() as f64;
     let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
     for (x, y) in filtered {
@@ -295,7 +310,11 @@ mod tests {
             h.record(SampleOutcome::Index(idx));
         }
         let cs = h.chi_square(&target);
-        assert!(!cs.within_sigmas(6.0), "bias should be detected, chi2={}", cs.statistic);
+        assert!(
+            !cs.within_sigmas(6.0),
+            "bias should be detected, chi2={}",
+            cs.statistic
+        );
     }
 
     #[test]
@@ -304,13 +323,17 @@ mod tests {
         let small = expected_sampling_tv(&target, 100);
         let large = expected_sampling_tv(&target, 10_000);
         assert!(large < small);
-        assert!((small / large - 10.0).abs() < 0.5, "should shrink like 1/sqrt(samples)");
+        assert!(
+            (small / large - 10.0).abs() < 0.5,
+            "should shrink like 1/sqrt(samples)"
+        );
     }
 
     #[test]
     fn fit_power_law_recovers_exponent() {
-        let points: Vec<(f64, f64)> =
-            (1..=8).map(|i| (2f64.powi(i), 3.0 * 2f64.powi(i).powf(0.5))).collect();
+        let points: Vec<(f64, f64)> = (1..=8)
+            .map(|i| (2f64.powi(i), 3.0 * 2f64.powi(i).powf(0.5)))
+            .collect();
         let e = fit_power_law(&points);
         assert!((e - 0.5).abs() < 1e-9, "exponent {e}");
     }

@@ -1,7 +1,5 @@
 //! Stream update types and window specifications.
 
-use serde::{Deserialize, Serialize};
-
 /// A coordinate index of the underlying frequency vector `f ∈ R^n`.
 ///
 /// The paper indexes coordinates by `i ∈ [n]`; we use `u64` so the same type
@@ -15,7 +13,7 @@ pub type Timestamp = u64;
 ///
 /// The update causes `f_i ← f_i + Δ`. In the insertion-only model every
 /// `Δ = +1`, which is represented directly by a bare [`Item`] instead.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SignedUpdate {
     /// Coordinate being updated.
     pub item: Item,
@@ -37,7 +35,7 @@ impl SignedUpdate {
 
 /// A unit update to entry `(row, col)` of an implicit matrix `M ∈ R^{n×d}`
 /// in the insertion-only model (Section 3.2.3 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MatrixUpdate {
     /// Row index of the updated entry.
     pub row: u64,
@@ -54,7 +52,7 @@ impl MatrixUpdate {
 
 /// A sliding-window specification: only the `width` most recent updates are
 /// active.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WindowSpec {
     /// Window size `W` in number of updates.
     pub width: u64,

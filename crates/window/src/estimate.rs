@@ -111,7 +111,9 @@ mod tests {
     use tps_streams::update::WindowSpec;
 
     fn window_truth(stream: &[Item], window: u64, p: f64) -> f64 {
-        FrequencyVector::from_window(stream, WindowSpec::new(window)).fp(p).powf(1.0 / p)
+        FrequencyVector::from_window(stream, WindowSpec::new(window))
+            .fp(p)
+            .powf(1.0 / p)
     }
 
     #[test]
@@ -125,8 +127,14 @@ mod tests {
         }
         let truth = window_truth(&stream, window, 2.0);
         let reported = est.lp_estimate();
-        assert!(reported >= truth * 0.9, "reported {reported} must cover the truth {truth}");
-        assert!(reported <= truth * 5.0, "reported {reported} too loose vs {truth}");
+        assert!(
+            reported >= truth * 0.9,
+            "reported {reported} must cover the truth {truth}"
+        );
+        assert!(
+            reported <= truth * 5.0,
+            "reported {reported} too loose vs {truth}"
+        );
     }
 
     #[test]
@@ -141,7 +149,10 @@ mod tests {
         }
         let reported = est.lp_estimate();
         assert!(reported >= 100.0 * 1.0, "must cover the window mass");
-        assert!(reported < 300.0, "must not report the whole stream mass ({reported})");
+        assert!(
+            reported < 300.0,
+            "must not report the whole stream mass ({reported})"
+        );
     }
 
     #[test]
@@ -150,7 +161,11 @@ mod tests {
         for t in 0..4_000u64 {
             est.update(t % 50);
         }
-        assert!(est.checkpoint_count() < 250, "checkpoints: {}", est.checkpoint_count());
+        assert!(
+            est.checkpoint_count() < 250,
+            "checkpoints: {}",
+            est.checkpoint_count()
+        );
     }
 
     #[test]

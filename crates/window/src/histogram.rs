@@ -61,7 +61,13 @@ impl<F: EstimatorFactory> SmoothHistogram<F> {
     pub fn new(window: u64, beta: f64, factory: F) -> Self {
         assert!(window > 0, "window must be positive");
         assert!(beta > 0.0 && beta < 1.0, "beta must be in (0,1)");
-        Self { window, beta, factory, checkpoints: Vec::new(), time: 0 }
+        Self {
+            window,
+            beta,
+            factory,
+            checkpoints: Vec::new(),
+            time: 0,
+        }
     }
 
     /// The window size `W`.
@@ -89,7 +95,10 @@ impl<F: EstimatorFactory> SmoothHistogram<F> {
         self.time += 1;
         // Start a new instance at this position.
         let estimator = self.factory.create();
-        self.checkpoints.push(Checkpoint { start: self.time, estimator });
+        self.checkpoints.push(Checkpoint {
+            start: self.time,
+            estimator,
+        });
         // Feed the update to every instance (each covers a suffix).
         for cp in &mut self.checkpoints {
             cp.estimator.update(item);
@@ -129,7 +138,10 @@ impl<F: EstimatorFactory> SmoothHistogram<F> {
     /// the active window (an over-approximation for monotone statistics).
     /// Returns 0 for an empty stream.
     pub fn over_estimate(&self) -> f64 {
-        self.checkpoints.first().map(|c| c.estimator.estimate()).unwrap_or(0.0)
+        self.checkpoints
+            .first()
+            .map(|c| c.estimator.estimate())
+            .unwrap_or(0.0)
     }
 
     /// The estimate of the newest checkpoint that is entirely inside the
@@ -212,13 +224,22 @@ mod tests {
         for t in 0..1000u64 {
             hist.update(t % 17);
             let active = window.min(t + 1) as f64;
-            assert!(hist.over_estimate() >= active, "over-estimate must cover the window");
-            assert!(hist.under_estimate() <= active, "under-estimate must stay inside");
+            assert!(
+                hist.over_estimate() >= active,
+                "over-estimate must cover the window"
+            );
+            assert!(
+                hist.under_estimate() <= active,
+                "under-estimate must stay inside"
+            );
         }
         // For F1 with beta = 0.2 the sandwich is within a (1 - beta) factor.
         let over = hist.over_estimate();
         let under = hist.under_estimate();
-        assert!(under >= (1.0 - 0.25) * over, "sandwich too loose: {under} vs {over}");
+        assert!(
+            under >= (1.0 - 0.25) * over,
+            "sandwich too loose: {under} vs {over}"
+        );
     }
 
     #[test]
@@ -228,7 +249,10 @@ mod tests {
             hist.update(t);
         }
         let count = hist.checkpoint_count();
-        assert!(count <= 80, "checkpoint count {count} should be O(log W / beta)");
+        assert!(
+            count <= 80,
+            "checkpoint count {count} should be O(log W / beta)"
+        );
         assert!(count >= 3);
     }
 
@@ -241,7 +265,10 @@ mod tests {
         }
         let starts = hist.checkpoint_starts();
         let window_start = 5_000 - window + 1;
-        assert!(starts[0] <= window_start, "x1 must start at or before the window");
+        assert!(
+            starts[0] <= window_start,
+            "x1 must start at or before the window"
+        );
         assert!(starts[1] >= window_start, "x2 must be active");
     }
 
@@ -256,8 +283,14 @@ mod tests {
         }
         let truth = FrequencyVector::from_window(&stream, WindowSpec::new(window)).fp(2.0);
         let est = hist.window_estimate();
-        assert!(est >= truth, "window estimate must upper-bound the window F2");
-        assert!(est <= 2.0 * truth, "window estimate too loose: {est} vs {truth}");
+        assert!(
+            est >= truth,
+            "window estimate must upper-bound the window F2"
+        );
+        assert!(
+            est <= 2.0 * truth,
+            "window estimate too loose: {est} vs {truth}"
+        );
     }
 
     #[test]

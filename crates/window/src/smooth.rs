@@ -58,7 +58,10 @@ mod tests {
         let small = expected_checkpoints(0.25, 1_000);
         let large = expected_checkpoints(0.25, 1_000_000);
         assert!(large > small);
-        assert!(large / small < 3.0, "growth should be logarithmic, not polynomial");
+        assert!(
+            large / small < 3.0,
+            "growth should be logarithmic, not polynomial"
+        );
     }
 
     #[test]

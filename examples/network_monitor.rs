@@ -41,7 +41,10 @@ fn main() {
 
     println!("window size              : {window} packets");
     println!("active flows in window   : {}", window_truth.f0());
-    println!("busiest active flow      : {} packets", window_truth.l_inf());
+    println!(
+        "busiest active flow      : {} packets",
+        window_truth.l_inf()
+    );
 
     // --- Traffic-proportional sampling (L1) ------------------------------
     let mut l1_hist = SampleHistogram::new();

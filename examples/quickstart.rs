@@ -48,8 +48,15 @@ fn main() {
     let tv = histogram.tv_distance(&target);
     let noise = expected_sampling_tv(&target, histogram.successes());
     println!("draws                    : {draws}");
-    println!("failures                 : {} ({:.2}%)", histogram.fails(), 100.0 * histogram.fail_rate());
-    println!("sampler space            : {:.1} KiB", space as f64 / 1024.0);
+    println!(
+        "failures                 : {} ({:.2}%)",
+        histogram.fails(),
+        100.0 * histogram.fail_rate()
+    );
+    println!(
+        "sampler space            : {:.1} KiB",
+        space as f64 / 1024.0
+    );
     println!("TV(empirical, exact)     : {tv:.4}");
     println!("expected multinomial TV  : {noise:.4}");
     println!();
@@ -58,7 +65,10 @@ fn main() {
     ranked.sort_by(|a, b| b.1.partial_cmp(a.1).unwrap());
     for (item, mass) in ranked.into_iter().take(5) {
         let empirical = histogram.count(*item) as f64 / histogram.successes().max(1) as f64;
-        println!("  item {item:>5}: exact {:.4}  sampled {:.4}", mass, empirical);
+        println!(
+            "  item {item:>5}: exact {:.4}  sampled {:.4}",
+            mass, empirical
+        );
     }
     println!();
     println!(

@@ -52,15 +52,21 @@ fn main() {
     }
     let tv = tps_streams::stats::tv_distance(&histogram.empirical_distribution(), &row_target);
     println!();
-    println!("L_(1,2) row sampling over {} draws:", histogram.total_draws());
-    println!("  failure rate           : {:.2}%", 100.0 * histogram.fail_rate());
+    println!(
+        "L_(1,2) row sampling over {} draws:",
+        histogram.total_draws()
+    );
+    println!(
+        "  failure rate           : {:.2}%",
+        100.0 * histogram.fail_rate()
+    );
     println!("  TV(empirical, exact)   : {tv:.4}");
 
     // --- Robust item sampling (L1-L2 estimator) ------------------------------
     // Flatten the events to item = category and add one outlier category that
     // a plain L2 sampler would be dominated by.
     let mut item_stream: Vec<u64> = updates.iter().map(|u| u.col).collect();
-    item_stream.extend(std::iter::repeat(99u64).take(5_000));
+    item_stream.extend(std::iter::repeat_n(99u64, 5_000));
     let item_truth = FrequencyVector::from_stream(&item_stream);
     let g_target = item_truth.g_distribution(&L1L2);
     let l2_target = item_truth.lp_distribution(2.0);

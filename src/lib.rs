@@ -1,0 +1,31 @@
+//! # truly-perfect-samplers
+//!
+//! Facade crate for the workspace reproducing Jayaram, Woodruff and Zhou,
+//! *"Truly Perfect Samplers for Data Streams and Sliding Windows"*
+//! (PODS 2022). It re-exports the six sub-crates under stable module names
+//! so applications can depend on one crate:
+//!
+//! ```
+//! use truly_perfect_samplers::core::lp::TrulyPerfectLpSampler;
+//! use truly_perfect_samplers::streams::{SampleOutcome, StreamSampler};
+//!
+//! let mut sampler = TrulyPerfectLpSampler::new(2.0, 1024, 0.05, 42);
+//! sampler.update_batch(&[3, 3, 3, 7, 7, 11]);
+//! assert!(!matches!(sampler.sample(), SampleOutcome::Empty));
+//! ```
+//!
+//! See `crates/README.md` for the crate dependency DAG and the map from
+//! modules to paper theorems.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use tps_core as core;
+pub use tps_random as random;
+pub use tps_sketches as sketches;
+pub use tps_streams as streams;
+pub use tps_window as window;
+
+pub use tps_core::lp::TrulyPerfectLpSampler;
+pub use tps_core::TrulyPerfectGSampler;
+pub use tps_streams::{SampleOutcome, SlidingWindowSampler, StreamSampler, TurnstileSampler};

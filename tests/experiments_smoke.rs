@@ -72,7 +72,12 @@ fn e5_mestimator_samplers_are_small_and_exact() {
             row.tv_distance,
             row.expected_noise
         );
-        assert!(row.space_bytes < 64 * 1024, "{}: space {}", row.measure, row.space_bytes);
+        assert!(
+            row.space_bytes < 64 * 1024,
+            "{}: space {}",
+            row.measure,
+            row.space_bytes
+        );
     }
 }
 
@@ -98,7 +103,9 @@ fn e10_multipass_tradeoff() {
     let rows = experiments::e10_multipass(4_096, 2_000, &[0.5, 0.25, 0.125]);
     // More passes <=> fewer counters as gamma shrinks.
     assert!(rows.windows(2).all(|w| w[1].passes >= w[0].passes));
-    assert!(rows.windows(2).all(|w| w[1].peak_counters <= w[0].peak_counters));
+    assert!(rows
+        .windows(2)
+        .all(|w| w[1].peak_counters <= w[0].peak_counters));
 }
 
 #[test]

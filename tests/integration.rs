@@ -35,7 +35,11 @@ fn l2_sampler_on_zipfian_workload_matches_exact_distribution() {
         sampler.update_all(&stream);
         histogram.record(sampler.sample());
     }
-    assert!(histogram.fail_rate() < 0.05, "fail rate {}", histogram.fail_rate());
+    assert!(
+        histogram.fail_rate() < 0.05,
+        "fail rate {}",
+        histogram.fail_rate()
+    );
     let tv = histogram.tv_distance(&target);
     let noise = expected_sampling_tv(&target, histogram.successes());
     assert!(tv < 4.0 * noise + 0.02, "TV {tv} vs noise floor {noise}");
@@ -60,7 +64,13 @@ fn samplers_never_report_absent_items() {
         l1l2.update_all(&stream);
         huber.update_all(&stream);
         f0.update_all(&stream);
-        for outcome in [l2.sample(), half.sample(), l1l2.sample(), huber.sample(), f0.sample()] {
+        for outcome in [
+            l2.sample(),
+            half.sample(),
+            l1l2.sample(),
+            huber.sample(),
+            f0.sample(),
+        ] {
             if let SampleOutcome::Index(i) = outcome {
                 assert!(truth.get(i) > 0, "absent item {i} reported");
             }
@@ -87,14 +97,18 @@ fn sliding_window_sampler_tracks_only_the_window() {
 
     let mut histogram = SampleHistogram::new();
     for seed in 0..800u64 {
-        let mut sampler = SlidingWindowGSampler::new(g.clone(), window, 0.1, seed);
+        let mut sampler = SlidingWindowGSampler::new(g, window, 0.1, seed);
         for &x in &stream {
             SlidingWindowSampler::update(&mut sampler, x);
         }
         histogram.record(SlidingWindowSampler::sample(&mut sampler));
     }
     for expired in 0..7u64 {
-        assert_eq!(histogram.count(expired), 0, "expired item {expired} sampled");
+        assert_eq!(
+            histogram.count(expired),
+            0,
+            "expired item {expired} sampled"
+        );
     }
     assert!(histogram.tv_distance(&target) < 0.08);
 }
@@ -117,10 +131,18 @@ fn strict_turnstile_pipeline_agrees_with_ground_truth() {
     let mut sample_rng = default_rng(4);
     for _ in 0..1_500 {
         let (outcome, report) = sampler.sample(&updates, &mut sample_rng);
-        assert!(report.passes <= 4, "unexpected pass count {}", report.passes);
+        assert!(
+            report.passes <= 4,
+            "unexpected pass count {}",
+            report.passes
+        );
         histogram.record(outcome);
     }
-    assert!(histogram.fail_rate() < 0.3, "fail rate {}", histogram.fail_rate());
+    assert!(
+        histogram.fail_rate() < 0.3,
+        "fail rate {}",
+        histogram.fail_rate()
+    );
     // The support is large (hundreds of live items), so the comparison is
     // against the multinomial noise floor at this sample count rather than a
     // fixed constant.
@@ -138,7 +160,10 @@ fn strict_turnstile_pipeline_agrees_with_ground_truth() {
             f0.update(u);
         }
         if let SampleOutcome::Index(i) = f0.sample() {
-            assert!(truth.get(i) > 0, "dead item {i} reported by strict turnstile F0");
+            assert!(
+                truth.get(i) > 0,
+                "dead item {i} reported by strict turnstile F0"
+            );
         }
     }
 }
@@ -173,8 +198,16 @@ fn composition_separates_truly_perfect_from_gamma_additive() {
         },
         |truth| truth.lp_distribution(1.0),
     );
-    assert!(perfect.drift_ratio() < 1.7, "perfect ratio {}", perfect.drift_ratio());
-    assert!(biased.drift_ratio() > 2.0, "biased ratio {}", biased.drift_ratio());
+    assert!(
+        perfect.drift_ratio() < 1.7,
+        "perfect ratio {}",
+        perfect.drift_ratio()
+    );
+    assert!(
+        biased.drift_ratio() > 2.0,
+        "biased ratio {}",
+        biased.drift_ratio()
+    );
     assert!(biased.total_drift() > 1.8 * perfect.total_drift());
 }
 
@@ -193,8 +226,16 @@ fn space_accounting_is_available_everywhere() {
     for &x in &stream {
         SlidingWindowSampler::update(&mut window, x);
     }
-    for space in [l2.space_bytes(), l1l2.space_bytes(), f0.space_bytes(), window.space_bytes()] {
-        assert!(space > 0 && space < 10_000_000, "implausible space report {space}");
+    for space in [
+        l2.space_bytes(),
+        l1l2.space_bytes(),
+        f0.space_bytes(),
+        window.space_bytes(),
+    ] {
+        assert!(
+            space > 0 && space < 10_000_000,
+            "implausible space report {space}"
+        );
     }
     // Sanity: the M-estimator sampler (O(log) instances) is much smaller
     // than the L2 sampler (O(sqrt(n)) instances) on the same stream.

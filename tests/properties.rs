@@ -3,18 +3,100 @@
 
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
+use tps_core::f0::TrulyPerfectF0Sampler;
 use tps_core::framework::{MisraGriesNormalizer, RejectionNormalizer};
 use tps_core::lp::TrulyPerfectLpSampler;
+use tps_core::sliding::{SlidingWindowGSampler, SlidingWindowLpSampler};
 use tps_core::turnstile::MultiPassL1Sampler;
 use tps_random::default_rng;
-use tps_sketches::{MisraGries, SparseRecovery, SpaceSaving};
+use tps_sketches::{CountMin, CountSketch, MisraGries, SpaceSaving, SparseRecovery};
 use tps_streams::frequency::FrequencyVector;
 use tps_streams::stats::{fit_power_law, tv_distance};
 use tps_streams::update::WindowSpec;
 use tps_streams::{
     CappedCount, ConcaveLog, Fair, Huber, Item, Lp, MeasureFn, SampleOutcome, SignedUpdate,
-    StreamSampler, Tukey, L1L2,
+    SlidingWindowSampler, StreamSampler, Tukey, L1L2,
 };
+
+/// Asserts the batch ≡ loop law for one `StreamSampler`: feeding a stream
+/// through `update_batch` (whole-slice *and* split at an arbitrary point)
+/// must leave the sampler in a state indistinguishable from the per-item
+/// loop's — checked by drawing several samples from each copy, which also
+/// compares the RNG positions.
+fn assert_stream_batch_law<S, F>(
+    build: F,
+    stream: &[Item],
+    split: usize,
+) -> Result<(), TestCaseError>
+where
+    S: StreamSampler,
+    F: Fn() -> S,
+{
+    let mut looped = build();
+    for &x in stream {
+        looped.update(x);
+    }
+    let mut whole = build();
+    whole.update_batch(stream);
+    let split = split.min(stream.len());
+    let mut halves = build();
+    halves.update_batch(&stream[..split]);
+    halves.update_batch(&stream[split..]);
+    for draw in 0..6 {
+        let expected = looped.sample();
+        prop_assert_eq!(
+            expected,
+            whole.sample(),
+            "whole-slice batch diverged from loop at draw {}",
+            draw
+        );
+        prop_assert_eq!(
+            expected,
+            halves.sample(),
+            "split batch diverged from loop at draw {}",
+            draw
+        );
+    }
+    Ok(())
+}
+
+/// Same law for a `SlidingWindowSampler`.
+fn assert_window_batch_law<S, F>(
+    build: F,
+    stream: &[Item],
+    split: usize,
+) -> Result<(), TestCaseError>
+where
+    S: SlidingWindowSampler,
+    F: Fn() -> S,
+{
+    let mut looped = build();
+    for &x in stream {
+        looped.update(x);
+    }
+    let mut whole = build();
+    whole.update_batch(stream);
+    let split = split.min(stream.len());
+    let mut halves = build();
+    halves.update_batch(&stream[..split]);
+    halves.update_batch(&stream[split..]);
+    for draw in 0..6 {
+        let expected = looped.sample();
+        prop_assert_eq!(
+            expected,
+            whole.sample(),
+            "whole-slice batch diverged from loop at draw {}",
+            draw
+        );
+        prop_assert_eq!(
+            expected,
+            halves.sample(),
+            "split batch diverged from loop at draw {}",
+            draw
+        );
+    }
+    Ok(())
+}
 
 /// Arbitrary small insertion-only streams.
 fn small_stream() -> impl Strategy<Value = Vec<Item>> {
@@ -214,6 +296,97 @@ proptest! {
             SampleOutcome::Index(i) => prop_assert!(truth.get(i) > 0),
             SampleOutcome::Empty => prop_assert!(truth.is_zero()),
             SampleOutcome::Fail => prop_assert!(false, "multi-pass L1 never fails"),
+        }
+    }
+
+    /// The batch engine law for every insertion-only sampler with an
+    /// amortised `update_batch` override: batched ingestion (whole-slice and
+    /// split at a random point) is byte-identical to the per-item loop —
+    /// same logical state, same RNG position, so repeated `sample()` draws
+    /// agree exactly.
+    #[test]
+    fn stream_batch_equals_loop(stream in small_stream(), seed in any::<u64>(), split in 0usize..400) {
+        // Truly perfect L2 (framework + Misra-Gries normaliser path).
+        assert_stream_batch_law(
+            || TrulyPerfectLpSampler::new(2.0, 64, 0.1, seed),
+            &stream,
+            split,
+        )?;
+        // Truly perfect L1 (single-reservoir degenerate case).
+        assert_stream_batch_law(
+            || TrulyPerfectLpSampler::new(1.0, 64, 0.1, seed ^ 1),
+            &stream,
+            split,
+        )?;
+        // Fractional L_{0.5} (framework + closed-form normaliser path).
+        assert_stream_batch_law(
+            || TrulyPerfectLpSampler::fractional(0.5, stream.len() as u64, 0.2, seed ^ 2),
+            &stream,
+            split,
+        )?;
+        // F0 sampler (aggregated multiplicity path, no RNG in updates).
+        assert_stream_batch_law(|| TrulyPerfectF0Sampler::new(4_096, 0.1, seed ^ 3), &stream, split)?;
+    }
+
+    /// The batch engine law for the sliding-window samplers (cohort
+    /// epoch-splitting path), across window widths that put the batch
+    /// boundary before, inside, and after the active window.
+    #[test]
+    fn window_batch_equals_loop(stream in small_stream(), seed in any::<u64>(), window in 1u64..300, split in 0usize..400) {
+        assert_window_batch_law(
+            || SlidingWindowGSampler::new(Huber::new(2.0), window, 0.2, seed),
+            &stream,
+            split,
+        )?;
+        assert_window_batch_law(
+            || SlidingWindowLpSampler::with_estimator_size(2.0, window, 0.2, 2, 8, seed ^ 1),
+            &stream,
+            split,
+        )?;
+    }
+
+    /// The batch engine law for the batched sketches: CountMin, CountSketch
+    /// and Misra-Gries leave exactly the per-item loop's state (checked
+    /// through their complete query surfaces).
+    #[test]
+    fn sketch_batch_equals_loop(stream in small_stream(), seed in any::<u64>()) {
+        {
+            let mut looped = CountMin::new(&mut default_rng(seed), 4, 32);
+            let mut batched = CountMin::new(&mut default_rng(seed), 4, 32);
+            for &x in &stream {
+                looped.update(x);
+            }
+            batched.update_batch(&stream);
+            prop_assert_eq!(looped.processed(), batched.processed());
+            for item in 0..60u64 {
+                prop_assert_eq!(looped.estimate(item), batched.estimate(item));
+            }
+        }
+        {
+            let mut looped = CountSketch::new(&mut default_rng(seed), 5, 32);
+            let mut batched = CountSketch::new(&mut default_rng(seed), 5, 32);
+            for &x in &stream {
+                looped.insert(x);
+            }
+            batched.insert_batch(&stream);
+            for item in 0..60u64 {
+                prop_assert_eq!(looped.estimate(item), batched.estimate(item));
+            }
+        }
+        for capacity in [1usize, 3, 8, 64] {
+            let mut looped = MisraGries::new(capacity);
+            let mut batched = MisraGries::new(capacity);
+            for &x in &stream {
+                looped.update(x);
+            }
+            batched.update_batch(&stream);
+            prop_assert_eq!(looped.processed(), batched.processed());
+            prop_assert_eq!(looped.error_bound(), batched.error_bound());
+            prop_assert_eq!(
+                looped.max_frequency_upper_bound(),
+                batched.max_frequency_upper_bound()
+            );
+            prop_assert_eq!(looped.heavy_hitters(), batched.heavy_hitters());
         }
     }
 
