@@ -1,11 +1,216 @@
-//! Minimal JSON serialization for the experiment report.
+//! Minimal JSON serialization and parsing for the experiment report.
 //!
-//! The offline build environment has no `serde`/`serde_json`, and the report
+//! The offline build environment has no `serde`/`serde_json`. The report
 //! binary only ever *writes* JSON for a handful of plain-data row types, so
-//! a small value tree plus hand-written [`ToJson`] impls covers the whole
-//! need without a derive macro.
+//! a small value tree plus hand-written [`ToJson`] impls covers that need
+//! without a derive macro; the `bench_regression` comparator additionally
+//! *reads* the documents back ([`JsonValue::parse`]), so a matching
+//! recursive-descent parser with path accessors lives here too.
 
 use crate::experiments as exp;
+
+/// An owned, parsed JSON value (the read-side counterpart of [`Json`],
+/// which keeps `&'static str` keys for cheap emission).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any JSON number (parsed as a double; the reports only compare
+    /// medians and throughputs, where f64 is exact enough).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses a complete JSON document, rejecting trailing garbage.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing characters at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Member lookup on an object (`None` for other variants or missing
+    /// keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Descends a `.`-separated member path (`"quick_report.e3_update_time"`).
+    pub fn get_path(&self, path: &str) -> Option<&JsonValue> {
+        path.split('.').try_fold(self, |node, key| node.get(key))
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| JsonValue::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| JsonValue::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| JsonValue::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos).map(JsonValue::Num),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                            16,
+                        )
+                        .map_err(|_| "bad \\u escape")?;
+                        // Surrogate pairs don't occur in our own documents.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar. The input came in as a &str, so
+                // boundaries are sound; validate at most 4 bytes rather than
+                // the whole remaining document.
+                let end = (*pos + 4).min(bytes.len());
+                let rest = std::str::from_utf8(&bytes[*pos..end])
+                    .map(|s| s.chars().next())
+                    .unwrap_or_else(|e| {
+                        std::str::from_utf8(&bytes[*pos..*pos + e.valid_up_to()])
+                            .ok()
+                            .and_then(|s| s.chars().next())
+                    });
+                let c = rest.ok_or("bad UTF-8 in string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
 
 /// A JSON value tree.
 #[derive(Debug, Clone)]
@@ -307,5 +512,65 @@ mod tests {
     fn empty_containers_are_compact() {
         assert_eq!(Json::Arr(vec![]).pretty(), "[]");
         assert_eq!(Json::Obj(vec![]).pretty(), "{}");
+    }
+
+    #[test]
+    fn parse_roundtrips_emitted_documents() {
+        let v = Json::Obj(vec![
+            ("name", Json::Str("a \"quoted\"\nname".into())),
+            (
+                "xs",
+                Json::Arr(vec![Json::Int(-3), Json::Num(0.5), Json::Null]),
+            ),
+            ("nested", Json::Obj(vec![("ok", Json::Bool(true))])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let parsed = JsonValue::parse(&v.pretty()).unwrap();
+        assert_eq!(
+            parsed.get("name"),
+            Some(&JsonValue::Str("a \"quoted\"\nname".into()))
+        );
+        assert_eq!(parsed.get_path("nested.ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(
+            parsed.get("xs"),
+            Some(&JsonValue::Arr(vec![
+                JsonValue::Num(-3.0),
+                JsonValue::Num(0.5),
+                JsonValue::Null
+            ]))
+        );
+        assert_eq!(parsed.get("empty"), Some(&JsonValue::Arr(vec![])));
+    }
+
+    #[test]
+    fn parse_handles_numbers_and_rejects_garbage() {
+        assert_eq!(
+            JsonValue::parse("[1, 2.5e3, -0.25]").unwrap(),
+            JsonValue::Arr(vec![
+                JsonValue::Num(1.0),
+                JsonValue::Num(2500.0),
+                JsonValue::Num(-0.25)
+            ])
+        );
+        assert!(JsonValue::parse("{\"a\": 1} trailing").is_err());
+        assert!(JsonValue::parse("{\"a\" 1}").is_err());
+        assert!(JsonValue::parse("").is_err());
+    }
+
+    #[test]
+    fn parse_handles_multibyte_strings() {
+        // 2-, 3- and 4-byte scalars, adjacent and at end-of-string, plus a
+        // \u escape: exercises the bounded UTF-8 width decoding.
+        let doc = JsonValue::parse("{\"k\": \"ζ≥G — 𝄞ok𝄞\", \"u\": \"\\u03b6\"}").unwrap();
+        assert_eq!(doc.get("k"), Some(&JsonValue::Str("ζ≥G — 𝄞ok𝄞".into())));
+        assert_eq!(doc.get("u"), Some(&JsonValue::Str("ζ".into())));
+    }
+
+    #[test]
+    fn get_path_descends_and_misses_cleanly() {
+        let doc = JsonValue::parse(r#"{"a": {"b": {"c": 7}}}"#).unwrap();
+        assert_eq!(doc.get_path("a.b.c").and_then(JsonValue::as_f64), Some(7.0));
+        assert_eq!(doc.get_path("a.b.missing"), None);
+        assert_eq!(doc.get_path("a.b.c.too_deep"), None);
     }
 }

@@ -58,8 +58,15 @@ pub mod test_runner {
     }
 
     impl Default for ProptestConfig {
+        /// Mirrors real proptest: the `PROPTEST_CASES` environment variable
+        /// overrides the built-in default of 256 cases (CI's weekly deep
+        /// run sets `PROPTEST_CASES=4096`).
         fn default() -> Self {
-            Self { cases: 256 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse::<u32>().ok())
+                .unwrap_or(256);
+            Self { cases }
         }
     }
 

@@ -1,0 +1,517 @@
+//! The skip-ahead reservoir engine — the single audited core behind every
+//! timestamp-based truly perfect sampler in this workspace.
+//!
+//! The paper uses one mechanism twice: Algorithm 1 reservoirs that schedule
+//! their *next* replacement with the skip-ahead distribution (instead of
+//! flipping a coin per update) and reconstruct suffix counts through a
+//! shared [`SuffixCountTable`]. The insertion-only framework (Theorem 3.1)
+//! runs one such engine for the whole stream; the sliding-window samplers
+//! (Section 4) run one per cohort. [`SkipAheadEngine`] owns that machinery
+//! exactly once:
+//!
+//! * the slot array (held item + suffix-count offset + admission position),
+//! * the min-heap replacement schedule,
+//! * the shared suffix-count table and its reference counts (so a stream
+//!   update touches one hash-table entry no matter how many slots track the
+//!   item, and counters are garbage-collected when the last slot moves off
+//!   an item),
+//! * the engine's private RNG (consumed *only* by skip-ahead reschedules
+//!   and, for adapters that opt in via [`SkipAheadEngine::first_accepted`],
+//!   by rejection coins), and
+//! * both ingestion paths: the per-item [`SkipAheadEngine::update`] and the
+//!   fused run-length batch path, related by the **batch ≡ loop law** —
+//!   any chunking of the stream through the batch path leaves the engine
+//!   (RNG position included) in exactly the per-item loop's state.
+//!
+//! [`crate::framework::TrulyPerfectGSampler`] and the cohorts inside
+//! [`crate::sliding`] are thin adapters over this type: the framework adds
+//! `G`-function plumbing and the rejection normaliser, the cohorts add
+//! window bookkeeping (epoch starts, activity checks, cohort retirement).
+//! The batch ≡ loop invariant itself lives — and is audited — here.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use tps_random::{StreamRng, Xoshiro256};
+use tps_sketches::exact_counter::SuffixCountTable;
+use tps_streams::space::hashmap_bytes;
+use tps_streams::{FastHashMap, Item, SpaceUsage, Timestamp};
+
+/// Per-slot state: the held item (if any), the offset into the shared
+/// suffix-count table captured at admission, and the engine-local position
+/// (1-based) of the admitted update.
+///
+/// The offset convention matches Algorithm 1: the shared counter is bumped
+/// for the current occurrence *before* the slot captures its offset, so the
+/// occurrence that caused the admission is never part of the reconstructed
+/// suffix count.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    item: Option<Item>,
+    offset: u64,
+    admitted_at: Timestamp,
+}
+
+/// A candidate proposal read out of the engine: one held slot, with its
+/// suffix count reconstructed from the shared table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// The item the slot holds.
+    pub item: Item,
+    /// Occurrences of the item seen by this engine *after* the admission.
+    pub suffix_count: u64,
+    /// Engine-local (1-based) position of the update that was admitted.
+    /// Adapters with a notion of global time translate it themselves (a
+    /// cohort started at stream position `start` admits global position
+    /// `start − 1 + admitted_at`).
+    pub admitted_at: Timestamp,
+}
+
+/// How a batch drain consumes replacement-free chunks and boundary items
+/// (the items that wake a slot and take the per-item path).
+trait BatchSink {
+    /// Consumes one replacement-free chunk (the engine's `seen` is advanced
+    /// by the caller after this returns).
+    fn chunk(&mut self, table: &mut SuffixCountTable, chunk: &[Item]);
+    /// Notes one boundary item, already fed through the per-item path.
+    fn boundary(&mut self, item: Item);
+}
+
+/// The plain drain: chunks go straight to the shared table (which
+/// short-circuits when nothing is tracked).
+struct PlainSink;
+
+impl BatchSink for PlainSink {
+    fn chunk(&mut self, table: &mut SuffixCountTable, chunk: &[Item]) {
+        table.update_batch(chunk);
+    }
+
+    fn boundary(&mut self, _item: Item) {}
+}
+
+/// The observing drain: chunks are run-length-compressed once, driving the
+/// shared table and the observer from the same runs; boundary items are
+/// reported as runs of length 1.
+struct ObserverSink<F: FnMut(Item, u64)>(F);
+
+impl<F: FnMut(Item, u64)> BatchSink for ObserverSink<F> {
+    fn chunk(&mut self, table: &mut SuffixCountTable, chunk: &[Item]) {
+        tps_streams::for_each_run(chunk, |item, count| {
+            table.update_run(item, count);
+            (self.0)(item, count);
+        });
+    }
+
+    fn boundary(&mut self, item: Item) {
+        (self.0)(item, 1);
+    }
+}
+
+/// The shared skip-ahead reservoir engine (see the module docs).
+#[derive(Debug)]
+pub struct SkipAheadEngine {
+    slots: Vec<Slot>,
+    /// Min-heap of (next replacement position, slot index), positions local
+    /// to this engine. Invariant outside `update`: every scheduled position
+    /// is strictly greater than `seen`.
+    schedule: BinaryHeap<Reverse<(Timestamp, usize)>>,
+    table: SuffixCountTable,
+    /// Number of slots currently holding each tracked item, for garbage
+    /// collecting the shared table.
+    references: FastHashMap<Item, u32>,
+    rng: Xoshiro256,
+    /// Number of updates this engine has seen.
+    seen: u64,
+}
+
+impl SkipAheadEngine {
+    /// Creates an engine with `slots` parallel reservoir slots drawing from
+    /// `rng`. Every slot is scheduled to admit the first update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0`.
+    pub fn new(slots: usize, rng: Xoshiro256) -> Self {
+        assert!(slots > 0, "need at least one sampler instance");
+        let schedule = (0..slots)
+            .map(|idx| Reverse((1u64, idx)))
+            .collect::<BinaryHeap<_>>();
+        Self {
+            slots: vec![Slot::default(); slots],
+            schedule,
+            table: SuffixCountTable::new(),
+            references: FastHashMap::default(),
+            rng,
+            seen: 0,
+        }
+    }
+
+    /// Creates an engine seeding its RNG from `seed`.
+    pub fn with_seed(slots: usize, seed: u64) -> Self {
+        Self::new(slots, Xoshiro256::seed_from_u64(seed))
+    }
+
+    /// Number of reservoir slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of updates processed by this engine.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The number of distinct items currently tracked by the shared
+    /// suffix-count table (a space diagnostic).
+    pub fn tracked_items(&self) -> usize {
+        self.table.tracked()
+    }
+
+    /// The engine's RNG, for adapters whose query path shares the update
+    /// path's draw sequence (the insertion-only framework does; the
+    /// sliding-window samplers draw rejection coins from a manager-level
+    /// RNG instead and never touch this one at query time).
+    pub fn rng_mut(&mut self) -> &mut Xoshiro256 {
+        &mut self.rng
+    }
+
+    /// Moves slot `idx` onto `item`, maintaining the reference counts and
+    /// the shared table's tracked set.
+    fn switch_sample(&mut self, idx: usize, item: Item) {
+        // Release the previous sample's reference.
+        if let Some(old) = self.slots[idx].item {
+            if let Some(count) = self.references.get_mut(&old) {
+                *count -= 1;
+                if *count == 0 {
+                    self.references.remove(&old);
+                    self.table.untrack(old);
+                }
+            }
+        }
+        // Acquire the new sample. The shared counter was already updated for
+        // the current occurrence (if tracked), so the captured offset always
+        // excludes it and the reconstructed suffix count matches Algorithm 1.
+        *self.references.entry(item).or_insert(0) += 1;
+        let offset = self.table.track(item);
+        self.slots[idx] = Slot {
+            item: Some(item),
+            offset,
+            admitted_at: self.seen,
+        };
+    }
+
+    /// Processes one stream update: one shared-table touch, then wakes every
+    /// slot scheduled to replace its sample at this position (rescheduling
+    /// each with one skip-ahead draw).
+    pub fn update(&mut self, item: Item) {
+        self.seen += 1;
+        // Shared suffix counting: one hash-table touch per update.
+        self.table.update(item);
+        while let Some(&Reverse((when, idx))) = self.schedule.peek() {
+            if when != self.seen {
+                break;
+            }
+            self.schedule.pop();
+            self.switch_sample(idx, item);
+            let next = skip_ahead_replacement(&mut self.rng, self.seen);
+            self.schedule.push(Reverse((next, idx)));
+        }
+    }
+
+    /// The amortised batch path.
+    ///
+    /// Skip-ahead rescheduling already guarantees that replacements are rare
+    /// (`O(k log m)` over the whole stream); the batch path capitalises on
+    /// that by splitting the batch at the scheduled replacement positions
+    /// and draining every intervening chunk in one fused pass: the chunk is
+    /// run-length-compressed once and each run drives the shared
+    /// suffix-count table ([`SuffixCountTable::update_run`]) with a single
+    /// hash-table touch — no heap peeks, no per-item bookkeeping, one
+    /// `seen` add per chunk. Only the items that actually trigger a
+    /// replacement take the per-item path. The resulting state — including
+    /// the RNG position, which is touched only at replacements — is
+    /// bit-identical to the per-item loop's.
+    pub fn update_batch(&mut self, items: &[Item]) {
+        self.drain_chunks(items, &mut PlainSink);
+    }
+
+    /// The batch path with an observer: `observe_run(item, count)` is
+    /// invoked once per maximal run of the batch (boundary items that take
+    /// the per-item path are reported as runs of length 1), in stream
+    /// order, with `Σ count = items.len()`. The insertion-only framework
+    /// hooks its rejection normaliser in here so one fused pass drives the
+    /// table and the normaliser together; observers must be exactly
+    /// equivalent to per-item replay (the
+    /// [`crate::framework::RejectionNormalizer`] contract).
+    pub fn update_batch_with<F>(&mut self, items: &[Item], observe_run: F)
+    where
+        F: FnMut(Item, u64),
+    {
+        self.drain_chunks(items, &mut ObserverSink(observe_run));
+    }
+
+    /// The shared batch skeleton: replacement-free chunks go to the sink in
+    /// one piece; each item that wakes a slot goes through the per-item
+    /// path and is reported to the sink as a boundary.
+    fn drain_chunks<S: BatchSink>(&mut self, items: &[Item], sink: &mut S) {
+        let mut idx = 0;
+        while idx < items.len() {
+            let remaining = items.len() - idx;
+            // Invariant: every scheduled position is `> self.seen`, so the
+            // item at batch offset `j` (engine position `seen + j + 1`)
+            // triggers a replacement iff a schedule entry equals that
+            // position.
+            let safe = match self.schedule.peek() {
+                Some(&Reverse((when, _))) => ((when - self.seen - 1) as usize).min(remaining),
+                None => remaining,
+            };
+            if safe > 0 {
+                let chunk = &items[idx..idx + safe];
+                sink.chunk(&mut self.table, chunk);
+                self.seen += chunk.len() as u64;
+                idx += safe;
+            }
+            if idx < items.len() && safe < remaining {
+                // This item wakes at least one slot: per-item path.
+                self.update(items[idx]);
+                sink.boundary(items[idx]);
+                idx += 1;
+            }
+        }
+    }
+
+    /// The held candidates in slot order, suffix counts reconstructed from
+    /// the shared table. Empty slots (possible only before the first
+    /// update) are skipped.
+    pub fn candidates(&self) -> impl Iterator<Item = Candidate> + '_ {
+        self.slots.iter().filter_map(move |slot| {
+            let item = slot.item?;
+            Some(Candidate {
+                item,
+                suffix_count: self.table.suffix_count(item, slot.offset),
+                admitted_at: slot.admitted_at,
+            })
+        })
+    }
+
+    /// First-success aggregation over the slots, drawing rejection coins
+    /// from the engine's RNG: scans the slots in order, accepts each held
+    /// item with `accept_probability(item, suffix_count)`, and returns the
+    /// first acceptance. Because slots are i.i.d., conditioning on which
+    /// slot succeeds does not change the conditional output distribution.
+    pub fn first_accepted<F>(&mut self, mut accept_probability: F) -> Option<Item>
+    where
+        F: FnMut(Item, u64) -> f64,
+    {
+        for idx in 0..self.slots.len() {
+            let Slot { item, offset, .. } = self.slots[idx];
+            let Some(item) = item else { continue };
+            let c = self.table.suffix_count(item, offset);
+            let accept = accept_probability(item, c);
+            if self.rng.gen_bool(accept) {
+                return Some(item);
+            }
+        }
+        None
+    }
+}
+
+impl SpaceUsage for SkipAheadEngine {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.slots.capacity() * std::mem::size_of::<Slot>()
+            + self.schedule.len() * std::mem::size_of::<Reverse<(Timestamp, usize)>>()
+            + self.table.space_bytes()
+            + hashmap_bytes(&self.references)
+    }
+}
+
+/// Draws the position of a reservoir's next replacement after holding a
+/// sample admitted at position `t`: `P[next > t + s] = t / (t + s)`, the
+/// skip-ahead distribution that gives Algorithm 1 its `O(1)` expected
+/// update time (`O(log m)` reschedules per reservoir over a length-`m`
+/// stream).
+pub fn skip_ahead_replacement<R: StreamRng>(rng: &mut R, t: Timestamp) -> Timestamp {
+    let u = rng.next_f64().max(f64::MIN_POSITIVE);
+    let skip = ((t as f64) * (1.0 - u) / u).floor();
+    // Saturate to avoid overflow on astronomically unlikely draws.
+    let skip = if skip.is_finite() {
+        skip.min(1e18) as u64
+    } else {
+        1_000_000_000_000_000_000
+    };
+    t + 1 + skip
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_state_fingerprint(engine: &SkipAheadEngine) -> (u64, Vec<(Item, u64, u64)>, u64) {
+        let candidates: Vec<(Item, u64, u64)> = engine
+            .candidates()
+            .map(|c| (c.item, c.suffix_count, c.admitted_at))
+            .collect();
+        (engine.seen(), candidates, engine.tracked_items() as u64)
+    }
+
+    fn skewed_stream(len: usize, universe: u64) -> Vec<Item> {
+        (0..len as u64)
+            .map(|i| {
+                let z = i
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left(17)
+                    .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                if z % 3 == 0 {
+                    z % 4
+                } else {
+                    z % universe
+                }
+            })
+            .collect()
+    }
+
+    /// The engine-level batch ≡ loop law: any chunking leaves exactly the
+    /// per-item loop's state, RNG position included (checked by draining
+    /// the RNGs after ingestion).
+    #[test]
+    fn batch_equals_loop_including_rng_position() {
+        let stream = skewed_stream(5_000, 97);
+        for chunk_size in [1usize, 7, 64, 1_000, 5_000] {
+            let mut looped = SkipAheadEngine::with_seed(8, 99);
+            for &x in &stream {
+                looped.update(x);
+            }
+            let mut batched = SkipAheadEngine::with_seed(8, 99);
+            for chunk in stream.chunks(chunk_size) {
+                batched.update_batch(chunk);
+            }
+            assert_eq!(
+                engine_state_fingerprint(&looped),
+                engine_state_fingerprint(&batched),
+                "chunk size {chunk_size}"
+            );
+            for _ in 0..32 {
+                assert_eq!(
+                    looped.rng_mut().next_u64(),
+                    batched.rng_mut().next_u64(),
+                    "RNG position diverged (chunk size {chunk_size})"
+                );
+            }
+        }
+    }
+
+    /// The observer variant reports every update exactly once, as ordered
+    /// runs summing to the batch length, and leaves the same state as the
+    /// plain batch path.
+    #[test]
+    fn update_batch_with_reports_complete_ordered_runs() {
+        let stream = skewed_stream(3_000, 31);
+        let mut plain = SkipAheadEngine::with_seed(4, 7);
+        plain.update_batch(&stream);
+        let mut observed = SkipAheadEngine::with_seed(4, 7);
+        let mut replayed: Vec<Item> = Vec::new();
+        observed.update_batch_with(&stream, |item, count| {
+            for _ in 0..count {
+                replayed.push(item);
+            }
+        });
+        assert_eq!(replayed, stream, "observer must see every update in order");
+        assert_eq!(
+            engine_state_fingerprint(&plain),
+            engine_state_fingerprint(&observed)
+        );
+        for _ in 0..32 {
+            assert_eq!(plain.rng_mut().next_u64(), observed.rng_mut().next_u64());
+        }
+    }
+
+    /// Suffix counts reconstructed through the shared table agree with
+    /// naive per-slot counting for every candidate, at several points.
+    #[test]
+    fn candidates_report_exact_suffix_counts() {
+        let stream = skewed_stream(4_000, 53);
+        let mut engine = SkipAheadEngine::with_seed(6, 11);
+        // Per-slot naive counters, positionally aligned with `candidates()`
+        // (every slot admits at position 1, so the slot order is stable and
+        // fully held from the first update on).
+        let mut naive: Vec<(Item, u64)> = Vec::new();
+        for (t, &item) in stream.iter().enumerate() {
+            engine.update(item);
+            let held: Vec<Candidate> = engine.candidates().collect();
+            naive = held
+                .iter()
+                .enumerate()
+                .map(|(k, c)| {
+                    if c.admitted_at == (t + 1) as u64 {
+                        // (Re-)admitted on this very update: the admitted
+                        // occurrence is excluded from the suffix.
+                        (c.item, 0)
+                    } else {
+                        let (prev_item, prev_count) = naive[k];
+                        assert_eq!(prev_item, c.item, "slot {k} changed without re-admission");
+                        (c.item, prev_count + u64::from(c.item == item))
+                    }
+                })
+                .collect();
+            if t % 997 == 0 || t + 1 == stream.len() {
+                for (c, &(slot_item, count)) in held.iter().zip(naive.iter()) {
+                    assert_eq!(c.item, slot_item);
+                    assert_eq!(c.suffix_count, count, "at t={t}");
+                }
+            }
+        }
+    }
+
+    /// The shared table never tracks more items than there are slots once
+    /// every slot holds something, and admission positions are monotone
+    /// plausible (1-based, ≤ seen).
+    #[test]
+    fn table_is_garbage_collected_and_admissions_are_in_range() {
+        let mut engine = SkipAheadEngine::with_seed(8, 3);
+        for t in 0..20_000u64 {
+            engine.update(t % 97);
+        }
+        assert!(
+            engine.tracked_items() <= 8,
+            "tracked {}",
+            engine.tracked_items()
+        );
+        for c in engine.candidates() {
+            assert!(c.admitted_at >= 1 && c.admitted_at <= engine.seen());
+        }
+    }
+
+    /// `first_accepted` consumes one RNG draw per held slot scanned (the
+    /// coin for the accepted slot included), preserving the framework's
+    /// draw sequence.
+    #[test]
+    fn first_accepted_scans_in_slot_order() {
+        let mut engine = SkipAheadEngine::with_seed(4, 5);
+        for &x in &[9u64, 9, 9, 9] {
+            engine.update(x);
+        }
+        // All slots hold item 9; accept-with-certainty returns it and
+        // consumes exactly one draw.
+        let mut twin = SkipAheadEngine::with_seed(4, 5);
+        for &x in &[9u64, 9, 9, 9] {
+            twin.update(x);
+        }
+        assert_eq!(engine.first_accepted(|_, _| 1.0), Some(9));
+        twin.rng_mut().gen_bool(1.0); // mirror the single coin
+        for _ in 0..8 {
+            assert_eq!(engine.rng_mut().next_u64(), twin.rng_mut().next_u64());
+        }
+        // Reject-with-certainty scans everything and returns None.
+        assert_eq!(
+            SkipAheadEngine::with_seed(4, 5).first_accepted(|_, _| 0.0),
+            None
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sampler instance")]
+    fn zero_slots_panics() {
+        let _ = SkipAheadEngine::with_seed(0, 1);
+    }
+}

@@ -20,31 +20,21 @@
 //!    increment measures, a deterministic Misra–Gries bound for `L_p`,
 //!    `p > 1`).
 //!
-//! Two engineering details from the paper are implemented as described:
-//!
-//! * **`O(1)` expected update time.** Instances do not flip a reservoir coin
-//!   per update. Each instance schedules the position of its next
-//!   replacement with the skip-ahead distribution (`O(log m)` reschedules
-//!   per instance over the whole stream), and suffix counting is shared: a
-//!   single hash table keeps one counter per *distinct* tracked item and
-//!   each instance only remembers an offset into it, so a stream update
-//!   touches one hash-table entry regardless of how many instances track
-//!   the item.
-//! * **First-success aggregation.** `sample()` scans the instances in order
-//!   and returns the first accepted proposal. Because instances are
-//!   i.i.d., conditioning on which instance succeeds does not change the
-//!   conditional output distribution.
+//! The reservoir machinery itself — skip-ahead replacement scheduling, the
+//! shared suffix-count table giving `O(1)` expected update time, and the
+//! amortised batched-update path — lives in the shared
+//! [`SkipAheadEngine`](crate::engine::SkipAheadEngine) (one engine per
+//! sampler here; one per cohort in [`crate::sliding`]). This module is the
+//! adapter that adds the `G`-function plumbing: the rejection normaliser is
+//! driven alongside the engine's ingestion, and the query path runs the
+//! engine's first-success scan with the telescoping acceptance probability
+//! `(G(c+1) − G(c)) / ζ`.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-use tps_random::{StreamRng, Xoshiro256};
-use tps_sketches::exact_counter::SuffixCountTable;
+use crate::engine::SkipAheadEngine;
 use tps_sketches::MisraGries;
-use tps_streams::space::hashmap_bytes;
-use tps_streams::{
-    FastHashMap, Item, MeasureFn, SampleOutcome, SpaceUsage, StreamSampler, Timestamp,
-};
+use tps_streams::{Item, MeasureFn, SampleOutcome, SpaceUsage, StreamSampler};
+
+pub use crate::engine::skip_ahead_replacement;
 
 /// A source of the rejection normaliser `ζ`.
 ///
@@ -159,28 +149,14 @@ impl RejectionNormalizer for MisraGriesNormalizer {
     }
 }
 
-/// Per-instance state: the held item (if any) and the offset into the shared
-/// suffix-count table captured when the item was sampled.
-#[derive(Debug, Clone, Copy, Default)]
-struct Instance {
-    item: Option<Item>,
-    offset: u64,
-}
-
-/// The generic truly perfect `G`-sampler for insertion-only streams.
+/// The generic truly perfect `G`-sampler for insertion-only streams: the
+/// shared skip-ahead reservoir engine plus a measure `G` and its rejection
+/// normaliser.
 #[derive(Debug)]
 pub struct TrulyPerfectGSampler<G: MeasureFn, N: RejectionNormalizer> {
     g: G,
     normalizer: N,
-    instances: Vec<Instance>,
-    /// Min-heap of (next replacement position, instance index).
-    schedule: BinaryHeap<Reverse<(Timestamp, usize)>>,
-    table: SuffixCountTable,
-    /// Number of instances currently holding each tracked item, for garbage
-    /// collecting the shared table.
-    references: FastHashMap<Item, u32>,
-    rng: Xoshiro256,
-    processed: u64,
+    engine: SkipAheadEngine,
 }
 
 impl<G: MeasureFn, N: RejectionNormalizer> TrulyPerfectGSampler<G, N> {
@@ -190,30 +166,21 @@ impl<G: MeasureFn, N: RejectionNormalizer> TrulyPerfectGSampler<G, N> {
     ///
     /// Panics if `instances == 0`.
     pub fn with_instances(g: G, normalizer: N, instances: usize, seed: u64) -> Self {
-        assert!(instances > 0, "need at least one sampler instance");
-        let schedule = (0..instances)
-            .map(|idx| Reverse((1u64, idx)))
-            .collect::<BinaryHeap<_>>();
         Self {
             g,
             normalizer,
-            instances: vec![Instance::default(); instances],
-            schedule,
-            table: SuffixCountTable::new(),
-            references: FastHashMap::default(),
-            rng: Xoshiro256::seed_from_u64(seed),
-            processed: 0,
+            engine: SkipAheadEngine::with_seed(instances, seed),
         }
     }
 
     /// Number of parallel instances.
     pub fn instance_count(&self) -> usize {
-        self.instances.len()
+        self.engine.slot_count()
     }
 
     /// Number of updates processed.
     pub fn processed(&self) -> u64 {
-        self.processed
+        self.engine.seen()
     }
 
     /// The measure function being sampled.
@@ -229,127 +196,57 @@ impl<G: MeasureFn, N: RejectionNormalizer> TrulyPerfectGSampler<G, N> {
     /// The number of distinct items currently tracked by the shared
     /// suffix-count table (a space diagnostic).
     pub fn tracked_items(&self) -> usize {
-        self.table.tracked()
-    }
-
-    fn switch_sample(&mut self, idx: usize, item: Item) {
-        // Release the previous sample's reference.
-        if let Some(old) = self.instances[idx].item {
-            if let Some(count) = self.references.get_mut(&old) {
-                *count -= 1;
-                if *count == 0 {
-                    self.references.remove(&old);
-                    self.table.untrack(old);
-                }
-            }
-        }
-        // Acquire the new sample. The shared counter was already updated for
-        // the current occurrence (if tracked), so the captured offset always
-        // excludes it and the reconstructed suffix count matches Algorithm 1.
-        *self.references.entry(item).or_insert(0) += 1;
-        let offset = self.table.track(item);
-        self.instances[idx] = Instance {
-            item: Some(item),
-            offset,
-        };
-    }
-
-    /// Draws the skip-ahead replacement position after an acceptance at
-    /// position `t` (see [`skip_ahead_replacement`]).
-    fn next_replacement<R: StreamRng>(rng: &mut R, t: Timestamp) -> Timestamp {
-        skip_ahead_replacement(rng, t)
+        self.engine.tracked_items()
     }
 
     /// One proposal round over all instances; returns the first acceptance.
+    ///
+    /// Rejection coins are drawn from the engine's RNG, continuing the
+    /// update path's draw sequence (first-success aggregation; instances
+    /// are i.i.d., so conditioning on which one succeeds does not change
+    /// the conditional output distribution).
     fn propose(&mut self) -> SampleOutcome {
-        if self.processed == 0 {
+        if self.engine.seen() == 0 {
             return SampleOutcome::Empty;
         }
-        let zeta = self.normalizer.zeta(self.processed);
+        let zeta = self.normalizer.zeta(self.engine.seen());
         // NaN or non-positive ζ means the normaliser cannot certify any
         // rejection probability: fail rather than emit a biased sample.
         if zeta.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return SampleOutcome::Fail;
         }
-        for idx in 0..self.instances.len() {
-            let Instance { item, offset } = self.instances[idx];
-            let Some(item) = item else { continue };
-            let c = self.table.suffix_count(item, offset);
-            let accept = (self.g.value(c + 1) - self.g.value(c)) / zeta;
+        let g = &self.g;
+        let accepted = self.engine.first_accepted(|_, c| {
+            let accept = (g.value(c + 1) - g.value(c)) / zeta;
             debug_assert!(
                 accept <= 1.0 + 1e-9,
                 "rejection probability {accept} exceeds 1: the normaliser is not a certain bound"
             );
-            if self.rng.gen_bool(accept) {
-                return SampleOutcome::Index(item);
-            }
+            accept
+        });
+        match accepted {
+            Some(item) => SampleOutcome::Index(item),
+            None => SampleOutcome::Fail,
         }
-        SampleOutcome::Fail
     }
 }
 
 impl<G: MeasureFn, N: RejectionNormalizer> StreamSampler for TrulyPerfectGSampler<G, N> {
     fn update(&mut self, item: Item) {
-        self.processed += 1;
-        // Shared suffix counting: one hash-table touch per update.
-        self.table.update(item);
-        // Wake the instances scheduled to replace their sample now.
-        while let Some(&Reverse((when, idx))) = self.schedule.peek() {
-            if when != self.processed {
-                break;
-            }
-            self.schedule.pop();
-            self.switch_sample(idx, item);
-            let next = Self::next_replacement(&mut self.rng, self.processed);
-            self.schedule.push(Reverse((next, idx)));
-        }
+        self.engine.update(item);
         self.normalizer.observe(item);
     }
 
-    /// The amortised batch engine.
-    ///
-    /// Skip-ahead resampling already guarantees that reservoir replacements
-    /// are rare (`O(k log m)` over the whole stream); the batch path
-    /// capitalises on that by splitting the batch at the scheduled
-    /// replacement positions and draining every intervening chunk in one
-    /// fused pass: the chunk is run-length-compressed once and each run
-    /// drives the shared suffix-count table
-    /// ([`SuffixCountTable::update_run`]) and the normaliser
-    /// ([`RejectionNormalizer::observe_run`]) with a single hash-table
-    /// touch apiece — no heap peeks, no per-item bookkeeping, one
-    /// `processed` add per chunk. Only the items that actually trigger a
-    /// replacement take the per-item path. The resulting state — including
-    /// the RNG position, which is touched only at replacements — is
-    /// bit-identical to the per-item loop's.
+    /// The amortised batch path: the engine splits the batch at scheduled
+    /// replacement positions and drains the intervening chunks in one fused
+    /// run-length pass that drives the shared suffix-count table and the
+    /// rejection normaliser together ([`RejectionNormalizer::observe_run`]).
+    /// The resulting state — including the RNG position — is bit-identical
+    /// to the per-item loop's (the engine's batch ≡ loop law).
     fn update_batch(&mut self, items: &[Item]) {
-        let mut idx = 0;
-        while idx < items.len() {
-            let remaining = items.len() - idx;
-            // Invariant: every scheduled position is `> self.processed`, so
-            // the item at batch offset `j` (stream position
-            // `processed + j + 1`) triggers a replacement iff a schedule
-            // entry equals that position.
-            let safe = match self.schedule.peek() {
-                Some(&Reverse((when, _))) => ((when - self.processed - 1) as usize).min(remaining),
-                None => remaining,
-            };
-            if safe > 0 {
-                let chunk = &items[idx..idx + safe];
-                let table = &mut self.table;
-                let normalizer = &mut self.normalizer;
-                tps_streams::for_each_run(chunk, |item, count| {
-                    table.update_run(item, count);
-                    normalizer.observe_run(item, count);
-                });
-                self.processed += chunk.len() as u64;
-                idx += safe;
-            }
-            if idx < items.len() && safe < remaining {
-                // This item wakes at least one instance: per-item path.
-                self.update(items[idx]);
-                idx += 1;
-            }
-        }
+        let normalizer = &mut self.normalizer;
+        self.engine
+            .update_batch_with(items, |item, count| normalizer.observe_run(item, count));
     }
 
     fn sample(&mut self) -> SampleOutcome {
@@ -359,31 +256,12 @@ impl<G: MeasureFn, N: RejectionNormalizer> StreamSampler for TrulyPerfectGSample
 
 impl<G: MeasureFn, N: RejectionNormalizer> SpaceUsage for TrulyPerfectGSampler<G, N> {
     fn space_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.instances.capacity() * std::mem::size_of::<Instance>()
-            + self.schedule.len() * std::mem::size_of::<Reverse<(Timestamp, usize)>>()
-            + self.table.space_bytes()
-            + hashmap_bytes(&self.references)
+        // `size_of::<Self>` already covers the engine's inline header, which
+        // `engine.space_bytes()` counts again; subtract one copy.
+        std::mem::size_of::<Self>() - std::mem::size_of::<SkipAheadEngine>()
+            + self.engine.space_bytes()
             + self.normalizer.normalizer_space_bytes()
     }
-}
-
-/// Draws the position of a reservoir's next replacement after holding a
-/// sample admitted at position `t`: `P[next > t + s] = t / (t + s)`, the
-/// skip-ahead distribution that gives Algorithm 1 its `O(1)` expected
-/// update time (`O(log m)` reschedules per reservoir over a length-`m`
-/// stream). Shared by the insertion-only framework and the sliding-window
-/// cohorts.
-pub fn skip_ahead_replacement<R: StreamRng>(rng: &mut R, t: Timestamp) -> Timestamp {
-    let u = rng.next_f64().max(f64::MIN_POSITIVE);
-    let skip = ((t as f64) * (1.0 - u) / u).floor();
-    // Saturate to avoid overflow on astronomically unlikely draws.
-    let skip = if skip.is_finite() {
-        skip.min(1e18) as u64
-    } else {
-        1_000_000_000_000_000_000
-    };
-    t + 1 + skip
 }
 
 /// The number of parallel instances Theorem 3.1 prescribes for a target

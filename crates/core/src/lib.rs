@@ -14,10 +14,13 @@
 //!
 //! ## What this crate provides
 //!
+//! * [`engine`] — the skip-ahead reservoir engine shared by every
+//!   timestamp-based sampler: reservoir slots, the skip-ahead replacement
+//!   schedule, the shared suffix-count table (`O(1)` expected update time)
+//!   and the amortised batch ingestion path, audited in one place.
 //! * [`framework`] — the generic truly perfect `G`-sampler for insertion-only
-//!   streams (Framework 1.3 / Theorem 3.1): timestamp-based reservoir
-//!   sampling plus a telescoping rejection step, with `O(1)` expected update
-//!   time via skip-ahead resampling and a shared suffix-count table.
+//!   streams (Framework 1.3 / Theorem 3.1): a [`engine::SkipAheadEngine`]
+//!   plus a telescoping rejection step driven by a certain normaliser `ζ`.
 //! * [`lp`] — truly perfect `L_p` samplers for `p ∈ (0, 2]`
 //!   (Theorems 1.4, 3.3–3.5), using a deterministic Misra–Gries normaliser
 //!   for `p > 1`.
@@ -64,6 +67,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod composition;
+pub mod engine;
 pub mod f0;
 pub mod framework;
 pub mod lp;
@@ -75,6 +79,7 @@ pub mod sampler_unit;
 pub mod sliding;
 pub mod turnstile;
 
+pub use engine::SkipAheadEngine;
 pub use framework::{MeasureNormalizer, RejectionNormalizer, TrulyPerfectGSampler};
 pub use lp::TrulyPerfectLpSampler;
 pub use sampler_unit::SamplerUnit;

@@ -147,7 +147,8 @@ impl StreamSampler for TrulyPerfectLpSampler {
     }
 
     /// Resolves the `p`-regime once per batch (instead of once per item)
-    /// and hands the whole slice to the framework's amortised batch engine.
+    /// and hands the whole slice to the framework, which drains it through
+    /// the shared [`crate::engine::SkipAheadEngine`] batch path.
     fn update_batch(&mut self, items: &[Item]) {
         match self.flavor {
             Flavor::Fractional => self.fractional.as_mut().unwrap().update_batch(items),

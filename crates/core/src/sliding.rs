@@ -14,6 +14,15 @@
 //! * all occurrences counted after that timestamp are themselves active, so
 //!   the usual telescoping rejection step applies unchanged.
 //!
+//! Each cohort *is* one [`SkipAheadEngine`](crate::engine::SkipAheadEngine)
+//! — the same skip-ahead + shared-suffix-table core the insertion-only
+//! framework runs — plus the window bookkeeping this module owns: the
+//! cohort's global start position (to translate engine-local admission
+//! positions into stream timestamps), cohort birth/retirement at epoch
+//! boundaries, and the activity filter at query time. The engine's batch ≡
+//! loop law therefore carries over verbatim; this module only has to split
+//! batches at cohort-epoch boundaries.
+//!
 //! For bounded-increment measures (the M-estimators of Corollary 4.2) the
 //! rejection normaliser is the closed-form `ζ`; for `L_p` with `p ∈ (1, 2]`
 //! (Algorithm 6) it is `p·F^{p−1}` where `F` is the sliding-window `L_p`
@@ -23,138 +32,41 @@
 //! is conditioned on the estimator's high-probability correctness event,
 //! while the M-estimator variant is unconditionally truly perfect.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
+use crate::engine::SkipAheadEngine;
 use tps_random::{StreamRng, Xoshiro256};
-use tps_sketches::exact_counter::SuffixCountTable;
-use tps_streams::space::hashmap_bytes;
 use tps_streams::{
-    FastHashMap, Item, MeasureFn, SampleOutcome, SlidingWindowSampler, SpaceUsage, Timestamp,
-    WindowSpec,
+    Item, MeasureFn, SampleOutcome, SlidingWindowSampler, SpaceUsage, Timestamp, WindowSpec,
 };
 use tps_window::SlidingWindowLpEstimate;
 
-/// Per-unit state inside a cohort: the held item, the offset into the
-/// cohort's shared suffix-count table captured at admission, and the global
-/// stream position of the admitted update (needed for window-activity
-/// checks at query time).
-#[derive(Debug, Clone, Copy, Default)]
-struct CohortInstance {
-    item: Option<Item>,
-    offset: u64,
-    timestamp: Timestamp,
-}
-
 /// A cohort of Algorithm-1 sampler units all started at the same stream
-/// position.
+/// position: one shared skip-ahead engine plus the global start offset
+/// needed to translate engine-local admission positions into stream
+/// timestamps.
 ///
-/// Runs the same `O(1)`-expected-update engine as
-/// [`crate::framework::TrulyPerfectGSampler`]: units schedule their next
-/// reservoir replacement with the skip-ahead distribution instead of
-/// flipping a coin per update, and suffix counting is shared through one
-/// [`SuffixCountTable`] per cohort, so a stream update costs one hash-table
-/// touch per cohort regardless of how many units the cohort runs.
+/// The engine's RNG is split off the manager's at creation. Each cohort
+/// owning its own draw sequence keeps replacements *per cohort*
+/// independent of how updates are grouped across cohorts, which is what
+/// lets the batch path process one cohort at a time and still satisfy the
+/// batch ≡ loop law.
 #[derive(Debug)]
 struct Cohort {
     /// 1-based stream position of the first update this cohort has seen.
     start: Timestamp,
-    instances: Vec<CohortInstance>,
-    /// Min-heap of (next replacement position *local* to the cohort, unit).
-    schedule: BinaryHeap<Reverse<(Timestamp, usize)>>,
-    table: SuffixCountTable,
-    /// Units currently holding each tracked item, for garbage-collecting
-    /// the shared table.
-    references: FastHashMap<Item, u32>,
-    /// Number of updates this cohort has seen.
-    seen: u64,
-    /// The cohort's private RNG, split off the manager's at creation. Each
-    /// cohort owning its own stream keeps the draw sequence *per cohort*
-    /// independent of how updates are grouped across cohorts, which is what
-    /// lets the batch path process one cohort at a time and still satisfy
-    /// the batch ≡ loop law.
-    rng: Xoshiro256,
+    engine: SkipAheadEngine,
 }
 
 impl Cohort {
     fn new(start: Timestamp, size: usize, rng: Xoshiro256) -> Self {
-        let schedule = (0..size)
-            .map(|idx| Reverse((1u64, idx)))
-            .collect::<BinaryHeap<_>>();
         Self {
             start,
-            instances: vec![CohortInstance::default(); size],
-            schedule,
-            table: SuffixCountTable::new(),
-            references: FastHashMap::default(),
-            seen: 0,
-            rng,
+            engine: SkipAheadEngine::new(size, rng),
         }
     }
 
-    fn switch_sample(&mut self, idx: usize, item: Item) {
-        if let Some(old) = self.instances[idx].item {
-            if let Some(count) = self.references.get_mut(&old) {
-                *count -= 1;
-                if *count == 0 {
-                    self.references.remove(&old);
-                    self.table.untrack(old);
-                }
-            }
-        }
-        *self.references.entry(item).or_insert(0) += 1;
-        let offset = self.table.track(item);
-        self.instances[idx] = CohortInstance {
-            item: Some(item),
-            offset,
-            timestamp: self.start - 1 + self.seen,
-        };
-    }
-
-    fn update(&mut self, item: Item) {
-        self.seen += 1;
-        self.table.update(item);
-        // Wake every unit scheduled to replace its sample at this position.
-        while let Some(&Reverse((when, idx))) = self.schedule.peek() {
-            if when != self.seen {
-                break;
-            }
-            self.schedule.pop();
-            self.switch_sample(idx, item);
-            let next = crate::framework::skip_ahead_replacement(&mut self.rng, self.seen);
-            self.schedule.push(Reverse((next, idx)));
-        }
-    }
-
-    fn update_batch(&mut self, items: &[Item]) {
-        let mut idx = 0;
-        while idx < items.len() {
-            let remaining = items.len() - idx;
-            // Every scheduled local position is `> seen`; the item at batch
-            // offset `j` lands on local position `seen + j + 1`.
-            let safe = match self.schedule.peek() {
-                Some(&Reverse((when, _))) => ((when - self.seen - 1) as usize).min(remaining),
-                None => remaining,
-            };
-            if safe > 0 {
-                let run = &items[idx..idx + safe];
-                self.table.update_batch(run);
-                self.seen += run.len() as u64;
-                idx += safe;
-            }
-            if idx < items.len() && safe < remaining {
-                self.update(items[idx]);
-                idx += 1;
-            }
-        }
-    }
-
-    fn space_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.instances.capacity() * std::mem::size_of::<CohortInstance>()
-            + self.schedule.len() * std::mem::size_of::<Reverse<(Timestamp, usize)>>()
-            + self.table.space_bytes()
-            + hashmap_bytes(&self.references)
+    /// Global stream position of an engine-local admission position.
+    fn global_timestamp(&self, admitted_at: Timestamp) -> Timestamp {
+        self.start - 1 + admitted_at
     }
 }
 
@@ -196,13 +108,13 @@ impl CohortManager {
         self.maybe_start_cohort();
         self.time += 1;
         for cohort in &mut self.cohorts {
-            cohort.update(item);
+            cohort.engine.update(item);
         }
     }
 
     /// Batch path: split the batch at cohort-epoch boundaries (at most one
     /// per `W` updates) and hand each intervening run to the cohorts'
-    /// amortised batch engines in one call.
+    /// engines in one amortised call.
     fn update_batch(&mut self, items: &[Item]) {
         let width = self.window.width;
         let mut idx = 0;
@@ -215,7 +127,7 @@ impl CohortManager {
             let chunk = &items[idx..end];
             self.time += chunk.len() as u64;
             for cohort in &mut self.cohorts {
-                cohort.update_batch(chunk);
+                cohort.engine.update_batch(chunk);
             }
             idx = end;
         }
@@ -234,12 +146,14 @@ impl CohortManager {
             return Vec::new();
         };
         cohort
-            .instances
-            .iter()
-            .filter_map(|inst| {
-                let item = inst.item?;
-                if self.window.is_active(inst.timestamp, self.time) {
-                    Some((item, cohort.table.suffix_count(item, inst.offset)))
+            .engine
+            .candidates()
+            .filter_map(|c| {
+                if self
+                    .window
+                    .is_active(cohort.global_timestamp(c.admitted_at), self.time)
+                {
+                    Some((c.item, c.suffix_count))
                 } else {
                     None
                 }
@@ -248,7 +162,15 @@ impl CohortManager {
     }
 
     fn space_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.cohorts.iter().map(Cohort::space_bytes).sum::<usize>()
+        std::mem::size_of::<Self>()
+            + self
+                .cohorts
+                .iter()
+                .map(|c| {
+                    std::mem::size_of::<Cohort>() - std::mem::size_of::<SkipAheadEngine>()
+                        + c.engine.space_bytes()
+                })
+                .sum::<usize>()
     }
 }
 

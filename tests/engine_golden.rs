@@ -1,0 +1,172 @@
+//! Golden seed-vector tests for the skip-ahead reservoir engine.
+//!
+//! The traces in `tests/golden/skip_ahead_seed_vectors.txt` were recorded
+//! from the pre-refactor implementations (PR 1: `TrulyPerfectGSampler` and
+//! `Cohort` each carrying a private copy of the instances / schedule /
+//! suffix-table machinery). Every sampler that now routes through
+//! `tps_core::engine::SkipAheadEngine` must reproduce them **byte for
+//! byte**: the same RNG draw sequence (skip-ahead reschedules and rejection
+//! coins in the same order) and therefore the same sample outcomes at every
+//! checkpoint. A mismatch means the unification changed observable
+//! behaviour, not just code layout.
+//!
+//! Regenerate (only when a *deliberate* behaviour change is being made):
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test engine_golden
+//! ```
+
+use tps_core::framework::{MeasureNormalizer, TrulyPerfectGSampler};
+use tps_core::lp::TrulyPerfectLpSampler;
+use tps_core::sliding::{SlidingWindowGSampler, SlidingWindowLpSampler};
+use tps_streams::{Huber, Item, SampleOutcome, SlidingWindowSampler, StreamSampler};
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/skip_ahead_seed_vectors.txt"
+);
+
+/// Checkpoints (in processed updates) at which each sampler is queried.
+/// They straddle several W=50 cohort epochs so the sliding traces exercise
+/// cohort birth, retirement and window expiry.
+const CHECKPOINTS: [usize; 4] = [37, 100, 260, 600];
+const DRAWS_PER_CHECKPOINT: usize = 8;
+
+/// A deterministic, mildly skewed stream over a 64-item universe. Inlined
+/// (splitmix64 finalizer) so the golden vectors depend on nothing but this
+/// file and the samplers under test.
+fn golden_stream(len: usize) -> Vec<Item> {
+    (0..len as u64)
+        .map(|i| {
+            let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            // Two-tier skew: half the mass on 8 heavy items.
+            if z % 4 < 2 {
+                z % 8
+            } else {
+                z % 64
+            }
+        })
+        .collect()
+}
+
+fn outcome_token(outcome: SampleOutcome) -> String {
+    match outcome {
+        SampleOutcome::Index(i) => format!("I{i}"),
+        SampleOutcome::Fail => "F".to_string(),
+        SampleOutcome::Empty => "E".to_string(),
+    }
+}
+
+/// Feeds the stream through the per-item `update` loop, pausing at each
+/// checkpoint to record `DRAWS_PER_CHECKPOINT` consecutive samples (each
+/// draw advances the sampler's RNG, so the trace pins the RNG position, not
+/// just the reservoir contents).
+fn trace_stream_sampler<S: StreamSampler>(name: &str, mut sampler: S, stream: &[Item]) -> String {
+    let mut lines = String::new();
+    let mut fed = 0;
+    for &checkpoint in &CHECKPOINTS {
+        for &item in &stream[fed..checkpoint] {
+            sampler.update(item);
+        }
+        fed = checkpoint;
+        let tokens: Vec<String> = (0..DRAWS_PER_CHECKPOINT)
+            .map(|_| outcome_token(sampler.sample()))
+            .collect();
+        lines.push_str(&format!("{name}@{checkpoint}: {}\n", tokens.join(" ")));
+    }
+    lines
+}
+
+/// Same trace for a sliding-window sampler.
+fn trace_window_sampler<S: SlidingWindowSampler>(
+    name: &str,
+    mut sampler: S,
+    stream: &[Item],
+) -> String {
+    let mut lines = String::new();
+    let mut fed = 0;
+    for &checkpoint in &CHECKPOINTS {
+        for &item in &stream[fed..checkpoint] {
+            sampler.update(item);
+        }
+        fed = checkpoint;
+        let tokens: Vec<String> = (0..DRAWS_PER_CHECKPOINT)
+            .map(|_| outcome_token(sampler.sample()))
+            .collect();
+        lines.push_str(&format!("{name}@{checkpoint}: {}\n", tokens.join(" ")));
+    }
+    lines
+}
+
+/// Every adapter over the shared engine, covering both normaliser flavours,
+/// the single-instance degenerate case, a direct framework instantiation,
+/// and both sliding-window samplers (private per-cohort RNGs).
+fn record_all_traces() -> String {
+    let stream = golden_stream(*CHECKPOINTS.last().unwrap());
+    let mut out = String::new();
+    out.push_str(&trace_stream_sampler(
+        "lp2_misra_gries",
+        TrulyPerfectLpSampler::new(2.0, 64, 0.1, 42),
+        &stream,
+    ));
+    out.push_str(&trace_stream_sampler(
+        "lp1_single_reservoir",
+        TrulyPerfectLpSampler::new(1.0, 64, 0.1, 43),
+        &stream,
+    ));
+    out.push_str(&trace_stream_sampler(
+        "lp_half_fractional",
+        TrulyPerfectLpSampler::fractional(0.5, 600, 0.1, 44),
+        &stream,
+    ));
+    out.push_str(&trace_stream_sampler(
+        "huber_framework_16",
+        TrulyPerfectGSampler::with_instances(
+            Huber::new(2.0),
+            MeasureNormalizer::new(Huber::new(2.0)),
+            16,
+            45,
+        ),
+        &stream,
+    ));
+    out.push_str(&trace_window_sampler(
+        "sliding_huber_w50",
+        SlidingWindowGSampler::new(Huber::new(2.0), 50, 0.2, 46),
+        &stream,
+    ));
+    out.push_str(&trace_window_sampler(
+        "sliding_l2_w50",
+        SlidingWindowLpSampler::with_estimator_size(2.0, 50, 0.2, 2, 8, 47),
+        &stream,
+    ));
+    out
+}
+
+#[test]
+fn samplers_reproduce_pre_refactor_seed_vectors() {
+    let actual = record_all_traces();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(format!("{}/tests/golden", env!("CARGO_MANIFEST_DIR"))).unwrap();
+        std::fs::write(GOLDEN_PATH, &actual).unwrap();
+        eprintln!("golden vectors rewritten: {GOLDEN_PATH}");
+        return;
+    }
+    let expected = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden vectors missing; run with UPDATE_GOLDEN=1 to record them");
+    for (line_no, (exp, act)) in expected.lines().zip(actual.lines()).enumerate() {
+        assert_eq!(
+            exp,
+            act,
+            "sample trace diverged from the pre-refactor golden vector at line {}",
+            line_no + 1
+        );
+    }
+    assert_eq!(
+        expected.lines().count(),
+        actual.lines().count(),
+        "trace line count changed"
+    );
+}

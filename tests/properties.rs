@@ -98,6 +98,17 @@ where
     Ok(())
 }
 
+/// Cases per property: 64 by default (the CI pull-request budget), raised
+/// by the `PROPTEST_CASES` environment variable (the weekly scheduled job
+/// runs 4096). Resolved explicitly so the override works with both the
+/// offline shim and registry proptest.
+fn configured_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or(64)
+}
+
 /// Arbitrary small insertion-only streams.
 fn small_stream() -> impl Strategy<Value = Vec<Item>> {
     proptest::collection::vec(0u64..50, 1..400)
@@ -124,7 +135,7 @@ fn strict_stream() -> impl Strategy<Value = Vec<SignedUpdate>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(configured_cases()))]
 
     /// The telescoping identity Σ_{c=1}^{x} (G(c) − G(c−1)) = G(x) that the
     /// framework's correctness proof relies on, for every measure.
