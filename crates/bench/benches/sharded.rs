@@ -1,0 +1,69 @@
+//! E12 benchmark: ingest throughput of the sharded scatter-gather
+//! front-end against the single-instance batched path, on the 1M-update
+//! Zipf(1.1) workload the perf gates track.
+//!
+//! Both phases run on scoped `std::thread` workers — `k` scatter workers
+//! partitioning positional chunks, then `k` ingest workers draining their
+//! shard's column — so the shard-count curve follows the host's available
+//! parallelism; per-worker scatter cost and shard skew are the overheads
+//! the speedup has to amortise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use tps_core::lp::TrulyPerfectLpSampler;
+use tps_core::sharded::{ShardedSampler, ShardingStrategy};
+use tps_random::default_rng;
+use tps_streams::generators::zipfian_stream;
+use tps_streams::StreamSampler;
+
+fn bench_sharded_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_sharded_ingest");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    let mut rng = default_rng(12);
+    let stream = zipfian_stream(&mut rng, 4_096, 1_000_000, 1.1);
+    group.throughput(Throughput::Elements(stream.len() as u64));
+
+    group.bench_function("single_instance_batch", |b| {
+        b.iter(|| {
+            let mut sampler = TrulyPerfectLpSampler::new(2.0, 4_096, 0.1, 9);
+            sampler.update_batch(&stream);
+            sampler.processed()
+        })
+    });
+
+    for &shards in &[2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("hash_sharded", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let mut sharded =
+                        ShardedSampler::new(shards, ShardingStrategy::Hash, 5, |idx| {
+                            TrulyPerfectLpSampler::new(2.0, 4_096, 0.1, 40 + idx as u64)
+                        });
+                    sharded.update_batch(&stream);
+                    sharded.processed()
+                })
+            },
+        );
+    }
+
+    // Round-robin comparator: perfect balance, no per-item hash in the
+    // scatter pass (exact for L1-style constant-increment measures).
+    group.bench_with_input(BenchmarkId::new("round_robin_sharded", 4), &4, |b, _| {
+        b.iter(|| {
+            let mut sharded = ShardedSampler::new(4, ShardingStrategy::RoundRobin, 5, |idx| {
+                TrulyPerfectLpSampler::new(1.0, 4_096, 0.1, 60 + idx as u64)
+            });
+            sharded.update_batch(&stream);
+            sharded.processed()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_ingest);
+criterion_main!(benches);

@@ -1,12 +1,14 @@
 //! The experiment report generator.
 //!
-//! Runs every experiment of `EXPERIMENTS.md` (E1–E11, F1) at full scale and
+//! Runs every experiment of `EXPERIMENTS.md` (E1–E12, F1) at full scale and
 //! prints the result rows as human-readable tables; pass `--json` to emit a
 //! machine-readable JSON document instead, and `--quick` to run at the
-//! reduced scale used by CI.
+//! reduced scale used by CI. `--sharded` runs *only* the E12 shard-scaling
+//! experiment at its full 1M-Zipf scale (the `BENCH_sharded.json` workload)
+//! regardless of `--quick`.
 //!
 //! ```text
-//! cargo run --release -p tps-bench --bin report -- [--quick] [--json]
+//! cargo run --release -p tps-bench --bin report -- [--quick] [--json] [--sharded]
 //! ```
 
 use tps_bench::experiments as exp;
@@ -25,6 +27,7 @@ struct Report {
     e9_equality: Vec<exp::EqualityRow>,
     e10_multipass: Vec<exp::MultiPassRow>,
     e11_matrix: Vec<exp::SamplerRow>,
+    e12_sharded: exp::ShardedScaling,
     f1_checkpoints: Vec<exp::CheckpointRow>,
 }
 
@@ -43,6 +46,7 @@ impl ToJson for Report {
             ("e9_equality", self.e9_equality.to_json()),
             ("e10_multipass", self.e10_multipass.to_json()),
             ("e11_matrix", self.e11_matrix.to_json()),
+            ("e12_sharded", self.e12_sharded.to_json()),
             ("f1_checkpoints", self.f1_checkpoints.to_json()),
         ])
     }
@@ -67,6 +71,7 @@ fn build_report(quick: bool) -> Report {
             e9_equality: exp::e9_equality(&[0.0, 0.01, 0.05, 0.1], 128, 4_000),
             e10_multipass: exp::e10_multipass(4_096, 3_000, &[0.5, 0.25, 0.125]),
             e11_matrix: exp::e11_matrix(&[4, 16], 400),
+            e12_sharded: exp::e12_sharded(200_000, 4_096, &[1, 2, 4]),
             f1_checkpoints: exp::f1_checkpoints(&[1_000, 10_000]),
         }
     } else {
@@ -91,9 +96,17 @@ fn build_report(quick: bool) -> Report {
             e9_equality: exp::e9_equality(&[0.0, 0.001, 0.01, 0.05, 0.1], 256, 20_000),
             e10_multipass: exp::e10_multipass(16_384, 8_000, &[0.5, 0.25, 0.125]),
             e11_matrix: exp::e11_matrix(&[4, 16, 64], 800),
+            e12_sharded: sharded_scaling_full(),
             f1_checkpoints: exp::f1_checkpoints(&[1_000, 10_000, 100_000]),
         }
     }
+}
+
+/// The E12 acceptance workload: shard-count scaling of hash-sharded L2
+/// ingest on the 1M-update Zipf(1.1) stream (the `BENCH_sharded.json`
+/// record).
+fn sharded_scaling_full() -> exp::ShardedScaling {
+    exp::e12_sharded(1_000_000, 4_096, &[1, 2, 4, 8])
 }
 
 fn print_sampler_rows(title: &str, rows: &[exp::SamplerRow]) {
@@ -114,10 +127,48 @@ fn print_sampler_rows(title: &str, rows: &[exp::SamplerRow]) {
     }
 }
 
+fn print_sharded(scaling: &exp::ShardedScaling) {
+    println!(
+        "\n== E12: sharded ingest scaling ({} updates, {} core(s) available) ==",
+        scaling.stream_length, scaling.cores
+    );
+    println!(
+        "single-instance batched baseline  : {:>8.2} Melem/s",
+        scaling.single_melem_per_s
+    );
+    println!(
+        "{:>10} {:>14} {:>12} {:>18} {:>14}",
+        "shards", "Melem/s", "speedup", "critical Melem/s", "crit speedup"
+    );
+    for r in &scaling.rows {
+        println!(
+            "{:>10} {:>14.2} {:>12.2} {:>18.2} {:>14.2}",
+            r.shards,
+            r.melem_per_s,
+            r.speedup_vs_single,
+            r.critical_path_melem_per_s,
+            r.critical_path_speedup
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    if args.iter().any(|a| a == "--sharded") {
+        let scaling = sharded_scaling_full();
+        if json {
+            let doc = Json::Obj(vec![
+                ("scale", "sharded".to_json()),
+                ("e12_sharded", scaling.to_json()),
+            ]);
+            println!("{}", doc.pretty());
+        } else {
+            print_sharded(&scaling);
+        }
+        return;
+    }
     let report = build_report(quick);
 
     if json {
@@ -246,6 +297,8 @@ fn main() {
     }
 
     print_sampler_rows("E11: matrix row sampling", &report.e11_matrix);
+
+    print_sharded(&report.e12_sharded);
 
     println!("\n== F1: smooth-histogram checkpoints ==");
     println!(

@@ -623,6 +623,142 @@ pub fn e11_matrix(columns: &[u64], draws: usize) -> Vec<SamplerRow> {
         .collect()
 }
 
+/// E12: one shard-count configuration of the sharded scatter-gather
+/// front-end.
+#[derive(Debug, Clone)]
+pub struct ShardedRow {
+    /// Number of shards (1 = the plain single-instance batched path).
+    pub shards: usize,
+    /// Wall-clock ingest throughput of the threaded front-end in millions
+    /// of elements per second (best of the measured repetitions, to damp
+    /// scheduler noise). Plateaus at the host's core count.
+    pub melem_per_s: f64,
+    /// Wall-clock throughput relative to the single-instance batched
+    /// baseline.
+    pub speedup_vs_single: f64,
+    /// Critical-path throughput: `stream / (slowest scatter worker +
+    /// slowest ingest worker)`, each worker's segment measured directly by
+    /// running it in isolation. Both phases of the front-end are
+    /// embarrassingly parallel (workers share no mutable state within a
+    /// phase), so this is the wall clock the threaded path attains once
+    /// `cores ≥ shards` — the scaling metric that transfers across hosts.
+    pub critical_path_melem_per_s: f64,
+    /// Critical-path throughput relative to the single-instance baseline.
+    pub critical_path_speedup: f64,
+}
+
+/// E12: the shard-count scaling curve of [`ShardedSampler`] ingest.
+#[derive(Debug, Clone)]
+pub struct ShardedScaling {
+    /// Worker parallelism available to the process (shard workers beyond
+    /// this count cannot add wall-clock speedup).
+    pub cores: usize,
+    /// Stream length of the workload.
+    pub stream_length: usize,
+    /// Single-instance batched ingest throughput (the baseline), Melem/s.
+    pub single_melem_per_s: f64,
+    /// One row per measured shard count.
+    pub rows: Vec<ShardedRow>,
+}
+
+/// E12: ingest throughput of the hash-sharded L2 sampler across shard
+/// counts on a Zipf(1.1) workload, against the single-instance batched
+/// path. Each shard ingests its sub-batch on its own `std::thread` worker,
+/// so the curve tracks available hardware parallelism (reported in
+/// `cores`): on a `c`-core host the expected plateau is ≈ `min(shards, c)`
+/// minus the sequential scatter pass.
+pub fn e12_sharded(stream_length: usize, universe: u64, shard_counts: &[usize]) -> ShardedScaling {
+    use tps_core::sharded::{ShardedSampler, ShardingStrategy};
+
+    let mut rng = default_rng(1_200);
+    let stream = zipfian_stream(&mut rng, universe, stream_length, 1.1);
+    let repetitions = 3;
+
+    let mut best_single = f64::MIN_POSITIVE;
+    for rep in 0..repetitions {
+        let mut sampler = TrulyPerfectLpSampler::new(2.0, universe, 0.1, 21 + rep);
+        let start = Instant::now();
+        sampler.update_batch(&stream);
+        let rate = stream.len() as f64 / start.elapsed().as_secs_f64() / 1e6;
+        best_single = best_single.max(rate);
+        assert_eq!(sampler.processed(), stream.len() as u64);
+    }
+
+    let rows = shard_counts
+        .iter()
+        .map(|&shards| {
+            let mut best = f64::MIN_POSITIVE;
+            let mut best_critical = f64::MIN_POSITIVE;
+            for rep in 0..repetitions {
+                let mut sharded =
+                    ShardedSampler::new(shards, ShardingStrategy::Hash, 33 + rep, |idx| {
+                        TrulyPerfectLpSampler::new(
+                            2.0,
+                            universe,
+                            0.1,
+                            77 + rep + ((idx as u64) << 8),
+                        )
+                    });
+                let start = Instant::now();
+                sharded.update_batch(&stream);
+                let rate = stream.len() as f64 / start.elapsed().as_secs_f64() / 1e6;
+                best = best.max(rate);
+                assert_eq!(sharded.processed(), stream.len() as u64);
+
+                // Critical path, measured phase by phase in isolation:
+                // slowest scatter worker (each partitions one 1/k-sized
+                // positional chunk into k buffers) plus slowest ingest
+                // worker (each drains its shard's column in chunk order) —
+                // mirroring the two-phase threaded `update_batch` exactly.
+                let chunk_len = stream.len().div_ceil(shards);
+                let mut matrix: Vec<Vec<Vec<u64>>> = Vec::new();
+                let slowest_scatter = stream
+                    .chunks(chunk_len)
+                    .map(|chunk| {
+                        let start = Instant::now();
+                        let mut row: Vec<Vec<u64>> = vec![Vec::new(); shards];
+                        for &item in chunk {
+                            row[sharded.hash_shard_of(item)].push(item);
+                        }
+                        let elapsed = start.elapsed().as_secs_f64();
+                        matrix.push(row);
+                        elapsed
+                    })
+                    .fold(0.0f64, f64::max);
+                let slowest_ingest = (0..shards)
+                    .map(|shard| {
+                        let mut shard_sampler =
+                            TrulyPerfectLpSampler::new(2.0, universe, 0.1, 99 + rep);
+                        let start = Instant::now();
+                        for row in &matrix {
+                            shard_sampler.update_batch(&row[shard]);
+                        }
+                        start.elapsed().as_secs_f64()
+                    })
+                    .fold(0.0f64, f64::max);
+                let critical = stream.len() as f64 / (slowest_scatter + slowest_ingest) / 1e6;
+                best_critical = best_critical.max(critical);
+            }
+            ShardedRow {
+                shards,
+                melem_per_s: best,
+                speedup_vs_single: best / best_single,
+                critical_path_melem_per_s: best_critical,
+                critical_path_speedup: best_critical / best_single,
+            }
+        })
+        .collect();
+
+    ShardedScaling {
+        cores: std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1),
+        stream_length,
+        single_melem_per_s: best_single,
+        rows,
+    }
+}
+
 /// F1: smooth-histogram checkpoint counts (Figure 1's structure).
 #[derive(Debug, Clone)]
 pub struct CheckpointRow {

@@ -374,6 +374,35 @@ impl<A: ToJson, B: ToJson> ToJson for (A, B) {
     }
 }
 
+impl ToJson for exp::ShardedRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("shards", self.shards.to_json()),
+            ("melem_per_s", self.melem_per_s.to_json()),
+            ("speedup_vs_single", self.speedup_vs_single.to_json()),
+            (
+                "critical_path_melem_per_s",
+                self.critical_path_melem_per_s.to_json(),
+            ),
+            (
+                "critical_path_speedup",
+                self.critical_path_speedup.to_json(),
+            ),
+        ])
+    }
+}
+
+impl ToJson for exp::ShardedScaling {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("cores", self.cores.to_json()),
+            ("stream_length", self.stream_length.to_json()),
+            ("single_melem_per_s", self.single_melem_per_s.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
 impl ToJson for exp::LpSpaceRow {
     fn to_json(&self) -> Json {
         Json::Obj(vec![

@@ -108,7 +108,7 @@ impl<F: FnMut(Item, u64)> BatchSink for ObserverSink<F> {
 }
 
 /// The shared skip-ahead reservoir engine (see the module docs).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SkipAheadEngine {
     slots: Vec<Slot>,
     /// Min-heap of (next replacement position, slot index), positions local
@@ -292,6 +292,134 @@ impl SkipAheadEngine {
                 admitted_at: slot.admitted_at,
             })
         })
+    }
+
+    /// Merges two engines into one whose slots are distributed as if a
+    /// single engine had processed `self`'s stream followed by `other`'s
+    /// (the concatenation `A ∘ B`).
+    ///
+    /// Each merged slot is drawn independently: `self`'s slot wins with
+    /// probability `seen_A / (seen_A + seen_B)`, `other`'s otherwise —
+    /// exactly the probability that a uniform position of `A ∘ B` falls in
+    /// `A`. Conditioned on the winning side, the slot already holds a
+    /// uniform position of that side's stream, so every merged slot holds a
+    /// uniform position of the combined stream. Admission positions from
+    /// `other` are shifted by `seen_A` into concatenation coordinates, and
+    /// each slot's next replacement is redrawn from the skip-ahead
+    /// distribution at `seen_A + seen_B` (for a reservoir that has seen `m`
+    /// updates, the next replacement satisfies `P[next > m + s] =
+    /// m / (m + s)` regardless of its history, so the redraw leaves the
+    /// forward process exactly as sequential ingestion would).
+    ///
+    /// Suffix counts carry over verbatim: a merged slot's suffix count is
+    /// whatever its source engine had accumulated. This makes the merge
+    /// **exact when the two streams are item-disjoint** (hash-partitioned
+    /// sharding: every occurrence of a slot's item was seen by its own
+    /// engine) and an under-count otherwise — occurrences of an `A`-slot's
+    /// item inside `B` are invisible to `A`. Constant-increment measures
+    /// (`L_1`) never read suffix counts, so for them any partitioning is
+    /// exact. See `tps_streams::merge` for the taxonomy.
+    ///
+    /// The merged engine keeps `self`'s RNG (reschedule draws included);
+    /// the weighted slot coins come from `rng`. Merging with an engine that
+    /// has seen nothing returns the other input unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engines have different slot counts.
+    pub fn merge(self, other: Self, rng: &mut dyn StreamRng) -> Self {
+        self.merge_inner(other, rng, true)
+    }
+
+    /// Like [`SkipAheadEngine::merge`], but for engines sharing one clock
+    /// (two streams observed position-for-position in parallel, e.g. the
+    /// lockstep sliding-window cohorts): admission positions are **not**
+    /// shifted, because position `t` of either input names the same shared
+    /// tick. Slots are still drawn weighted by seen counts, so each merged
+    /// slot holds a uniform one of the `seen_A + seen_B` update instances.
+    /// The result is a query-time snapshot — keep ingesting the inputs (or
+    /// their clones), not the merged engine, since later updates would
+    /// admit at combined-count positions that no longer name shared ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engines have different slot counts.
+    pub fn merge_lockstep(self, other: Self, rng: &mut dyn StreamRng) -> Self {
+        self.merge_inner(other, rng, false)
+    }
+
+    /// The shared merge body; `shift` selects concatenation coordinates
+    /// (`other`'s positions offset by `self.seen`) versus a shared clock.
+    fn merge_inner(mut self, other: Self, rng: &mut dyn StreamRng, shift: bool) -> Self {
+        assert_eq!(
+            self.slots.len(),
+            other.slots.len(),
+            "merging engines requires equal slot counts"
+        );
+        if other.seen == 0 {
+            return self;
+        }
+        if self.seen == 0 {
+            return other;
+        }
+        let total = self.seen + other.seen;
+        // Every slot is held once an engine has seen at least one update,
+        // so both candidate lists are full and slot-aligned.
+        let ours: Vec<Candidate> = self.candidates().collect();
+        let theirs: Vec<Candidate> = other.candidates().collect();
+        debug_assert_eq!(ours.len(), self.slots.len());
+        debug_assert_eq!(theirs.len(), other.slots.len());
+        let chosen: Vec<Candidate> = ours
+            .iter()
+            .zip(&theirs)
+            .map(|(a, b)| {
+                if rng.gen_range(total) < self.seen {
+                    *a
+                } else {
+                    Candidate {
+                        item: b.item,
+                        suffix_count: b.suffix_count,
+                        admitted_at: if shift {
+                            self.seen + b.admitted_at
+                        } else {
+                            b.admitted_at
+                        },
+                    }
+                }
+            })
+            .collect();
+        // Rebuild the shared table: one counter per distinct chosen item,
+        // set to the largest suffix count any slot needs, with per-slot
+        // offsets making `suffix_count(item, offset)` reconstruct exactly.
+        let mut max_suffix: FastHashMap<Item, u64> = FastHashMap::default();
+        for c in &chosen {
+            let entry = max_suffix.entry(c.item).or_insert(0);
+            *entry = (*entry).max(c.suffix_count);
+        }
+        let mut table = SuffixCountTable::new();
+        let mut references: FastHashMap<Item, u32> = FastHashMap::default();
+        for (&item, &suffix) in &max_suffix {
+            table.track(item);
+            table.update_run(item, suffix);
+        }
+        for c in &chosen {
+            *references.entry(c.item).or_insert(0) += 1;
+        }
+        self.slots = chosen
+            .iter()
+            .map(|c| Slot {
+                item: Some(c.item),
+                offset: max_suffix[&c.item] - c.suffix_count,
+                admitted_at: c.admitted_at,
+            })
+            .collect();
+        self.table = table;
+        self.references = references;
+        self.seen = total;
+        self.schedule = (0..self.slots.len())
+            .map(|idx| Reverse((skip_ahead_replacement(&mut self.rng, total), idx)))
+            .collect();
+        self
     }
 
     /// First-success aggregation over the slots, drawing rejection coins
@@ -513,5 +641,124 @@ mod tests {
     #[should_panic(expected = "at least one sampler instance")]
     fn zero_slots_panics() {
         let _ = SkipAheadEngine::with_seed(0, 1);
+    }
+
+    /// Structural merge law on item-disjoint streams: the merged engine's
+    /// `seen` is the sum, every merged candidate equals one parent's
+    /// candidate (admission position translated into concatenation
+    /// coordinates), and its suffix count is exactly the number of
+    /// occurrences of the item after that position in the concatenated
+    /// stream.
+    #[test]
+    fn merge_translates_candidates_and_suffix_counts_exactly() {
+        // Disjoint item ranges: evens to A, odds to B.
+        let stream_a: Vec<Item> = skewed_stream(2_000, 40).iter().map(|&x| 2 * x).collect();
+        let stream_b: Vec<Item> = skewed_stream(1_500, 40)
+            .iter()
+            .map(|&x| 2 * x + 1)
+            .collect();
+        let mut a = SkipAheadEngine::with_seed(6, 1);
+        a.update_batch(&stream_a);
+        let mut b = SkipAheadEngine::with_seed(6, 2);
+        b.update_batch(&stream_b);
+        let parents: Vec<(Item, u64, u64)> = a
+            .candidates()
+            .map(|c| (c.item, c.suffix_count, c.admitted_at))
+            .chain(b.candidates().map(|c| {
+                (
+                    c.item,
+                    c.suffix_count,
+                    stream_a.len() as u64 + c.admitted_at,
+                )
+            }))
+            .collect();
+        let mut coins = Xoshiro256::seed_from_u64(7);
+        let merged = a.merge(b, &mut coins);
+        assert_eq!(
+            merged.seen(),
+            (stream_a.len() + stream_b.len()) as u64,
+            "merged seen must be the sum"
+        );
+        let concat: Vec<Item> = stream_a.iter().chain(&stream_b).copied().collect();
+        let candidates: Vec<Candidate> = merged.candidates().collect();
+        assert_eq!(candidates.len(), 6, "all slots stay held through a merge");
+        for c in &candidates {
+            assert!(
+                parents.contains(&(c.item, c.suffix_count, c.admitted_at)),
+                "merged candidate {c:?} not drawn from either parent"
+            );
+            let exact = concat[c.admitted_at as usize..]
+                .iter()
+                .filter(|&&x| x == c.item)
+                .count() as u64;
+            assert_eq!(
+                c.suffix_count, exact,
+                "suffix count wrong for disjoint-stream merge"
+            );
+        }
+        assert!(merged.tracked_items() <= merged.slot_count());
+    }
+
+    /// Weighted slot selection: over many seeds the fraction of merged
+    /// slots drawn from the larger engine approaches its share of the
+    /// combined stream.
+    #[test]
+    fn merge_weights_slots_by_seen_counts() {
+        let long: Vec<Item> = vec![1; 3_000];
+        let short: Vec<Item> = vec![2; 1_000];
+        let mut from_long = 0usize;
+        let mut slots = 0usize;
+        for seed in 0..200u64 {
+            let mut a = SkipAheadEngine::with_seed(8, seed);
+            a.update_batch(&long);
+            let mut b = SkipAheadEngine::with_seed(8, 1_000 + seed);
+            b.update_batch(&short);
+            let mut coins = Xoshiro256::seed_from_u64(2_000 + seed);
+            let merged = a.merge(b, &mut coins);
+            for c in merged.candidates() {
+                slots += 1;
+                if c.item == 1 {
+                    from_long += 1;
+                }
+            }
+        }
+        let share = from_long as f64 / slots as f64;
+        assert!(
+            (0.70..0.80).contains(&share),
+            "long-stream share {share} should be near 0.75"
+        );
+    }
+
+    /// Merging with an engine that has seen nothing is the identity (in
+    /// either direction), and the merged engine keeps ingesting correctly.
+    #[test]
+    fn merge_with_empty_engine_is_identity() {
+        let stream = skewed_stream(500, 13);
+        let mut fed = SkipAheadEngine::with_seed(4, 3);
+        fed.update_batch(&stream);
+        let fingerprint = engine_state_fingerprint(&fed);
+        let mut coins = Xoshiro256::seed_from_u64(9);
+        let merged = fed.merge(SkipAheadEngine::with_seed(4, 4), &mut coins);
+        assert_eq!(engine_state_fingerprint(&merged), fingerprint);
+        let mut coins = Xoshiro256::seed_from_u64(10);
+        let merged = SkipAheadEngine::with_seed(4, 5).merge(merged, &mut coins);
+        assert_eq!(engine_state_fingerprint(&merged), fingerprint);
+        let mut grown = merged;
+        grown.update_batch(&stream);
+        assert_eq!(grown.seen(), 2 * stream.len() as u64);
+        for c in grown.candidates() {
+            assert!(c.admitted_at >= 1 && c.admitted_at <= grown.seen());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal slot counts")]
+    fn merge_rejects_mismatched_slot_counts() {
+        let mut a = SkipAheadEngine::with_seed(4, 1);
+        let mut b = SkipAheadEngine::with_seed(5, 2);
+        a.update(1);
+        b.update(2);
+        let mut coins = Xoshiro256::seed_from_u64(3);
+        let _ = a.merge(b, &mut coins);
     }
 }

@@ -22,7 +22,8 @@ use std::collections::{HashMap, HashSet};
 use tps_random::{random_subset, StreamRng, TabulationHash, Xoshiro256};
 use tps_streams::space::{hashmap_bytes, hashset_bytes};
 use tps_streams::{
-    Item, SampleOutcome, SlidingWindowSampler, SpaceUsage, StreamSampler, Timestamp, WindowSpec,
+    Item, MergeableSampler, SampleOutcome, SlidingWindowSampler, SpaceUsage, StreamSampler,
+    Timestamp, WindowSpec,
 };
 
 /// One repetition of the random-subset side of Algorithm 5: a pre-drawn
@@ -207,6 +208,57 @@ impl StreamSampler for TrulyPerfectF0Sampler {
             Some((item, _)) => SampleOutcome::Index(item),
             None => SampleOutcome::Fail,
         }
+    }
+}
+
+/// Merge with concatenation semantics, replaying `other`'s retained state
+/// into `self`: the first-distinct side replays `other`'s items in
+/// first-occurrence order with their exact multiplicities, and each
+/// candidate set absorbs its counterpart's observed members.
+///
+/// Requires both samplers to have been built with the **same seed** (so the
+/// pre-drawn random subsets coincide — the sharded front-end's contract for
+/// `F_0`). For item-disjoint shards the merged state is then byte-identical
+/// to sequential ingestion of the concatenated stream: the merged support
+/// is the union, exact frequencies are preserved, and the uniform-over-
+/// support guarantee carries over. For overlapping shards the merge remains
+/// sound for membership but can under-count items one side evicted.
+///
+/// # Panics
+///
+/// Panics if the universes, thresholds, repetition counts or pre-drawn
+/// subsets differ.
+impl MergeableSampler for TrulyPerfectF0Sampler {
+    fn merge(mut self, other: Self, _rng: &mut dyn StreamRng) -> Self {
+        assert_eq!(
+            self.universe, other.universe,
+            "merging F0 samplers requires equal universes"
+        );
+        assert_eq!(self.threshold, other.threshold);
+        assert_eq!(
+            self.candidates.len(),
+            other.candidates.len(),
+            "merging F0 samplers requires equal repetition counts"
+        );
+        for (mine, theirs) in self.candidates.iter().zip(&other.candidates) {
+            assert_eq!(
+                mine.subset, theirs.subset,
+                "merging F0 samplers requires shard instances built with the same seed"
+            );
+        }
+        self.processed += other.processed;
+        for &item in &other.first_order {
+            self.record_first_distinct(item, other.first_distinct[&item]);
+        }
+        if other.overflowed {
+            self.overflowed = true;
+        }
+        for (mine, theirs) in self.candidates.iter_mut().zip(&other.candidates) {
+            for &item in &theirs.order {
+                mine.record(item, theirs.seen[&item]);
+            }
+        }
+        self
     }
 }
 

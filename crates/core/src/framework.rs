@@ -31,8 +31,9 @@
 //! `(G(c+1) − G(c)) / ζ`.
 
 use crate::engine::SkipAheadEngine;
+use tps_random::StreamRng;
 use tps_sketches::MisraGries;
-use tps_streams::{Item, MeasureFn, SampleOutcome, SpaceUsage, StreamSampler};
+use tps_streams::{Item, MeasureFn, MergeableSampler, SampleOutcome, SpaceUsage, StreamSampler};
 
 pub use crate::engine::skip_ahead_replacement;
 
@@ -61,6 +62,15 @@ pub trait RejectionNormalizer {
     /// The current certain bound `ζ` given that `processed` updates have
     /// been seen.
     fn zeta(&self, processed: u64) -> f64;
+
+    /// Merges two normalisers into one whose `ζ` is a certain bound for the
+    /// concatenation of the two observed streams (this is what makes
+    /// [`TrulyPerfectGSampler`] a
+    /// [`MergeableSampler`](tps_streams::MergeableSampler)). Certainty must
+    /// be preserved: the merged bound may be looser, never invalid.
+    fn merge(self, other: Self) -> Self
+    where
+        Self: Sized;
 
     /// Memory used by the normaliser.
     fn normalizer_space_bytes(&self) -> usize;
@@ -91,6 +101,12 @@ impl<G: MeasureFn> RejectionNormalizer for MeasureNormalizer<G> {
 
     fn zeta(&self, processed: u64) -> f64 {
         self.g.increment_bound(processed.max(1))
+    }
+
+    /// Stateless: the closed-form bound depends only on the total processed
+    /// count, which the engine already sums at merge time.
+    fn merge(self, _other: Self) -> Self {
+        self
     }
 
     fn normalizer_space_bytes(&self) -> usize {
@@ -144,6 +160,20 @@ impl RejectionNormalizer for MisraGriesNormalizer {
         self.p * z.powf(self.p - 1.0)
     }
 
+    /// Misra–Gries summaries merge with additive error bounds
+    /// ([`MisraGries::merge`]), so the merged `Z` stays a certain upper
+    /// bound on `‖f‖_∞` of the concatenated stream.
+    fn merge(self, other: Self) -> Self {
+        assert!(
+            (self.p - other.p).abs() < 1e-12,
+            "merging Misra-Gries normalisers requires equal exponents"
+        );
+        Self {
+            p: self.p,
+            summary: tps_streams::MergeableSummary::merge(self.summary, other.summary),
+        }
+    }
+
     fn normalizer_space_bytes(&self) -> usize {
         self.summary.space_bytes()
     }
@@ -152,7 +182,7 @@ impl RejectionNormalizer for MisraGriesNormalizer {
 /// The generic truly perfect `G`-sampler for insertion-only streams: the
 /// shared skip-ahead reservoir engine plus a measure `G` and its rejection
 /// normaliser.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TrulyPerfectGSampler<G: MeasureFn, N: RejectionNormalizer> {
     g: G,
     normalizer: N,
@@ -227,6 +257,28 @@ impl<G: MeasureFn, N: RejectionNormalizer> TrulyPerfectGSampler<G, N> {
         match accepted {
             Some(item) => SampleOutcome::Index(item),
             None => SampleOutcome::Fail,
+        }
+    }
+}
+
+/// Distributional mergeability (the sharded scatter-gather contract, see
+/// [`tps_streams::merge`]): the engine draws the combined reservoir from
+/// the two inputs weighted by admitted counts, and the normalisers merge
+/// into a certain bound for the combined stream. Exact for item-disjoint
+/// (hash-partitioned) inputs and for constant-increment measures under any
+/// partitioning; callers are responsible for merging samplers built over
+/// the same measure `G`.
+impl<G: MeasureFn, N: RejectionNormalizer> MergeableSampler for TrulyPerfectGSampler<G, N> {
+    fn merge(self, other: Self, rng: &mut dyn StreamRng) -> Self {
+        assert_eq!(
+            self.instance_count(),
+            other.instance_count(),
+            "merging G-samplers requires equal instance counts"
+        );
+        Self {
+            g: self.g,
+            normalizer: self.normalizer.merge(other.normalizer),
+            engine: self.engine.merge(other.engine, rng),
         }
     }
 }

@@ -44,6 +44,9 @@
 //! * [`composition`] — the composition / privacy-drift harness from the
 //!   paper's motivation: measuring how sampling error accumulates across
 //!   many independent runs.
+//! * [`sharded`] — the scatter-gather front-end: hash- or round-robin-
+//!   partitioned parallel ingest across `k` shard instances, answered by
+//!   query-time merging (`tps_streams::MergeableSampler`).
 //!
 //! ## Quick example
 //!
@@ -76,6 +79,7 @@ pub mod mestimators;
 pub mod perfect_baselines;
 pub mod random_order;
 pub mod sampler_unit;
+pub mod sharded;
 pub mod sliding;
 pub mod turnstile;
 
@@ -83,3 +87,4 @@ pub use engine::SkipAheadEngine;
 pub use framework::{MeasureNormalizer, RejectionNormalizer, TrulyPerfectGSampler};
 pub use lp::TrulyPerfectLpSampler;
 pub use sampler_unit::SamplerUnit;
+pub use sharded::{ShardedSampler, ShardingStrategy};

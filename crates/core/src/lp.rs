@@ -21,7 +21,8 @@
 use crate::framework::{
     recommended_instances, MeasureNormalizer, MisraGriesNormalizer, TrulyPerfectGSampler,
 };
-use tps_streams::{Item, Lp, SampleOutcome, SpaceUsage, StreamSampler};
+use tps_random::StreamRng;
+use tps_streams::{Item, Lp, MergeableSampler, SampleOutcome, SpaceUsage, StreamSampler};
 
 /// Which normaliser the sampler is running with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +34,7 @@ enum Flavor {
 }
 
 /// A truly perfect `L_p` sampler for insertion-only streams.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TrulyPerfectLpSampler {
     p: f64,
     flavor: Flavor,
@@ -134,6 +135,36 @@ impl TrulyPerfectLpSampler {
         match self.flavor {
             Flavor::Fractional => self.fractional.as_ref().unwrap().processed(),
             Flavor::MisraGries => self.heavy.as_ref().unwrap().processed(),
+        }
+    }
+}
+
+/// Merge by delegating to the underlying `G`-sampler of the matching
+/// regime (see [`TrulyPerfectGSampler`]'s merge semantics: exact for
+/// hash-partitioned shards; exact for `p = 1` under any partitioning).
+impl MergeableSampler for TrulyPerfectLpSampler {
+    fn merge(self, other: Self, rng: &mut dyn StreamRng) -> Self {
+        assert!(
+            (self.p - other.p).abs() < 1e-12 && self.flavor == other.flavor,
+            "merging Lp samplers requires equal exponents"
+        );
+        match self.flavor {
+            Flavor::Fractional => Self {
+                p: self.p,
+                flavor: self.flavor,
+                fractional: Some(
+                    self.fractional
+                        .unwrap()
+                        .merge(other.fractional.unwrap(), rng),
+                ),
+                heavy: None,
+            },
+            Flavor::MisraGries => Self {
+                p: self.p,
+                flavor: self.flavor,
+                fractional: None,
+                heavy: Some(self.heavy.unwrap().merge(other.heavy.unwrap(), rng)),
+            },
         }
     }
 }

@@ -1,0 +1,426 @@
+//! Scatter-gather sharding: parallel ingest across `k` sampler shards with
+//! query-time merging.
+//!
+//! The samplers in this workspace are one-pass and oblivious to how the
+//! stream is partitioned, so the single-core ingest ceiling is not a system
+//! ceiling: [`ShardedSampler`] routes updates across `k` independent shard
+//! instances, drives each shard's amortised batch path on its own
+//! `std::thread` worker during [`StreamSampler::update_batch`], and answers
+//! queries from a merged instance built through the shards'
+//! [`MergeableSampler`] implementation.
+//!
+//! ## Routing and exactness
+//!
+//! * [`ShardingStrategy::Hash`] (the default) routes every occurrence of an
+//!   item to the same shard. Merged suffix counts are then exact, so the
+//!   sharded sampler is **distributionally equivalent** to a single
+//!   instance over the interleaved stream for *every* measure `G` (and for
+//!   the `F_0` sampler, whose shards must share one seed so their pre-drawn
+//!   subsets coincide — see `TrulyPerfectF0Sampler`'s merge docs).
+//! * [`ShardingStrategy::RoundRobin`] balances load perfectly regardless of
+//!   skew but splits an item's occurrences across shards; it is exact for
+//!   constant-increment measures (`L_1`, where acceptance ignores suffix
+//!   counts) and an approximation otherwise.
+//!
+//! Queries clone and fold-merge the shards (`O(k · state)`); the intended
+//! regime is the streaming one where updates outnumber queries by orders of
+//! magnitude.
+
+use tps_random::Xoshiro256;
+use tps_streams::{Item, MergeableSampler, SampleOutcome, SpaceUsage, StreamSampler};
+
+/// How [`ShardedSampler`] routes updates to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardingStrategy {
+    /// Route by a fixed hash of the item: all occurrences of an item land
+    /// on one shard, making merged suffix counts — and therefore the merged
+    /// output distribution — exact for every measure.
+    Hash,
+    /// Route cyclically: perfect load balance under any skew, exact for
+    /// constant-increment measures only.
+    RoundRobin,
+}
+
+/// The splitmix64 finalizer: the same mixer the workspace's internal maps
+/// hash with, used here to assign items to shards.
+#[inline]
+fn mix(item: Item) -> u64 {
+    let mut z = item.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a mixed hash onto `[0, shards)` with Lemire's multiply-shift range
+/// reduction — one widening multiply instead of the 64-bit division a `%`
+/// would cost per scattered item. Scatter workers each pay this per item
+/// of their chunk, so it sits on the parallel critical path.
+#[inline]
+fn route(hash: u64, shards: usize) -> usize {
+    (((hash as u128) * (shards as u128)) >> 64) as usize
+}
+
+/// Batches smaller than this many items *per shard* are scattered and
+/// drained on the calling thread: below it, spawning `2k` scoped workers
+/// costs more than the routed work itself. The sequential path is
+/// chunking-equivalent to the parallel one (same routing, same per-shard
+/// order), so the cutoff is invisible to sampler semantics.
+const PARALLEL_MIN_PER_SHARD: usize = 4_096;
+
+/// A scatter-gather front-end over `k` shard instances of a mergeable
+/// sampler (see the module docs).
+#[derive(Debug, Clone)]
+pub struct ShardedSampler<S> {
+    shards: Vec<S>,
+    strategy: ShardingStrategy,
+    /// Round-robin cursor: the shard the next update is routed to.
+    cursor: usize,
+    /// `k × k` scatter buffers in row-major `[worker][shard]` order, reused
+    /// across batches: scatter worker `w` fills row `w`, ingest worker `j`
+    /// drains column `j` in row order (which preserves stream order, so the
+    /// engines' batch ≡ loop law applies per shard).
+    buffers: Vec<Vec<Item>>,
+    /// Coins for the query-time merge draws.
+    rng: Xoshiro256,
+    processed: u64,
+}
+
+impl<S: MergeableSampler + Clone + Send> ShardedSampler<S> {
+    /// Creates a sharded sampler with `shards` instances built by
+    /// `factory(shard_index)`. The factory decides seeding: independent
+    /// seeds for the reservoir samplers; one shared seed for `F_0` shards
+    /// (their merge requires identical pre-drawn subsets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(
+        shards: usize,
+        strategy: ShardingStrategy,
+        seed: u64,
+        mut factory: impl FnMut(usize) -> S,
+    ) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        Self {
+            shards: (0..shards).map(&mut factory).collect(),
+            strategy,
+            cursor: 0,
+            buffers: vec![Vec::new(); shards * shards],
+            rng: Xoshiro256::seed_from_u64(seed ^ 0x5AAD_ED00),
+            processed: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of updates processed across all shards.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// The routing strategy.
+    pub fn strategy(&self) -> ShardingStrategy {
+        self.strategy
+    }
+
+    /// Read access to one shard (diagnostics and tests).
+    pub fn shard(&self, idx: usize) -> &S {
+        &self.shards[idx]
+    }
+
+    /// The shard index an item is routed to under [`ShardingStrategy::Hash`].
+    #[inline]
+    pub fn hash_shard_of(&self, item: Item) -> usize {
+        route(mix(item), self.shards.len())
+    }
+
+    /// Builds a merged sampler answering for the combined stream of all
+    /// shards, by fold-merging clones (the shards keep ingesting
+    /// afterwards). Merge coins come from the front-end's own RNG, so
+    /// repeated queries draw independent merged states.
+    pub fn merged(&mut self) -> S {
+        let mut shards = self.shards.iter().cloned();
+        let mut merged = shards.next().expect("at least one shard");
+        for shard in shards {
+            merged = merged.merge(shard, &mut self.rng);
+        }
+        merged
+    }
+}
+
+/// Scatters one positional chunk into `k` per-shard buffers. `base` is the
+/// chunk's global offset within the batch (plus the round-robin cursor),
+/// so cyclic routing reproduces the per-item loop's assignment exactly.
+fn scatter_chunk(
+    chunk: &[Item],
+    buffers: &mut [Vec<Item>],
+    strategy: ShardingStrategy,
+    base: usize,
+) {
+    let k = buffers.len();
+    // Pre-size for a balanced split plus 50% skew headroom, so growth
+    // reallocations stay off the scatter path.
+    let hint = chunk.len() / k + chunk.len() / (2 * k) + 8;
+    for buffer in buffers.iter_mut() {
+        buffer.reserve(hint);
+    }
+    match strategy {
+        ShardingStrategy::Hash => {
+            for &item in chunk {
+                buffers[route(mix(item), k)].push(item);
+            }
+        }
+        ShardingStrategy::RoundRobin => {
+            for (offset, &item) in chunk.iter().enumerate() {
+                buffers[(base + offset) % k].push(item);
+            }
+        }
+    }
+}
+
+impl<S: MergeableSampler + Clone + Send> StreamSampler for ShardedSampler<S> {
+    fn update(&mut self, item: Item) {
+        self.processed += 1;
+        let shard = match self.strategy {
+            ShardingStrategy::Hash => self.hash_shard_of(item),
+            ShardingStrategy::RoundRobin => {
+                let shard = self.cursor;
+                self.cursor = (self.cursor + 1) % self.shards.len();
+                shard
+            }
+        };
+        self.shards[shard].update(item);
+    }
+
+    /// The two-phase parallel ingest path.
+    ///
+    /// **Phase 1 (parallel scatter):** the batch is cut into `k` positional
+    /// chunks; worker `w` partitions chunk `w` into `k` per-shard buffers
+    /// (row `w` of the `k × k` buffer matrix). No sequential scatter pass
+    /// remains on the critical path — with enough cores it costs one
+    /// `1/k`-sized scan instead of a full one.
+    ///
+    /// **Phase 2 (parallel ingest):** worker `j` drains column `j` — the
+    /// sub-batches destined for shard `j`, in chunk order, which is stream
+    /// order — through shard `j`'s amortised `update_batch`.
+    ///
+    /// Routing is deterministic (hash of the item, or the round-robin
+    /// cursor plus the item's position) and each shard owns a private RNG,
+    /// and the engines' batch ≡ loop law makes multi-slice draining
+    /// chunking-invariant — so sharded batch ingestion ≡ sharded per-item
+    /// ingestion regardless of thread scheduling. Batches too small to
+    /// amortise thread spawns ([`PARALLEL_MIN_PER_SHARD`] items per shard)
+    /// take an equivalent scatter-and-drain path on the calling thread.
+    fn update_batch(&mut self, items: &[Item]) {
+        self.processed += items.len() as u64;
+        if items.is_empty() {
+            return;
+        }
+        let k = self.shards.len();
+        if k == 1 {
+            self.shards[0].update_batch(items);
+            return;
+        }
+        for buffer in &mut self.buffers {
+            buffer.clear();
+        }
+        let cursor = self.cursor;
+        let strategy = self.strategy;
+        if items.len() < k * PARALLEL_MIN_PER_SHARD {
+            scatter_chunk(items, &mut self.buffers[..k], strategy, cursor);
+            if strategy == ShardingStrategy::RoundRobin {
+                self.cursor = (cursor + items.len()) % k;
+            }
+            for (shard, buffer) in self.shards.iter_mut().zip(&self.buffers) {
+                if !buffer.is_empty() {
+                    shard.update_batch(buffer);
+                }
+            }
+            return;
+        }
+        let chunk_len = items.len().div_ceil(k);
+        std::thread::scope(|scope| {
+            for (w, (chunk, row)) in items
+                .chunks(chunk_len)
+                .zip(self.buffers.chunks_mut(k))
+                .enumerate()
+            {
+                scope.spawn(move || scatter_chunk(chunk, row, strategy, cursor + w * chunk_len));
+            }
+        });
+        if strategy == ShardingStrategy::RoundRobin {
+            self.cursor = (cursor + items.len()) % k;
+        }
+        let buffers = &self.buffers;
+        std::thread::scope(|scope| {
+            for (j, shard) in self.shards.iter_mut().enumerate() {
+                scope.spawn(move || {
+                    for row in 0..k {
+                        let buffer = &buffers[row * k + j];
+                        if !buffer.is_empty() {
+                            shard.update_batch(buffer);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// Merges the shards and queries the merged instance.
+    fn sample(&mut self) -> SampleOutcome {
+        self.merged().sample()
+    }
+}
+
+impl<S: SpaceUsage> SpaceUsage for ShardedSampler<S> {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .shards
+                .iter()
+                .map(SpaceUsage::space_bytes)
+                .sum::<usize>()
+            + self
+                .buffers
+                .iter()
+                .map(|b| b.capacity() * std::mem::size_of::<Item>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp::TrulyPerfectLpSampler;
+
+    fn zipfish_stream(len: usize, universe: u64) -> Vec<Item> {
+        (0..len as u64)
+            .map(|i| {
+                let z = mix(i);
+                if z.is_multiple_of(3) {
+                    z % 5
+                } else {
+                    z % universe
+                }
+            })
+            .collect()
+    }
+
+    fn sharded_l2(
+        shards: usize,
+        strategy: ShardingStrategy,
+        seed: u64,
+    ) -> ShardedSampler<TrulyPerfectLpSampler> {
+        ShardedSampler::new(shards, strategy, seed, |idx| {
+            TrulyPerfectLpSampler::new(2.0, 512, 0.1, seed ^ ((idx as u64) << 32))
+        })
+    }
+
+    #[test]
+    fn hash_routing_keeps_items_on_one_shard() {
+        let mut sharded = sharded_l2(4, ShardingStrategy::Hash, 1);
+        let stream = zipfish_stream(5_000, 97);
+        sharded.update_batch(&stream);
+        assert_eq!(sharded.processed(), 5_000);
+        // Every item's full frequency must sit on its hash shard.
+        let per_shard: Vec<u64> = (0..4).map(|j| sharded.shard(j).processed()).collect();
+        assert_eq!(per_shard.iter().sum::<u64>(), 5_000);
+        let mut expected = vec![0u64; 4];
+        for &item in &stream {
+            expected[sharded.hash_shard_of(item)] += 1;
+        }
+        assert_eq!(per_shard, expected);
+    }
+
+    /// Sharded batch ≡ sharded loop: deterministic routing plus per-shard
+    /// batch ≡ loop gives identical states, checked by comparing sample
+    /// draws (which also compares the query RNG position).
+    #[test]
+    fn sharded_batch_equals_sharded_loop() {
+        for strategy in [ShardingStrategy::Hash, ShardingStrategy::RoundRobin] {
+            let stream = zipfish_stream(3_000, 61);
+            let mut looped = sharded_l2(3, strategy, 7);
+            for &x in &stream {
+                looped.update(x);
+            }
+            let mut batched = sharded_l2(3, strategy, 7);
+            for chunk in stream.chunks(271) {
+                batched.update_batch(chunk);
+            }
+            for draw in 0..6 {
+                assert_eq!(
+                    looped.sample(),
+                    batched.sample(),
+                    "{strategy:?} diverged at draw {draw}"
+                );
+            }
+        }
+    }
+
+    /// The threaded path (one whole-stream batch above the per-shard
+    /// parallelism cutoff) and the sequential small-batch path (many
+    /// chunks below it) leave identical states — same shard contents, same
+    /// query RNG position — for both routing strategies.
+    #[test]
+    fn parallel_path_equals_sequential_path_and_loop() {
+        let len = 3 * PARALLEL_MIN_PER_SHARD + 1_234;
+        let stream = zipfish_stream(len, 61);
+        assert!(len >= 3 * PARALLEL_MIN_PER_SHARD, "must cross the cutoff");
+        for strategy in [ShardingStrategy::Hash, ShardingStrategy::RoundRobin] {
+            let mut parallel = sharded_l2(3, strategy, 21);
+            parallel.update_batch(&stream);
+            let mut sequential = sharded_l2(3, strategy, 21);
+            for piece in stream.chunks(501) {
+                sequential.update_batch(piece);
+            }
+            let mut looped = sharded_l2(3, strategy, 21);
+            for &x in &stream {
+                looped.update(x);
+            }
+            for draw in 0..6 {
+                let expected = looped.sample();
+                assert_eq!(
+                    expected,
+                    parallel.sample(),
+                    "{strategy:?} parallel path diverged at draw {draw}"
+                );
+                assert_eq!(
+                    expected,
+                    sequential.sample(),
+                    "{strategy:?} sequential path diverged at draw {draw}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_balances_exactly() {
+        let mut sharded = sharded_l2(4, ShardingStrategy::RoundRobin, 3);
+        sharded.update_batch(&zipfish_stream(1_000, 13));
+        for j in 0..4 {
+            assert_eq!(sharded.shard(j).processed(), 250);
+        }
+    }
+
+    #[test]
+    fn empty_sharded_sampler_reports_empty() {
+        let mut sharded = sharded_l2(4, ShardingStrategy::Hash, 9);
+        assert_eq!(sharded.sample(), SampleOutcome::Empty);
+    }
+
+    #[test]
+    fn merged_seen_covers_the_whole_stream() {
+        let mut sharded = sharded_l2(5, ShardingStrategy::Hash, 11);
+        sharded.update_batch(&zipfish_stream(4_321, 37));
+        assert_eq!(sharded.merged().processed(), 4_321);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = sharded_l2(0, ShardingStrategy::Hash, 1);
+    }
+}

@@ -133,6 +133,47 @@ impl CohortManager {
         }
     }
 
+    /// Merges two lockstep cohort managers (equal window, per-cohort unit
+    /// count and clock) cohort by cohort: the cohorts are positionally
+    /// aligned because both managers birthed them at the same epoch
+    /// boundaries, so each pair of engines merges through the shared-clock
+    /// [`SkipAheadEngine::merge_lockstep`] path — admission positions name
+    /// the same global ticks on both sides and are preserved verbatim, so
+    /// the activity filter keeps working on the merged cohorts.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless windows, unit counts and clocks are all equal.
+    fn merge(mut self, mut other: Self) -> Self {
+        assert_eq!(
+            self.window.width, other.window.width,
+            "merging sliding samplers requires equal windows"
+        );
+        assert_eq!(
+            self.per_cohort, other.per_cohort,
+            "merging sliding samplers requires equal per-cohort unit counts"
+        );
+        assert_eq!(
+            self.time, other.time,
+            "merging sliding samplers requires lockstep clocks"
+        );
+        let mine = std::mem::take(&mut self.cohorts);
+        let theirs = std::mem::take(&mut other.cohorts);
+        assert_eq!(mine.len(), theirs.len());
+        self.cohorts = mine
+            .into_iter()
+            .zip(theirs)
+            .map(|(a, b)| {
+                assert_eq!(a.start, b.start, "cohort epochs diverged");
+                Cohort {
+                    start: a.start,
+                    engine: a.engine.merge_lockstep(b.engine, &mut self.rng),
+                }
+            })
+            .collect();
+        self
+    }
+
     /// The cohort that has seen every active update: the most recent cohort
     /// whose start is at or before the window start.
     fn covering_cohort(&self) -> Option<&Cohort> {
@@ -214,6 +255,34 @@ impl<G: MeasureFn> SlidingWindowGSampler<G> {
     /// Number of sampler units per cohort.
     pub fn units_per_cohort(&self) -> usize {
         self.manager.per_cohort
+    }
+
+    /// Merges two lockstep shard samplers (equal window, unit count and
+    /// clock) into one that samples the **union** of the two active
+    /// windows: cohorts merge pairwise through the shared-clock engine
+    /// merge, so each merged unit holds a uniform one of the combined
+    /// update instances with its original global timestamp, and the usual
+    /// activity filter plus telescoping rejection apply at query time.
+    ///
+    /// The model is *parallel streams on one clock* (e.g. per-link network
+    /// feeds sampled jointly): each shard observes its own updates tick for
+    /// tick. Exactness needs item-disjoint shards (all occurrences of an
+    /// item on one side, so suffix counts stay exact); constant-increment
+    /// measures are exact regardless. The merged sampler is a query-time
+    /// snapshot — keep feeding the shards and re-merge for later queries.
+    /// The `L_p` sliding sampler is deliberately *not* mergeable: its
+    /// rejection normaliser comes from a randomized smooth-histogram
+    /// estimate whose checkpoints cannot be combined without breaking the
+    /// certainty analysis; shard the bounded-increment sampler instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless windows, unit counts and clocks are all equal.
+    pub fn merge(self, other: Self) -> Self {
+        Self {
+            g: self.g,
+            manager: self.manager.merge(other.manager),
+        }
     }
 }
 

@@ -10,7 +10,7 @@
 
 use tps_random::{KWiseHash, StreamRng};
 use tps_streams::space::vec_bytes;
-use tps_streams::{Item, SpaceUsage};
+use tps_streams::{Item, MergeableSummary, SpaceUsage};
 
 /// A CountMin sketch over unit insertions.
 #[derive(Debug, Clone)]
@@ -102,6 +102,12 @@ impl CountMin {
             .unwrap_or(0)
     }
 
+    /// The raw counter table in row-major order (row `r`, column `c` at
+    /// `r * cols + c`) — exposed so merge laws can assert byte equality.
+    pub fn table(&self) -> &[u64] {
+        &self.table
+    }
+
     /// An upper bound on `‖f‖_∞` derived from the sketch: the maximum point
     /// estimate over a caller-provided candidate set, or the total mass if
     /// the candidate set is empty. Correct only when the candidate set
@@ -116,6 +122,33 @@ impl CountMin {
             .map(|&i| self.estimate(i))
             .max()
             .unwrap_or(0)
+    }
+}
+
+/// Exact merge: two sketches sharing their hash functions (built from the
+/// same RNG seed) are sums of per-update contributions, so adding the
+/// tables cell-wise yields **byte-for-byte** the sketch of the
+/// concatenated stream.
+///
+/// # Panics
+///
+/// Panics if the dimensions or hash functions differ.
+impl MergeableSummary for CountMin {
+    fn merge(mut self, other: Self) -> Self {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "merging CountMin sketches requires equal dimensions"
+        );
+        assert_eq!(
+            self.hashes, other.hashes,
+            "merging CountMin sketches requires identical hash functions (same seed)"
+        );
+        for (cell, add) in self.table.iter_mut().zip(&other.table) {
+            *cell += add;
+        }
+        self.processed += other.processed;
+        self
     }
 }
 

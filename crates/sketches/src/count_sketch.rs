@@ -8,7 +8,7 @@
 
 use tps_random::{KWiseHash, StreamRng};
 use tps_streams::space::vec_bytes;
-use tps_streams::{Item, SpaceUsage};
+use tps_streams::{Item, MergeableSummary, SpaceUsage};
 
 /// A CountSketch over signed updates.
 #[derive(Debug, Clone)]
@@ -81,6 +81,12 @@ impl CountSketch {
         row_estimates[self.rows / 2]
     }
 
+    /// The raw signed counter table in row-major order — exposed so merge
+    /// laws can assert byte equality.
+    pub fn table(&self) -> &[i64] {
+        &self.table
+    }
+
     /// Returns the candidate from `candidates` with the largest estimated
     /// absolute frequency, if any.
     pub fn argmax(&self, candidates: &[Item]) -> Option<Item> {
@@ -88,6 +94,32 @@ impl CountSketch {
             .iter()
             .copied()
             .max_by_key(|&i| self.estimate(i).unsigned_abs())
+    }
+}
+
+/// Exact merge: with identical (same-seed) hash functions the signed table
+/// is a sum of per-update contributions, so cell-wise addition yields
+/// **byte-for-byte** the sketch of the concatenated stream.
+///
+/// # Panics
+///
+/// Panics if the dimensions or hash functions differ.
+impl MergeableSummary for CountSketch {
+    fn merge(mut self, other: Self) -> Self {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "merging CountSketch sketches requires equal dimensions"
+        );
+        assert_eq!(
+            (&self.bucket_hashes, &self.sign_hashes),
+            (&other.bucket_hashes, &other.sign_hashes),
+            "merging CountSketch sketches requires identical hash functions (same seed)"
+        );
+        for (cell, add) in self.table.iter_mut().zip(&other.table) {
+            *cell += add;
+        }
+        self
     }
 }
 

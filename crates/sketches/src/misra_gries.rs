@@ -14,7 +14,7 @@
 //! `p ∈ [1, 2]` without introducing any failure probability.
 
 use tps_streams::space::hashmap_bytes;
-use tps_streams::{FastHashMap, Item, SpaceUsage};
+use tps_streams::{FastHashMap, Item, MergeableSummary, SpaceUsage};
 
 /// The Misra–Gries heavy-hitter summary.
 #[derive(Debug, Clone)]
@@ -159,6 +159,47 @@ impl MisraGries {
             .filter(|&(_, &c)| c + err >= threshold)
             .map(|(&i, _)| i)
             .collect()
+    }
+}
+
+/// The Agarwal et al. *mergeable summaries* merge: counters are summed,
+/// and if more than `capacity` survive, the `(capacity + 1)`-th largest
+/// counter value is subtracted from every counter (each such subtraction
+/// cancels one occurrence of `capacity + 1` distinct items, exactly like a
+/// sequential decrement round). The merged summary keeps the full
+/// deterministic guarantee over the concatenated stream:
+/// `f_i − m/(capacity+1) ≤ f̂_i ≤ f_i` with `m` the combined length.
+///
+/// When the two summaries never decremented and their tracked sets fit in
+/// `capacity` counters together (e.g. item-disjoint shards with enough
+/// counters), the merged state is byte-identical to sequential ingestion of
+/// the concatenated stream.
+///
+/// # Panics
+///
+/// Panics if the capacities differ.
+impl MergeableSummary for MisraGries {
+    fn merge(mut self, other: Self) -> Self {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "merging Misra-Gries summaries requires equal capacities"
+        );
+        self.processed += other.processed;
+        self.decrements += other.decrements;
+        for (item, count) in other.counters {
+            *self.counters.entry(item).or_insert(0) += count;
+        }
+        if self.counters.len() > self.capacity {
+            let mut values: Vec<u64> = self.counters.values().copied().collect();
+            values.sort_unstable_by(|a, b| b.cmp(a));
+            let cut = values[self.capacity];
+            self.decrements += cut;
+            self.counters.retain(|_, c| {
+                *c = c.saturating_sub(cut);
+                *c > 0
+            });
+        }
+        self
     }
 }
 

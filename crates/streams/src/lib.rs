@@ -6,6 +6,8 @@
 //! (PODS 2022) assume about their input but do not themselves implement:
 //!
 //! * the update types and stream-model traits ([`update`], [`model`]),
+//! * the mergeability contracts behind the sharded scatter-gather
+//!   front-end ([`merge`]),
 //! * exact frequency vectors and the *target* sampling distributions that a
 //!   truly perfect sampler must hit exactly ([`frequency`]),
 //! * the measure functions `G` (Lp moments, M-estimators, concave functions)
@@ -27,6 +29,7 @@ pub mod fasthash;
 pub mod frequency;
 pub mod generators;
 pub mod measure;
+pub mod merge;
 pub mod model;
 pub mod space;
 pub mod stats;
@@ -36,6 +39,7 @@ pub use batch::{aggregate_in_order, count_multiplicities, for_each_run};
 pub use fasthash::{FastHashMap, FastHashSet};
 pub use frequency::FrequencyVector;
 pub use measure::{CappedCount, ConcaveLog, Fair, Huber, Lp, MeasureFn, Tukey, L1L2};
+pub use merge::{MergeableSampler, MergeableSummary};
 pub use model::{
     Estimator, MatrixSampler, SampleOutcome, SlidingWindowSampler, StreamSampler, TurnstileSampler,
 };

@@ -1,0 +1,74 @@
+//! Mergeability contracts for samplers and summaries.
+//!
+//! The paper's samplers are one-pass and oblivious to how the stream is
+//! partitioned, which makes them natural candidates for scatter-gather
+//! sharding: split the stream across `k` independent instances, ingest the
+//! shards in parallel, and answer queries from a *merged* instance. Two
+//! different merge strengths appear in this workspace and the traits here
+//! name them:
+//!
+//! * [`MergeableSummary`] — **exactly** mergeable: the merged summary's
+//!   guarantees are those the summary would offer over the concatenated
+//!   stream (for same-seed CountMin / CountSketch the merged *state* is
+//!   byte-identical to sequential ingestion; for Misra–Gries / SpaceSaving
+//!   the deterministic error bounds compose additively). Merging is pure
+//!   counter arithmetic and consumes no randomness.
+//! * [`MergeableSampler`] — **distributionally** mergeable: the merged
+//!   sampler's output distribution equals the distribution a single
+//!   instance would have had over the combined stream. Merging draws a
+//!   random combined state (e.g. reservoir slots drawn from the two inputs
+//!   weighted by how many updates each admitted), so it needs an RNG.
+//!
+//! ## Which partitionings are exact
+//!
+//! A merged timestamp-based sampler reconstructs suffix counts from its two
+//! inputs, and an input can only count occurrences *it saw*. Consequently:
+//!
+//! * **Hash partitioning** (every occurrence of an item routed to the same
+//!   shard) is distributionally exact for *every* measure `G`: each shard
+//!   owns its items' full frequencies, so merged suffix counts are exact.
+//! * **Round-robin / arbitrary partitioning** is exact for
+//!   constant-increment measures (`L_1`: acceptance is independent of the
+//!   suffix count) and an approximation otherwise, because occurrences of a
+//!   slot's item that landed on *other* shards are missing from its suffix
+//!   count.
+//!
+//! `ShardedSampler` in `tps-core` builds the scatter-gather front-end on
+//! top of these traits.
+
+use crate::model::StreamSampler;
+use tps_random::StreamRng;
+
+/// A stream sampler whose instances can be merged into one that answers for
+/// the combined stream.
+///
+/// Implementations must document their merge semantics precisely; the
+/// contract is *concatenation*: `a.merge(b, rng)` behaves as a sampler that
+/// processed `a`'s stream followed by `b`'s. Under item-disjoint (hash)
+/// partitioning this makes `k`-shard ingest + merge distributionally
+/// equivalent to sequential ingest of the interleaved stream
+/// (`tests/properties.rs` enforces this merge law).
+pub trait MergeableSampler: StreamSampler + Sized {
+    /// Merges `other` into `self`, returning a sampler for the combined
+    /// stream. `rng` supplies the coins of the randomized combined-state
+    /// draw (implementations that need none ignore it).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when the two instances are structurally
+    /// incompatible (different instance counts, universes, exponents, …).
+    fn merge(self, other: Self, rng: &mut dyn StreamRng) -> Self;
+}
+
+/// A deterministic or randomized stream summary whose instances merge by
+/// counter arithmetic, preserving the summary's guarantees over the
+/// concatenated stream.
+pub trait MergeableSummary: Sized {
+    /// Merges `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when the two instances are structurally
+    /// incompatible (different dimensions, capacities, or hash functions).
+    fn merge(self, other: Self) -> Self;
+}

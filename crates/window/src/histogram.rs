@@ -13,6 +13,8 @@
 //!    for a polynomially bounded monotone function caps the number of
 //!    instances at `O((log W)/β)`.
 
+use std::collections::VecDeque;
+
 use tps_streams::{Estimator, Item, SpaceUsage, Timestamp};
 
 /// A factory producing fresh estimator instances, one per checkpoint.
@@ -42,12 +44,21 @@ struct Checkpoint<E> {
 }
 
 /// A smooth histogram over a monotone non-negative statistic of the window.
+///
+/// Checkpoints live in a [`VecDeque`]: the expiry rule discards from the
+/// *front* (oldest first), and `Vec::remove(0)` there made a worst-case
+/// update `O(s²)` in the checkpoint count `s`. Front pops are `O(1)` on a
+/// deque, and the compaction rule's mid-removals (near the front, where
+/// redundant checkpoints cluster) are `O(distance from the nearer end)`.
+/// The pruning *decisions* are index-for-index identical to the historical
+/// `Vec` implementation, so checkpoint sequences are unchanged (pinned by
+/// the test below and re-confirmed against the F1 experiment).
 #[derive(Debug)]
 pub struct SmoothHistogram<F: EstimatorFactory> {
     window: u64,
     beta: f64,
     factory: F,
-    checkpoints: Vec<Checkpoint<F::Output>>,
+    checkpoints: VecDeque<Checkpoint<F::Output>>,
     time: Timestamp,
 }
 
@@ -65,7 +76,7 @@ impl<F: EstimatorFactory> SmoothHistogram<F> {
             window,
             beta,
             factory,
-            checkpoints: Vec::new(),
+            checkpoints: VecDeque::new(),
             time: 0,
         }
     }
@@ -95,7 +106,7 @@ impl<F: EstimatorFactory> SmoothHistogram<F> {
         self.time += 1;
         // Start a new instance at this position.
         let estimator = self.factory.create();
-        self.checkpoints.push(Checkpoint {
+        self.checkpoints.push_back(Checkpoint {
             start: self.time,
             estimator,
         });
@@ -122,10 +133,10 @@ impl<F: EstimatorFactory> SmoothHistogram<F> {
             }
         }
         // Rule 2: keep at most one expired checkpoint (x_1 may be expired,
-        // x_2 must be active).
+        // x_2 must be active). Front pops are O(1) on the deque.
         let window_start = self.earliest_active();
         while self.checkpoints.len() >= 2 && self.checkpoints[1].start < window_start {
-            self.checkpoints.remove(0);
+            self.checkpoints.pop_front();
         }
     }
 
@@ -139,7 +150,7 @@ impl<F: EstimatorFactory> SmoothHistogram<F> {
     /// Returns 0 for an empty stream.
     pub fn over_estimate(&self) -> f64 {
         self.checkpoints
-            .first()
+            .front()
             .map(|c| c.estimator.estimate())
             .unwrap_or(0.0)
     }
@@ -307,5 +318,63 @@ mod tests {
     #[should_panic(expected = "beta must be in (0,1)")]
     fn invalid_beta_panics() {
         let _ = SmoothHistogram::new(10, 1.5, CountEstimator::default);
+    }
+
+    /// The `VecDeque` checkpoint store must produce exactly the checkpoint
+    /// sequence the historical `Vec` implementation produced, at every
+    /// step. The reference below replays that implementation verbatim
+    /// (`remove(0)` expiry, `remove(i + 1)` compaction) on plain counts.
+    #[test]
+    fn deque_checkpoints_match_vec_reference_sequence() {
+        struct Reference {
+            window: u64,
+            beta: f64,
+            /// (start, count) pairs — a `CountEstimator` per checkpoint.
+            checkpoints: Vec<(Timestamp, u64)>,
+            time: Timestamp,
+        }
+        impl Reference {
+            fn update(&mut self) {
+                self.time += 1;
+                self.checkpoints.push((self.time, 0));
+                for cp in &mut self.checkpoints {
+                    cp.1 += 1;
+                }
+                let mut i = 0;
+                while i + 2 < self.checkpoints.len() {
+                    let outer = self.checkpoints[i].1 as f64;
+                    let skip_to = self.checkpoints[i + 2].1 as f64;
+                    if skip_to >= (1.0 - self.beta) * outer && outer > 0.0 {
+                        self.checkpoints.remove(i + 1);
+                    } else {
+                        i += 1;
+                    }
+                }
+                let window_start = (self.time + 1).saturating_sub(self.window).max(1);
+                while self.checkpoints.len() >= 2 && self.checkpoints[1].0 < window_start {
+                    self.checkpoints.remove(0);
+                }
+            }
+        }
+        for (window, beta) in [(50u64, 0.2f64), (500, 0.1), (1_000, 0.35)] {
+            let mut hist = SmoothHistogram::new(window, beta, CountEstimator::default);
+            let mut reference = Reference {
+                window,
+                beta,
+                checkpoints: Vec::new(),
+                time: 0,
+            };
+            for t in 0..(4 * window) {
+                hist.update(t % 13);
+                reference.update();
+                let expected: Vec<Timestamp> =
+                    reference.checkpoints.iter().map(|&(s, _)| s).collect();
+                assert_eq!(
+                    hist.checkpoint_starts(),
+                    expected,
+                    "checkpoint sequence diverged at t={t} (W={window}, beta={beta})"
+                );
+            }
+        }
     }
 }

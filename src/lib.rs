@@ -27,5 +27,8 @@ pub use tps_streams as streams;
 pub use tps_window as window;
 
 pub use tps_core::lp::TrulyPerfectLpSampler;
-pub use tps_core::TrulyPerfectGSampler;
-pub use tps_streams::{SampleOutcome, SlidingWindowSampler, StreamSampler, TurnstileSampler};
+pub use tps_core::{ShardedSampler, ShardingStrategy, TrulyPerfectGSampler};
+pub use tps_streams::{
+    MergeableSampler, MergeableSummary, SampleOutcome, SlidingWindowSampler, StreamSampler,
+    TurnstileSampler,
+};

@@ -6,16 +6,17 @@ use proptest::test_runner::TestCaseError;
 use tps_core::f0::TrulyPerfectF0Sampler;
 use tps_core::framework::{MisraGriesNormalizer, RejectionNormalizer};
 use tps_core::lp::TrulyPerfectLpSampler;
+use tps_core::sharded::{ShardedSampler, ShardingStrategy};
 use tps_core::sliding::{SlidingWindowGSampler, SlidingWindowLpSampler};
 use tps_core::turnstile::MultiPassL1Sampler;
 use tps_random::default_rng;
 use tps_sketches::{CountMin, CountSketch, MisraGries, SpaceSaving, SparseRecovery};
 use tps_streams::frequency::FrequencyVector;
-use tps_streams::stats::{fit_power_law, tv_distance};
+use tps_streams::stats::{fit_power_law, tv_distance, SampleHistogram};
 use tps_streams::update::WindowSpec;
 use tps_streams::{
-    CappedCount, ConcaveLog, Fair, Huber, Item, Lp, MeasureFn, SampleOutcome, SignedUpdate,
-    SlidingWindowSampler, StreamSampler, Tukey, L1L2,
+    CappedCount, ConcaveLog, Fair, Huber, Item, Lp, MeasureFn, MergeableSampler, MergeableSummary,
+    SampleOutcome, SignedUpdate, SlidingWindowSampler, StreamSampler, Tukey, L1L2,
 };
 
 /// Asserts the batch ≡ loop law for one `StreamSampler`: feeding a stream
@@ -401,6 +402,187 @@ proptest! {
         }
     }
 
+    /// Exact-sketch merge law: same-seed CountMin / CountSketch instances
+    /// fed the two halves of a stream and merged are **byte-identical** to
+    /// one instance fed the concatenated stream (tables, processed counts,
+    /// and therefore every estimate).
+    #[test]
+    fn countmin_countsketch_merge_equals_concatenated_stream(
+        stream_a in small_stream(),
+        stream_b in small_stream(),
+        seed in any::<u64>(),
+    ) {
+        let concat: Vec<Item> = stream_a.iter().chain(&stream_b).copied().collect();
+        {
+            let mut half_a = CountMin::new(&mut default_rng(seed), 4, 32);
+            let mut half_b = CountMin::new(&mut default_rng(seed), 4, 32);
+            let mut sequential = CountMin::new(&mut default_rng(seed), 4, 32);
+            half_a.update_batch(&stream_a);
+            half_b.update_batch(&stream_b);
+            sequential.update_batch(&concat);
+            let merged = MergeableSummary::merge(half_a, half_b);
+            prop_assert_eq!(merged.table(), sequential.table());
+            prop_assert_eq!(merged.processed(), sequential.processed());
+        }
+        {
+            let mut half_a = CountSketch::new(&mut default_rng(seed), 5, 32);
+            let mut half_b = CountSketch::new(&mut default_rng(seed), 5, 32);
+            let mut sequential = CountSketch::new(&mut default_rng(seed), 5, 32);
+            half_a.insert_batch(&stream_a);
+            half_b.insert_batch(&stream_b);
+            sequential.insert_batch(&concat);
+            let merged = MergeableSummary::merge(half_a, half_b);
+            prop_assert_eq!(merged.table(), sequential.table());
+        }
+    }
+
+    /// Misra–Gries merge law. Byte-level part: on item-disjoint shards with
+    /// enough counters for the union (no decrements anywhere), the merged
+    /// summary equals sequential ingestion of the concatenated stream
+    /// exactly. Guarantee-level part: for *any* capacity the merged summary
+    /// keeps the deterministic two-sided bounds over the concatenated
+    /// stream (the Agarwal et al. mergeability result).
+    #[test]
+    fn misra_gries_merge_law(
+        stream_a in small_stream(),
+        stream_b in small_stream(),
+        capacity in 1usize..40,
+    ) {
+        // Disjoint relabeling: evens from A, odds from B.
+        let disjoint_a: Vec<Item> = stream_a.iter().map(|&x| 2 * x).collect();
+        let disjoint_b: Vec<Item> = stream_b.iter().map(|&x| 2 * x + 1).collect();
+        let concat: Vec<Item> = disjoint_a.iter().chain(&disjoint_b).copied().collect();
+        let union_distinct = FrequencyVector::from_stream(&concat).f0() as usize;
+        {
+            // Byte-equality regime: capacity covers the union.
+            let roomy = union_distinct.max(1);
+            let mut half_a = MisraGries::new(roomy);
+            let mut half_b = MisraGries::new(roomy);
+            let mut sequential = MisraGries::new(roomy);
+            half_a.update_batch(&disjoint_a);
+            half_b.update_batch(&disjoint_b);
+            sequential.update_batch(&concat);
+            let merged = MergeableSummary::merge(half_a, half_b);
+            prop_assert_eq!(merged.processed(), sequential.processed());
+            prop_assert_eq!(merged.heavy_hitters(), sequential.heavy_hitters());
+            prop_assert_eq!(merged.error_bound(), sequential.error_bound());
+        }
+        {
+            // Guarantee regime: arbitrary capacity, overlapping items.
+            let mut half_a = MisraGries::new(capacity);
+            let mut half_b = MisraGries::new(capacity);
+            half_a.update_batch(&stream_a);
+            half_b.update_batch(&stream_b);
+            let merged = MergeableSummary::merge(half_a, half_b);
+            let both: Vec<Item> = stream_a.iter().chain(&stream_b).copied().collect();
+            let truth = FrequencyVector::from_stream(&both);
+            prop_assert_eq!(merged.processed(), both.len() as u64);
+            let err = merged.error_bound();
+            for (item, freq) in truth.iter() {
+                let est = merged.estimate(item);
+                prop_assert!(est <= freq as u64, "merged MG must underestimate");
+                prop_assert!(est + err >= freq as u64, "merged MG bound violated");
+            }
+            prop_assert!(merged.max_frequency_upper_bound() >= truth.l_inf());
+        }
+    }
+
+    /// SpaceSaving merge keeps the overestimate-within-error guarantee over
+    /// the concatenated stream for arbitrary capacities and overlap.
+    #[test]
+    fn space_saving_merge_guarantees(
+        stream_a in small_stream(),
+        stream_b in small_stream(),
+        capacity in 1usize..40,
+    ) {
+        let mut half_a = SpaceSaving::new(capacity);
+        let mut half_b = SpaceSaving::new(capacity);
+        for &x in &stream_a {
+            half_a.update(x);
+        }
+        for &x in &stream_b {
+            half_b.update(x);
+        }
+        let merged = MergeableSummary::merge(half_a, half_b);
+        let both: Vec<Item> = stream_a.iter().chain(&stream_b).copied().collect();
+        let truth = FrequencyVector::from_stream(&both);
+        let err = merged.error_bound();
+        for (item, freq) in truth.iter() {
+            let est = merged.estimate(item);
+            prop_assert!(est >= freq as u64 || est >= err);
+            prop_assert!(est <= freq as u64 + err);
+        }
+        prop_assert!(merged.max_frequency_upper_bound() >= truth.l_inf());
+    }
+
+    /// F0 merge law: same-seed shards over item-disjoint streams merge into
+    /// exactly the sampler state sequential ingestion of the concatenated
+    /// stream produces — same support bookkeeping, same exact frequencies,
+    /// and the same RNG position, so every subsequent draw agrees.
+    #[test]
+    fn f0_merge_equals_concatenated_stream(
+        stream_a in small_stream(),
+        stream_b in small_stream(),
+        seed in any::<u64>(),
+    ) {
+        let disjoint_a: Vec<Item> = stream_a.iter().map(|&x| 2 * x).collect();
+        let disjoint_b: Vec<Item> = stream_b.iter().map(|&x| 2 * x + 1).collect();
+        let mut half_a = TrulyPerfectF0Sampler::new(4_096, 0.1, seed);
+        let mut half_b = TrulyPerfectF0Sampler::new(4_096, 0.1, seed);
+        let mut sequential = TrulyPerfectF0Sampler::new(4_096, 0.1, seed);
+        half_a.update_batch(&disjoint_a);
+        half_b.update_batch(&disjoint_b);
+        let concat: Vec<Item> = disjoint_a.iter().chain(&disjoint_b).copied().collect();
+        sequential.update_batch(&concat);
+        let mut coins = default_rng(seed ^ 0xC01);
+        let mut merged = half_a.merge(half_b, &mut coins);
+        prop_assert_eq!(merged.processed(), sequential.processed());
+        prop_assert_eq!(merged.overflowed(), sequential.overflowed());
+        for draw in 0..8 {
+            prop_assert_eq!(
+                merged.sample_with_frequency(),
+                sequential.sample_with_frequency(),
+                "draw {} diverged",
+                draw
+            );
+        }
+    }
+
+    /// The sharded front-end obeys batch ≡ loop for both routing
+    /// strategies and arbitrary chunkings: same shard states, same query
+    /// RNG position, so repeated samples agree draw for draw.
+    #[test]
+    fn sharded_batch_equals_loop(
+        stream in small_stream(),
+        seed in any::<u64>(),
+        chunk in 1usize..400,
+    ) {
+        for strategy in [ShardingStrategy::Hash, ShardingStrategy::RoundRobin] {
+            let build = || {
+                ShardedSampler::new(3, strategy, seed, |idx| {
+                    TrulyPerfectLpSampler::new(2.0, 128, 0.1, seed ^ ((idx as u64) << 32))
+                })
+            };
+            let mut looped = build();
+            for &x in &stream {
+                looped.update(x);
+            }
+            let mut batched = build();
+            for piece in stream.chunks(chunk) {
+                batched.update_batch(piece);
+            }
+            for draw in 0..4 {
+                prop_assert_eq!(
+                    looped.sample(),
+                    batched.sample(),
+                    "{:?} diverged at draw {}",
+                    strategy,
+                    draw
+                );
+            }
+        }
+    }
+
     /// Power-law fitting recovers planted exponents (used to validate the
     /// scaling experiments' methodology).
     #[test]
@@ -413,4 +595,200 @@ proptest! {
         let fitted = fit_power_law(&points);
         prop_assert!((fitted - exponent).abs() < 1e-6);
     }
+}
+
+/// The headline merge law: `k`-shard hash-partitioned ingest + query-time
+/// merging is distributionally equivalent to sequential ingest — the
+/// sharded L2 sampler's output histogram must hit the exact `f_i² / F_2`
+/// target, with expired-free support (every occurrence of an item lives on
+/// one shard, so merged suffix counts are exact).
+#[test]
+fn sharded_l2_hash_matches_sequential_distribution() {
+    let stream: Vec<Item> = [(1u64, 10u64), (2, 5), (3, 2), (4, 1)]
+        .iter()
+        .flat_map(|&(i, c)| std::iter::repeat_n(i, c as usize))
+        .collect();
+    let target = FrequencyVector::from_stream(&stream).lp_distribution(2.0);
+    let mut histogram = SampleHistogram::new();
+    for seed in 0..5_000u64 {
+        let mut sharded = ShardedSampler::new(4, ShardingStrategy::Hash, 90_000 + seed, |idx| {
+            TrulyPerfectLpSampler::new(2.0, 64, 0.05, 90_000 + seed + ((idx as u64) << 32))
+        });
+        sharded.update_all(&stream);
+        histogram.record(sharded.sample());
+    }
+    assert!(
+        histogram.fail_rate() < 0.05,
+        "fail rate {}",
+        histogram.fail_rate()
+    );
+    let tv = histogram.tv_distance(&target);
+    assert!(tv < 0.04, "sharded L2 TV {tv} off the exact target");
+}
+
+/// Round-robin sharding is exact for constant-increment measures: the `L_1`
+/// sampler's acceptance ignores suffix counts, so cyclically splitting an
+/// item's occurrences across shards loses nothing.
+#[test]
+fn sharded_round_robin_l1_matches_frequency_distribution() {
+    let stream: Vec<Item> = [(7u64, 8u64), (8, 4), (9, 2), (10, 1)]
+        .iter()
+        .flat_map(|&(i, c)| std::iter::repeat_n(i, c as usize))
+        .collect();
+    let target = FrequencyVector::from_stream(&stream).lp_distribution(1.0);
+    let mut histogram = SampleHistogram::new();
+    for seed in 0..5_000u64 {
+        let mut sharded =
+            ShardedSampler::new(3, ShardingStrategy::RoundRobin, 70_000 + seed, |idx| {
+                TrulyPerfectLpSampler::new(1.0, 64, 0.1, 70_000 + seed + ((idx as u64) << 32))
+            });
+        sharded.update_all(&stream);
+        histogram.record(sharded.sample());
+    }
+    assert_eq!(histogram.fails(), 0, "L1 sampling never fails");
+    let tv = histogram.tv_distance(&target);
+    assert!(tv < 0.04, "round-robin L1 TV {tv} off the exact target");
+}
+
+/// Sharded F0: hash-partitioned support splits merge back into an exactly
+/// uniform-over-support sampler (shards share one seed, as the F0 merge
+/// contract requires).
+#[test]
+fn sharded_f0_matches_uniform_support_distribution() {
+    let stream: Vec<Item> = [(3u64, 30u64), (11, 9), (17, 3), (29, 1)]
+        .iter()
+        .flat_map(|&(i, c)| std::iter::repeat_n(i, c as usize))
+        .collect();
+    let target = FrequencyVector::from_stream(&stream).f0_distribution();
+    let mut histogram = SampleHistogram::new();
+    for seed in 0..4_000u64 {
+        let mut sharded = ShardedSampler::new(4, ShardingStrategy::Hash, 50_000 + seed, |_| {
+            TrulyPerfectF0Sampler::new(10_000, 0.1, 50_000 + seed)
+        });
+        sharded.update_all(&stream);
+        histogram.record(sharded.sample());
+    }
+    assert_eq!(histogram.fails(), 0);
+    let tv = histogram.tv_distance(&target);
+    assert!(tv < 0.04, "sharded F0 TV {tv} off uniform-over-support");
+}
+
+/// Sliding-window merge law: two lockstep item-disjoint shards merge into a
+/// sampler whose output hits the exact distribution of the **union** of the
+/// two active windows (`L_1` through the bounded-increment G-framework, so
+/// suffix counts are irrelevant and failures impossible at `ζ = 1`).
+#[test]
+fn merged_sliding_g_samplers_match_union_window_distribution() {
+    let window = 60u64;
+    let len = 150usize;
+    // Shard A: items 1..=3 cyclically; shard B: items 11..=12, skewed.
+    let stream_a: Vec<Item> = (0..len as u64).map(|t| t % 3 + 1).collect();
+    let stream_b: Vec<Item> = (0..len as u64)
+        .map(|t| if t % 4 == 0 { 12 } else { 11 })
+        .collect();
+    let union_window: Vec<Item> = stream_a[len - window as usize..]
+        .iter()
+        .chain(&stream_b[len - window as usize..])
+        .copied()
+        .collect();
+    let target = FrequencyVector::from_stream(&union_window).lp_distribution(1.0);
+    let g = Lp::new(1.0);
+    let mut histogram = SampleHistogram::new();
+    for seed in 0..3_000u64 {
+        let mut shard_a = SlidingWindowGSampler::new(g, window, 0.1, 60_000 + seed);
+        let mut shard_b = SlidingWindowGSampler::new(g, window, 0.1, 61_000_000 + seed);
+        SlidingWindowSampler::update_batch(&mut shard_a, &stream_a);
+        SlidingWindowSampler::update_batch(&mut shard_b, &stream_b);
+        let mut merged = shard_a.merge(shard_b);
+        histogram.record(SlidingWindowSampler::sample(&mut merged));
+    }
+    assert!(
+        histogram.fail_rate() < 0.02,
+        "fail rate {}",
+        histogram.fail_rate()
+    );
+    let tv = histogram.tv_distance(&target);
+    assert!(
+        tv < 0.04,
+        "merged sliding TV {tv} off the union-window target"
+    );
+}
+
+/// Sliding-window edge case: `W = 1`. Every update opens a new cohort, the
+/// active window is exactly the last item, and batch ≡ loop must hold
+/// across chunkings that straddle every epoch boundary.
+#[test]
+fn sliding_window_of_one_batch_equals_loop_and_samples_last_item() {
+    let stream: Vec<Item> = (0..40u64).map(|t| t % 7 + 100).collect();
+    for chunk in [1usize, 2, 3, 40] {
+        for seed in 0..50u64 {
+            let mut looped = SlidingWindowGSampler::new(Huber::new(2.0), 1, 0.1, 400 + seed);
+            for &x in &stream {
+                SlidingWindowSampler::update(&mut looped, x);
+            }
+            let mut batched = SlidingWindowGSampler::new(Huber::new(2.0), 1, 0.1, 400 + seed);
+            for piece in stream.chunks(chunk) {
+                SlidingWindowSampler::update_batch(&mut batched, piece);
+            }
+            for _ in 0..4 {
+                let expected = SlidingWindowSampler::sample(&mut looped);
+                assert_eq!(expected, SlidingWindowSampler::sample(&mut batched));
+                if let SampleOutcome::Index(i) = expected {
+                    assert_eq!(i, *stream.last().unwrap(), "W=1 must sample the last item");
+                }
+            }
+        }
+    }
+}
+
+/// Sliding-window edge case: one `update_batch` call spanning more than
+/// three cohort epochs must split at every boundary and agree with the
+/// per-item loop (and with a two-piece chunking) on both sampler families.
+#[test]
+fn batch_spanning_three_cohort_epochs_equals_loop() {
+    let window = 5u64;
+    let stream: Vec<Item> = (0..23u64).map(|t| t % 4 + 50).collect();
+    for seed in 0..100u64 {
+        assert_window_batch_law(
+            || SlidingWindowGSampler::new(Huber::new(2.0), window, 0.2, 500 + seed),
+            &stream,
+            7,
+        )
+        .unwrap();
+        assert_window_batch_law(
+            || SlidingWindowLpSampler::with_estimator_size(2.0, window, 0.2, 2, 8, 600 + seed),
+            &stream,
+            7,
+        )
+        .unwrap();
+    }
+}
+
+/// Sliding-window edge case: querying before the first window fills must
+/// answer from the partial window (never `Fail`ing into expired territory,
+/// never inventing items), and batch ≡ loop holds on the short prefix.
+#[test]
+fn query_before_first_window_fills() {
+    let window = 100u64;
+    let prefix: Vec<Item> = vec![5, 6, 5, 7, 5, 5, 6, 8, 5, 6];
+    let mut seen_index = false;
+    for seed in 0..200u64 {
+        assert_window_batch_law(
+            || SlidingWindowGSampler::new(Huber::new(2.0), window, 0.2, 700 + seed),
+            &prefix,
+            3,
+        )
+        .unwrap();
+        let mut sampler = SlidingWindowGSampler::new(Huber::new(2.0), window, 0.2, 700 + seed);
+        SlidingWindowSampler::update_batch(&mut sampler, &prefix);
+        match SlidingWindowSampler::sample(&mut sampler) {
+            SampleOutcome::Index(i) => {
+                seen_index = true;
+                assert!(prefix.contains(&i), "sampled {i} not in the partial window");
+            }
+            SampleOutcome::Empty => panic!("non-empty prefix reported Empty"),
+            SampleOutcome::Fail => {}
+        }
+    }
+    assert!(seen_index, "partial-window queries must succeed sometimes");
 }
