@@ -1,0 +1,98 @@
+//! CI gate for the sharded scaling report's **hardware-transferable**
+//! metric.
+//!
+//! The E12 report carries two families of numbers: wall-clock throughput
+//! (pinned to the runner's core count — one-core CI runners report ~1×
+//! regardless of how well the front-end scales) and the per-phase critical
+//! path (slowest scatter worker + slowest ingest worker, each measured in
+//! isolation), which is the wall clock the threaded path attains once
+//! `cores ≥ shards` and therefore transfers across hosts. This gate
+//! enforces a floor on the critical-path speedup at a chosen shard count
+//! and deliberately leaves wall clock ungated.
+//!
+//! ```text
+//! sharded_gate --report sharded.json [--shards 4] [--min-speedup 2.0]
+//! ```
+//!
+//! Exits 0 when the floor holds, 1 on regression, 2 on malformed inputs.
+
+use tps_bench::json::JsonValue;
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("sharded_gate: {msg}");
+    eprintln!("usage: sharded_gate --report <sharded.json> [--shards 4] [--min-speedup 2.0]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut report_path = None;
+    let mut shards = 4.0f64;
+    let mut min_speedup = 2.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--report" => report_path = it.next().cloned(),
+            "--shards" => {
+                shards = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| fail_usage("--shards needs a number"));
+            }
+            "--min-speedup" => {
+                min_speedup = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| fail_usage("--min-speedup needs a number"));
+            }
+            other => fail_usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let report_path = report_path.unwrap_or_else(|| fail_usage("--report is required"));
+    let text = std::fs::read_to_string(&report_path)
+        .unwrap_or_else(|e| fail_usage(&format!("cannot read {report_path}: {e}")));
+    let doc = JsonValue::parse(&text)
+        .unwrap_or_else(|e| fail_usage(&format!("cannot parse {report_path}: {e}")));
+
+    // Accept both the bare CI report (`report -- --sharded --json`) and the
+    // committed baseline file, which nests the report under
+    // `sharded_report` (the same convention bench_regression follows for
+    // `quick_report`).
+    let rows = match doc
+        .get_path("sharded_report.e12_sharded.rows")
+        .or_else(|| doc.get_path("e12_sharded.rows"))
+    {
+        Some(JsonValue::Arr(rows)) if !rows.is_empty() => rows,
+        _ => fail_usage(&format!("{report_path}: no e12_sharded.rows array")),
+    };
+    let row = rows
+        .iter()
+        .find(|row| row.get("shards").and_then(JsonValue::as_f64) == Some(shards))
+        .unwrap_or_else(|| fail_usage(&format!("{report_path}: no row for {shards} shard(s)")));
+    let speedup = row
+        .get("critical_path_speedup")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or_else(|| fail_usage(&format!("{report_path}: missing critical_path_speedup")));
+    let wall = row
+        .get("speedup_vs_single")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(f64::NAN);
+    if !speedup.is_finite() || speedup <= 0.0 {
+        fail_usage(&format!(
+            "{report_path}: critical_path_speedup = {speedup} is not positive"
+        ));
+    }
+
+    println!(
+        "{shards:.0} shards: critical-path speedup {speedup:.2}x (floor {min_speedup:.2}x), \
+         wall-clock {wall:.2}x (informational, ungated)"
+    );
+    if speedup < min_speedup {
+        eprintln!(
+            "REGRESSION: critical-path speedup {speedup:.2}x at {shards:.0} shards fell below \
+             the {min_speedup:.2}x floor"
+        );
+        std::process::exit(1);
+    }
+    println!("OK: critical-path scaling floor holds");
+}

@@ -34,6 +34,7 @@ use std::collections::BinaryHeap;
 
 use tps_random::{StreamRng, Xoshiro256};
 use tps_sketches::exact_counter::SuffixCountTable;
+use tps_streams::codec::{self, CodecError, Restore, Snapshot, SnapshotReader, SnapshotWriter};
 use tps_streams::space::hashmap_bytes;
 use tps_streams::{FastHashMap, Item, SpaceUsage, Timestamp};
 
@@ -441,6 +442,158 @@ impl SkipAheadEngine {
             }
         }
         None
+    }
+}
+
+/// Wire format: `seen`, the slot array, the replacement schedule (sorted —
+/// a `BinaryHeap`'s pop order depends only on the element *set*, so the
+/// canonical sorted encoding restores identical forward behaviour), the
+/// shared suffix-count table, and the exact RNG position. The per-item
+/// reference counts are derived from the slots on restore rather than
+/// shipped.
+impl Snapshot for SkipAheadEngine {
+    const TAG: u16 = codec::tag::SKIP_AHEAD_ENGINE;
+
+    fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.put_tag(Self::TAG);
+        w.put_u64(self.seen);
+        w.put_len(self.slots.len());
+        for slot in &self.slots {
+            match slot.item {
+                Some(item) => {
+                    w.put_u8(1);
+                    w.put_u64(item);
+                }
+                None => w.put_u8(0),
+            }
+            w.put_u64(slot.offset);
+            w.put_u64(slot.admitted_at);
+        }
+        // Invariant: exactly one schedule entry per slot.
+        let mut entries: Vec<(Timestamp, usize)> =
+            self.schedule.iter().map(|&Reverse(e)| e).collect();
+        entries.sort_unstable();
+        debug_assert_eq!(entries.len(), self.slots.len());
+        for (when, idx) in entries {
+            w.put_u64(when);
+            w.put_usize(idx);
+        }
+        self.table.encode_into(w);
+        self.rng.encode_into(w);
+    }
+}
+
+impl Restore for SkipAheadEngine {
+    fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
+        r.expect_tag(Self::TAG)?;
+        let seen = r.get_u64()?;
+        // Each slot costs ≥ 17 bytes here plus 16 schedule bytes later.
+        let slot_count = r.get_len(17)?;
+        if slot_count == 0 {
+            return Err(CodecError::InvalidValue {
+                what: "engine needs at least one slot",
+            });
+        }
+        let mut slots = Vec::with_capacity(slot_count);
+        for _ in 0..slot_count {
+            let item = match r.get_u8()? {
+                0 => None,
+                1 => Some(r.get_u64()?),
+                _ => {
+                    return Err(CodecError::InvalidValue {
+                        what: "slot held flag must be 0 or 1",
+                    })
+                }
+            };
+            let offset = r.get_u64()?;
+            let admitted_at = r.get_u64()?;
+            match item {
+                Some(_) => {
+                    if admitted_at == 0 || admitted_at > seen {
+                        return Err(CodecError::InvalidValue {
+                            what: "slot admission position outside the seen range",
+                        });
+                    }
+                }
+                None => {
+                    if offset != 0 || admitted_at != 0 || seen > 0 {
+                        // Every slot admits the first update, so empty slots
+                        // exist only in a pristine engine.
+                        return Err(CodecError::InvalidValue {
+                            what: "empty slot in an engine that has seen updates",
+                        });
+                    }
+                }
+            }
+            slots.push(Slot {
+                item,
+                offset,
+                admitted_at,
+            });
+        }
+        let mut entries = Vec::with_capacity(slot_count);
+        let mut idx_seen = vec![false; slot_count];
+        let mut prev: Option<(Timestamp, usize)> = None;
+        for _ in 0..slot_count {
+            let when = r.get_u64()?;
+            let idx = r.get_usize()?;
+            if idx >= slot_count || std::mem::replace(&mut idx_seen[idx], true) {
+                return Err(CodecError::InvalidValue {
+                    what: "schedule must name each slot exactly once",
+                });
+            }
+            // The engine invariant outside `update`: every scheduled
+            // position is strictly in the future.
+            if when <= seen {
+                return Err(CodecError::InvalidValue {
+                    what: "scheduled replacement not in the future",
+                });
+            }
+            if prev.is_some_and(|p| p >= (when, idx)) {
+                return Err(CodecError::InvalidValue {
+                    what: "schedule entries not sorted",
+                });
+            }
+            prev = Some((when, idx));
+            entries.push(Reverse((when, idx)));
+        }
+        let table = SuffixCountTable::decode_from(r)?;
+        let rng = Xoshiro256::decode_from(r)?;
+        // Rebuild the reference counts from the slots and cross-check the
+        // table: the tracked set must be exactly the held-item set, and each
+        // slot's offset must not exceed its item's shared count (otherwise
+        // suffix counts would silently saturate).
+        let mut references: FastHashMap<Item, u32> = FastHashMap::default();
+        for slot in &slots {
+            if let Some(item) = slot.item {
+                *references.entry(item).or_insert(0) += 1;
+            }
+        }
+        let counts: FastHashMap<Item, u64> = table.entries().collect();
+        if counts.len() != references.len() {
+            return Err(CodecError::InvalidValue {
+                what: "suffix table tracks a different item set than the slots hold",
+            });
+        }
+        for slot in &slots {
+            let Some(item) = slot.item else { continue };
+            match counts.get(&item) {
+                Some(&count) if slot.offset <= count => {}
+                _ => {
+                    return Err(CodecError::InvalidValue {
+                        what: "slot offset exceeds its item's shared count",
+                    })
+                }
+            }
+        }
+        Ok(Self {
+            slots,
+            schedule: entries.into_iter().collect(),
+            table,
+            references,
+            rng,
+            seen,
+        })
     }
 }
 

@@ -20,6 +20,7 @@
 
 use std::collections::{HashMap, HashSet};
 use tps_random::{random_subset, StreamRng, TabulationHash, Xoshiro256};
+use tps_streams::codec::{self, CodecError, Restore, Snapshot, SnapshotReader, SnapshotWriter};
 use tps_streams::space::{hashmap_bytes, hashset_bytes};
 use tps_streams::{
     Item, MergeableSampler, SampleOutcome, SlidingWindowSampler, SpaceUsage, StreamSampler,
@@ -260,6 +261,158 @@ impl MergeableSampler for TrulyPerfectF0Sampler {
         }
         self
     }
+
+    fn merge_compatible(&self, other: &Self) -> bool {
+        self.universe == other.universe
+            && self.threshold == other.threshold
+            && self.candidates.len() == other.candidates.len()
+            && self
+                .candidates
+                .iter()
+                .zip(&other.candidates)
+                .all(|(mine, theirs)| mine.subset == theirs.subset)
+    }
+}
+
+impl CandidateSet {
+    /// Writes the pre-drawn subset (sorted), then the observed members in
+    /// first-occurrence order with their exact frequencies.
+    fn encode_into(&self, w: &mut SnapshotWriter) {
+        codec::put_sorted_u64_set(w, self.subset.iter().copied());
+        w.put_len(self.order.len());
+        for &item in &self.order {
+            w.put_u64(item);
+            w.put_u64(self.seen[&item]);
+        }
+    }
+
+    fn decode_from(r: &mut SnapshotReader<'_>, universe: u64) -> Result<Self, CodecError> {
+        let sorted = codec::get_sorted_u64_set(r)?;
+        // Pre-drawn subsets are drawn from [0, universe); the sampler's
+        // output contract (indices inside the declared universe) depends
+        // on it. The set is sorted, so checking the last element suffices.
+        if sorted.last().is_some_and(|&max| max >= universe) {
+            return Err(CodecError::InvalidValue {
+                what: "candidate subset member outside the universe",
+            });
+        }
+        let subset: HashSet<Item> = sorted.into_iter().collect();
+        let len = r.get_len(16)?;
+        let mut order = Vec::with_capacity(len);
+        let mut seen = HashMap::with_capacity(len);
+        for _ in 0..len {
+            let item = r.get_u64()?;
+            let count = r.get_u64()?;
+            if count == 0 || !subset.contains(&item) || seen.insert(item, count).is_some() {
+                return Err(CodecError::InvalidValue {
+                    what: "candidate-set member not a distinct subset item with positive count",
+                });
+            }
+            order.push(item);
+        }
+        Ok(Self {
+            subset,
+            seen,
+            order,
+        })
+    }
+}
+
+/// Wire format: universe, threshold, overflow flag, processed count, RNG
+/// position, the first-distinct set in first-occurrence order with exact
+/// frequencies, then one record per candidate-set repetition.
+impl Snapshot for TrulyPerfectF0Sampler {
+    const TAG: u16 = codec::tag::F0_SAMPLER;
+
+    fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.put_tag(Self::TAG);
+        w.put_u64(self.universe);
+        w.put_usize(self.threshold);
+        w.put_u8(u8::from(self.overflowed));
+        w.put_u64(self.processed);
+        self.rng.encode_into(w);
+        w.put_len(self.first_order.len());
+        for &item in &self.first_order {
+            w.put_u64(item);
+            w.put_u64(self.first_distinct[&item]);
+        }
+        w.put_len(self.candidates.len());
+        for candidate in &self.candidates {
+            candidate.encode_into(w);
+        }
+    }
+}
+
+impl Restore for TrulyPerfectF0Sampler {
+    fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
+        r.expect_tag(Self::TAG)?;
+        let universe = r.get_u64()?;
+        if universe == 0 {
+            return Err(CodecError::InvalidValue {
+                what: "universe must be non-empty",
+            });
+        }
+        let threshold = r.get_usize()?;
+        if threshold == 0 {
+            return Err(CodecError::InvalidValue {
+                what: "first-distinct threshold must be positive",
+            });
+        }
+        let overflowed = match r.get_u8()? {
+            0 => false,
+            1 => true,
+            _ => {
+                return Err(CodecError::InvalidValue {
+                    what: "overflow flag must be 0 or 1",
+                })
+            }
+        };
+        let processed = r.get_u64()?;
+        let rng = Xoshiro256::decode_from(r)?;
+        let len = r.get_len(16)?;
+        if len > threshold {
+            return Err(CodecError::InvalidValue {
+                what: "first-distinct set exceeds the threshold",
+            });
+        }
+        let mut first_order = Vec::with_capacity(len);
+        let mut first_distinct = HashMap::with_capacity(len);
+        for _ in 0..len {
+            let item = r.get_u64()?;
+            let count = r.get_u64()?;
+            // Items come from the stream over [0, universe); the sampler's
+            // output contract depends on staying inside it.
+            if item >= universe || count == 0 || first_distinct.insert(item, count).is_some() {
+                return Err(CodecError::InvalidValue {
+                    what: "first-distinct entries must be distinct in-universe items with positive counts",
+                });
+            }
+            first_order.push(item);
+        }
+        // Live invariant: the first update always enters the (threshold ≥ 1)
+        // first-distinct set, so a non-empty non-overflowed stream has a
+        // non-empty `T` — `sample()` draws an index into it unguarded.
+        if processed > 0 && !overflowed && first_order.is_empty() {
+            return Err(CodecError::InvalidValue {
+                what: "non-empty stream without overflow must have first-distinct items",
+            });
+        }
+        let reps = r.get_len(16)?;
+        let mut candidates = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            candidates.push(CandidateSet::decode_from(r, universe)?);
+        }
+        Ok(Self {
+            universe,
+            threshold,
+            first_distinct,
+            first_order,
+            overflowed,
+            candidates,
+            processed,
+            rng,
+        })
+    }
 }
 
 impl SpaceUsage for TrulyPerfectF0Sampler {
@@ -289,6 +442,22 @@ pub struct SlidingWindowF0Sampler {
     candidates: Vec<(HashSet<Item>, HashMap<Item, Timestamp>)>,
     time: Timestamp,
     rng: Xoshiro256,
+}
+
+/// The items of a last-seen map passing the activity filter, ordered by
+/// their (unique) last-seen timestamps — a deterministic order independent
+/// of hash-map layout.
+fn active_by_timestamp(
+    seen: &HashMap<Item, Timestamp>,
+    active: impl Fn(Timestamp) -> bool,
+) -> Vec<Item> {
+    let mut stamped: Vec<(Timestamp, Item)> = seen
+        .iter()
+        .filter(|&(_, &t)| active(t))
+        .map(|(&i, &t)| (t, i))
+        .collect();
+    stamped.sort_unstable();
+    stamped.into_iter().map(|(_, i)| i).collect()
 }
 
 impl SlidingWindowF0Sampler {
@@ -345,13 +514,12 @@ impl SlidingWindowSampler for SlidingWindowF0Sampler {
         if self.time == 0 {
             return SampleOutcome::Empty;
         }
-        // Active portion of the recent-distinct set.
-        let active_recent: Vec<Item> = self
-            .recent_distinct
-            .iter()
-            .filter(|&(_, &t)| self.active(t))
-            .map(|(&i, _)| i)
-            .collect();
+        // Active portion of the recent-distinct set, in last-seen order:
+        // timestamps are unique per item, so the list — and therefore which
+        // item a given RNG draw selects — is a canonical function of the
+        // sampler's logical state, not of hash-map iteration order (the
+        // snapshot round-trip law depends on this).
+        let active_recent = active_by_timestamp(&self.recent_distinct, |t| self.active(t));
         if active_recent.is_empty() {
             return SampleOutcome::Empty;
         }
@@ -362,11 +530,7 @@ impl SlidingWindowSampler for SlidingWindowF0Sampler {
             return SampleOutcome::Index(active_recent[idx]);
         }
         for (_, seen) in &self.candidates {
-            let active: Vec<Item> = seen
-                .iter()
-                .filter(|&(_, &t)| self.active(t))
-                .map(|(&i, _)| i)
-                .collect();
+            let active = active_by_timestamp(seen, |t| self.active(t));
             if !active.is_empty() {
                 let idx = self.rng.gen_index(active.len());
                 return SampleOutcome::Index(active[idx]);
@@ -377,6 +541,81 @@ impl SlidingWindowSampler for SlidingWindowF0Sampler {
 
     fn window(&self) -> u64 {
         self.window.width
+    }
+}
+
+/// Wire format: window width, threshold, clock, RNG position, the
+/// recent-distinct last-seen map (sorted by item), then per repetition the
+/// pre-drawn subset (sorted) and its members' last-seen map (sorted).
+impl Snapshot for SlidingWindowF0Sampler {
+    const TAG: u16 = codec::tag::SLIDING_F0_SAMPLER;
+
+    fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.put_tag(Self::TAG);
+        w.put_u64(self.window.width);
+        w.put_usize(self.threshold);
+        w.put_u64(self.time);
+        self.rng.encode_into(w);
+        codec::put_sorted_u64_pairs(w, self.recent_distinct.iter().map(|(&i, &t)| (i, t)));
+        w.put_len(self.candidates.len());
+        for (subset, seen) in &self.candidates {
+            codec::put_sorted_u64_set(w, subset.iter().copied());
+            codec::put_sorted_u64_pairs(w, seen.iter().map(|(&i, &t)| (i, t)));
+        }
+    }
+}
+
+impl Restore for SlidingWindowF0Sampler {
+    fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
+        r.expect_tag(Self::TAG)?;
+        let width = r.get_u64()?;
+        if width == 0 {
+            return Err(CodecError::InvalidValue {
+                what: "window must be positive",
+            });
+        }
+        let threshold = r.get_usize()?;
+        if threshold == 0 {
+            // Live state has threshold = ⌈√n⌉ ≥ 1; a zero threshold would
+            // make every update evict itself, silently hollowing out the
+            // recent-distinct side.
+            return Err(CodecError::InvalidValue {
+                what: "recent-distinct threshold must be positive",
+            });
+        }
+        let time = r.get_u64()?;
+        let rng = Xoshiro256::decode_from(r)?;
+        let recent = codec::get_sorted_u64_pairs(r)?;
+        if recent.len() > threshold.saturating_add(1)
+            || recent.iter().any(|&(_, t)| t == 0 || t > time)
+        {
+            return Err(CodecError::InvalidValue {
+                what: "recent-distinct set oversized or timestamps out of range",
+            });
+        }
+        let reps = r.get_len(16)?;
+        let mut candidates = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let subset: HashSet<Item> = codec::get_sorted_u64_set(r)?.into_iter().collect();
+            let seen_pairs = codec::get_sorted_u64_pairs(r)?;
+            if seen_pairs
+                .iter()
+                .any(|&(i, t)| !subset.contains(&i) || t == 0 || t > time)
+            {
+                return Err(CodecError::InvalidValue {
+                    what: "candidate member outside its subset or timestamp range",
+                });
+            }
+            candidates.push((subset, seen_pairs.into_iter().collect()));
+        }
+        Ok(Self {
+            window: WindowSpec::new(width),
+            threshold,
+            recent_distinct: recent.into_iter().collect(),
+            candidates,
+            time,
+            rng,
+        })
     }
 }
 

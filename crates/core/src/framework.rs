@@ -33,6 +33,7 @@
 use crate::engine::SkipAheadEngine;
 use tps_random::StreamRng;
 use tps_sketches::MisraGries;
+use tps_streams::codec::{self, CodecError, Restore, Snapshot, SnapshotReader, SnapshotWriter};
 use tps_streams::{Item, MeasureFn, MergeableSampler, SampleOutcome, SpaceUsage, StreamSampler};
 
 pub use crate::engine::skip_ahead_replacement;
@@ -72,6 +73,14 @@ pub trait RejectionNormalizer {
     where
         Self: Sized;
 
+    /// Whether [`RejectionNormalizer::merge`] accepts these two instances
+    /// (the non-panicking pre-check restored-from-snapshot state is run
+    /// through; must be `false` whenever `merge` would panic). Required —
+    /// not defaulted — for the same reason as
+    /// [`tps_streams::MergeableSampler::merge_compatible`]: a new
+    /// normaliser must opt in to the decode-time guard explicitly.
+    fn merge_compatible(&self, other: &Self) -> bool;
+
     /// Memory used by the normaliser.
     fn normalizer_space_bytes(&self) -> usize;
 }
@@ -92,6 +101,12 @@ impl<G: MeasureFn> MeasureNormalizer<G> {
     pub fn new(g: G) -> Self {
         Self { g }
     }
+
+    /// The measure whose increment bound this normaliser certifies (used
+    /// by decode-time configuration cross-checks).
+    pub fn measure(&self) -> &G {
+        &self.g
+    }
 }
 
 impl<G: MeasureFn> RejectionNormalizer for MeasureNormalizer<G> {
@@ -109,8 +124,34 @@ impl<G: MeasureFn> RejectionNormalizer for MeasureNormalizer<G> {
         self
     }
 
+    /// Stateless beyond its measure, which the owning sampler compares
+    /// (`G: PartialEq`) — the normaliser itself is always mergeable.
+    fn merge_compatible(&self, _other: &Self) -> bool {
+        true
+    }
+
     fn normalizer_space_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
+    }
+}
+
+/// Wire format: the measure only (the closed-form normaliser is stateless
+/// beyond its `G`).
+impl<G: MeasureFn + Snapshot> Snapshot for MeasureNormalizer<G> {
+    const TAG: u16 = codec::tag::MEASURE_NORMALIZER;
+
+    fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.put_tag(Self::TAG);
+        self.g.encode_into(w);
+    }
+}
+
+impl<G: MeasureFn + Restore> Restore for MeasureNormalizer<G> {
+    fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
+        r.expect_tag(Self::TAG)?;
+        Ok(Self {
+            g: G::decode_from(r)?,
+        })
     }
 }
 
@@ -144,6 +185,11 @@ impl MisraGriesNormalizer {
     pub fn max_frequency_bound(&self) -> u64 {
         self.summary.max_frequency_upper_bound()
     }
+
+    /// The exponent `p` this normaliser certifies bounds for.
+    pub fn exponent(&self) -> f64 {
+        self.p
+    }
 }
 
 impl RejectionNormalizer for MisraGriesNormalizer {
@@ -174,8 +220,39 @@ impl RejectionNormalizer for MisraGriesNormalizer {
         }
     }
 
+    fn merge_compatible(&self, other: &Self) -> bool {
+        (self.p - other.p).abs() < 1e-12 && self.summary.capacity() == other.summary.capacity()
+    }
+
     fn normalizer_space_bytes(&self) -> usize {
         self.summary.space_bytes()
+    }
+}
+
+/// Wire format: the exponent `p` and the Misra–Gries summary.
+impl Snapshot for MisraGriesNormalizer {
+    const TAG: u16 = codec::tag::MISRA_GRIES_NORMALIZER;
+
+    fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.put_tag(Self::TAG);
+        w.put_f64(self.p);
+        self.summary.encode_into(w);
+    }
+}
+
+impl Restore for MisraGriesNormalizer {
+    fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
+        r.expect_tag(Self::TAG)?;
+        let p = r.get_f64()?;
+        if !(1.0..=2.0).contains(&p) {
+            return Err(CodecError::InvalidValue {
+                what: "Misra-Gries normaliser exponent outside [1, 2]",
+            });
+        }
+        Ok(Self {
+            p,
+            summary: MisraGries::decode_from(r)?,
+        })
     }
 }
 
@@ -281,6 +358,12 @@ impl<G: MeasureFn, N: RejectionNormalizer> MergeableSampler for TrulyPerfectGSam
             engine: self.engine.merge(other.engine, rng),
         }
     }
+
+    fn merge_compatible(&self, other: &Self) -> bool {
+        self.g == other.g
+            && self.instance_count() == other.instance_count()
+            && self.normalizer.merge_compatible(&other.normalizer)
+    }
 }
 
 impl<G: MeasureFn, N: RejectionNormalizer> StreamSampler for TrulyPerfectGSampler<G, N> {
@@ -303,6 +386,40 @@ impl<G: MeasureFn, N: RejectionNormalizer> StreamSampler for TrulyPerfectGSample
 
     fn sample(&mut self) -> SampleOutcome {
         self.propose()
+    }
+}
+
+/// Wire format: measure, normaliser, engine — the sampler's complete
+/// state, so restore-then-continue (or restore-then-merge on another
+/// machine, the sharded scatter-gather contract) is indistinguishable from
+/// never having stopped.
+impl<G, N> Snapshot for TrulyPerfectGSampler<G, N>
+where
+    G: MeasureFn + Snapshot,
+    N: RejectionNormalizer + Snapshot,
+{
+    const TAG: u16 = codec::tag::G_SAMPLER;
+
+    fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.put_tag(Self::TAG);
+        self.g.encode_into(w);
+        self.normalizer.encode_into(w);
+        self.engine.encode_into(w);
+    }
+}
+
+impl<G, N> Restore for TrulyPerfectGSampler<G, N>
+where
+    G: MeasureFn + Restore,
+    N: RejectionNormalizer + Restore,
+{
+    fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
+        r.expect_tag(Self::TAG)?;
+        Ok(Self {
+            g: G::decode_from(r)?,
+            normalizer: N::decode_from(r)?,
+            engine: SkipAheadEngine::decode_from(r)?,
+        })
     }
 }
 

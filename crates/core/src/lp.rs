@@ -22,6 +22,7 @@ use crate::framework::{
     recommended_instances, MeasureNormalizer, MisraGriesNormalizer, TrulyPerfectGSampler,
 };
 use tps_random::StreamRng;
+use tps_streams::codec::{self, CodecError, Restore, Snapshot, SnapshotReader, SnapshotWriter};
 use tps_streams::{Item, Lp, MergeableSampler, SampleOutcome, SpaceUsage, StreamSampler};
 
 /// Which normaliser the sampler is running with.
@@ -167,6 +168,22 @@ impl MergeableSampler for TrulyPerfectLpSampler {
             },
         }
     }
+
+    fn merge_compatible(&self, other: &Self) -> bool {
+        if (self.p - other.p).abs() >= 1e-12 || self.flavor != other.flavor {
+            return false;
+        }
+        match self.flavor {
+            Flavor::Fractional => match (&self.fractional, &other.fractional) {
+                (Some(a), Some(b)) => a.merge_compatible(b),
+                _ => false,
+            },
+            Flavor::MisraGries => match (&self.heavy, &other.heavy) {
+                (Some(a), Some(b)) => a.merge_compatible(b),
+                _ => false,
+            },
+        }
+    }
 }
 
 impl StreamSampler for TrulyPerfectLpSampler {
@@ -191,6 +208,94 @@ impl StreamSampler for TrulyPerfectLpSampler {
         match self.flavor {
             Flavor::Fractional => self.fractional.as_mut().unwrap().sample(),
             Flavor::MisraGries => self.heavy.as_mut().unwrap().sample(),
+        }
+    }
+}
+
+/// Wire format: the exponent, a regime flag, and the underlying
+/// `G`-sampler of the active regime.
+impl Snapshot for TrulyPerfectLpSampler {
+    const TAG: u16 = codec::tag::LP_SAMPLER;
+
+    fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.put_tag(Self::TAG);
+        w.put_f64(self.p);
+        match self.flavor {
+            Flavor::Fractional => {
+                w.put_u8(0);
+                self.fractional
+                    .as_ref()
+                    .expect("fractional regime")
+                    .encode_into(w);
+            }
+            Flavor::MisraGries => {
+                w.put_u8(1);
+                self.heavy
+                    .as_ref()
+                    .expect("Misra-Gries regime")
+                    .encode_into(w);
+            }
+        }
+    }
+}
+
+impl Restore for TrulyPerfectLpSampler {
+    fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
+        r.expect_tag(Self::TAG)?;
+        let p = r.get_f64()?;
+        match r.get_u8()? {
+            0 => {
+                if !(p > 0.0 && p <= 1.0) {
+                    return Err(CodecError::InvalidValue {
+                        what: "fractional Lp sampler requires p in (0, 1]",
+                    });
+                }
+                let inner: TrulyPerfectGSampler<Lp, MeasureNormalizer<Lp>> =
+                    TrulyPerfectGSampler::decode_from(r)?;
+                // The exponent travels in three places (sampler, measure,
+                // normaliser's measure copy — identical bits in any live
+                // state); a crafted snapshot must not smuggle in a
+                // disagreeing copy, or the restored sampler would silently
+                // target a different distribution than it reports.
+                if inner.measure().p().to_bits() != p.to_bits()
+                    || inner.normalizer().measure().p().to_bits() != p.to_bits()
+                {
+                    return Err(CodecError::InvalidValue {
+                        what: "Lp sampler, measure and normaliser disagree on the exponent",
+                    });
+                }
+                Ok(Self {
+                    p,
+                    flavor: Flavor::Fractional,
+                    fractional: Some(inner),
+                    heavy: None,
+                })
+            }
+            1 => {
+                if !(1.0..=2.0).contains(&p) {
+                    return Err(CodecError::InvalidValue {
+                        what: "Misra-Gries Lp sampler requires p in [1, 2]",
+                    });
+                }
+                let inner: TrulyPerfectGSampler<Lp, MisraGriesNormalizer> =
+                    TrulyPerfectGSampler::decode_from(r)?;
+                if inner.measure().p().to_bits() != p.to_bits()
+                    || inner.normalizer().exponent().to_bits() != p.to_bits()
+                {
+                    return Err(CodecError::InvalidValue {
+                        what: "Lp sampler, measure and normaliser disagree on the exponent",
+                    });
+                }
+                Ok(Self {
+                    p,
+                    flavor: Flavor::MisraGries,
+                    fractional: None,
+                    heavy: Some(inner),
+                })
+            }
+            _ => Err(CodecError::InvalidValue {
+                what: "Lp regime flag must be 0 or 1",
+            }),
         }
     }
 }

@@ -27,6 +27,7 @@
 //! magnitude.
 
 use tps_random::Xoshiro256;
+use tps_streams::codec::{self, CodecError, Restore, Snapshot, SnapshotReader, SnapshotWriter};
 use tps_streams::{Item, MergeableSampler, SampleOutcome, SpaceUsage, StreamSampler};
 
 /// How [`ShardedSampler`] routes updates to shards.
@@ -224,6 +225,13 @@ impl<S: MergeableSampler + Clone + Send> StreamSampler for ShardedSampler<S> {
             self.shards[0].update_batch(items);
             return;
         }
+        // The scatter matrix is transient state, sized lazily so that
+        // restoring a snapshot never performs a `k²` allocation up front
+        // (a decoder must not let a linear-size input drive a quadratic
+        // allocation); the first batch after a restore pays it here, once.
+        if self.buffers.len() != k * k {
+            self.buffers = vec![Vec::new(); k * k];
+        }
         for buffer in &mut self.buffers {
             buffer.clear();
         }
@@ -272,6 +280,98 @@ impl<S: MergeableSampler + Clone + Send> StreamSampler for ShardedSampler<S> {
     /// Merges the shards and queries the merged instance.
     fn sample(&mut self) -> SampleOutcome {
         self.merged().sample()
+    }
+}
+
+/// Wire format: the router configuration (strategy, round-robin cursor,
+/// merge-coin RNG position, processed count) followed by each shard's own
+/// snapshot. The transient scatter buffers are not shipped; the first
+/// batch after a restore re-sizes them lazily.
+///
+/// Because each shard is itself a complete snapshot of a mergeable
+/// sampler, the per-shard records can also be shipped to *different*
+/// processes and recombined there through
+/// [`MergeableSampler`](tps_streams::MergeableSampler) — restore-then-merge
+/// is the cross-machine scatter-gather path this format exists for.
+impl<S: MergeableSampler + Clone + Send + Snapshot> Snapshot for ShardedSampler<S> {
+    const TAG: u16 = codec::tag::SHARDED_SAMPLER;
+
+    fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.put_tag(Self::TAG);
+        w.put_u8(match self.strategy {
+            ShardingStrategy::Hash => 0,
+            ShardingStrategy::RoundRobin => 1,
+        });
+        w.put_usize(self.cursor);
+        w.put_u64(self.processed);
+        self.rng.encode_into(w);
+        w.put_len(self.shards.len());
+        for shard in &self.shards {
+            shard.encode_into(w);
+        }
+    }
+}
+
+impl<S: MergeableSampler + Clone + Send + Restore> Restore for ShardedSampler<S> {
+    fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
+        r.expect_tag(Self::TAG)?;
+        let strategy = match r.get_u8()? {
+            0 => ShardingStrategy::Hash,
+            1 => ShardingStrategy::RoundRobin,
+            _ => {
+                return Err(CodecError::InvalidValue {
+                    what: "sharding strategy flag must be 0 or 1",
+                })
+            }
+        };
+        let cursor = r.get_usize()?;
+        let processed = r.get_u64()?;
+        let rng = Xoshiro256::decode_from(r)?;
+        let count = r.get_len(1)?;
+        // The shard count sizes the `k²` scatter matrix on the first
+        // post-restore batch, so the payload-length bound alone (one byte
+        // per shard) is not enough — a linear-size snapshot must not drive
+        // a quadratic allocation. Shard counts track core counts; the cap
+        // leaves an order of magnitude beyond any real host.
+        const MAX_SHARDS: usize = 1 << 10;
+        if count == 0 || count > MAX_SHARDS {
+            return Err(CodecError::InvalidValue {
+                what: "shard count out of range",
+            });
+        }
+        if cursor >= count {
+            return Err(CodecError::InvalidValue {
+                what: "round-robin cursor outside the shard range",
+            });
+        }
+        let mut shards: Vec<S> = Vec::with_capacity(count);
+        for _ in 0..count {
+            let shard = S::decode_from(r)?;
+            // Individually valid shards can still disagree on configuration
+            // (exponent, instance count, pre-drawn subsets); the query-time
+            // fold-merge asserts on that, so reject it here as a typed
+            // error instead of letting restored state panic at the first
+            // sample.
+            if shards
+                .first()
+                .is_some_and(|first| !first.merge_compatible(&shard))
+            {
+                return Err(CodecError::InvalidValue {
+                    what: "shards disagree on sampler configuration",
+                });
+            }
+            shards.push(shard);
+        }
+        Ok(Self {
+            // Sized lazily by the first `update_batch` — never `count²`
+            // inside the decoder.
+            buffers: Vec::new(),
+            shards,
+            strategy,
+            cursor,
+            rng,
+            processed,
+        })
     }
 }
 

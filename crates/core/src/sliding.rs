@@ -34,6 +34,7 @@
 
 use crate::engine::SkipAheadEngine;
 use tps_random::{StreamRng, Xoshiro256};
+use tps_streams::codec::{self, CodecError, Restore, Snapshot, SnapshotReader, SnapshotWriter};
 use tps_streams::{
     Item, MeasureFn, SampleOutcome, SlidingWindowSampler, SpaceUsage, Timestamp, WindowSpec,
 };
@@ -215,6 +216,92 @@ impl CohortManager {
     }
 }
 
+/// Wire format: window width, per-cohort unit count, clock, the manager's
+/// RNG position, then each live cohort's global start and engine.
+impl Snapshot for CohortManager {
+    const TAG: u16 = codec::tag::COHORT_MANAGER;
+
+    fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.put_tag(Self::TAG);
+        w.put_u64(self.window.width);
+        w.put_usize(self.per_cohort);
+        w.put_u64(self.time);
+        self.rng.encode_into(w);
+        w.put_len(self.cohorts.len());
+        for cohort in &self.cohorts {
+            w.put_u64(cohort.start);
+            cohort.engine.encode_into(w);
+        }
+    }
+}
+
+impl Restore for CohortManager {
+    fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
+        r.expect_tag(Self::TAG)?;
+        let width = r.get_u64()?;
+        if width == 0 {
+            return Err(CodecError::InvalidValue {
+                what: "window must be positive",
+            });
+        }
+        let per_cohort = r.get_usize()?;
+        // `per_cohort` sizes every *future* cohort engine (the live
+        // cohorts' slot counts are cross-checked below, but an empty
+        // manager has no corroborating engine), so bound it to keep a
+        // crafted snapshot from smuggling an unbounded allocation into the
+        // first post-restore epoch. Live unit counts are in the thousands.
+        const MAX_UNITS_PER_COHORT: usize = 1 << 20;
+        if per_cohort == 0 || per_cohort > MAX_UNITS_PER_COHORT {
+            return Err(CodecError::InvalidValue {
+                what: "per-cohort unit count out of range",
+            });
+        }
+        let time = r.get_u64()?;
+        let rng = Xoshiro256::decode_from(r)?;
+        let count = r.get_len(8)?;
+        if count > 2 {
+            return Err(CodecError::InvalidValue {
+                what: "at most the two most recent cohorts are retained",
+            });
+        }
+        let mut cohorts = Vec::with_capacity(count);
+        let mut prev_start = 0u64;
+        for _ in 0..count {
+            let start = r.get_u64()?;
+            // Cohorts are born at epoch boundaries (positions 1, W+1, …),
+            // retained newest-last, and ingest at least one update before
+            // the manager comes to rest.
+            if start <= prev_start || start > time || (start - 1) % width != 0 {
+                return Err(CodecError::InvalidValue {
+                    what: "cohort start is not an in-range epoch boundary",
+                });
+            }
+            prev_start = start;
+            let engine = SkipAheadEngine::decode_from(r)?;
+            if engine.slot_count() != per_cohort {
+                return Err(CodecError::InvalidValue {
+                    what: "cohort engine slot count disagrees with the manager",
+                });
+            }
+            // No constraint is placed on `engine.seen()` relative to the
+            // epoch suffix: a directly fed cohort has seen exactly
+            // `time + 1 − start` updates, but a lockstep merge sums the
+            // shards' counts, and a merged sampler can (however
+            // inadvisedly) keep ingesting — all reachable states must
+            // round-trip, and the engine's own decoder already enforces
+            // the invariants that queries rely on.
+            cohorts.push(Cohort { start, engine });
+        }
+        Ok(Self {
+            window: WindowSpec::new(width),
+            per_cohort,
+            cohorts,
+            time,
+            rng,
+        })
+    }
+}
+
 /// The truly perfect sliding-window `G`-sampler for bounded-increment
 /// measures (Algorithm 4 / Theorem 4.1 / Corollary 4.2).
 #[derive(Debug)]
@@ -321,6 +408,27 @@ impl<G: MeasureFn> SlidingWindowSampler for SlidingWindowGSampler<G> {
 impl<G: MeasureFn> SpaceUsage for SlidingWindowGSampler<G> {
     fn space_bytes(&self) -> usize {
         std::mem::size_of::<Self>() + self.manager.space_bytes()
+    }
+}
+
+/// Wire format: the measure and the cohort manager.
+impl<G: MeasureFn + Snapshot> Snapshot for SlidingWindowGSampler<G> {
+    const TAG: u16 = codec::tag::SLIDING_G_SAMPLER;
+
+    fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.put_tag(Self::TAG);
+        self.g.encode_into(w);
+        self.manager.encode_into(w);
+    }
+}
+
+impl<G: MeasureFn + Restore> Restore for SlidingWindowGSampler<G> {
+    fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
+        r.expect_tag(Self::TAG)?;
+        Ok(Self {
+            g: G::decode_from(r)?,
+            manager: CohortManager::decode_from(r)?,
+        })
     }
 }
 
@@ -444,6 +552,47 @@ impl SlidingWindowSampler for SlidingWindowLpSampler {
 impl SpaceUsage for SlidingWindowLpSampler {
     fn space_bytes(&self) -> usize {
         std::mem::size_of::<Self>() + self.manager.space_bytes() + self.estimate.space_bytes()
+    }
+}
+
+/// Wire format: the exponent, the cohort manager, and the smooth-histogram
+/// window-norm estimator (checkpoints, inner AMS units and factory RNG
+/// included, so the normaliser's draw sequence continues unbroken).
+impl Snapshot for SlidingWindowLpSampler {
+    const TAG: u16 = codec::tag::SLIDING_LP_SAMPLER;
+
+    fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.put_tag(Self::TAG);
+        w.put_f64(self.p);
+        self.manager.encode_into(w);
+        self.estimate.encode_into(w);
+    }
+}
+
+impl Restore for SlidingWindowLpSampler {
+    fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
+        r.expect_tag(Self::TAG)?;
+        let p = r.get_f64()?;
+        if !(p > 1.0 && p <= 2.0) {
+            return Err(CodecError::InvalidValue {
+                what: "sliding-window Lp sampler requires p in (1, 2]",
+            });
+        }
+        let manager = CohortManager::decode_from(r)?;
+        let estimate = SlidingWindowLpEstimate::decode_from(r)?;
+        // Live state carries bit-identical exponents in the sampler and
+        // its window-norm estimator; a disagreeing pair would silently
+        // normalise one distribution by another's norm.
+        if estimate.p().to_bits() != p.to_bits() {
+            return Err(CodecError::InvalidValue {
+                what: "sliding Lp sampler and its estimator disagree on the exponent",
+            });
+        }
+        Ok(Self {
+            p,
+            manager,
+            estimate,
+        })
     }
 }
 

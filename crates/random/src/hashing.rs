@@ -116,6 +116,31 @@ impl KWiseHash {
         self.coefficients.len()
     }
 
+    /// The polynomial coefficients, lowest degree first (the function's
+    /// entire state — two instances with equal coefficients are the same
+    /// hash function). Exposed for checkpoint/restore code.
+    pub fn coefficients(&self) -> &[u64] {
+        &self.coefficients
+    }
+
+    /// Rebuilds a function from previously captured coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coefficients` is empty or any coefficient is outside the
+    /// field `[0, 2^61 - 1)`.
+    pub fn from_coefficients(coefficients: Vec<u64>) -> Self {
+        assert!(
+            !coefficients.is_empty(),
+            "independence k must be at least 1"
+        );
+        assert!(
+            coefficients.iter().all(|&c| c < MERSENNE_61),
+            "coefficients must lie in the Mersenne field"
+        );
+        Self { coefficients }
+    }
+
     /// Evaluates the polynomial at `key`, producing a value in
     /// `[0, 2^61 - 1)`.
     #[inline]

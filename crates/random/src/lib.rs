@@ -37,7 +37,7 @@ pub mod subset;
 pub mod xoshiro;
 
 pub use exponential::{exponential, exponential_with_rate, AntiRanks};
-pub use hashing::{KWiseHash, MultiplyShiftHash, TabulationHash};
+pub use hashing::{KWiseHash, MultiplyShiftHash, TabulationHash, MERSENNE_61};
 pub use reservoir::{ReservoirItem, ReservoirSampler, SkipReservoirSampler, WeightedReservoir};
 pub use splitmix::SplitMix64;
 pub use subset::{random_subset, sample_without_replacement};

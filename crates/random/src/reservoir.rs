@@ -60,9 +60,32 @@ impl<T> ReservoirSampler<T> {
         self.seen
     }
 
+    /// The reservoir's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Current reservoir contents.
     pub fn items(&self) -> &[ReservoirItem<T>] {
         &self.items
+    }
+
+    /// Rebuilds a reservoir from previously captured state (checkpoint /
+    /// restore): `seen` items offered so far, of which `items` are held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`, more than `capacity` items are supplied,
+    /// or more items are held than were seen.
+    pub fn from_parts(capacity: usize, seen: u64, items: Vec<ReservoirItem<T>>) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        assert!(items.len() <= capacity, "more items than capacity");
+        assert!(items.len() as u64 <= seen, "more items held than seen");
+        Self {
+            capacity,
+            seen,
+            items,
+        }
     }
 
     /// Offers one stream item. Returns `true` if the item was admitted into

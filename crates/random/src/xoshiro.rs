@@ -24,6 +24,14 @@ impl Xoshiro256 {
         Self { s }
     }
 
+    /// The full 256-bit internal state, exactly as [`Xoshiro256::from_state`]
+    /// would accept it. Together they let checkpoint/restore code capture the
+    /// generator's *position* in its stream precisely: restoring the state
+    /// and continuing produces the same draw sequence as never stopping.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
     /// Seeds the generator from a single 64-bit value by expanding it through
     /// [`SplitMix64`], as recommended by the xoshiro authors.
     pub fn seed_from_u64(seed: u64) -> Self {

@@ -9,6 +9,7 @@
 //! small, becomes additive error in the output distribution.
 
 use tps_random::{KWiseHash, StreamRng};
+use tps_streams::codec::{self, CodecError, Restore, Snapshot, SnapshotReader, SnapshotWriter};
 use tps_streams::space::vec_bytes;
 use tps_streams::{Item, MergeableSummary, SpaceUsage};
 
@@ -149,6 +150,56 @@ impl MergeableSummary for CountMin {
         }
         self.processed += other.processed;
         self
+    }
+}
+
+/// Wire format: dimensions, processed, the row-major counter table, then
+/// the per-row hash functions (which are part of the state: merging and
+/// restored-estimate equality both require the same hashes).
+impl Snapshot for CountMin {
+    const TAG: u16 = codec::tag::COUNT_MIN;
+
+    fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.put_tag(Self::TAG);
+        w.put_usize(self.rows);
+        w.put_usize(self.cols);
+        w.put_u64(self.processed);
+        for &cell in &self.table {
+            w.put_u64(cell);
+        }
+        for h in &self.hashes {
+            h.encode_into(w);
+        }
+    }
+}
+
+impl Restore for CountMin {
+    fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
+        r.expect_tag(Self::TAG)?;
+        let rows = r.get_usize()?;
+        let cols = r.get_usize()?;
+        if rows == 0 || cols == 0 {
+            return Err(CodecError::InvalidValue {
+                what: "CountMin dimensions must be positive",
+            });
+        }
+        let processed = r.get_u64()?;
+        let cells = r.check_grid(rows, cols, 8)?;
+        let mut table = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            table.push(r.get_u64()?);
+        }
+        let mut hashes = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            hashes.push(KWiseHash::decode_from(r)?);
+        }
+        Ok(Self {
+            rows,
+            cols,
+            table,
+            hashes,
+            processed,
+        })
     }
 }
 

@@ -7,6 +7,7 @@
 //! CountMin play in [JW18b]).
 
 use tps_random::{KWiseHash, StreamRng};
+use tps_streams::codec::{self, CodecError, Restore, Snapshot, SnapshotReader, SnapshotWriter};
 use tps_streams::space::vec_bytes;
 use tps_streams::{Item, MergeableSummary, SpaceUsage};
 
@@ -120,6 +121,57 @@ impl MergeableSummary for CountSketch {
             *cell += add;
         }
         self
+    }
+}
+
+/// Wire format: dimensions, the signed row-major table, then the bucket
+/// and sign hash functions per row.
+impl Snapshot for CountSketch {
+    const TAG: u16 = codec::tag::COUNT_SKETCH;
+
+    fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.put_tag(Self::TAG);
+        w.put_usize(self.rows);
+        w.put_usize(self.cols);
+        for &cell in &self.table {
+            w.put_i64(cell);
+        }
+        for h in self.bucket_hashes.iter().chain(&self.sign_hashes) {
+            h.encode_into(w);
+        }
+    }
+}
+
+impl Restore for CountSketch {
+    fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
+        r.expect_tag(Self::TAG)?;
+        let rows = r.get_usize()?;
+        let cols = r.get_usize()?;
+        if rows == 0 || cols == 0 {
+            return Err(CodecError::InvalidValue {
+                what: "CountSketch dimensions must be positive",
+            });
+        }
+        let cells = r.check_grid(rows, cols, 8)?;
+        let mut table = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            table.push(r.get_i64()?);
+        }
+        let mut bucket_hashes = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            bucket_hashes.push(KWiseHash::decode_from(r)?);
+        }
+        let mut sign_hashes = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            sign_hashes.push(KWiseHash::decode_from(r)?);
+        }
+        Ok(Self {
+            rows,
+            cols,
+            table,
+            bucket_hashes,
+            sign_hashes,
+        })
     }
 }
 

@@ -9,6 +9,7 @@
 //! offset.
 
 use std::collections::HashMap;
+use tps_streams::codec::{self, CodecError, Restore, Snapshot, SnapshotReader, SnapshotWriter};
 use tps_streams::space::hashmap_bytes;
 use tps_streams::{Estimator, FastHashMap, Item, SpaceUsage};
 
@@ -155,11 +156,35 @@ impl SuffixCountTable {
     pub fn tracked(&self) -> usize {
         self.counts.len()
     }
+
+    /// The tracked `(item, shared count)` entries, in no particular order
+    /// (used by snapshot validation and diagnostics).
+    pub fn entries(&self) -> impl Iterator<Item = (Item, u64)> + '_ {
+        self.counts.iter().map(|(&i, &c)| (i, c))
+    }
 }
 
 impl SpaceUsage for SuffixCountTable {
     fn space_bytes(&self) -> usize {
         std::mem::size_of::<Self>() + hashmap_bytes(&self.counts)
+    }
+}
+
+/// Wire format: the tracked `(item, shared count)` pairs, sorted by item.
+impl Snapshot for SuffixCountTable {
+    const TAG: u16 = codec::tag::SUFFIX_COUNT_TABLE;
+
+    fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.put_tag(Self::TAG);
+        codec::put_sorted_u64_pairs(w, self.counts.iter().map(|(&i, &c)| (i, c)));
+    }
+}
+
+impl Restore for SuffixCountTable {
+    fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
+        r.expect_tag(Self::TAG)?;
+        let counts = codec::get_sorted_u64_pairs(r)?.into_iter().collect();
+        Ok(Self { counts })
     }
 }
 

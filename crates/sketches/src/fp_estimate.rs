@@ -10,7 +10,8 @@
 //! it is the `Λ` algorithm plugged into the smooth-histogram framework for
 //! sliding-window `L_p` estimation (Theorem A.5).
 
-use tps_random::{ReservoirSampler, StreamRng, Xoshiro256};
+use tps_random::{ReservoirItem, ReservoirSampler, StreamRng, Xoshiro256};
+use tps_streams::codec::{self, CodecError, Restore, Snapshot, SnapshotReader, SnapshotWriter};
 use tps_streams::space::vec_bytes;
 use tps_streams::{Estimator, Item, SpaceUsage};
 
@@ -114,6 +115,97 @@ impl Estimator for AmsFpEstimator {
 
     fn estimate(&self) -> f64 {
         self.fp_estimate()
+    }
+}
+
+/// Wire format: `p`, dimensions, processed, the RNG position, then one
+/// record per unit (the size-1 reservoir's seen count, held sample and
+/// suffix count).
+impl Snapshot for AmsFpEstimator {
+    const TAG: u16 = codec::tag::AMS_FP_ESTIMATOR;
+
+    fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.put_tag(Self::TAG);
+        w.put_f64(self.p);
+        w.put_usize(self.rows);
+        w.put_usize(self.cols);
+        w.put_u64(self.processed);
+        self.rng.encode_into(w);
+        for unit in &self.units {
+            w.put_u64(unit.reservoir.seen());
+            match unit.reservoir.single() {
+                Some(held) => {
+                    w.put_u8(1);
+                    w.put_u64(held.value);
+                    w.put_u64(held.timestamp);
+                }
+                None => w.put_u8(0),
+            }
+            w.put_u64(unit.count);
+        }
+    }
+}
+
+impl Restore for AmsFpEstimator {
+    fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
+        r.expect_tag(Self::TAG)?;
+        let p = r.get_f64()?;
+        if !(p > 0.0 && p.is_finite()) {
+            return Err(CodecError::InvalidValue {
+                what: "AMS exponent must be positive and finite",
+            });
+        }
+        let rows = r.get_usize()?;
+        let cols = r.get_usize()?;
+        if rows == 0 || cols == 0 {
+            return Err(CodecError::InvalidValue {
+                what: "AMS dimensions must be positive",
+            });
+        }
+        let processed = r.get_u64()?;
+        let rng = Xoshiro256::decode_from(r)?;
+        // Each unit record is at least 17 bytes (seen, empty flag, count).
+        let units_len = r.check_grid(rows, cols, 17)?;
+        let mut units = Vec::with_capacity(units_len);
+        for _ in 0..units_len {
+            let seen = r.get_u64()?;
+            let held = match r.get_u8()? {
+                0 => Vec::new(),
+                1 => {
+                    let value = r.get_u64()?;
+                    let timestamp = r.get_u64()?;
+                    if timestamp == 0 || timestamp > seen {
+                        return Err(CodecError::InvalidValue {
+                            what: "reservoir timestamp outside the seen range",
+                        });
+                    }
+                    vec![ReservoirItem { value, timestamp }]
+                }
+                _ => {
+                    return Err(CodecError::InvalidValue {
+                        what: "reservoir held flag must be 0 or 1",
+                    })
+                }
+            };
+            if held.is_empty() && seen > 0 {
+                return Err(CodecError::InvalidValue {
+                    what: "a non-empty size-1 reservoir must hold a sample",
+                });
+            }
+            let count = r.get_u64()?;
+            units.push(Unit {
+                reservoir: ReservoirSampler::from_parts(1, seen, held),
+                count,
+            });
+        }
+        Ok(Self {
+            p,
+            rows,
+            cols,
+            units,
+            rng,
+            processed,
+        })
     }
 }
 

@@ -13,6 +13,7 @@
 //! rejection-sampling step of the truly perfect `L_p` sampler for
 //! `p ∈ [1, 2]` without introducing any failure probability.
 
+use tps_streams::codec::{self, CodecError, Restore, Snapshot, SnapshotReader, SnapshotWriter};
 use tps_streams::space::hashmap_bytes;
 use tps_streams::{FastHashMap, Item, MergeableSummary, SpaceUsage};
 
@@ -206,6 +207,57 @@ impl MergeableSummary for MisraGries {
 impl SpaceUsage for MisraGries {
     fn space_bytes(&self) -> usize {
         std::mem::size_of::<Self>() + hashmap_bytes(&self.counters)
+    }
+}
+
+/// Wire format: capacity, processed, decrements, then the live counters
+/// sorted by item.
+impl Snapshot for MisraGries {
+    const TAG: u16 = codec::tag::MISRA_GRIES;
+
+    fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.put_tag(Self::TAG);
+        w.put_usize(self.capacity);
+        w.put_u64(self.processed);
+        w.put_u64(self.decrements);
+        codec::put_sorted_u64_pairs(w, self.counters.iter().map(|(&i, &c)| (i, c)));
+    }
+}
+
+impl Restore for MisraGries {
+    fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
+        r.expect_tag(Self::TAG)?;
+        let capacity = r.get_usize()?;
+        if capacity == 0 {
+            return Err(CodecError::InvalidValue {
+                what: "Misra-Gries capacity must be positive",
+            });
+        }
+        let processed = r.get_u64()?;
+        let decrements = r.get_u64()?;
+        let pairs = codec::get_sorted_u64_pairs(r)?;
+        if pairs.len() > capacity {
+            return Err(CodecError::InvalidValue {
+                what: "Misra-Gries holds more counters than its capacity",
+            });
+        }
+        if pairs.iter().any(|&(_, c)| c == 0) {
+            return Err(CodecError::InvalidValue {
+                what: "Misra-Gries counters must be positive",
+            });
+        }
+        // Pre-size from the validated pair count, not the untrusted
+        // `capacity` field (which is legal state but must not drive an
+        // allocation); the map grows amortised if the summary later fills.
+        let mut counters =
+            FastHashMap::with_capacity_and_hasher(pairs.len() + 1, Default::default());
+        counters.extend(pairs);
+        Ok(Self {
+            capacity,
+            counters,
+            processed,
+            decrements,
+        })
     }
 }
 

@@ -17,6 +17,7 @@
 
 use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use tps_streams::codec::{self, CodecError, Restore, Snapshot, SnapshotReader, SnapshotWriter};
 use tps_streams::space::hashmap_bytes;
 use tps_streams::{Item, MergeableSummary, SpaceUsage};
 
@@ -197,6 +198,90 @@ impl MergeableSummary for SpaceSaving {
         // `error_bound` certain, for this state and for all later updates.
         self.merge_slack = err_a + err_b;
         self
+    }
+}
+
+/// Wire format: capacity, processed, merge slack, then the counters as
+/// `(item, count, overestimate)` triples sorted by item. The count-bucket
+/// eviction index mirrors the counters exactly, so it is rebuilt on
+/// restore rather than shipped.
+impl Snapshot for SpaceSaving {
+    const TAG: u16 = codec::tag::SPACE_SAVING;
+
+    fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.put_tag(Self::TAG);
+        w.put_usize(self.capacity);
+        w.put_u64(self.processed);
+        w.put_u64(self.merge_slack);
+        let mut triples: Vec<(Item, u64, u64)> = self
+            .counters
+            .iter()
+            .map(|(&i, &(c, over))| (i, c, over))
+            .collect();
+        triples.sort_unstable_by_key(|&(i, _, _)| i);
+        w.put_len(triples.len());
+        for (item, count, over) in triples {
+            w.put_u64(item);
+            w.put_u64(count);
+            w.put_u64(over);
+        }
+    }
+}
+
+impl Restore for SpaceSaving {
+    fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
+        r.expect_tag(Self::TAG)?;
+        let capacity = r.get_usize()?;
+        if capacity == 0 {
+            return Err(CodecError::InvalidValue {
+                what: "SpaceSaving capacity must be positive",
+            });
+        }
+        let processed = r.get_u64()?;
+        let merge_slack = r.get_u64()?;
+        let len = r.get_len(24)?;
+        if len > capacity {
+            return Err(CodecError::InvalidValue {
+                what: "SpaceSaving holds more counters than its capacity",
+            });
+        }
+        // Pre-size from the validated counter count, not the untrusted
+        // `capacity` field (legal state, but must not drive an allocation).
+        let mut counters = HashMap::with_capacity(len + 1);
+        let mut buckets: BTreeMap<u64, BTreeSet<Item>> = BTreeMap::new();
+        let mut prev: Option<Item> = None;
+        for _ in 0..len {
+            let item = r.get_u64()?;
+            if prev.is_some_and(|p| p >= item) {
+                return Err(CodecError::InvalidValue {
+                    what: "SpaceSaving counters not strictly ascending by item",
+                });
+            }
+            prev = Some(item);
+            let count = r.get_u64()?;
+            let over = r.get_u64()?;
+            if count == 0 {
+                return Err(CodecError::InvalidValue {
+                    what: "SpaceSaving counters must be positive",
+                });
+            }
+            // A counter is admitted with count = over + 1 and only grows, so
+            // over < count whenever the item is tracked.
+            if over >= count {
+                return Err(CodecError::InvalidValue {
+                    what: "SpaceSaving overestimate must be below the count",
+                });
+            }
+            counters.insert(item, (count, over));
+            buckets.entry(count).or_default().insert(item);
+        }
+        Ok(Self {
+            capacity,
+            counters,
+            buckets,
+            processed,
+            merge_slack,
+        })
     }
 }
 

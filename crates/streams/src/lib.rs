@@ -25,6 +25,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod batch;
+pub mod codec;
 pub mod fasthash;
 pub mod frequency;
 pub mod generators;
@@ -36,6 +37,7 @@ pub mod stats;
 pub mod update;
 
 pub use batch::{aggregate_in_order, count_multiplicities, for_each_run};
+pub use codec::{CodecError, Restore, Snapshot, SnapshotReader, SnapshotWriter};
 pub use fasthash::{FastHashMap, FastHashSet};
 pub use frequency::FrequencyVector;
 pub use measure::{CappedCount, ConcaveLog, Fair, Huber, Lp, MeasureFn, Tukey, L1L2};

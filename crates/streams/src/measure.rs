@@ -19,7 +19,11 @@
 /// Only non-negative integer frequencies are passed to
 /// [`MeasureFn::value`]; turnstile callers take absolute values first, which
 /// matches the paper's requirement `G(x) = G(-x)`.
-pub trait MeasureFn: Clone + Send + Sync {
+///
+/// `PartialEq` compares the measure's *parameters*: two equal measures
+/// define the same target distribution, which is what merge-compatibility
+/// checks (and the snapshot decoder's cross-shard validation) rely on.
+pub trait MeasureFn: Clone + Send + Sync + PartialEq {
     /// A short human-readable name used in experiment reports.
     fn name(&self) -> &'static str;
 

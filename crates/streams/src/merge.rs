@@ -58,6 +58,16 @@ pub trait MergeableSampler: StreamSampler + Sized {
     /// Implementations panic when the two instances are structurally
     /// incompatible (different instance counts, universes, exponents, …).
     fn merge(self, other: Self, rng: &mut dyn StreamRng) -> Self;
+
+    /// Whether [`MergeableSampler::merge`] accepts these two instances —
+    /// the non-panicking pre-check for the structural compatibility the
+    /// merge otherwise asserts. Front-ends that accept *untrusted* state
+    /// (snapshot restore) call this before ever merging, so a crafted input
+    /// surfaces as a typed decode error instead of a query-time panic.
+    /// Implementations must return `false` whenever `merge` would panic —
+    /// deliberately a required method (not defaulted), so a new sampler
+    /// family cannot silently opt out of the decode-time guard.
+    fn merge_compatible(&self, other: &Self) -> bool;
 }
 
 /// A deterministic or randomized stream summary whose instances merge by

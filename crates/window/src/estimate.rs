@@ -19,6 +19,7 @@
 use crate::histogram::SmoothHistogram;
 use tps_random::Xoshiro256;
 use tps_sketches::AmsFpEstimator;
+use tps_streams::codec::{self, CodecError, Restore, Snapshot, SnapshotReader, SnapshotWriter};
 use tps_streams::{Item, SpaceUsage};
 
 /// A sliding-window `L_p`-norm estimator built from a smooth histogram of
@@ -48,6 +49,109 @@ impl crate::histogram::EstimatorFactory for LpFactory {
 
     fn create(&mut self) -> AmsFpEstimator {
         AmsFpEstimator::new(self.p, self.rows, self.cols, self.rng.jump())
+    }
+}
+
+/// Wire format: the factory's parameters plus its RNG position (each
+/// checkpoint's estimator receives a [`Xoshiro256::jump`] stream off this
+/// generator, so restoring the position keeps future checkpoints on the
+/// uninterrupted draw sequence).
+impl Snapshot for LpFactory {
+    const TAG: u16 = codec::tag::LP_FACTORY;
+
+    fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.put_tag(Self::TAG);
+        w.put_f64(self.p);
+        w.put_usize(self.rows);
+        w.put_usize(self.cols);
+        self.rng.encode_into(w);
+    }
+}
+
+impl Restore for LpFactory {
+    fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
+        r.expect_tag(Self::TAG)?;
+        let p = r.get_f64()?;
+        if !(p > 0.0 && p.is_finite()) {
+            return Err(CodecError::InvalidValue {
+                what: "factory exponent must be positive and finite",
+            });
+        }
+        let rows = r.get_usize()?;
+        let cols = r.get_usize()?;
+        // The factory's dimensions size every *future* checkpoint
+        // estimator, so the payload-length checks never see them; bound
+        // them so a crafted snapshot cannot smuggle an unbounded
+        // allocation into the first post-restore update. (Live
+        // configurations are a few thousand units; the cap leaves three
+        // orders of magnitude of headroom.)
+        const MAX_FACTORY_UNITS: usize = 1 << 20;
+        if rows == 0
+            || cols == 0
+            || rows
+                .checked_mul(cols)
+                .is_none_or(|units| units > MAX_FACTORY_UNITS)
+        {
+            return Err(CodecError::InvalidValue {
+                what: "factory dimensions out of range",
+            });
+        }
+        Ok(Self {
+            p,
+            rows,
+            cols,
+            rng: Xoshiro256::decode_from(r)?,
+        })
+    }
+}
+
+/// Wire format: the exponent, the safety factor, and the smooth histogram
+/// of AMS checkpoints.
+impl Snapshot for SlidingWindowLpEstimate {
+    const TAG: u16 = codec::tag::SLIDING_LP_ESTIMATE;
+
+    fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.put_tag(Self::TAG);
+        w.put_f64(self.p);
+        w.put_f64(self.safety_factor);
+        self.histogram.encode_into(w);
+    }
+}
+
+impl Restore for SlidingWindowLpEstimate {
+    fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
+        r.expect_tag(Self::TAG)?;
+        let p = r.get_f64()?;
+        if !(p > 0.0 && p.is_finite()) {
+            return Err(CodecError::InvalidValue {
+                what: "estimator exponent must be positive and finite",
+            });
+        }
+        let safety_factor = r.get_f64()?;
+        if !(safety_factor >= 1.0 && safety_factor.is_finite()) {
+            return Err(CodecError::InvalidValue {
+                what: "safety factor must be finite and at least 1",
+            });
+        }
+        let histogram: SmoothHistogram<LpFactory> = SmoothHistogram::decode_from(r)?;
+        // Live state carries bit-identical exponents in the estimator, its
+        // factory, and every checkpoint's AMS instance; a crafted snapshot
+        // must not smuggle in a disagreeing copy (future or existing
+        // checkpoints would silently estimate a different moment).
+        if histogram.factory().p.to_bits() != p.to_bits()
+            || histogram
+                .estimators()
+                .any(|e| e.p().to_bits() != p.to_bits())
+        {
+            return Err(CodecError::InvalidValue {
+                what: "window-norm estimator components disagree on the exponent",
+            });
+        }
+        Ok(Self {
+            p,
+            safety_factor,
+            histogram,
+        })
     }
 }
 

@@ -15,6 +15,7 @@
 
 use std::collections::VecDeque;
 
+use tps_streams::codec::{self, CodecError, Restore, Snapshot, SnapshotReader, SnapshotWriter};
 use tps_streams::{Estimator, Item, SpaceUsage, Timestamp};
 
 /// A factory producing fresh estimator instances, one per checkpoint.
@@ -101,6 +102,18 @@ impl<F: EstimatorFactory> SmoothHistogram<F> {
         self.checkpoints.iter().map(|c| c.start).collect()
     }
 
+    /// Read access to the checkpoint factory (wrappers use this for
+    /// decode-time configuration cross-checks and diagnostics).
+    pub fn factory(&self) -> &F {
+        &self.factory
+    }
+
+    /// The live checkpoint estimators, oldest first (same order as
+    /// [`SmoothHistogram::checkpoint_starts`]).
+    pub fn estimators(&self) -> impl Iterator<Item = &F::Output> {
+        self.checkpoints.iter().map(|c| &c.estimator)
+    }
+
     /// Processes one stream update.
     pub fn update(&mut self, item: Item) {
         self.time += 1;
@@ -173,6 +186,77 @@ impl<F: EstimatorFactory> SmoothHistogram<F> {
     /// value (after the inner estimator's own error).
     pub fn window_estimate(&self) -> f64 {
         self.over_estimate()
+    }
+}
+
+/// Wire format: window, pruning ratio, clock, the factory (so future
+/// checkpoints draw from the same RNG stream), then the live checkpoints
+/// oldest-first (start position + inner estimator each).
+impl<F> Snapshot for SmoothHistogram<F>
+where
+    F: EstimatorFactory + Snapshot,
+    F::Output: Snapshot,
+{
+    const TAG: u16 = codec::tag::SMOOTH_HISTOGRAM;
+
+    fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.put_tag(Self::TAG);
+        w.put_u64(self.window);
+        w.put_f64(self.beta);
+        w.put_u64(self.time);
+        self.factory.encode_into(w);
+        w.put_len(self.checkpoints.len());
+        for cp in &self.checkpoints {
+            w.put_u64(cp.start);
+            cp.estimator.encode_into(w);
+        }
+    }
+}
+
+impl<F> Restore for SmoothHistogram<F>
+where
+    F: EstimatorFactory + Restore,
+    F::Output: Restore,
+{
+    fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
+        r.expect_tag(Self::TAG)?;
+        let window = r.get_u64()?;
+        if window == 0 {
+            return Err(CodecError::InvalidValue {
+                what: "window must be positive",
+            });
+        }
+        let beta = r.get_f64()?;
+        if !(beta > 0.0 && beta < 1.0) {
+            return Err(CodecError::InvalidValue {
+                what: "pruning ratio beta outside (0, 1)",
+            });
+        }
+        let time = r.get_u64()?;
+        let factory = F::decode_from(r)?;
+        let count = r.get_len(8)?;
+        let mut checkpoints = VecDeque::with_capacity(count);
+        let mut prev = 0u64;
+        for _ in 0..count {
+            let start = r.get_u64()?;
+            if start <= prev || start > time {
+                return Err(CodecError::InvalidValue {
+                    what: "checkpoint starts must be strictly increasing and in range",
+                });
+            }
+            prev = start;
+            checkpoints.push_back(Checkpoint {
+                start,
+                estimator: F::Output::decode_from(r)?,
+            });
+        }
+        Ok(Self {
+            window,
+            beta,
+            factory,
+            checkpoints,
+            time,
+        })
     }
 }
 

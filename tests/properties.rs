@@ -792,3 +792,61 @@ fn query_before_first_window_fills() {
     }
     assert!(seen_index, "partial-window queries must succeed sometimes");
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(configured_cases()))]
+
+    /// The snapshot round-trip law as a property: for an arbitrary stream,
+    /// cut point and seed, encode → decode → continue ingesting leaves a
+    /// sampler byte-identical (snapshots are canonical, so byte equality is
+    /// state equality, RNG position included) to the uninterrupted run.
+    /// `tests/snapshot_roundtrip.rs` covers every type at fixed seeds; this
+    /// property hammers the representative stack — engine, Misra–Gries
+    /// `L_p` regime, sliding cohorts — with arbitrary inputs (4096 cases in
+    /// the weekly run).
+    #[test]
+    fn snapshot_roundtrip_law(stream in small_stream(), cut in 0usize..400, seed in 0u64..1_000) {
+        use tps_streams::codec::{Restore, Snapshot};
+
+        fn check<T: Snapshot + Restore>(
+            live: &mut T,
+            mut drive: impl FnMut(&mut T),
+        ) -> Result<(), TestCaseError> {
+            let bytes = live.snapshot();
+            let mut restored = match T::restore(&bytes) {
+                Ok(r) => r,
+                Err(e) => return Err(TestCaseError::fail(format!("restore failed: {e}"))),
+            };
+            prop_assert_eq!(&restored.snapshot(), &bytes, "snapshot not canonical");
+            drive(live);
+            drive(&mut restored);
+            prop_assert_eq!(
+                live.snapshot(),
+                restored.snapshot(),
+                "continued run diverged after restore"
+            );
+            Ok(())
+        }
+
+        let cut = cut.min(stream.len());
+        let mut lp = TrulyPerfectLpSampler::new(2.0, 64, 0.2, seed);
+        lp.update_batch(&stream[..cut]);
+        check(&mut lp, |s| {
+            s.update_batch(&stream[cut..]);
+            let _ = s.sample();
+        })?;
+
+        let mut sliding = SlidingWindowGSampler::new(Lp::new(1.0), 37, 0.2, seed);
+        SlidingWindowSampler::update_batch(&mut sliding, &stream[..cut]);
+        check(&mut sliding, |s| {
+            SlidingWindowSampler::update_batch(s, &stream[cut..]);
+            let _ = SlidingWindowSampler::sample(s);
+        })?;
+
+        let mut engine = tps_core::engine::SkipAheadEngine::with_seed(4, seed);
+        engine.update_batch(&stream[..cut]);
+        check(&mut engine, |e| {
+            e.update_batch(&stream[cut..]);
+        })?;
+    }
+}
