@@ -1,12 +1,14 @@
-//! E12 benchmark: ingest throughput of the sharded scatter-gather
-//! front-end against the single-instance batched path, on the 1M-update
-//! Zipf(1.1) workload the perf gates track.
+//! E12 benchmark: ingest throughput of the sharded front-end against the
+//! single-instance batched path, on the 1M-update Zipf(1.1) workload the
+//! perf gates track.
 //!
-//! Both phases run on scoped `std::thread` workers — `k` scatter workers
-//! partitioning positional chunks, then `k` ingest workers draining their
-//! shard's column — so the shard-count curve follows the host's available
-//! parallelism; per-worker scatter cost and shard skew are the overheads
-//! the speedup has to amortise.
+//! Shards ingest on the persistent worker-pool runtime — each shard a
+//! long-lived thread fed by an SPSC ring, with the coordinator's
+//! route-and-stage pass pipelining against shard ingest — so the
+//! shard-count curve follows the host's available parallelism; routing
+//! cost and shard skew are the overheads the speedup has to amortise.
+//! Every timed closure ends with `flush()`: `update_batch` returns once
+//! the batch is *enqueued*, so the wall clock must include draining it.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Duration;
@@ -45,6 +47,7 @@ fn bench_sharded_ingest(c: &mut Criterion) {
                             TrulyPerfectLpSampler::new(2.0, 4_096, 0.1, 40 + idx as u64)
                         });
                     sharded.update_batch(&stream);
+                    sharded.flush();
                     sharded.processed()
                 })
             },
@@ -59,6 +62,7 @@ fn bench_sharded_ingest(c: &mut Criterion) {
                 TrulyPerfectLpSampler::new(1.0, 4_096, 0.1, 60 + idx as u64)
             });
             sharded.update_batch(&stream);
+            sharded.flush();
             sharded.processed()
         })
     });

@@ -12,9 +12,20 @@
 //!   baseline (the acceptance floor for the L2 batch engine), which is the
 //!   tighter of the two bounds.
 //!
+//! With `--runtime <runtime.json>` the gate additionally judges the E13
+//! persistent-runtime report (`report -- --runtime --json`, the
+//! `BENCH_runtime.json` workload). Those checks are *self-contained
+//! ratios* of two same-host wall clocks measured inside one report run,
+//! so no committed baseline is involved:
+//!
+//! * persistent-runtime ingest must stay ≥ 0.95× the retired scoped-thread
+//!   path at the acceptance shard count (4, or the largest measured);
+//! * ingest throughput with periodic snapshot-isolated queries must stay
+//!   ≥ 0.9× the query-free run (the "queries are off the hot path" bar).
+//!
 //! ```text
 //! bench_regression --baseline BENCH_baseline.json --report report.json \
-//!     [--tolerance 0.15]
+//!     [--tolerance 0.15] [--runtime runtime.json]
 //! ```
 //!
 //! Exits 0 when every metric is within bounds, 1 on regression, 2 on
@@ -34,7 +45,7 @@ fn fail_usage(msg: &str) -> ! {
     eprintln!("bench_regression: {msg}");
     eprintln!(
         "usage: bench_regression --baseline <BENCH_baseline.json> --report <report.json> \
-         [--tolerance 0.15]"
+         [--tolerance 0.15] [--runtime <runtime.json>]"
     );
     std::process::exit(2);
 }
@@ -64,16 +75,79 @@ fn metric_value(section: &JsonValue, key: &str, path: &str) -> f64 {
     value
 }
 
+/// Gates the E13 persistent-runtime report. Both checks are ratios of two
+/// wall clocks measured on the same host inside the same report run, so
+/// they transfer across runner hardware; the floors are the PR acceptance
+/// bars, independent of `--tolerance`. Returns whether anything regressed.
+fn runtime_regressed(path: &str) -> bool {
+    let doc = read_json(path);
+    // Accept the bare `--runtime` report, a committed baseline nesting it
+    // under `runtime_report` (the `quick_report` convention), or a full
+    // report carrying `e13_runtime` alongside the other experiments.
+    let section = doc
+        .get_path("runtime_report.e13_runtime")
+        .or_else(|| doc.get("e13_runtime"))
+        .unwrap_or_else(|| fail_usage(&format!("{path}: no e13_runtime section")));
+    let rows = match section.get("rows") {
+        Some(JsonValue::Arr(rows)) if !rows.is_empty() => rows,
+        _ => fail_usage(&format!("{path}: no e13_runtime rows array")),
+    };
+    let acceptance_row = rows
+        .iter()
+        .find(|row| row.get("shards").and_then(JsonValue::as_f64) == Some(4.0))
+        .unwrap_or_else(|| rows.last().unwrap());
+    let shards = acceptance_row
+        .get("shards")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(f64::NAN);
+    let vs_scoped = acceptance_row
+        .get("runtime_vs_scoped")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or_else(|| fail_usage(&format!("{path}: missing runtime_vs_scoped")));
+    let vs_quiet = metric_value(section, "querying_vs_quiet", path);
+
+    let mut regressed = false;
+    println!(
+        "{:<44} {:>8} {:>8}  status",
+        "runtime metric (higher is better)", "ratio", "floor"
+    );
+    for (name, ratio, floor) in [
+        (
+            format!("runtime vs scoped ingest, {shards:.0} shards"),
+            vs_scoped,
+            0.95,
+        ),
+        (
+            "ingest w/ periodic queries vs quiet".to_string(),
+            vs_quiet,
+            0.90,
+        ),
+    ] {
+        let ok = ratio.is_finite() && ratio >= floor;
+        regressed |= !ok;
+        println!(
+            "{:<44} {:>8.3} {:>8.3}  {}",
+            name,
+            ratio,
+            floor,
+            if ok { "ok" } else { "REGRESSION" }
+        );
+    }
+    regressed
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut baseline_path = None;
     let mut report_path = None;
+    let mut runtime_path = None;
     let mut tolerance = 0.15f64;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--baseline" => baseline_path = it.next().cloned(),
             "--report" => report_path = it.next().cloned(),
+            "--runtime" => runtime_path = it.next().cloned(),
             "--tolerance" => {
                 tolerance = it
                     .next()
@@ -133,6 +207,10 @@ fn main() {
     let batch_melem =
         1_000.0 / metric_value(report, "truly_perfect_batch_nanos_per_update", &report_path);
     println!("batched ingest throughput: {batch_melem:.1} Melem/s");
+
+    if let Some(runtime_path) = runtime_path {
+        regressed |= runtime_regressed(&runtime_path);
+    }
 
     if regressed {
         eprintln!(

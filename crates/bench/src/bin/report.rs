@@ -1,14 +1,16 @@
 //! The experiment report generator.
 //!
-//! Runs every experiment of `EXPERIMENTS.md` (E1–E12, F1) at full scale and
+//! Runs every experiment of `EXPERIMENTS.md` (E1–E13, F1) at full scale and
 //! prints the result rows as human-readable tables; pass `--json` to emit a
 //! machine-readable JSON document instead, and `--quick` to run at the
 //! reduced scale used by CI. `--sharded` runs *only* the E12 shard-scaling
 //! experiment at its full 1M-Zipf scale (the `BENCH_sharded.json` workload)
-//! regardless of `--quick`.
+//! regardless of `--quick`; `--runtime` does the same for the E13
+//! persistent-runtime experiment (the `BENCH_runtime.json` workload).
 //!
 //! ```text
-//! cargo run --release -p tps-bench --bin report -- [--quick] [--json] [--sharded]
+//! cargo run --release -p tps-bench --bin report -- \
+//!     [--quick] [--json] [--sharded] [--runtime]
 //! ```
 
 use tps_bench::experiments as exp;
@@ -28,6 +30,7 @@ struct Report {
     e10_multipass: Vec<exp::MultiPassRow>,
     e11_matrix: Vec<exp::SamplerRow>,
     e12_sharded: exp::ShardedScaling,
+    e13_runtime: exp::RuntimeReport,
     f1_checkpoints: Vec<exp::CheckpointRow>,
 }
 
@@ -47,6 +50,7 @@ impl ToJson for Report {
             ("e10_multipass", self.e10_multipass.to_json()),
             ("e11_matrix", self.e11_matrix.to_json()),
             ("e12_sharded", self.e12_sharded.to_json()),
+            ("e13_runtime", self.e13_runtime.to_json()),
             ("f1_checkpoints", self.f1_checkpoints.to_json()),
         ])
     }
@@ -72,6 +76,7 @@ fn build_report(quick: bool) -> Report {
             e10_multipass: exp::e10_multipass(4_096, 3_000, &[0.5, 0.25, 0.125]),
             e11_matrix: exp::e11_matrix(&[4, 16], 400),
             e12_sharded: exp::e12_sharded(200_000, 4_096, &[1, 2, 4]),
+            e13_runtime: exp::e13_runtime(200_000, 4_096, &[1, 2, 4]),
             f1_checkpoints: exp::f1_checkpoints(&[1_000, 10_000]),
         }
     } else {
@@ -97,6 +102,7 @@ fn build_report(quick: bool) -> Report {
             e10_multipass: exp::e10_multipass(16_384, 8_000, &[0.5, 0.25, 0.125]),
             e11_matrix: exp::e11_matrix(&[4, 16, 64], 800),
             e12_sharded: sharded_scaling_full(),
+            e13_runtime: runtime_report_full(),
             f1_checkpoints: exp::f1_checkpoints(&[1_000, 10_000, 100_000]),
         }
     }
@@ -107,6 +113,13 @@ fn build_report(quick: bool) -> Report {
 /// record).
 fn sharded_scaling_full() -> exp::ShardedScaling {
     exp::e12_sharded(1_000_000, 4_096, &[1, 2, 4, 8])
+}
+
+/// The E13 acceptance workload: persistent-runtime ingest vs the retired
+/// scoped-thread path plus the ingest-during-query leg on the 1M-update
+/// Zipf(1.1) stream (the `BENCH_runtime.json` record).
+fn runtime_report_full() -> exp::RuntimeReport {
+    exp::e13_runtime(1_000_000, 4_096, &[1, 2, 4, 8])
 }
 
 fn print_sampler_rows(title: &str, rows: &[exp::SamplerRow]) {
@@ -152,10 +165,52 @@ fn print_sharded(scaling: &exp::ShardedScaling) {
     }
 }
 
+fn print_runtime(report: &exp::RuntimeReport) {
+    println!(
+        "\n== E13: persistent runtime vs scoped threads ({} updates in {}-item batches, \
+         {} core(s) available) ==",
+        report.stream_length, report.batch_len, report.cores
+    );
+    println!(
+        "{:>10} {:>18} {:>18} {:>10}",
+        "shards", "runtime Melem/s", "scoped Melem/s", "ratio"
+    );
+    for r in &report.rows {
+        println!(
+            "{:>10} {:>18.2} {:>18.2} {:>10.2}",
+            r.shards, r.runtime_melem_per_s, r.scoped_melem_per_s, r.runtime_vs_scoped
+        );
+    }
+    println!(
+        "ingest w/ query every {} batches : {:.2} Melem/s vs {:.2} quiet ({:.2}x)",
+        report.query_every_batches,
+        report.querying_melem_per_s,
+        report.quiet_melem_per_s,
+        report.querying_vs_quiet
+    );
+    println!(
+        "query latency                    : {:.1} us snapshot-isolated vs {:.1} us clone-and-merge",
+        report.snapshot_query_micros, report.clone_merge_query_micros
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    if args.iter().any(|a| a == "--runtime") {
+        let report = runtime_report_full();
+        if json {
+            let doc = Json::Obj(vec![
+                ("scale", "runtime".to_json()),
+                ("e13_runtime", report.to_json()),
+            ]);
+            println!("{}", doc.pretty());
+        } else {
+            print_runtime(&report);
+        }
+        return;
+    }
     if args.iter().any(|a| a == "--sharded") {
         let scaling = sharded_scaling_full();
         if json {
@@ -228,6 +283,15 @@ fn main() {
         report.e3_update_time.truly_perfect_batch_nanos_per_update,
         report.e3_update_time.batch_speedup
     );
+    println!(
+        "strict turnstile F0           : {:>10.0}",
+        report.e3_update_time.turnstile_f0_nanos_per_update
+    );
+    println!(
+        "strict turnstile F0, batched  : {:>10.0}  (speedup {:.2}x)",
+        report.e3_update_time.turnstile_f0_batch_nanos_per_update,
+        report.e3_update_time.turnstile_batch_speedup
+    );
     for (dup, nanos) in report
         .e3_update_time
         .baseline_duplications
@@ -299,6 +363,7 @@ fn main() {
     print_sampler_rows("E11: matrix row sampling", &report.e11_matrix);
 
     print_sharded(&report.e12_sharded);
+    print_runtime(&report.e13_runtime);
 
     println!("\n== F1: smooth-histogram checkpoints ==");
     println!(

@@ -403,6 +403,40 @@ impl ToJson for exp::ShardedScaling {
     }
 }
 
+impl ToJson for exp::RuntimeRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("shards", self.shards.to_json()),
+            ("runtime_melem_per_s", self.runtime_melem_per_s.to_json()),
+            ("scoped_melem_per_s", self.scoped_melem_per_s.to_json()),
+            ("runtime_vs_scoped", self.runtime_vs_scoped.to_json()),
+        ])
+    }
+}
+
+impl ToJson for exp::RuntimeReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("cores", self.cores.to_json()),
+            ("stream_length", self.stream_length.to_json()),
+            ("batch_len", self.batch_len.to_json()),
+            ("rows", self.rows.to_json()),
+            ("query_every_batches", self.query_every_batches.to_json()),
+            ("quiet_melem_per_s", self.quiet_melem_per_s.to_json()),
+            ("querying_melem_per_s", self.querying_melem_per_s.to_json()),
+            ("querying_vs_quiet", self.querying_vs_quiet.to_json()),
+            (
+                "snapshot_query_micros",
+                self.snapshot_query_micros.to_json(),
+            ),
+            (
+                "clone_merge_query_micros",
+                self.clone_merge_query_micros.to_json(),
+            ),
+        ])
+    }
+}
+
 impl ToJson for exp::LpSpaceRow {
     fn to_json(&self) -> Json {
         Json::Obj(vec![
@@ -427,6 +461,18 @@ impl ToJson for exp::UpdateTimeRow {
                 self.truly_perfect_batch_nanos_per_update.to_json(),
             ),
             ("batch_speedup", self.batch_speedup.to_json()),
+            (
+                "turnstile_f0_nanos_per_update",
+                self.turnstile_f0_nanos_per_update.to_json(),
+            ),
+            (
+                "turnstile_f0_batch_nanos_per_update",
+                self.turnstile_f0_batch_nanos_per_update.to_json(),
+            ),
+            (
+                "turnstile_batch_speedup",
+                self.turnstile_batch_speedup.to_json(),
+            ),
             (
                 "baseline_duplications",
                 self.baseline_duplications.to_json(),

@@ -123,6 +123,10 @@ pub struct SkipAheadEngine {
     rng: Xoshiro256,
     /// Number of updates this engine has seen.
     seen: u64,
+    /// Scratch for multi-slot wakeups (transient, never serialised): due
+    /// slot indices are collected here so their skip-ahead reschedules can
+    /// be drawn in one batched RNG pass.
+    wake_buf: Vec<usize>,
 }
 
 impl SkipAheadEngine {
@@ -144,6 +148,7 @@ impl SkipAheadEngine {
             references: FastHashMap::default(),
             rng,
             seen: 0,
+            wake_buf: Vec::new(),
         }
     }
 
@@ -208,15 +213,44 @@ impl SkipAheadEngine {
         self.seen += 1;
         // Shared suffix counting: one hash-table touch per update.
         self.table.update(item);
+        // Hot path: no slot is due at this position (skip-ahead makes
+        // replacements `O(k log m)` over the whole stream, so this peek is
+        // the only per-update schedule work).
+        if self
+            .schedule
+            .peek()
+            .is_some_and(|&Reverse((when, _))| when == self.seen)
+        {
+            self.wake_due_slots(item);
+        }
+    }
+
+    /// The outlined replacement path: pops every slot due at `seen`, moves
+    /// them all onto `item`, then draws their skip-ahead reschedules in one
+    /// batched RNG pass. The RNG sequence is identical to the historical
+    /// interleaved pop/draw loop — `switch_sample` consumes no randomness,
+    /// the due set is fixed before any draw (rescheduled positions are
+    /// strictly `> seen`, so a push can never join the current wake), and
+    /// draws happen in heap-pop order.
+    #[cold]
+    fn wake_due_slots(&mut self, item: Item) {
+        let mut wakes = std::mem::take(&mut self.wake_buf);
+        wakes.clear();
         while let Some(&Reverse((when, idx))) = self.schedule.peek() {
             if when != self.seen {
                 break;
             }
             self.schedule.pop();
+            wakes.push(idx);
+        }
+        for &idx in &wakes {
             self.switch_sample(idx, item);
+        }
+        for &idx in &wakes {
             let next = skip_ahead_replacement(&mut self.rng, self.seen);
             self.schedule.push(Reverse((next, idx)));
         }
+        self.wake_buf = wakes;
     }
 
     /// The amortised batch path.
@@ -593,6 +627,7 @@ impl Restore for SkipAheadEngine {
             references,
             rng,
             seen,
+            wake_buf: Vec::new(),
         })
     }
 }
@@ -604,6 +639,7 @@ impl SpaceUsage for SkipAheadEngine {
             + self.schedule.len() * std::mem::size_of::<Reverse<(Timestamp, usize)>>()
             + self.table.space_bytes()
             + hashmap_bytes(&self.references)
+            + self.wake_buf.capacity() * std::mem::size_of::<usize>()
     }
 }
 

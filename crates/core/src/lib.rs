@@ -47,6 +47,10 @@
 //! * [`sharded`] — the scatter-gather front-end: hash- or round-robin-
 //!   partitioned parallel ingest across `k` shard instances, answered by
 //!   query-time merging (`tps_streams::MergeableSampler`).
+//! * [`runtime`] — the persistent sharded runtime underneath [`sharded`]:
+//!   one long-lived worker thread per shard behind a bounded SPSC command
+//!   ring, with configurable backpressure and consistent-cut snapshot
+//!   barriers for snapshot-isolated queries.
 //!
 //! ## Quick example
 //!
@@ -78,6 +82,7 @@ pub mod matrix;
 pub mod mestimators;
 pub mod perfect_baselines;
 pub mod random_order;
+pub mod runtime;
 pub mod sampler_unit;
 pub mod sharded;
 pub mod sliding;

@@ -4,9 +4,10 @@
 //! The samplers in this workspace are one-pass and oblivious to how the
 //! stream is partitioned, so the single-core ingest ceiling is not a system
 //! ceiling: [`ShardedSampler`] routes updates across `k` independent shard
-//! instances, drives each shard's amortised batch path on its own
-//! `std::thread` worker during [`StreamSampler::update_batch`], and answers
-//! queries from a merged instance built through the shards'
+//! instances, feeds each shard's amortised batch path through the
+//! persistent worker pool of [`crate::runtime`] (one long-lived thread per
+//! shard behind a bounded SPSC ring — no per-batch spawn/join), and answers
+//! queries from snapshot-isolated cuts merged through the shards'
 //! [`MergeableSampler`] implementation.
 //!
 //! ## Routing and exactness
@@ -22,12 +23,30 @@
 //!   constant-increment measures (`L_1`, where acceptance ignores suffix
 //!   counts) and an approximation otherwise.
 //!
-//! Queries clone and fold-merge the shards (`O(k · state)`); the intended
-//! regime is the streaming one where updates outnumber queries by orders of
-//! magnitude.
+//! ## Query semantics (snapshot isolation)
+//!
+//! While the runtime is live, [`StreamSampler::sample`] no longer clones
+//! live shards. It enqueues a snapshot barrier: each worker emits its
+//! shard's PR-4 codec snapshot in-band, so the `k` records form a
+//! consistent cut (everything ingested before the query, nothing after).
+//! The coordinator restores and fold-merges the records off the ingest
+//! path; by the pinned restore-then-merge ≡ in-process-merge law the result
+//! is byte-identical to the old clone-and-merge, but workers resume
+//! ingesting as soon as their (cheap) serialisation is done instead of
+//! stalling behind an `O(total state)` merge.
+//!
+//! Backpressure when a shard's ring fills is configurable before the
+//! runtime starts ([`ShardedSampler::set_backpressure`]): block the caller,
+//! or spill chunks to a coordinator-side queue so ingest calls never block
+//! — even while a worker is busy emitting a snapshot.
 
+use std::cell::UnsafeCell;
+use std::sync::Mutex;
+
+use crate::runtime::{RuntimeConfig, ShardPool};
 use tps_random::Xoshiro256;
 use tps_streams::codec::{self, CodecError, Restore, Snapshot, SnapshotReader, SnapshotWriter};
+use tps_streams::spsc::Backpressure;
 use tps_streams::{Item, MergeableSampler, SampleOutcome, SpaceUsage, StreamSampler};
 
 /// How [`ShardedSampler`] routes updates to shards.
@@ -54,39 +73,91 @@ fn mix(item: Item) -> u64 {
 
 /// Maps a mixed hash onto `[0, shards)` with Lemire's multiply-shift range
 /// reduction — one widening multiply instead of the 64-bit division a `%`
-/// would cost per scattered item. Scatter workers each pay this per item
-/// of their chunk, so it sits on the parallel critical path.
+/// would cost per scattered item.
 #[inline]
 fn route(hash: u64, shards: usize) -> usize {
     (((hash as u128) * (shards as u128)) >> 64) as usize
 }
 
 /// Batches smaller than this many items *per shard* are scattered and
-/// drained on the calling thread: below it, spawning `2k` scoped workers
-/// costs more than the routed work itself. The sequential path is
-/// chunking-equivalent to the parallel one (same routing, same per-shard
-/// order), so the cutoff is invisible to sampler semantics.
+/// drained on the calling thread while the runtime is not yet live: below
+/// it, the routed work is too small to be worth waking `k` workers for.
+/// The sequential path is chunking-equivalent to the runtime one (same
+/// routing, same per-shard order), so the cutoff is invisible to sampler
+/// semantics. Once the first large batch has started the runtime, all
+/// subsequent updates flow through it.
 const PARALLEL_MIN_PER_SHARD: usize = 4_096;
+
+/// Items staged per shard before a chunk is shipped to the shard's ring.
+/// Coarse enough that ring crossings and reply traffic are amortised away,
+/// fine enough that a batch pipelines across workers instead of arriving
+/// as one monolith per shard.
+const RUNTIME_CHUNK: usize = 32 * 1024;
+
+/// The live half of the runtime: the worker pool plus the per-shard
+/// staging buffers of routed-but-unshipped items. Boxed behind a `Mutex`
+/// so `&self` accessors can quiesce (ship + flush) through interior
+/// mutability while `ShardedSampler` stays `Send`.
+struct RuntimeState {
+    pool: ShardPool,
+    staging: Vec<Vec<Item>>,
+}
+
+impl RuntimeState {
+    /// Ships every non-empty staging buffer to its ring (order-preserving:
+    /// staged items were routed after everything already shipped).
+    fn ship_staged(&mut self) {
+        for (shard, buffer) in self.staging.iter_mut().enumerate() {
+            if !buffer.is_empty() {
+                let chunk = std::mem::take(buffer);
+                self.pool.send(shard, chunk);
+            }
+        }
+    }
+
+    /// Ships staged items and waits until every worker has applied them.
+    fn quiesce(&mut self) {
+        self.ship_staged();
+        self.pool.flush();
+    }
+}
 
 /// A scatter-gather front-end over `k` shard instances of a mergeable
 /// sampler (see the module docs).
-#[derive(Debug, Clone)]
 pub struct ShardedSampler<S> {
-    shards: Vec<S>,
+    /// Declared first so drop order joins the workers *before* the shard
+    /// states they point into are dropped.
+    runtime: Option<Mutex<RuntimeState>>,
+    /// Owned shard states. `UnsafeCell` because, while the runtime is
+    /// live, worker `j` mutates shard `j` through a raw pointer; the
+    /// coordinator only touches a shard after a completed barrier (see
+    /// [`crate::runtime::ShardPool::start`]'s contract). Boxed slice: the
+    /// allocation must never move while workers hold pointers into it.
+    shards: Box<[UnsafeCell<S>]>,
     strategy: ShardingStrategy,
     /// Round-robin cursor: the shard the next update is routed to.
     cursor: usize,
-    /// `k × k` scatter buffers in row-major `[worker][shard]` order, reused
-    /// across batches: scatter worker `w` fills row `w`, ingest worker `j`
-    /// drains column `j` in row order (which preserves stream order, so the
-    /// engines' batch ≡ loop law applies per shard).
-    buffers: Vec<Vec<Item>>,
+    /// Transient per-shard scatter buffers for the sequential (pre-runtime)
+    /// batch path; never holds data across calls and never serialised.
+    scratch: Vec<Vec<Item>>,
     /// Coins for the query-time merge draws.
     rng: Xoshiro256,
     processed: u64,
+    /// Policy applied when the runtime starts (not serialised: snapshots
+    /// restore to the default, [`Backpressure::Block`]).
+    backpressure: Backpressure,
 }
 
-impl<S: MergeableSampler + Clone + Send> ShardedSampler<S> {
+// `UnsafeCell` suppresses auto-`Send`; shipping the whole front-end to
+// another thread is still fine: the boxed slice's allocation (which the
+// workers point into) does not move, and `&mut`/owned access to the
+// coordinator half is unique by construction.
+unsafe impl<S: Send> Send for ShardedSampler<S> {}
+
+impl<S> ShardedSampler<S>
+where
+    S: MergeableSampler + Clone + Send + Snapshot + Restore + 'static,
+{
     /// Creates a sharded sampler with `shards` instances built by
     /// `factory(shard_index)`. The factory decides seeding: independent
     /// seeds for the reservoir samplers; one shared seed for `F_0` shards
@@ -103,12 +174,16 @@ impl<S: MergeableSampler + Clone + Send> ShardedSampler<S> {
     ) -> Self {
         assert!(shards > 0, "need at least one shard");
         Self {
-            shards: (0..shards).map(&mut factory).collect(),
+            runtime: None,
+            shards: (0..shards)
+                .map(|idx| UnsafeCell::new(factory(idx)))
+                .collect(),
             strategy,
             cursor: 0,
-            buffers: vec![Vec::new(); shards * shards],
+            scratch: Vec::new(),
             rng: Xoshiro256::seed_from_u64(seed ^ 0x5AAD_ED00),
             processed: 0,
+            backpressure: Backpressure::Block,
         }
     }
 
@@ -117,7 +192,8 @@ impl<S: MergeableSampler + Clone + Send> ShardedSampler<S> {
         self.shards.len()
     }
 
-    /// Number of updates processed across all shards.
+    /// Number of updates processed across all shards (counted at routing
+    /// time, so it includes staged and in-flight items).
     pub fn processed(&self) -> u64 {
         self.processed
     }
@@ -127,9 +203,46 @@ impl<S: MergeableSampler + Clone + Send> ShardedSampler<S> {
         self.strategy
     }
 
-    /// Read access to one shard (diagnostics and tests).
+    /// The backpressure policy the runtime (will) run with.
+    pub fn backpressure(&self) -> Backpressure {
+        self.backpressure
+    }
+
+    /// Configures what ingest does when a shard's ring is full. Must be
+    /// called before the runtime starts (i.e. before the first batch large
+    /// enough to cross the parallel cutoff).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker pool is already running.
+    pub fn set_backpressure(&mut self, policy: Backpressure) {
+        assert!(
+            self.runtime.is_none(),
+            "set the backpressure policy before the runtime starts"
+        );
+        self.backpressure = policy;
+    }
+
+    /// Whether the persistent worker pool is live.
+    pub fn runtime_active(&self) -> bool {
+        self.runtime.is_some()
+    }
+
+    /// Blocks until every routed update has been applied to its shard
+    /// (no-op while the runtime is not live). After `flush` returns, reads
+    /// through [`Self::shard`] observe the complete stream so far.
+    pub fn flush(&mut self) {
+        self.quiesce();
+    }
+
+    /// Read access to one shard (diagnostics and tests). Quiesces the
+    /// runtime first, so the view includes every update routed so far.
     pub fn shard(&self, idx: usize) -> &S {
-        &self.shards[idx]
+        self.quiesce();
+        // SAFETY: after `quiesce` all rings are empty and every worker is
+        // parked; the returned shared borrow keeps `&self` alive, and all
+        // command-issuing methods require `&mut self`.
+        unsafe { &*self.shards[idx].get() }
     }
 
     /// The shard index an item is routed to under [`ShardingStrategy::Hash`].
@@ -138,23 +251,121 @@ impl<S: MergeableSampler + Clone + Send> ShardedSampler<S> {
         route(mix(item), self.shards.len())
     }
 
-    /// Builds a merged sampler answering for the combined stream of all
-    /// shards, by fold-merging clones (the shards keep ingesting
-    /// afterwards). Merge coins come from the front-end's own RNG, so
-    /// repeated queries draw independent merged states.
-    pub fn merged(&mut self) -> S {
-        let mut shards = self.shards.iter().cloned();
-        let mut merged = shards.next().expect("at least one shard");
-        for shard in shards {
-            merged = merged.merge(shard, &mut self.rng);
+    /// Ships staged chunks and waits for every worker to go idle. After
+    /// this returns (and until the next command is sent), the coordinator
+    /// may access shard states directly.
+    fn quiesce(&self) {
+        if let Some(runtime) = &self.runtime {
+            runtime.lock().unwrap().quiesce();
         }
-        merged
+    }
+
+    /// Direct mutable access to one shard; only sound while the runtime is
+    /// not live or fully quiesced.
+    fn shard_mut(&mut self, idx: usize) -> &mut S {
+        debug_assert!(self.runtime.is_none(), "direct access requires no runtime");
+        self.shards[idx].get_mut()
+    }
+
+    /// Starts the persistent worker pool over the current shard states.
+    fn start_runtime(&mut self) {
+        debug_assert!(self.runtime.is_none());
+        let ptrs: Vec<*mut S> = self.shards.iter().map(UnsafeCell::get).collect();
+        // SAFETY: the pointers target the boxed slice owned by `self`,
+        // which is never resized and outlives the pool (`runtime` is
+        // declared before `shards`, so the pool joins its workers first on
+        // drop; `Self` is only movable as a whole, which does not move the
+        // boxed allocation). Coordinator-side access to the pointees only
+        // happens behind `quiesce()` barriers, per the contract.
+        let pool = unsafe {
+            ShardPool::start(
+                &ptrs,
+                RuntimeConfig {
+                    backpressure: self.backpressure,
+                    ..RuntimeConfig::default()
+                },
+            )
+        };
+        self.runtime = Some(Mutex::new(RuntimeState {
+            pool,
+            staging: vec![Vec::new(); self.shards.len()],
+        }));
+    }
+
+    /// Routes `items` into the live runtime's staging buffers, shipping
+    /// each buffer as it reaches [`RUNTIME_CHUNK`]. Per-shard item order is
+    /// exactly the loop order, so the engines' batch ≡ loop law carries
+    /// over chunk boundaries unchanged.
+    fn scatter_to_runtime(&mut self, items: &[Item]) {
+        let k = self.shards.len();
+        let strategy = self.strategy;
+        let mut cursor = self.cursor;
+        let state = self
+            .runtime
+            .as_mut()
+            .expect("runtime is live")
+            .get_mut()
+            .unwrap();
+        for &item in items {
+            let shard = match strategy {
+                ShardingStrategy::Hash => route(mix(item), k),
+                ShardingStrategy::RoundRobin => {
+                    let shard = cursor;
+                    cursor += 1;
+                    if cursor == k {
+                        cursor = 0;
+                    }
+                    shard
+                }
+            };
+            let buffer = &mut state.staging[shard];
+            buffer.push(item);
+            if buffer.len() >= RUNTIME_CHUNK {
+                let mut fresh = state.pool.take_buffer();
+                std::mem::swap(buffer, &mut fresh);
+                state.pool.send(shard, fresh);
+            }
+        }
+        self.cursor = cursor;
+    }
+
+    /// Builds a merged sampler answering for the combined stream of all
+    /// shards. While the runtime is live this restores the workers'
+    /// consistent-cut snapshots and fold-merges those (the shards keep
+    /// ingesting in the meantime); otherwise it fold-merges clones. The two
+    /// paths agree byte-for-byte by the restore-then-merge ≡
+    /// in-process-merge law. Merge coins come from the front-end's own RNG,
+    /// so repeated queries draw independent merged states.
+    pub fn merged(&mut self) -> S {
+        if let Some(runtime) = &mut self.runtime {
+            let state = runtime.get_mut().unwrap();
+            state.ship_staged();
+            let records = state.pool.snapshot_all();
+            let mut shards = records
+                .iter()
+                .map(|bytes| S::restore(bytes).expect("a worker-emitted snapshot always restores"));
+            let mut merged = shards.next().expect("at least one shard");
+            for shard in shards {
+                merged = merged.merge(shard, &mut self.rng);
+            }
+            merged
+        } else {
+            let mut shards = self
+                .shards
+                .iter()
+                .map(|cell| unsafe { &*cell.get() }.clone());
+            let mut merged = shards.next().expect("at least one shard");
+            for shard in shards {
+                merged = merged.merge(shard, &mut self.rng);
+            }
+            merged
+        }
     }
 }
 
-/// Scatters one positional chunk into `k` per-shard buffers. `base` is the
-/// chunk's global offset within the batch (plus the round-robin cursor),
-/// so cyclic routing reproduces the per-item loop's assignment exactly.
+/// Scatters one chunk into `k` per-shard buffers. `base` is the chunk's
+/// global offset within the batch (plus the round-robin cursor), so cyclic
+/// routing reproduces the per-item loop's assignment exactly.
 fn scatter_chunk(
     chunk: &[Item],
     buffers: &mut [Vec<Item>],
@@ -182,9 +393,16 @@ fn scatter_chunk(
     }
 }
 
-impl<S: MergeableSampler + Clone + Send> StreamSampler for ShardedSampler<S> {
+impl<S> StreamSampler for ShardedSampler<S>
+where
+    S: MergeableSampler + Clone + Send + Snapshot + Restore + 'static,
+{
     fn update(&mut self, item: Item) {
         self.processed += 1;
+        if self.runtime.is_some() {
+            self.scatter_to_runtime(std::slice::from_ref(&item));
+            return;
+        }
         let shard = match self.strategy {
             ShardingStrategy::Hash => self.hash_shard_of(item),
             ShardingStrategy::RoundRobin => {
@@ -193,28 +411,28 @@ impl<S: MergeableSampler + Clone + Send> StreamSampler for ShardedSampler<S> {
                 shard
             }
         };
-        self.shards[shard].update(item);
+        self.shard_mut(shard).update(item);
     }
 
-    /// The two-phase parallel ingest path.
+    /// The persistent-runtime ingest path.
     ///
-    /// **Phase 1 (parallel scatter):** the batch is cut into `k` positional
-    /// chunks; worker `w` partitions chunk `w` into `k` per-shard buffers
-    /// (row `w` of the `k × k` buffer matrix). No sequential scatter pass
-    /// remains on the critical path — with enough cores it costs one
-    /// `1/k`-sized scan instead of a full one.
-    ///
-    /// **Phase 2 (parallel ingest):** worker `j` drains column `j` — the
-    /// sub-batches destined for shard `j`, in chunk order, which is stream
-    /// order — through shard `j`'s amortised `update_batch`.
+    /// While the worker pool is live (or once this batch is large enough —
+    /// [`PARALLEL_MIN_PER_SHARD`] items per shard — to start it), the
+    /// coordinator routes items into per-shard staging buffers and ships
+    /// each as a [`RUNTIME_CHUNK`]-sized chunk onto that shard's SPSC ring;
+    /// workers drain their rings through the engines' amortised
+    /// `update_batch`. The call returns as soon as the batch is enqueued —
+    /// chunks pipeline across shards with no spawn/join and no barrier per
+    /// batch. Use [`ShardedSampler::flush`] (or any query/snapshot) for a
+    /// completion barrier.
     ///
     /// Routing is deterministic (hash of the item, or the round-robin
-    /// cursor plus the item's position) and each shard owns a private RNG,
-    /// and the engines' batch ≡ loop law makes multi-slice draining
-    /// chunking-invariant — so sharded batch ingestion ≡ sharded per-item
-    /// ingestion regardless of thread scheduling. Batches too small to
-    /// amortise thread spawns ([`PARALLEL_MIN_PER_SHARD`] items per shard)
-    /// take an equivalent scatter-and-drain path on the calling thread.
+    /// cursor), each shard owns a private RNG, and the engines'
+    /// batch ≡ loop law makes multi-chunk draining chunking-invariant — so
+    /// sharded batch ingestion ≡ sharded per-item ingestion regardless of
+    /// how chunks land on worker threads. Batches below the cutoff (before
+    /// the runtime has started) take an equivalent scatter-and-drain path
+    /// on the calling thread.
     fn update_batch(&mut self, items: &[Item]) {
         self.processed += items.len() as u64;
         if items.is_empty() {
@@ -222,81 +440,117 @@ impl<S: MergeableSampler + Clone + Send> StreamSampler for ShardedSampler<S> {
         }
         let k = self.shards.len();
         if k == 1 {
-            self.shards[0].update_batch(items);
+            self.shard_mut(0).update_batch(items);
             return;
         }
-        // The scatter matrix is transient state, sized lazily so that
-        // restoring a snapshot never performs a `k²` allocation up front
-        // (a decoder must not let a linear-size input drive a quadratic
-        // allocation); the first batch after a restore pays it here, once.
-        if self.buffers.len() != k * k {
-            self.buffers = vec![Vec::new(); k * k];
+        if self.runtime.is_none() && items.len() >= k * PARALLEL_MIN_PER_SHARD {
+            self.start_runtime();
         }
-        for buffer in &mut self.buffers {
+        if self.runtime.is_some() {
+            self.scatter_to_runtime(items);
+            return;
+        }
+        // Sequential small-batch path: scatter on the calling thread, then
+        // drain each shard's sub-batch in stream order. The scratch matrix
+        // is transient state, sized lazily so restoring a snapshot never
+        // allocates it up front.
+        if self.scratch.len() != k {
+            self.scratch = vec![Vec::new(); k];
+        }
+        for buffer in &mut self.scratch {
             buffer.clear();
         }
         let cursor = self.cursor;
-        let strategy = self.strategy;
-        if items.len() < k * PARALLEL_MIN_PER_SHARD {
-            scatter_chunk(items, &mut self.buffers[..k], strategy, cursor);
-            if strategy == ShardingStrategy::RoundRobin {
-                self.cursor = (cursor + items.len()) % k;
-            }
-            for (shard, buffer) in self.shards.iter_mut().zip(&self.buffers) {
-                if !buffer.is_empty() {
-                    shard.update_batch(buffer);
-                }
-            }
-            return;
-        }
-        let chunk_len = items.len().div_ceil(k);
-        std::thread::scope(|scope| {
-            for (w, (chunk, row)) in items
-                .chunks(chunk_len)
-                .zip(self.buffers.chunks_mut(k))
-                .enumerate()
-            {
-                scope.spawn(move || scatter_chunk(chunk, row, strategy, cursor + w * chunk_len));
-            }
-        });
-        if strategy == ShardingStrategy::RoundRobin {
+        scatter_chunk(items, &mut self.scratch, self.strategy, cursor);
+        if self.strategy == ShardingStrategy::RoundRobin {
             self.cursor = (cursor + items.len()) % k;
         }
-        let buffers = &self.buffers;
-        std::thread::scope(|scope| {
-            for (j, shard) in self.shards.iter_mut().enumerate() {
-                scope.spawn(move || {
-                    for row in 0..k {
-                        let buffer = &buffers[row * k + j];
-                        if !buffer.is_empty() {
-                            shard.update_batch(buffer);
-                        }
-                    }
-                });
+        let scratch = std::mem::take(&mut self.scratch);
+        for (shard, buffer) in scratch.iter().enumerate() {
+            if !buffer.is_empty() {
+                self.shard_mut(shard).update_batch(buffer);
             }
-        });
+        }
+        self.scratch = scratch;
     }
 
-    /// Merges the shards and queries the merged instance.
+    /// Merges the shards — from snapshot-isolated cuts while the runtime is
+    /// live — and queries the merged instance.
     fn sample(&mut self) -> SampleOutcome {
         self.merged().sample()
     }
 }
 
+impl<S> Clone for ShardedSampler<S>
+where
+    S: MergeableSampler + Clone + Send + Snapshot + Restore + 'static,
+{
+    /// Clones the coordinator state and (quiesced) shard states. The clone
+    /// starts without a live runtime; its pool starts lazily at its first
+    /// large batch.
+    fn clone(&self) -> Self {
+        self.quiesce();
+        Self {
+            runtime: None,
+            shards: self
+                .shards
+                .iter()
+                .map(|cell| UnsafeCell::new(unsafe { &*cell.get() }.clone()))
+                .collect(),
+            strategy: self.strategy,
+            cursor: self.cursor,
+            scratch: Vec::new(),
+            rng: self.rng.clone(),
+            processed: self.processed,
+            backpressure: self.backpressure,
+        }
+    }
+}
+
+impl<S> std::fmt::Debug for ShardedSampler<S>
+where
+    S: MergeableSampler + Clone + Send + Snapshot + Restore + 'static + std::fmt::Debug,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.quiesce();
+        let shards: Vec<&S> = self
+            .shards
+            .iter()
+            // SAFETY: quiesced above; see `Self::shard`.
+            .map(|cell| unsafe { &*cell.get() })
+            .collect();
+        f.debug_struct("ShardedSampler")
+            .field("strategy", &self.strategy)
+            .field("cursor", &self.cursor)
+            .field("processed", &self.processed)
+            .field("backpressure", &self.backpressure)
+            .field("runtime_active", &self.runtime.is_some())
+            .field("shards", &shards)
+            .finish()
+    }
+}
+
 /// Wire format: the router configuration (strategy, round-robin cursor,
 /// merge-coin RNG position, processed count) followed by each shard's own
-/// snapshot. The transient scatter buffers are not shipped; the first
-/// batch after a restore re-sizes them lazily.
+/// snapshot. Runtime state (worker pool, staging, backpressure policy) is
+/// operational, not logical: encoding quiesces the pool and ships only the
+/// shard states, and a restored sampler starts with a cold runtime and the
+/// default backpressure.
 ///
 /// Because each shard is itself a complete snapshot of a mergeable
 /// sampler, the per-shard records can also be shipped to *different*
 /// processes and recombined there through
 /// [`MergeableSampler`](tps_streams::MergeableSampler) — restore-then-merge
-/// is the cross-machine scatter-gather path this format exists for.
-impl<S: MergeableSampler + Clone + Send + Snapshot> Snapshot for ShardedSampler<S> {
+/// is both the cross-machine scatter-gather path and what the runtime's
+/// own snapshot-isolated queries replay in-process.
+impl<S> Snapshot for ShardedSampler<S>
+where
+    S: MergeableSampler + Clone + Send + Snapshot + Restore + 'static,
+{
     const TAG: u16 = codec::tag::SHARDED_SAMPLER;
 
     fn encode_into(&self, w: &mut SnapshotWriter) {
+        self.quiesce();
         w.put_tag(Self::TAG);
         w.put_u8(match self.strategy {
             ShardingStrategy::Hash => 0,
@@ -306,13 +560,17 @@ impl<S: MergeableSampler + Clone + Send + Snapshot> Snapshot for ShardedSampler<
         w.put_u64(self.processed);
         self.rng.encode_into(w);
         w.put_len(self.shards.len());
-        for shard in &self.shards {
-            shard.encode_into(w);
+        for cell in &self.shards {
+            // SAFETY: quiesced above; see `Self::shard`.
+            unsafe { &*cell.get() }.encode_into(w);
         }
     }
 }
 
-impl<S: MergeableSampler + Clone + Send + Restore> Restore for ShardedSampler<S> {
+impl<S> Restore for ShardedSampler<S>
+where
+    S: MergeableSampler + Clone + Send + Snapshot + Restore + 'static,
+{
     fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
         r.expect_tag(Self::TAG)?;
         let strategy = match r.get_u8()? {
@@ -328,11 +586,9 @@ impl<S: MergeableSampler + Clone + Send + Restore> Restore for ShardedSampler<S>
         let processed = r.get_u64()?;
         let rng = Xoshiro256::decode_from(r)?;
         let count = r.get_len(1)?;
-        // The shard count sizes the `k²` scatter matrix on the first
-        // post-restore batch, so the payload-length bound alone (one byte
-        // per shard) is not enough — a linear-size snapshot must not drive
-        // a quadratic allocation. Shard counts track core counts; the cap
-        // leaves an order of magnitude beyond any real host.
+        // Shard counts track core counts; the cap leaves an order of
+        // magnitude beyond any real host while keeping a hostile length
+        // from driving the per-shard decode loop.
         const MAX_SHARDS: usize = 1 << 10;
         if count == 0 || count > MAX_SHARDS {
             return Err(CodecError::InvalidValue {
@@ -363,28 +619,35 @@ impl<S: MergeableSampler + Clone + Send + Restore> Restore for ShardedSampler<S>
             shards.push(shard);
         }
         Ok(Self {
-            // Sized lazily by the first `update_batch` — never `count²`
-            // inside the decoder.
-            buffers: Vec::new(),
-            shards,
+            runtime: None,
+            shards: shards.into_iter().map(UnsafeCell::new).collect(),
             strategy,
             cursor,
+            // Sized lazily by the first sequential batch — never inside
+            // the decoder.
+            scratch: Vec::new(),
             rng,
             processed,
+            backpressure: Backpressure::Block,
         })
     }
 }
 
-impl<S: SpaceUsage> SpaceUsage for ShardedSampler<S> {
+impl<S> SpaceUsage for ShardedSampler<S>
+where
+    S: MergeableSampler + Clone + Send + Snapshot + Restore + 'static + SpaceUsage,
+{
     fn space_bytes(&self) -> usize {
+        self.quiesce();
         std::mem::size_of::<Self>()
             + self
                 .shards
                 .iter()
-                .map(SpaceUsage::space_bytes)
+                // SAFETY: quiesced above; see `Self::shard`.
+                .map(|cell| unsafe { &*cell.get() }.space_bytes())
                 .sum::<usize>()
             + self
-                .buffers
+                .scratch
                 .iter()
                 .map(|b| b.capacity() * std::mem::size_of::<Item>())
                 .sum::<usize>()
@@ -460,39 +723,89 @@ mod tests {
         }
     }
 
-    /// The threaded path (one whole-stream batch above the per-shard
-    /// parallelism cutoff) and the sequential small-batch path (many
-    /// chunks below it) leave identical states — same shard contents, same
-    /// query RNG position — for both routing strategies.
+    /// The runtime path (one whole-stream batch above the per-shard
+    /// parallelism cutoff, for both backpressure policies) and the
+    /// sequential small-batch path (many chunks below it) leave identical
+    /// states — same shard contents, same query RNG position — for both
+    /// routing strategies.
     #[test]
-    fn parallel_path_equals_sequential_path_and_loop() {
+    fn runtime_path_equals_sequential_path_and_loop() {
         let len = 3 * PARALLEL_MIN_PER_SHARD + 1_234;
         let stream = zipfish_stream(len, 61);
-        assert!(len >= 3 * PARALLEL_MIN_PER_SHARD, "must cross the cutoff");
         for strategy in [ShardingStrategy::Hash, ShardingStrategy::RoundRobin] {
-            let mut parallel = sharded_l2(3, strategy, 21);
-            parallel.update_batch(&stream);
-            let mut sequential = sharded_l2(3, strategy, 21);
-            for piece in stream.chunks(501) {
-                sequential.update_batch(piece);
+            for backpressure in [Backpressure::Block, Backpressure::Spill] {
+                let mut looped = sharded_l2(3, strategy, 21);
+                for &x in &stream {
+                    looped.update(x);
+                }
+                let mut sequential = sharded_l2(3, strategy, 21);
+                for piece in stream.chunks(501) {
+                    sequential.update_batch(piece);
+                }
+                let mut parallel = sharded_l2(3, strategy, 21);
+                parallel.set_backpressure(backpressure);
+                parallel.update_batch(&stream);
+                assert!(parallel.runtime_active(), "cutoff must start the runtime");
+                for draw in 0..6 {
+                    let want = looped.sample();
+                    assert_eq!(
+                        want,
+                        parallel.sample(),
+                        "{strategy:?}/{backpressure:?} runtime path diverged at draw {draw}"
+                    );
+                    assert_eq!(
+                        want,
+                        sequential.sample(),
+                        "{strategy:?} sequential path diverged at draw {draw}"
+                    );
+                }
             }
-            let mut looped = sharded_l2(3, strategy, 21);
-            for &x in &stream {
-                looped.update(x);
-            }
-            for draw in 0..6 {
-                let expected = looped.sample();
-                assert_eq!(
-                    expected,
-                    parallel.sample(),
-                    "{strategy:?} parallel path diverged at draw {draw}"
-                );
-                assert_eq!(
-                    expected,
-                    sequential.sample(),
-                    "{strategy:?} sequential path diverged at draw {draw}"
-                );
-            }
+        }
+    }
+
+    /// Queries issued *while* the runtime keeps ingesting match a
+    /// quiesce-then-query reference: the snapshot barrier cuts exactly at
+    /// the routed prefix, and later batches land on top of the same state.
+    #[test]
+    fn snapshot_isolated_queries_interleave_with_ingest() {
+        let len = 3 * PARALLEL_MIN_PER_SHARD;
+        let stream = zipfish_stream(2 * len, 61);
+        let (first, second) = stream.split_at(len);
+        let mut live = sharded_l2(3, ShardingStrategy::Hash, 33);
+        let mut reference = sharded_l2(3, ShardingStrategy::Hash, 33);
+        live.update_batch(first);
+        assert!(live.runtime_active());
+        reference.update_batch(first);
+        reference.flush();
+        // Query mid-stream: must answer for exactly the prefix.
+        assert_eq!(live.sample(), reference.sample());
+        live.update_batch(second);
+        reference.update_batch(second);
+        for draw in 0..4 {
+            assert_eq!(live.sample(), reference.sample(), "draw {draw} diverged");
+        }
+    }
+
+    /// Clones and snapshots taken while the runtime is live observe the
+    /// full routed stream (quiesce-on-read), and the clone behaves like an
+    /// independent sampler from that point.
+    #[test]
+    fn clone_and_snapshot_quiesce_the_live_runtime() {
+        let len = 2 * PARALLEL_MIN_PER_SHARD;
+        let stream = zipfish_stream(len, 97);
+        let mut live = sharded_l2(2, ShardingStrategy::Hash, 5);
+        live.update_batch(&stream);
+        assert!(live.runtime_active());
+        let mut cloned = live.clone();
+        assert!(!cloned.runtime_active());
+        assert_eq!(cloned.processed(), live.processed());
+        let bytes = live.snapshot();
+        let mut restored: ShardedSampler<TrulyPerfectLpSampler> =
+            ShardedSampler::restore(&bytes).unwrap();
+        for draw in 0..4 {
+            let want = live.sample();
+            assert_eq!(want, cloned.sample(), "clone diverged at draw {draw}");
+            assert_eq!(want, restored.sample(), "restore diverged at draw {draw}");
         }
     }
 

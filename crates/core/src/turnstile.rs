@@ -313,6 +313,52 @@ impl TurnstileSampler for StrictTurnstileF0Sampler {
         }
     }
 
+    /// Amortised batch path: coalesces the batch to one net delta per item
+    /// (first-occurrence order), then applies each with a single `O(k)`
+    /// syndrome pass instead of one per update. Everything `update`
+    /// touches is additive in the delta — the field syndromes via
+    /// [`SparseRecovery::update_coalesced`], the subset counters via
+    /// `+=` — and no RNG is consumed during updates, so the final state
+    /// (including `processed` and `updates_processed`) is identical to the
+    /// per-update loop's: the batch ≡ loop law holds by linearity.
+    fn update_batch(&mut self, updates: &[SignedUpdate]) {
+        let mut order: Vec<Item> = Vec::new();
+        let mut totals: HashMap<Item, (i128, u64)> =
+            HashMap::with_capacity(updates.len().min(1024));
+        for u in updates {
+            let entry = totals.entry(u.item).or_insert_with(|| {
+                order.push(u.item);
+                (0, 0)
+            });
+            entry.0 += i128::from(u.delta);
+            entry.1 += 1;
+        }
+        // A per-item net delta outside i64 (≥ 2^63 aggregate magnitude)
+        // cannot be coalesced losslessly; replay such batches verbatim.
+        if totals
+            .values()
+            .any(|&(total, _)| i64::try_from(total).is_err())
+        {
+            for &u in updates {
+                self.update(u);
+            }
+            return;
+        }
+        self.processed += updates.len() as u64;
+        for item in order {
+            let (total, count) = totals[&item];
+            let total = total as i64;
+            self.recovery.update_coalesced(item, total, count);
+            if self.subset.contains(&item) {
+                let entry = self.subset_counts.entry(item).or_insert(0);
+                *entry = entry.wrapping_add(total);
+                if *entry == 0 {
+                    self.subset_counts.remove(&item);
+                }
+            }
+        }
+    }
+
     fn sample(&mut self) -> SampleOutcome {
         if self.processed == 0 || self.recovery.is_zero() {
             return SampleOutcome::Empty;
@@ -331,7 +377,7 @@ impl TurnstileSampler for StrictTurnstileF0Sampler {
         }
         // Dense case: the support exceeds the recovery budget; fall back to
         // the random pre-drawn subset.
-        let live: Vec<Item> = self
+        let mut live: Vec<Item> = self
             .subset_counts
             .iter()
             .filter(|&(_, &c)| c > 0)
@@ -340,6 +386,9 @@ impl TurnstileSampler for StrictTurnstileF0Sampler {
         if live.is_empty() {
             return SampleOutcome::Fail;
         }
+        // HashMap iteration order is per-instance; sort so that samplers with
+        // equal logical state draw identically (mirrors the recovered path).
+        live.sort_unstable();
         let idx = self.rng.gen_index(live.len());
         SampleOutcome::Index(live[idx])
     }

@@ -227,16 +227,23 @@ impl SparseRecovery {
 
     /// Processes one signed update (`O(k)` field operations).
     pub fn update(&mut self, update: SignedUpdate) {
-        assert!(
-            update.item < self.universe,
-            "item outside the declared universe"
-        );
-        self.updates_processed += 1;
-        let delta = encode_value(update.delta);
+        self.update_coalesced(update.item, update.delta, 1);
+    }
+
+    /// Applies `updates` signed updates to `item` whose deltas sum to
+    /// `total_delta`, in one `O(k)` syndrome pass. The syndromes are linear
+    /// in the encoded delta (`encode` is the canonical ring homomorphism
+    /// `ℤ → GF(p)`), so this leaves the structure in exactly the state
+    /// `updates` individual [`Self::update`] calls summing to the same
+    /// delta would — the coalesced fast path batched front-ends use.
+    pub fn update_coalesced(&mut self, item: Item, total_delta: i64, updates: u64) {
+        assert!(item < self.universe, "item outside the declared universe");
+        self.updates_processed += updates;
+        let delta = encode_value(total_delta);
         if delta == 0 {
             return;
         }
-        let x = locator(update.item);
+        let x = locator(item);
         let mut power = 1u64; // x^0
         for s in self.syndromes.iter_mut() {
             *s = fadd(*s, fmul(delta, power));

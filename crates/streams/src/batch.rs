@@ -20,21 +20,46 @@ use crate::update::Item;
 /// in order. `Σ count` over all calls equals `items.len()`.
 #[inline]
 pub fn for_each_run(items: &[Item], mut f: impl FnMut(Item, u64)) {
-    let mut iter = items.iter().copied();
-    let Some(mut current) = iter.next() else {
-        return;
-    };
-    let mut count = 1u64;
-    for item in iter {
-        if item == current {
-            count += 1;
-        } else {
-            f(current, count);
-            current = item;
-            count = 1;
-        }
+    let mut rest = items;
+    while let Some(&head) = rest.first() {
+        let len = run_len(rest, head);
+        f(head, len as u64);
+        rest = &rest[len..];
     }
-    f(current, count);
+}
+
+/// Length of the maximal prefix of `items` equal to `head` (callers
+/// guarantee `items[0] == head`). Short runs (the common case on
+/// low-multiplicity streams) resolve with per-item compares; once a run
+/// survives the first few lanes, the scan switches to a branchless 8-lane
+/// block mode — one data-dependent branch per block, with the mismatch
+/// lane recovered from a bitmask — so long runs cost `n/8` branches
+/// instead of `n`.
+#[inline]
+fn run_len(items: &[Item], head: Item) -> usize {
+    let n = items.len();
+    let mut i = 1;
+    let scalar_end = n.min(4);
+    while i < scalar_end {
+        if items[i] != head {
+            return i;
+        }
+        i += 1;
+    }
+    while i + 8 <= n {
+        let mut mismatch = 0usize;
+        for lane in 0..8 {
+            mismatch |= usize::from(items[i + lane] != head) << lane;
+        }
+        if mismatch != 0 {
+            return i + mismatch.trailing_zeros() as usize;
+        }
+        i += 8;
+    }
+    while i < n && items[i] == head {
+        i += 1;
+    }
+    i
 }
 
 /// Aggregates a batch to `item → multiplicity` (order discarded; valid only

@@ -17,7 +17,9 @@
 //!   IoT streams that motivate the paper ([`generators`]),
 //! * statistical utilities for comparing empirical sample distributions
 //!   against the exact target (total-variation distance, χ² statistics,
-//!   composition-bias measurements) ([`stats`]), and
+//!   composition-bias measurements) ([`stats`]),
+//! * a bounded SPSC ring and the backpressure policy type behind the
+//!   persistent sharded runtime in `tps-core` ([`spsc`]), and
 //! * a tiny space-accounting trait so every data structure in the workspace
 //!   can report measured memory to the benchmark harness ([`space`]).
 
@@ -33,6 +35,7 @@ pub mod measure;
 pub mod merge;
 pub mod model;
 pub mod space;
+pub mod spsc;
 pub mod stats;
 pub mod update;
 
@@ -46,4 +49,5 @@ pub use model::{
     Estimator, MatrixSampler, SampleOutcome, SlidingWindowSampler, StreamSampler, TurnstileSampler,
 };
 pub use space::SpaceUsage;
+pub use spsc::Backpressure;
 pub use update::{Item, MatrixUpdate, SignedUpdate, Timestamp, WindowSpec};

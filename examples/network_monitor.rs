@@ -3,7 +3,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release -p tps-core --example network_monitor
+//! cargo run --release --example network_monitor
 //! ```
 //!
 //! The scenario from the paper's introduction: a monitor watches a
@@ -17,16 +17,24 @@
 //!   damps mega-flows), and
 //! * the truly perfect sliding-window `F_0` sampler (active flow discovery),
 //!
-//! and shows that expired flows never leak into the reports.
+//! and shows that expired flows never leak into the reports. A final
+//! section scales the monitor up: a 4-shard `ShardedSampler` on the
+//! persistent worker-pool runtime ingests a much larger packet stream in
+//! batches while the reporting thread pulls traffic-proportional samples
+//! mid-stream from snapshot-isolated queries — the workers keep ingesting
+//! while each report is answered from a consistent-cut snapshot, never
+//! from a clone of the live shards.
 
 use tps_core::f0::SlidingWindowF0Sampler;
+use tps_core::lp::TrulyPerfectLpSampler;
+use tps_core::sharded::{ShardedSampler, ShardingStrategy};
 use tps_core::sliding::SlidingWindowGSampler;
 use tps_random::default_rng;
 use tps_streams::frequency::FrequencyVector;
 use tps_streams::generators::drifting_stream;
 use tps_streams::stats::SampleHistogram;
 use tps_streams::update::WindowSpec;
-use tps_streams::{Huber, Lp, SampleOutcome, SlidingWindowSampler};
+use tps_streams::{Huber, Lp, SampleOutcome, SlidingWindowSampler, StreamSampler};
 
 fn main() {
     let universe = 4_096u64;
@@ -84,6 +92,67 @@ fn main() {
         "F0 sampler discovered {} distinct active flows in 200 draws (window has {}).",
         discovered.len(),
         window_truth.f0()
+    );
+
+    // --- Sharded ingest + periodic snapshot queries -------------------------
+    //
+    // The production shape: packets arrive far faster than one core can
+    // absorb, so a hash-routed ShardedSampler spreads them over a pool of
+    // persistent workers (one long-lived thread per shard, fed by SPSC
+    // rings). The monitor keeps reporting while ingest runs: each periodic
+    // query makes the workers emit codec snapshots at a consistent cut,
+    // and the merged answer is built off the hot path — ingest never
+    // stops, and the live shards are never cloned.
+    let shards = 4;
+    let batch_len = 64 * 1024;
+    let batches = 24;
+    let report_every = 8;
+    let big_universe = 65_536u64;
+
+    let mut sharded = ShardedSampler::new(shards, ShardingStrategy::Hash, 7_777, |idx| {
+        TrulyPerfectLpSampler::new(1.0, big_universe, 0.1, 1_000 + idx as u64)
+    });
+    let mut gen_rng = default_rng(4_242);
+    let mut truth = FrequencyVector::new();
+    println!(
+        "\nsharded monitor          : {shards} shards, {} packets in {batches} batches",
+        batch_len * batches
+    );
+    for batch_no in 1..=batches {
+        let batch = drifting_stream(&mut gen_rng, big_universe, batch_len, 16_384, 512, 2_048);
+        for &packet in &batch {
+            truth.insert(packet);
+        }
+        sharded.update_batch(&batch);
+        if batch_no % report_every == 0 {
+            // Snapshot-isolated query: the workers keep draining their
+            // rings while this merged view is restored and sampled.
+            match sharded.merged().sample() {
+                SampleOutcome::Index(flow) => {
+                    assert!(truth.get(flow) > 0, "sampled flow {flow} never seen");
+                    println!(
+                        "  after batch {batch_no:>2}        : sampled flow {flow} ({} packets so far)",
+                        truth.get(flow)
+                    );
+                }
+                outcome => println!("  after batch {batch_no:>2}        : {outcome:?}"),
+            }
+            assert!(
+                sharded.runtime_active(),
+                "worker pool should stay live across queries"
+            );
+        }
+    }
+    sharded.flush();
+    println!(
+        "sharded monitor ingested {} packets across {} shards (runtime {}).",
+        sharded.processed(),
+        sharded.shard_count(),
+        if sharded.runtime_active() {
+            "live"
+        } else {
+            "idle"
+        }
     );
 }
 

@@ -29,6 +29,6 @@ pub use tps_window as window;
 pub use tps_core::lp::TrulyPerfectLpSampler;
 pub use tps_core::{ShardedSampler, ShardingStrategy, TrulyPerfectGSampler};
 pub use tps_streams::{
-    CodecError, MergeableSampler, MergeableSummary, Restore, SampleOutcome, SlidingWindowSampler,
-    Snapshot, StreamSampler, TurnstileSampler,
+    Backpressure, CodecError, MergeableSampler, MergeableSummary, Restore, SampleOutcome,
+    SlidingWindowSampler, Snapshot, StreamSampler, TurnstileSampler,
 };

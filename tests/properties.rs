@@ -8,7 +8,7 @@ use tps_core::framework::{MisraGriesNormalizer, RejectionNormalizer};
 use tps_core::lp::TrulyPerfectLpSampler;
 use tps_core::sharded::{ShardedSampler, ShardingStrategy};
 use tps_core::sliding::{SlidingWindowGSampler, SlidingWindowLpSampler};
-use tps_core::turnstile::MultiPassL1Sampler;
+use tps_core::turnstile::{MultiPassL1Sampler, StrictTurnstileF0Sampler};
 use tps_random::default_rng;
 use tps_sketches::{CountMin, CountSketch, MisraGries, SpaceSaving, SparseRecovery};
 use tps_streams::frequency::FrequencyVector;
@@ -16,7 +16,8 @@ use tps_streams::stats::{fit_power_law, tv_distance, SampleHistogram};
 use tps_streams::update::WindowSpec;
 use tps_streams::{
     CappedCount, ConcaveLog, Fair, Huber, Item, Lp, MeasureFn, MergeableSampler, MergeableSummary,
-    SampleOutcome, SignedUpdate, SlidingWindowSampler, StreamSampler, Tukey, L1L2,
+    SampleOutcome, SignedUpdate, SlidingWindowSampler, StreamSampler, Tukey, TurnstileSampler,
+    L1L2,
 };
 
 /// Asserts the batch ≡ loop law for one `StreamSampler`: feeding a stream
@@ -81,6 +82,44 @@ where
     let mut halves = build();
     halves.update_batch(&stream[..split]);
     halves.update_batch(&stream[split..]);
+    for draw in 0..6 {
+        let expected = looped.sample();
+        prop_assert_eq!(
+            expected,
+            whole.sample(),
+            "whole-slice batch diverged from loop at draw {}",
+            draw
+        );
+        prop_assert_eq!(
+            expected,
+            halves.sample(),
+            "split batch diverged from loop at draw {}",
+            draw
+        );
+    }
+    Ok(())
+}
+
+/// Same law for a `TurnstileSampler` over signed updates.
+fn assert_turnstile_batch_law<S, F>(
+    build: F,
+    updates: &[SignedUpdate],
+    split: usize,
+) -> Result<(), TestCaseError>
+where
+    S: TurnstileSampler,
+    F: Fn() -> S,
+{
+    let mut looped = build();
+    for &u in updates {
+        looped.update(u);
+    }
+    let mut whole = build();
+    whole.update_batch(updates);
+    let split = split.min(updates.len());
+    let mut halves = build();
+    halves.update_batch(&updates[..split]);
+    halves.update_batch(&updates[split..]);
     for draw in 0..6 {
         let expected = looped.sample();
         prop_assert_eq!(
@@ -338,6 +377,55 @@ proptest! {
         )?;
         // F0 sampler (aggregated multiplicity path, no RNG in updates).
         assert_stream_batch_law(|| TrulyPerfectF0Sampler::new(4_096, 0.1, seed ^ 3), &stream, split)?;
+    }
+
+    /// The batch engine law for the strict-turnstile F0 sampler's
+    /// coalescing `update_batch` override: one net delta per item must
+    /// leave exactly the per-update loop's state — same sample draws (and
+    /// RNG position, exercised by repeated draws), same `processed` count.
+    #[test]
+    fn turnstile_batch_equals_loop(updates in strict_stream(), seed in any::<u64>(), split in 0usize..300) {
+        assert_turnstile_batch_law(
+            || StrictTurnstileF0Sampler::new(40, seed),
+            &updates,
+            split,
+        )?;
+        let mut looped = StrictTurnstileF0Sampler::new(40, seed);
+        for &u in &updates {
+            looped.update(u);
+        }
+        let mut batched = StrictTurnstileF0Sampler::new(40, seed);
+        batched.update_batch(&updates);
+        prop_assert_eq!(looped.processed(), batched.processed());
+    }
+
+    /// Coalescing law of the sparse-recovery syndromes: applying one
+    /// net-delta update per item leaves the structure byte-identical to
+    /// the per-update loop (same recovery output, same update count).
+    #[test]
+    fn sparse_recovery_coalesced_equals_loop(updates in strict_stream()) {
+        let mut looped = SparseRecovery::new(16, 40);
+        for &u in &updates {
+            looped.update(u);
+        }
+        let mut coalesced = SparseRecovery::new(16, 40);
+        let mut order: Vec<Item> = Vec::new();
+        let mut totals: std::collections::HashMap<Item, (i64, u64)> = Default::default();
+        for u in &updates {
+            let entry = totals.entry(u.item).or_insert_with(|| {
+                order.push(u.item);
+                (0, 0)
+            });
+            entry.0 += u.delta;
+            entry.1 += 1;
+        }
+        for item in order {
+            let (total, count) = totals[&item];
+            coalesced.update_coalesced(item, total, count);
+        }
+        prop_assert_eq!(looped.updates_processed(), coalesced.updates_processed());
+        prop_assert_eq!(looped.is_zero(), coalesced.is_zero());
+        prop_assert_eq!(looped.recover(), coalesced.recover());
     }
 
     /// The batch engine law for the sliding-window samplers (cohort
