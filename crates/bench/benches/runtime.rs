@@ -22,7 +22,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Duration;
 use tps_core::lp::TrulyPerfectLpSampler;
-use tps_core::sharded::{ShardedSampler, ShardingStrategy};
+use tps_core::sharded::{ShardedSampler, ShardedSamplerBuilder, ShardingStrategy};
 use tps_random::default_rng;
 use tps_streams::generators::zipfian_stream;
 use tps_streams::StreamSampler;
@@ -30,9 +30,10 @@ use tps_streams::StreamSampler;
 const BATCH_LEN: usize = 64 * 1024;
 
 fn new_sharded(shards: usize) -> ShardedSampler<TrulyPerfectLpSampler> {
-    ShardedSampler::new(shards, ShardingStrategy::Hash, 5, |idx| {
-        TrulyPerfectLpSampler::new(2.0, 4_096, 0.1, 40 + idx as u64)
-    })
+    ShardedSamplerBuilder::new(shards)
+        .strategy(ShardingStrategy::Hash)
+        .seed(5)
+        .build(|idx| TrulyPerfectLpSampler::new(2.0, 4_096, 0.1, 40 + idx as u64))
 }
 
 /// The retired two-phase scoped-thread batch path (spawn a scatter crew

@@ -1,16 +1,18 @@
 //! The experiment report generator.
 //!
-//! Runs every experiment of `EXPERIMENTS.md` (E1–E13, F1) at full scale and
+//! Runs every experiment of `EXPERIMENTS.md` (E1–E14, F1) at full scale and
 //! prints the result rows as human-readable tables; pass `--json` to emit a
 //! machine-readable JSON document instead, and `--quick` to run at the
 //! reduced scale used by CI. `--sharded` runs *only* the E12 shard-scaling
 //! experiment at its full 1M-Zipf scale (the `BENCH_sharded.json` workload)
 //! regardless of `--quick`; `--runtime` does the same for the E13
-//! persistent-runtime experiment (the `BENCH_runtime.json` workload).
+//! persistent-runtime experiment (the `BENCH_runtime.json` workload), and
+//! `--checkpoint` for the E14 incremental-checkpointing experiment (the
+//! `BENCH_checkpoint.json` workload).
 //!
 //! ```text
 //! cargo run --release -p tps-bench --bin report -- \
-//!     [--quick] [--json] [--sharded] [--runtime]
+//!     [--quick] [--json] [--sharded] [--runtime] [--checkpoint]
 //! ```
 
 use tps_bench::experiments as exp;
@@ -31,6 +33,7 @@ struct Report {
     e11_matrix: Vec<exp::SamplerRow>,
     e12_sharded: exp::ShardedScaling,
     e13_runtime: exp::RuntimeReport,
+    e14_checkpoint: exp::CheckpointBench,
     f1_checkpoints: Vec<exp::CheckpointRow>,
 }
 
@@ -51,6 +54,7 @@ impl ToJson for Report {
             ("e11_matrix", self.e11_matrix.to_json()),
             ("e12_sharded", self.e12_sharded.to_json()),
             ("e13_runtime", self.e13_runtime.to_json()),
+            ("e14_checkpoint", self.e14_checkpoint.to_json()),
             ("f1_checkpoints", self.f1_checkpoints.to_json()),
         ])
     }
@@ -77,6 +81,7 @@ fn build_report(quick: bool) -> Report {
             e11_matrix: exp::e11_matrix(&[4, 16], 400),
             e12_sharded: exp::e12_sharded(200_000, 4_096, &[1, 2, 4]),
             e13_runtime: exp::e13_runtime(200_000, 4_096, &[1, 2, 4]),
+            e14_checkpoint: exp::e14_checkpoint(200_000, 4_096, 50),
             f1_checkpoints: exp::f1_checkpoints(&[1_000, 10_000]),
         }
     } else {
@@ -103,6 +108,7 @@ fn build_report(quick: bool) -> Report {
             e11_matrix: exp::e11_matrix(&[4, 16, 64], 800),
             e12_sharded: sharded_scaling_full(),
             e13_runtime: runtime_report_full(),
+            e14_checkpoint: checkpoint_bench_full(),
             f1_checkpoints: exp::f1_checkpoints(&[1_000, 10_000, 100_000]),
         }
     }
@@ -120,6 +126,14 @@ fn sharded_scaling_full() -> exp::ShardedScaling {
 /// Zipf(1.1) stream (the `BENCH_runtime.json` record).
 fn runtime_report_full() -> exp::RuntimeReport {
     exp::e13_runtime(1_000_000, 4_096, &[1, 2, 4, 8])
+}
+
+/// The E14 acceptance workload: incremental vs full checkpoint sizes and
+/// chain-replay recovery on the 1M-update hot-shard Zipf(1.5) stream (the
+/// `BENCH_checkpoint.json` record). The acceptance bar asks deltas ≥ 4x
+/// smaller than full snapshots with byte-identical recovery.
+fn checkpoint_bench_full() -> exp::CheckpointBench {
+    exp::e14_checkpoint(1_000_000, 4_096, 100)
 }
 
 fn print_sampler_rows(title: &str, rows: &[exp::SamplerRow]) {
@@ -194,10 +208,50 @@ fn print_runtime(report: &exp::RuntimeReport) {
     );
 }
 
+fn print_checkpoint(bench: &exp::CheckpointBench) {
+    println!(
+        "\n== E14: incremental checkpointing ({} updates, {} checkpoints) ==",
+        bench.stream_length, bench.checkpoints
+    );
+    println!(
+        "chain frames                     : {} delta + {} full",
+        bench.delta_frames, bench.full_frames
+    );
+    println!(
+        "mean full snapshot               : {:>10.0} bytes",
+        bench.full_snapshot_bytes_mean
+    );
+    println!(
+        "mean delta frame                 : {:>10.0} bytes ({:.1}x smaller)",
+        bench.delta_frame_bytes_mean, bench.full_over_delta
+    );
+    println!(
+        "chain bytes vs always-full       : {:>10.3}",
+        bench.chain_bytes_vs_full
+    );
+    println!(
+        "chain replay + restore           : {:>10.1} us (byte-identical: {})",
+        bench.recovery_micros, bench.recovery_byte_identical
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    if args.iter().any(|a| a == "--checkpoint") {
+        let bench = checkpoint_bench_full();
+        if json {
+            let doc = Json::Obj(vec![
+                ("scale", "checkpoint".to_json()),
+                ("e14_checkpoint", bench.to_json()),
+            ]);
+            println!("{}", doc.pretty());
+        } else {
+            print_checkpoint(&bench);
+        }
+        return;
+    }
     if args.iter().any(|a| a == "--runtime") {
         let report = runtime_report_full();
         if json {
@@ -364,6 +418,7 @@ fn main() {
 
     print_sharded(&report.e12_sharded);
     print_runtime(&report.e13_runtime);
+    print_checkpoint(&report.e14_checkpoint);
 
     println!("\n== F1: smooth-histogram checkpoints ==");
     println!(

@@ -743,7 +743,7 @@ pub struct ShardedScaling {
 /// [`ShardedSampler::flush`] so enqueued-but-unapplied chunks cannot
 /// flatter the wall clock.
 pub fn e12_sharded(stream_length: usize, universe: u64, shard_counts: &[usize]) -> ShardedScaling {
-    use tps_core::sharded::{ShardedSampler, ShardingStrategy};
+    use tps_core::sharded::{ShardedSamplerBuilder, ShardingStrategy};
 
     let mut rng = default_rng(1_200);
     let stream = zipfian_stream(&mut rng, universe, stream_length, 1.1);
@@ -765,8 +765,10 @@ pub fn e12_sharded(stream_length: usize, universe: u64, shard_counts: &[usize]) 
             let mut best = f64::MIN_POSITIVE;
             let mut best_critical = f64::MIN_POSITIVE;
             for rep in 0..repetitions {
-                let mut sharded =
-                    ShardedSampler::new(shards, ShardingStrategy::Hash, 33 + rep, |idx| {
+                let mut sharded = ShardedSamplerBuilder::new(shards)
+                    .strategy(ShardingStrategy::Hash)
+                    .seed(33 + rep)
+                    .build(|idx| {
                         TrulyPerfectLpSampler::new(
                             2.0,
                             universe,
@@ -946,7 +948,7 @@ fn scoped_two_phase_ingest(shards: &mut [TrulyPerfectLpSampler], batch: &[u64]) 
 /// monolithic batch); both legs of every comparison run on the same host
 /// within the same call, so the recorded *ratios* transfer across runners.
 pub fn e13_runtime(stream_length: usize, universe: u64, shard_counts: &[usize]) -> RuntimeReport {
-    use tps_core::sharded::{ShardedSampler, ShardingStrategy};
+    use tps_core::sharded::{ShardedSamplerBuilder, ShardingStrategy};
 
     let batch_len = 64 * 1024;
     let mut rng = default_rng(1_300);
@@ -962,10 +964,10 @@ pub fn e13_runtime(stream_length: usize, universe: u64, shard_counts: &[usize]) 
             let mut best_runtime = f64::MIN_POSITIVE;
             let mut best_scoped = f64::MIN_POSITIVE;
             for rep in 0..repetitions {
-                let mut sharded =
-                    ShardedSampler::new(shards, ShardingStrategy::Hash, 55 + rep, |idx| {
-                        new_shard(rep, idx)
-                    });
+                let mut sharded = ShardedSamplerBuilder::new(shards)
+                    .strategy(ShardingStrategy::Hash)
+                    .seed(55 + rep)
+                    .build(|idx| new_shard(rep, idx));
                 let start = Instant::now();
                 for batch in stream.chunks(batch_len) {
                     sharded.update_batch(batch);
@@ -1009,9 +1011,10 @@ pub fn e13_runtime(stream_length: usize, universe: u64, shard_counts: &[usize]) 
     let mut clone_merge_secs = 0.0f64;
     let mut clone_merge_queries = 0usize;
     for rep in 0..repetitions {
-        let mut quiet = ShardedSampler::new(iq_shards, ShardingStrategy::Hash, 55 + rep, |idx| {
-            new_shard(rep, idx)
-        });
+        let mut quiet = ShardedSamplerBuilder::new(iq_shards)
+            .strategy(ShardingStrategy::Hash)
+            .seed(55 + rep)
+            .build(|idx| new_shard(rep, idx));
         let start = Instant::now();
         for batch in stream.chunks(batch_len) {
             quiet.update_batch(batch);
@@ -1020,10 +1023,10 @@ pub fn e13_runtime(stream_length: usize, universe: u64, shard_counts: &[usize]) 
         let rate = stream.len() as f64 / start.elapsed().as_secs_f64() / 1e6;
         best_quiet = best_quiet.max(rate);
 
-        let mut querying =
-            ShardedSampler::new(iq_shards, ShardingStrategy::Hash, 55 + rep, |idx| {
-                new_shard(rep, idx)
-            });
+        let mut querying = ShardedSamplerBuilder::new(iq_shards)
+            .strategy(ShardingStrategy::Hash)
+            .seed(55 + rep)
+            .build(|idx| new_shard(rep, idx));
         let start = Instant::now();
         for (index, batch) in stream.chunks(batch_len).enumerate() {
             querying.update_batch(batch);
@@ -1063,6 +1066,103 @@ pub fn e13_runtime(stream_length: usize, universe: u64, shard_counts: &[usize]) 
         querying_vs_quiet: best_querying / best_quiet,
         snapshot_query_micros: snapshot_query_secs / snapshot_queries.max(1) as f64 * 1e6,
         clone_merge_query_micros: clone_merge_secs / clone_merge_queries.max(1) as f64 * 1e6,
+    }
+}
+
+/// E14: incremental vs full checkpointing on a hot-shard Zipf workload.
+#[derive(Debug, Clone)]
+pub struct CheckpointBench {
+    /// Stream length of the workload.
+    pub stream_length: usize,
+    /// Checkpoints taken (one per ingest slice).
+    pub checkpoints: usize,
+    /// Frames in the chain that were encoded as deltas.
+    pub delta_frames: usize,
+    /// Frames in the chain that were full rebases (including the first).
+    pub full_frames: usize,
+    /// Mean size of the sampler's full snapshot across epochs, bytes.
+    pub full_snapshot_bytes_mean: f64,
+    /// Mean size of the delta frames actually written, bytes.
+    pub delta_frame_bytes_mean: f64,
+    /// `full_snapshot_bytes_mean / delta_frame_bytes_mean` — the
+    /// acceptance bar asks ≥ 4 (deltas at least 4x smaller than fulls).
+    pub full_over_delta: f64,
+    /// Total bytes appended to the chain vs always writing full frames.
+    pub chain_bytes_vs_full: f64,
+    /// Wall-clock to replay the whole chain and restore a sampler, µs.
+    pub recovery_micros: f64,
+    /// Whether the replayed state is byte-identical to the live sampler's
+    /// final snapshot (the recovery contract of the ingest service).
+    pub recovery_byte_identical: bool,
+}
+
+/// E14: checkpoint every `stream_length / checkpoints` updates of a
+/// Zipf(1.5) hot-shard stream through [`IncrementalCheckpointer`], then
+/// recover by replaying the chain — the single-shard core of the
+/// `tps-service` durability loop.
+///
+/// Between consecutive checkpoints the skewed stream touches few distinct
+/// items, so most of the sampler's sealed snapshot is unchanged and the
+/// delta encoder should emit mostly copy ops. The report records how much
+/// smaller the deltas actually are and proves recovery is byte-exact.
+pub fn e14_checkpoint(stream_length: usize, universe: u64, checkpoints: usize) -> CheckpointBench {
+    use tps_streams::codec::delta::{CheckpointReplayer, IncrementalCheckpointer};
+    use tps_streams::{Restore, Snapshot};
+
+    let mut rng = default_rng(1_414);
+    let stream = zipfian_stream(&mut rng, universe, stream_length, 1.5);
+    let slice_len = stream.len().div_ceil(checkpoints.max(1));
+
+    let mut sampler = TrulyPerfectLpSampler::new(2.0, universe, 0.1, 1_414);
+    let mut writer = IncrementalCheckpointer::new();
+    let mut chain: Vec<Vec<u8>> = Vec::new();
+    let mut full_bytes = 0usize;
+    let mut delta_bytes = 0usize;
+    let mut delta_frames = 0usize;
+    let mut full_frames = 0usize;
+    for (index, slice) in stream.chunks(slice_len).enumerate() {
+        sampler.update_batch(slice);
+        let epoch = index as u64 + 1;
+        let full = sampler.snapshot();
+        full_bytes += full.len();
+        let frame = writer.checkpoint_bytes(full, epoch);
+        if frame.is_delta() {
+            delta_frames += 1;
+            delta_bytes += frame.bytes().len();
+        } else {
+            full_frames += 1;
+        }
+        chain.push(frame.bytes().to_vec());
+    }
+
+    let start = Instant::now();
+    let mut replayer = CheckpointReplayer::new();
+    for frame in &chain {
+        replayer.apply(frame).expect("own chain replays");
+    }
+    let (_, recovered_bytes) = replayer.into_current().expect("non-empty chain");
+    let recovered =
+        TrulyPerfectLpSampler::restore(&recovered_bytes).expect("recovered bytes restore");
+    let recovery_micros = start.elapsed().as_secs_f64() * 1e6;
+
+    let live = sampler.snapshot();
+    let recovery_byte_identical = recovered_bytes == live && recovered.snapshot() == live;
+
+    let taken = delta_frames + full_frames;
+    let full_snapshot_bytes_mean = full_bytes as f64 / taken.max(1) as f64;
+    let delta_frame_bytes_mean = delta_bytes as f64 / delta_frames.max(1) as f64;
+    let chain_total: usize = chain.iter().map(Vec::len).sum();
+    CheckpointBench {
+        stream_length,
+        checkpoints: taken,
+        delta_frames,
+        full_frames,
+        full_snapshot_bytes_mean,
+        delta_frame_bytes_mean,
+        full_over_delta: full_snapshot_bytes_mean / delta_frame_bytes_mean.max(1.0),
+        chain_bytes_vs_full: chain_total as f64 / full_bytes.max(1) as f64,
+        recovery_micros,
+        recovery_byte_identical,
     }
 }
 
@@ -1128,6 +1228,18 @@ mod tests {
     fn e9_zero_gamma_has_zero_advantage() {
         let rows = e9_equality(&[0.0], 32, 500);
         assert_eq!(rows[0].observed_advantage, 0.0);
+    }
+
+    #[test]
+    fn e14_deltas_beat_fulls_and_recovery_is_exact() {
+        let bench = e14_checkpoint(200_000, 4_096, 50);
+        assert_eq!(bench.checkpoints, 50);
+        assert!(bench.delta_frames > 0, "no deltas taken: {bench:?}");
+        assert!(bench.recovery_byte_identical, "recovery drifted: {bench:?}");
+        assert!(
+            bench.full_over_delta >= 4.0,
+            "deltas not 4x smaller: {bench:?}"
+        );
     }
 
     #[test]

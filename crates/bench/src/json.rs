@@ -437,6 +437,32 @@ impl ToJson for exp::RuntimeReport {
     }
 }
 
+impl ToJson for exp::CheckpointBench {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("stream_length", self.stream_length.to_json()),
+            ("checkpoints", self.checkpoints.to_json()),
+            ("delta_frames", self.delta_frames.to_json()),
+            ("full_frames", self.full_frames.to_json()),
+            (
+                "full_snapshot_bytes_mean",
+                self.full_snapshot_bytes_mean.to_json(),
+            ),
+            (
+                "delta_frame_bytes_mean",
+                self.delta_frame_bytes_mean.to_json(),
+            ),
+            ("full_over_delta", self.full_over_delta.to_json()),
+            ("chain_bytes_vs_full", self.chain_bytes_vs_full.to_json()),
+            ("recovery_micros", self.recovery_micros.to_json()),
+            (
+                "recovery_byte_identical",
+                self.recovery_byte_identical.to_json(),
+            ),
+        ])
+    }
+}
+
 impl ToJson for exp::LpSpaceRow {
     fn to_json(&self) -> Json {
         Json::Obj(vec![

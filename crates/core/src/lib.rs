@@ -91,5 +91,6 @@ pub mod turnstile;
 pub use engine::SkipAheadEngine;
 pub use framework::{MeasureNormalizer, RejectionNormalizer, TrulyPerfectGSampler};
 pub use lp::TrulyPerfectLpSampler;
+pub use runtime::RuntimeStats;
 pub use sampler_unit::SamplerUnit;
-pub use sharded::{ShardedSampler, ShardingStrategy};
+pub use sharded::{hash_route, ShardedSampler, ShardedSamplerBuilder, ShardingStrategy};

@@ -21,10 +21,13 @@
 //!   to merging live clones, but ingest only stalls for the (cheap,
 //!   per-shard) serialisation, never for the merge.
 //! * **Backpressure policy.** When a ring is full the pool either blocks
-//!   the caller ([`Backpressure::Block`]) or spills the chunk to a
-//!   coordinator-side queue retried later ([`Backpressure::Spill`]) — the
-//!   latter keeps ingest calls non-blocking even while workers are busy
-//!   snapshotting.
+//!   the caller ([`Backpressure::Block`]), spills the chunk to a
+//!   coordinator-side queue retried later ([`Backpressure::Spill`]) — which
+//!   keeps ingest calls non-blocking even while workers are busy
+//!   snapshotting — or sheds it outright ([`Backpressure::Fail`]), keeping
+//!   both latency and memory bounded at the cost of sampling only the
+//!   admitted sub-stream. Every policy's pressure events are counted in
+//!   [`RuntimeStats`] so front-ends can observe instead of flying blind.
 //!
 //! ## Ownership and safety model
 //!
@@ -71,6 +74,28 @@ impl Default for RuntimeConfig {
             ring_capacity: 8,
         }
     }
+}
+
+/// Pressure and throughput counters for a [`ShardPool`] (cumulative over
+/// the pool's lifetime, summed across shards). Cheap to read — plain
+/// coordinator-side integers, no atomics, no barrier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Chunks accepted for delivery (pushed to a ring or parked for
+    /// guaranteed later delivery). Excludes shed chunks.
+    pub chunks: u64,
+    /// Times an ingest call found a ring full and had to park
+    /// ([`Backpressure::Block`] only).
+    pub blocked: u64,
+    /// Chunks that overflowed into the coordinator-side spill queue
+    /// ([`Backpressure::Spill`] only; cumulative, not currently parked).
+    pub spilled: u64,
+    /// Chunks currently parked in spill queues awaiting retry.
+    pub spilled_pending: usize,
+    /// Chunks shed because their ring was full ([`Backpressure::Fail`]).
+    pub dropped_chunks: u64,
+    /// Items lost inside those shed chunks.
+    pub dropped_items: u64,
 }
 
 /// One command on a shard's ingest ring. Coarse by design: the ring is
@@ -120,6 +145,7 @@ pub struct ShardPool {
     free: Vec<Vec<Item>>,
     backpressure: Backpressure,
     epoch: u64,
+    stats: RuntimeStats,
 }
 
 /// How long a barrier wait sleeps between liveness checks of the workers.
@@ -166,6 +192,7 @@ impl ShardPool {
             replies,
             backpressure: config.backpressure,
             epoch: 0,
+            stats: RuntimeStats::default(),
         }
     }
 
@@ -183,6 +210,14 @@ impl ShardPool {
     /// ([`Backpressure::Spill`] only).
     pub fn spilled_chunks(&self) -> usize {
         self.spill.iter().map(VecDeque::len).sum()
+    }
+
+    /// Cumulative pressure/throughput counters (see [`RuntimeStats`]).
+    pub fn stats(&self) -> RuntimeStats {
+        RuntimeStats {
+            spilled_pending: self.spilled_chunks(),
+            ..self.stats
+        }
     }
 
     /// A cleared, capacity-bearing ingest buffer — recycled from a worker
@@ -204,12 +239,22 @@ impl ShardPool {
         }
         match self.backpressure {
             Backpressure::Block => {
-                if self.producers[shard].push(ShardCmd::Ingest(chunk)).is_err() {
-                    self.worker_died(shard);
+                // Fast path first so the parking events are observable.
+                match self.producers[shard].try_push(ShardCmd::Ingest(chunk)) {
+                    Ok(()) => self.stats.chunks += 1,
+                    Err(PushError::Full(cmd)) => {
+                        self.stats.blocked += 1;
+                        if self.producers[shard].push(cmd).is_err() {
+                            self.worker_died(shard);
+                        }
+                        self.stats.chunks += 1;
+                    }
+                    Err(PushError::Disconnected(_)) => self.worker_died(shard),
                 }
             }
             Backpressure::Spill => {
                 self.retry_spill(shard);
+                self.stats.chunks += 1;
                 if self.spill[shard].is_empty() {
                     match self.producers[shard].try_push(ShardCmd::Ingest(chunk)) {
                         Ok(()) => {}
@@ -217,12 +262,30 @@ impl ShardPool {
                             let ShardCmd::Ingest(chunk) = cmd else {
                                 unreachable!("spill path only pushes ingest commands")
                             };
+                            self.stats.spilled += 1;
                             self.spill[shard].push_back(chunk);
                         }
                         Err(PushError::Disconnected(_)) => self.worker_died(shard),
                     }
                 } else {
+                    self.stats.spilled += 1;
                     self.spill[shard].push_back(chunk);
+                }
+            }
+            Backpressure::Fail => {
+                match self.producers[shard].try_push(ShardCmd::Ingest(chunk)) {
+                    Ok(()) => self.stats.chunks += 1,
+                    Err(PushError::Full(cmd)) => {
+                        let ShardCmd::Ingest(mut chunk) = cmd else {
+                            unreachable!("fail path only pushes ingest commands")
+                        };
+                        // Shed the chunk: count the loss, recycle the buffer.
+                        self.stats.dropped_chunks += 1;
+                        self.stats.dropped_items += chunk.len() as u64;
+                        chunk.clear();
+                        self.recycle(chunk);
+                    }
+                    Err(PushError::Disconnected(_)) => self.worker_died(shard),
                 }
             }
         }
@@ -542,6 +605,61 @@ mod tests {
             assert!(spilled_at_least_once, "spill path never exercised");
         }
         assert_eq!(shards[0].snapshot(), direct[0].snapshot());
+    }
+
+    /// Fail mode sheds chunks instead of blocking or buffering: against a
+    /// deliberately slow worker behind a 2-slot ring, rapid sends drop some
+    /// chunks, the counters account for every chunk and item, and the
+    /// barrier still completes (barriers are never shed).
+    #[test]
+    fn fail_mode_sheds_chunks_and_counts_them() {
+        struct SlowCounter {
+            seen: u64,
+        }
+        impl StreamSampler for SlowCounter {
+            fn update(&mut self, _item: Item) {
+                self.seen += 1;
+            }
+            fn update_batch(&mut self, items: &[Item]) {
+                std::thread::sleep(Duration::from_millis(20));
+                self.seen += items.len() as u64;
+            }
+            fn sample(&mut self) -> tps_streams::SampleOutcome {
+                tps_streams::SampleOutcome::Empty
+            }
+        }
+        impl Snapshot for SlowCounter {
+            const TAG: u16 = 0xFFFE;
+            fn encode_into(&self, w: &mut tps_streams::SnapshotWriter) {
+                w.put_tag(Self::TAG);
+                w.put_u64(self.seen);
+            }
+        }
+        let mut shards = [SlowCounter { seen: 0 }];
+        let stats = {
+            let ptrs: Vec<*mut _> = shards.iter_mut().map(|s| s as *mut _).collect();
+            let mut pool = unsafe {
+                ShardPool::start(
+                    &ptrs,
+                    RuntimeConfig {
+                        backpressure: Backpressure::Fail,
+                        ring_capacity: 2,
+                    },
+                )
+            };
+            for _ in 0..24 {
+                pool.send(0, vec![1, 2, 3]);
+            }
+            pool.flush();
+            pool.stats()
+        };
+        assert!(stats.dropped_chunks > 0, "fail path never shed a chunk");
+        assert_eq!(stats.chunks + stats.dropped_chunks, 24);
+        assert_eq!(stats.dropped_items, 3 * stats.dropped_chunks);
+        assert_eq!(stats.spilled, 0);
+        assert_eq!(stats.spilled_pending, 0);
+        // Delivered chunks all landed; shed chunks never did.
+        assert_eq!(shards[0].seen, 3 * stats.chunks);
     }
 
     #[test]

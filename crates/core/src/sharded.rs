@@ -35,15 +35,21 @@
 //! ingesting as soon as their (cheap) serialisation is done instead of
 //! stalling behind an `O(total state)` merge.
 //!
-//! Backpressure when a shard's ring fills is configurable before the
-//! runtime starts ([`ShardedSampler::set_backpressure`]): block the caller,
-//! or spill chunks to a coordinator-side queue so ingest calls never block
-//! — even while a worker is busy emitting a snapshot.
+//! ## Construction and configuration
+//!
+//! The front door is [`ShardedSampler::builder`]: shard count, routing
+//! strategy, seed, backpressure policy, parallel cutoff and runtime chunk
+//! size as named setters, then [`ShardedSamplerBuilder::build`] with the
+//! per-shard factory. Backpressure when a shard's ring fills: block the
+//! caller, spill chunks to a coordinator-side queue so ingest calls never
+//! block, or shed chunks outright ([`Backpressure::Fail`]) — with
+//! [`ShardedSampler::runtime_stats`] exposing the blocked/spilled/dropped
+//! counters either way.
 
 use std::cell::UnsafeCell;
 use std::sync::Mutex;
 
-use crate::runtime::{RuntimeConfig, ShardPool};
+use crate::runtime::{RuntimeConfig, RuntimeStats, ShardPool};
 use tps_random::Xoshiro256;
 use tps_streams::codec::{self, CodecError, Restore, Snapshot, SnapshotReader, SnapshotWriter};
 use tps_streams::spsc::Backpressure;
@@ -79,6 +85,23 @@ fn route(hash: u64, shards: usize) -> usize {
     (((hash as u128) * (shards as u128)) >> 64) as usize
 }
 
+/// The shard index an item lands on under [`ShardingStrategy::Hash`] with
+/// `shards` shards — the routing function itself, exposed so *external*
+/// partitioners (e.g. a multi-process ingest service splitting one stream
+/// across worker processes) route exactly like an in-process
+/// [`ShardedSampler`] and the merged answers line up byte for byte.
+#[inline]
+pub fn hash_route(item: Item, shards: usize) -> usize {
+    route(mix(item), shards)
+}
+
+/// Salt XORed into the builder seed to derive the query-time merge RNG.
+/// Public for the same reason as [`hash_route`]: an external coordinator
+/// that restores per-shard snapshots and fold-merges them in shard order
+/// with `Xoshiro256::seed_from_u64(seed ^ MERGE_SEED_SALT)` reproduces an
+/// in-process [`ShardedSampler`]'s first merged query byte for byte.
+pub const MERGE_SEED_SALT: u64 = 0x5AAD_ED00;
+
 /// Batches smaller than this many items *per shard* are scattered and
 /// drained on the calling thread while the runtime is not yet live: below
 /// it, the routed work is too small to be worth waking `k` workers for.
@@ -93,6 +116,123 @@ const PARALLEL_MIN_PER_SHARD: usize = 4_096;
 /// fine enough that a batch pipelines across workers instead of arriving
 /// as one monolith per shard.
 const RUNTIME_CHUNK: usize = 32 * 1024;
+
+/// Named-setter construction for [`ShardedSampler`] — the front door that
+/// replaced the positional-argument constructor.
+///
+/// Every knob has a sensible default; only the shard count is mandatory:
+///
+/// ```
+/// use tps_core::sharded::{ShardedSamplerBuilder, ShardingStrategy};
+/// use tps_core::lp::TrulyPerfectLpSampler;
+/// use tps_streams::spsc::Backpressure;
+///
+/// let sampler = ShardedSamplerBuilder::new(4)
+///     .strategy(ShardingStrategy::Hash)
+///     .seed(42)
+///     .backpressure(Backpressure::Spill)
+///     .build(|shard| TrulyPerfectLpSampler::new(2.0, 512, 0.1, 42 ^ ((shard as u64) << 32)));
+/// assert_eq!(sampler.shard_count(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedSamplerBuilder {
+    shards: usize,
+    strategy: ShardingStrategy,
+    seed: u64,
+    backpressure: Backpressure,
+    parallel_cutoff: usize,
+    chunk_len: usize,
+}
+
+impl ShardedSamplerBuilder {
+    /// Starts a builder for `shards` shard instances. Defaults:
+    /// [`ShardingStrategy::Hash`], seed `0`, [`Backpressure::Block`],
+    /// a 4096-item-per-shard parallel cutoff and 32Ki-item runtime chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        Self {
+            shards,
+            strategy: ShardingStrategy::Hash,
+            seed: 0,
+            backpressure: Backpressure::Block,
+            parallel_cutoff: PARALLEL_MIN_PER_SHARD,
+            chunk_len: RUNTIME_CHUNK,
+        }
+    }
+
+    /// Routing strategy (see [`ShardingStrategy`] for the exactness
+    /// trade-off).
+    pub fn strategy(mut self, strategy: ShardingStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Seed for the query-time merge coins. Shard seeding stays with the
+    /// factory passed to [`Self::build`], which decides whether shards draw
+    /// independently (reservoirs) or share a seed (`F_0`).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// What ingest does when a shard's ring is full: block, spill to a
+    /// coordinator-side queue, or shed the chunk ([`Backpressure::Fail`]).
+    pub fn backpressure(mut self, policy: Backpressure) -> Self {
+        self.backpressure = policy;
+        self
+    }
+
+    /// Per-shard batch size below which (pre-runtime) batches are scattered
+    /// and drained on the calling thread instead of waking the worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items_per_shard == 0`.
+    pub fn parallel_cutoff(mut self, items_per_shard: usize) -> Self {
+        assert!(items_per_shard > 0, "parallel cutoff must be positive");
+        self.parallel_cutoff = items_per_shard;
+        self
+    }
+
+    /// Items staged per shard before a chunk ships to that shard's ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items == 0`.
+    pub fn chunk_len(mut self, items: usize) -> Self {
+        assert!(items > 0, "runtime chunk length must be positive");
+        self.chunk_len = items;
+        self
+    }
+
+    /// Builds the sampler, creating shard `idx` as `factory(idx)`. The
+    /// factory decides seeding: independent seeds for the reservoir
+    /// samplers; one shared seed for `F_0` shards (their merge requires
+    /// identical pre-drawn subsets).
+    pub fn build<S>(self, mut factory: impl FnMut(usize) -> S) -> ShardedSampler<S>
+    where
+        S: MergeableSampler + Clone + Send + Snapshot + Restore + 'static,
+    {
+        ShardedSampler {
+            runtime: None,
+            shards: (0..self.shards)
+                .map(|idx| UnsafeCell::new(factory(idx)))
+                .collect(),
+            strategy: self.strategy,
+            cursor: 0,
+            scratch: Vec::new(),
+            rng: Xoshiro256::seed_from_u64(self.seed ^ MERGE_SEED_SALT),
+            processed: 0,
+            backpressure: self.backpressure,
+            parallel_cutoff: self.parallel_cutoff,
+            chunk_len: self.chunk_len,
+        }
+    }
+}
 
 /// The live half of the runtime: the worker pool plus the per-shard
 /// staging buffers of routed-but-unshipped items. Boxed behind a `Mutex`
@@ -143,9 +283,15 @@ pub struct ShardedSampler<S> {
     /// Coins for the query-time merge draws.
     rng: Xoshiro256,
     processed: u64,
-    /// Policy applied when the runtime starts (not serialised: snapshots
-    /// restore to the default, [`Backpressure::Block`]).
+    /// Policy applied when the runtime starts. Serialised since format
+    /// v2, so a restored sampler keeps the policy it was built with.
     backpressure: Backpressure,
+    /// Per-shard batch size below which (pre-runtime) batches take the
+    /// sequential path. Serialised since format v2.
+    parallel_cutoff: usize,
+    /// Items staged per shard before a chunk ships to its ring.
+    /// Serialised since format v2.
+    chunk_len: usize,
 }
 
 // `UnsafeCell` suppresses auto-`Send`; shipping the whole front-end to
@@ -158,33 +304,32 @@ impl<S> ShardedSampler<S>
 where
     S: MergeableSampler + Clone + Send + Snapshot + Restore + 'static,
 {
-    /// Creates a sharded sampler with `shards` instances built by
-    /// `factory(shard_index)`. The factory decides seeding: independent
-    /// seeds for the reservoir samplers; one shared seed for `F_0` shards
-    /// (their merge requires identical pre-drawn subsets).
+    /// Starts configuring a sharded sampler over `shards` shard instances
+    /// (see [`ShardedSamplerBuilder`] for the knobs and their defaults).
     ///
     /// # Panics
     ///
     /// Panics if `shards == 0`.
+    pub fn builder(shards: usize) -> ShardedSamplerBuilder {
+        ShardedSamplerBuilder::new(shards)
+    }
+
+    /// Creates a sharded sampler with `shards` instances built by
+    /// `factory(shard_index)` and every other knob at its default.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use ShardedSampler::builder(shards) and its named setters"
+    )]
     pub fn new(
         shards: usize,
         strategy: ShardingStrategy,
         seed: u64,
-        mut factory: impl FnMut(usize) -> S,
+        factory: impl FnMut(usize) -> S,
     ) -> Self {
-        assert!(shards > 0, "need at least one shard");
-        Self {
-            runtime: None,
-            shards: (0..shards)
-                .map(|idx| UnsafeCell::new(factory(idx)))
-                .collect(),
-            strategy,
-            cursor: 0,
-            scratch: Vec::new(),
-            rng: Xoshiro256::seed_from_u64(seed ^ 0x5AAD_ED00),
-            processed: 0,
-            backpressure: Backpressure::Block,
-        }
+        Self::builder(shards)
+            .strategy(strategy)
+            .seed(seed)
+            .build(factory)
     }
 
     /// Number of shards.
@@ -226,6 +371,29 @@ where
     /// Whether the persistent worker pool is live.
     pub fn runtime_active(&self) -> bool {
         self.runtime.is_some()
+    }
+
+    /// The per-shard parallel cutoff (items per shard below which a
+    /// pre-runtime batch stays on the calling thread).
+    pub fn parallel_cutoff(&self) -> usize {
+        self.parallel_cutoff
+    }
+
+    /// The runtime chunk length (items staged per shard before a chunk
+    /// ships to its ring).
+    pub fn chunk_len(&self) -> usize {
+        self.chunk_len
+    }
+
+    /// Cumulative pressure/throughput counters of the live runtime —
+    /// chunks delivered, ingest calls that blocked, chunks spilled or shed
+    /// (see [`RuntimeStats`]). All zeros while the worker pool has not
+    /// started; reset when it restarts (clone, restore).
+    pub fn runtime_stats(&self) -> RuntimeStats {
+        match &self.runtime {
+            Some(runtime) => runtime.lock().unwrap().pool.stats(),
+            None => RuntimeStats::default(),
+        }
     }
 
     /// Blocks until every routed update has been applied to its shard
@@ -299,6 +467,7 @@ where
     fn scatter_to_runtime(&mut self, items: &[Item]) {
         let k = self.shards.len();
         let strategy = self.strategy;
+        let chunk_len = self.chunk_len;
         let mut cursor = self.cursor;
         let state = self
             .runtime
@@ -320,7 +489,7 @@ where
             };
             let buffer = &mut state.staging[shard];
             buffer.push(item);
-            if buffer.len() >= RUNTIME_CHUNK {
+            if buffer.len() >= chunk_len {
                 let mut fresh = state.pool.take_buffer();
                 std::mem::swap(buffer, &mut fresh);
                 state.pool.send(shard, fresh);
@@ -417,9 +586,11 @@ where
     /// The persistent-runtime ingest path.
     ///
     /// While the worker pool is live (or once this batch is large enough —
-    /// [`PARALLEL_MIN_PER_SHARD`] items per shard — to start it), the
-    /// coordinator routes items into per-shard staging buffers and ships
-    /// each as a [`RUNTIME_CHUNK`]-sized chunk onto that shard's SPSC ring;
+    /// the configured [`parallel_cutoff`](ShardedSampler::parallel_cutoff)
+    /// items per shard — to start it), the coordinator routes items into
+    /// per-shard staging buffers and ships each as a
+    /// [`chunk_len`](ShardedSampler::chunk_len)-sized chunk onto that
+    /// shard's SPSC ring;
     /// workers drain their rings through the engines' amortised
     /// `update_batch`. The call returns as soon as the batch is enqueued —
     /// chunks pipeline across shards with no spawn/join and no barrier per
@@ -443,7 +614,7 @@ where
             self.shard_mut(0).update_batch(items);
             return;
         }
-        if self.runtime.is_none() && items.len() >= k * PARALLEL_MIN_PER_SHARD {
+        if self.runtime.is_none() && items.len() >= k * self.parallel_cutoff {
             self.start_runtime();
         }
         if self.runtime.is_some() {
@@ -503,6 +674,8 @@ where
             rng: self.rng.clone(),
             processed: self.processed,
             backpressure: self.backpressure,
+            parallel_cutoff: self.parallel_cutoff,
+            chunk_len: self.chunk_len,
         }
     }
 }
@@ -530,12 +703,15 @@ where
     }
 }
 
-/// Wire format: the router configuration (strategy, round-robin cursor,
-/// merge-coin RNG position, processed count) followed by each shard's own
-/// snapshot. Runtime state (worker pool, staging, backpressure policy) is
+/// Wire format (v2): the router configuration (strategy, then — new in
+/// format version 2 — the backpressure policy, parallel cutoff and runtime
+/// chunk length, then round-robin cursor, processed count, merge-coin RNG
+/// position) followed by each shard's own snapshot. Worker-pool state is
 /// operational, not logical: encoding quiesces the pool and ships only the
-/// shard states, and a restored sampler starts with a cold runtime and the
-/// default backpressure.
+/// shard states, and a restored sampler starts with a cold runtime — but,
+/// since v2, with the ingest configuration it was built with rather than
+/// the defaults (v1 snapshots migrate with the frozen v1 defaults spliced
+/// in; see `tps_streams::codec::migrate`).
 ///
 /// Because each shard is itself a complete snapshot of a mergeable
 /// sampler, the per-shard records can also be shipped to *different*
@@ -556,6 +732,13 @@ where
             ShardingStrategy::Hash => 0,
             ShardingStrategy::RoundRobin => 1,
         });
+        w.put_u8(match self.backpressure {
+            Backpressure::Block => 0,
+            Backpressure::Spill => 1,
+            Backpressure::Fail => 2,
+        });
+        w.put_usize(self.parallel_cutoff);
+        w.put_usize(self.chunk_len);
         w.put_usize(self.cursor);
         w.put_u64(self.processed);
         self.rng.encode_into(w);
@@ -582,6 +765,23 @@ where
                 })
             }
         };
+        let backpressure = match r.get_u8()? {
+            0 => Backpressure::Block,
+            1 => Backpressure::Spill,
+            2 => Backpressure::Fail,
+            _ => {
+                return Err(CodecError::InvalidValue {
+                    what: "backpressure flag must be 0, 1 or 2",
+                })
+            }
+        };
+        let parallel_cutoff = r.get_usize()?;
+        let chunk_len = r.get_usize()?;
+        if parallel_cutoff == 0 || chunk_len == 0 {
+            return Err(CodecError::InvalidValue {
+                what: "parallel cutoff and chunk length must be positive",
+            });
+        }
         let cursor = r.get_usize()?;
         let processed = r.get_u64()?;
         let rng = Xoshiro256::decode_from(r)?;
@@ -628,7 +828,9 @@ where
             scratch: Vec::new(),
             rng,
             processed,
-            backpressure: Backpressure::Block,
+            backpressure,
+            parallel_cutoff,
+            chunk_len,
         })
     }
 }
@@ -677,9 +879,10 @@ mod tests {
         strategy: ShardingStrategy,
         seed: u64,
     ) -> ShardedSampler<TrulyPerfectLpSampler> {
-        ShardedSampler::new(shards, strategy, seed, |idx| {
-            TrulyPerfectLpSampler::new(2.0, 512, 0.1, seed ^ ((idx as u64) << 32))
-        })
+        ShardedSamplerBuilder::new(shards)
+            .strategy(strategy)
+            .seed(seed)
+            .build(|idx| TrulyPerfectLpSampler::new(2.0, 512, 0.1, seed ^ ((idx as u64) << 32)))
     }
 
     #[test]
@@ -835,5 +1038,61 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_panics() {
         let _ = sharded_l2(0, ShardingStrategy::Hash, 1);
+    }
+
+    /// The deprecated positional constructor is a thin wrapper: it builds
+    /// the same sampler (same snapshot bytes) as the builder with matching
+    /// settings — the pin that keeps pre-builder goldens valid.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_new_equals_builder() {
+        let factory =
+            |idx: usize| TrulyPerfectLpSampler::new(2.0, 512, 0.1, 7 ^ ((idx as u64) << 32));
+        let mut via_new = ShardedSampler::new(3, ShardingStrategy::RoundRobin, 7, factory);
+        let mut via_builder = ShardedSamplerBuilder::new(3)
+            .strategy(ShardingStrategy::RoundRobin)
+            .seed(7)
+            .build(factory);
+        let stream = zipfish_stream(2_000, 31);
+        via_new.update_batch(&stream);
+        via_builder.update_batch(&stream);
+        assert_eq!(via_new.snapshot(), via_builder.snapshot());
+    }
+
+    /// The ingest configuration survives the snapshot round trip (new in
+    /// format v2): policy, cutoff and chunk length come back, and the
+    /// builder's routing helper agrees with the public `hash_route`.
+    #[test]
+    fn ingest_config_round_trips_through_snapshots() {
+        let mut sampler = ShardedSamplerBuilder::new(2)
+            .seed(3)
+            .backpressure(Backpressure::Fail)
+            .parallel_cutoff(1_000)
+            .chunk_len(2_048)
+            .build(|idx| TrulyPerfectLpSampler::new(2.0, 512, 0.1, 3 ^ ((idx as u64) << 32)));
+        sampler.update_batch(&zipfish_stream(500, 13));
+        let restored: ShardedSampler<TrulyPerfectLpSampler> =
+            ShardedSampler::restore(&sampler.snapshot()).unwrap();
+        assert_eq!(restored.backpressure(), Backpressure::Fail);
+        assert_eq!(restored.parallel_cutoff(), 1_000);
+        assert_eq!(restored.chunk_len(), 2_048);
+        for item in [0u64, 1, 99, u64::MAX] {
+            assert_eq!(sampler.hash_shard_of(item), hash_route(item, 2));
+        }
+    }
+
+    /// `runtime_stats` observes the live pool: chunks flow once the
+    /// runtime starts, and a cold sampler reports all zeros.
+    #[test]
+    fn runtime_stats_observe_the_pool() {
+        let mut sampler = sharded_l2(2, ShardingStrategy::Hash, 17);
+        assert_eq!(sampler.runtime_stats(), RuntimeStats::default());
+        sampler.update_batch(&zipfish_stream(2 * PARALLEL_MIN_PER_SHARD, 61));
+        assert!(sampler.runtime_active());
+        sampler.flush();
+        let stats = sampler.runtime_stats();
+        assert!(stats.chunks > 0, "runtime ingest must count chunks");
+        assert_eq!(stats.dropped_chunks, 0);
+        assert_eq!(stats.spilled_pending, 0);
     }
 }

@@ -1,0 +1,191 @@
+//! Shared configuration: which sampler family a job runs, how shards are
+//! seeded, and the deterministic workload both the service and the
+//! single-process reference consume.
+//!
+//! Everything here is used by *both* sides of the byte-equality contract
+//! (worker processes and the in-process reference), so it lives in one
+//! place: a seed derivation that drifts between the two would break the
+//! merged-query equality the smoke test pins.
+
+use std::path::PathBuf;
+
+use tps_core::f0::TrulyPerfectF0Sampler;
+use tps_core::framework::MeasureNormalizer;
+use tps_core::lp::TrulyPerfectLpSampler;
+use tps_core::TrulyPerfectGSampler;
+use tps_random::Xoshiro256;
+use tps_streams::generators::zipfian_stream;
+use tps_streams::measure::Huber;
+use tps_streams::Item;
+
+/// The Huber G-sampler variant the service's `g` kind runs.
+pub type HuberSampler = TrulyPerfectGSampler<Huber, MeasureNormalizer<Huber>>;
+
+/// Which sampler family the shards of a job instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplerKind {
+    /// Truly perfect `L_2` sampler ([`TrulyPerfectLpSampler`], `p = 2`).
+    L2,
+    /// Truly perfect `F_0` (support) sampler ([`TrulyPerfectF0Sampler`]).
+    F0,
+    /// Truly perfect Huber M-estimator sampler ([`HuberSampler`]).
+    G,
+}
+
+impl SamplerKind {
+    /// Parses the CLI spelling (`l2` | `f0` | `g`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "l2" => Some(SamplerKind::L2),
+            "f0" => Some(SamplerKind::F0),
+            "g" => Some(SamplerKind::G),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SamplerKind::L2 => "l2",
+            SamplerKind::F0 => "f0",
+            SamplerKind::G => "g",
+        }
+    }
+}
+
+/// Failure probability the service's reservoir samplers are built with.
+pub const DELTA: f64 = 0.1;
+
+/// Instance count of the `g` kind's skip-ahead engine.
+pub const G_INSTANCES: usize = 64;
+
+/// The per-shard sampler seed. Reservoir samplers draw independently per
+/// shard; the `F_0` kind deliberately ignores the shard index because its
+/// merge law requires all shards to share one pre-drawn subset (see
+/// `TrulyPerfectF0Sampler`'s merge docs).
+pub fn shard_seed(seed: u64, shard: usize) -> u64 {
+    seed ^ (shard as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Shard `shard`'s `l2` sampler.
+pub fn make_l2(universe: u64, seed: u64, shard: usize) -> TrulyPerfectLpSampler {
+    TrulyPerfectLpSampler::new(2.0, universe, DELTA, shard_seed(seed, shard))
+}
+
+/// Shard `shard`'s `f0` sampler (shared seed — see [`shard_seed`]).
+pub fn make_f0(universe: u64, seed: u64, _shard: usize) -> TrulyPerfectF0Sampler {
+    TrulyPerfectF0Sampler::new(universe, DELTA, seed)
+}
+
+/// Shard `shard`'s `g` (Huber) sampler.
+pub fn make_g(_universe: u64, seed: u64, shard: usize) -> HuberSampler {
+    let g = Huber::new(1.0);
+    TrulyPerfectGSampler::with_instances(
+        g,
+        MeasureNormalizer::new(g),
+        G_INSTANCES,
+        shard_seed(seed, shard),
+    )
+}
+
+/// Salt separating the workload RNG from the sampler seeds.
+const STREAM_SALT: u64 = 0x57E4_0A4B_5F00_D5EE;
+
+/// Zipf exponent of the job workload: skewed enough that one shard runs
+/// hot (the regime delta checkpoints are built for).
+pub const STREAM_ALPHA: f64 = 1.2;
+
+/// The deterministic hot-shard Zipf workload for a job: both the
+/// coordinator and the single-process reference generate exactly this.
+pub fn job_stream(universe: u64, count: usize, seed: u64) -> Vec<Item> {
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ STREAM_SALT);
+    zipfian_stream(&mut rng, universe, count, STREAM_ALPHA)
+}
+
+/// Configuration of one worker process (the `worker` subcommand).
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// The shard index this process owns.
+    pub shard: usize,
+    /// Sampler family to instantiate.
+    pub sampler: SamplerKind,
+    /// Universe size `n` of the sampler.
+    pub universe: u64,
+    /// The job seed (per-shard seeds derive via [`shard_seed`]).
+    pub seed: u64,
+    /// Directory holding the per-shard checkpoint chains.
+    pub checkpoint_dir: PathBuf,
+}
+
+/// A deterministic fault injection: kill one worker after the coordinator
+/// has routed a given number of chunks, then respawn and recover it.
+#[derive(Debug, Clone, Copy)]
+pub struct KillSpec {
+    /// The shard whose worker process is killed.
+    pub shard: usize,
+    /// Kill after this many stream chunks have been routed.
+    pub after_chunks: u64,
+}
+
+/// Configuration of a coordinator job (and of the `reference` run that
+/// must match it).
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Number of worker processes (= shard count).
+    pub workers: usize,
+    /// Sampler family of every shard.
+    pub sampler: SamplerKind,
+    /// Universe size `n`.
+    pub universe: u64,
+    /// The job seed: workload, shard samplers and merge coins all derive
+    /// from it deterministically.
+    pub seed: u64,
+    /// Total stream length.
+    pub count: usize,
+    /// Items per routed chunk (a chunk is scattered across all shards).
+    pub chunk: usize,
+    /// Checkpoint barrier cadence, in chunks.
+    pub checkpoint_every: u64,
+    /// Directory holding the per-shard checkpoint chains.
+    pub checkpoint_dir: PathBuf,
+    /// Optional deterministic fault injection.
+    pub kill: Option<KillSpec>,
+    /// Path to the worker executable; defaults to the current executable.
+    pub worker_exe: Option<PathBuf>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_parse_and_print() {
+        for kind in [SamplerKind::L2, SamplerKind::F0, SamplerKind::G] {
+            assert_eq!(SamplerKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(SamplerKind::parse("l3"), None);
+    }
+
+    #[test]
+    fn job_stream_is_deterministic_and_skewed() {
+        let a = job_stream(1 << 16, 50_000, 7);
+        let b = job_stream(1 << 16, 50_000, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, job_stream(1 << 16, 50_000, 8));
+        // Zipf skew: the most frequent item dominates a uniform share.
+        let mut counts = std::collections::HashMap::new();
+        for &x in &a {
+            *counts.entry(x).or_insert(0u64) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        assert!(max > (a.len() as u64) / 100, "workload not skewed");
+    }
+
+    #[test]
+    fn f0_shards_share_a_seed_and_reservoirs_do_not() {
+        assert_ne!(shard_seed(9, 0), shard_seed(9, 1));
+        use tps_streams::Snapshot;
+        assert_eq!(make_f0(64, 9, 0).snapshot(), make_f0(64, 9, 1).snapshot());
+        assert_ne!(make_l2(64, 9, 0).snapshot(), make_l2(64, 9, 1).snapshot());
+    }
+}

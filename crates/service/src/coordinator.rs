@@ -1,0 +1,432 @@
+//! The coordinator: spawns one worker process per shard, routes the
+//! stream with the exact in-process routing function, drives checkpoint
+//! and query barriers, recovers killed workers from their chains, and
+//! answers the final query by restore-and-merge — byte-identical to a
+//! single-process [`ShardedSampler`](tps_core::sharded::ShardedSampler)
+//! over the same stream.
+//!
+//! ## Replay buffers
+//!
+//! Every chunk sent to a worker is retained, tagged with the epoch of the
+//! last barrier *sent* before it. A chunk tagged `t` is covered by any
+//! checkpoint with epoch `> t`:
+//!
+//! * on a checkpoint **ack** at epoch `E` (the frame is on disk), chunks
+//!   tagged `< E` are dropped;
+//! * on a worker **restart** announcing recovered epoch `e`, chunks
+//!   tagged `≥ e` are re-sent in order (tagged `< e` are inside the
+//!   recovered state and are dropped).
+//!
+//! The restored state is exactly the checkpoint-`e` cut, so re-ingesting
+//! exactly the uncovered chunks reproduces the uninterrupted shard state
+//! byte for byte — regardless of how much post-checkpoint work the dead
+//! process had already absorbed (that work died with it).
+
+use std::io::{self, BufReader, BufWriter};
+use std::path::Path;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+use tps_core::sharded::{hash_route, ShardedSamplerBuilder, ShardingStrategy, MERGE_SEED_SALT};
+use tps_random::Xoshiro256;
+use tps_streams::codec::{checksum, Restore, Snapshot};
+use tps_streams::wire::{read_message, write_message, BarrierKind, WireError, WireMessage};
+use tps_streams::{Item, MergeableSampler, SampleOutcome, StreamSampler};
+
+use crate::config::{job_stream, make_f0, make_g, make_l2, JobConfig, SamplerKind};
+
+fn wire_to_io(e: WireError) -> io::Error {
+    match e {
+        WireError::Io(e) => e,
+        WireError::Codec(e) => io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
+    }
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// The answer of a job's final consistent-cut query, printed as one line
+/// (`processed=… merged_fnv=… sample=…`). Two runs whose lines are equal
+/// produced byte-identical merged snapshots — this is the currency of the
+/// smoke test's recovery and reference comparisons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryReport {
+    /// Stream items routed (the logical stream length, not counting
+    /// recovery re-sends).
+    pub processed: u64,
+    /// FNV-1a 64 over the merged sampler's sealed snapshot bytes.
+    pub merged_fnv: u64,
+    /// The merged sampler's sample outcome, drawn after the snapshot.
+    pub sample: String,
+}
+
+impl std::fmt::Display for QueryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "processed={} merged_fnv={:016x} sample={}",
+            self.processed, self.merged_fnv, self.sample
+        )
+    }
+}
+
+impl QueryReport {
+    /// Parses a line printed by [`QueryReport`]'s `Display` impl.
+    pub fn parse(line: &str) -> Option<Self> {
+        let mut processed = None;
+        let mut merged_fnv = None;
+        let mut sample = None;
+        for field in line.split_whitespace() {
+            let (key, value) = field.split_once('=')?;
+            match key {
+                "processed" => processed = value.parse().ok(),
+                "merged_fnv" => merged_fnv = u64::from_str_radix(value, 16).ok(),
+                "sample" => sample = Some(value.to_string()),
+                _ => return None,
+            }
+        }
+        Some(Self {
+            processed: processed?,
+            merged_fnv: merged_fnv?,
+            sample: sample?,
+        })
+    }
+}
+
+fn describe(outcome: SampleOutcome) -> String {
+    match outcome {
+        SampleOutcome::Index(i) => format!("index:{i}"),
+        SampleOutcome::Empty => "empty".to_string(),
+        SampleOutcome::Fail => "fail".to_string(),
+    }
+}
+
+/// One live worker process plus its replay buffer.
+struct WorkerHandle {
+    shard: usize,
+    child: Child,
+    input: BufWriter<ChildStdin>,
+    output: BufReader<ChildStdout>,
+    /// Chunks sent since the last acked checkpoint, each tagged with the
+    /// epoch of the last barrier sent before it.
+    replay: Vec<(u64, Vec<Item>)>,
+}
+
+impl WorkerHandle {
+    fn send(&mut self, msg: &WireMessage) -> io::Result<()> {
+        write_message(&mut self.input, msg)
+    }
+
+    fn recv(&mut self) -> io::Result<WireMessage> {
+        read_message(&mut self.output)
+            .map_err(wire_to_io)?
+            .ok_or_else(|| {
+                invalid(format!(
+                    "worker {} closed its pipe mid-conversation",
+                    self.shard
+                ))
+            })
+    }
+
+    /// Reads the barrier ack for `epoch`, returning its snapshot field.
+    fn expect_ack(&mut self, epoch: u64) -> io::Result<Option<Vec<u8>>> {
+        match self.recv()? {
+            WireMessage::BarrierAck {
+                shard,
+                epoch: acked,
+                snapshot,
+            } if shard == self.shard as u64 && acked == epoch => Ok(snapshot),
+            other => Err(invalid(format!(
+                "worker {}: expected ack for epoch {epoch}, got {other:?}",
+                self.shard
+            ))),
+        }
+    }
+}
+
+/// Spawns the worker process for `shard` and completes its handshake,
+/// returning the handle and the epoch it recovered to (`0` = fresh).
+fn spawn_worker(cfg: &JobConfig, exe: &Path, shard: usize) -> io::Result<(WorkerHandle, u64)> {
+    let mut child = Command::new(exe)
+        .arg("worker")
+        .arg("--shard")
+        .arg(shard.to_string())
+        .arg("--sampler")
+        .arg(cfg.sampler.as_str())
+        .arg("--universe")
+        .arg(cfg.universe.to_string())
+        .arg("--seed")
+        .arg(cfg.seed.to_string())
+        .arg("--checkpoint-dir")
+        .arg(&cfg.checkpoint_dir)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()?;
+    let input = BufWriter::new(child.stdin.take().expect("piped stdin"));
+    let output = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut handle = WorkerHandle {
+        shard,
+        child,
+        input,
+        output,
+        replay: Vec::new(),
+    };
+    match handle.recv()? {
+        WireMessage::Hello {
+            shard: said,
+            resume_epoch,
+        } if said == shard as u64 => Ok((handle, resume_epoch)),
+        other => Err(invalid(format!(
+            "worker {shard}: expected Hello, got {other:?}"
+        ))),
+    }
+}
+
+/// Kills the worker outright (SIGKILL — no drain, simulating a crash) and
+/// brings up a replacement: the fresh process recovers from its on-disk
+/// chain, and the coordinator re-sends the buffered chunks the recovered
+/// checkpoint does not cover.
+fn restart_worker(cfg: &JobConfig, exe: &Path, handle: &mut WorkerHandle) -> io::Result<()> {
+    handle.child.kill()?;
+    handle.child.wait()?;
+    let (mut fresh, resume_epoch) = spawn_worker(cfg, exe, handle.shard)?;
+    let replay = std::mem::take(&mut handle.replay);
+    for (tag, items) in replay {
+        if tag >= resume_epoch {
+            fresh.send(&WireMessage::Ingest {
+                items: items.clone(),
+            })?;
+            fresh.replay.push((tag, items));
+        }
+    }
+    // Swap the replacement into the slot; the dead process's handles drop.
+    std::mem::swap(handle, &mut fresh);
+    Ok(())
+}
+
+/// Runs the checkpoint barrier at `epoch`: every worker appends a frame
+/// durably and acks; acked buffers shrink to the uncovered suffix.
+fn checkpoint_barrier(workers: &mut [WorkerHandle], epoch: u64) -> io::Result<()> {
+    for worker in workers.iter_mut() {
+        worker.send(&WireMessage::Barrier {
+            epoch,
+            kind: BarrierKind::Checkpoint,
+        })?;
+    }
+    for worker in workers.iter_mut() {
+        if worker.expect_ack(epoch)?.is_some() {
+            return Err(invalid(format!(
+                "worker {}: checkpoint ack carried a snapshot",
+                worker.shard
+            )));
+        }
+        worker.replay.retain(|&(tag, _)| tag >= epoch);
+    }
+    Ok(())
+}
+
+/// Runs the query barrier at `epoch`, returning the consistent-cut
+/// snapshots in shard order.
+fn query_barrier(workers: &mut [WorkerHandle], epoch: u64) -> io::Result<Vec<Vec<u8>>> {
+    for worker in workers.iter_mut() {
+        worker.send(&WireMessage::Barrier {
+            epoch,
+            kind: BarrierKind::Query,
+        })?;
+    }
+    let mut snapshots = Vec::with_capacity(workers.len());
+    for worker in workers.iter_mut() {
+        let snapshot = worker.expect_ack(epoch)?.ok_or_else(|| {
+            invalid(format!(
+                "worker {}: query ack missing snapshot",
+                worker.shard
+            ))
+        })?;
+        snapshots.push(snapshot);
+    }
+    Ok(snapshots)
+}
+
+/// Restores the per-shard snapshots and fold-merges them in shard order,
+/// with merge coins from `seed ^ MERGE_SEED_SALT` — the exact recipe of an
+/// in-process sharded sampler's first merged query.
+fn merge_snapshots<S>(snapshots: &[Vec<u8>], seed: u64, processed: u64) -> io::Result<QueryReport>
+where
+    S: MergeableSampler + Snapshot + Restore,
+{
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ MERGE_SEED_SALT);
+    let mut shards = snapshots.iter().enumerate().map(|(index, bytes)| {
+        S::restore(bytes)
+            .map_err(|e| invalid(format!("shard {index} snapshot does not restore: {e}")))
+    });
+    let mut merged = shards.next().expect("at least one shard")?;
+    for shard in shards {
+        let shard = shard?;
+        if !merged.merge_compatible(&shard) {
+            return Err(invalid("shard snapshots are not merge-compatible".into()));
+        }
+        merged = merged.merge(shard, &mut rng);
+    }
+    let merged_bytes = merged.snapshot();
+    Ok(QueryReport {
+        processed,
+        merged_fnv: checksum(&merged_bytes),
+        sample: describe(merged.sample()),
+    })
+}
+
+fn merge_report(
+    kind: SamplerKind,
+    snapshots: &[Vec<u8>],
+    seed: u64,
+    processed: u64,
+) -> io::Result<QueryReport> {
+    use crate::config::HuberSampler;
+    use tps_core::f0::TrulyPerfectF0Sampler;
+    use tps_core::lp::TrulyPerfectLpSampler;
+    match kind {
+        SamplerKind::L2 => merge_snapshots::<TrulyPerfectLpSampler>(snapshots, seed, processed),
+        SamplerKind::F0 => merge_snapshots::<TrulyPerfectF0Sampler>(snapshots, seed, processed),
+        SamplerKind::G => merge_snapshots::<HuberSampler>(snapshots, seed, processed),
+    }
+}
+
+/// Runs the whole job: spawn workers, stream, checkpoint, (optionally)
+/// kill and recover one worker, query, merge, shut down.
+pub fn run_coordinator(cfg: &JobConfig) -> io::Result<QueryReport> {
+    assert!(cfg.workers > 0, "need at least one worker");
+    assert!(cfg.chunk > 0, "chunk size must be positive");
+    assert!(
+        cfg.checkpoint_every > 0,
+        "checkpoint cadence must be positive"
+    );
+    let exe = match &cfg.worker_exe {
+        Some(path) => path.clone(),
+        None => std::env::current_exe()?,
+    };
+    std::fs::create_dir_all(&cfg.checkpoint_dir)?;
+
+    let stream = job_stream(cfg.universe, cfg.count, cfg.seed);
+    let mut workers = Vec::with_capacity(cfg.workers);
+    for shard in 0..cfg.workers {
+        let (handle, resume_epoch) = spawn_worker(cfg, &exe, shard)?;
+        if resume_epoch != 0 {
+            return Err(invalid(format!(
+                "worker {shard} recovered epoch {resume_epoch} on a fresh job — \
+                 stale checkpoint directory?"
+            )));
+        }
+        workers.push(handle);
+    }
+
+    let mut epoch = 0u64; // last barrier epoch sent
+    let mut chunks_routed = 0u64;
+    let mut kill_pending = cfg.kill;
+    for chunk in stream.chunks(cfg.chunk) {
+        let mut routed: Vec<Vec<Item>> = vec![Vec::new(); cfg.workers];
+        for &item in chunk {
+            routed[hash_route(item, cfg.workers)].push(item);
+        }
+        for (worker, items) in workers.iter_mut().zip(routed) {
+            if items.is_empty() {
+                continue;
+            }
+            worker.send(&WireMessage::Ingest {
+                items: items.clone(),
+            })?;
+            worker.replay.push((epoch, items));
+        }
+        chunks_routed += 1;
+        if let Some(kill) = kill_pending {
+            if chunks_routed >= kill.after_chunks {
+                if kill.shard >= cfg.workers {
+                    return Err(invalid(format!("no shard {} to kill", kill.shard)));
+                }
+                restart_worker(cfg, &exe, &mut workers[kill.shard])?;
+                kill_pending = None;
+            }
+        }
+        if chunks_routed.is_multiple_of(cfg.checkpoint_every) {
+            epoch += 1;
+            checkpoint_barrier(&mut workers, epoch)?;
+        }
+    }
+
+    epoch += 1;
+    let snapshots = query_barrier(&mut workers, epoch)?;
+    for worker in workers.iter_mut() {
+        worker.send(&WireMessage::Shutdown)?;
+    }
+    for worker in workers.iter_mut() {
+        worker.child.wait()?;
+    }
+    merge_report(cfg.sampler, &snapshots, cfg.seed, stream.len() as u64)
+}
+
+/// The single-process reference: an in-process sharded sampler over the
+/// identical stream, queried once. Its report must equal the service's —
+/// that equality is the distributed correctness gate.
+pub fn run_reference(cfg: &JobConfig) -> QueryReport {
+    fn typed<S>(cfg: &JobConfig, make: impl FnMut(usize) -> S) -> QueryReport
+    where
+        S: MergeableSampler + Clone + Send + Snapshot + Restore + 'static,
+    {
+        let stream = job_stream(cfg.universe, cfg.count, cfg.seed);
+        let mut sampler = ShardedSamplerBuilder::new(cfg.workers)
+            .strategy(ShardingStrategy::Hash)
+            .seed(cfg.seed)
+            .build(make);
+        sampler.update_batch(&stream);
+        let mut merged = sampler.merged();
+        let merged_bytes = merged.snapshot();
+        QueryReport {
+            processed: stream.len() as u64,
+            merged_fnv: checksum(&merged_bytes),
+            sample: describe(merged.sample()),
+        }
+    }
+    match cfg.sampler {
+        SamplerKind::L2 => typed(cfg, |shard| make_l2(cfg.universe, cfg.seed, shard)),
+        SamplerKind::F0 => typed(cfg, |shard| make_f0(cfg.universe, cfg.seed, shard)),
+        SamplerKind::G => typed(cfg, |shard| make_g(cfg.universe, cfg.seed, shard)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_lines_round_trip() {
+        let report = QueryReport {
+            processed: 123_456,
+            merged_fnv: 0xDEAD_BEEF_0BAD_F00D,
+            sample: "index:42".to_string(),
+        };
+        assert_eq!(QueryReport::parse(&report.to_string()), Some(report));
+        assert_eq!(QueryReport::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn reference_is_deterministic_per_seed() {
+        let cfg = JobConfig {
+            workers: 3,
+            sampler: SamplerKind::L2,
+            universe: 1 << 12,
+            seed: 5,
+            count: 30_000,
+            chunk: 1_000,
+            checkpoint_every: 4,
+            checkpoint_dir: std::env::temp_dir(),
+            kill: None,
+            worker_exe: None,
+        };
+        let a = run_reference(&cfg);
+        let b = run_reference(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.processed, 30_000);
+        let other = JobConfig { seed: 6, ..cfg };
+        assert_ne!(a.merged_fnv, run_reference(&other).merged_fnv);
+    }
+}

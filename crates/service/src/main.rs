@@ -1,0 +1,145 @@
+//! The `tps-service` binary: `worker`, `coordinator` and `reference`
+//! subcommands (see the crate docs for the architecture).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tps_service::config::{JobConfig, KillSpec, SamplerKind, WorkerConfig};
+use tps_service::{coordinator, worker};
+
+fn usage() -> String {
+    "usage:\n  \
+     tps-service worker --shard N --sampler l2|f0|g --universe U --seed S \
+     --checkpoint-dir DIR\n  \
+     tps-service coordinator --workers K --sampler l2|f0|g --universe U --seed S \
+     --count N --chunk C --checkpoint-every E --checkpoint-dir DIR \
+     [--kill-shard J --kill-after-chunks M] [--worker-exe PATH]\n  \
+     tps-service reference --workers K --sampler l2|f0|g --universe U --seed S --count N"
+        .to_string()
+}
+
+/// Tiny `--key value` parser: every flag takes exactly one value.
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let key = key
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected a --flag, got {key:?}"))?;
+            let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            pairs.push((key.to_string(), value.clone()));
+        }
+        Ok(Self(pairs))
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn required<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing --{key}"))?
+            .parse()
+            .map_err(|_| format!("--{key}: cannot parse value"))
+    }
+
+    fn optional<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        self.get(key)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("--{key}: cannot parse value"))
+            })
+            .transpose()
+    }
+
+    fn sampler(&self) -> Result<SamplerKind, String> {
+        let spelled = self.get("sampler").ok_or("missing --sampler")?;
+        SamplerKind::parse(spelled).ok_or_else(|| format!("unknown sampler kind {spelled:?}"))
+    }
+}
+
+fn job_config(flags: &Flags, for_reference: bool) -> Result<JobConfig, String> {
+    let kill_shard: Option<usize> = flags.optional("kill-shard")?;
+    let kill_after: Option<u64> = flags.optional("kill-after-chunks")?;
+    let kill = match (kill_shard, kill_after) {
+        (Some(shard), Some(after_chunks)) => Some(KillSpec {
+            shard,
+            after_chunks,
+        }),
+        (None, None) => None,
+        _ => return Err("--kill-shard and --kill-after-chunks go together".into()),
+    };
+    Ok(JobConfig {
+        workers: flags.required("workers")?,
+        sampler: flags.sampler()?,
+        universe: flags.required("universe")?,
+        seed: flags.required("seed")?,
+        count: flags.required("count")?,
+        chunk: if for_reference {
+            flags.optional("chunk")?.unwrap_or(1)
+        } else {
+            flags.required("chunk")?
+        },
+        checkpoint_every: if for_reference {
+            flags.optional("checkpoint-every")?.unwrap_or(1)
+        } else {
+            flags.required("checkpoint-every")?
+        },
+        checkpoint_dir: if for_reference {
+            flags
+                .optional::<PathBuf>("checkpoint-dir")?
+                .unwrap_or_else(std::env::temp_dir)
+        } else {
+            flags.required("checkpoint-dir")?
+        },
+        kill,
+        worker_exe: flags.optional("worker-exe")?,
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("worker") => {
+            let flags = Flags::parse(&args[1..])?;
+            let cfg = WorkerConfig {
+                shard: flags.required("shard")?,
+                sampler: flags.sampler()?,
+                universe: flags.required("universe")?,
+                seed: flags.required("seed")?,
+                checkpoint_dir: flags.required("checkpoint-dir")?,
+            };
+            worker::run(&cfg).map_err(|e| format!("worker {}: {e}", cfg.shard))
+        }
+        Some("coordinator") => {
+            let flags = Flags::parse(&args[1..])?;
+            let cfg = job_config(&flags, false)?;
+            let report = coordinator::run_coordinator(&cfg).map_err(|e| e.to_string())?;
+            println!("{report}");
+            Ok(())
+        }
+        Some("reference") => {
+            let flags = Flags::parse(&args[1..])?;
+            let cfg = job_config(&flags, true)?;
+            println!("{}", coordinator::run_reference(&cfg));
+            Ok(())
+        }
+        _ => Err(usage()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! The per-shard on-disk checkpoint chain: an append-only file of
+//! length-prefixed incremental frames ([`tps_streams::codec::delta`]).
+//!
+//! Layout: for each frame, a `u64` little-endian byte length followed by
+//! the sealed frame bytes. Appends write the frame and `sync_data` before
+//! the worker acks the checkpoint barrier — the ack is the coordinator's
+//! permission to drop its replay buffer, so durability must come first.
+//! Recovery tolerates a torn tail (a crash mid-append leaves a partial
+//! record, which is ignored); anything before the tail is checksummed
+//! frame by frame during replay.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use tps_streams::codec::delta::CheckpointReplayer;
+
+/// One shard's append-only checkpoint chain.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    path: PathBuf,
+}
+
+impl CheckpointStore {
+    /// The store for `shard` under `dir` (file `shard-<idx>.ckpt`).
+    pub fn for_shard(dir: &Path, shard: usize) -> Self {
+        Self {
+            path: dir.join(format!("shard-{shard}.ckpt")),
+        }
+    }
+
+    /// The chain file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one sealed frame durably (length prefix, bytes, fsync).
+    pub fn append_frame(&self, frame: &[u8]) -> io::Result<()> {
+        if let Some(parent) = self.path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        file.write_all(&(frame.len() as u64).to_le_bytes())?;
+        file.write_all(frame)?;
+        file.sync_data()
+    }
+
+    /// Reads every complete frame in the chain (empty if the file does not
+    /// exist). A torn final record — crash mid-append — is dropped; it was
+    /// never acked, so the coordinator still holds the chunks it covered.
+    pub fn load_frames(&self) -> io::Result<Vec<Vec<u8>>> {
+        let mut bytes = Vec::new();
+        match File::open(&self.path) {
+            Ok(mut file) => {
+                file.read_to_end(&mut bytes)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        }
+        let mut frames = Vec::new();
+        let mut pos = 0usize;
+        while bytes.len() - pos >= 8 {
+            let len =
+                u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8-byte slice")) as usize;
+            let Some(end) = pos.checked_add(8).and_then(|p| p.checked_add(len)) else {
+                break; // torn tail: absurd length from a partial prefix
+            };
+            if end > bytes.len() {
+                break; // torn tail: record extends past the file
+            }
+            frames.push(bytes[pos + 8..end].to_vec());
+            pos = end;
+        }
+        Ok(frames)
+    }
+
+    /// Replays the chain, returning the reconstructed snapshot bytes and
+    /// their checkpoint epoch (`None` for an empty or missing chain). A
+    /// chain that fails to replay is a real integrity error — torn tails
+    /// are already dropped by [`Self::load_frames`], so what remains must
+    /// apply cleanly.
+    pub fn recover(&self) -> io::Result<Option<(u64, Vec<u8>)>> {
+        let mut replayer = CheckpointReplayer::new();
+        for (index, frame) in self.load_frames()?.iter().enumerate() {
+            replayer.apply(frame).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "checkpoint chain {} frame {index}: {e}",
+                        self.path.display()
+                    ),
+                )
+            })?;
+        }
+        Ok(replayer.into_current())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_streams::codec::delta::IncrementalCheckpointer;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tps-store-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn chain_round_trips_through_disk() {
+        let dir = temp_dir("roundtrip");
+        let store = CheckpointStore::for_shard(&dir, 0);
+        let _ = std::fs::remove_file(store.path());
+        let mut writer = IncrementalCheckpointer::new();
+        let mut state = vec![0x5Au8; 4096];
+        for epoch in 1..=5u64 {
+            state[epoch as usize * 11] = epoch as u8;
+            let frame = writer.checkpoint_bytes(state.clone(), epoch);
+            store.append_frame(frame.bytes()).unwrap();
+        }
+        let (epoch, bytes) = store.recover().unwrap().expect("chain recovers");
+        assert_eq!(epoch, 5);
+        assert_eq!(bytes, state);
+        assert_eq!(store.load_frames().unwrap().len(), 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_chain_recovers_to_fresh() {
+        let dir = temp_dir("fresh");
+        let store = CheckpointStore::for_shard(&dir, 3);
+        let _ = std::fs::remove_file(store.path());
+        assert!(store.recover().unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let dir = temp_dir("torn");
+        let store = CheckpointStore::for_shard(&dir, 1);
+        let _ = std::fs::remove_file(store.path());
+        let mut writer = IncrementalCheckpointer::new();
+        let state = vec![7u8; 2048];
+        let frame = writer.checkpoint_bytes(state.clone(), 1);
+        store.append_frame(frame.bytes()).unwrap();
+        // Simulate a crash mid-append of the next frame.
+        let mut torn = std::fs::read(store.path()).unwrap();
+        torn.extend_from_slice(&999u64.to_le_bytes());
+        torn.extend_from_slice(&[1, 2, 3]);
+        std::fs::write(store.path(), &torn).unwrap();
+        let (epoch, bytes) = store.recover().unwrap().expect("intact prefix recovers");
+        assert_eq!((epoch, bytes), (1, state));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

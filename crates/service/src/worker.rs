@@ -1,0 +1,263 @@
+//! The worker process: owns exactly one shard of the job's sampler, talks
+//! the [`tps_streams::wire`] protocol over its stdin/stdout, and keeps an
+//! incremental checkpoint chain on disk.
+//!
+//! Lifecycle: recover from the on-disk chain (if any), announce the
+//! recovered epoch in `Hello`, then loop — apply `Ingest` chunks in
+//! arrival order; on a `Checkpoint` barrier append a delta frame durably
+//! *before* acking; on a `Query` barrier ack with the full sealed
+//! snapshot. The worker never sees the stream outside its shard and never
+//! touches the golden-corpus registry: its entire interface is the pipe
+//! and the chain file.
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+
+use tps_streams::codec::delta::IncrementalCheckpointer;
+use tps_streams::codec::{Restore, Snapshot};
+use tps_streams::wire::{read_message, write_message, BarrierKind, WireError, WireMessage};
+use tps_streams::StreamSampler;
+
+use crate::config::{make_f0, make_g, make_l2, SamplerKind, WorkerConfig};
+use crate::store::CheckpointStore;
+
+fn wire_to_io(e: WireError) -> io::Error {
+    match e {
+        WireError::Io(e) => e,
+        WireError::Codec(e) => io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
+    }
+}
+
+/// Runs the worker protocol over the process's stdin/stdout.
+pub fn run(cfg: &WorkerConfig) -> io::Result<()> {
+    let stdin = io::stdin().lock();
+    let stdout = io::stdout().lock();
+    match cfg.sampler {
+        SamplerKind::L2 => serve(
+            cfg,
+            make_l2(cfg.universe, cfg.seed, cfg.shard),
+            stdin,
+            stdout,
+        ),
+        SamplerKind::F0 => serve(
+            cfg,
+            make_f0(cfg.universe, cfg.seed, cfg.shard),
+            stdin,
+            stdout,
+        ),
+        SamplerKind::G => serve(
+            cfg,
+            make_g(cfg.universe, cfg.seed, cfg.shard),
+            stdin,
+            stdout,
+        ),
+    }
+}
+
+/// The worker loop over explicit streams (unit-testable without a process
+/// boundary). `fresh` is the shard's state if no checkpoint chain exists.
+pub fn serve<S, R, W>(cfg: &WorkerConfig, fresh: S, input: R, output: W) -> io::Result<()>
+where
+    S: StreamSampler + Snapshot + Restore,
+    R: Read,
+    W: Write,
+{
+    let store = CheckpointStore::for_shard(&cfg.checkpoint_dir, cfg.shard);
+    let (mut sampler, mut checkpointer, resume_epoch) = match store.recover()? {
+        Some((epoch, bytes)) => {
+            let restored = S::restore(&bytes).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("recovered checkpoint does not restore: {e}"),
+                )
+            })?;
+            (
+                restored,
+                IncrementalCheckpointer::resume(epoch, bytes),
+                epoch,
+            )
+        }
+        None => (fresh, IncrementalCheckpointer::new(), 0),
+    };
+
+    let mut input = BufReader::new(input);
+    let mut output = BufWriter::new(output);
+    write_message(
+        &mut output,
+        &WireMessage::Hello {
+            shard: cfg.shard as u64,
+            resume_epoch,
+        },
+    )?;
+
+    while let Some(msg) = read_message(&mut input).map_err(wire_to_io)? {
+        match msg {
+            WireMessage::Ingest { items } => sampler.update_batch(&items),
+            WireMessage::Barrier { epoch, kind } => {
+                let snapshot = match kind {
+                    BarrierKind::Checkpoint => {
+                        let frame = checkpointer.checkpoint(&sampler, epoch);
+                        store.append_frame(frame.bytes())?;
+                        None
+                    }
+                    BarrierKind::Query => Some(sampler.snapshot()),
+                };
+                write_message(
+                    &mut output,
+                    &WireMessage::BarrierAck {
+                        shard: cfg.shard as u64,
+                        epoch,
+                        snapshot,
+                    },
+                )?;
+            }
+            WireMessage::Shutdown => break,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected coordinator message: {other:?}"),
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::make_l2;
+    use std::path::PathBuf;
+    use tps_core::lp::TrulyPerfectLpSampler;
+    use tps_streams::wire::encode_message;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tps-worker-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn script(messages: &[WireMessage]) -> Vec<u8> {
+        let mut pipe = Vec::new();
+        for msg in messages {
+            let frame = encode_message(msg);
+            pipe.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+            pipe.extend_from_slice(&frame);
+        }
+        pipe
+    }
+
+    fn replies(output: &[u8]) -> Vec<WireMessage> {
+        let mut cursor = std::io::Cursor::new(output.to_vec());
+        let mut out = Vec::new();
+        while let Some(msg) = read_message(&mut cursor).unwrap() {
+            out.push(msg);
+        }
+        out
+    }
+
+    #[test]
+    fn worker_checkpoints_recovers_and_matches_uninterrupted_state() {
+        let dir = temp_dir("recover");
+        let cfg = WorkerConfig {
+            shard: 0,
+            sampler: SamplerKind::L2,
+            universe: 1 << 12,
+            seed: 21,
+            checkpoint_dir: dir.clone(),
+        };
+        let store = CheckpointStore::for_shard(&dir, 0);
+        let _ = std::fs::remove_file(store.path());
+
+        let chunk_a: Vec<u64> = (0..4_000u64).map(|i| i % 97).collect();
+        let chunk_b: Vec<u64> = (0..4_000u64).map(|i| i % 131).collect();
+
+        // Session 1: ingest chunk A, checkpoint at epoch 1, then ingest
+        // chunk B and "crash" (no checkpoint, no shutdown — EOF).
+        let input = script(&[
+            WireMessage::Ingest {
+                items: chunk_a.clone(),
+            },
+            WireMessage::Barrier {
+                epoch: 1,
+                kind: BarrierKind::Checkpoint,
+            },
+            WireMessage::Ingest {
+                items: chunk_b.clone(),
+            },
+        ]);
+        let mut output = Vec::new();
+        serve(
+            &cfg,
+            make_l2(cfg.universe, cfg.seed, cfg.shard),
+            input.as_slice(),
+            &mut output,
+        )
+        .unwrap();
+        let first = replies(&output);
+        assert_eq!(
+            first[0],
+            WireMessage::Hello {
+                shard: 0,
+                resume_epoch: 0
+            }
+        );
+        assert!(matches!(
+            first[1],
+            WireMessage::BarrierAck {
+                epoch: 1,
+                snapshot: None,
+                ..
+            }
+        ));
+
+        // Session 2: the restarted worker resumes from epoch 1; the
+        // coordinator re-sends chunk B; a query must match a never-crashed
+        // sampler that saw A then B.
+        let input = script(&[
+            WireMessage::Ingest {
+                items: chunk_b.clone(),
+            },
+            WireMessage::Barrier {
+                epoch: 2,
+                kind: BarrierKind::Query,
+            },
+            WireMessage::Shutdown,
+        ]);
+        let mut output = Vec::new();
+        serve(
+            &cfg,
+            make_l2(cfg.universe, cfg.seed, cfg.shard),
+            input.as_slice(),
+            &mut output,
+        )
+        .unwrap();
+        let second = replies(&output);
+        assert_eq!(
+            second[0],
+            WireMessage::Hello {
+                shard: 0,
+                resume_epoch: 1
+            }
+        );
+        let recovered_snapshot = match &second[1] {
+            WireMessage::BarrierAck {
+                epoch: 2,
+                snapshot: Some(bytes),
+                ..
+            } => bytes.clone(),
+            other => panic!("expected query ack, got {other:?}"),
+        };
+
+        let mut uninterrupted = make_l2(cfg.universe, cfg.seed, cfg.shard);
+        uninterrupted.update_batch(&chunk_a);
+        uninterrupted.update_batch(&chunk_b);
+        assert_eq!(
+            recovered_snapshot,
+            uninterrupted.snapshot(),
+            "recovery + replay drifted from the uninterrupted run"
+        );
+        // And the recovered snapshot is a live sampler.
+        let _ = TrulyPerfectLpSampler::restore(&recovered_snapshot).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -51,6 +51,9 @@
 //! before any allocation, and restored values are range-checked before
 //! they reach constructors that assert.
 
+pub mod delta;
+pub mod migrate;
+
 use crate::measure::{CappedCount, ConcaveLog, Fair, Huber, Lp, Tukey, L1L2};
 use tps_random::{KWiseHash, Xoshiro256, MERSENNE_61};
 
@@ -59,7 +62,17 @@ pub const MAGIC: [u8; 4] = *b"TPSS";
 
 /// The current snapshot format version. Bump on **any** encoding change
 /// (see the module docs for the policy) and regenerate the golden corpus.
-pub const FORMAT_VERSION: u16 = 1;
+///
+/// **Version history:**
+///
+/// * `1` — the PR 4 launch format.
+/// * `2` — the sharded-sampler payload gained its ingest configuration
+///   (backpressure policy, parallel cutoff, runtime chunk length) so a
+///   restored front-end keeps the policy it was built with, and the
+///   [`delta`] incremental-checkpoint frame kind was introduced. Old
+///   version-1 snapshots convert losslessly through
+///   [`migrate::upgrade_to_current`].
+pub const FORMAT_VERSION: u16 = 2;
 
 /// Component tags: every snapshottable type owns one, written both in the
 /// sealed header and at the start of the component's own field sequence.
@@ -122,6 +135,14 @@ pub mod tag {
     pub const LP_FACTORY: u16 = 0x0041;
     /// `tps_window::SlidingWindowLpEstimate`.
     pub const SLIDING_LP_ESTIMATE: u16 = 0x0042;
+    /// An incremental checkpoint frame ([`super::delta`]): either a full
+    /// snapshot stamped with its checkpoint epoch, or a byte delta against
+    /// the previous frame in the chain. Not a standalone component.
+    pub const CHECKPOINT_FRAME: u16 = 0x0050;
+    /// A coordinator↔worker control message ([`crate::wire`]). Transient —
+    /// never written to disk, so it has no golden corpus entry; it reuses
+    /// the sealed envelope purely for the header/checksum hardening.
+    pub const WIRE_MESSAGE: u16 = 0x0060;
 }
 
 /// Why a snapshot failed to decode. Every decode failure is one of these —
@@ -172,6 +193,16 @@ pub enum CodecError {
         /// What was wrong, for diagnostics.
         what: &'static str,
     },
+    /// A delta frame does not apply to the base snapshot at hand: its
+    /// recorded base epoch or base checksum disagrees with the bytes the
+    /// replayer reconstructed so far (a gap or reordering in the
+    /// checkpoint chain).
+    StaleBase {
+        /// The base epoch the frame was encoded against.
+        base_epoch: u64,
+        /// The epoch of the base actually available.
+        found_epoch: u64,
+    },
 }
 
 impl std::fmt::Display for CodecError {
@@ -206,6 +237,16 @@ impl std::fmt::Display for CodecError {
                 write!(f, "{count} trailing bytes after the component")
             }
             CodecError::InvalidValue { what } => write!(f, "invalid value: {what}"),
+            CodecError::StaleBase {
+                base_epoch,
+                found_epoch,
+            } => {
+                write!(
+                    f,
+                    "delta frame encoded against base epoch {base_epoch}, \
+                     but epoch {found_epoch} is what is available"
+                )
+            }
         }
     }
 }
@@ -347,6 +388,12 @@ impl<'a> SnapshotReader<'a> {
         })
     }
 
+    /// Reads `n` raw bytes into an owned buffer. The length is validated
+    /// against the bytes actually remaining before the allocation.
+    pub fn get_bytes(&mut self, n: usize) -> Result<Vec<u8>, CodecError> {
+        Ok(self.take(n)?.to_vec())
+    }
+
     /// Reads a component tag and checks it against the expected one.
     pub fn expect_tag(&mut self, expected: u16) -> Result<(), CodecError> {
         let found = self.get_u16()?;
@@ -435,6 +482,18 @@ pub fn seal(component_tag: u16, payload: &[u8]) -> Vec<u8> {
 /// Validates a sealed envelope (magic, version, tag, declared length,
 /// checksum) and returns the payload slice.
 pub fn unseal(expected_tag: u16, bytes: &[u8]) -> Result<&[u8], CodecError> {
+    unseal_at_version(expected_tag, bytes, FORMAT_VERSION)
+}
+
+/// [`unseal`] pinned to a specific (possibly historical) format version —
+/// the entry point the [`migrate`] module decodes old envelopes through.
+/// Regular decoders go through [`unseal`], which accepts exactly
+/// [`FORMAT_VERSION`].
+pub(crate) fn unseal_at_version(
+    expected_tag: u16,
+    bytes: &[u8],
+    accept_version: u16,
+) -> Result<&[u8], CodecError> {
     const HEADER: usize = 4 + 2 + 2 + 8;
     if bytes.len() < HEADER + 8 {
         return Err(CodecError::Truncated {
@@ -447,10 +506,10 @@ pub fn unseal(expected_tag: u16, bytes: &[u8]) -> Result<&[u8], CodecError> {
         return Err(CodecError::BadMagic { found: magic });
     }
     let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-    if version != FORMAT_VERSION {
+    if version != accept_version {
         return Err(CodecError::UnsupportedVersion {
             found: version,
-            supported: FORMAT_VERSION,
+            supported: accept_version,
         });
     }
     let found_tag = u16::from_le_bytes([bytes[6], bytes[7]]);
@@ -496,6 +555,22 @@ pub fn peek_version(bytes: &[u8]) -> Result<u16, CodecError> {
         return Err(CodecError::BadMagic { found: magic });
     }
     Ok(u16::from_le_bytes([bytes[4], bytes[5]]))
+}
+
+/// The component tag stored in a sealed snapshot's header, without decoding
+/// the payload (used by the migrator to pick a payload transformation).
+pub fn peek_tag(bytes: &[u8]) -> Result<u16, CodecError> {
+    if bytes.len() < 8 {
+        return Err(CodecError::Truncated {
+            needed: 8,
+            remaining: bytes.len() as u64,
+        });
+    }
+    let magic: [u8; 4] = bytes[0..4].try_into().expect("4-byte slice");
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic { found: magic });
+    }
+    Ok(u16::from_le_bytes([bytes[6], bytes[7]]))
 }
 
 /// A component that can write its complete logical state into the snapshot

@@ -19,7 +19,9 @@
 //!   against the exact target (total-variation distance, χ² statistics,
 //!   composition-bias measurements) ([`stats`]),
 //! * a bounded SPSC ring and the backpressure policy type behind the
-//!   persistent sharded runtime in `tps-core` ([`spsc`]), and
+//!   persistent sharded runtime in `tps-core` ([`spsc`]),
+//! * the framed coordinator↔worker control protocol of the cross-process
+//!   ingest service ([`wire`]), and
 //! * a tiny space-accounting trait so every data structure in the workspace
 //!   can report measured memory to the benchmark harness ([`space`]).
 
@@ -38,6 +40,7 @@ pub mod space;
 pub mod spsc;
 pub mod stats;
 pub mod update;
+pub mod wire;
 
 pub use batch::{aggregate_in_order, count_multiplicities, for_each_run};
 pub use codec::{CodecError, Restore, Snapshot, SnapshotReader, SnapshotWriter};

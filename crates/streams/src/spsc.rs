@@ -48,6 +48,12 @@ pub enum Backpressure {
     /// busy emitting a snapshot, at the cost of temporarily unbounded
     /// coordinator memory under sustained overload.
     Spill,
+    /// Never block *and* never buffer: a chunk that finds its ring full is
+    /// dropped on the floor (load shedding), counted in the runtime's
+    /// stats. Both latency and memory stay bounded under overload; the
+    /// price is that the sampler answers for the *admitted* sub-stream, so
+    /// front-ends choosing this policy must watch the drop counters.
+    Fail,
 }
 
 /// Error returned by [`Producer::try_push`], carrying the rejected value.

@@ -1,0 +1,430 @@
+//! The coordinator↔worker control protocol of the cross-process ingest
+//! service (`tps-service`).
+//!
+//! The persistent runtime in `tps_core::runtime` moves chunks and barrier
+//! commands over in-memory SPSC rings; this module is the same command
+//! vocabulary flattened onto a byte stream, so the "shard worker" can live
+//! in a different *process* (talking over its stdin/stdout pipes) while the
+//! coordinator keeps the exact epoch/barrier discipline: ship every staged
+//! chunk, then a [`WireMessage::Barrier`] to every worker, then collect the
+//! in-band [`WireMessage::BarrierAck`]s — acks arriving after all prior
+//! chunks is what makes the per-worker states a consistent cut.
+//!
+//! ## Framing
+//!
+//! Every message is a `u32` little-endian length prefix followed by a
+//! standard sealed envelope (tag [`tag::WIRE_MESSAGE`]) whose payload is
+//! the message body. Reusing the snapshot envelope buys the protocol the
+//! codec's hardening for free: magic/version/tag checks, a declared length
+//! cross-checked against the bytes received, and an FNV checksum over the
+//! whole frame — a desynchronized or corrupted pipe fails as a typed
+//! [`CodecError`] instead of misparsing. The length prefix is capped at
+//! [`MAX_MESSAGE_LEN`] *before* any allocation.
+//!
+//! ## Conversation shape
+//!
+//! ```text
+//! worker → coordinator   Hello { shard, resume_epoch }      (once, on start)
+//! coordinator → worker   Ingest { items } ...               (routed chunks)
+//! coordinator → worker   Barrier { epoch, kind }
+//! worker → coordinator   BarrierAck { shard, epoch, snapshot? }
+//! coordinator → worker   Shutdown                           (clean exit)
+//! ```
+//!
+//! A `Checkpoint` barrier makes the worker append an incremental frame
+//! ([`crate::codec::delta`]) to its on-disk chain before acking (the ack is
+//! the coordinator's signal that the chunks before the barrier are durable,
+//! so its replay buffer can shrink); a `Query` barrier returns the worker's
+//! full sealed snapshot in the ack, for restore-and-merge at the
+//! coordinator. `Hello::resume_epoch` reports the checkpoint epoch a
+//! restarted worker recovered to (`0` = fresh start), which tells the
+//! coordinator exactly which buffered chunks to re-send.
+
+use std::io::{self, Read, Write};
+
+use crate::codec::{seal, tag, unseal, CodecError, SnapshotReader, SnapshotWriter};
+use crate::update::Item;
+
+/// Hard cap on a single wire message (prefix-declared), validated before
+/// any allocation. Generous: the largest legitimate message is a query
+/// ack carrying one shard's full snapshot.
+pub const MAX_MESSAGE_LEN: u32 = 64 << 20;
+
+/// What a [`WireMessage::Barrier`] asks the worker to do once every chunk
+/// before it has been applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierKind {
+    /// Append an incremental checkpoint frame to the worker's on-disk
+    /// chain, then ack (no snapshot in the ack).
+    Checkpoint,
+    /// Ack with the worker's full sealed snapshot (consistent-cut query).
+    Query,
+}
+
+/// One control message of the coordinator↔worker protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMessage {
+    /// Worker → coordinator, once on startup: which shard this process
+    /// serves and the checkpoint epoch it recovered to (`0` = no
+    /// checkpoint found, fresh state).
+    Hello {
+        /// The shard index this worker owns.
+        shard: u64,
+        /// The checkpoint epoch restored from disk; `0` means fresh.
+        resume_epoch: u64,
+    },
+    /// Coordinator → worker: one routed chunk of stream items, to be
+    /// applied in arrival order.
+    Ingest {
+        /// The items of the chunk.
+        items: Vec<Item>,
+    },
+    /// Coordinator → worker: a consistency barrier. Everything sent before
+    /// it must be applied before the worker acts and acks.
+    Barrier {
+        /// The barrier epoch (strictly increasing per worker).
+        epoch: u64,
+        /// What the worker does at the barrier.
+        kind: BarrierKind,
+    },
+    /// Worker → coordinator: the barrier at `epoch` has been executed.
+    BarrierAck {
+        /// The acking worker's shard index.
+        shard: u64,
+        /// The epoch being acknowledged.
+        epoch: u64,
+        /// The worker's full sealed snapshot, for `Query` barriers.
+        snapshot: Option<Vec<u8>>,
+    },
+    /// Coordinator → worker: drain and exit cleanly.
+    Shutdown,
+}
+
+const KIND_HELLO: u8 = 0;
+const KIND_INGEST: u8 = 1;
+const KIND_BARRIER: u8 = 2;
+const KIND_BARRIER_ACK: u8 = 3;
+const KIND_SHUTDOWN: u8 = 4;
+
+/// Why reading a message off a byte stream failed: transport trouble or a
+/// frame that arrived intact but does not decode.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying reader/writer failed (including unexpected EOF
+    /// mid-frame).
+    Io(io::Error),
+    /// The frame bytes arrived but are not a valid message.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire transport error: {e}"),
+            WireError::Codec(e) => write!(f, "wire frame error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> Self {
+        WireError::Codec(e)
+    }
+}
+
+/// Encodes a message as its sealed frame (without the length prefix).
+pub fn encode_message(msg: &WireMessage) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    w.put_tag(tag::WIRE_MESSAGE);
+    match msg {
+        WireMessage::Hello {
+            shard,
+            resume_epoch,
+        } => {
+            w.put_u8(KIND_HELLO);
+            w.put_u64(*shard);
+            w.put_u64(*resume_epoch);
+        }
+        WireMessage::Ingest { items } => {
+            w.put_u8(KIND_INGEST);
+            w.put_len(items.len());
+            for &item in items {
+                w.put_u64(item);
+            }
+        }
+        WireMessage::Barrier { epoch, kind } => {
+            w.put_u8(KIND_BARRIER);
+            w.put_u64(*epoch);
+            w.put_u8(match kind {
+                BarrierKind::Checkpoint => 0,
+                BarrierKind::Query => 1,
+            });
+        }
+        WireMessage::BarrierAck {
+            shard,
+            epoch,
+            snapshot,
+        } => {
+            w.put_u8(KIND_BARRIER_ACK);
+            w.put_u64(*shard);
+            w.put_u64(*epoch);
+            match snapshot {
+                None => w.put_u8(0),
+                Some(bytes) => {
+                    w.put_u8(1);
+                    w.put_len(bytes.len());
+                    let mut payload = w.into_bytes();
+                    payload.extend_from_slice(bytes);
+                    return seal(tag::WIRE_MESSAGE, &payload);
+                }
+            }
+        }
+        WireMessage::Shutdown => {
+            w.put_u8(KIND_SHUTDOWN);
+        }
+    }
+    seal(tag::WIRE_MESSAGE, &w.into_bytes())
+}
+
+/// Decodes a sealed frame (without the length prefix) back into a message.
+pub fn decode_message(frame: &[u8]) -> Result<WireMessage, CodecError> {
+    let payload = unseal(tag::WIRE_MESSAGE, frame)?;
+    let mut r = SnapshotReader::new(payload);
+    r.expect_tag(tag::WIRE_MESSAGE)?;
+    let msg = match r.get_u8()? {
+        KIND_HELLO => WireMessage::Hello {
+            shard: r.get_u64()?,
+            resume_epoch: r.get_u64()?,
+        },
+        KIND_INGEST => {
+            let len = r.get_len(8)?;
+            let mut items = Vec::with_capacity(len);
+            for _ in 0..len {
+                items.push(r.get_u64()?);
+            }
+            WireMessage::Ingest { items }
+        }
+        KIND_BARRIER => {
+            let epoch = r.get_u64()?;
+            let kind = match r.get_u8()? {
+                0 => BarrierKind::Checkpoint,
+                1 => BarrierKind::Query,
+                _ => {
+                    return Err(CodecError::InvalidValue {
+                        what: "barrier kind must be 0 (checkpoint) or 1 (query)",
+                    })
+                }
+            };
+            WireMessage::Barrier { epoch, kind }
+        }
+        KIND_BARRIER_ACK => {
+            let shard = r.get_u64()?;
+            let epoch = r.get_u64()?;
+            let snapshot = match r.get_u8()? {
+                0 => None,
+                1 => {
+                    let len = r.get_len(1)?;
+                    Some(r.get_bytes(len)?)
+                }
+                _ => {
+                    return Err(CodecError::InvalidValue {
+                        what: "ack snapshot flag must be 0 or 1",
+                    })
+                }
+            };
+            WireMessage::BarrierAck {
+                shard,
+                epoch,
+                snapshot,
+            }
+        }
+        KIND_SHUTDOWN => WireMessage::Shutdown,
+        _ => {
+            return Err(CodecError::InvalidValue {
+                what: "unknown wire message kind",
+            })
+        }
+    };
+    r.finish()?;
+    Ok(msg)
+}
+
+/// Writes one length-prefixed message and flushes the writer (messages are
+/// request/response turns; a buffered unflushed frame deadlocks the peer).
+pub fn write_message<W: Write>(w: &mut W, msg: &WireMessage) -> io::Result<()> {
+    let frame = encode_message(msg);
+    let len = u32::try_from(frame.len())
+        .ok()
+        .filter(|&n| n <= MAX_MESSAGE_LEN)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "wire message too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed message. Returns `Ok(None)` on a clean EOF
+/// (the peer closed the stream *between* messages); EOF mid-frame is an
+/// [`WireError::Io`] with [`io::ErrorKind::UnexpectedEof`]. The length
+/// prefix is validated against [`MAX_MESSAGE_LEN`] before any allocation.
+pub fn read_message<R: Read>(r: &mut R) -> Result<Option<WireMessage>, WireError> {
+    let mut prefix = [0u8; 4];
+    // Hand-rolled first read so EOF at a message boundary is `None` while
+    // EOF inside the prefix is still an error.
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(WireError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside a wire length prefix",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len > MAX_MESSAGE_LEN {
+        return Err(WireError::Codec(CodecError::Truncated {
+            needed: u64::from(len),
+            remaining: u64::from(MAX_MESSAGE_LEN),
+        }));
+    }
+    let mut frame = vec![0u8; len as usize];
+    r.read_exact(&mut frame)?;
+    Ok(Some(decode_message(&frame)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_messages() -> Vec<WireMessage> {
+        vec![
+            WireMessage::Hello {
+                shard: 3,
+                resume_epoch: 17,
+            },
+            WireMessage::Ingest {
+                items: (0..1000).collect(),
+            },
+            WireMessage::Ingest { items: vec![] },
+            WireMessage::Barrier {
+                epoch: 9,
+                kind: BarrierKind::Checkpoint,
+            },
+            WireMessage::Barrier {
+                epoch: 10,
+                kind: BarrierKind::Query,
+            },
+            WireMessage::BarrierAck {
+                shard: 1,
+                epoch: 9,
+                snapshot: None,
+            },
+            WireMessage::BarrierAck {
+                shard: 0,
+                epoch: 10,
+                snapshot: Some(vec![0xAB; 257]),
+            },
+            WireMessage::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn messages_round_trip_through_a_stream() {
+        let mut pipe = Vec::new();
+        for msg in all_messages() {
+            write_message(&mut pipe, &msg).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(pipe);
+        for expected in all_messages() {
+            let got = read_message(&mut cursor).unwrap().expect("message");
+            assert_eq!(got, expected);
+        }
+        assert!(read_message(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncation_and_corruption_fail_typed() {
+        let mut pipe = Vec::new();
+        write_message(
+            &mut pipe,
+            &WireMessage::Ingest {
+                items: vec![1, 2, 3],
+            },
+        )
+        .unwrap();
+        // EOF inside the prefix.
+        let mut short = std::io::Cursor::new(&pipe[..2]);
+        assert!(matches!(read_message(&mut short), Err(WireError::Io(_))));
+        // EOF inside the frame.
+        let mut cut = std::io::Cursor::new(&pipe[..pipe.len() - 3]);
+        assert!(matches!(read_message(&mut cut), Err(WireError::Io(_))));
+        // Any flipped frame bit is caught (checksum or structure).
+        for pos in 4..pipe.len() {
+            let mut corrupt = pipe.clone();
+            corrupt[pos] ^= 0x04;
+            let mut c = std::io::Cursor::new(corrupt);
+            assert!(
+                matches!(read_message(&mut c), Err(WireError::Codec(_))),
+                "flip at {pos} went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_prefix_fails_before_allocating() {
+        let mut pipe = Vec::new();
+        pipe.extend_from_slice(&u32::MAX.to_le_bytes());
+        pipe.extend_from_slice(&[0; 64]);
+        let mut c = std::io::Cursor::new(pipe);
+        assert!(matches!(
+            read_message(&mut c),
+            Err(WireError::Codec(CodecError::Truncated { .. }))
+        ));
+    }
+
+    #[test]
+    fn ingest_length_is_validated_before_allocating() {
+        // A validly-sealed Ingest claiming u64::MAX items must fail on the
+        // length check, not attempt the allocation.
+        let mut w = SnapshotWriter::new();
+        w.put_tag(tag::WIRE_MESSAGE);
+        w.put_u8(1); // KIND_INGEST
+        w.put_u64(u64::MAX);
+        let frame = seal(tag::WIRE_MESSAGE, &w.into_bytes());
+        assert!(matches!(
+            decode_message(&frame),
+            Err(CodecError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn barrier_acks_embed_snapshots_exactly() {
+        let snapshot = vec![7u8; 4096];
+        let frame = encode_message(&WireMessage::BarrierAck {
+            shard: 2,
+            epoch: 5,
+            snapshot: Some(snapshot.clone()),
+        });
+        match decode_message(&frame).unwrap() {
+            WireMessage::BarrierAck {
+                shard: 2,
+                epoch: 5,
+                snapshot: Some(bytes),
+            } => assert_eq!(bytes, snapshot),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+}

@@ -1,45 +1,84 @@
-//! Quickstart: truly perfect `L_p` sampling from an insertion-only stream.
+//! Quickstart: the builder-first parallel front-end, checkpointing, and a
+//! truly perfect `L_2` distribution check.
 //!
 //! Run with:
 //!
 //! ```text
-//! cargo run --release -p tps-core --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 //!
-//! The example builds a skewed synthetic stream, draws many samples with a
-//! truly perfect `L_2` sampler (one fresh sampler per draw, as you would in
-//! a real deployment that resets its sampler per reporting period), and
-//! compares the empirical sample distribution against the exact
-//! `f_i² / F_2` target.
+//! The example walks the public surface end to end: build a sharded
+//! sampler with [`ShardedSamplerBuilder`], ingest a skewed stream, read
+//! the runtime's backpressure counters, checkpoint mid-stream with
+//! [`snapshot_bytes`], restore a replica with [`restore_bytes`] and show
+//! the two stay byte-identical as both keep ingesting — then draw many
+//! samples with fresh single-instance samplers and compare the empirical
+//! distribution against the exact `f_i² / F_2` target.
 
-use tps_core::lp::TrulyPerfectLpSampler;
-use tps_random::default_rng;
-use tps_streams::frequency::FrequencyVector;
-use tps_streams::generators::zipfian_stream;
-use tps_streams::stats::{expected_sampling_tv, SampleHistogram};
-use tps_streams::{SpaceUsage, StreamSampler};
+use truly_perfect_samplers::streams::frequency::FrequencyVector;
+use truly_perfect_samplers::streams::generators::zipfian_stream;
+use truly_perfect_samplers::streams::stats::{expected_sampling_tv, SampleHistogram};
+use truly_perfect_samplers::streams::SpaceUsage;
+use truly_perfect_samplers::{
+    restore_bytes, snapshot_bytes, Backpressure, SampleOutcome, ShardedSampler,
+    ShardedSamplerBuilder, StreamSampler, TrulyPerfectLpSampler,
+};
 
 fn main() {
     let universe = 1_024u64;
-    let stream_length = 20_000usize;
-    let draws = 2_000u64;
+    let stream_length = 200_000usize;
     let p = 2.0;
+    let seed = 42u64;
 
     // A Zipf(1.1) stream: a few heavy items and a long tail, the regime in
     // which L2 sampling differs most from plain frequency sampling.
-    let mut rng = default_rng(7);
+    let mut rng = truly_perfect_samplers::random::default_rng(7);
     let stream = zipfian_stream(&mut rng, universe, stream_length, 1.1);
+    let (head, tail) = stream.split_at(stream.len() / 2);
+
+    // --- The parallel front-end, builder-first -------------------------
+    let mut sharded = ShardedSamplerBuilder::new(4)
+        .seed(seed)
+        .backpressure(Backpressure::Spill)
+        .build(|shard| {
+            TrulyPerfectLpSampler::new(p, universe, 0.05, seed ^ ((shard as u64) << 32))
+        });
+    sharded.update_batch(head);
+
+    // --- Checkpoint / restore through the facade helpers ---------------
+    let checkpoint = snapshot_bytes(&sharded);
+    let mut replica: ShardedSampler<TrulyPerfectLpSampler> =
+        restore_bytes(&checkpoint).expect("own snapshot restores");
+    sharded.update_batch(tail);
+    replica.update_batch(tail);
+    assert_eq!(
+        snapshot_bytes(&sharded),
+        snapshot_bytes(&replica),
+        "restore-and-continue must be byte-identical to never stopping"
+    );
+
+    let stats = sharded.runtime_stats();
+    println!("stream length            : {stream_length}");
+    println!("shards                   : {}", sharded.shard_count());
+    println!("checkpoint size          : {} bytes", checkpoint.len());
+    println!(
+        "runtime chunks           : {} ({} spilled, {} blocked)",
+        stats.chunks, stats.spilled, stats.blocked
+    );
+    match sharded.sample() {
+        SampleOutcome::Index(item) => println!("merged L2 sample         : item {item}"),
+        outcome => println!("merged L2 sample         : {outcome:?}"),
+    }
+    println!();
+
+    // --- Truly perfect means: noise-only deviation from the target -----
+    let draws = 2_000u64;
     let truth = FrequencyVector::from_stream(&stream);
     let target = truth.lp_distribution(p);
-
-    println!("stream length            : {stream_length}");
-    println!("distinct items           : {}", truth.f0());
-    println!("largest frequency        : {}", truth.l_inf());
-
     let mut histogram = SampleHistogram::new();
     let mut space = 0usize;
-    for seed in 0..draws {
-        let mut sampler = TrulyPerfectLpSampler::new(p, universe, 0.05, seed);
+    for draw_seed in 0..draws {
+        let mut sampler = TrulyPerfectLpSampler::new(p, universe, 0.05, draw_seed);
         sampler.update_all(&stream);
         space = space.max(sampler.space_bytes());
         histogram.record(sampler.sample());
@@ -59,17 +98,6 @@ fn main() {
     );
     println!("TV(empirical, exact)     : {tv:.4}");
     println!("expected multinomial TV  : {noise:.4}");
-    println!();
-    println!("top-5 items by exact L2 mass vs. empirical sampling rate:");
-    let mut ranked: Vec<_> = target.iter().collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(a.1).unwrap());
-    for (item, mass) in ranked.into_iter().take(5) {
-        let empirical = histogram.count(*item) as f64 / histogram.successes().max(1) as f64;
-        println!(
-            "  item {item:>5}: exact {:.4}  sampled {:.4}",
-            mass, empirical
-        );
-    }
     println!();
     println!(
         "A truly perfect sampler's TV distance is explained by sampling noise alone \

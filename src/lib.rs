@@ -14,8 +14,29 @@
 //! assert!(!matches!(sampler.sample(), SampleOutcome::Empty));
 //! ```
 //!
-//! See `crates/README.md` for the crate dependency DAG and the map from
-//! modules to paper theorems.
+//! The parallel front door is builder-first:
+//!
+//! ```
+//! use truly_perfect_samplers::{
+//!     restore_bytes, snapshot_bytes, Backpressure, ShardedSampler, ShardedSamplerBuilder,
+//!     StreamSampler, TrulyPerfectLpSampler,
+//! };
+//!
+//! let mut sharded = ShardedSamplerBuilder::new(4)
+//!     .seed(42)
+//!     .backpressure(Backpressure::Spill)
+//!     .build(|shard| TrulyPerfectLpSampler::new(2.0, 1024, 0.05, 42 ^ ((shard as u64) << 32)));
+//! sharded.update_batch(&[3, 3, 3, 7, 7, 11]);
+//!
+//! // Checkpoint and restore through the top-level helpers.
+//! let bytes = snapshot_bytes(&sharded);
+//! let replica: ShardedSampler<TrulyPerfectLpSampler> = restore_bytes(&bytes).unwrap();
+//! assert_eq!(snapshot_bytes(&replica), bytes);
+//! ```
+//!
+//! See `crates/README.md` for the crate dependency DAG, the map from
+//! modules to paper theorems, and the cross-process ingest service
+//! (`tps-service`) built on these pieces.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -27,8 +48,26 @@ pub use tps_streams as streams;
 pub use tps_window as window;
 
 pub use tps_core::lp::TrulyPerfectLpSampler;
-pub use tps_core::{ShardedSampler, ShardingStrategy, TrulyPerfectGSampler};
+pub use tps_core::{
+    hash_route, RuntimeStats, ShardedSampler, ShardedSamplerBuilder, ShardingStrategy,
+    TrulyPerfectGSampler,
+};
+pub use tps_streams::codec::migrate::upgrade_to_current;
 pub use tps_streams::{
     Backpressure, CodecError, MergeableSampler, MergeableSummary, Restore, SampleOutcome,
     SlidingWindowSampler, Snapshot, StreamSampler, TurnstileSampler,
 };
+
+/// Seals `component`'s complete logical state as a versioned, checksummed
+/// snapshot — the facade spelling of [`Snapshot::snapshot`], so callers
+/// don't need the trait in scope to checkpoint.
+pub fn snapshot_bytes<T: Snapshot>(component: &T) -> Vec<u8> {
+    component.snapshot()
+}
+
+/// Rebuilds a component from bytes produced by [`snapshot_bytes`] — the
+/// facade spelling of [`Restore::restore`]. Bytes from an older format
+/// version convert through [`upgrade_to_current`] first.
+pub fn restore_bytes<T: Restore>(bytes: &[u8]) -> Result<T, CodecError> {
+    T::restore(bytes)
+}

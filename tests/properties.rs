@@ -6,7 +6,7 @@ use proptest::test_runner::TestCaseError;
 use tps_core::f0::TrulyPerfectF0Sampler;
 use tps_core::framework::{MisraGriesNormalizer, RejectionNormalizer};
 use tps_core::lp::TrulyPerfectLpSampler;
-use tps_core::sharded::{ShardedSampler, ShardingStrategy};
+use tps_core::sharded::{ShardedSamplerBuilder, ShardingStrategy};
 use tps_core::sliding::{SlidingWindowGSampler, SlidingWindowLpSampler};
 use tps_core::turnstile::{MultiPassL1Sampler, StrictTurnstileF0Sampler};
 use tps_random::default_rng;
@@ -647,7 +647,7 @@ proptest! {
     ) {
         for strategy in [ShardingStrategy::Hash, ShardingStrategy::RoundRobin] {
             let build = || {
-                ShardedSampler::new(3, strategy, seed, |idx| {
+                ShardedSamplerBuilder::new(3).strategy(strategy).seed(seed).build(|idx| {
                     TrulyPerfectLpSampler::new(2.0, 128, 0.1, seed ^ ((idx as u64) << 32))
                 })
             };
@@ -699,9 +699,12 @@ fn sharded_l2_hash_matches_sequential_distribution() {
     let target = FrequencyVector::from_stream(&stream).lp_distribution(2.0);
     let mut histogram = SampleHistogram::new();
     for seed in 0..5_000u64 {
-        let mut sharded = ShardedSampler::new(4, ShardingStrategy::Hash, 90_000 + seed, |idx| {
-            TrulyPerfectLpSampler::new(2.0, 64, 0.05, 90_000 + seed + ((idx as u64) << 32))
-        });
+        let mut sharded = ShardedSamplerBuilder::new(4)
+            .strategy(ShardingStrategy::Hash)
+            .seed(90_000 + seed)
+            .build(|idx| {
+                TrulyPerfectLpSampler::new(2.0, 64, 0.05, 90_000 + seed + ((idx as u64) << 32))
+            });
         sharded.update_all(&stream);
         histogram.record(sharded.sample());
     }
@@ -726,8 +729,10 @@ fn sharded_round_robin_l1_matches_frequency_distribution() {
     let target = FrequencyVector::from_stream(&stream).lp_distribution(1.0);
     let mut histogram = SampleHistogram::new();
     for seed in 0..5_000u64 {
-        let mut sharded =
-            ShardedSampler::new(3, ShardingStrategy::RoundRobin, 70_000 + seed, |idx| {
+        let mut sharded = ShardedSamplerBuilder::new(3)
+            .strategy(ShardingStrategy::RoundRobin)
+            .seed(70_000 + seed)
+            .build(|idx| {
                 TrulyPerfectLpSampler::new(1.0, 64, 0.1, 70_000 + seed + ((idx as u64) << 32))
             });
         sharded.update_all(&stream);
@@ -750,9 +755,10 @@ fn sharded_f0_matches_uniform_support_distribution() {
     let target = FrequencyVector::from_stream(&stream).f0_distribution();
     let mut histogram = SampleHistogram::new();
     for seed in 0..4_000u64 {
-        let mut sharded = ShardedSampler::new(4, ShardingStrategy::Hash, 50_000 + seed, |_| {
-            TrulyPerfectF0Sampler::new(10_000, 0.1, 50_000 + seed)
-        });
+        let mut sharded = ShardedSamplerBuilder::new(4)
+            .strategy(ShardingStrategy::Hash)
+            .seed(50_000 + seed)
+            .build(|_| TrulyPerfectF0Sampler::new(10_000, 0.1, 50_000 + seed));
         sharded.update_all(&stream);
         histogram.record(sharded.sample());
     }

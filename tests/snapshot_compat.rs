@@ -32,7 +32,7 @@ use tps_core::engine::SkipAheadEngine;
 use tps_core::f0::{SlidingWindowF0Sampler, TrulyPerfectF0Sampler};
 use tps_core::framework::{MeasureNormalizer, TrulyPerfectGSampler};
 use tps_core::lp::TrulyPerfectLpSampler;
-use tps_core::sharded::{ShardedSampler, ShardingStrategy};
+use tps_core::sharded::{ShardedSampler, ShardedSamplerBuilder, ShardingStrategy};
 use tps_core::sliding::{SlidingWindowGSampler, SlidingWindowLpSampler};
 use tps_random::{default_rng, Xoshiro256};
 use tps_sketches::exact_counter::SuffixCountTable;
@@ -121,9 +121,10 @@ fn build_corpus() -> Vec<(&'static str, Vec<u8>)> {
     sliding_lp.update_batch(&skewed_stream(500, 23));
     corpus.push(("sliding_lp_sampler.snap", sliding_lp.snapshot()));
 
-    let mut sharded = ShardedSampler::new(3, ShardingStrategy::Hash, 41, |idx| {
-        TrulyPerfectLpSampler::new(2.0, 64, 0.2, 41 ^ ((idx as u64) << 32))
-    });
+    let mut sharded = ShardedSamplerBuilder::new(3)
+        .strategy(ShardingStrategy::Hash)
+        .seed(41)
+        .build(|idx| TrulyPerfectLpSampler::new(2.0, 64, 0.2, 41 ^ ((idx as u64) << 32)));
     sharded.update_batch(&stream);
     corpus.push(("sharded_lp_hash.snap", sharded.snapshot()));
 
@@ -495,6 +496,9 @@ fn inconsistent_or_oversized_deferred_state_is_rejected() {
     let mut w = SnapshotWriter::new();
     w.put_tag(tag::SHARDED_SAMPLER);
     w.put_u8(0); // hash strategy
+    w.put_u8(0); // backpressure: block
+    w.put_u64(4_096); // parallel cutoff
+    w.put_u64(32 * 1024); // chunk length
     w.put_u64(0); // cursor
     w.put_u64(1_000); // processed
     Xoshiro256::seed_from_u64(3).encode_into(&mut w);
@@ -596,6 +600,9 @@ fn disagreeing_or_oversized_configuration_is_rejected() {
     let mut w = SnapshotWriter::new();
     w.put_tag(tag::SHARDED_SAMPLER);
     w.put_u8(0);
+    w.put_u8(0); // backpressure: block
+    w.put_u64(4_096); // parallel cutoff
+    w.put_u64(32 * 1024); // chunk length
     w.put_u64(0);
     w.put_u64(400);
     Xoshiro256::seed_from_u64(9).encode_into(&mut w);
@@ -615,6 +622,9 @@ fn disagreeing_or_oversized_configuration_is_rejected() {
     let mut w = SnapshotWriter::new();
     w.put_tag(tag::SHARDED_SAMPLER);
     w.put_u8(0);
+    w.put_u8(0); // backpressure: block
+    w.put_u64(4_096); // parallel cutoff
+    w.put_u64(32 * 1024); // chunk length
     w.put_u64(0);
     w.put_u64(0);
     Xoshiro256::seed_from_u64(11).encode_into(&mut w);

@@ -16,7 +16,7 @@ use tps_core::engine::SkipAheadEngine;
 use tps_core::f0::{SlidingWindowF0Sampler, TrulyPerfectF0Sampler};
 use tps_core::framework::{MeasureNormalizer, TrulyPerfectGSampler};
 use tps_core::lp::TrulyPerfectLpSampler;
-use tps_core::sharded::{ShardedSampler, ShardingStrategy};
+use tps_core::sharded::{ShardedSamplerBuilder, ShardingStrategy};
 use tps_core::sliding::{SlidingWindowGSampler, SlidingWindowLpSampler};
 use tps_random::{default_rng, StreamRng, Xoshiro256};
 use tps_sketches::exact_counter::SuffixCountTable;
@@ -212,9 +212,10 @@ fn sliding_lp_sampler_roundtrip_with_estimator() {
 fn sharded_sampler_roundtrip_both_strategies() {
     for strategy in [ShardingStrategy::Hash, ShardingStrategy::RoundRobin] {
         let stream = workload(70, 4_000, 61);
-        let mut sharded = ShardedSampler::new(3, strategy, 7, |idx| {
-            TrulyPerfectLpSampler::new(2.0, 256, 0.1, 7 ^ ((idx as u64) << 32))
-        });
+        let mut sharded = ShardedSamplerBuilder::new(3)
+            .strategy(strategy)
+            .seed(7)
+            .build(|idx| TrulyPerfectLpSampler::new(2.0, 256, 0.1, 7 ^ ((idx as u64) << 32)));
         sharded.update_batch(&stream[..2_500]);
         assert_roundtrip(&mut sharded, |s| {
             for chunk in stream[2_500..].chunks(401) {
@@ -235,9 +236,10 @@ fn sharded_sampler_roundtrip_both_strategies() {
 fn sharded_snapshots_restore_then_merge_across_process_boundary() {
     use tps_streams::MergeableSampler;
     let stream = workload(80, 6_000, 61);
-    let mut sharded = ShardedSampler::new(4, ShardingStrategy::Hash, 11, |idx| {
-        TrulyPerfectLpSampler::new(2.0, 256, 0.1, 11 ^ ((idx as u64) << 32))
-    });
+    let mut sharded = ShardedSamplerBuilder::new(4)
+        .strategy(ShardingStrategy::Hash)
+        .seed(11)
+        .build(|idx| TrulyPerfectLpSampler::new(2.0, 256, 0.1, 11 ^ ((idx as u64) << 32)));
     sharded.update_batch(&stream);
     // Ship each shard through the wire format, as a scatter-gather
     // deployment would.
