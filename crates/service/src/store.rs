@@ -6,8 +6,11 @@
 //! the worker acks the checkpoint barrier — the ack is the coordinator's
 //! permission to drop its replay buffer, so durability must come first.
 //! Recovery tolerates a torn tail (a crash mid-append leaves a partial
-//! record, which is ignored); anything before the tail is checksummed
-//! frame by frame during replay.
+//! record): [`CheckpointStore::recover`] truncates the file back to the
+//! last complete record before the worker resumes, so post-restart
+//! appends — which open the file in append mode — land directly after
+//! valid data instead of after the garbage. Anything before the tail is
+//! checksummed frame by frame during replay.
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Write};
@@ -19,6 +22,20 @@ use tps_streams::codec::delta::CheckpointReplayer;
 #[derive(Debug, Clone)]
 pub struct CheckpointStore {
     path: PathBuf,
+}
+
+/// What [`CheckpointStore::recover`] reconstructed from a chain.
+#[derive(Debug, Clone)]
+pub struct RecoveredChain {
+    /// The epoch of the last complete checkpoint frame.
+    pub epoch: u64,
+    /// The reconstructed snapshot bytes at that epoch.
+    pub snapshot: Vec<u8>,
+    /// Delta frames in the chain since its last full frame — seeds the
+    /// chain cap of
+    /// [`IncrementalCheckpointer::resume`](tps_streams::codec::delta::IncrementalCheckpointer::resume)
+    /// so frequent restarts cannot grow the chain without bound.
+    pub deltas_since_base: u32,
 }
 
 impl CheckpointStore {
@@ -52,12 +69,19 @@ impl CheckpointStore {
     /// exist). A torn final record — crash mid-append — is dropped; it was
     /// never acked, so the coordinator still holds the chunks it covered.
     pub fn load_frames(&self) -> io::Result<Vec<Vec<u8>>> {
+        Ok(self.read_chain()?.0)
+    }
+
+    /// Reads the chain, returning its complete frames, the byte offset
+    /// just past the last complete record (the file's valid length), and
+    /// the actual file length. `valid < file_len` means a torn tail.
+    fn read_chain(&self) -> io::Result<(Vec<Vec<u8>>, u64, u64)> {
         let mut bytes = Vec::new();
         match File::open(&self.path) {
             Ok(mut file) => {
                 file.read_to_end(&mut bytes)?;
             }
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), 0, 0)),
             Err(e) => return Err(e),
         }
         let mut frames = Vec::new();
@@ -74,17 +98,30 @@ impl CheckpointStore {
             frames.push(bytes[pos + 8..end].to_vec());
             pos = end;
         }
-        Ok(frames)
+        Ok((frames, pos as u64, bytes.len() as u64))
     }
 
-    /// Replays the chain, returning the reconstructed snapshot bytes and
-    /// their checkpoint epoch (`None` for an empty or missing chain). A
-    /// chain that fails to replay is a real integrity error — torn tails
-    /// are already dropped by [`Self::load_frames`], so what remains must
-    /// apply cleanly.
-    pub fn recover(&self) -> io::Result<Option<(u64, Vec<u8>)>> {
+    /// Replays the chain, returning the reconstruction (`None` for an
+    /// empty or missing chain). A chain that fails to replay is a real
+    /// integrity error — torn tails are dropped before replay, so what
+    /// remains must apply cleanly.
+    ///
+    /// A torn tail is also truncated away *on disk*: [`Self::append_frame`]
+    /// opens the file in append mode, so without the truncation a partial
+    /// record left by a crash mid-append would sit between the recovered
+    /// frames and everything appended after the restart — and the *next*
+    /// recovery would either fail outright or, if the partial record's
+    /// length prefix happened to still cover the file, silently drop every
+    /// frame after the torn point. Call this before resuming appends.
+    pub fn recover(&self) -> io::Result<Option<RecoveredChain>> {
+        let (frames, valid, file_len) = self.read_chain()?;
+        if valid < file_len {
+            let file = OpenOptions::new().write(true).open(&self.path)?;
+            file.set_len(valid)?;
+            file.sync_data()?;
+        }
         let mut replayer = CheckpointReplayer::new();
-        for (index, frame) in self.load_frames()?.iter().enumerate() {
+        for (index, frame) in frames.iter().enumerate() {
             replayer.apply(frame).map_err(|e| {
                 io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -95,7 +132,14 @@ impl CheckpointStore {
                 )
             })?;
         }
-        Ok(replayer.into_current())
+        let deltas_since_base = replayer.deltas_since_base();
+        Ok(replayer
+            .into_current()
+            .map(|(epoch, snapshot)| RecoveredChain {
+                epoch,
+                snapshot,
+                deltas_since_base,
+            }))
     }
 }
 
@@ -122,9 +166,10 @@ mod tests {
             let frame = writer.checkpoint_bytes(state.clone(), epoch);
             store.append_frame(frame.bytes()).unwrap();
         }
-        let (epoch, bytes) = store.recover().unwrap().expect("chain recovers");
-        assert_eq!(epoch, 5);
-        assert_eq!(bytes, state);
+        let chain = store.recover().unwrap().expect("chain recovers");
+        assert_eq!(chain.epoch, 5);
+        assert_eq!(chain.snapshot, state);
+        assert_eq!(chain.deltas_since_base, 4, "full at 1, deltas at 2..=5");
         assert_eq!(store.load_frames().unwrap().len(), 5);
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -148,12 +193,57 @@ mod tests {
         let frame = writer.checkpoint_bytes(state.clone(), 1);
         store.append_frame(frame.bytes()).unwrap();
         // Simulate a crash mid-append of the next frame.
+        let valid_len = std::fs::metadata(store.path()).unwrap().len();
         let mut torn = std::fs::read(store.path()).unwrap();
         torn.extend_from_slice(&999u64.to_le_bytes());
         torn.extend_from_slice(&[1, 2, 3]);
         std::fs::write(store.path(), &torn).unwrap();
-        let (epoch, bytes) = store.recover().unwrap().expect("intact prefix recovers");
-        assert_eq!((epoch, bytes), (1, state));
+        let chain = store.recover().unwrap().expect("intact prefix recovers");
+        assert_eq!((chain.epoch, chain.snapshot), (1, state));
+        // The torn record is gone from disk too, not just skipped in
+        // memory — recovery resets the file to its last complete record.
+        assert_eq!(std::fs::metadata(store.path()).unwrap().len(), valid_len);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn appends_after_torn_tail_recovery_stay_recoverable() {
+        // The crash-restart-crash scenario: a torn tail must not poison
+        // frames appended after recovery (append mode writes at the end
+        // of the file, wherever recovery left it).
+        let dir = temp_dir("torn-append");
+        let store = CheckpointStore::for_shard(&dir, 2);
+        let _ = std::fs::remove_file(store.path());
+        let mut writer = IncrementalCheckpointer::new();
+        let mut state = vec![9u8; 2048];
+        store
+            .append_frame(writer.checkpoint_bytes(state.clone(), 1).bytes())
+            .unwrap();
+        // Crash mid-append: a partial record whose length prefix still
+        // "covers" bytes that a later append would provide — the nasty
+        // variant, where without truncation the garbage would masquerade
+        // as a valid record swallowing the real next frame.
+        let mut torn = std::fs::read(store.path()).unwrap();
+        torn.extend_from_slice(&64u64.to_le_bytes());
+        torn.extend_from_slice(&[0xEE; 5]);
+        std::fs::write(store.path(), &torn).unwrap();
+
+        // Restart: recover (drops + truncates the tail), resume the
+        // writer, append the next checkpoint.
+        let chain = store.recover().unwrap().expect("prefix recovers");
+        assert_eq!(chain.epoch, 1);
+        let mut writer =
+            IncrementalCheckpointer::resume(chain.epoch, chain.snapshot, chain.deltas_since_base);
+        state[77] = 0xAB;
+        store
+            .append_frame(writer.checkpoint_bytes(state.clone(), 2).bytes())
+            .unwrap();
+
+        // The next recovery sees both frames, not garbage.
+        let chain = store.recover().unwrap().expect("chain recovers");
+        assert_eq!(chain.epoch, 2);
+        assert_eq!(chain.snapshot, state);
+        assert_eq!(store.load_frames().unwrap().len(), 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -63,16 +63,17 @@ where
 {
     let store = CheckpointStore::for_shard(&cfg.checkpoint_dir, cfg.shard);
     let (mut sampler, mut checkpointer, resume_epoch) = match store.recover()? {
-        Some((epoch, bytes)) => {
-            let restored = S::restore(&bytes).map_err(|e| {
+        Some(chain) => {
+            let restored = S::restore(&chain.snapshot).map_err(|e| {
                 io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!("recovered checkpoint does not restore: {e}"),
                 )
             })?;
+            let epoch = chain.epoch;
             (
                 restored,
-                IncrementalCheckpointer::resume(epoch, bytes),
+                IncrementalCheckpointer::resume(epoch, chain.snapshot, chain.deltas_since_base),
                 epoch,
             )
         }

@@ -428,11 +428,17 @@ impl Default for IncrementalCheckpointer {
     }
 }
 
+/// Default chain cap of [`IncrementalCheckpointer::new`].
+const DEFAULT_MAX_CHAIN: u32 = 64;
+
+/// Default rebase denominator of [`IncrementalCheckpointer::new`].
+const DEFAULT_REBASE_DENOMINATOR: usize = 2;
+
 impl IncrementalCheckpointer {
     /// A checkpointer with the default policy: rebase after 64 deltas or
     /// whenever a delta exceeds half the full snapshot.
     pub fn new() -> Self {
-        Self::with_policy(64, 2)
+        Self::with_policy(DEFAULT_MAX_CHAIN, DEFAULT_REBASE_DENOMINATOR)
     }
 
     /// A checkpointer rebasing after `max_chain` consecutive deltas, or
@@ -462,9 +468,37 @@ impl IncrementalCheckpointer {
     /// a [`CheckpointReplayer`] produced for `base_epoch`. This is the
     /// restart path of the ingest service — a recovered worker keeps
     /// extending its on-disk chain instead of rebasing with a full frame.
-    pub fn resume(base_epoch: u64, base_bytes: Vec<u8>) -> Self {
-        let mut writer = Self::new();
+    ///
+    /// `deltas_since_base` is how many delta frames the recovered chain
+    /// already holds since its last full frame
+    /// ([`CheckpointReplayer::deltas_since_base`] after replay) — it seeds
+    /// the chain cap, so a worker that restarts more often than every
+    /// `max_chain` checkpoints still rebases on schedule instead of
+    /// growing its chain (and worst-case replay) without bound.
+    pub fn resume(base_epoch: u64, base_bytes: Vec<u8>, deltas_since_base: u32) -> Self {
+        Self::resume_with_policy(
+            DEFAULT_MAX_CHAIN,
+            DEFAULT_REBASE_DENOMINATOR,
+            base_epoch,
+            base_bytes,
+            deltas_since_base,
+        )
+    }
+
+    /// [`Self::resume`] with an explicit rebase policy (the parameters of
+    /// [`Self::with_policy`]), for callers that configured the original
+    /// writer away from the defaults — resuming must not silently reset
+    /// the policy along with the chain position.
+    pub fn resume_with_policy(
+        max_chain: u32,
+        rebase_denominator: usize,
+        base_epoch: u64,
+        base_bytes: Vec<u8>,
+        deltas_since_base: u32,
+    ) -> Self {
+        let mut writer = Self::with_policy(max_chain, rebase_denominator);
         writer.base = Some((base_epoch, base_bytes));
+        writer.deltas_since_base = deltas_since_base;
         writer
     }
 
@@ -522,6 +556,7 @@ impl IncrementalCheckpointer {
 #[derive(Debug, Default)]
 pub struct CheckpointReplayer {
     current: Option<(u64, Vec<u8>)>,
+    deltas_since_base: u32,
 }
 
 impl CheckpointReplayer {
@@ -538,6 +573,7 @@ impl CheckpointReplayer {
             (FrameKind::Full, _) => {
                 let (bytes, epoch) = unwrap_full_frame(frame)?;
                 self.current = Some((epoch, bytes));
+                self.deltas_since_base = 0;
                 Ok(())
             }
             (FrameKind::Delta { .. }, _) => {
@@ -546,9 +582,17 @@ impl CheckpointReplayer {
                 })?;
                 let (bytes, epoch) = apply_delta_frame(base, *held_epoch, frame)?;
                 self.current = Some((epoch, bytes));
+                self.deltas_since_base = self.deltas_since_base.saturating_add(1);
                 Ok(())
             }
         }
+    }
+
+    /// How many delta frames have been applied since the chain's last
+    /// full frame — what [`IncrementalCheckpointer::resume`] needs to
+    /// seed its chain cap when a writer picks the chain back up.
+    pub fn deltas_since_base(&self) -> u32 {
+        self.deltas_since_base
     }
 
     /// The reconstructed snapshot bytes and their epoch, if any frame has
@@ -660,6 +704,40 @@ mod tests {
         }
         // Chain cap 8 over 20 epochs forces at least one mid-chain rebase.
         assert!(full_frames >= 2, "chain cap never rebased");
+    }
+
+    #[test]
+    fn resumed_chain_keeps_the_cap_and_policy() {
+        // Large, slowly-mutating state so deltas always beat the rebase
+        // denominator and only the chain cap can force a full frame.
+        let mut state = vec![0x3Cu8; 4096];
+        let mut writer = IncrementalCheckpointer::with_policy(3, 1);
+        let mut replayer = CheckpointReplayer::new();
+        for epoch in 1..=3u64 {
+            state[epoch as usize * 13] = epoch as u8;
+            replayer
+                .apply(writer.checkpoint_bytes(state.clone(), epoch).bytes())
+                .unwrap();
+        }
+        // Full at epoch 1, deltas at 2 and 3: the replayer counted them.
+        assert_eq!(replayer.deltas_since_base(), 2);
+        let seeded = replayer.deltas_since_base();
+        let (epoch, bytes) = replayer.into_current().unwrap();
+        let mut resumed = IncrementalCheckpointer::resume_with_policy(3, 1, epoch, bytes, seeded);
+        // One more delta fits under the cap of 3...
+        state[100] ^= 0xFF;
+        assert!(resumed.checkpoint_bytes(state.clone(), 4).is_delta());
+        // ...then the cap forces a rebase, exactly as an uninterrupted
+        // writer would have.
+        state[200] ^= 0xFF;
+        match resumed.checkpoint_bytes(state.clone(), 5) {
+            CheckpointFrame::Full { reason, .. } => {
+                assert_eq!(reason, RebaseReason::ChainCap)
+            }
+            CheckpointFrame::Delta { .. } => {
+                panic!("resumed chain ignored its cap")
+            }
+        }
     }
 
     #[test]

@@ -46,8 +46,17 @@ use crate::codec::{seal, tag, unseal, CodecError, SnapshotReader, SnapshotWriter
 use crate::update::Item;
 
 /// Hard cap on a single wire message (prefix-declared), validated before
-/// any allocation. Generous: the largest legitimate message is a query
-/// ack carrying one shard's full snapshot.
+/// any allocation.
+///
+/// The largest legitimate message is a `Query` barrier ack carrying one
+/// shard's full sealed snapshot, so this cap is also the service's
+/// **per-shard state ceiling**: a shard whose snapshot outgrows it fails
+/// [`write_message`] with a typed error (aborting the job) rather than
+/// desynchronising the pipe. The paper's samplers keep polylogarithmic
+/// state, so real shards sit orders of magnitude below 64 MiB; a
+/// deployment that ever approaches the cap should raise the job's shard
+/// count — per-shard state shrinks with the number of shards. See the
+/// "Limits" note in `crates/README.md`'s service section.
 pub const MAX_MESSAGE_LEN: u32 = 64 << 20;
 
 /// What a [`WireMessage::Barrier`] asks the worker to do once every chunk
@@ -264,7 +273,17 @@ pub fn write_message<W: Write>(w: &mut W, msg: &WireMessage) -> io::Result<()> {
     let len = u32::try_from(frame.len())
         .ok()
         .filter(|&n| n <= MAX_MESSAGE_LEN)
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "wire message too large"))?;
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "wire message of {} bytes exceeds MAX_MESSAGE_LEN ({MAX_MESSAGE_LEN}); \
+                     for query acks this bounds one shard's snapshot — run the job with \
+                     more shards to shrink per-shard state",
+                    frame.len()
+                ),
+            )
+        })?;
     w.write_all(&len.to_le_bytes())?;
     w.write_all(&frame)?;
     w.flush()

@@ -66,8 +66,13 @@ pub fn snapshot_bytes<T: Snapshot>(component: &T) -> Vec<u8> {
 }
 
 /// Rebuilds a component from bytes produced by [`snapshot_bytes`] — the
-/// facade spelling of [`Restore::restore`]. Bytes from an older format
-/// version convert through [`upgrade_to_current`] first.
+/// facade spelling of [`Restore::restore`]. Bytes sealed under an older
+/// supported format version are converted through [`upgrade_to_current`]
+/// automatically; only an unknown (e.g. future) version fails with
+/// [`CodecError::UnsupportedVersion`].
 pub fn restore_bytes<T: Restore>(bytes: &[u8]) -> Result<T, CodecError> {
-    T::restore(bytes)
+    match T::restore(bytes) {
+        Err(CodecError::UnsupportedVersion { .. }) => T::restore(&upgrade_to_current(bytes)?),
+        result => result,
+    }
 }

@@ -140,3 +140,36 @@ fn invalid_migration_inputs_fail_typed() {
         Err(CodecError::UnsupportedVersion { .. })
     ));
 }
+
+/// The facade's `restore_bytes` routes older-version bytes through
+/// `upgrade_to_current` by itself: a v1 golden file — which the bare
+/// single-version decoder rejects — restores directly, to the same state
+/// as an explicit migrate-then-restore.
+#[test]
+fn facade_restore_bytes_upgrades_v1_automatically() {
+    use truly_perfect_samplers::restore_bytes;
+
+    let v1 = read("snapshots_v1", "lp_sampler_p2.snap");
+    assert!(matches!(
+        TrulyPerfectLpSampler::restore(&v1),
+        Err(CodecError::UnsupportedVersion { .. })
+    ));
+    let upgraded: TrulyPerfectLpSampler = restore_bytes(&v1).expect("facade upgrades v1");
+    let explicit = TrulyPerfectLpSampler::restore(&upgrade_to_current(&v1).unwrap()).unwrap();
+    use tps_streams::codec::Snapshot;
+    assert_eq!(upgraded.snapshot(), explicit.snapshot());
+
+    // Current-version bytes keep taking the direct path.
+    let v2 = read("snapshots", "lp_sampler_p2.snap");
+    let direct: TrulyPerfectLpSampler = restore_bytes(&v2).expect("current version restores");
+    assert_eq!(direct.snapshot(), explicit.snapshot());
+
+    // A version that never existed still fails typed instead of looping
+    // through the migrator.
+    let mut future = v2.clone();
+    future[4] = 0xFF; // version lives after the 4-byte magic
+    assert!(matches!(
+        restore_bytes::<TrulyPerfectLpSampler>(&future),
+        Err(CodecError::UnsupportedVersion { .. }) | Err(CodecError::ChecksumMismatch { .. })
+    ));
+}
