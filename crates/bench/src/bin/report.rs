@@ -70,7 +70,7 @@ fn build_report(quick: bool) -> Report {
                 &[0.5, 0.75],
                 0.1,
             ),
-            e3_update_time: exp::e3_update_time(20_000, 1_024, &[8, 32, 128]),
+            e3_update_time: exp::e3_update_time(20_000, 1_024, &[8, 32, 128], &[100, 10_000]),
             e4_distribution: exp::e4_distribution(10_000, 64, 10, 500, 0.05),
             e5_mestimators: exp::e5_mestimators(4_000, 48, 800),
             e6_f0: exp::e6_f0(&[1_024, 4_096, 16_384], 500),
@@ -97,7 +97,12 @@ fn build_report(quick: bool) -> Report {
                 &[0.25, 0.5, 0.75],
                 0.05,
             ),
-            e3_update_time: exp::e3_update_time(100_000, 4_096, &[8, 32, 128, 512]),
+            e3_update_time: exp::e3_update_time(
+                100_000,
+                4_096,
+                &[8, 32, 128, 512],
+                &[100, 10_000, 1_000_000],
+            ),
             e4_distribution: exp::e4_distribution(40_000, 128, 20, 1_500, 0.05),
             e5_mestimators: exp::e5_mestimators(20_000, 64, 2_000),
             e6_f0: exp::e6_f0(&[1_024, 4_096, 16_384, 65_536], 1_500),
@@ -353,6 +358,15 @@ fn main() {
         .zip(&report.e3_update_time.baseline_nanos_per_update)
     {
         println!("perfect baseline, dup = {dup:<6}: {nanos:>10.0}");
+    }
+    for ((slots, len), nanos) in report
+        .e3_update_time
+        .engine_slot_counts
+        .iter()
+        .zip(&report.e3_update_time.engine_stream_lengths)
+        .zip(&report.e3_update_time.engine_nanos_per_update)
+    {
+        println!("skip-ahead engine, {slots:>9} slots (n = {len:>9}): {nanos:>10.0}");
     }
 
     println!("\n== E4: exactness and composition drift ==");

@@ -16,11 +16,16 @@
 //!
 //! ```text
 //! sharded_gate --report sharded.json [--shards 4] [--min-speedup 2.0] \
-//!     [--min-wall-speedup 2.0]
+//!     [--min-wall-speedup 2.0] [--out decision.json]
 //! ```
 //!
 //! Exits 0 when every applicable floor holds, 1 on regression, 2 on
-//! malformed inputs.
+//! malformed inputs. With `--out`, the gate also records its decision —
+//! the runner's core count, both measured speedups, and whether the
+//! wall-clock floor actually fired or was skipped as unattainable — as a
+//! small JSON file for the CI artifact, so a green run on a starved
+//! one-core runner is distinguishable from a green run that really
+//! enforced end-to-end scaling.
 
 use tps_bench::json::JsonValue;
 
@@ -28,7 +33,7 @@ fn fail_usage(msg: &str) -> ! {
     eprintln!("sharded_gate: {msg}");
     eprintln!(
         "usage: sharded_gate --report <sharded.json> [--shards 4] [--min-speedup 2.0] \
-         [--min-wall-speedup 2.0]"
+         [--min-wall-speedup 2.0] [--out decision.json]"
     );
     std::process::exit(2);
 }
@@ -36,6 +41,7 @@ fn fail_usage(msg: &str) -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut report_path = None;
+    let mut out_path = None;
     let mut shards = 4.0f64;
     let mut min_speedup = 2.0f64;
     let mut min_wall_speedup = 2.0f64;
@@ -43,6 +49,7 @@ fn main() {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--report" => report_path = it.next().cloned(),
+            "--out" => out_path = it.next().cloned(),
             "--shards" => {
                 shards = it
                     .next()
@@ -128,6 +135,26 @@ fn main() {
              {min_wall_speedup:.2}x floor on a {cores:.0}-core runner"
         );
         regressed = true;
+    }
+    // Record the decision before any exit: which floors fired on this
+    // runner, at what core count, with what measured numbers. `wall_gated:
+    // false` in the artifact is the tell that a green run never actually
+    // enforced the wall-clock floor.
+    if let Some(path) = out_path {
+        let decision = format!(
+            "{{\"cores\":{cores},\"shards\":{shards},\
+             \"critical_path_speedup\":{speedup},\"wall_speedup\":{wall},\
+             \"min_speedup\":{min_speedup},\"min_wall_speedup\":{min_wall_speedup},\
+             \"wall_gated\":{wall_gated},\"result\":\"{}\"}}\n",
+            if regressed { "regression" } else { "ok" },
+            wall = if wall.is_finite() {
+                wall.to_string()
+            } else {
+                "null".to_string()
+            },
+        );
+        std::fs::write(&path, decision)
+            .unwrap_or_else(|e| fail_usage(&format!("cannot write {path}: {e}")));
     }
     if regressed {
         std::process::exit(1);

@@ -8,6 +8,7 @@
 use std::time::Instant;
 
 use tps_core::composition::run_composition;
+use tps_core::engine::SkipAheadEngine;
 use tps_core::f0::TrulyPerfectF0Sampler;
 use tps_core::lp::TrulyPerfectLpSampler;
 use tps_core::matrix::{MatrixRowSampler, RowL2};
@@ -140,6 +141,13 @@ pub struct UpdateTimeRow {
     pub baseline_duplications: Vec<usize>,
     /// Nanoseconds per update for the baseline at each duplication factor.
     pub baseline_nanos_per_update: Vec<f64>,
+    /// Reservoir slot counts the shared [`SkipAheadEngine`] was measured at.
+    pub engine_slot_counts: Vec<usize>,
+    /// Stream length used for each engine slot count (scaled with the slot
+    /// count so the amortised replacement term has room to amortise).
+    pub engine_stream_lengths: Vec<u64>,
+    /// Nanoseconds per update for the engine at each slot count.
+    pub engine_nanos_per_update: Vec<f64>,
 }
 
 /// E3: update-time comparison (Theorem 1.4's `O(1)` update time vs the
@@ -148,6 +156,7 @@ pub fn e3_update_time(
     stream_length: usize,
     universe: u64,
     duplications: &[usize],
+    engine_slots: &[usize],
 ) -> UpdateTimeRow {
     let mut rng = default_rng(300);
     let stream = zipfian_stream(&mut rng, universe, stream_length, 1.1);
@@ -223,6 +232,35 @@ pub fn e3_update_time(
         })
         .fold(f64::INFINITY, f64::min);
 
+    // Huge-reservoir scaling of the shared skip-ahead engine (ROADMAP:
+    // "prove out huge-reservoir scaling with 1M-slot benchmarks"). The
+    // priority-queue schedule only touches slots that are actually due, so
+    // the per-element cost should stay near-flat across slot counts; each
+    // slot count gets a stream long enough (20 updates per slot, at least
+    // the E3 stream) for the `k·ln(n)` total replacement work to amortise.
+    let mut engine_stream_lengths = Vec::new();
+    let mut engine_nanos = Vec::new();
+    for &slots in engine_slots {
+        let n = slots.saturating_mul(20).max(stream_length);
+        let mut engine_rng = default_rng(302);
+        let engine_stream = zipfian_stream(&mut engine_rng, universe, n, 1.1);
+        // The big legs are long enough to be preemption-insensitive on
+        // their own; best-of-N only where a leg is a ~1ms window.
+        let reps = if n > 2_000_000 { 1 } else { E3_REPS };
+        let nanos = (0..reps)
+            .map(|_| {
+                let mut engine = SkipAheadEngine::with_seed(slots, 7);
+                let start = Instant::now();
+                engine.update_batch(&engine_stream);
+                let per_update = start.elapsed().as_nanos() as f64 / engine_stream.len() as f64;
+                assert_eq!(engine.seen(), engine_stream.len() as u64);
+                per_update
+            })
+            .fold(f64::INFINITY, f64::min);
+        engine_stream_lengths.push(n as u64);
+        engine_nanos.push(nanos);
+    }
+
     let mut baseline_nanos = Vec::new();
     for &dup in duplications {
         let mut baseline = ExponentialScalingSampler::new(2.0, dup, 256, 2);
@@ -240,6 +278,9 @@ pub fn e3_update_time(
         turnstile_batch_speedup: turnstile_loop / turnstile_batch.max(f64::MIN_POSITIVE),
         baseline_duplications: duplications.to_vec(),
         baseline_nanos_per_update: baseline_nanos,
+        engine_slot_counts: engine_slots.to_vec(),
+        engine_stream_lengths,
+        engine_nanos_per_update: engine_nanos,
     }
 }
 

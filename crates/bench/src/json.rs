@@ -507,6 +507,15 @@ impl ToJson for exp::UpdateTimeRow {
                 "baseline_nanos_per_update",
                 self.baseline_nanos_per_update.to_json(),
             ),
+            ("engine_slot_counts", self.engine_slot_counts.to_json()),
+            (
+                "engine_stream_lengths",
+                self.engine_stream_lengths.to_json(),
+            ),
+            (
+                "engine_nanos_per_update",
+                self.engine_nanos_per_update.to_json(),
+            ),
         ])
     }
 }

@@ -33,6 +33,22 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// Batching hint for [`Bencher::iter_batched`] (API subset). The shim
+/// always runs one setup per timed iteration — `PerIteration` semantics,
+/// which is a valid (if slower) schedule for the other variants too; only
+/// the routine is timed either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// The input is small; real criterion would share one setup across many
+    /// iterations.
+    SmallInput,
+    /// The input is large; real criterion batches a few iterations per
+    /// setup.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
 /// A benchmark identifier composed of a function name and a parameter.
 #[derive(Debug, Clone)]
 pub struct BenchmarkId {
@@ -89,6 +105,36 @@ impl Bencher<'_> {
                 break;
             }
             // Never loop unboundedly on pathologically fast routines.
+            if self.samples.len() >= 1_000_000 {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only the routine is
+    /// inside the timed window, so per-iteration construction cost (e.g.
+    /// building a large engine) does not pollute the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let measure_start = Instant::now();
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+            if self.samples.len() >= self.min_samples
+                && measure_start.elapsed() >= self.measurement_time
+            {
+                break;
+            }
             if self.samples.len() >= 1_000_000 {
                 break;
             }
@@ -311,6 +357,26 @@ mod tests {
         group.finish();
         assert_eq!(c.json_rows.len(), 1);
         assert!(c.json_rows[0].contains("\"bench\":\"noop\""));
+    }
+
+    #[test]
+    fn iter_batched_times_routine_on_fresh_inputs() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("t");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64, 2, 3],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::PerIteration,
+            )
+        });
+        group.finish();
+        assert_eq!(c.json_rows.len(), 1);
+        assert!(c.json_rows[0].contains("\"bench\":\"batched\""));
     }
 
     #[test]

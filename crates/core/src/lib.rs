@@ -94,3 +94,4 @@ pub use lp::TrulyPerfectLpSampler;
 pub use runtime::RuntimeStats;
 pub use sampler_unit::SamplerUnit;
 pub use sharded::{hash_route, ShardedSampler, ShardedSamplerBuilder, ShardingStrategy};
+pub use turnstile::StrictTurnstileF0Sampler;

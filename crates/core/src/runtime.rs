@@ -54,7 +54,7 @@ use std::time::Duration;
 
 use tps_streams::codec::Snapshot;
 use tps_streams::spsc::{self, Backpressure, Consumer, Producer, PushError};
-use tps_streams::{Item, StreamSampler};
+use tps_streams::{Item, StreamUpdate, UpdateSampler};
 
 /// Tuning knobs for [`ShardPool::start`].
 #[derive(Debug, Clone, Copy)]
@@ -99,11 +99,11 @@ pub struct RuntimeStats {
 }
 
 /// One command on a shard's ingest ring. Coarse by design: the ring is
-/// crossed once per chunk, not once per item.
-enum ShardCmd {
-    /// Feed a chunk of routed items through the shard's `update_batch`.
-    /// The buffer is recycled back to the coordinator once drained.
-    Ingest(Vec<Item>),
+/// crossed once per chunk, not once per update.
+enum ShardCmd<U> {
+    /// Feed a chunk of routed updates through the shard's batched ingest
+    /// path. The buffer is recycled back to the coordinator once drained.
+    Ingest(Vec<U>),
     /// Epoch barrier: acknowledge once everything enqueued earlier has been
     /// applied. With `snapshot` set, also emit the shard's sealed snapshot
     /// bytes at that point — the consistent-cut query mechanism.
@@ -111,9 +111,9 @@ enum ShardCmd {
 }
 
 /// Worker → coordinator responses (one shared `std::sync::mpsc` hub).
-enum ShardReply {
+enum ShardReply<U> {
     /// A drained ingest buffer, cleared, for the coordinator to reuse.
-    Recycled(Vec<Item>),
+    Recycled(Vec<U>),
     /// Barrier acknowledgement (with snapshot bytes if requested).
     Barrier {
         shard: usize,
@@ -131,18 +131,24 @@ unsafe impl<S: Send> Send for ShardPtr<S> {}
 ///
 /// Not generic over the sampler type: the type is erased into the worker
 /// closures at [`ShardPool::start`], so coordinators can hold a `ShardPool`
-/// without threading `S` through their own fields.
-pub struct ShardPool {
-    producers: Vec<Producer<ShardCmd>>,
+/// without threading `S` through their own fields. It *is* generic over the
+/// update type `U` moving through the rings — the sampler-family seam: the
+/// same pool hosts insertion-only shards (`U = Item`, the default) and
+/// turnstile shards (`U = SignedUpdate`) with identical transport,
+/// backpressure and barrier machinery.
+///
+/// [`SignedUpdate`]: tps_streams::SignedUpdate
+pub struct ShardPool<U: StreamUpdate = Item> {
+    producers: Vec<Producer<ShardCmd<U>>>,
     handles: Vec<Option<JoinHandle<()>>>,
-    replies: mpsc::Receiver<ShardReply>,
+    replies: mpsc::Receiver<ShardReply<U>>,
     /// Per-shard overflow queues ([`Backpressure::Spill`] only): chunks
     /// that found their ring full, in stream order, retried before any new
     /// chunk and drained (blocking) before any barrier.
-    spill: Vec<VecDeque<Vec<Item>>>,
+    spill: Vec<VecDeque<Vec<U>>>,
     /// Cleared ingest buffers handed back by workers, reused by
     /// [`ShardPool::take_buffer`] so steady-state ingest allocates nothing.
-    free: Vec<Vec<Item>>,
+    free: Vec<Vec<U>>,
     backpressure: Backpressure,
     epoch: u64,
     stats: RuntimeStats,
@@ -151,7 +157,7 @@ pub struct ShardPool {
 /// How long a barrier wait sleeps between liveness checks of the workers.
 const BARRIER_POLL: Duration = Duration::from_millis(100);
 
-impl ShardPool {
+impl<U: StreamUpdate> ShardPool<U> {
     /// Spawns one persistent worker per pointer in `shards` and wires each
     /// to a bounded command ring.
     ///
@@ -167,14 +173,14 @@ impl ShardPool {
     /// before the pointees is sufficient).
     pub unsafe fn start<S>(shards: &[*mut S], config: RuntimeConfig) -> Self
     where
-        S: StreamSampler + Snapshot + Send + 'static,
+        S: UpdateSampler<U> + Snapshot + Send + 'static,
     {
         assert!(!shards.is_empty(), "need at least one shard");
-        let (reply_tx, replies) = mpsc::channel::<ShardReply>();
+        let (reply_tx, replies) = mpsc::channel::<ShardReply<U>>();
         let mut producers = Vec::with_capacity(shards.len());
         let mut handles = Vec::with_capacity(shards.len());
         for (index, &shard) in shards.iter().enumerate() {
-            let (tx, rx) = spsc::ring::<ShardCmd>(config.ring_capacity);
+            let (tx, rx) = spsc::ring::<ShardCmd<U>>(config.ring_capacity);
             let reply_tx = reply_tx.clone();
             let ptr = ShardPtr(shard);
             let handle = std::thread::Builder::new()
@@ -222,7 +228,7 @@ impl ShardPool {
 
     /// A cleared, capacity-bearing ingest buffer — recycled from a worker
     /// when one is available, freshly allocated otherwise.
-    pub fn take_buffer(&mut self) -> Vec<Item> {
+    pub fn take_buffer(&mut self) -> Vec<U> {
         if self.free.is_empty() {
             self.harvest_replies();
         }
@@ -232,7 +238,7 @@ impl ShardPool {
     /// Enqueues one routed chunk for `shard`, applying the backpressure
     /// policy. Order per shard is preserved even under spill: a new chunk
     /// never overtakes a previously spilled one.
-    pub fn send(&mut self, shard: usize, chunk: Vec<Item>) {
+    pub fn send(&mut self, shard: usize, chunk: Vec<U>) {
         if chunk.is_empty() {
             self.free.push(chunk);
             return;
@@ -397,7 +403,7 @@ impl ShardPool {
         }
     }
 
-    fn recycle(&mut self, buffer: Vec<Item>) {
+    fn recycle(&mut self, buffer: Vec<U>) {
         // Bound the free list: beyond a few buffers per shard the extras
         // are dead capacity.
         if self.free.len() < 4 * self.producers.len() {
@@ -418,7 +424,7 @@ impl ShardPool {
     }
 }
 
-impl Drop for ShardPool {
+impl<U: StreamUpdate> Drop for ShardPool<U> {
     fn drop(&mut self) {
         // Closing the rings (dropping the producers) is the shutdown
         // signal: each worker drains what is already queued, then exits —
@@ -438,7 +444,7 @@ impl Drop for ShardPool {
     }
 }
 
-impl std::fmt::Debug for ShardPool {
+impl<U: StreamUpdate> std::fmt::Debug for ShardPool<U> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardPool")
             .field("num_shards", &self.num_shards())
@@ -451,13 +457,14 @@ impl std::fmt::Debug for ShardPool {
 
 /// The worker body: apply commands from the ring in order until the
 /// coordinator closes it, acknowledging barriers and recycling buffers.
-fn worker_loop<S>(
+fn worker_loop<S, U>(
     ptr: ShardPtr<S>,
-    mut commands: Consumer<ShardCmd>,
+    mut commands: Consumer<ShardCmd<U>>,
     shard: usize,
-    replies: mpsc::Sender<ShardReply>,
+    replies: mpsc::Sender<ShardReply<U>>,
 ) where
-    S: StreamSampler + Snapshot + Send,
+    S: UpdateSampler<U> + Snapshot + Send,
+    U: StreamUpdate,
 {
     while let Some(cmd) = commands.pop() {
         match cmd {
@@ -465,7 +472,7 @@ fn worker_loop<S>(
                 // SAFETY: per `ShardPool::start`'s contract this worker has
                 // exclusive access to the pointee while commands are in
                 // flight.
-                unsafe { (*ptr.0).update_batch(&chunk) };
+                unsafe { (*ptr.0).ingest_batch(&chunk) };
                 chunk.clear();
                 let _ = replies.send(ShardReply::Recycled(chunk));
             }
@@ -487,6 +494,7 @@ mod tests {
     use super::*;
     use crate::lp::TrulyPerfectLpSampler;
     use tps_streams::codec::Restore;
+    use tps_streams::StreamSampler;
 
     fn samplers(k: usize, seed: u64) -> Vec<TrulyPerfectLpSampler> {
         (0..k as u64)

@@ -53,7 +53,10 @@ use crate::runtime::{RuntimeConfig, RuntimeStats, ShardPool};
 use tps_random::Xoshiro256;
 use tps_streams::codec::{self, CodecError, Restore, Snapshot, SnapshotReader, SnapshotWriter};
 use tps_streams::spsc::Backpressure;
-use tps_streams::{Item, MergeableSampler, SampleOutcome, SpaceUsage, StreamSampler};
+use tps_streams::{
+    Item, MergeableSampler, SampleOutcome, SignedUpdate, SpaceUsage, StreamSampler, StreamUpdate,
+    TurnstileSampler, UpdateSampler,
+};
 
 /// How [`ShardedSampler`] routes updates to shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -209,14 +212,44 @@ impl ShardedSamplerBuilder {
         self
     }
 
-    /// Builds the sampler, creating shard `idx` as `factory(idx)`. The
-    /// factory decides seeding: independent seeds for the reservoir
-    /// samplers; one shared seed for `F_0` shards (their merge requires
-    /// identical pre-drawn subsets).
-    pub fn build<S>(self, mut factory: impl FnMut(usize) -> S) -> ShardedSampler<S>
+    /// Builds an insertion-only sampler, creating shard `idx` as
+    /// `factory(idx)`. The factory decides seeding: independent seeds for
+    /// the reservoir samplers; one shared seed for `F_0` shards (their
+    /// merge requires identical pre-drawn subsets).
+    pub fn build<S>(self, factory: impl FnMut(usize) -> S) -> ShardedSampler<S>
     where
-        S: MergeableSampler + Clone + Send + Snapshot + Restore + 'static,
+        S: MergeableSampler + UpdateSampler<Item> + Clone + Send + Snapshot + Restore + 'static,
     {
+        self.assemble(factory)
+    }
+
+    /// Builds a sharded *turnstile* sampler over shards that consume
+    /// [`SignedUpdate`]s — same routing, staging, runtime and fold-merge
+    /// plumbing as [`Self::build`], instantiated for the strict-turnstile
+    /// update type. The factory must give every shard the same seed when
+    /// the shard type's merge law requires identical pre-drawn structure
+    /// (as `StrictTurnstileF0Sampler`'s does).
+    pub fn build_turnstile<S>(
+        self,
+        factory: impl FnMut(usize) -> S,
+    ) -> ShardedSampler<S, SignedUpdate>
+    where
+        S: MergeableSampler
+            + UpdateSampler<SignedUpdate>
+            + Clone
+            + Send
+            + Snapshot
+            + Restore
+            + 'static,
+    {
+        self.assemble(factory)
+    }
+
+    /// The update-type-generic constructor both `build` flavours share.
+    fn assemble<S, U: StreamUpdate>(
+        self,
+        mut factory: impl FnMut(usize) -> S,
+    ) -> ShardedSampler<S, U> {
         ShardedSampler {
             runtime: None,
             shards: (0..self.shards)
@@ -238,12 +271,12 @@ impl ShardedSamplerBuilder {
 /// staging buffers of routed-but-unshipped items. Boxed behind a `Mutex`
 /// so `&self` accessors can quiesce (ship + flush) through interior
 /// mutability while `ShardedSampler` stays `Send`.
-struct RuntimeState {
-    pool: ShardPool,
-    staging: Vec<Vec<Item>>,
+struct RuntimeState<U: StreamUpdate> {
+    pool: ShardPool<U>,
+    staging: Vec<Vec<U>>,
 }
 
-impl RuntimeState {
+impl<U: StreamUpdate> RuntimeState<U> {
     /// Ships every non-empty staging buffer to its ring (order-preserving:
     /// staged items were routed after everything already shipped).
     fn ship_staged(&mut self) {
@@ -264,10 +297,18 @@ impl RuntimeState {
 
 /// A scatter-gather front-end over `k` shard instances of a mergeable
 /// sampler (see the module docs).
-pub struct ShardedSampler<S> {
+///
+/// Generic over the update type `U`: `ShardedSampler<S>` (the default,
+/// `U = Item`) hosts insertion-only shards and implements
+/// [`StreamSampler`]; `ShardedSampler<S, SignedUpdate>` (built with
+/// [`ShardedSamplerBuilder::build_turnstile`]) hosts strict-turnstile
+/// shards and implements [`TurnstileSampler`]. The routing, staging,
+/// worker-pool and fold-merge plumbing is written once against
+/// [`StreamUpdate`]/[`UpdateSampler`] and shared by both instantiations.
+pub struct ShardedSampler<S, U: StreamUpdate = Item> {
     /// Declared first so drop order joins the workers *before* the shard
     /// states they point into are dropped.
-    runtime: Option<Mutex<RuntimeState>>,
+    runtime: Option<Mutex<RuntimeState<U>>>,
     /// Owned shard states. `UnsafeCell` because, while the runtime is
     /// live, worker `j` mutates shard `j` through a raw pointer; the
     /// coordinator only touches a shard after a completed barrier (see
@@ -279,7 +320,7 @@ pub struct ShardedSampler<S> {
     cursor: usize,
     /// Transient per-shard scatter buffers for the sequential (pre-runtime)
     /// batch path; never holds data across calls and never serialised.
-    scratch: Vec<Vec<Item>>,
+    scratch: Vec<Vec<U>>,
     /// Coins for the query-time merge draws.
     rng: Xoshiro256,
     processed: u64,
@@ -298,22 +339,12 @@ pub struct ShardedSampler<S> {
 // another thread is still fine: the boxed slice's allocation (which the
 // workers point into) does not move, and `&mut`/owned access to the
 // coordinator half is unique by construction.
-unsafe impl<S: Send> Send for ShardedSampler<S> {}
+unsafe impl<S: Send, U: StreamUpdate> Send for ShardedSampler<S, U> {}
 
 impl<S> ShardedSampler<S>
 where
-    S: MergeableSampler + Clone + Send + Snapshot + Restore + 'static,
+    S: MergeableSampler + UpdateSampler<Item> + Clone + Send + Snapshot + Restore + 'static,
 {
-    /// Starts configuring a sharded sampler over `shards` shard instances
-    /// (see [`ShardedSamplerBuilder`] for the knobs and their defaults).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `shards == 0`.
-    pub fn builder(shards: usize) -> ShardedSamplerBuilder {
-        ShardedSamplerBuilder::new(shards)
-    }
-
     /// Creates a sharded sampler with `shards` instances built by
     /// `factory(shard_index)` and every other knob at its default.
     #[deprecated(
@@ -330,6 +361,22 @@ where
             .strategy(strategy)
             .seed(seed)
             .build(factory)
+    }
+}
+
+impl<S, U> ShardedSampler<S, U>
+where
+    S: MergeableSampler + UpdateSampler<U> + Clone + Send + Snapshot + Restore + 'static,
+    U: StreamUpdate,
+{
+    /// Starts configuring a sharded sampler over `shards` shard instances
+    /// (see [`ShardedSamplerBuilder`] for the knobs and their defaults).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn builder(shards: usize) -> ShardedSamplerBuilder {
+        ShardedSamplerBuilder::new(shards)
     }
 
     /// Number of shards.
@@ -460,11 +507,11 @@ where
         }));
     }
 
-    /// Routes `items` into the live runtime's staging buffers, shipping
-    /// each buffer as it reaches [`RUNTIME_CHUNK`]. Per-shard item order is
-    /// exactly the loop order, so the engines' batch ≡ loop law carries
+    /// Routes `updates` into the live runtime's staging buffers, shipping
+    /// each buffer as it reaches [`RUNTIME_CHUNK`]. Per-shard update order
+    /// is exactly the loop order, so the engines' batch ≡ loop law carries
     /// over chunk boundaries unchanged.
-    fn scatter_to_runtime(&mut self, items: &[Item]) {
+    fn scatter_to_runtime(&mut self, updates: &[U]) {
         let k = self.shards.len();
         let strategy = self.strategy;
         let chunk_len = self.chunk_len;
@@ -475,9 +522,9 @@ where
             .expect("runtime is live")
             .get_mut()
             .unwrap();
-        for &item in items {
+        for &update in updates {
             let shard = match strategy {
-                ShardingStrategy::Hash => route(mix(item), k),
+                ShardingStrategy::Hash => route(mix(update.route_key()), k),
                 ShardingStrategy::RoundRobin => {
                     let shard = cursor;
                     cursor += 1;
@@ -488,7 +535,7 @@ where
                 }
             };
             let buffer = &mut state.staging[shard];
-            buffer.push(item);
+            buffer.push(update);
             if buffer.len() >= chunk_len {
                 let mut fresh = state.pool.take_buffer();
                 std::mem::swap(buffer, &mut fresh);
@@ -496,6 +543,70 @@ where
             }
         }
         self.cursor = cursor;
+    }
+
+    /// Routes one update to its shard — the kind-generic ingest surface
+    /// both stream-model trait impls (and generic callers like the ingest
+    /// service's reference run) delegate to.
+    pub fn ingest(&mut self, update: U) {
+        self.processed += 1;
+        if self.runtime.is_some() {
+            self.scatter_to_runtime(std::slice::from_ref(&update));
+            return;
+        }
+        let shard = match self.strategy {
+            ShardingStrategy::Hash => route(mix(update.route_key()), self.shards.len()),
+            ShardingStrategy::RoundRobin => {
+                let shard = self.cursor;
+                self.cursor = (self.cursor + 1) % self.shards.len();
+                shard
+            }
+        };
+        self.shard_mut(shard).ingest(update);
+    }
+
+    /// Routes a batch of updates: scatter, then either ship to the runtime
+    /// or drain sequentially (see the `update_batch` docs on the
+    /// [`StreamSampler`] impl). Kind-generic twin of [`Self::ingest`].
+    pub fn ingest_batch(&mut self, updates: &[U]) {
+        self.processed += updates.len() as u64;
+        if updates.is_empty() {
+            return;
+        }
+        let k = self.shards.len();
+        if k == 1 {
+            self.shard_mut(0).ingest_batch(updates);
+            return;
+        }
+        if self.runtime.is_none() && updates.len() >= k * self.parallel_cutoff {
+            self.start_runtime();
+        }
+        if self.runtime.is_some() {
+            self.scatter_to_runtime(updates);
+            return;
+        }
+        // Sequential small-batch path: scatter on the calling thread, then
+        // drain each shard's sub-batch in stream order. The scratch matrix
+        // is transient state, sized lazily so restoring a snapshot never
+        // allocates it up front.
+        if self.scratch.len() != k {
+            self.scratch = vec![Vec::new(); k];
+        }
+        for buffer in &mut self.scratch {
+            buffer.clear();
+        }
+        let cursor = self.cursor;
+        scatter_chunk(updates, &mut self.scratch, self.strategy, cursor);
+        if self.strategy == ShardingStrategy::RoundRobin {
+            self.cursor = (cursor + updates.len()) % k;
+        }
+        let scratch = std::mem::take(&mut self.scratch);
+        for (shard, buffer) in scratch.iter().enumerate() {
+            if !buffer.is_empty() {
+                self.shard_mut(shard).ingest_batch(buffer);
+            }
+        }
+        self.scratch = scratch;
     }
 
     /// Builds a merged sampler answering for the combined stream of all
@@ -534,10 +645,10 @@ where
 
 /// Scatters one chunk into `k` per-shard buffers. `base` is the chunk's
 /// global offset within the batch (plus the round-robin cursor), so cyclic
-/// routing reproduces the per-item loop's assignment exactly.
-fn scatter_chunk(
-    chunk: &[Item],
-    buffers: &mut [Vec<Item>],
+/// routing reproduces the per-update loop's assignment exactly.
+fn scatter_chunk<U: StreamUpdate>(
+    chunk: &[U],
+    buffers: &mut [Vec<U>],
     strategy: ShardingStrategy,
     base: usize,
 ) {
@@ -550,13 +661,13 @@ fn scatter_chunk(
     }
     match strategy {
         ShardingStrategy::Hash => {
-            for &item in chunk {
-                buffers[route(mix(item), k)].push(item);
+            for &update in chunk {
+                buffers[route(mix(update.route_key()), k)].push(update);
             }
         }
         ShardingStrategy::RoundRobin => {
-            for (offset, &item) in chunk.iter().enumerate() {
-                buffers[(base + offset) % k].push(item);
+            for (offset, &update) in chunk.iter().enumerate() {
+                buffers[(base + offset) % k].push(update);
             }
         }
     }
@@ -564,23 +675,10 @@ fn scatter_chunk(
 
 impl<S> StreamSampler for ShardedSampler<S>
 where
-    S: MergeableSampler + Clone + Send + Snapshot + Restore + 'static,
+    S: MergeableSampler + UpdateSampler<Item> + Clone + Send + Snapshot + Restore + 'static,
 {
     fn update(&mut self, item: Item) {
-        self.processed += 1;
-        if self.runtime.is_some() {
-            self.scatter_to_runtime(std::slice::from_ref(&item));
-            return;
-        }
-        let shard = match self.strategy {
-            ShardingStrategy::Hash => self.hash_shard_of(item),
-            ShardingStrategy::RoundRobin => {
-                let shard = self.cursor;
-                self.cursor = (self.cursor + 1) % self.shards.len();
-                shard
-            }
-        };
-        self.shard_mut(shard).update(item);
+        self.ingest(item);
     }
 
     /// The persistent-runtime ingest path.
@@ -605,56 +703,46 @@ where
     /// the runtime has started) take an equivalent scatter-and-drain path
     /// on the calling thread.
     fn update_batch(&mut self, items: &[Item]) {
-        self.processed += items.len() as u64;
-        if items.is_empty() {
-            return;
-        }
-        let k = self.shards.len();
-        if k == 1 {
-            self.shard_mut(0).update_batch(items);
-            return;
-        }
-        if self.runtime.is_none() && items.len() >= k * self.parallel_cutoff {
-            self.start_runtime();
-        }
-        if self.runtime.is_some() {
-            self.scatter_to_runtime(items);
-            return;
-        }
-        // Sequential small-batch path: scatter on the calling thread, then
-        // drain each shard's sub-batch in stream order. The scratch matrix
-        // is transient state, sized lazily so restoring a snapshot never
-        // allocates it up front.
-        if self.scratch.len() != k {
-            self.scratch = vec![Vec::new(); k];
-        }
-        for buffer in &mut self.scratch {
-            buffer.clear();
-        }
-        let cursor = self.cursor;
-        scatter_chunk(items, &mut self.scratch, self.strategy, cursor);
-        if self.strategy == ShardingStrategy::RoundRobin {
-            self.cursor = (cursor + items.len()) % k;
-        }
-        let scratch = std::mem::take(&mut self.scratch);
-        for (shard, buffer) in scratch.iter().enumerate() {
-            if !buffer.is_empty() {
-                self.shard_mut(shard).update_batch(buffer);
-            }
-        }
-        self.scratch = scratch;
+        self.ingest_batch(items);
     }
 
     /// Merges the shards — from snapshot-isolated cuts while the runtime is
     /// live — and queries the merged instance.
     fn sample(&mut self) -> SampleOutcome {
-        self.merged().sample()
+        self.merged().draw()
     }
 }
 
-impl<S> Clone for ShardedSampler<S>
+impl<S> TurnstileSampler for ShardedSampler<S, SignedUpdate>
 where
-    S: MergeableSampler + Clone + Send + Snapshot + Restore + 'static,
+    S: MergeableSampler + UpdateSampler<SignedUpdate> + Clone + Send + Snapshot + Restore + 'static,
+{
+    fn update(&mut self, update: SignedUpdate) {
+        self.ingest(update);
+    }
+
+    /// Same routed ingest path as the insertion-only impl, over signed
+    /// updates: an update is routed by its *coordinate*
+    /// ([`StreamUpdate::route_key`]), so under [`ShardingStrategy::Hash`]
+    /// every update touching an item lands on one shard and merged
+    /// frequencies are exact. For shard types whose merge is linear in the
+    /// update stream (the turnstile `F_0` sampler), round-robin routing is
+    /// exact too.
+    fn update_batch(&mut self, updates: &[SignedUpdate]) {
+        self.ingest_batch(updates);
+    }
+
+    /// Merges the shards — from snapshot-isolated cuts while the runtime is
+    /// live — and queries the merged instance.
+    fn sample(&mut self) -> SampleOutcome {
+        self.merged().draw()
+    }
+}
+
+impl<S, U> Clone for ShardedSampler<S, U>
+where
+    S: MergeableSampler + UpdateSampler<U> + Clone + Send + Snapshot + Restore + 'static,
+    U: StreamUpdate,
 {
     /// Clones the coordinator state and (quiesced) shard states. The clone
     /// starts without a live runtime; its pool starts lazily at its first
@@ -680,9 +768,17 @@ where
     }
 }
 
-impl<S> std::fmt::Debug for ShardedSampler<S>
+impl<S, U> std::fmt::Debug for ShardedSampler<S, U>
 where
-    S: MergeableSampler + Clone + Send + Snapshot + Restore + 'static + std::fmt::Debug,
+    S: MergeableSampler
+        + UpdateSampler<U>
+        + Clone
+        + Send
+        + Snapshot
+        + Restore
+        + 'static
+        + std::fmt::Debug,
+    U: StreamUpdate,
 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         self.quiesce();
@@ -719,9 +815,10 @@ where
 /// [`MergeableSampler`](tps_streams::MergeableSampler) — restore-then-merge
 /// is both the cross-machine scatter-gather path and what the runtime's
 /// own snapshot-isolated queries replay in-process.
-impl<S> Snapshot for ShardedSampler<S>
+impl<S, U> Snapshot for ShardedSampler<S, U>
 where
-    S: MergeableSampler + Clone + Send + Snapshot + Restore + 'static,
+    S: MergeableSampler + UpdateSampler<U> + Clone + Send + Snapshot + Restore + 'static,
+    U: StreamUpdate,
 {
     const TAG: u16 = codec::tag::SHARDED_SAMPLER;
 
@@ -750,9 +847,10 @@ where
     }
 }
 
-impl<S> Restore for ShardedSampler<S>
+impl<S, U> Restore for ShardedSampler<S, U>
 where
-    S: MergeableSampler + Clone + Send + Snapshot + Restore + 'static,
+    S: MergeableSampler + UpdateSampler<U> + Clone + Send + Snapshot + Restore + 'static,
+    U: StreamUpdate,
 {
     fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
         r.expect_tag(Self::TAG)?;
@@ -835,9 +933,17 @@ where
     }
 }
 
-impl<S> SpaceUsage for ShardedSampler<S>
+impl<S, U> SpaceUsage for ShardedSampler<S, U>
 where
-    S: MergeableSampler + Clone + Send + Snapshot + Restore + 'static + SpaceUsage,
+    S: MergeableSampler
+        + UpdateSampler<U>
+        + Clone
+        + Send
+        + Snapshot
+        + Restore
+        + 'static
+        + SpaceUsage,
+    U: StreamUpdate,
 {
     fn space_bytes(&self) -> usize {
         self.quiesce();
@@ -851,7 +957,7 @@ where
             + self
                 .scratch
                 .iter()
-                .map(|b| b.capacity() * std::mem::size_of::<Item>())
+                .map(|b| b.capacity() * std::mem::size_of::<U>())
                 .sum::<usize>()
     }
 }
@@ -1094,5 +1200,111 @@ mod tests {
         assert!(stats.chunks > 0, "runtime ingest must count chunks");
         assert_eq!(stats.dropped_chunks, 0);
         assert_eq!(stats.spilled_pending, 0);
+    }
+
+    // ----- turnstile instantiation: the same plumbing hosts signed shards -
+
+    use crate::turnstile::StrictTurnstileF0Sampler;
+
+    /// A strict stream: inserts with a deterministic sprinkling of
+    /// insert-then-delete pairs, so every prefix keeps counts ≥ 0.
+    fn signed_stream(len: usize, universe: u64) -> Vec<SignedUpdate> {
+        let mut out = Vec::with_capacity(len * 2);
+        for i in 0..len as u64 {
+            let item = mix(i) % universe;
+            out.push(SignedUpdate { item, delta: 1 });
+            if i.is_multiple_of(3) {
+                out.push(SignedUpdate { item, delta: 1 });
+                out.push(SignedUpdate { item, delta: -1 });
+            }
+        }
+        out
+    }
+
+    fn sharded_turnstile(
+        shards: usize,
+        strategy: ShardingStrategy,
+        seed: u64,
+    ) -> ShardedSampler<StrictTurnstileF0Sampler, SignedUpdate> {
+        // One shared seed across shards: the turnstile merge law requires
+        // identical pre-drawn subsets (same reason as the F0 kind).
+        ShardedSamplerBuilder::new(shards)
+            .strategy(strategy)
+            .seed(seed)
+            .build_turnstile(|_idx| StrictTurnstileF0Sampler::new(512, seed))
+    }
+
+    /// Sharded turnstile batch ≡ loop ≡ runtime path, for both routing
+    /// strategies (round-robin is exact here: the turnstile merge is
+    /// linear, so any partitioning works).
+    #[test]
+    fn sharded_turnstile_paths_agree() {
+        let stream = signed_stream(3 * PARALLEL_MIN_PER_SHARD, 509);
+        for strategy in [ShardingStrategy::Hash, ShardingStrategy::RoundRobin] {
+            let mut looped = sharded_turnstile(3, strategy, 19);
+            for &u in &stream {
+                looped.update(u);
+            }
+            let mut batched = sharded_turnstile(3, strategy, 19);
+            for chunk in stream.chunks(407) {
+                batched.update_batch(chunk);
+            }
+            let mut parallel = sharded_turnstile(3, strategy, 19);
+            parallel.update_batch(&stream);
+            assert!(parallel.runtime_active(), "cutoff must start the runtime");
+            for draw in 0..4 {
+                let want = looped.sample();
+                assert_eq!(
+                    want,
+                    batched.sample(),
+                    "{strategy:?} batch path diverged at draw {draw}"
+                );
+                assert_eq!(
+                    want,
+                    parallel.sample(),
+                    "{strategy:?} runtime path diverged at draw {draw}"
+                );
+            }
+        }
+    }
+
+    /// The sharded turnstile sampler answers exactly like one unsharded
+    /// instance over the interleaved stream: merging is linear (syndromes
+    /// and membership counters add), so the shard cut is invisible — the
+    /// merged snapshot is byte-identical, not just distributionally right.
+    #[test]
+    fn sharded_turnstile_equals_single_instance() {
+        let stream = signed_stream(4_000, 389);
+        let mut single = StrictTurnstileF0Sampler::new(512, 77);
+        single.update_batch(&stream);
+        let mut sharded = sharded_turnstile(4, ShardingStrategy::Hash, 77);
+        sharded.update_batch(&stream);
+        let merged = sharded.merged();
+        assert_eq!(
+            merged.snapshot(),
+            single.snapshot(),
+            "merged turnstile shards drifted from the single instance"
+        );
+        assert_eq!(sharded.sample(), single.sample());
+    }
+
+    /// Snapshot round trip of the sharded turnstile front-end: restore
+    /// continues byte-identically (same draws) as the uninterrupted
+    /// original.
+    #[test]
+    fn sharded_turnstile_snapshot_round_trips() {
+        let stream = signed_stream(3_000, 257);
+        let mut sampler = sharded_turnstile(3, ShardingStrategy::Hash, 5);
+        sampler.update_batch(&stream);
+        let bytes = sampler.snapshot();
+        let mut restored: ShardedSampler<StrictTurnstileF0Sampler, SignedUpdate> =
+            ShardedSampler::restore(&bytes).unwrap();
+        for draw in 0..4 {
+            assert_eq!(
+                sampler.sample(),
+                restored.sample(),
+                "restored sharded turnstile diverged at draw {draw}"
+            );
+        }
     }
 }

@@ -25,10 +25,13 @@
 use std::collections::{HashMap, HashSet};
 use tps_random::{random_subset, StreamRng, Xoshiro256};
 use tps_sketches::SparseRecovery;
+use tps_streams::codec::{self, CodecError, Restore, Snapshot, SnapshotReader, SnapshotWriter};
 use tps_streams::frequency::FrequencyVector;
 use tps_streams::generators::EqualityInstance;
 use tps_streams::space::{hashmap_bytes, hashset_bytes};
-use tps_streams::{Item, SampleOutcome, SignedUpdate, SpaceUsage, TurnstileSampler};
+use tps_streams::{
+    Item, MergeableSampler, SampleOutcome, SignedUpdate, SpaceUsage, TurnstileSampler,
+};
 
 /// The space lower bound of Theorem 1.2, in bits:
 /// `Ω(min{n, log₂ 1/γ})` for any `(ε₀, γ, 1/2)`-approximate `G`-sampler in
@@ -265,7 +268,7 @@ impl MultiPassLpSampler {
 /// The strict-turnstile truly perfect `F_0` sampler of Theorem D.3:
 /// deterministic sparse recovery for small supports, a pre-drawn random
 /// subset with exact membership counters for large supports.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct StrictTurnstileF0Sampler {
     recovery: SparseRecovery,
     subset: HashSet<Item>,
@@ -294,9 +297,123 @@ impl StrictTurnstileF0Sampler {
         }
     }
 
+    /// The universe size `n`.
+    pub fn universe(&self) -> u64 {
+        self.recovery.universe()
+    }
+
     /// Number of updates processed.
     pub fn processed(&self) -> u64 {
         self.processed
+    }
+}
+
+/// Merge with concatenation semantics, by pure linearity: the syndrome
+/// vector adds componentwise ([`SparseRecovery::absorb`]) and the subset
+/// counters add with zero entries dropped — exactly the state sequential
+/// ingestion of the concatenated stream would reach, because every piece of
+/// the sampler's update path is additive in the deltas and **no randomness
+/// is consumed during updates** (the RNG only moves at `sample()` time).
+///
+/// Consequently the merge is **byte-exact for same-seed instances under
+/// *any* partitioning of the update sequence** — stronger than the
+/// insertion-only `F_0` sampler's item-disjoint requirement, and the reason
+/// the sharded front-end can route turnstile streams round-robin as well as
+/// by hash without leaving the exact regime. Merging consumes no coins.
+///
+/// # Panics
+///
+/// Panics if the universes, sparsity budgets or pre-drawn subsets differ
+/// (instances must be built with the same seed).
+impl MergeableSampler for StrictTurnstileF0Sampler {
+    fn merge(mut self, other: Self, _rng: &mut dyn StreamRng) -> Self {
+        assert!(
+            self.recovery.merge_compatible(&other.recovery),
+            "merging turnstile F0 samplers requires equal universes and sparsity budgets"
+        );
+        assert_eq!(
+            self.subset, other.subset,
+            "merging turnstile F0 samplers requires shard instances built with the same seed"
+        );
+        self.recovery.absorb(&other.recovery);
+        self.processed += other.processed;
+        for (item, delta) in other.subset_counts {
+            let entry = self.subset_counts.entry(item).or_insert(0);
+            *entry = entry.wrapping_add(delta);
+            if *entry == 0 {
+                self.subset_counts.remove(&item);
+            }
+        }
+        self
+    }
+
+    fn merge_compatible(&self, other: &Self) -> bool {
+        self.recovery.merge_compatible(&other.recovery) && self.subset == other.subset
+    }
+}
+
+/// Wire format: update count, RNG position, the sparse-recovery component,
+/// the pre-drawn subset (sorted), then the live subset counters sorted by
+/// item (signed counts, two's-complement).
+impl Snapshot for StrictTurnstileF0Sampler {
+    const TAG: u16 = codec::tag::TURNSTILE_F0_SAMPLER;
+
+    fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.put_tag(Self::TAG);
+        w.put_u64(self.processed);
+        self.rng.encode_into(w);
+        self.recovery.encode_into(w);
+        codec::put_sorted_u64_set(w, self.subset.iter().copied());
+        let mut counts: Vec<(Item, i64)> =
+            self.subset_counts.iter().map(|(&i, &c)| (i, c)).collect();
+        counts.sort_unstable_by_key(|&(i, _)| i);
+        w.put_len(counts.len());
+        for (item, count) in counts {
+            w.put_u64(item);
+            w.put_i64(count);
+        }
+    }
+}
+
+impl Restore for StrictTurnstileF0Sampler {
+    fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
+        r.expect_tag(Self::TAG)?;
+        let processed = r.get_u64()?;
+        let rng = Xoshiro256::decode_from(r)?;
+        let recovery = SparseRecovery::decode_from(r)?;
+        let universe = recovery.universe();
+        let sorted = codec::get_sorted_u64_set(r)?;
+        // The subset is drawn from [0, universe); sorted, so the last
+        // element bounds them all.
+        if sorted.last().is_some_and(|&max| max >= universe) {
+            return Err(CodecError::InvalidValue {
+                what: "pre-drawn subset member outside the universe",
+            });
+        }
+        let subset: HashSet<Item> = sorted.into_iter().collect();
+        let len = r.get_len(16)?;
+        let mut subset_counts = HashMap::with_capacity(len);
+        let mut previous: Option<Item> = None;
+        for _ in 0..len {
+            let item = r.get_u64()?;
+            let count = r.get_i64()?;
+            // Canonical: strictly ascending items (distinct for free), keys
+            // inside the pre-drawn subset, zero entries never stored.
+            if previous.is_some_and(|p| p >= item) || count == 0 || !subset.contains(&item) {
+                return Err(CodecError::InvalidValue {
+                    what: "subset counters must be ascending subset members with nonzero counts",
+                });
+            }
+            previous = Some(item);
+            subset_counts.insert(item, count);
+        }
+        Ok(Self {
+            recovery,
+            subset,
+            subset_counts,
+            processed,
+            rng,
+        })
     }
 }
 

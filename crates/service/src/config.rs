@@ -12,11 +12,12 @@ use std::path::PathBuf;
 use tps_core::f0::TrulyPerfectF0Sampler;
 use tps_core::framework::MeasureNormalizer;
 use tps_core::lp::TrulyPerfectLpSampler;
+use tps_core::turnstile::StrictTurnstileF0Sampler;
 use tps_core::TrulyPerfectGSampler;
-use tps_random::Xoshiro256;
+use tps_random::{StreamRng, Xoshiro256};
 use tps_streams::generators::zipfian_stream;
 use tps_streams::measure::Huber;
-use tps_streams::Item;
+use tps_streams::{Item, SignedUpdate};
 
 /// The Huber G-sampler variant the service's `g` kind runs.
 pub type HuberSampler = TrulyPerfectGSampler<Huber, MeasureNormalizer<Huber>>;
@@ -30,15 +31,20 @@ pub enum SamplerKind {
     F0,
     /// Truly perfect Huber M-estimator sampler ([`HuberSampler`]).
     G,
+    /// Strict-turnstile `F_0` sampler ([`StrictTurnstileF0Sampler`]): the
+    /// shards consume *signed* updates from the deterministic
+    /// insert/delete workload of [`job_signed_stream`].
+    Turnstile,
 }
 
 impl SamplerKind {
-    /// Parses the CLI spelling (`l2` | `f0` | `g`).
+    /// Parses the CLI spelling (`l2` | `f0` | `g` | `turnstile`).
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "l2" => Some(SamplerKind::L2),
             "f0" => Some(SamplerKind::F0),
             "g" => Some(SamplerKind::G),
+            "turnstile" => Some(SamplerKind::Turnstile),
             _ => None,
         }
     }
@@ -49,7 +55,14 @@ impl SamplerKind {
             SamplerKind::L2 => "l2",
             SamplerKind::F0 => "f0",
             SamplerKind::G => "g",
+            SamplerKind::Turnstile => "turnstile",
         }
+    }
+
+    /// Whether the kind's shards consume signed (turnstile) updates
+    /// rather than unit insertions.
+    pub fn is_turnstile(self) -> bool {
+        matches!(self, SamplerKind::Turnstile)
     }
 }
 
@@ -77,6 +90,13 @@ pub fn make_f0(universe: u64, seed: u64, _shard: usize) -> TrulyPerfectF0Sampler
     TrulyPerfectF0Sampler::new(universe, DELTA, seed)
 }
 
+/// Shard `shard`'s `turnstile` sampler (shared seed, like `f0`: the
+/// strict-turnstile sampler's merge law requires every shard to pre-draw
+/// the same membership subset and the same syndrome evaluation points).
+pub fn make_turnstile(universe: u64, seed: u64, _shard: usize) -> StrictTurnstileF0Sampler {
+    StrictTurnstileF0Sampler::new(universe, seed)
+}
+
 /// Shard `shard`'s `g` (Huber) sampler.
 pub fn make_g(_universe: u64, seed: u64, shard: usize) -> HuberSampler {
     let g = Huber::new(1.0);
@@ -100,6 +120,32 @@ pub const STREAM_ALPHA: f64 = 1.2;
 pub fn job_stream(universe: u64, count: usize, seed: u64) -> Vec<Item> {
     let mut rng = Xoshiro256::seed_from_u64(seed ^ STREAM_SALT);
     zipfian_stream(&mut rng, universe, count, STREAM_ALPHA)
+}
+
+/// Extra salt separating the turnstile workload's delete coins from the
+/// item draws.
+const DELETE_SALT: u64 = 0xD31E_7E00_0000_0001;
+
+/// The deterministic *strict-turnstile* workload for a `turnstile` job:
+/// the [`job_stream`] Zipf items reinterpreted as signed updates, where
+/// roughly a quarter of the touches delete one unit of an item that still
+/// has positive count. Counts never go negative (the strict-turnstile
+/// promise), and both the coordinator and the reference generate exactly
+/// this sequence.
+pub fn job_signed_stream(universe: u64, count: usize, seed: u64) -> Vec<SignedUpdate> {
+    let items = job_stream(universe, count, seed);
+    let mut coins = Xoshiro256::seed_from_u64(seed ^ STREAM_SALT ^ DELETE_SALT);
+    let mut live: std::collections::HashMap<Item, i64> = std::collections::HashMap::new();
+    items
+        .into_iter()
+        .map(|item| {
+            let entry = live.entry(item).or_insert(0);
+            let delete = *entry > 0 && coins.next_u64().is_multiple_of(4);
+            let delta = if delete { -1 } else { 1 };
+            *entry += delta;
+            SignedUpdate { item, delta }
+        })
+        .collect()
 }
 
 /// Configuration of one worker process (the `worker` subcommand).
@@ -160,10 +206,37 @@ mod tests {
 
     #[test]
     fn kinds_parse_and_print() {
-        for kind in [SamplerKind::L2, SamplerKind::F0, SamplerKind::G] {
+        for kind in [
+            SamplerKind::L2,
+            SamplerKind::F0,
+            SamplerKind::G,
+            SamplerKind::Turnstile,
+        ] {
             assert_eq!(SamplerKind::parse(kind.as_str()), Some(kind));
         }
         assert_eq!(SamplerKind::parse("l3"), None);
+        assert!(SamplerKind::Turnstile.is_turnstile());
+        assert!(!SamplerKind::F0.is_turnstile());
+    }
+
+    #[test]
+    fn signed_job_stream_is_deterministic_and_strict() {
+        let a = job_signed_stream(1 << 10, 20_000, 11);
+        assert_eq!(a, job_signed_stream(1 << 10, 20_000, 11));
+        assert_ne!(a, job_signed_stream(1 << 10, 20_000, 12));
+        // Strict-turnstile: every prefix keeps every count non-negative,
+        // and the workload actually exercises deletions.
+        let mut counts = std::collections::HashMap::new();
+        let mut deletions = 0usize;
+        for update in &a {
+            let entry = counts.entry(update.item).or_insert(0i64);
+            *entry += update.delta;
+            assert!(*entry >= 0, "count for {} went negative", update.item);
+            if update.delta < 0 {
+                deletions += 1;
+            }
+        }
+        assert!(deletions > a.len() / 10, "workload barely deletes");
     }
 
     #[test]
@@ -187,5 +260,10 @@ mod tests {
         use tps_streams::Snapshot;
         assert_eq!(make_f0(64, 9, 0).snapshot(), make_f0(64, 9, 1).snapshot());
         assert_ne!(make_l2(64, 9, 0).snapshot(), make_l2(64, 9, 1).snapshot());
+        // The turnstile kind shares a seed for the same reason as `f0`.
+        assert_eq!(
+            make_turnstile(64, 9, 0).snapshot(),
+            make_turnstile(64, 9, 1).snapshot()
+        );
     }
 }

@@ -26,13 +26,19 @@ use std::io::{self, BufReader, BufWriter};
 use std::path::Path;
 use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
 
-use tps_core::sharded::{hash_route, ShardedSamplerBuilder, ShardingStrategy, MERGE_SEED_SALT};
+use tps_core::sharded::{
+    hash_route, ShardedSampler, ShardedSamplerBuilder, ShardingStrategy, MERGE_SEED_SALT,
+};
 use tps_random::Xoshiro256;
 use tps_streams::codec::{checksum, Restore, Snapshot};
-use tps_streams::wire::{read_message, write_message, BarrierKind, WireError, WireMessage};
-use tps_streams::{Item, MergeableSampler, SampleOutcome, StreamSampler};
+use tps_streams::wire::{
+    read_message, write_message, BarrierKind, IngestPayload, WireError, WireMessage,
+};
+use tps_streams::{MergeableSampler, SampleOutcome, StreamUpdate, UpdateSampler};
 
-use crate::config::{job_stream, make_f0, make_g, make_l2, JobConfig, SamplerKind};
+use crate::config::{
+    job_signed_stream, job_stream, make_f0, make_g, make_l2, make_turnstile, JobConfig, SamplerKind,
+};
 
 fn wire_to_io(e: WireError) -> io::Error {
     match e {
@@ -102,17 +108,17 @@ fn describe(outcome: SampleOutcome) -> String {
 }
 
 /// One live worker process plus its replay buffer.
-struct WorkerHandle {
+struct WorkerHandle<U> {
     shard: usize,
     child: Child,
     input: BufWriter<ChildStdin>,
     output: BufReader<ChildStdout>,
     /// Chunks sent since the last acked checkpoint, each tagged with the
     /// epoch of the last barrier sent before it.
-    replay: Vec<(u64, Vec<Item>)>,
+    replay: Vec<(u64, Vec<U>)>,
 }
 
-impl WorkerHandle {
+impl<U: IngestPayload> WorkerHandle<U> {
     fn send(&mut self, msg: &WireMessage) -> io::Result<()> {
         write_message(&mut self.input, msg)
     }
@@ -146,7 +152,11 @@ impl WorkerHandle {
 
 /// Spawns the worker process for `shard` and completes its handshake,
 /// returning the handle and the epoch it recovered to (`0` = fresh).
-fn spawn_worker(cfg: &JobConfig, exe: &Path, shard: usize) -> io::Result<(WorkerHandle, u64)> {
+fn spawn_worker<U: IngestPayload>(
+    cfg: &JobConfig,
+    exe: &Path,
+    shard: usize,
+) -> io::Result<(WorkerHandle<U>, u64)> {
     let mut child = Command::new(exe)
         .arg("worker")
         .arg("--shard")
@@ -187,16 +197,18 @@ fn spawn_worker(cfg: &JobConfig, exe: &Path, shard: usize) -> io::Result<(Worker
 /// brings up a replacement: the fresh process recovers from its on-disk
 /// chain, and the coordinator re-sends the buffered chunks the recovered
 /// checkpoint does not cover.
-fn restart_worker(cfg: &JobConfig, exe: &Path, handle: &mut WorkerHandle) -> io::Result<()> {
+fn restart_worker<U: IngestPayload>(
+    cfg: &JobConfig,
+    exe: &Path,
+    handle: &mut WorkerHandle<U>,
+) -> io::Result<()> {
     handle.child.kill()?;
     handle.child.wait()?;
     let (mut fresh, resume_epoch) = spawn_worker(cfg, exe, handle.shard)?;
     let replay = std::mem::take(&mut handle.replay);
     for (tag, items) in replay {
         if tag >= resume_epoch {
-            fresh.send(&WireMessage::Ingest {
-                items: items.clone(),
-            })?;
+            fresh.send(&U::into_ingest(items.clone()))?;
             fresh.replay.push((tag, items));
         }
     }
@@ -207,7 +219,10 @@ fn restart_worker(cfg: &JobConfig, exe: &Path, handle: &mut WorkerHandle) -> io:
 
 /// Runs the checkpoint barrier at `epoch`: every worker appends a frame
 /// durably and acks; acked buffers shrink to the uncovered suffix.
-fn checkpoint_barrier(workers: &mut [WorkerHandle], epoch: u64) -> io::Result<()> {
+fn checkpoint_barrier<U: IngestPayload>(
+    workers: &mut [WorkerHandle<U>],
+    epoch: u64,
+) -> io::Result<()> {
     for worker in workers.iter_mut() {
         worker.send(&WireMessage::Barrier {
             epoch,
@@ -228,7 +243,10 @@ fn checkpoint_barrier(workers: &mut [WorkerHandle], epoch: u64) -> io::Result<()
 
 /// Runs the query barrier at `epoch`, returning the consistent-cut
 /// snapshots in shard order.
-fn query_barrier(workers: &mut [WorkerHandle], epoch: u64) -> io::Result<Vec<Vec<u8>>> {
+fn query_barrier<U: IngestPayload>(
+    workers: &mut [WorkerHandle<U>],
+    epoch: u64,
+) -> io::Result<Vec<Vec<u8>>> {
     for worker in workers.iter_mut() {
         worker.send(&WireMessage::Barrier {
             epoch,
@@ -251,9 +269,14 @@ fn query_barrier(workers: &mut [WorkerHandle], epoch: u64) -> io::Result<Vec<Vec
 /// Restores the per-shard snapshots and fold-merges them in shard order,
 /// with merge coins from `seed ^ MERGE_SEED_SALT` — the exact recipe of an
 /// in-process sharded sampler's first merged query.
-fn merge_snapshots<S>(snapshots: &[Vec<u8>], seed: u64, processed: u64) -> io::Result<QueryReport>
+fn merge_snapshots<S, U>(
+    snapshots: &[Vec<u8>],
+    seed: u64,
+    processed: u64,
+) -> io::Result<QueryReport>
 where
-    S: MergeableSampler + Snapshot + Restore,
+    S: MergeableSampler + UpdateSampler<U> + Snapshot + Restore,
+    U: StreamUpdate,
 {
     let mut rng = Xoshiro256::seed_from_u64(seed ^ MERGE_SEED_SALT);
     let mut shards = snapshots.iter().enumerate().map(|(index, bytes)| {
@@ -272,7 +295,7 @@ where
     Ok(QueryReport {
         processed,
         merged_fnv: checksum(&merged_bytes),
-        sample: describe(merged.sample()),
+        sample: describe(merged.draw()),
     })
 }
 
@@ -285,30 +308,33 @@ fn merge_report(
     use crate::config::HuberSampler;
     use tps_core::f0::TrulyPerfectF0Sampler;
     use tps_core::lp::TrulyPerfectLpSampler;
+    use tps_core::turnstile::StrictTurnstileF0Sampler;
+    use tps_streams::{Item, SignedUpdate};
     match kind {
-        SamplerKind::L2 => merge_snapshots::<TrulyPerfectLpSampler>(snapshots, seed, processed),
-        SamplerKind::F0 => merge_snapshots::<TrulyPerfectF0Sampler>(snapshots, seed, processed),
-        SamplerKind::G => merge_snapshots::<HuberSampler>(snapshots, seed, processed),
+        SamplerKind::L2 => {
+            merge_snapshots::<TrulyPerfectLpSampler, Item>(snapshots, seed, processed)
+        }
+        SamplerKind::F0 => {
+            merge_snapshots::<TrulyPerfectF0Sampler, Item>(snapshots, seed, processed)
+        }
+        SamplerKind::G => merge_snapshots::<HuberSampler, Item>(snapshots, seed, processed),
+        SamplerKind::Turnstile => {
+            merge_snapshots::<StrictTurnstileF0Sampler, SignedUpdate>(snapshots, seed, processed)
+        }
     }
 }
 
-/// Runs the whole job: spawn workers, stream, checkpoint, (optionally)
-/// kill and recover one worker, query, merge, shut down.
-pub fn run_coordinator(cfg: &JobConfig) -> io::Result<QueryReport> {
-    assert!(cfg.workers > 0, "need at least one worker");
-    assert!(cfg.chunk > 0, "chunk size must be positive");
-    assert!(
-        cfg.checkpoint_every > 0,
-        "checkpoint cadence must be positive"
-    );
+/// The kind-generic job body: spawn workers, route the stream, checkpoint,
+/// (optionally) kill and recover one worker, query, shut down. Returns the
+/// consistent-cut snapshots of the final query barrier.
+fn drive_job<U: IngestPayload>(cfg: &JobConfig, stream: &[U]) -> io::Result<Vec<Vec<u8>>> {
     let exe = match &cfg.worker_exe {
         Some(path) => path.clone(),
         None => std::env::current_exe()?,
     };
     std::fs::create_dir_all(&cfg.checkpoint_dir)?;
 
-    let stream = job_stream(cfg.universe, cfg.count, cfg.seed);
-    let mut workers = Vec::with_capacity(cfg.workers);
+    let mut workers: Vec<WorkerHandle<U>> = Vec::with_capacity(cfg.workers);
     for shard in 0..cfg.workers {
         let (handle, resume_epoch) = spawn_worker(cfg, &exe, shard)?;
         if resume_epoch != 0 {
@@ -324,18 +350,16 @@ pub fn run_coordinator(cfg: &JobConfig) -> io::Result<QueryReport> {
     let mut chunks_routed = 0u64;
     let mut kill_pending = cfg.kill;
     for chunk in stream.chunks(cfg.chunk) {
-        let mut routed: Vec<Vec<Item>> = vec![Vec::new(); cfg.workers];
-        for &item in chunk {
-            routed[hash_route(item, cfg.workers)].push(item);
+        let mut routed: Vec<Vec<U>> = vec![Vec::new(); cfg.workers];
+        for &update in chunk {
+            routed[hash_route(update.route_key(), cfg.workers)].push(update);
         }
-        for (worker, items) in workers.iter_mut().zip(routed) {
-            if items.is_empty() {
+        for (worker, updates) in workers.iter_mut().zip(routed) {
+            if updates.is_empty() {
                 continue;
             }
-            worker.send(&WireMessage::Ingest {
-                items: items.clone(),
-            })?;
-            worker.replay.push((epoch, items));
+            worker.send(&U::into_ingest(updates.clone()))?;
+            worker.replay.push((epoch, updates));
         }
         chunks_routed += 1;
         if let Some(kill) = kill_pending {
@@ -361,35 +385,70 @@ pub fn run_coordinator(cfg: &JobConfig) -> io::Result<QueryReport> {
     for worker in workers.iter_mut() {
         worker.child.wait()?;
     }
-    merge_report(cfg.sampler, &snapshots, cfg.seed, stream.len() as u64)
+    Ok(snapshots)
+}
+
+/// Runs the whole job: spawn workers, stream, checkpoint, (optionally)
+/// kill and recover one worker, query, merge, shut down.
+pub fn run_coordinator(cfg: &JobConfig) -> io::Result<QueryReport> {
+    assert!(cfg.workers > 0, "need at least one worker");
+    assert!(cfg.chunk > 0, "chunk size must be positive");
+    assert!(
+        cfg.checkpoint_every > 0,
+        "checkpoint cadence must be positive"
+    );
+    let (snapshots, processed) = if cfg.sampler.is_turnstile() {
+        let stream = job_signed_stream(cfg.universe, cfg.count, cfg.seed);
+        (drive_job(cfg, &stream)?, stream.len() as u64)
+    } else {
+        let stream = job_stream(cfg.universe, cfg.count, cfg.seed);
+        (drive_job(cfg, &stream)?, stream.len() as u64)
+    };
+    merge_report(cfg.sampler, &snapshots, cfg.seed, processed)
 }
 
 /// The single-process reference: an in-process sharded sampler over the
 /// identical stream, queried once. Its report must equal the service's —
 /// that equality is the distributed correctness gate.
 pub fn run_reference(cfg: &JobConfig) -> QueryReport {
-    fn typed<S>(cfg: &JobConfig, make: impl FnMut(usize) -> S) -> QueryReport
+    fn typed<S, U>(
+        cfg: &JobConfig,
+        stream: &[U],
+        build: impl FnOnce(ShardedSamplerBuilder) -> ShardedSampler<S, U>,
+    ) -> QueryReport
     where
-        S: MergeableSampler + Clone + Send + Snapshot + Restore + 'static,
+        S: MergeableSampler + UpdateSampler<U> + Clone + Send + Snapshot + Restore + 'static,
+        U: StreamUpdate,
     {
-        let stream = job_stream(cfg.universe, cfg.count, cfg.seed);
-        let mut sampler = ShardedSamplerBuilder::new(cfg.workers)
-            .strategy(ShardingStrategy::Hash)
-            .seed(cfg.seed)
-            .build(make);
-        sampler.update_batch(&stream);
+        let mut sampler = build(
+            ShardedSamplerBuilder::new(cfg.workers)
+                .strategy(ShardingStrategy::Hash)
+                .seed(cfg.seed),
+        );
+        sampler.ingest_batch(stream);
         let mut merged = sampler.merged();
         let merged_bytes = merged.snapshot();
         QueryReport {
             processed: stream.len() as u64,
             merged_fnv: checksum(&merged_bytes),
-            sample: describe(merged.sample()),
+            sample: describe(merged.draw()),
         }
     }
     match cfg.sampler {
-        SamplerKind::L2 => typed(cfg, |shard| make_l2(cfg.universe, cfg.seed, shard)),
-        SamplerKind::F0 => typed(cfg, |shard| make_f0(cfg.universe, cfg.seed, shard)),
-        SamplerKind::G => typed(cfg, |shard| make_g(cfg.universe, cfg.seed, shard)),
+        SamplerKind::L2 => typed(cfg, &job_stream(cfg.universe, cfg.count, cfg.seed), |b| {
+            b.build(|shard| make_l2(cfg.universe, cfg.seed, shard))
+        }),
+        SamplerKind::F0 => typed(cfg, &job_stream(cfg.universe, cfg.count, cfg.seed), |b| {
+            b.build(|shard| make_f0(cfg.universe, cfg.seed, shard))
+        }),
+        SamplerKind::G => typed(cfg, &job_stream(cfg.universe, cfg.count, cfg.seed), |b| {
+            b.build(|shard| make_g(cfg.universe, cfg.seed, shard))
+        }),
+        SamplerKind::Turnstile => typed(
+            cfg,
+            &job_signed_stream(cfg.universe, cfg.count, cfg.seed),
+            |b| b.build_turnstile(|shard| make_turnstile(cfg.universe, cfg.seed, shard)),
+        ),
     }
 }
 

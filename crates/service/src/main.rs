@@ -9,12 +9,12 @@ use tps_service::{coordinator, worker};
 
 fn usage() -> String {
     "usage:\n  \
-     tps-service worker --shard N --sampler l2|f0|g --universe U --seed S \
+     tps-service worker --shard N --sampler l2|f0|g|turnstile --universe U --seed S \
      --checkpoint-dir DIR\n  \
-     tps-service coordinator --workers K --sampler l2|f0|g --universe U --seed S \
+     tps-service coordinator --workers K --sampler l2|f0|g|turnstile --universe U --seed S \
      --count N --chunk C --checkpoint-every E --checkpoint-dir DIR \
      [--kill-shard J --kill-after-chunks M] [--worker-exe PATH]\n  \
-     tps-service reference --workers K --sampler l2|f0|g --universe U --seed S --count N"
+     tps-service reference --workers K --sampler l2|f0|g|turnstile --universe U --seed S --count N"
         .to_string()
 }
 

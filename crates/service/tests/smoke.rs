@@ -88,7 +88,12 @@ fn run_service(cfg: &JobConfig) -> QueryReport {
 
 #[test]
 fn service_matches_single_process_reference_for_every_kind() {
-    for kind in [SamplerKind::L2, SamplerKind::F0, SamplerKind::G] {
+    for kind in [
+        SamplerKind::L2,
+        SamplerKind::F0,
+        SamplerKind::G,
+        SamplerKind::Turnstile,
+    ] {
         let dir = fresh_dir(&format!("ref-{}", kind.as_str()));
         let cfg = base_job(kind, dir.clone());
         let service = run_service(&cfg);
@@ -151,6 +156,40 @@ fn killed_worker_recovers_byte_identically() {
             .iter()
             .any(|kind| matches!(kind, FrameKind::Delta { .. })),
         "no delta frames in the killed shard's chain: {kinds:?}"
+    );
+
+    std::fs::remove_dir_all(&calm_dir).unwrap();
+    std::fs::remove_dir_all(&chaos_dir).unwrap();
+}
+
+/// The turnstile kind survives a SIGKILL the same way: delta-chain
+/// recovery plus replay reproduces the uninterrupted signed-stream run
+/// byte for byte, and both match the in-process reference.
+#[test]
+fn killed_turnstile_worker_recovers_byte_identically() {
+    let calm_dir = fresh_dir("turnstile-calm");
+    let calm_cfg = base_job(SamplerKind::Turnstile, calm_dir.clone());
+    let calm = run_service(&calm_cfg);
+
+    let chaos_dir = fresh_dir("turnstile-chaos");
+    let chaos_cfg = JobConfig {
+        checkpoint_dir: chaos_dir.clone(),
+        kill: Some(KillSpec {
+            shard: 1,
+            after_chunks: 11,
+        }),
+        ..base_job(SamplerKind::Turnstile, chaos_dir.clone())
+    };
+    let chaos = run_service(&chaos_cfg);
+
+    assert_eq!(
+        calm, chaos,
+        "turnstile recovery run drifted from the uninterrupted run"
+    );
+    assert_eq!(
+        calm,
+        run_reference(&calm_cfg),
+        "turnstile service drifted from reference"
     );
 
     std::fs::remove_dir_all(&calm_dir).unwrap();

@@ -25,6 +25,7 @@
 //! this substitution is weaker than the paper's deterministic tester
 //! (Theorem D.1) — see `DESIGN.md` §2 for the discussion.
 
+use tps_streams::codec::{self, CodecError, Restore, Snapshot, SnapshotReader, SnapshotWriter};
 use tps_streams::space::vec_bytes;
 use tps_streams::{Item, SignedUpdate, SpaceUsage};
 
@@ -220,9 +221,42 @@ impl SparseRecovery {
         self.sparsity
     }
 
+    /// The universe size `n` the structure recovers over.
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
     /// Number of updates processed.
     pub fn updates_processed(&self) -> u64 {
         self.updates_processed
+    }
+
+    /// Whether [`SparseRecovery::absorb`] accepts `other`: same sparsity
+    /// budget and universe (the syndrome vectors are then evaluations of
+    /// the same power sums and add componentwise).
+    pub fn merge_compatible(&self, other: &Self) -> bool {
+        self.sparsity == other.sparsity && self.universe == other.universe
+    }
+
+    /// Merges `other` into `self` by componentwise field addition of the
+    /// syndromes. The syndromes are linear in the frequency vector, so the
+    /// result is **byte-identical** to the structure a single instance
+    /// would hold after processing `self`'s stream followed by `other`'s —
+    /// under *any* partitioning of the updates, not just item-disjoint
+    /// ones. No randomness is involved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sparsity budgets or universes differ.
+    pub fn absorb(&mut self, other: &Self) {
+        assert!(
+            self.merge_compatible(other),
+            "merging sparse recoveries requires equal sparsity and universe"
+        );
+        for (s, &o) in self.syndromes.iter_mut().zip(&other.syndromes) {
+            *s = fadd(*s, o);
+        }
+        self.updates_processed += other.updates_processed;
     }
 
     /// Processes one signed update (`O(k)` field operations).
@@ -323,6 +357,74 @@ impl SparseRecovery {
             .collect();
         out.sort_unstable_by_key(|&(i, _)| i);
         Some(out)
+    }
+}
+
+/// Wire format: sparsity, universe, update count, then the full syndrome
+/// vector in power order. The structure is deterministic (no RNG), so the
+/// syndromes *are* the complete state.
+impl Snapshot for SparseRecovery {
+    const TAG: u16 = codec::tag::SPARSE_RECOVERY;
+
+    fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.put_tag(Self::TAG);
+        w.put_usize(self.sparsity);
+        w.put_u64(self.universe);
+        w.put_u64(self.updates_processed);
+        w.put_len(self.syndromes.len());
+        for &s in &self.syndromes {
+            w.put_u64(s);
+        }
+    }
+}
+
+impl Restore for SparseRecovery {
+    fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
+        r.expect_tag(Self::TAG)?;
+        let sparsity = r.get_usize()?;
+        if sparsity == 0 {
+            return Err(CodecError::InvalidValue {
+                what: "sparsity must be positive",
+            });
+        }
+        let universe = r.get_u64()?;
+        if universe == 0 {
+            return Err(CodecError::InvalidValue {
+                what: "universe must be non-empty",
+            });
+        }
+        let updates_processed = r.get_u64()?;
+        let len = r.get_len(8)?;
+        // The syndrome count is a function of the sparsity (2k + extra);
+        // a mismatch means the declared sparsity and the vector disagree.
+        if len
+            != sparsity
+                .checked_mul(2)
+                .and_then(|n| n.checked_add(Self::EXTRA_SYNDROMES))
+                .ok_or(CodecError::InvalidValue {
+                    what: "sparsity overflows the syndrome count",
+                })?
+        {
+            return Err(CodecError::InvalidValue {
+                what: "syndrome count must be 2·sparsity + 4",
+            });
+        }
+        let mut syndromes = Vec::with_capacity(len);
+        for _ in 0..len {
+            let s = r.get_u64()?;
+            if s >= FIELD_PRIME {
+                return Err(CodecError::InvalidValue {
+                    what: "syndrome outside the field",
+                });
+            }
+            syndromes.push(s);
+        }
+        Ok(Self {
+            sparsity,
+            universe,
+            syndromes,
+            updates_processed,
+        })
     }
 }
 
@@ -453,5 +555,57 @@ mod tests {
     fn out_of_universe_item_panics() {
         let mut sr = SparseRecovery::new(2, 10);
         sr.insert(10);
+    }
+
+    #[test]
+    fn absorb_is_byte_identical_to_sequential_ingest() {
+        // Linearity: any split of the update sequence absorbs back to the
+        // sequential state, snapshot bytes included.
+        let updates: Vec<SignedUpdate> = (0..200u64)
+            .map(|i| SignedUpdate {
+                item: i % 37,
+                delta: if i % 3 == 0 { -2 } else { 5 },
+            })
+            .collect();
+        let mut sequential = SparseRecovery::new(5, 40);
+        for &u in &updates {
+            sequential.update(u);
+        }
+        for split in [0, 1, 50, 199, 200] {
+            let mut left = SparseRecovery::new(5, 40);
+            let mut right = SparseRecovery::new(5, 40);
+            for &u in &updates[..split] {
+                left.update(u);
+            }
+            for &u in &updates[split..] {
+                right.update(u);
+            }
+            assert!(left.merge_compatible(&right));
+            left.absorb(&right);
+            assert_eq!(left.snapshot(), sequential.snapshot(), "split {split}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal sparsity and universe")]
+    fn absorb_rejects_mismatched_shapes() {
+        let mut a = SparseRecovery::new(2, 10);
+        let b = SparseRecovery::new(3, 10);
+        assert!(!a.merge_compatible(&b));
+        a.absorb(&b);
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_validates() {
+        let mut sr = SparseRecovery::new(4, 1000);
+        sr.insert(3);
+        sr.delete(901);
+        let bytes = sr.snapshot();
+        let restored = SparseRecovery::restore(&bytes).unwrap();
+        assert_eq!(restored.snapshot(), bytes);
+        assert_eq!(restored.sparsity(), 4);
+        assert_eq!(restored.universe(), 1000);
+        assert_eq!(restored.updates_processed(), 2);
+        assert_eq!(restored.recover(), sr.recover());
     }
 }

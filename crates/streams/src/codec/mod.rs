@@ -107,6 +107,8 @@ pub mod tag {
     pub const COUNT_SKETCH: u16 = 0x0024;
     /// `tps_sketches::AmsFpEstimator`.
     pub const AMS_FP_ESTIMATOR: u16 = 0x0025;
+    /// `tps_sketches::SparseRecovery` (Reed–Solomon syndrome vector).
+    pub const SPARSE_RECOVERY: u16 = 0x0026;
     /// `tps_core::engine::SkipAheadEngine`.
     pub const SKIP_AHEAD_ENGINE: u16 = 0x0030;
     /// `tps_core::framework::MeasureNormalizer`.
@@ -129,6 +131,8 @@ pub mod tag {
     pub const SLIDING_LP_SAMPLER: u16 = 0x0039;
     /// `tps_core::sharded::ShardedSampler` (per-shard snapshots + router).
     pub const SHARDED_SAMPLER: u16 = 0x003A;
+    /// `tps_core::turnstile::StrictTurnstileF0Sampler`.
+    pub const TURNSTILE_F0_SAMPLER: u16 = 0x003B;
     /// `tps_window::SmoothHistogram`.
     pub const SMOOTH_HISTOGRAM: u16 = 0x0040;
     /// The AMS-estimator factory inside `tps_window::estimate`.

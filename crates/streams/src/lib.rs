@@ -50,7 +50,8 @@ pub use measure::{CappedCount, ConcaveLog, Fair, Huber, Lp, MeasureFn, Tukey, L1
 pub use merge::{MergeableSampler, MergeableSummary};
 pub use model::{
     Estimator, MatrixSampler, SampleOutcome, SlidingWindowSampler, StreamSampler, TurnstileSampler,
+    UpdateSampler,
 };
 pub use space::SpaceUsage;
 pub use spsc::Backpressure;
-pub use update::{Item, MatrixUpdate, SignedUpdate, Timestamp, WindowSpec};
+pub use update::{Item, MatrixUpdate, SignedUpdate, StreamUpdate, Timestamp, WindowSpec};

@@ -36,11 +36,10 @@
 //! `ShardedSampler` in `tps-core` builds the scatter-gather front-end on
 //! top of these traits.
 
-use crate::model::StreamSampler;
 use tps_random::StreamRng;
 
-/// A stream sampler whose instances can be merged into one that answers for
-/// the combined stream.
+/// A sampler whose instances can be merged into one that answers for the
+/// combined stream.
 ///
 /// Implementations must document their merge semantics precisely; the
 /// contract is *concatenation*: `a.merge(b, rng)` behaves as a sampler that
@@ -48,7 +47,15 @@ use tps_random::StreamRng;
 /// partitioning this makes `k`-shard ingest + merge distributionally
 /// equivalent to sequential ingest of the interleaved stream
 /// (`tests/properties.rs` enforces this merge law).
-pub trait MergeableSampler: StreamSampler + Sized {
+///
+/// Deliberately *not* a subtrait of [`StreamSampler`]: mergeability is
+/// about combining states, not about which update type fed them, so
+/// insertion-only and turnstile samplers implement the same trait. Code
+/// that also needs to ingest bounds the ingest capability separately
+/// (e.g. `MergeableSampler + UpdateSampler<U>`).
+///
+/// [`StreamSampler`]: crate::model::StreamSampler
+pub trait MergeableSampler: Sized {
     /// Merges `other` into `self`, returning a sampler for the combined
     /// stream. `rng` supplies the coins of the randomized combined-state
     /// draw (implementations that need none ignore it).

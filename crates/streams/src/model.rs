@@ -129,6 +129,61 @@ pub trait TurnstileSampler {
     }
 }
 
+/// The kind-generic ingest capability the sampler-family layer routes
+/// through: "a sampler that consumes updates of type `U`".
+///
+/// [`StreamSampler`] and [`TurnstileSampler`] fix their update types
+/// (unit insertions vs. signed updates) and that is the right surface for
+/// algorithm code. The *plumbing* above them — shard scatter, staged
+/// runtime ingest, the cross-process worker loop — is identical for both
+/// models, so it is written once against this trait and instantiated per
+/// update type. The two blanket impls below connect the worlds: every
+/// insertion-only sampler ingests [`Item`]s, every turnstile sampler
+/// ingests [`SignedUpdate`]s, with no per-type glue.
+///
+/// The batch ≡ loop law is inherited verbatim: `ingest_batch` must leave
+/// the sampler in the state the per-update loop would (RNG position
+/// included).
+pub trait UpdateSampler<U: crate::update::StreamUpdate> {
+    /// Processes one update.
+    fn ingest(&mut self, update: U);
+
+    /// Processes a contiguous batch of updates (amortised fast path where
+    /// the underlying sampler has one).
+    fn ingest_batch(&mut self, updates: &[U]);
+
+    /// Draws an outcome for the stream processed so far.
+    fn draw(&mut self) -> SampleOutcome;
+}
+
+impl<S: StreamSampler> UpdateSampler<Item> for S {
+    fn ingest(&mut self, update: Item) {
+        self.update(update);
+    }
+
+    fn ingest_batch(&mut self, updates: &[Item]) {
+        self.update_batch(updates);
+    }
+
+    fn draw(&mut self) -> SampleOutcome {
+        self.sample()
+    }
+}
+
+impl<S: TurnstileSampler> UpdateSampler<SignedUpdate> for S {
+    fn ingest(&mut self, update: SignedUpdate) {
+        self.update(update);
+    }
+
+    fn ingest_batch(&mut self, updates: &[SignedUpdate]) {
+        self.update_batch(updates);
+    }
+
+    fn draw(&mut self) -> SampleOutcome {
+        self.sample()
+    }
+}
+
 /// A row sampler over an insertion-only stream of matrix updates
 /// (Section 3.2.3).
 pub trait MatrixSampler {

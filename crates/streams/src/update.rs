@@ -33,6 +33,34 @@ impl SignedUpdate {
     }
 }
 
+/// An update a sharded front-end can route: any update type that names the
+/// coordinate it touches.
+///
+/// This is the seam the sampler-family layer is built on. The scatter /
+/// stage / flush plumbing in `tps_core` (and the ingest service above it)
+/// only ever needs two things from an update — a copyable value to move
+/// through queues, and the coordinate that decides which shard owns it.
+/// Insertion-only streams use a bare [`Item`]; turnstile streams use
+/// [`SignedUpdate`]. Hash-routing on [`StreamUpdate::route_key`] sends
+/// every update of a coordinate to the same shard, which is exactly the
+/// item-disjointness the exact merge laws require.
+pub trait StreamUpdate: Copy + Send + std::fmt::Debug + 'static {
+    /// The coordinate this update touches, used for shard routing.
+    fn route_key(self) -> Item;
+}
+
+impl StreamUpdate for Item {
+    fn route_key(self) -> Item {
+        self
+    }
+}
+
+impl StreamUpdate for SignedUpdate {
+    fn route_key(self) -> Item {
+        self.item
+    }
+}
+
 /// A unit update to entry `(row, col)` of an implicit matrix `M ∈ R^{n×d}`
 /// in the insertion-only model (Section 3.2.3 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -43,7 +43,7 @@
 use std::io::{self, Read, Write};
 
 use crate::codec::{seal, tag, unseal, CodecError, SnapshotReader, SnapshotWriter};
-use crate::update::Item;
+use crate::update::{Item, SignedUpdate, StreamUpdate};
 
 /// Hard cap on a single wire message (prefix-declared), validated before
 /// any allocation.
@@ -88,6 +88,13 @@ pub enum WireMessage {
         /// The items of the chunk.
         items: Vec<Item>,
     },
+    /// Coordinator → worker: one routed chunk of signed turnstile updates,
+    /// to be applied in arrival order (the turnstile kinds' counterpart of
+    /// [`WireMessage::Ingest`]).
+    IngestSigned {
+        /// The signed updates of the chunk.
+        updates: Vec<SignedUpdate>,
+    },
     /// Coordinator → worker: a consistency barrier. Everything sent before
     /// it must be applied before the worker acts and acks.
     Barrier {
@@ -114,6 +121,51 @@ const KIND_INGEST: u8 = 1;
 const KIND_BARRIER: u8 = 2;
 const KIND_BARRIER_ACK: u8 = 3;
 const KIND_SHUTDOWN: u8 = 4;
+const KIND_INGEST_SIGNED: u8 = 5;
+
+/// An update type the service can ship in an ingest message: the wire-level
+/// face of the sampler-family layer.
+///
+/// The coordinator and worker loops are written once over
+/// [`StreamUpdate`]; this trait supplies the only two kind-specific moves
+/// they need — wrapping a routed chunk into the right ingest variant and
+/// recognising that variant on arrival. Bare [`Item`]s travel as
+/// [`WireMessage::Ingest`], [`SignedUpdate`]s as
+/// [`WireMessage::IngestSigned`].
+pub trait IngestPayload: StreamUpdate {
+    /// Wraps a routed chunk into this update type's ingest message.
+    fn into_ingest(chunk: Vec<Self>) -> WireMessage;
+
+    /// Extracts the chunk if `msg` is this update type's ingest message;
+    /// hands the message back otherwise so the caller can dispatch it.
+    fn from_ingest(msg: WireMessage) -> Result<Vec<Self>, WireMessage>;
+}
+
+impl IngestPayload for Item {
+    fn into_ingest(chunk: Vec<Self>) -> WireMessage {
+        WireMessage::Ingest { items: chunk }
+    }
+
+    fn from_ingest(msg: WireMessage) -> Result<Vec<Self>, WireMessage> {
+        match msg {
+            WireMessage::Ingest { items } => Ok(items),
+            other => Err(other),
+        }
+    }
+}
+
+impl IngestPayload for SignedUpdate {
+    fn into_ingest(chunk: Vec<Self>) -> WireMessage {
+        WireMessage::IngestSigned { updates: chunk }
+    }
+
+    fn from_ingest(msg: WireMessage) -> Result<Vec<Self>, WireMessage> {
+        match msg {
+            WireMessage::IngestSigned { updates } => Ok(updates),
+            other => Err(other),
+        }
+    }
+}
 
 /// Why reading a message off a byte stream failed: transport trouble or a
 /// frame that arrived intact but does not decode.
@@ -169,6 +221,15 @@ pub fn encode_message(msg: &WireMessage) -> Vec<u8> {
                 w.put_u64(item);
             }
         }
+        WireMessage::IngestSigned { updates } => {
+            w.put_u8(KIND_INGEST_SIGNED);
+            w.put_len(updates.len());
+            for &SignedUpdate { item, delta } in updates {
+                w.put_u64(item);
+                // Two's-complement cast: the full i64 range round-trips.
+                w.put_u64(delta as u64);
+            }
+        }
         WireMessage::Barrier { epoch, kind } => {
             w.put_u8(KIND_BARRIER);
             w.put_u64(*epoch);
@@ -220,6 +281,16 @@ pub fn decode_message(frame: &[u8]) -> Result<WireMessage, CodecError> {
                 items.push(r.get_u64()?);
             }
             WireMessage::Ingest { items }
+        }
+        KIND_INGEST_SIGNED => {
+            let len = r.get_len(16)?;
+            let mut updates = Vec::with_capacity(len);
+            for _ in 0..len {
+                let item = r.get_u64()?;
+                let delta = r.get_u64()? as i64;
+                updates.push(SignedUpdate { item, delta });
+            }
+            WireMessage::IngestSigned { updates }
         }
         KIND_BARRIER => {
             let epoch = r.get_u64()?;
@@ -338,6 +409,15 @@ mod tests {
                 items: (0..1000).collect(),
             },
             WireMessage::Ingest { items: vec![] },
+            WireMessage::IngestSigned {
+                updates: (0..500u64)
+                    .map(|i| SignedUpdate {
+                        item: i,
+                        delta: if i % 3 == 0 { -(i as i64) } else { i as i64 },
+                    })
+                    .collect(),
+            },
+            WireMessage::IngestSigned { updates: vec![] },
             WireMessage::Barrier {
                 epoch: 9,
                 kind: BarrierKind::Checkpoint,
@@ -427,6 +507,66 @@ mod tests {
             decode_message(&frame),
             Err(CodecError::Truncated { .. })
         ));
+    }
+
+    #[test]
+    fn signed_ingest_length_is_validated_before_allocating() {
+        // Same guard as the unsigned variant: a sealed IngestSigned frame
+        // claiming u64::MAX updates fails the 16-bytes-per-update length
+        // check instead of attempting the allocation.
+        let mut w = SnapshotWriter::new();
+        w.put_tag(tag::WIRE_MESSAGE);
+        w.put_u8(5); // KIND_INGEST_SIGNED
+        w.put_u64(u64::MAX);
+        let frame = seal(tag::WIRE_MESSAGE, &w.into_bytes());
+        assert!(matches!(
+            decode_message(&frame),
+            Err(CodecError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn signed_ingest_round_trips_extreme_deltas() {
+        let updates = vec![
+            SignedUpdate {
+                item: u64::MAX,
+                delta: i64::MIN,
+            },
+            SignedUpdate {
+                item: 0,
+                delta: i64::MAX,
+            },
+            SignedUpdate { item: 7, delta: -1 },
+        ];
+        let frame = encode_message(&WireMessage::IngestSigned {
+            updates: updates.clone(),
+        });
+        assert_eq!(
+            decode_message(&frame).unwrap(),
+            WireMessage::IngestSigned { updates }
+        );
+    }
+
+    #[test]
+    fn ingest_payloads_wrap_and_unwrap_their_own_variant() {
+        let items = vec![1u64, 2, 3];
+        match <Item as IngestPayload>::from_ingest(Item::into_ingest(items.clone())) {
+            Ok(got) => assert_eq!(got, items),
+            Err(other) => panic!("item payload bounced: {other:?}"),
+        }
+        let updates = vec![SignedUpdate::insert(4), SignedUpdate::delete(4)];
+        match <SignedUpdate as IngestPayload>::from_ingest(SignedUpdate::into_ingest(
+            updates.clone(),
+        )) {
+            Ok(got) => assert_eq!(got, updates),
+            Err(other) => panic!("signed payload bounced: {other:?}"),
+        }
+        // Cross-kind messages bounce back for the caller to dispatch.
+        assert!(<Item as IngestPayload>::from_ingest(WireMessage::Shutdown).is_err());
+        assert!(
+            <SignedUpdate as IngestPayload>::from_ingest(WireMessage::Ingest { items: vec![] })
+                .is_err()
+        );
     }
 
     #[test]

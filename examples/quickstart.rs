@@ -11,9 +11,11 @@
 //! sampler with [`ShardedSamplerBuilder`], ingest a skewed stream, read
 //! the runtime's backpressure counters, checkpoint mid-stream with
 //! [`snapshot_bytes`], restore a replica with [`restore_bytes`] and show
-//! the two stay byte-identical as both keep ingesting — then draw many
-//! samples with fresh single-instance samplers and compare the empirical
-//! distribution against the exact `f_i² / F_2` target.
+//! the two stay byte-identical as both keep ingesting — then run the
+//! turnstile (insert *and* delete) kind through the same sharded
+//! front-end via [`ShardedSamplerBuilder::build_turnstile`], and finally
+//! draw many samples with fresh single-instance samplers and compare the
+//! empirical distribution against the exact `f_i² / F_2` target.
 
 use truly_perfect_samplers::streams::frequency::FrequencyVector;
 use truly_perfect_samplers::streams::generators::zipfian_stream;
@@ -21,7 +23,8 @@ use truly_perfect_samplers::streams::stats::{expected_sampling_tv, SampleHistogr
 use truly_perfect_samplers::streams::SpaceUsage;
 use truly_perfect_samplers::{
     restore_bytes, snapshot_bytes, Backpressure, SampleOutcome, ShardedSampler,
-    ShardedSamplerBuilder, StreamSampler, TrulyPerfectLpSampler,
+    ShardedSamplerBuilder, SignedUpdate, StreamSampler, StrictTurnstileF0Sampler,
+    TrulyPerfectLpSampler, TurnstileSampler,
 };
 
 fn main() {
@@ -68,6 +71,37 @@ fn main() {
     match sharded.sample() {
         SampleOutcome::Index(item) => println!("merged L2 sample         : item {item}"),
         outcome => println!("merged L2 sample         : {outcome:?}"),
+    }
+    println!();
+
+    // --- Turnstile: the same front-end over signed updates -------------
+    // Inserts plus deletions flow through `build_turnstile`; the shards
+    // share one seed because the turnstile merge law needs identical
+    // pre-drawn subsets (the routing, staging and runtime underneath are
+    // the same kind-generic machinery the L2 front-end just used).
+    let signed: Vec<SignedUpdate> = stream
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &item)| {
+            if i % 3 == 0 {
+                // A transient occurrence: inserted, later deleted.
+                vec![SignedUpdate::insert(item), SignedUpdate::delete(item)]
+            } else {
+                vec![SignedUpdate::insert(item)]
+            }
+        })
+        .collect();
+    let mut turnstile = ShardedSamplerBuilder::new(4)
+        .seed(seed)
+        .build_turnstile(|_shard| StrictTurnstileF0Sampler::new(universe, seed));
+    turnstile.ingest_batch(&signed);
+    println!(
+        "turnstile updates        : {} (with deletions)",
+        signed.len()
+    );
+    match TurnstileSampler::sample(&mut turnstile) {
+        SampleOutcome::Index(item) => println!("merged turnstile sample  : item {item}"),
+        outcome => println!("merged turnstile sample  : {outcome:?}"),
     }
     println!();
 

@@ -50,12 +50,12 @@ pub use tps_window as window;
 pub use tps_core::lp::TrulyPerfectLpSampler;
 pub use tps_core::{
     hash_route, RuntimeStats, ShardedSampler, ShardedSamplerBuilder, ShardingStrategy,
-    TrulyPerfectGSampler,
+    StrictTurnstileF0Sampler, TrulyPerfectGSampler,
 };
 pub use tps_streams::codec::migrate::upgrade_to_current;
 pub use tps_streams::{
     Backpressure, CodecError, MergeableSampler, MergeableSummary, Restore, SampleOutcome,
-    SlidingWindowSampler, Snapshot, StreamSampler, TurnstileSampler,
+    SignedUpdate, SlidingWindowSampler, Snapshot, StreamSampler, TurnstileSampler,
 };
 
 /// Seals `component`'s complete logical state as a versioned, checksummed

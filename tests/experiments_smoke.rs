@@ -38,7 +38,7 @@ fn e2_fractional_lp_space_scaling() {
 
 #[test]
 fn e3_update_time_is_flat_for_truly_perfect_and_grows_for_baseline() {
-    let row = experiments::e3_update_time(20_000, 256, &[8, 32, 128]);
+    let row = experiments::e3_update_time(20_000, 256, &[8, 32, 128], &[100, 10_000]);
     // Truly perfect sampler: per-update cost roughly constant in the
     // baseline's duplication knob (it does not have one).
     // Baseline: cost must grow roughly linearly with duplication.
@@ -51,6 +51,18 @@ fn e3_update_time_is_flat_for_truly_perfect_and_grows_for_baseline() {
     assert!(
         row.truly_perfect_nanos_per_update < first.max(1_000.0) * 10.0,
         "truly perfect update time should not dwarf the cheapest baseline"
+    );
+    // Skip-ahead engine: growing the reservoir count 100x must not grow
+    // the per-element cost anywhere near 100x — the schedule only touches
+    // due slots (generous 10x bound for noisy CI hosts).
+    let engine_small = row.engine_nanos_per_update[0];
+    let engine_big = *row.engine_nanos_per_update.last().unwrap();
+    assert!(
+        engine_big < engine_small.max(50.0) * 10.0,
+        "engine per-update cost should be near-flat in the slot count: \
+         {engine_small} ns at {} slots -> {engine_big} ns at {} slots",
+        row.engine_slot_counts[0],
+        row.engine_slot_counts.last().unwrap()
     );
 }
 

@@ -636,6 +636,96 @@ proptest! {
         }
     }
 
+    /// Turnstile merge law, stronger than the F0 one: same-seed
+    /// `StrictTurnstileF0Sampler` shards merge byte-exactly under *any*
+    /// partitioning of the stream — not just item-disjoint splits —
+    /// because everything the sampler keeps (field syndromes, membership
+    /// counters, processed counts) is linear in the updates and no RNG is
+    /// consumed during ingestion. Checked on snapshot bytes, which also
+    /// pins the RNG position.
+    #[test]
+    fn turnstile_merge_equals_concatenated_stream(
+        updates in strict_stream(),
+        seed in any::<u64>(),
+        split in 0usize..400,
+    ) {
+        use tps_streams::Snapshot;
+        // Interleaved partition: shard A takes even indices, B odd — the
+        // same item's updates land on both shards.
+        let part_a: Vec<SignedUpdate> =
+            updates.iter().step_by(2).copied().collect();
+        let part_b: Vec<SignedUpdate> =
+            updates.iter().skip(1).step_by(2).copied().collect();
+        // And an arbitrary contiguous split.
+        let split = split.min(updates.len());
+        for (a, b) in [
+            (part_a.as_slice(), part_b.as_slice()),
+            (&updates[..split], &updates[split..]),
+        ] {
+            let mut half_a = StrictTurnstileF0Sampler::new(40, seed);
+            let mut half_b = StrictTurnstileF0Sampler::new(40, seed);
+            let mut sequential = StrictTurnstileF0Sampler::new(40, seed);
+            half_a.update_batch(a);
+            half_b.update_batch(b);
+            sequential.update_batch(a);
+            sequential.update_batch(b);
+            prop_assert!(half_a.merge_compatible(&half_b));
+            let mut coins = default_rng(seed ^ 0xC01);
+            let mut merged = half_a.merge(half_b, &mut coins);
+            prop_assert_eq!(
+                merged.snapshot(),
+                sequential.snapshot(),
+                "merged state is not byte-identical to sequential ingestion"
+            );
+            for draw in 0..6 {
+                prop_assert_eq!(merged.sample(), sequential.sample(), "draw {} diverged", draw);
+            }
+        }
+    }
+
+    /// The sharded turnstile front-end obeys batch ≡ loop for both routing
+    /// strategies and arbitrary chunkings, and its merged answer equals a
+    /// single unsharded instance over the interleaved stream (byte-exact,
+    /// by the linear merge law above).
+    #[test]
+    fn sharded_turnstile_batch_equals_loop_and_single_instance(
+        updates in strict_stream(),
+        seed in any::<u64>(),
+        chunk in 1usize..400,
+    ) {
+        use tps_streams::Snapshot;
+        for strategy in [ShardingStrategy::Hash, ShardingStrategy::RoundRobin] {
+            let build = || {
+                ShardedSamplerBuilder::new(3)
+                    .strategy(strategy)
+                    .seed(seed)
+                    // Shared seed: the turnstile merge law requires every
+                    // shard to pre-draw identical structure.
+                    .build_turnstile(|_idx| StrictTurnstileF0Sampler::new(40, seed))
+            };
+            let mut looped = build();
+            for &u in &updates {
+                looped.update(u);
+            }
+            let mut batched = build();
+            for piece in updates.chunks(chunk.max(1)) {
+                batched.update_batch(piece);
+            }
+            let mut single = StrictTurnstileF0Sampler::new(40, seed);
+            single.update_batch(&updates);
+            prop_assert_eq!(
+                looped.merged().snapshot(),
+                single.snapshot(),
+                "{:?}: merged shards drifted from the single instance",
+                strategy
+            );
+            for draw in 0..4 {
+                let want = looped.sample();
+                prop_assert_eq!(want, batched.sample(), "{:?} diverged at draw {}", strategy, draw);
+            }
+        }
+    }
+
     /// The sharded front-end obeys batch ≡ loop for both routing
     /// strategies and arbitrary chunkings: same shard states, same query
     /// RNG position, so repeated samples agree draw for draw.

@@ -34,11 +34,17 @@ use tps_core::framework::{MeasureNormalizer, TrulyPerfectGSampler};
 use tps_core::lp::TrulyPerfectLpSampler;
 use tps_core::sharded::{ShardedSampler, ShardedSamplerBuilder, ShardingStrategy};
 use tps_core::sliding::{SlidingWindowGSampler, SlidingWindowLpSampler};
+use tps_core::turnstile::StrictTurnstileF0Sampler;
 use tps_random::{default_rng, Xoshiro256};
 use tps_sketches::exact_counter::SuffixCountTable;
-use tps_sketches::{AmsFpEstimator, CountMin, CountSketch, MisraGries, SpaceSaving};
+use tps_sketches::{
+    AmsFpEstimator, CountMin, CountSketch, MisraGries, SpaceSaving, SparseRecovery,
+};
 use tps_streams::codec::{self, peek_version, CodecError, Restore, Snapshot, FORMAT_VERSION};
-use tps_streams::{Estimator, Huber, Item, Lp, SlidingWindowSampler, StreamSampler, L1L2};
+use tps_streams::{
+    Estimator, Huber, Item, Lp, SignedUpdate, SlidingWindowSampler, StreamSampler,
+    TurnstileSampler, L1L2,
+};
 
 fn corpus_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -160,6 +166,38 @@ fn build_corpus() -> Vec<(&'static str, Vec<u8>)> {
     }
     corpus.push(("ams_fp_estimator.snap", ams.snapshot()));
 
+    // Strict-turnstile kinds (new tags in PR 8): signed updates with a
+    // deterministic sprinkling of deletes, counts never negative.
+    let signed: Vec<SignedUpdate> = skewed_stream(1_200, 90)
+        .into_iter()
+        .enumerate()
+        .flat_map(|(i, item)| {
+            let mut updates = vec![SignedUpdate { item, delta: 1 }];
+            if i % 3 == 0 {
+                updates.push(SignedUpdate { item, delta: 1 });
+                updates.push(SignedUpdate { item, delta: -1 });
+            }
+            updates
+        })
+        .collect();
+
+    let mut recovery = SparseRecovery::new(12, 90);
+    for &u in &signed {
+        recovery.update(u);
+    }
+    corpus.push(("sparse_recovery.snap", recovery.snapshot()));
+
+    let mut turnstile = StrictTurnstileF0Sampler::new(90, 59);
+    turnstile.update_batch(&signed);
+    corpus.push(("turnstile_f0_sampler.snap", turnstile.snapshot()));
+
+    let mut sharded_turnstile = ShardedSamplerBuilder::new(3)
+        .strategy(ShardingStrategy::Hash)
+        .seed(61)
+        .build_turnstile(|_idx| StrictTurnstileF0Sampler::new(90, 61));
+    sharded_turnstile.update_batch(&signed);
+    corpus.push(("sharded_turnstile_hash.snap", sharded_turnstile.snapshot()));
+
     corpus
 }
 
@@ -183,6 +221,9 @@ const CORPUS_FILES: &[&str] = &[
     "space_saving.snap",
     "suffix_count_table.snap",
     "ams_fp_estimator.snap",
+    "sparse_recovery.snap",
+    "turnstile_f0_sampler.snap",
+    "sharded_turnstile_hash.snap",
 ];
 
 fn reencode<T: Restore>(bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
@@ -212,6 +253,11 @@ fn decode_and_reencode(name: &str, bytes: &[u8]) -> Result<Vec<u8>, CodecError> 
         "space_saving.snap" => reencode::<SpaceSaving>(bytes),
         "suffix_count_table.snap" => reencode::<SuffixCountTable>(bytes),
         "ams_fp_estimator.snap" => reencode::<AmsFpEstimator>(bytes),
+        "sparse_recovery.snap" => reencode::<SparseRecovery>(bytes),
+        "turnstile_f0_sampler.snap" => reencode::<StrictTurnstileF0Sampler>(bytes),
+        "sharded_turnstile_hash.snap" => {
+            reencode::<ShardedSampler<StrictTurnstileF0Sampler, SignedUpdate>>(bytes)
+        }
         other => panic!("corpus file {other} has no registered decoder"),
     }
 }

@@ -18,12 +18,18 @@ use tps_core::framework::{MeasureNormalizer, TrulyPerfectGSampler};
 use tps_core::lp::TrulyPerfectLpSampler;
 use tps_core::sharded::{ShardedSamplerBuilder, ShardingStrategy};
 use tps_core::sliding::{SlidingWindowGSampler, SlidingWindowLpSampler};
+use tps_core::turnstile::StrictTurnstileF0Sampler;
 use tps_random::{default_rng, StreamRng, Xoshiro256};
 use tps_sketches::exact_counter::SuffixCountTable;
-use tps_sketches::{AmsFpEstimator, CountMin, CountSketch, MisraGries, SpaceSaving};
+use tps_sketches::{
+    AmsFpEstimator, CountMin, CountSketch, MisraGries, SpaceSaving, SparseRecovery,
+};
 use tps_streams::codec::{Restore, Snapshot};
 use tps_streams::generators::zipfian_stream;
-use tps_streams::{Estimator, Huber, Item, Lp, SlidingWindowSampler, StreamSampler, L1L2};
+use tps_streams::{
+    Estimator, Huber, Item, Lp, SignedUpdate, SlidingWindowSampler, StreamSampler,
+    TurnstileSampler, L1L2,
+};
 
 /// The core law: snapshot `live`, restore it, then drive both copies
 /// through the same suffix of work; every intermediate and final snapshot
@@ -401,4 +407,79 @@ fn merged_then_updated_sliding_sampler_roundtrips() {
         SlidingWindowSampler::update(s, 8);
         let _ = SlidingWindowSampler::sample(s);
     });
+}
+
+/// Signed (turnstile) workload derived from the Zipf stream: every item
+/// is inserted, and every third position also gets an insert-then-delete
+/// pair, so negative deltas flow through the syndromes while every
+/// prefix stays a strict turnstile stream (no count goes negative).
+fn signed_workload(seed: u64, len: usize, universe: u64) -> Vec<SignedUpdate> {
+    let items = workload(seed, len, universe);
+    let mut out = Vec::with_capacity(len * 2);
+    for (i, &item) in items.iter().enumerate() {
+        out.push(SignedUpdate { item, delta: 1 });
+        if i % 3 == 0 {
+            out.push(SignedUpdate { item, delta: 1 });
+            out.push(SignedUpdate { item, delta: -1 });
+        }
+    }
+    out
+}
+
+#[test]
+fn turnstile_sampler_roundtrip_is_byte_identical() {
+    for seed in 0..3u64 {
+        let stream = signed_workload(110 + seed, 1_800, 120);
+        for split in [0usize, 1, stream.len() / 2, stream.len()] {
+            let mut sampler = StrictTurnstileF0Sampler::new(120, seed);
+            sampler.update_batch(&stream[..split]);
+            assert_roundtrip(&mut sampler, |s| {
+                for chunk in stream[split..].chunks(257) {
+                    s.update_batch(chunk);
+                }
+                // Draws decode the live syndromes and consume RNG; the
+                // restored copy must continue the identical sequence.
+                for _ in 0..4 {
+                    let _ = s.sample();
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn sparse_recovery_roundtrip_is_byte_identical() {
+    let stream = signed_workload(120, 1_000, 80);
+    let mut recovery = SparseRecovery::new(12, 80);
+    for &u in &stream[..600] {
+        recovery.update(u);
+    }
+    assert_roundtrip(&mut recovery, |r| {
+        for &u in &stream[600..] {
+            r.update(u);
+        }
+    });
+}
+
+#[test]
+fn sharded_turnstile_roundtrip_both_strategies() {
+    for strategy in [ShardingStrategy::Hash, ShardingStrategy::RoundRobin] {
+        let stream = signed_workload(130, 2_400, 150);
+        // One shared seed across shards: the turnstile merge law requires
+        // identical pre-drawn subsets.
+        let mut sharded = ShardedSamplerBuilder::new(3)
+            .strategy(strategy)
+            .seed(13)
+            .build_turnstile(|_idx| StrictTurnstileF0Sampler::new(150, 13));
+        sharded.ingest_batch(&stream[..1_500]);
+        assert_roundtrip(&mut sharded, |s| {
+            for chunk in stream[1_500..].chunks(311) {
+                s.ingest_batch(chunk);
+            }
+            // Queries fold-merge clones and draw from the merged state.
+            for _ in 0..3 {
+                let _ = TurnstileSampler::sample(s);
+            }
+        });
+    }
 }
