@@ -1,0 +1,46 @@
+//! Library-level query client: dial a coordinator's query listener, ask
+//! for a consistent-cut sample, get a [`QueryReport`] back. This is the
+//! whole client side of the query plane — one request, one reply, over
+//! the same sealed-envelope wire protocol the ingest path uses.
+
+use std::io;
+
+use tps_streams::wire::transport::{tcp_connect, Connection};
+use tps_streams::wire::{WireError, WireMessage};
+
+use crate::coordinator::QueryReport;
+
+fn wire_to_io(e: WireError) -> io::Error {
+    match e {
+        WireError::Io(e) => e,
+        other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+    }
+}
+
+/// Sends one [`WireMessage::Query`] to the coordinator listening at
+/// `addr` and returns its consistent-cut reply. The coordinator runs a
+/// query barrier at the next chunk boundary; ingest continues after the
+/// snapshot cut, so this never stops the job.
+pub fn query(addr: &str) -> io::Result<QueryReport> {
+    let mut conn = tcp_connect(addr)?;
+    conn.send(&WireMessage::Query)?;
+    match conn.recv().map_err(wire_to_io)? {
+        Some(WireMessage::QueryReply {
+            processed,
+            merged_fnv,
+            sample,
+        }) => Ok(QueryReport {
+            processed,
+            merged_fnv,
+            sample,
+        }),
+        Some(other) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("coordinator answered a query with {other:?}"),
+        )),
+        None => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "coordinator closed the query connection without replying",
+        )),
+    }
+}

@@ -1,11 +1,19 @@
 //! Shared configuration: which sampler family a job runs, how shards are
-//! seeded, and the deterministic workload both the service and the
-//! single-process reference consume.
+//! seeded, the deterministic workload both the service and the
+//! single-process reference consume — and the typed [`JobSpec`] +
+//! [`ServiceBuilder`] that every entry point (CLI, library, manifest
+//! recovery) funnels through.
 //!
 //! Everything here is used by *both* sides of the byte-equality contract
 //! (worker processes and the in-process reference), so it lives in one
 //! place: a seed derivation that drifts between the two would break the
 //! merged-query equality the smoke test pins.
+//!
+//! [`JobSpec`] is codec-serializable (same [`SnapshotWriter`] discipline
+//! as every other persistent structure), which is what lets the
+//! coordinator's durable manifest *be* the config snapshot: a resumed
+//! coordinator reconstructs the full job — sampler kind, workload seed,
+//! transport, chunking — from its chain alone.
 
 use std::path::PathBuf;
 
@@ -15,6 +23,7 @@ use tps_core::lp::TrulyPerfectLpSampler;
 use tps_core::turnstile::StrictTurnstileF0Sampler;
 use tps_core::TrulyPerfectGSampler;
 use tps_random::{StreamRng, Xoshiro256};
+use tps_streams::codec::{CodecError, SnapshotReader, SnapshotWriter};
 use tps_streams::generators::zipfian_stream;
 use tps_streams::measure::Huber;
 use tps_streams::{Item, SignedUpdate};
@@ -148,35 +157,91 @@ pub fn job_signed_stream(universe: u64, count: usize, seed: u64) -> Vec<SignedUp
         .collect()
 }
 
-/// Configuration of one worker process (the `worker` subcommand).
-#[derive(Debug, Clone)]
-pub struct WorkerConfig {
-    /// The shard index this process owns.
-    pub shard: usize,
-    /// Sampler family to instantiate.
-    pub sampler: SamplerKind,
-    /// Universe size `n` of the sampler.
-    pub universe: u64,
-    /// The job seed (per-shard seeds derive via [`shard_seed`]).
-    pub seed: u64,
-    /// Directory holding the per-shard checkpoint chains.
-    pub checkpoint_dir: PathBuf,
+/// Writes a short string (path, endpoint) into a snapshot: length prefix
+/// then raw bytes.
+pub(crate) fn put_str(w: &mut SnapshotWriter, s: &str) {
+    w.put_len(s.len());
+    for &b in s.as_bytes() {
+        w.put_u8(b);
+    }
 }
 
-/// A deterministic fault injection: kill one worker after the coordinator
-/// has routed a given number of chunks, then respawn and recover it.
-#[derive(Debug, Clone, Copy)]
-pub struct KillSpec {
-    /// The shard whose worker process is killed.
-    pub shard: usize,
-    /// Kill after this many stream chunks have been routed.
-    pub after_chunks: u64,
+/// Reads a string written by [`put_str`].
+pub(crate) fn get_str(r: &mut SnapshotReader<'_>) -> Result<String, CodecError> {
+    let len = r.get_len(1)?;
+    let bytes = r.get_bytes(len)?;
+    String::from_utf8(bytes).map_err(|_| CodecError::InvalidValue {
+        what: "string field is not utf-8",
+    })
 }
 
-/// Configuration of a coordinator job (and of the `reference` run that
-/// must match it).
-#[derive(Debug, Clone)]
-pub struct JobConfig {
+/// How the coordinator reaches its workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Child processes over stdin/stdout pipes (single host, zero
+    /// configuration; the coordinator owns the worker lifecycle).
+    Pipe,
+    /// TCP sockets. With an explicit endpoint list (one `host:port` per
+    /// shard, in shard order) the coordinator dials externally-managed
+    /// `worker --listen` processes; with an empty list it spawns loopback
+    /// listen workers itself and reads their ephemeral ports.
+    Tcp {
+        /// Per-shard worker endpoints, or empty to self-spawn on loopback.
+        endpoints: Vec<String>,
+    },
+}
+
+impl TransportKind {
+    /// The CLI spelling (`pipe` | `tcp`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TransportKind::Pipe => "pipe",
+            TransportKind::Tcp { .. } => "tcp",
+        }
+    }
+
+    fn encode_into(&self, w: &mut SnapshotWriter) {
+        match self {
+            TransportKind::Pipe => w.put_u8(0),
+            TransportKind::Tcp { endpoints } => {
+                w.put_u8(1);
+                w.put_len(endpoints.len());
+                for endpoint in endpoints {
+                    put_str(w, endpoint);
+                }
+            }
+        }
+    }
+
+    fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(TransportKind::Pipe),
+            1 => {
+                let n = r.get_len(1)?;
+                let mut endpoints = Vec::with_capacity(n);
+                for _ in 0..n {
+                    endpoints.push(get_str(r)?);
+                }
+                Ok(TransportKind::Tcp { endpoints })
+            }
+            _ => Err(CodecError::InvalidValue {
+                what: "unknown transport kind",
+            }),
+        }
+    }
+}
+
+/// The full, typed description of a job — everything a coordinator needs
+/// to run (or *re-run*) it. Codec-serializable: the durable manifest
+/// embeds the spec verbatim, so `coordinator --resume` needs nothing but
+/// the chain directory.
+///
+/// Deliberately excluded: fault injection ([`KillSpec`]/[`DieSpec`]) and
+/// query-plane wiring ([`QueryPlan`]) — those describe one *invocation*,
+/// not the job, and persisting them would make a resumed coordinator
+/// re-kill itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
     /// Number of worker processes (= shard count).
     pub workers: usize,
     /// Sampler family of every shard.
@@ -192,17 +257,252 @@ pub struct JobConfig {
     pub chunk: usize,
     /// Checkpoint barrier cadence, in chunks.
     pub checkpoint_every: u64,
-    /// Directory holding the per-shard checkpoint chains.
+    /// Directory holding the per-shard checkpoint chains and the
+    /// coordinator's manifest chain.
     pub checkpoint_dir: PathBuf,
-    /// Optional deterministic fault injection.
-    pub kill: Option<KillSpec>,
+    /// How the coordinator reaches its workers.
+    pub transport: TransportKind,
     /// Path to the worker executable; defaults to the current executable.
     pub worker_exe: Option<PathBuf>,
+}
+
+impl JobSpec {
+    /// Validates the invariants every entry point must hold.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("need at least one worker".into());
+        }
+        if self.chunk == 0 {
+            return Err("chunk size must be positive".into());
+        }
+        if self.checkpoint_every == 0 {
+            return Err("checkpoint cadence must be positive".into());
+        }
+        if let TransportKind::Tcp { endpoints } = &self.transport {
+            if !endpoints.is_empty() && endpoints.len() != self.workers {
+                return Err(format!(
+                    "{} endpoints for {} workers (need one per shard, or none to self-spawn)",
+                    endpoints.len(),
+                    self.workers
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the spec into an open snapshot (the manifest's prefix).
+    pub fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.put_usize(self.workers);
+        put_str(w, self.sampler.as_str());
+        w.put_u64(self.universe);
+        w.put_u64(self.seed);
+        w.put_usize(self.count);
+        w.put_usize(self.chunk);
+        w.put_u64(self.checkpoint_every);
+        put_str(w, &self.checkpoint_dir.to_string_lossy());
+        self.transport.encode_into(w);
+        match &self.worker_exe {
+            None => w.put_u8(0),
+            Some(path) => {
+                w.put_u8(1);
+                put_str(w, &path.to_string_lossy());
+            }
+        }
+    }
+
+    /// Reads a spec written by [`Self::encode_into`].
+    pub fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
+        let workers = r.get_usize()?;
+        let sampler = SamplerKind::parse(&get_str(r)?).ok_or(CodecError::InvalidValue {
+            what: "unknown sampler kind",
+        })?;
+        let universe = r.get_u64()?;
+        let seed = r.get_u64()?;
+        let count = r.get_usize()?;
+        let chunk = r.get_usize()?;
+        let checkpoint_every = r.get_u64()?;
+        let checkpoint_dir = PathBuf::from(get_str(r)?);
+        let transport = TransportKind::decode_from(r)?;
+        let worker_exe = match r.get_u8()? {
+            0 => None,
+            1 => Some(PathBuf::from(get_str(r)?)),
+            _ => {
+                return Err(CodecError::InvalidValue {
+                    what: "worker_exe option flag",
+                })
+            }
+        };
+        Ok(Self {
+            workers,
+            sampler,
+            universe,
+            seed,
+            count,
+            chunk,
+            checkpoint_every,
+            checkpoint_dir,
+            transport,
+            worker_exe,
+        })
+    }
+}
+
+/// Fluent constructor for [`JobSpec`] — the one place job invariants are
+/// enforced, mirroring `ShardedSamplerBuilder` in `tps_core`. The CLI is
+/// a thin parser into this builder; library users skip the CLI entirely.
+#[derive(Debug, Clone)]
+pub struct ServiceBuilder {
+    spec: JobSpec,
+}
+
+impl ServiceBuilder {
+    /// A builder for a `kind` job over `workers` shards. Defaults: Zipf
+    /// universe `2^12`, seed 0, 10 000 items in chunks of 1 000,
+    /// checkpoint every 4 chunks, pipe transport, chains in a
+    /// `tps-service` subdirectory of the system temp dir.
+    pub fn new(kind: SamplerKind, workers: usize) -> Self {
+        Self {
+            spec: JobSpec {
+                workers,
+                sampler: kind,
+                universe: 1 << 12,
+                seed: 0,
+                count: 10_000,
+                chunk: 1_000,
+                checkpoint_every: 4,
+                checkpoint_dir: std::env::temp_dir().join("tps-service"),
+                transport: TransportKind::Pipe,
+                worker_exe: None,
+            },
+        }
+    }
+
+    /// Universe size `n` of every shard's sampler.
+    pub fn universe(mut self, universe: u64) -> Self {
+        self.spec.universe = universe;
+        self
+    }
+
+    /// The job seed (workload, shard samplers, merge coins).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Total stream length.
+    pub fn count(mut self, count: usize) -> Self {
+        self.spec.count = count;
+        self
+    }
+
+    /// Items per routed chunk.
+    pub fn chunk(mut self, chunk: usize) -> Self {
+        self.spec.chunk = chunk;
+        self
+    }
+
+    /// Checkpoint barrier cadence, in chunks.
+    pub fn checkpoint_every(mut self, every: u64) -> Self {
+        self.spec.checkpoint_every = every;
+        self
+    }
+
+    /// Directory for the per-shard chains and the coordinator manifest.
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spec.checkpoint_dir = dir.into();
+        self
+    }
+
+    /// Worker transport (pipe or TCP).
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.spec.transport = transport;
+        self
+    }
+
+    /// Worker executable override (tests point this at the built binary).
+    pub fn worker_exe(mut self, exe: impl Into<PathBuf>) -> Self {
+        self.spec.worker_exe = Some(exe.into());
+        self
+    }
+
+    /// Validates and returns the finished spec.
+    pub fn build(self) -> Result<JobSpec, String> {
+        self.spec.validate()?;
+        Ok(self.spec)
+    }
+}
+
+/// Configuration of one worker process (the `worker` subcommand).
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// The shard index this process owns.
+    pub shard: usize,
+    /// Sampler family to instantiate.
+    pub sampler: SamplerKind,
+    /// Universe size `n` of the sampler.
+    pub universe: u64,
+    /// The job seed (per-shard seeds derive via [`shard_seed`]).
+    pub seed: u64,
+    /// Directory holding the per-shard checkpoint chains.
+    pub checkpoint_dir: PathBuf,
+    /// `Some(addr)` = bind a TCP listener there (the socket transport's
+    /// worker mode, announced as `listening <addr>` on stdout); `None` =
+    /// serve this process's stdin/stdout once (the pipe transport).
+    pub listen: Option<String>,
+}
+
+/// A deterministic fault injection: kill one worker after the coordinator
+/// has routed a given number of chunks, then respawn and recover it.
+#[derive(Debug, Clone, Copy)]
+pub struct KillSpec {
+    /// The shard whose worker process is killed.
+    pub shard: usize,
+    /// Kill after this many stream chunks have been routed.
+    pub after_chunks: u64,
+}
+
+/// A deterministic coordinator suicide: the coordinator aborts itself
+/// (SIGKILL-equivalent — no drain, no cleanup) mid-job, so a `--resume`
+/// invocation can prove the manifest chain reconstructs the run.
+#[derive(Debug, Clone, Copy)]
+pub struct DieSpec {
+    /// Abort after this many stream chunks have been routed.
+    pub after_chunks: u64,
+    /// If set, don't abort at the chunk boundary: wait for the *next*
+    /// checkpoint barrier, persist the manifest, send the barrier to every
+    /// worker, and abort before collecting a single ack — the widest
+    /// coordinator crash window. Only meaningful over TCP (pipe workers
+    /// die with the coordinator mid-write).
+    pub mid_barrier: bool,
+}
+
+/// Per-invocation fault plan. Never serialized into the manifest: a
+/// resumed coordinator must finish the job, not re-die.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlan {
+    /// Kill-and-recover one worker.
+    pub kill: Option<KillSpec>,
+    /// Abort the coordinator itself.
+    pub die: Option<DieSpec>,
+}
+
+/// Per-invocation query-plane wiring (runtime-only, like [`FaultPlan`]).
+#[derive(Debug, Clone, Default)]
+pub struct QueryPlan {
+    /// Bind a TCP listener here (e.g. `127.0.0.1:0`) and serve
+    /// consistent-cut queries to clients while ingest runs; the bound
+    /// address is announced as `query-listening <addr>` on stdout.
+    pub listen: Option<String>,
+    /// Test hook: after routing this many chunks, *block* until one query
+    /// client has been served — makes "a query landed mid-ingest" a
+    /// deterministic fact rather than a race.
+    pub await_after_chunks: Option<u64>,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tps_streams::codec::{seal, tag, unseal};
 
     #[test]
     fn kinds_parse_and_print() {
@@ -265,5 +565,63 @@ mod tests {
             make_turnstile(64, 9, 0).snapshot(),
             make_turnstile(64, 9, 1).snapshot()
         );
+    }
+
+    #[test]
+    fn builder_validates_and_spec_round_trips_through_codec() {
+        let spec = ServiceBuilder::new(SamplerKind::Turnstile, 3)
+            .universe(1 << 10)
+            .seed(77)
+            .count(12_345)
+            .chunk(500)
+            .checkpoint_every(6)
+            .checkpoint_dir("/tmp/tps-spec-test")
+            .transport(TransportKind::Tcp {
+                endpoints: vec![
+                    "127.0.0.1:9001".into(),
+                    "127.0.0.1:9002".into(),
+                    "127.0.0.1:9003".into(),
+                ],
+            })
+            .worker_exe("/usr/bin/tps-service")
+            .build()
+            .unwrap();
+
+        let mut w = SnapshotWriter::new();
+        w.put_tag(tag::JOB_MANIFEST);
+        spec.encode_into(&mut w);
+        let sealed = seal(tag::JOB_MANIFEST, &w.into_bytes());
+        let payload = unseal(tag::JOB_MANIFEST, &sealed).unwrap();
+        let mut r = SnapshotReader::new(payload);
+        r.expect_tag(tag::JOB_MANIFEST).unwrap();
+        let back = JobSpec::decode_from(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn builder_rejects_bad_specs() {
+        assert!(ServiceBuilder::new(SamplerKind::L2, 0).build().is_err());
+        assert!(ServiceBuilder::new(SamplerKind::L2, 2)
+            .chunk(0)
+            .build()
+            .is_err());
+        assert!(ServiceBuilder::new(SamplerKind::L2, 2)
+            .checkpoint_every(0)
+            .build()
+            .is_err());
+        // Endpoint list must match the shard count (or be empty).
+        assert!(ServiceBuilder::new(SamplerKind::L2, 2)
+            .transport(TransportKind::Tcp {
+                endpoints: vec!["127.0.0.1:9001".into()],
+            })
+            .build()
+            .is_err());
+        assert!(ServiceBuilder::new(SamplerKind::L2, 2)
+            .transport(TransportKind::Tcp {
+                endpoints: Vec::new(),
+            })
+            .build()
+            .is_ok());
     }
 }

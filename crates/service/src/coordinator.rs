@@ -1,9 +1,13 @@
-//! The coordinator: spawns one worker process per shard, routes the
-//! stream with the exact in-process routing function, drives checkpoint
-//! and query barriers, recovers killed workers from their chains, and
-//! answers the final query by restore-and-merge — byte-identical to a
-//! single-process [`ShardedSampler`](tps_core::sharded::ShardedSampler)
-//! over the same stream.
+//! The coordinator: attaches one worker per shard over the job's
+//! transport (spawned pipe children, self-spawned loopback listeners, or
+//! externally-managed TCP endpoints), routes the stream with the exact
+//! in-process routing function, drives checkpoint and query barriers,
+//! recovers killed workers from their chains, persists its *own* state to
+//! a manifest chain so a killed coordinator resumes, serves consistent-cut
+//! queries to clients while ingest runs, and answers the final query by
+//! restore-and-merge — byte-identical to a single-process
+//! [`ShardedSampler`](tps_core::sharded::ShardedSampler) over the same
+//! stream.
 //!
 //! ## Replay buffers
 //!
@@ -21,29 +25,46 @@
 //! exactly the uncovered chunks reproduces the uninterrupted shard state
 //! byte for byte — regardless of how much post-checkpoint work the dead
 //! process had already absorbed (that work died with it).
+//!
+//! ## Coordinator durability
+//!
+//! The same argument is applied to the coordinator itself: before every
+//! checkpoint barrier it appends a [`Manifest`] — spec, barrier epoch,
+//! chunks routed, per-shard endpoints and (untrimmed) replay buffers — to
+//! its own chain, fsynced *before* any worker is told to checkpoint (see
+//! `manifest.rs` for the case analysis). `resume_job` reconstructs the
+//! job from that chain alone: re-handshake the workers, re-send the
+//! buffered chunks their recovered epochs don't cover, and re-route the
+//! deterministic stream from the recorded chunk cut.
 
-use std::io::{self, BufReader, BufWriter};
-use std::path::Path;
-use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::io::{self, BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
 
 use tps_core::sharded::{
     hash_route, ShardedSampler, ShardedSamplerBuilder, ShardingStrategy, MERGE_SEED_SALT,
 };
 use tps_random::Xoshiro256;
+use tps_streams::codec::delta::IncrementalCheckpointer;
 use tps_streams::codec::{checksum, Restore, Snapshot};
-use tps_streams::wire::{
-    read_message, write_message, BarrierKind, IngestPayload, WireError, WireMessage,
+use tps_streams::wire::transport::{
+    tcp_connect, Connection, FramedConnection, Listener, TcpConnection, TcpServerListener,
 };
+use tps_streams::wire::{check_hello, BarrierKind, IngestPayload, WireError, WireMessage};
 use tps_streams::{MergeableSampler, SampleOutcome, StreamUpdate, UpdateSampler};
 
 use crate::config::{
-    job_signed_stream, job_stream, make_f0, make_g, make_l2, make_turnstile, JobConfig, SamplerKind,
+    job_signed_stream, job_stream, make_f0, make_g, make_l2, make_turnstile, FaultPlan, JobSpec,
+    QueryPlan, SamplerKind, TransportKind,
 };
+use crate::manifest::{peek_spec, Manifest, ShardState};
+use crate::store::CheckpointStore;
 
 fn wire_to_io(e: WireError) -> io::Error {
     match e {
         WireError::Io(e) => e,
-        WireError::Codec(e) => io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
+        other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
     }
 }
 
@@ -58,7 +79,8 @@ fn invalid(msg: String) -> io::Error {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryReport {
     /// Stream items routed (the logical stream length, not counting
-    /// recovery re-sends).
+    /// recovery re-sends; for a mid-ingest query, the length of the
+    /// routed prefix at the query's consistent cut).
     pub processed: u64,
     /// FNV-1a 64 over the merged sampler's sealed snapshot bytes.
     pub merged_fnv: u64,
@@ -107,31 +129,53 @@ fn describe(outcome: SampleOutcome) -> String {
     }
 }
 
-/// One live worker process plus its replay buffer.
+/// One attached worker plus its replay buffer.
 struct WorkerHandle<U> {
     shard: usize,
-    child: Child,
-    input: BufWriter<ChildStdin>,
-    output: BufReader<ChildStdout>,
+    conn: Box<dyn Connection>,
+    /// The worker process, when this coordinator spawned it (pipe workers
+    /// and self-spawned loopback listeners). Externally-managed TCP
+    /// workers — including listeners inherited from a dead coordinator —
+    /// have no child handle.
+    child: Option<Child>,
+    /// The worker's TCP endpoint, recorded in the manifest so a resumed
+    /// coordinator can find the still-running listener.
+    endpoint: Option<String>,
     /// Chunks sent since the last acked checkpoint, each tagged with the
     /// epoch of the last barrier sent before it.
     replay: Vec<(u64, Vec<U>)>,
+    /// The last checkpoint epoch this worker acked.
+    acked_epoch: u64,
 }
 
 impl<U: IngestPayload> WorkerHandle<U> {
     fn send(&mut self, msg: &WireMessage) -> io::Result<()> {
-        write_message(&mut self.input, msg)
+        self.conn.send(msg)
     }
 
     fn recv(&mut self) -> io::Result<WireMessage> {
-        read_message(&mut self.output)
-            .map_err(wire_to_io)?
-            .ok_or_else(|| {
-                invalid(format!(
-                    "worker {} closed its pipe mid-conversation",
-                    self.shard
-                ))
-            })
+        self.conn.recv().map_err(wire_to_io)?.ok_or_else(|| {
+            invalid(format!(
+                "worker {} closed its connection mid-conversation",
+                self.shard
+            ))
+        })
+    }
+
+    /// Reads and verifies the worker's `Hello` (protocol version and
+    /// capabilities included — see [`check_hello`]), returning the epoch
+    /// it recovered to (`0` = fresh).
+    fn handshake(&mut self) -> io::Result<u64> {
+        let hello = self.recv()?;
+        let (said, resume_epoch) = check_hello(&hello, U::REQUIRED_CAPS)
+            .map_err(|e| invalid(format!("worker {}: {e}", self.shard)))?;
+        if said != self.shard as u64 {
+            return Err(invalid(format!(
+                "worker {} announced shard {said}",
+                self.shard
+            )));
+        }
+        Ok(resume_epoch)
     }
 
     /// Reads the barrier ack for `epoch`, returning its snapshot field.
@@ -150,46 +194,162 @@ impl<U: IngestPayload> WorkerHandle<U> {
     }
 }
 
-/// Spawns the worker process for `shard` and completes its handshake,
-/// returning the handle and the epoch it recovered to (`0` = fresh).
-fn spawn_worker<U: IngestPayload>(
-    cfg: &JobConfig,
-    exe: &Path,
-    shard: usize,
-) -> io::Result<(WorkerHandle<U>, u64)> {
-    let mut child = Command::new(exe)
-        .arg("worker")
+fn worker_command(spec: &JobSpec, exe: &Path, shard: usize) -> Command {
+    let mut cmd = Command::new(exe);
+    cmd.arg("worker")
         .arg("--shard")
         .arg(shard.to_string())
         .arg("--sampler")
-        .arg(cfg.sampler.as_str())
+        .arg(spec.sampler.as_str())
         .arg("--universe")
-        .arg(cfg.universe.to_string())
+        .arg(spec.universe.to_string())
         .arg("--seed")
-        .arg(cfg.seed.to_string())
+        .arg(spec.seed.to_string())
         .arg("--checkpoint-dir")
-        .arg(&cfg.checkpoint_dir)
+        .arg(&spec.checkpoint_dir);
+    cmd
+}
+
+/// Spawns a pipe-transport worker and completes its handshake.
+fn spawn_pipe_worker<U: IngestPayload>(
+    spec: &JobSpec,
+    exe: &Path,
+    shard: usize,
+) -> io::Result<(WorkerHandle<U>, u64)> {
+    let mut child = worker_command(spec, exe, shard)
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
         .spawn()?;
-    let input = BufWriter::new(child.stdin.take().expect("piped stdin"));
-    let output = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let input = child.stdin.take().expect("piped stdin");
+    let output = child.stdout.take().expect("piped stdout");
     let mut handle = WorkerHandle {
         shard,
-        child,
-        input,
-        output,
+        conn: Box::new(FramedConnection::new(output, input)),
+        child: Some(child),
+        endpoint: None,
         replay: Vec::new(),
+        acked_epoch: 0,
     };
-    match handle.recv()? {
-        WireMessage::Hello {
-            shard: said,
-            resume_epoch,
-        } if said == shard as u64 => Ok((handle, resume_epoch)),
-        other => Err(invalid(format!(
-            "worker {shard}: expected Hello, got {other:?}"
-        ))),
+    let resume_epoch = handle.handshake()?;
+    Ok((handle, resume_epoch))
+}
+
+/// Spawns a `--listen` worker on a loopback ephemeral port, reads the
+/// `listening <addr>` announcement from its stdout, dials it, and
+/// completes the handshake.
+fn spawn_listen_worker<U: IngestPayload>(
+    spec: &JobSpec,
+    exe: &Path,
+    shard: usize,
+) -> io::Result<(WorkerHandle<U>, u64)> {
+    let mut child = worker_command(spec, exe, shard)
+        .arg("--listen")
+        .arg("127.0.0.1:0")
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line)?;
+    let endpoint = line
+        .trim()
+        .strip_prefix("listening ")
+        .ok_or_else(|| invalid(format!("worker {shard} announced {line:?}")))?
+        .to_string();
+    let conn = connect_retry(&endpoint, 250)?;
+    let mut handle = WorkerHandle {
+        shard,
+        conn: Box::new(conn),
+        child: Some(child),
+        endpoint: Some(endpoint),
+        replay: Vec::new(),
+        acked_epoch: 0,
+    };
+    let resume_epoch = handle.handshake()?;
+    Ok((handle, resume_epoch))
+}
+
+/// Dials an externally-managed (or inherited) listen worker.
+fn connect_worker<U: IngestPayload>(
+    endpoint: &str,
+    shard: usize,
+    attempts: u32,
+) -> io::Result<(WorkerHandle<U>, u64)> {
+    let conn = connect_retry(endpoint, attempts)?;
+    let mut handle = WorkerHandle {
+        shard,
+        conn: Box::new(conn),
+        child: None,
+        endpoint: Some(endpoint.to_string()),
+        replay: Vec::new(),
+        acked_epoch: 0,
+    };
+    let resume_epoch = handle.handshake()?;
+    Ok((handle, resume_epoch))
+}
+
+fn connect_retry(endpoint: &str, attempts: u32) -> io::Result<TcpConnection> {
+    let mut last = None;
+    for _ in 0..attempts {
+        match tcp_connect(endpoint) {
+            Ok(conn) => return Ok(conn),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    Err(last.unwrap_or_else(|| invalid(format!("cannot reach worker at {endpoint}"))))
+}
+
+/// Attaches the worker for `shard` on a *fresh* job.
+fn attach_worker<U: IngestPayload>(
+    spec: &JobSpec,
+    exe: &Path,
+    shard: usize,
+) -> io::Result<(WorkerHandle<U>, u64)> {
+    match &spec.transport {
+        TransportKind::Pipe => spawn_pipe_worker(spec, exe, shard),
+        TransportKind::Tcp { endpoints } if endpoints.is_empty() => {
+            spawn_listen_worker(spec, exe, shard)
+        }
+        TransportKind::Tcp { endpoints } => connect_worker(&endpoints[shard], shard, 250),
+    }
+}
+
+/// Re-attaches the worker for `shard` on a *resumed* job: pipe workers
+/// died with the old coordinator and are respawned; listen workers are
+/// still running and are re-dialed at their recorded endpoint (with a
+/// respawn fallback for self-spawned loopback workers that died too).
+fn reattach_worker<U: IngestPayload>(
+    spec: &JobSpec,
+    exe: &Path,
+    shard: usize,
+    recorded: Option<&String>,
+) -> io::Result<(WorkerHandle<U>, u64)> {
+    match &spec.transport {
+        TransportKind::Pipe => spawn_pipe_worker(spec, exe, shard),
+        TransportKind::Tcp { endpoints } => {
+            let self_spawned = endpoints.is_empty();
+            if let Some(endpoint) = recorded {
+                match connect_worker(endpoint, shard, 25) {
+                    Ok(attached) => Ok(attached),
+                    Err(e) if self_spawned => {
+                        eprintln!(
+                            "coordinator: worker {shard} gone from {endpoint} ({e}); respawning"
+                        );
+                        spawn_listen_worker(spec, exe, shard)
+                    }
+                    Err(e) => Err(e),
+                }
+            } else if self_spawned {
+                spawn_listen_worker(spec, exe, shard)
+            } else {
+                connect_worker(&endpoints[shard], shard, 250)
+            }
+        }
     }
 }
 
@@ -198,13 +358,23 @@ fn spawn_worker<U: IngestPayload>(
 /// chain, and the coordinator re-sends the buffered chunks the recovered
 /// checkpoint does not cover.
 fn restart_worker<U: IngestPayload>(
-    cfg: &JobConfig,
+    spec: &JobSpec,
     exe: &Path,
     handle: &mut WorkerHandle<U>,
 ) -> io::Result<()> {
-    handle.child.kill()?;
-    handle.child.wait()?;
-    let (mut fresh, resume_epoch) = spawn_worker(cfg, exe, handle.shard)?;
+    let Some(child) = handle.child.as_mut() else {
+        return Err(invalid(format!(
+            "cannot kill worker {}: externally managed (no child process)",
+            handle.shard
+        )));
+    };
+    child.kill()?;
+    child.wait()?;
+    let (mut fresh, resume_epoch) = match &spec.transport {
+        TransportKind::Pipe => spawn_pipe_worker(spec, exe, handle.shard)?,
+        TransportKind::Tcp { .. } => spawn_listen_worker(spec, exe, handle.shard)?,
+    };
+    fresh.acked_epoch = resume_epoch;
     let replay = std::mem::take(&mut handle.replay);
     for (tag, items) in replay {
         if tag >= resume_epoch {
@@ -214,30 +384,6 @@ fn restart_worker<U: IngestPayload>(
     }
     // Swap the replacement into the slot; the dead process's handles drop.
     std::mem::swap(handle, &mut fresh);
-    Ok(())
-}
-
-/// Runs the checkpoint barrier at `epoch`: every worker appends a frame
-/// durably and acks; acked buffers shrink to the uncovered suffix.
-fn checkpoint_barrier<U: IngestPayload>(
-    workers: &mut [WorkerHandle<U>],
-    epoch: u64,
-) -> io::Result<()> {
-    for worker in workers.iter_mut() {
-        worker.send(&WireMessage::Barrier {
-            epoch,
-            kind: BarrierKind::Checkpoint,
-        })?;
-    }
-    for worker in workers.iter_mut() {
-        if worker.expect_ack(epoch)?.is_some() {
-            return Err(invalid(format!(
-                "worker {}: checkpoint ack carried a snapshot",
-                worker.shard
-            )));
-        }
-        worker.replay.retain(|&(tag, _)| tag >= epoch);
-    }
     Ok(())
 }
 
@@ -324,35 +470,203 @@ fn merge_report(
     }
 }
 
-/// The kind-generic job body: spawn workers, route the stream, checkpoint,
-/// (optionally) kill and recover one worker, query, shut down. Returns the
-/// consistent-cut snapshots of the final query barrier.
-fn drive_job<U: IngestPayload>(cfg: &JobConfig, stream: &[U]) -> io::Result<Vec<Vec<u8>>> {
-    let exe = match &cfg.worker_exe {
+/// The coordinator's own durable chain: manifest snapshots checkpointed
+/// through the same delta machinery the workers use, with the manifest
+/// sequence number as the chain's epoch counter (distinct from job
+/// epochs — the chain cares about "which manifest is newest", not about
+/// barrier numbering).
+struct Durability {
+    store: CheckpointStore,
+    writer: IncrementalCheckpointer,
+    seq: u64,
+}
+
+impl Durability {
+    fn persist<U: IngestPayload>(&mut self, manifest: &Manifest<U>) -> io::Result<()> {
+        self.seq += 1;
+        let frame = self.writer.checkpoint_bytes(manifest.encode(), self.seq);
+        self.store.append_frame(frame.bytes())?;
+        if !frame.is_delta() {
+            self.store.compact()?;
+        }
+        Ok(())
+    }
+}
+
+fn persist_manifest<U: IngestPayload>(
+    durability: &mut Durability,
+    spec: &JobSpec,
+    epoch: u64,
+    chunks_routed: u64,
+    workers: &[WorkerHandle<U>],
+) -> io::Result<()> {
+    let manifest = Manifest {
+        spec: spec.clone(),
+        epoch,
+        chunks_routed,
+        shards: workers
+            .iter()
+            .map(|worker| ShardState {
+                acked_epoch: worker.acked_epoch,
+                endpoint: worker.endpoint.clone(),
+                replay: worker.replay.clone(),
+            })
+            .collect(),
+    };
+    durability.persist(&manifest)
+}
+
+/// Serves one query client at a consistent cut: bump the epoch, run a
+/// query barrier (workers snapshot, then keep ingesting), merge off the
+/// ingest path, reply with the drawn sample + checksum.
+fn serve_query_client<U: IngestPayload>(
+    spec: &JobSpec,
+    workers: &mut [WorkerHandle<U>],
+    epoch: &mut u64,
+    chunks_routed: u64,
+    client: &mut TcpConnection,
+) -> io::Result<()> {
+    match client.recv().map_err(wire_to_io)? {
+        Some(WireMessage::Query) => {}
+        other => return Err(invalid(format!("query client sent {other:?}"))),
+    }
+    *epoch += 1;
+    let snapshots = query_barrier(workers, *epoch)?;
+    let processed = (chunks_routed * spec.chunk as u64).min(spec.count as u64);
+    let report = merge_report(spec.sampler, &snapshots, spec.seed, processed)?;
+    client.send(&WireMessage::QueryReply {
+        processed: report.processed,
+        merged_fnv: report.merged_fnv,
+        sample: report.sample,
+    })
+}
+
+/// The kind-generic job body: attach workers, route the stream,
+/// checkpoint (manifest-before-barrier), inject faults, serve mid-ingest
+/// queries, run the final query barrier, shut down. Returns the final
+/// consistent-cut snapshots in shard order.
+fn drive_job<U: IngestPayload>(
+    spec: &JobSpec,
+    stream: &[U],
+    fault: &FaultPlan,
+    query: &QueryPlan,
+    resume: Option<Manifest<U>>,
+) -> io::Result<Vec<Vec<u8>>> {
+    let exe = match &spec.worker_exe {
         Some(path) => path.clone(),
         None => std::env::current_exe()?,
     };
-    std::fs::create_dir_all(&cfg.checkpoint_dir)?;
+    std::fs::create_dir_all(&spec.checkpoint_dir)?;
 
-    let mut workers: Vec<WorkerHandle<U>> = Vec::with_capacity(cfg.workers);
-    for shard in 0..cfg.workers {
-        let (handle, resume_epoch) = spawn_worker(cfg, &exe, shard)?;
-        if resume_epoch != 0 {
-            return Err(invalid(format!(
-                "worker {shard} recovered epoch {resume_epoch} on a fresh job — \
-                 stale checkpoint directory?"
-            )));
+    let store = CheckpointStore::for_coordinator(&spec.checkpoint_dir);
+    let (mut durability, shard_states, start_epoch, start_chunks) = match &resume {
+        None => {
+            if store.recover()?.is_some() {
+                return Err(invalid(format!(
+                    "coordinator chain {} already exists — resume the job or clear the directory",
+                    store.path().display()
+                )));
+            }
+            (
+                Durability {
+                    store,
+                    writer: IncrementalCheckpointer::new(),
+                    seq: 0,
+                },
+                None,
+                0,
+                0,
+            )
         }
-        workers.push(handle);
+        Some(manifest) => {
+            let chain = store
+                .recover()?
+                .ok_or_else(|| invalid("no coordinator chain to resume from".into()))?;
+            let seq = chain.epoch;
+            (
+                Durability {
+                    store,
+                    writer: IncrementalCheckpointer::resume(
+                        chain.epoch,
+                        chain.snapshot,
+                        chain.deltas_since_base,
+                    ),
+                    seq,
+                },
+                Some(manifest.shards.clone()),
+                manifest.epoch,
+                manifest.chunks_routed,
+            )
+        }
+    };
+
+    let mut workers: Vec<WorkerHandle<U>> = Vec::with_capacity(spec.workers);
+    match shard_states {
+        None => {
+            for shard in 0..spec.workers {
+                let (handle, resume_epoch) = attach_worker(spec, &exe, shard)?;
+                if resume_epoch != 0 {
+                    return Err(invalid(format!(
+                        "worker {shard} recovered epoch {resume_epoch} on a fresh job — \
+                         stale checkpoint directory?"
+                    )));
+                }
+                workers.push(handle);
+            }
+        }
+        Some(states) => {
+            if states.len() != spec.workers {
+                return Err(invalid(format!(
+                    "manifest records {} shards for a {}-worker job",
+                    states.len(),
+                    spec.workers
+                )));
+            }
+            for (shard, state) in states.into_iter().enumerate() {
+                let (mut handle, resume_epoch) =
+                    reattach_worker(spec, &exe, shard, state.endpoint.as_ref())?;
+                handle.acked_epoch = resume_epoch;
+                // Re-send every buffered chunk the recovered checkpoint
+                // does not cover, exactly like a worker restart.
+                for (tag, items) in state.replay {
+                    if tag >= resume_epoch {
+                        handle.send(&U::into_ingest(items.clone()))?;
+                        handle.replay.push((tag, items));
+                    }
+                }
+                workers.push(handle);
+            }
+        }
     }
 
-    let mut epoch = 0u64; // last barrier epoch sent
-    let mut chunks_routed = 0u64;
-    let mut kill_pending = cfg.kill;
-    for chunk in stream.chunks(cfg.chunk) {
-        let mut routed: Vec<Vec<U>> = vec![Vec::new(); cfg.workers];
+    // The job is durable from the first moment it could need resuming: a
+    // manifest at the zero cut covers death before the first checkpoint.
+    if resume.is_none() {
+        persist_manifest(&mut durability, spec, 0, 0, &workers)?;
+    }
+
+    let mut query_listener = match &query.listen {
+        Some(addr) => {
+            let listener = TcpServerListener::bind(addr.as_str())
+                .map_err(|e| invalid(format!("query listener {addr}: {e}")))?;
+            println!("query-listening {}", listener.local_addr()?);
+            use std::io::Write;
+            io::stdout().flush()?;
+            Some(listener)
+        }
+        None => None,
+    };
+
+    let mut epoch = start_epoch; // last barrier epoch sent
+    let mut chunks_routed = start_chunks;
+    let mut kill_pending = fault.kill;
+    for (index, chunk) in stream.chunks(spec.chunk).enumerate() {
+        if (index as u64) < start_chunks {
+            continue; // routed (and manifest-covered) before the resume cut
+        }
+        let mut routed: Vec<Vec<U>> = vec![Vec::new(); spec.workers];
         for &update in chunk {
-            routed[hash_route(update.route_key(), cfg.workers)].push(update);
+            routed[hash_route(update.route_key(), spec.workers)].push(update);
         }
         for (worker, updates) in workers.iter_mut().zip(routed) {
             if updates.is_empty() {
@@ -362,18 +676,81 @@ fn drive_job<U: IngestPayload>(cfg: &JobConfig, stream: &[U]) -> io::Result<Vec<
             worker.replay.push((epoch, updates));
         }
         chunks_routed += 1;
+
         if let Some(kill) = kill_pending {
             if chunks_routed >= kill.after_chunks {
-                if kill.shard >= cfg.workers {
+                if kill.shard >= spec.workers {
                     return Err(invalid(format!("no shard {} to kill", kill.shard)));
                 }
-                restart_worker(cfg, &exe, &mut workers[kill.shard])?;
+                restart_worker(spec, &exe, &mut workers[kill.shard])?;
                 kill_pending = None;
             }
         }
-        if chunks_routed.is_multiple_of(cfg.checkpoint_every) {
+        if let Some(die) = fault.die {
+            if !die.mid_barrier && chunks_routed >= die.after_chunks {
+                // Simulated coordinator SIGKILL: no drain, no cleanup, no
+                // manifest write — whatever is durable is all that's left.
+                std::process::abort();
+            }
+        }
+
+        if chunks_routed.is_multiple_of(spec.checkpoint_every) {
             epoch += 1;
-            checkpoint_barrier(&mut workers, epoch)?;
+            // Durability order: the manifest recording this barrier's cut
+            // is on disk before any worker is told to checkpoint.
+            persist_manifest(&mut durability, spec, epoch, chunks_routed, &workers)?;
+            for worker in workers.iter_mut() {
+                worker.send(&WireMessage::Barrier {
+                    epoch,
+                    kind: BarrierKind::Checkpoint,
+                })?;
+            }
+            if let Some(die) = fault.die {
+                if die.mid_barrier && chunks_routed >= die.after_chunks {
+                    // The widest crash window: barriers in flight, zero
+                    // acks collected.
+                    std::process::abort();
+                }
+            }
+            for worker in workers.iter_mut() {
+                if worker.expect_ack(epoch)?.is_some() {
+                    return Err(invalid(format!(
+                        "worker {}: checkpoint ack carried a snapshot",
+                        worker.shard
+                    )));
+                }
+                worker.replay.retain(|&(tag, _)| tag >= epoch);
+                worker.acked_epoch = epoch;
+            }
+        }
+
+        if let Some(listener) = query_listener.as_mut() {
+            match query.await_after_chunks {
+                // Deterministic test hook: the first query is served at
+                // exactly this cut — earlier connections wait in the
+                // accept queue, and the barrier blocks until one shows
+                // up, however slow the client is to dial in.
+                Some(cut) if chunks_routed == cut => {
+                    let mut client = listener
+                        .accept()?
+                        .expect("tcp listener accepts indefinitely");
+                    serve_query_client(spec, &mut workers, &mut epoch, chunks_routed, &mut client)?;
+                }
+                Some(cut) if chunks_routed < cut => {}
+                // Production mode (and past the awaited cut): serve
+                // whoever is waiting, without ever blocking ingest.
+                _ => {
+                    while let Some(mut client) = listener.accept_pending()? {
+                        serve_query_client(
+                            spec,
+                            &mut workers,
+                            &mut epoch,
+                            chunks_routed,
+                            &mut client,
+                        )?;
+                    }
+                }
+            }
         }
     }
 
@@ -383,36 +760,94 @@ fn drive_job<U: IngestPayload>(cfg: &JobConfig, stream: &[U]) -> io::Result<Vec<
         worker.send(&WireMessage::Shutdown)?;
     }
     for worker in workers.iter_mut() {
-        worker.child.wait()?;
+        if let Some(child) = worker.child.as_mut() {
+            child.wait()?;
+        }
     }
     Ok(snapshots)
 }
 
-/// Runs the whole job: spawn workers, stream, checkpoint, (optionally)
-/// kill and recover one worker, query, merge, shut down.
-pub fn run_coordinator(cfg: &JobConfig) -> io::Result<QueryReport> {
-    assert!(cfg.workers > 0, "need at least one worker");
-    assert!(cfg.chunk > 0, "chunk size must be positive");
-    assert!(
-        cfg.checkpoint_every > 0,
-        "checkpoint cadence must be positive"
-    );
-    let (snapshots, processed) = if cfg.sampler.is_turnstile() {
-        let stream = job_signed_stream(cfg.universe, cfg.count, cfg.seed);
-        (drive_job(cfg, &stream)?, stream.len() as u64)
+/// Runs a job from scratch: attach workers, stream, checkpoint (with the
+/// coordinator's own manifest chain), inject the fault plan, serve the
+/// query plan, merge, shut down.
+pub fn run_job(spec: &JobSpec, fault: &FaultPlan, query: &QueryPlan) -> io::Result<QueryReport> {
+    spec.validate().map_err(invalid)?;
+    let (snapshots, processed) = if spec.sampler.is_turnstile() {
+        let stream = job_signed_stream(spec.universe, spec.count, spec.seed);
+        (
+            drive_job(spec, &stream, fault, query, None)?,
+            stream.len() as u64,
+        )
     } else {
-        let stream = job_stream(cfg.universe, cfg.count, cfg.seed);
-        (drive_job(cfg, &stream)?, stream.len() as u64)
+        let stream = job_stream(spec.universe, spec.count, spec.seed);
+        (
+            drive_job(spec, &stream, fault, query, None)?,
+            stream.len() as u64,
+        )
     };
-    merge_report(cfg.sampler, &snapshots, cfg.seed, processed)
+    merge_report(spec.sampler, &snapshots, spec.seed, processed)
+}
+
+/// Resumes a job from the coordinator chain in `checkpoint_dir`: the
+/// manifest *is* the config snapshot, so nothing else is needed. The
+/// recorded spec's `worker_exe` can be overridden (tests relocate
+/// binaries). The resumed run never re-injects faults — fault plans are
+/// per-invocation, and the invocation that planned them is dead.
+pub fn resume_job(
+    checkpoint_dir: &Path,
+    worker_exe: Option<PathBuf>,
+    query: &QueryPlan,
+) -> io::Result<QueryReport> {
+    let store = CheckpointStore::for_coordinator(checkpoint_dir);
+    let chain = store.recover()?.ok_or_else(|| {
+        invalid(format!(
+            "no coordinator chain at {} to resume from",
+            store.path().display()
+        ))
+    })?;
+    let mut spec = peek_spec(&chain.snapshot)
+        .map_err(|e| invalid(format!("manifest does not decode: {e}")))?;
+    if let Some(exe) = worker_exe {
+        spec.worker_exe = Some(exe);
+    }
+    // Chains move with their directory; trust the caller's location over
+    // the recorded absolute path.
+    spec.checkpoint_dir = checkpoint_dir.to_path_buf();
+
+    fn resumed<U: IngestPayload>(
+        spec: &JobSpec,
+        stream: &[U],
+        chain_snapshot: &[u8],
+        query: &QueryPlan,
+    ) -> io::Result<Vec<Vec<u8>>> {
+        let mut manifest = Manifest::<U>::decode(chain_snapshot)
+            .map_err(|e| invalid(format!("manifest does not decode: {e}")))?;
+        manifest.spec = spec.clone();
+        drive_job(spec, stream, &FaultPlan::default(), query, Some(manifest))
+    }
+
+    let (snapshots, processed) = if spec.sampler.is_turnstile() {
+        let stream = job_signed_stream(spec.universe, spec.count, spec.seed);
+        (
+            resumed(&spec, &stream, &chain.snapshot, query)?,
+            stream.len() as u64,
+        )
+    } else {
+        let stream = job_stream(spec.universe, spec.count, spec.seed);
+        (
+            resumed(&spec, &stream, &chain.snapshot, query)?,
+            stream.len() as u64,
+        )
+    };
+    merge_report(spec.sampler, &snapshots, spec.seed, processed)
 }
 
 /// The single-process reference: an in-process sharded sampler over the
 /// identical stream, queried once. Its report must equal the service's —
 /// that equality is the distributed correctness gate.
-pub fn run_reference(cfg: &JobConfig) -> QueryReport {
+pub fn run_reference(spec: &JobSpec) -> QueryReport {
     fn typed<S, U>(
-        cfg: &JobConfig,
+        spec: &JobSpec,
         stream: &[U],
         build: impl FnOnce(ShardedSamplerBuilder) -> ShardedSampler<S, U>,
     ) -> QueryReport
@@ -421,9 +856,9 @@ pub fn run_reference(cfg: &JobConfig) -> QueryReport {
         U: StreamUpdate,
     {
         let mut sampler = build(
-            ShardedSamplerBuilder::new(cfg.workers)
+            ShardedSamplerBuilder::new(spec.workers)
                 .strategy(ShardingStrategy::Hash)
-                .seed(cfg.seed),
+                .seed(spec.seed),
         );
         sampler.ingest_batch(stream);
         let mut merged = sampler.merged();
@@ -434,20 +869,26 @@ pub fn run_reference(cfg: &JobConfig) -> QueryReport {
             sample: describe(merged.draw()),
         }
     }
-    match cfg.sampler {
-        SamplerKind::L2 => typed(cfg, &job_stream(cfg.universe, cfg.count, cfg.seed), |b| {
-            b.build(|shard| make_l2(cfg.universe, cfg.seed, shard))
-        }),
-        SamplerKind::F0 => typed(cfg, &job_stream(cfg.universe, cfg.count, cfg.seed), |b| {
-            b.build(|shard| make_f0(cfg.universe, cfg.seed, shard))
-        }),
-        SamplerKind::G => typed(cfg, &job_stream(cfg.universe, cfg.count, cfg.seed), |b| {
-            b.build(|shard| make_g(cfg.universe, cfg.seed, shard))
-        }),
+    match spec.sampler {
+        SamplerKind::L2 => typed(
+            spec,
+            &job_stream(spec.universe, spec.count, spec.seed),
+            |b| b.build(|shard| make_l2(spec.universe, spec.seed, shard)),
+        ),
+        SamplerKind::F0 => typed(
+            spec,
+            &job_stream(spec.universe, spec.count, spec.seed),
+            |b| b.build(|shard| make_f0(spec.universe, spec.seed, shard)),
+        ),
+        SamplerKind::G => typed(
+            spec,
+            &job_stream(spec.universe, spec.count, spec.seed),
+            |b| b.build(|shard| make_g(spec.universe, spec.seed, shard)),
+        ),
         SamplerKind::Turnstile => typed(
-            cfg,
-            &job_signed_stream(cfg.universe, cfg.count, cfg.seed),
-            |b| b.build_turnstile(|shard| make_turnstile(cfg.universe, cfg.seed, shard)),
+            spec,
+            &job_signed_stream(spec.universe, spec.count, spec.seed),
+            |b| b.build_turnstile(|shard| make_turnstile(spec.universe, spec.seed, shard)),
         ),
     }
 }
@@ -455,6 +896,7 @@ pub fn run_reference(cfg: &JobConfig) -> QueryReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ServiceBuilder;
 
     #[test]
     fn report_lines_round_trip() {
@@ -469,23 +911,20 @@ mod tests {
 
     #[test]
     fn reference_is_deterministic_per_seed() {
-        let cfg = JobConfig {
-            workers: 3,
-            sampler: SamplerKind::L2,
-            universe: 1 << 12,
-            seed: 5,
-            count: 30_000,
-            chunk: 1_000,
-            checkpoint_every: 4,
-            checkpoint_dir: std::env::temp_dir(),
-            kill: None,
-            worker_exe: None,
-        };
-        let a = run_reference(&cfg);
-        let b = run_reference(&cfg);
+        let spec = ServiceBuilder::new(SamplerKind::L2, 3)
+            .universe(1 << 12)
+            .seed(5)
+            .count(30_000)
+            .chunk(1_000)
+            .checkpoint_every(4)
+            .checkpoint_dir(std::env::temp_dir())
+            .build()
+            .unwrap();
+        let a = run_reference(&spec);
+        let b = run_reference(&spec);
         assert_eq!(a, b);
         assert_eq!(a.processed, 30_000);
-        let other = JobConfig { seed: 6, ..cfg };
+        let other = JobSpec { seed: 6, ..spec };
         assert_ne!(a.merged_fnv, run_reference(&other).merged_fnv);
     }
 }

@@ -1,22 +1,26 @@
-//! # tps-service — the cross-process checkpointing ingest service
+//! # tps-service — the networked checkpointing ingest service
 //!
 //! The persistent runtime in `tps_core::runtime` scales ingest across
-//! *threads*; this crate scales the same design across *processes*. `k`
-//! worker processes each own one shard of a sampler (they never see the
-//! full stream), a coordinator routes items with the exact in-process
-//! routing function ([`tps_core::sharded::hash_route`]) and drives the
-//! epoch/barrier discipline over stdin/stdout pipes using the framed
-//! protocol in [`tps_streams::wire`]:
+//! *threads*; this crate scales the same design across *processes* and
+//! *sockets*. `k` worker processes each own one shard of a sampler (they
+//! never see the full stream), a coordinator routes items with the exact
+//! in-process routing function ([`tps_core::sharded::hash_route`]) and
+//! drives the epoch/barrier discipline over a pluggable transport
+//! ([`tps_streams::wire::transport`]) — stdin/stdout pipes or TCP — using
+//! the versioned framed protocol in [`tps_streams::wire`]:
 //!
 //! * **Checkpoint barriers** make every worker append an incremental
 //!   (delta) frame — [`tps_streams::codec::delta`] — to its on-disk chain
 //!   and ack; the acks let the coordinator trim its replay buffers.
+//!   Chains are garbage-collected after rebases ([`CheckpointStore::compact`]).
 //! * **Query barriers** collect every worker's full sealed snapshot at a
 //!   consistent cut; the coordinator restores and fold-merges them in
 //!   shard order with the merge RNG seeded `seed ^ MERGE_SEED_SALT`, so
 //!   the merged answer is **byte-identical** to an in-process
 //!   [`ShardedSampler`](tps_core::sharded::ShardedSampler) over the same
-//!   stream (the `reference` subcommand computes exactly that).
+//!   stream (the `reference` subcommand computes exactly that). A TCP
+//!   **query plane** serves the same consistent-cut answer to clients
+//!   ([`client::query`]) *while ingest runs*.
 //!
 //! ## Failure semantics
 //!
@@ -25,21 +29,37 @@
 //! checkpoint with epoch `> t`. When a checkpoint at epoch `E` is acked
 //! (the worker wrote the frame to disk before acking), chunks tagged
 //! `< E` are dropped from the buffer. When a worker dies, the coordinator
-//! respawns it; the fresh process replays its on-disk chain, reports the
-//! recovered epoch in its `Hello`, and the coordinator re-sends exactly
-//! the buffered chunks the checkpoint does not cover (tag `≥` recovered
-//! epoch). Re-ingesting those chunks on top of the restored state
-//! reproduces the uninterrupted run's shard state byte for byte — which
-//! the smoke test asserts end to end through the merged query.
+//! respawns (or re-dials) it; the fresh process replays its on-disk
+//! chain, reports the recovered epoch in its `Hello`, and the coordinator
+//! re-sends exactly the buffered chunks the checkpoint does not cover
+//! (tag `≥` recovered epoch). Re-ingesting those chunks on top of the
+//! restored state reproduces the uninterrupted run's shard state byte for
+//! byte — which the smoke test asserts end to end through the merged
+//! query.
+//!
+//! The coordinator applies the same discipline to *itself*: before every
+//! checkpoint barrier it appends a [`manifest::Manifest`] — spec, stream
+//! cut, per-shard endpoints and replay buffers — to its own chain
+//! (fsync-before-barrier), so a SIGKILLed coordinator resumes with
+//! [`coordinator::resume_job`] and finishes with a byte-identical final
+//! query. See `manifest.rs` for the crash-consistency argument.
+//!
+//! Jobs are described by a typed, codec-serializable [`JobSpec`] built
+//! with [`ServiceBuilder`]; the CLI in `main.rs` is a thin parser over it.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod client;
 pub mod config;
 pub mod coordinator;
+pub mod manifest;
 pub mod store;
 pub mod worker;
 
-pub use config::{JobConfig, SamplerKind, WorkerConfig};
-pub use coordinator::{run_coordinator, run_reference, QueryReport};
+pub use config::{
+    DieSpec, FaultPlan, JobSpec, KillSpec, QueryPlan, SamplerKind, ServiceBuilder, TransportKind,
+    WorkerConfig,
+};
+pub use coordinator::{resume_job, run_job, run_reference, QueryReport};
 pub use store::CheckpointStore;

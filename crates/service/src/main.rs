@@ -1,20 +1,29 @@
-//! The `tps-service` binary: `worker`, `coordinator` and `reference`
-//! subcommands (see the crate docs for the architecture).
+//! The `tps-service` binary: `worker`, `coordinator`, `resume`,
+//! `reference` and `query` subcommands (see the crate docs for the
+//! architecture). This is a thin parser: flags feed a [`ServiceBuilder`],
+//! and everything downstream works on the typed [`JobSpec`].
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use tps_service::config::{JobConfig, KillSpec, SamplerKind, WorkerConfig};
-use tps_service::{coordinator, worker};
+use tps_service::config::{
+    DieSpec, FaultPlan, KillSpec, QueryPlan, SamplerKind, ServiceBuilder, TransportKind,
+    WorkerConfig,
+};
+use tps_service::{client, coordinator, worker};
 
 fn usage() -> String {
     "usage:\n  \
      tps-service worker --shard N --sampler l2|f0|g|turnstile --universe U --seed S \
-     --checkpoint-dir DIR\n  \
+     --checkpoint-dir DIR [--listen ADDR]\n  \
      tps-service coordinator --workers K --sampler l2|f0|g|turnstile --universe U --seed S \
      --count N --chunk C --checkpoint-every E --checkpoint-dir DIR \
-     [--kill-shard J --kill-after-chunks M] [--worker-exe PATH]\n  \
-     tps-service reference --workers K --sampler l2|f0|g|turnstile --universe U --seed S --count N"
+     [--transport pipe|tcp] [--endpoints A,B,..] [--worker-exe PATH] \
+     [--kill-shard J --kill-after-chunks M] [--die-after-chunks M [--die-mid-barrier true]] \
+     [--query-listen ADDR [--await-query-after-chunks M]]\n  \
+     tps-service resume --checkpoint-dir DIR [--worker-exe PATH] [--query-listen ADDR]\n  \
+     tps-service reference --workers K --sampler l2|f0|g|turnstile --universe U --seed S --count N\n  \
+     tps-service query --connect ADDR"
         .to_string()
 }
 
@@ -62,45 +71,74 @@ impl Flags {
         let spelled = self.get("sampler").ok_or("missing --sampler")?;
         SamplerKind::parse(spelled).ok_or_else(|| format!("unknown sampler kind {spelled:?}"))
     }
+
+    fn transport(&self) -> Result<TransportKind, String> {
+        let endpoints: Vec<String> = self
+            .get("endpoints")
+            .map(|list| list.split(',').map(str::to_string).collect())
+            .unwrap_or_default();
+        match self.get("transport") {
+            None if endpoints.is_empty() => Ok(TransportKind::Pipe),
+            None | Some("tcp") => Ok(TransportKind::Tcp { endpoints }),
+            Some("pipe") if endpoints.is_empty() => Ok(TransportKind::Pipe),
+            Some("pipe") => Err("--endpoints makes no sense with --transport pipe".into()),
+            Some(other) => Err(format!("unknown transport {other:?}")),
+        }
+    }
+
+    fn fault_plan(&self) -> Result<FaultPlan, String> {
+        let kill = match (
+            self.optional("kill-shard")?,
+            self.optional("kill-after-chunks")?,
+        ) {
+            (Some(shard), Some(after_chunks)) => Some(KillSpec {
+                shard,
+                after_chunks,
+            }),
+            (None, None) => None,
+            _ => return Err("--kill-shard and --kill-after-chunks go together".into()),
+        };
+        let die = self
+            .optional("die-after-chunks")?
+            .map(|after_chunks| -> Result<DieSpec, String> {
+                Ok(DieSpec {
+                    after_chunks,
+                    mid_barrier: self.optional("die-mid-barrier")?.unwrap_or(false),
+                })
+            })
+            .transpose()?;
+        Ok(FaultPlan { kill, die })
+    }
+
+    fn query_plan(&self) -> Result<QueryPlan, String> {
+        Ok(QueryPlan {
+            listen: self.optional("query-listen")?,
+            await_after_chunks: self.optional("await-query-after-chunks")?,
+        })
+    }
 }
 
-fn job_config(flags: &Flags, for_reference: bool) -> Result<JobConfig, String> {
-    let kill_shard: Option<usize> = flags.optional("kill-shard")?;
-    let kill_after: Option<u64> = flags.optional("kill-after-chunks")?;
-    let kill = match (kill_shard, kill_after) {
-        (Some(shard), Some(after_chunks)) => Some(KillSpec {
-            shard,
-            after_chunks,
-        }),
-        (None, None) => None,
-        _ => return Err("--kill-shard and --kill-after-chunks go together".into()),
-    };
-    Ok(JobConfig {
-        workers: flags.required("workers")?,
-        sampler: flags.sampler()?,
-        universe: flags.required("universe")?,
-        seed: flags.required("seed")?,
-        count: flags.required("count")?,
-        chunk: if for_reference {
-            flags.optional("chunk")?.unwrap_or(1)
-        } else {
-            flags.required("chunk")?
-        },
-        checkpoint_every: if for_reference {
-            flags.optional("checkpoint-every")?.unwrap_or(1)
-        } else {
-            flags.required("checkpoint-every")?
-        },
-        checkpoint_dir: if for_reference {
-            flags
-                .optional::<PathBuf>("checkpoint-dir")?
-                .unwrap_or_else(std::env::temp_dir)
-        } else {
-            flags.required("checkpoint-dir")?
-        },
-        kill,
-        worker_exe: flags.optional("worker-exe")?,
-    })
+fn build_spec(flags: &Flags, for_reference: bool) -> Result<tps_service::JobSpec, String> {
+    let mut builder = ServiceBuilder::new(flags.sampler()?, flags.required("workers")?)
+        .universe(flags.required("universe")?)
+        .seed(flags.required("seed")?)
+        .count(flags.required("count")?)
+        .transport(flags.transport()?);
+    if for_reference {
+        // The reference never checkpoints or spawns; defaults suffice.
+        if let Some(dir) = flags.optional::<PathBuf>("checkpoint-dir")? {
+            builder = builder.checkpoint_dir(dir);
+        }
+    } else {
+        builder = builder
+            .chunk(flags.required("chunk")?)
+            .checkpoint_every(flags.required("checkpoint-every")?)
+            .checkpoint_dir(flags.required::<PathBuf>("checkpoint-dir")?);
+    }
+    if let Some(exe) = flags.optional::<PathBuf>("worker-exe")? {
+        builder = builder.worker_exe(exe);
+    }
+    builder.build()
 }
 
 fn run() -> Result<(), String> {
@@ -114,20 +152,38 @@ fn run() -> Result<(), String> {
                 universe: flags.required("universe")?,
                 seed: flags.required("seed")?,
                 checkpoint_dir: flags.required("checkpoint-dir")?,
+                listen: flags.optional("listen")?,
             };
             worker::run(&cfg).map_err(|e| format!("worker {}: {e}", cfg.shard))
         }
         Some("coordinator") => {
             let flags = Flags::parse(&args[1..])?;
-            let cfg = job_config(&flags, false)?;
-            let report = coordinator::run_coordinator(&cfg).map_err(|e| e.to_string())?;
+            let spec = build_spec(&flags, false)?;
+            let report = coordinator::run_job(&spec, &flags.fault_plan()?, &flags.query_plan()?)
+                .map_err(|e| e.to_string())?;
+            println!("{report}");
+            Ok(())
+        }
+        Some("resume") => {
+            let flags = Flags::parse(&args[1..])?;
+            let dir: PathBuf = flags.required("checkpoint-dir")?;
+            let exe = flags.optional::<PathBuf>("worker-exe")?;
+            let report = coordinator::resume_job(&dir, exe, &flags.query_plan()?)
+                .map_err(|e| e.to_string())?;
             println!("{report}");
             Ok(())
         }
         Some("reference") => {
             let flags = Flags::parse(&args[1..])?;
-            let cfg = job_config(&flags, true)?;
-            println!("{}", coordinator::run_reference(&cfg));
+            let spec = build_spec(&flags, true)?;
+            println!("{}", coordinator::run_reference(&spec));
+            Ok(())
+        }
+        Some("query") => {
+            let flags = Flags::parse(&args[1..])?;
+            let addr: String = flags.required("connect")?;
+            let report = client::query(&addr).map_err(|e| e.to_string())?;
+            println!("{report}");
             Ok(())
         }
         _ => Err(usage()),

@@ -16,7 +16,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
-use tps_streams::codec::delta::CheckpointReplayer;
+use tps_streams::codec::delta::{peek_frame, CheckpointReplayer, FrameKind};
 
 /// One shard's append-only checkpoint chain.
 #[derive(Debug, Clone)]
@@ -43,6 +43,15 @@ impl CheckpointStore {
     pub fn for_shard(dir: &Path, shard: usize) -> Self {
         Self {
             path: dir.join(format!("shard-{shard}.ckpt")),
+        }
+    }
+
+    /// The coordinator's own chain under `dir` (file `coordinator.ckpt`),
+    /// holding the job-manifest frames — same format, same torn-tail
+    /// recovery as the shard chains.
+    pub fn for_coordinator(dir: &Path) -> Self {
+        Self {
+            path: dir.join("coordinator.ckpt"),
         }
     }
 
@@ -141,6 +150,46 @@ impl CheckpointStore {
                 deltas_since_base,
             }))
     }
+
+    /// Garbage-collects the chain: drops every frame before the last
+    /// *full* frame (a rebase makes its predecessors unreachable — replay
+    /// restarts at the newest full frame regardless). Returns the number
+    /// of frames pruned.
+    ///
+    /// The rewrite is crash-safe: the surviving suffix goes to a
+    /// temporary file, is fsynced, and is renamed over the chain
+    /// atomically (then the directory is fsynced so the rename itself is
+    /// durable). A crash at any point leaves either the old chain or the
+    /// new one — both replay to the identical state, which is exactly
+    /// what the GC byte-identity test pins.
+    ///
+    /// Callers invoke this right after appending a non-delta frame
+    /// (`!CheckpointFrame::is_delta()` — the checkpointer just rebased);
+    /// calling it at any other time is a correct no-op.
+    pub fn compact(&self) -> io::Result<usize> {
+        let (frames, valid, file_len) = self.read_chain()?;
+        let base = frames
+            .iter()
+            .rposition(|frame| matches!(peek_frame(frame), Ok((FrameKind::Full, _))))
+            .unwrap_or(0);
+        if base == 0 && valid == file_len {
+            return Ok(0); // nothing unreachable, no torn tail to shed
+        }
+        let tmp = self.path.with_extension("ckpt.tmp");
+        let mut file = File::create(&tmp)?;
+        for frame in &frames[base..] {
+            file.write_all(&(frame.len() as u64).to_le_bytes())?;
+            file.write_all(frame)?;
+        }
+        file.sync_data()?;
+        drop(file);
+        std::fs::rename(&tmp, &self.path)?;
+        if let Some(parent) = self.path.parent() {
+            // Make the rename durable: fsync the directory entry.
+            File::open(parent)?.sync_data()?;
+        }
+        Ok(base)
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +252,56 @@ mod tests {
         // The torn record is gone from disk too, not just skipped in
         // memory — recovery resets the file to its last complete record.
         assert_eq!(std::fs::metadata(store.path()).unwrap().len(), valid_len);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_preserves_recovery_byte_for_byte() {
+        let dir = temp_dir("compact");
+        let store = CheckpointStore::for_coordinator(&dir);
+        let _ = std::fs::remove_file(store.path());
+        // Chain cap 2: a rebase (full frame) lands every third checkpoint,
+        // so the chain accumulates unreachable prefixes to collect.
+        let mut writer = IncrementalCheckpointer::with_policy(2, 64);
+        let mut state = vec![0x11u8; 4096];
+        for epoch in 1..=8u64 {
+            state[epoch as usize] = epoch as u8;
+            store
+                .append_frame(writer.checkpoint_bytes(state.clone(), epoch).bytes())
+                .unwrap();
+        }
+        let before_frames = store.load_frames().unwrap();
+        let before = store.recover().unwrap().expect("chain recovers");
+
+        let pruned = store.compact().unwrap();
+        assert!(pruned > 0, "an 8-frame cap-2 chain has dead prefixes");
+        let after_frames = store.load_frames().unwrap();
+        assert_eq!(before_frames.len() - pruned, after_frames.len());
+        assert_eq!(
+            peek_frame(&after_frames[0]).unwrap().0,
+            FrameKind::Full,
+            "a compacted chain starts at its base"
+        );
+
+        // The headline contract: recovery from the pruned chain is
+        // byte-identical to recovery from the unpruned chain.
+        let after = store.recover().unwrap().expect("pruned chain recovers");
+        assert_eq!(before.epoch, after.epoch);
+        assert_eq!(before.snapshot, after.snapshot);
+        assert_eq!(before.deltas_since_base, after.deltas_since_base);
+
+        // Compacting an already-compact chain is a no-op.
+        assert_eq!(store.compact().unwrap(), 0);
+        assert_eq!(store.load_frames().unwrap(), after_frames);
+
+        // And appends continue cleanly after a GC (append mode lands at
+        // the end of the rewritten file).
+        state[99] = 0xFE;
+        store
+            .append_frame(writer.checkpoint_bytes(state.clone(), 9).bytes())
+            .unwrap();
+        let resumed = store.recover().unwrap().expect("chain recovers");
+        assert_eq!((resumed.epoch, resumed.snapshot), (9, state));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

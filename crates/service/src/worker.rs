@@ -1,22 +1,31 @@
 //! The worker process: owns exactly one shard of the job's sampler, talks
-//! the [`tps_streams::wire`] protocol over its stdin/stdout, and keeps an
-//! incremental checkpoint chain on disk.
+//! the [`tps_streams::wire`] protocol over whichever transport the job
+//! uses (stdin/stdout pipes or a TCP listener), and keeps an incremental
+//! checkpoint chain on disk.
 //!
-//! Lifecycle: recover from the on-disk chain (if any), announce the
-//! recovered epoch in `Hello`, then loop — apply `Ingest` chunks in
-//! arrival order; on a `Checkpoint` barrier append a delta frame durably
-//! *before* acking; on a `Query` barrier ack with the full sealed
-//! snapshot. The worker never sees the stream outside its shard and never
-//! touches the golden-corpus registry: its entire interface is the pipe
-//! and the chain file.
+//! Lifecycle per connection: recover from the on-disk chain (if any),
+//! announce the recovered epoch in `Hello`, then loop — apply `Ingest`
+//! chunks in arrival order; on a `Checkpoint` barrier append a delta
+//! frame durably *before* acking (and GC the chain when the checkpointer
+//! rebased); on a `Query` barrier ack with the full sealed snapshot. The
+//! worker never sees the stream outside its shard and never touches the
+//! golden-corpus registry: its entire interface is the connection and the
+//! chain file.
+//!
+//! In `--listen` mode the worker outlives its coordinator: when the
+//! connection drops without a clean `Shutdown`, it loops back to accept.
+//! Crucially, each new connection starts from the **on-disk chain**, not
+//! from whatever in-memory state the previous connection accumulated —
+//! un-checkpointed work is deliberately discarded, because the replacement
+//! coordinator's replay buffers only cover chunks past the last durable
+//! checkpoint. Keeping the in-memory tail would double-count them.
 
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, Write};
 
 use tps_streams::codec::delta::IncrementalCheckpointer;
 use tps_streams::codec::{Restore, Snapshot};
-use tps_streams::wire::{
-    read_message, write_message, BarrierKind, IngestPayload, WireError, WireMessage,
-};
+use tps_streams::wire::transport::{Connection, Listener, StdioListener, TcpServerListener};
+use tps_streams::wire::{BarrierKind, IngestPayload, WireError, WireMessage};
 use tps_streams::UpdateSampler;
 
 use crate::config::{make_f0, make_g, make_l2, make_turnstile, SamplerKind, WorkerConfig};
@@ -25,56 +34,87 @@ use crate::store::CheckpointStore;
 fn wire_to_io(e: WireError) -> io::Error {
     match e {
         WireError::Io(e) => e,
-        WireError::Codec(e) => io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
+        other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
     }
 }
 
-/// Runs the worker protocol over the process's stdin/stdout.
+/// Runs the worker over its configured transport: `listen = Some(addr)`
+/// binds a TCP listener there (announcing `listening <bound-addr>` on
+/// stdout, which resolves ephemeral `:0` ports for a spawning
+/// coordinator); `None` serves this process's stdin/stdout once.
 pub fn run(cfg: &WorkerConfig) -> io::Result<()> {
-    let stdin = io::stdin().lock();
-    let stdout = io::stdout().lock();
-    match cfg.sampler {
-        SamplerKind::L2 => serve(
-            cfg,
-            make_l2(cfg.universe, cfg.seed, cfg.shard),
-            stdin,
-            stdout,
-        ),
-        SamplerKind::F0 => serve(
-            cfg,
-            make_f0(cfg.universe, cfg.seed, cfg.shard),
-            stdin,
-            stdout,
-        ),
-        SamplerKind::G => serve(
-            cfg,
-            make_g(cfg.universe, cfg.seed, cfg.shard),
-            stdin,
-            stdout,
-        ),
-        SamplerKind::Turnstile => serve(
-            cfg,
-            make_turnstile(cfg.universe, cfg.seed, cfg.shard),
-            stdin,
-            stdout,
-        ),
+    match &cfg.listen {
+        Some(addr) => {
+            let mut listener = TcpServerListener::bind(addr.as_str())?;
+            println!("listening {}", listener.local_addr()?);
+            io::stdout().flush()?;
+            accept_loop(cfg, &mut listener)
+        }
+        None => accept_loop(cfg, &mut StdioListener::new()),
     }
 }
 
-/// The worker loop over explicit streams (unit-testable without a process
-/// boundary). `fresh` is the shard's state if no checkpoint chain exists.
+/// Serves connections until the transport is exhausted or a coordinator
+/// sends a clean `Shutdown`. A connection that drops mid-job (dead
+/// coordinator) or errors is *not* fatal in listen mode — the worker logs
+/// and goes back to accepting; its durable chain carries the state. In
+/// pipe mode the transport is one-shot, so a failed conversation
+/// propagates as this process's exit status.
+fn accept_loop<L: Listener>(cfg: &WorkerConfig, listener: &mut L) -> io::Result<()> {
+    let mut last: io::Result<()> = Ok(());
+    loop {
+        let Some(mut conn) = listener.accept()? else {
+            return last; // transport out of connections (stdio one-shot)
+        };
+        let served = match cfg.sampler {
+            SamplerKind::L2 => serve(
+                cfg,
+                || make_l2(cfg.universe, cfg.seed, cfg.shard),
+                &mut conn,
+            ),
+            SamplerKind::F0 => serve(
+                cfg,
+                || make_f0(cfg.universe, cfg.seed, cfg.shard),
+                &mut conn,
+            ),
+            SamplerKind::G => serve(cfg, || make_g(cfg.universe, cfg.seed, cfg.shard), &mut conn),
+            SamplerKind::Turnstile => serve(
+                cfg,
+                || make_turnstile(cfg.universe, cfg.seed, cfg.shard),
+                &mut conn,
+            ),
+        };
+        match served {
+            Ok(true) => return Ok(()),  // clean shutdown: the job is done
+            Ok(false) => last = Ok(()), // peer vanished; state is on disk
+            Err(e) => {
+                eprintln!("worker {}: connection failed: {e}", cfg.shard);
+                last = Err(e);
+            }
+        }
+    }
+}
+
+/// One coordinator conversation over an explicit [`Connection`]
+/// (unit-testable without a process boundary). `fresh` builds the shard's
+/// state if no checkpoint chain exists — evaluated per call, so every
+/// conversation starts from durable state only. Returns `true` if the
+/// coordinator ended the job with `Shutdown`, `false` on bare EOF.
 ///
 /// Generic over the update type `U` the shard consumes: insertion-only
 /// shards receive [`WireMessage::Ingest`] frames, turnstile shards
 /// [`WireMessage::IngestSigned`] — [`IngestPayload`] picks the right
 /// variant per `U`, and everything else (checkpoint chains, barriers,
 /// recovery) is identical.
-pub fn serve<S, U, R, W>(cfg: &WorkerConfig, fresh: S, input: R, output: W) -> io::Result<()>
+pub fn serve<S, U, C>(
+    cfg: &WorkerConfig,
+    fresh: impl FnOnce() -> S,
+    conn: &mut C,
+) -> io::Result<bool>
 where
     S: UpdateSampler<U> + Snapshot + Restore,
     U: IngestPayload,
-    R: Read,
-    W: Write,
+    C: Connection + ?Sized,
 {
     let store = CheckpointStore::for_shard(&cfg.checkpoint_dir, cfg.shard);
     let (mut sampler, mut checkpointer, resume_epoch) = match store.recover()? {
@@ -92,40 +132,34 @@ where
                 epoch,
             )
         }
-        None => (fresh, IncrementalCheckpointer::new(), 0),
+        None => (fresh(), IncrementalCheckpointer::new(), 0),
     };
 
-    let mut input = BufReader::new(input);
-    let mut output = BufWriter::new(output);
-    write_message(
-        &mut output,
-        &WireMessage::Hello {
-            shard: cfg.shard as u64,
-            resume_epoch,
-        },
-    )?;
+    conn.send(&WireMessage::hello(cfg.shard as u64, resume_epoch))?;
 
-    while let Some(msg) = read_message(&mut input).map_err(wire_to_io)? {
+    while let Some(msg) = conn.recv().map_err(wire_to_io)? {
         match msg {
             WireMessage::Barrier { epoch, kind } => {
                 let snapshot = match kind {
                     BarrierKind::Checkpoint => {
                         let frame = checkpointer.checkpoint(&sampler, epoch);
                         store.append_frame(frame.bytes())?;
+                        if !frame.is_delta() {
+                            // The checkpointer rebased: everything before
+                            // this full frame is unreachable — collect it.
+                            store.compact()?;
+                        }
                         None
                     }
                     BarrierKind::Query => Some(sampler.snapshot()),
                 };
-                write_message(
-                    &mut output,
-                    &WireMessage::BarrierAck {
-                        shard: cfg.shard as u64,
-                        epoch,
-                        snapshot,
-                    },
-                )?;
+                conn.send(&WireMessage::BarrierAck {
+                    shard: cfg.shard as u64,
+                    epoch,
+                    snapshot,
+                })?;
             }
-            WireMessage::Shutdown => break,
+            WireMessage::Shutdown => return Ok(true),
             other => match U::from_ingest(other) {
                 Ok(updates) => sampler.ingest_batch(&updates),
                 Err(unexpected) => {
@@ -137,7 +171,7 @@ where
             },
         }
     }
-    Ok(())
+    Ok(false)
 }
 
 #[cfg(test)]
@@ -146,7 +180,9 @@ mod tests {
     use crate::config::make_l2;
     use std::path::PathBuf;
     use tps_core::lp::TrulyPerfectLpSampler;
-    use tps_streams::wire::encode_message;
+    use tps_streams::codec::delta::{peek_frame, FrameKind};
+    use tps_streams::wire::transport::FramedConnection;
+    use tps_streams::wire::{encode_message, read_message};
     use tps_streams::StreamSampler;
 
     fn temp_dir(tag: &str) -> PathBuf {
@@ -174,6 +210,25 @@ mod tests {
         out
     }
 
+    /// Runs one scripted conversation against the serve loop, returning
+    /// (clean_shutdown, replies).
+    fn converse<S, U>(
+        cfg: &WorkerConfig,
+        fresh: impl FnOnce() -> S,
+        messages: &[WireMessage],
+    ) -> (bool, Vec<WireMessage>)
+    where
+        S: UpdateSampler<U> + Snapshot + Restore,
+        U: IngestPayload,
+    {
+        let input = script(messages);
+        let mut output = Vec::new();
+        let mut conn = FramedConnection::new(input.as_slice(), &mut output);
+        let done = serve(cfg, fresh, &mut conn).unwrap();
+        drop(conn);
+        (done, replies(&output))
+    }
+
     #[test]
     fn worker_checkpoints_recovers_and_matches_uninterrupted_state() {
         let dir = temp_dir("recover");
@@ -183,6 +238,7 @@ mod tests {
             universe: 1 << 12,
             seed: 21,
             checkpoint_dir: dir.clone(),
+            listen: None,
         };
         let store = CheckpointStore::for_shard(&dir, 0);
         let _ = std::fs::remove_file(store.path());
@@ -192,34 +248,24 @@ mod tests {
 
         // Session 1: ingest chunk A, checkpoint at epoch 1, then ingest
         // chunk B and "crash" (no checkpoint, no shutdown — EOF).
-        let input = script(&[
-            WireMessage::Ingest {
-                items: chunk_a.clone(),
-            },
-            WireMessage::Barrier {
-                epoch: 1,
-                kind: BarrierKind::Checkpoint,
-            },
-            WireMessage::Ingest {
-                items: chunk_b.clone(),
-            },
-        ]);
-        let mut output = Vec::new();
-        serve(
+        let (done, first) = converse(
             &cfg,
-            make_l2(cfg.universe, cfg.seed, cfg.shard),
-            input.as_slice(),
-            &mut output,
-        )
-        .unwrap();
-        let first = replies(&output);
-        assert_eq!(
-            first[0],
-            WireMessage::Hello {
-                shard: 0,
-                resume_epoch: 0
-            }
+            || make_l2(cfg.universe, cfg.seed, cfg.shard),
+            &[
+                WireMessage::Ingest {
+                    items: chunk_a.clone(),
+                },
+                WireMessage::Barrier {
+                    epoch: 1,
+                    kind: BarrierKind::Checkpoint,
+                },
+                WireMessage::Ingest {
+                    items: chunk_b.clone(),
+                },
+            ],
         );
+        assert!(!done, "EOF is not a clean shutdown");
+        assert_eq!(first[0], WireMessage::hello(0, 0));
         assert!(matches!(
             first[1],
             WireMessage::BarrierAck {
@@ -232,32 +278,22 @@ mod tests {
         // Session 2: the restarted worker resumes from epoch 1; the
         // coordinator re-sends chunk B; a query must match a never-crashed
         // sampler that saw A then B.
-        let input = script(&[
-            WireMessage::Ingest {
-                items: chunk_b.clone(),
-            },
-            WireMessage::Barrier {
-                epoch: 2,
-                kind: BarrierKind::Query,
-            },
-            WireMessage::Shutdown,
-        ]);
-        let mut output = Vec::new();
-        serve(
+        let (done, second) = converse(
             &cfg,
-            make_l2(cfg.universe, cfg.seed, cfg.shard),
-            input.as_slice(),
-            &mut output,
-        )
-        .unwrap();
-        let second = replies(&output);
-        assert_eq!(
-            second[0],
-            WireMessage::Hello {
-                shard: 0,
-                resume_epoch: 1
-            }
+            || make_l2(cfg.universe, cfg.seed, cfg.shard),
+            &[
+                WireMessage::Ingest {
+                    items: chunk_b.clone(),
+                },
+                WireMessage::Barrier {
+                    epoch: 2,
+                    kind: BarrierKind::Query,
+                },
+                WireMessage::Shutdown,
+            ],
         );
+        assert!(done, "Shutdown is a clean end");
+        assert_eq!(second[0], WireMessage::hello(0, 1));
         let recovered_snapshot = match &second[1] {
             WireMessage::BarrierAck {
                 epoch: 2,
@@ -297,6 +333,7 @@ mod tests {
             universe: 1 << 12,
             seed: 23,
             checkpoint_dir: dir.clone(),
+            listen: None,
         };
         let store = CheckpointStore::for_shard(&dir, 0);
         let _ = std::fs::remove_file(store.path());
@@ -319,53 +356,40 @@ mod tests {
         let chunk_a = signed(0, 3_000);
         let chunk_b = signed(11, 3_000);
 
-        let input = script(&[
-            WireMessage::IngestSigned {
-                updates: chunk_a.clone(),
-            },
-            WireMessage::Barrier {
-                epoch: 1,
-                kind: BarrierKind::Checkpoint,
-            },
-            WireMessage::IngestSigned {
-                updates: chunk_b.clone(),
-            },
-        ]);
-        let mut output = Vec::new();
-        serve(
+        let (done, _) = converse(
             &cfg,
-            make_turnstile(cfg.universe, cfg.seed, cfg.shard),
-            input.as_slice(),
-            &mut output,
-        )
-        .unwrap();
-
-        let input = script(&[
-            WireMessage::IngestSigned {
-                updates: chunk_b.clone(),
-            },
-            WireMessage::Barrier {
-                epoch: 2,
-                kind: BarrierKind::Query,
-            },
-            WireMessage::Shutdown,
-        ]);
-        let mut output = Vec::new();
-        serve(
-            &cfg,
-            make_turnstile(cfg.universe, cfg.seed, cfg.shard),
-            input.as_slice(),
-            &mut output,
-        )
-        .unwrap();
-        let second = replies(&output);
-        assert_eq!(
-            second[0],
-            WireMessage::Hello {
-                shard: 0,
-                resume_epoch: 1
-            }
+            || make_turnstile(cfg.universe, cfg.seed, cfg.shard),
+            &[
+                WireMessage::IngestSigned {
+                    updates: chunk_a.clone(),
+                },
+                WireMessage::Barrier {
+                    epoch: 1,
+                    kind: BarrierKind::Checkpoint,
+                },
+                WireMessage::IngestSigned {
+                    updates: chunk_b.clone(),
+                },
+            ],
         );
+        assert!(!done);
+
+        let (done, second) = converse(
+            &cfg,
+            || make_turnstile(cfg.universe, cfg.seed, cfg.shard),
+            &[
+                WireMessage::IngestSigned {
+                    updates: chunk_b.clone(),
+                },
+                WireMessage::Barrier {
+                    epoch: 2,
+                    kind: BarrierKind::Query,
+                },
+                WireMessage::Shutdown,
+            ],
+        );
+        assert!(done);
+        assert_eq!(second[0], WireMessage::hello(0, 1));
         let recovered_snapshot = match &second[1] {
             WireMessage::BarrierAck {
                 epoch: 2,
@@ -384,6 +408,65 @@ mod tests {
             "turnstile recovery + replay drifted from the uninterrupted run"
         );
         let _ = StrictTurnstileF0Sampler::restore(&recovered_snapshot).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Serving many checkpoint barriers keeps the on-disk chain
+    /// compacted: after the checkpointer rebases, the chain starts at the
+    /// newest full frame instead of growing without bound.
+    #[test]
+    fn checkpoint_chain_is_garbage_collected_across_rebases() {
+        let dir = temp_dir("gc");
+        let cfg = WorkerConfig {
+            shard: 0,
+            sampler: SamplerKind::L2,
+            universe: 1 << 12,
+            seed: 29,
+            checkpoint_dir: dir.clone(),
+            listen: None,
+        };
+        let store = CheckpointStore::for_shard(&dir, 0);
+        let _ = std::fs::remove_file(store.path());
+
+        // Alternate big ingests and checkpoints: large state churn makes
+        // deltas expensive, so the checkpointer rebases regularly.
+        let mut messages = Vec::new();
+        for round in 0..12u64 {
+            messages.push(WireMessage::Ingest {
+                items: (0..2_000u64).map(|i| (i * (round + 3)) % 4096).collect(),
+            });
+            messages.push(WireMessage::Barrier {
+                epoch: round + 1,
+                kind: BarrierKind::Checkpoint,
+            });
+        }
+        messages.push(WireMessage::Shutdown);
+        let (done, _) = converse(
+            &cfg,
+            || make_l2(cfg.universe, cfg.seed, cfg.shard),
+            &messages,
+        );
+        assert!(done);
+
+        let frames = store.load_frames().unwrap();
+        assert!(!frames.is_empty());
+        assert_eq!(
+            peek_frame(&frames[0]).unwrap().0,
+            FrameKind::Full,
+            "chain must start at its base after GC"
+        );
+        let fulls = frames
+            .iter()
+            .filter(|f| matches!(peek_frame(f), Ok((FrameKind::Full, _))))
+            .count();
+        assert_eq!(
+            fulls,
+            1,
+            "exactly one full frame survives GC, got {fulls} in {} frames",
+            frames.len()
+        );
+        // And the compacted chain still recovers to the final epoch.
+        assert_eq!(store.recover().unwrap().unwrap().epoch, 12);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

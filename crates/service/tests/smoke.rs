@@ -1,89 +1,204 @@
-//! End-to-end smoke test of the cross-process ingest service, driven
-//! through the real binary (`CARGO_BIN_EXE_tps-service`): coordinator +
-//! worker processes over pipes, on-disk checkpoint chains, deterministic
-//! fault injection — asserted against the single-process reference.
+//! End-to-end smoke test of the networked ingest service, driven through
+//! the real binary (`CARGO_BIN_EXE_tps-service`): coordinator + worker
+//! processes over pipes *and* TCP loopback, on-disk checkpoint chains,
+//! a durable coordinator manifest chain, deterministic fault injection,
+//! and a live query plane — all asserted against the single-process
+//! reference.
 //!
 //! The headline contracts:
 //!
 //! * **Distributed = single-process**: the coordinator's merged query
 //!   report equals the in-process sharded sampler's, byte for byte
 //!   (snapshot checksum *and* sample outcome), for every sampler kind.
-//! * **Recovery = uninterrupted**: killing a worker mid-stream (SIGKILL,
-//!   no drain) and restarting it from its last checkpoint produces the
-//!   identical final report — the replay-buffer protocol loses nothing
-//!   and double-counts nothing.
+//! * **Recovery = uninterrupted**: SIGKILLing a *worker* (either
+//!   transport) or the *coordinator* (pipe off-barrier, TCP mid-barrier —
+//!   the widest crash window) mid-stream and recovering from the on-disk
+//!   chains produces the identical final report.
+//! * **Queries don't perturb**: a client query served mid-ingest over TCP
+//!   returns the consistent cut at its chunk boundary, ingest continues
+//!   past the query barrier, and the final report still matches the
+//!   reference.
+//!
+//! On assertion failure, if `TPS_SMOKE_ARTIFACT_DIR` is set the job's
+//! checkpoint directory (coordinator manifest chain + shard chains) is
+//! preserved there for post-mortem — CI uploads it as an artifact.
 
-use std::path::PathBuf;
-use std::process::Command;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
 
-use tps_service::config::{JobConfig, KillSpec, SamplerKind};
+use tps_service::config::{SamplerKind, ServiceBuilder, TransportKind};
 use tps_service::coordinator::{run_reference, QueryReport};
 use tps_service::store::CheckpointStore;
+use tps_service::JobSpec;
 use tps_streams::codec::delta::{peek_frame, FrameKind};
 
 fn service_exe() -> PathBuf {
     PathBuf::from(env!("CARGO_BIN_EXE_tps-service"))
 }
 
-fn fresh_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("tps-smoke-{tag}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
-    dir
+/// A scratch checkpoint directory that cleans itself up on success and —
+/// when `TPS_SMOKE_ARTIFACT_DIR` is set — preserves itself on panic.
+struct JobDir {
+    dir: PathBuf,
+    tag: String,
 }
 
-fn base_job(kind: SamplerKind, dir: PathBuf) -> JobConfig {
-    JobConfig {
-        workers: 2,
-        sampler: kind,
-        universe: 1 << 12,
-        seed: 424_242,
-        count: 30_000,
-        chunk: 1_000,
-        checkpoint_every: 3,
-        checkpoint_dir: dir,
-        kill: None,
-        worker_exe: None,
+impl JobDir {
+    fn fresh(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("tps-smoke-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Self {
+            dir,
+            tag: tag.to_string(),
+        }
     }
+
+    fn path(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl Drop for JobDir {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            if let Ok(root) = std::env::var("TPS_SMOKE_ARTIFACT_DIR") {
+                let dest = Path::new(&root).join(&self.tag);
+                match copy_tree(&self.dir, &dest) {
+                    Ok(()) => eprintln!("smoke: preserved {} at {}", self.tag, dest.display()),
+                    Err(e) => eprintln!("smoke: could not preserve {}: {e}", self.tag),
+                }
+            }
+        } else {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+fn copy_tree(src: &Path, dest: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dest)?;
+    for entry in std::fs::read_dir(src)? {
+        let entry = entry?;
+        let to = dest.join(entry.file_name());
+        if entry.file_type()?.is_dir() {
+            copy_tree(&entry.path(), &to)?;
+        } else {
+            std::fs::copy(entry.path(), &to)?;
+        }
+    }
+    Ok(())
+}
+
+fn base_spec(kind: SamplerKind, dir: &Path, tcp: bool) -> JobSpec {
+    let mut builder = ServiceBuilder::new(kind, 2)
+        .universe(1 << 12)
+        .seed(424_242)
+        .count(30_000)
+        .chunk(1_000)
+        .checkpoint_every(3)
+        .checkpoint_dir(dir)
+        .worker_exe(service_exe());
+    if tcp {
+        builder = builder.transport(TransportKind::Tcp {
+            endpoints: Vec::new(),
+        });
+    }
+    builder.build().unwrap()
+}
+
+fn coordinator_cmd(spec: &JobSpec, extra: &[&str]) -> Command {
+    let mut cmd = Command::new(service_exe());
+    cmd.arg("coordinator")
+        .arg("--workers")
+        .arg(spec.workers.to_string())
+        .arg("--sampler")
+        .arg(spec.sampler.as_str())
+        .arg("--universe")
+        .arg(spec.universe.to_string())
+        .arg("--seed")
+        .arg(spec.seed.to_string())
+        .arg("--count")
+        .arg(spec.count.to_string())
+        .arg("--chunk")
+        .arg(spec.chunk.to_string())
+        .arg("--checkpoint-every")
+        .arg(spec.checkpoint_every.to_string())
+        .arg("--checkpoint-dir")
+        .arg(&spec.checkpoint_dir)
+        .arg("--worker-exe")
+        .arg(service_exe());
+    if matches!(spec.transport, TransportKind::Tcp { .. }) {
+        cmd.arg("--transport").arg("tcp");
+    }
+    cmd.args(extra);
+    cmd
+}
+
+fn parse_report(stdout: &[u8]) -> QueryReport {
+    let text = String::from_utf8(stdout.to_vec()).expect("utf8 report");
+    let line = text.lines().rev().find(|l| !l.trim().is_empty()).unwrap();
+    QueryReport::parse(line.trim()).unwrap_or_else(|| panic!("unparseable report: {line:?}"))
 }
 
 /// Runs the coordinator subcommand of the real binary and parses its
 /// report line.
-fn run_service(cfg: &JobConfig) -> QueryReport {
-    let mut cmd = Command::new(service_exe());
-    cmd.arg("coordinator")
-        .arg("--workers")
-        .arg(cfg.workers.to_string())
-        .arg("--sampler")
-        .arg(cfg.sampler.as_str())
-        .arg("--universe")
-        .arg(cfg.universe.to_string())
-        .arg("--seed")
-        .arg(cfg.seed.to_string())
-        .arg("--count")
-        .arg(cfg.count.to_string())
-        .arg("--chunk")
-        .arg(cfg.chunk.to_string())
-        .arg("--checkpoint-every")
-        .arg(cfg.checkpoint_every.to_string())
-        .arg("--checkpoint-dir")
-        .arg(&cfg.checkpoint_dir)
-        .arg("--worker-exe")
-        .arg(service_exe());
-    if let Some(kill) = cfg.kill {
-        cmd.arg("--kill-shard")
-            .arg(kill.shard.to_string())
-            .arg("--kill-after-chunks")
-            .arg(kill.after_chunks.to_string());
-    }
-    let output = cmd.output().expect("coordinator runs");
+fn run_service(spec: &JobSpec, extra: &[&str]) -> QueryReport {
+    let output = coordinator_cmd(spec, extra)
+        .output()
+        .expect("coordinator runs");
     assert!(
         output.status.success(),
         "coordinator failed: {}",
         String::from_utf8_lossy(&output.stderr)
     );
-    let line = String::from_utf8(output.stdout).expect("utf8 report");
-    QueryReport::parse(line.trim()).unwrap_or_else(|| panic!("unparseable report: {line:?}"))
+    parse_report(&output.stdout)
+}
+
+/// Runs a coordinator that is expected to die mid-job (simulated SIGKILL
+/// via abort). Waits on the exit *status* only — capturing its pipes
+/// would deadlock on TCP jobs, whose surviving listen workers inherit
+/// the coordinator's stderr and outlive it by design.
+fn run_service_until_death(spec: &JobSpec, extra: &[&str]) {
+    let status = coordinator_cmd(spec, extra)
+        .stdout(Stdio::null())
+        .status()
+        .expect("coordinator spawns");
+    assert!(
+        !status.success(),
+        "coordinator with a die fault exited cleanly"
+    );
+}
+
+/// Resumes a job from its coordinator manifest chain and parses the
+/// report of the completed run.
+fn resume_service(dir: &Path) -> QueryReport {
+    let output = Command::new(service_exe())
+        .arg("resume")
+        .arg("--checkpoint-dir")
+        .arg(dir)
+        .arg("--worker-exe")
+        .arg(service_exe())
+        .output()
+        .expect("resume runs");
+    assert!(
+        output.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    parse_report(&output.stdout)
+}
+
+fn assert_manifest_chain_healthy(dir: &Path) {
+    let frames = CheckpointStore::for_coordinator(dir)
+        .load_frames()
+        .expect("coordinator chain loads");
+    assert!(!frames.is_empty(), "coordinator chain is empty");
+    let (kind, _) = peek_frame(&frames[0]).expect("chain frame peeks");
+    assert!(
+        matches!(kind, FrameKind::Full),
+        "coordinator chain does not start with a full frame: {kind:?}"
+    );
 }
 
 #[test]
@@ -94,72 +209,70 @@ fn service_matches_single_process_reference_for_every_kind() {
         SamplerKind::G,
         SamplerKind::Turnstile,
     ] {
-        let dir = fresh_dir(&format!("ref-{}", kind.as_str()));
-        let cfg = base_job(kind, dir.clone());
-        let service = run_service(&cfg);
-        let reference = run_reference(&cfg);
+        let dir = JobDir::fresh(&format!("ref-{}", kind.as_str()));
+        let spec = base_spec(kind, dir.path(), false);
+        let service = run_service(&spec, &[]);
+        let reference = run_reference(&spec);
         assert_eq!(
             service,
             reference,
             "{}: distributed merged query drifted from the single-process reference",
             kind.as_str()
         );
-        assert_eq!(service.processed, cfg.count as u64);
-        std::fs::remove_dir_all(&dir).unwrap();
+        assert_eq!(service.processed, spec.count as u64);
     }
 }
 
+/// SIGKILL a worker mid-stream over both transports; the recovered run
+/// must be byte-identical to the uninterrupted one and to the reference.
 #[test]
-fn killed_worker_recovers_byte_identically() {
-    // Uninterrupted run.
-    let calm_dir = fresh_dir("calm");
-    let calm_cfg = base_job(SamplerKind::L2, calm_dir.clone());
-    let calm = run_service(&calm_cfg);
+fn killed_worker_recovers_byte_identically_over_both_transports() {
+    for tcp in [false, true] {
+        let label = if tcp { "tcp" } else { "pipe" };
 
-    // Same job, but shard 1's worker is SIGKILLed after chunk 11 — two
-    // chunks past the epoch-3 checkpoint (chunk 9), so recovery must
-    // restore the checkpoint AND replay the two uncovered chunks.
-    let chaos_dir = fresh_dir("chaos");
-    let chaos_cfg = JobConfig {
-        checkpoint_dir: chaos_dir.clone(),
-        kill: Some(KillSpec {
-            shard: 1,
-            after_chunks: 11,
-        }),
-        ..base_job(SamplerKind::L2, chaos_dir.clone())
-    };
-    let chaos = run_service(&chaos_cfg);
+        // Uninterrupted run.
+        let calm_dir = JobDir::fresh(&format!("calm-{label}"));
+        let calm_spec = base_spec(SamplerKind::L2, calm_dir.path(), tcp);
+        let calm = run_service(&calm_spec, &[]);
 
-    assert_eq!(
-        calm, chaos,
-        "recovery-from-checkpoint run drifted from the uninterrupted run"
-    );
-    assert_eq!(
-        calm,
-        run_reference(&calm_cfg),
-        "both drifted from reference"
-    );
+        // Same job, but shard 1's worker is SIGKILLed after chunk 11 — two
+        // chunks past the epoch-3 checkpoint (chunk 9), so recovery must
+        // restore the checkpoint AND replay the two uncovered chunks.
+        let chaos_dir = JobDir::fresh(&format!("chaos-{label}"));
+        let chaos_spec = base_spec(SamplerKind::L2, chaos_dir.path(), tcp);
+        let chaos = run_service(
+            &chaos_spec,
+            &["--kill-shard", "1", "--kill-after-chunks", "11"],
+        );
 
-    // The killed shard's chain holds the pre-kill checkpoints and the
-    // post-recovery ones, and actually contains delta frames (the
-    // incremental path is exercised, not just full rebases).
-    let chain = CheckpointStore::for_shard(&chaos_dir, 1)
-        .load_frames()
-        .unwrap();
-    assert!(chain.len() >= 2, "killed shard's chain too short");
-    let kinds: Vec<FrameKind> = chain
-        .iter()
-        .map(|frame| peek_frame(frame).expect("chain frame peeks").0)
-        .collect();
-    assert!(
-        kinds
+        assert_eq!(
+            calm, chaos,
+            "{label}: recovery-from-checkpoint run drifted from the uninterrupted run"
+        );
+        assert_eq!(
+            calm,
+            run_reference(&calm_spec),
+            "{label}: both drifted from reference"
+        );
+
+        // The killed shard's chain holds the pre-kill checkpoints and the
+        // post-recovery ones, and actually contains delta frames (the
+        // incremental path is exercised, not just full rebases).
+        let chain = CheckpointStore::for_shard(chaos_dir.path(), 1)
+            .load_frames()
+            .unwrap();
+        assert!(chain.len() >= 2, "{label}: killed shard's chain too short");
+        let kinds: Vec<FrameKind> = chain
             .iter()
-            .any(|kind| matches!(kind, FrameKind::Delta { .. })),
-        "no delta frames in the killed shard's chain: {kinds:?}"
-    );
-
-    std::fs::remove_dir_all(&calm_dir).unwrap();
-    std::fs::remove_dir_all(&chaos_dir).unwrap();
+            .map(|frame| peek_frame(frame).expect("chain frame peeks").0)
+            .collect();
+        assert!(
+            kinds
+                .iter()
+                .any(|kind| matches!(kind, FrameKind::Delta { .. })),
+            "{label}: no delta frames in the killed shard's chain: {kinds:?}"
+        );
+    }
 }
 
 /// The turnstile kind survives a SIGKILL the same way: delta-chain
@@ -167,20 +280,16 @@ fn killed_worker_recovers_byte_identically() {
 /// byte for byte, and both match the in-process reference.
 #[test]
 fn killed_turnstile_worker_recovers_byte_identically() {
-    let calm_dir = fresh_dir("turnstile-calm");
-    let calm_cfg = base_job(SamplerKind::Turnstile, calm_dir.clone());
-    let calm = run_service(&calm_cfg);
+    let calm_dir = JobDir::fresh("turnstile-calm");
+    let calm_spec = base_spec(SamplerKind::Turnstile, calm_dir.path(), false);
+    let calm = run_service(&calm_spec, &[]);
 
-    let chaos_dir = fresh_dir("turnstile-chaos");
-    let chaos_cfg = JobConfig {
-        checkpoint_dir: chaos_dir.clone(),
-        kill: Some(KillSpec {
-            shard: 1,
-            after_chunks: 11,
-        }),
-        ..base_job(SamplerKind::Turnstile, chaos_dir.clone())
-    };
-    let chaos = run_service(&chaos_cfg);
+    let chaos_dir = JobDir::fresh("turnstile-chaos");
+    let chaos_spec = base_spec(SamplerKind::Turnstile, chaos_dir.path(), false);
+    let chaos = run_service(
+        &chaos_spec,
+        &["--kill-shard", "1", "--kill-after-chunks", "11"],
+    );
 
     assert_eq!(
         calm, chaos,
@@ -188,10 +297,135 @@ fn killed_turnstile_worker_recovers_byte_identically() {
     );
     assert_eq!(
         calm,
-        run_reference(&calm_cfg),
+        run_reference(&calm_spec),
         "turnstile service drifted from reference"
     );
+}
 
-    std::fs::remove_dir_all(&calm_dir).unwrap();
-    std::fs::remove_dir_all(&chaos_dir).unwrap();
+/// SIGKILL the *coordinator* mid-job over pipes (off a barrier — pipe
+/// workers die with it, so the crash point must not race a worker's disk
+/// append); the resumed run finishes byte-identical to the uninterrupted
+/// run, reconstructed from the manifest chain alone.
+#[test]
+fn killed_coordinator_resumes_byte_identically_over_pipes() {
+    let calm_dir = JobDir::fresh("coord-calm-pipe");
+    let calm_spec = base_spec(SamplerKind::L2, calm_dir.path(), false);
+    let calm = run_service(&calm_spec, &[]);
+
+    let chaos_dir = JobDir::fresh("coord-chaos-pipe");
+    let chaos_spec = base_spec(SamplerKind::L2, chaos_dir.path(), false);
+    // Chunk 11 is two past the epoch-3 checkpoint (chunk 9) and not a
+    // barrier itself: everything after the manifest cut dies cleanly.
+    run_service_until_death(&chaos_spec, &["--die-after-chunks", "11"]);
+    assert_manifest_chain_healthy(chaos_dir.path());
+    let resumed = resume_service(chaos_dir.path());
+
+    assert_eq!(
+        calm, resumed,
+        "resumed coordinator drifted from the uninterrupted run"
+    );
+    assert_eq!(
+        calm,
+        run_reference(&calm_spec),
+        "both drifted from reference"
+    );
+}
+
+/// SIGKILL the coordinator over TCP *mid-barrier* — manifest written,
+/// checkpoint barriers sent, zero acks collected. The listen workers
+/// survive the coordinator, finish the checkpoint into their chains, and
+/// the resumed coordinator re-dials them at the endpoints recorded in the
+/// manifest. Still byte-identical.
+#[test]
+fn killed_coordinator_resumes_byte_identically_over_tcp_mid_barrier() {
+    let calm_dir = JobDir::fresh("coord-calm-tcp");
+    let calm_spec = base_spec(SamplerKind::L2, calm_dir.path(), true);
+    let calm = run_service(&calm_spec, &[]);
+
+    let chaos_dir = JobDir::fresh("coord-chaos-tcp");
+    let chaos_spec = base_spec(SamplerKind::L2, chaos_dir.path(), true);
+    // Dies inside the first checkpoint barrier at/after chunk 11 — the
+    // epoch-4 barrier at chunk 12.
+    run_service_until_death(
+        &chaos_spec,
+        &["--die-after-chunks", "11", "--die-mid-barrier", "true"],
+    );
+    assert_manifest_chain_healthy(chaos_dir.path());
+    let resumed = resume_service(chaos_dir.path());
+
+    assert_eq!(
+        calm, resumed,
+        "mid-barrier coordinator death: resumed run drifted from the uninterrupted run"
+    );
+    assert_eq!(
+        calm,
+        run_reference(&calm_spec),
+        "both drifted from reference"
+    );
+}
+
+/// A client query served over TCP while ingest runs returns the
+/// consistent cut at its chunk boundary, and the job keeps ingesting past
+/// the query barrier to a final report that still matches the reference —
+/// queries never perturb sampler state.
+#[test]
+fn mid_ingest_query_returns_consistent_cut_without_stopping_ingest() {
+    let dir = JobDir::fresh("query-plane");
+    let spec = base_spec(SamplerKind::L2, dir.path(), true);
+
+    let mut coordinator = coordinator_cmd(
+        &spec,
+        &[
+            "--query-listen",
+            "127.0.0.1:0",
+            "--await-query-after-chunks",
+            "15",
+        ],
+    )
+    .stdout(Stdio::piped())
+    .stderr(Stdio::inherit())
+    .spawn()
+    .expect("coordinator spawns");
+
+    // First stdout line announces the query endpoint; the coordinator
+    // blocks at the chunk-15 boundary until a client shows up.
+    let mut stdout = BufReader::new(coordinator.stdout.take().expect("piped stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("endpoint line");
+    let addr = line
+        .trim()
+        .strip_prefix("query-listening ")
+        .unwrap_or_else(|| panic!("unexpected announcement {line:?}"))
+        .to_string();
+
+    let query = Command::new(service_exe())
+        .arg("query")
+        .arg("--connect")
+        .arg(&addr)
+        .output()
+        .expect("query client runs");
+    assert!(
+        query.status.success(),
+        "query client failed: {}",
+        String::from_utf8_lossy(&query.stderr)
+    );
+    let mid = parse_report(&query.stdout);
+
+    let mut rest = Vec::new();
+    std::io::Read::read_to_end(&mut stdout, &mut rest).expect("final report");
+    let status = coordinator.wait().expect("coordinator exits");
+    assert!(status.success(), "coordinator failed after serving a query");
+    let fin = parse_report(&rest);
+
+    // The query saw exactly the 15-chunk cut…
+    assert_eq!(mid.processed, 15_000, "query cut at the wrong boundary");
+    // …ingest continued past the query barrier to the full stream…
+    assert_eq!(fin.processed, spec.count as u64);
+    assert!(mid.processed < fin.processed, "ingest stopped at the query");
+    // …and neither the barrier nor the off-path merge perturbed state.
+    assert_eq!(
+        fin,
+        run_reference(&spec),
+        "final report after a mid-ingest query drifted from the reference"
+    );
 }

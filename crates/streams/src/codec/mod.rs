@@ -147,6 +147,11 @@ pub mod tag {
     /// never written to disk, so it has no golden corpus entry; it reuses
     /// the sealed envelope purely for the header/checksum hardening.
     pub const WIRE_MESSAGE: u16 = 0x0060;
+    /// A coordinator job manifest (`tps-service`): the job spec plus the
+    /// coordinator's durable routing position and per-shard replay
+    /// buffers, appended to the coordinator's checkpoint chain before
+    /// every barrier so a killed coordinator resumes byte-exactly.
+    pub const JOB_MANIFEST: u16 = 0x0061;
 }
 
 /// Why a snapshot failed to decode. Every decode failure is one of these —

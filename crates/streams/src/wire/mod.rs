@@ -1,14 +1,15 @@
 //! The coordinator↔worker control protocol of the cross-process ingest
-//! service (`tps-service`).
+//! service (`tps-service`) — a **semi-public, versioned wire API**.
 //!
 //! The persistent runtime in `tps_core::runtime` moves chunks and barrier
 //! commands over in-memory SPSC rings; this module is the same command
 //! vocabulary flattened onto a byte stream, so the "shard worker" can live
-//! in a different *process* (talking over its stdin/stdout pipes) while the
-//! coordinator keeps the exact epoch/barrier discipline: ship every staged
-//! chunk, then a [`WireMessage::Barrier`] to every worker, then collect the
-//! in-band [`WireMessage::BarrierAck`]s — acks arriving after all prior
-//! chunks is what makes the per-worker states a consistent cut.
+//! in a different *process* — over its stdin/stdout pipes or a TCP socket
+//! (see [`transport`]) — while the coordinator keeps the exact
+//! epoch/barrier discipline: ship every staged chunk, then a
+//! [`WireMessage::Barrier`] to every worker, then collect the in-band
+//! [`WireMessage::BarrierAck`]s — acks arriving after all prior chunks is
+//! what makes the per-worker states a consistent cut.
 //!
 //! ## Framing
 //!
@@ -24,11 +25,14 @@
 //! ## Conversation shape
 //!
 //! ```text
-//! worker → coordinator   Hello { shard, resume_epoch }      (once, on start)
+//! worker → coordinator   Hello { protocol, capabilities, shard, resume_epoch }
 //! coordinator → worker   Ingest { items } ...               (routed chunks)
 //! coordinator → worker   Barrier { epoch, kind }
 //! worker → coordinator   BarrierAck { shard, epoch, snapshot? }
 //! coordinator → worker   Shutdown                           (clean exit)
+//!
+//! client → coordinator   Query                              (live query plane)
+//! coordinator → client   QueryReply { processed, merged_fnv, sample }
 //! ```
 //!
 //! A `Checkpoint` barrier makes the worker append an incremental frame
@@ -39,11 +43,53 @@
 //! coordinator. `Hello::resume_epoch` reports the checkpoint epoch a
 //! restarted worker recovered to (`0` = fresh start), which tells the
 //! coordinator exactly which buffered chunks to re-send.
+//!
+//! ## Versioning and negotiation
+//!
+//! The protocol is versioned **independently of the snapshot format**:
+//! [`WIRE_PROTOCOL_VERSION`] names the conversation shape above, while the
+//! envelope's `FORMAT_VERSION` keeps covering payload encodings. A
+//! worker's `Hello` leads with its protocol version and a capability
+//! bitmap ([`caps`]); the `Hello` layout itself is **frozen across all
+//! protocol versions** (version first, then capabilities, shard and
+//! resume epoch, all fixed-width), so any future peer's `Hello` still
+//! *decodes* and the coordinator can reject it with the typed
+//! [`WireError::VersionMismatch`] / [`WireError::CapabilityMissing`]
+//! (see [`check_hello`]) instead of a misparse deep inside a later frame.
+//! Negotiation is one-way: the worker announces, the coordinator decides.
+
+pub mod transport;
 
 use std::io::{self, Read, Write};
 
 use crate::codec::{seal, tag, unseal, CodecError, SnapshotReader, SnapshotWriter};
 use crate::update::{Item, SignedUpdate, StreamUpdate};
+
+/// Version of the coordinator↔worker conversation this build speaks.
+///
+/// Bumped whenever a message kind is added, removed, or re-laid-out
+/// (anything a same-version peer could misinterpret). The `Hello` layout
+/// is exempt — it is frozen so that version mismatches are always
+/// *detectable* (see the module docs).
+pub const WIRE_PROTOCOL_VERSION: u16 = 1;
+
+/// Capability bits a worker announces in its [`WireMessage::Hello`].
+///
+/// The coordinator requires the bits the job actually needs (e.g.
+/// [`caps::SIGNED_INGEST`] for turnstile jobs) and rejects the worker
+/// with [`WireError::CapabilityMissing`] otherwise — a typed, immediate
+/// failure at handshake instead of a decode error mid-job.
+pub mod caps {
+    /// The worker accepts [`super::WireMessage::IngestSigned`] frames
+    /// (turnstile sampler kinds).
+    pub const SIGNED_INGEST: u64 = 1 << 0;
+    /// The worker serves `Query` barriers (consistent-cut snapshot acks),
+    /// which the live query plane and the final merged query both need.
+    pub const QUERY: u64 = 1 << 1;
+
+    /// Every capability this build implements.
+    pub const ALL: u64 = SIGNED_INGEST | QUERY;
+}
 
 /// Hard cap on a single wire message (prefix-declared), validated before
 /// any allocation.
@@ -73,10 +119,20 @@ pub enum BarrierKind {
 /// One control message of the coordinator↔worker protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireMessage {
-    /// Worker → coordinator, once on startup: which shard this process
-    /// serves and the checkpoint epoch it recovered to (`0` = no
-    /// checkpoint found, fresh state).
+    /// Worker → coordinator, once per connection: the worker's protocol
+    /// version and capabilities, which shard this process serves, and the
+    /// checkpoint epoch it recovered to (`0` = no checkpoint found, fresh
+    /// state).
+    ///
+    /// The on-wire layout of this message is frozen across protocol
+    /// versions (see the module docs) so a mismatched peer is rejected
+    /// with a typed error, never a misparse.
     Hello {
+        /// The wire protocol version the worker speaks
+        /// ([`WIRE_PROTOCOL_VERSION`] for this build).
+        protocol: u16,
+        /// Capability bitmap ([`caps`]).
+        capabilities: u64,
         /// The shard index this worker owns.
         shard: u64,
         /// The checkpoint epoch restored from disk; `0` means fresh.
@@ -114,6 +170,68 @@ pub enum WireMessage {
     },
     /// Coordinator → worker: drain and exit cleanly.
     Shutdown,
+    /// Client → coordinator: draw a consistent-cut merged sample *now*,
+    /// while ingest keeps running (the live query plane).
+    Query,
+    /// Coordinator → client: the answer to a [`WireMessage::Query`] — the
+    /// same three fields the final job report prints.
+    QueryReply {
+        /// Stream items routed when the query barrier cut the stream.
+        processed: u64,
+        /// FNV-1a 64 over the merged sampler's sealed snapshot bytes.
+        merged_fnv: u64,
+        /// The merged sampler's drawn sample, in the report spelling
+        /// (`index:<i>` | `empty` | `fail`).
+        sample: String,
+    },
+}
+
+impl WireMessage {
+    /// A [`WireMessage::Hello`] announcing this build's protocol version
+    /// and full capability set.
+    pub fn hello(shard: u64, resume_epoch: u64) -> Self {
+        WireMessage::Hello {
+            protocol: WIRE_PROTOCOL_VERSION,
+            capabilities: caps::ALL,
+            shard,
+            resume_epoch,
+        }
+    }
+}
+
+/// Validates a worker's [`WireMessage::Hello`] against this build's
+/// protocol version and the capability bits the job requires, returning
+/// the `(shard, resume_epoch)` pair on success.
+///
+/// This is the coordinator's half of the (one-way) negotiation: a worker
+/// from a different build fails here with the typed
+/// [`WireError::VersionMismatch`] / [`WireError::CapabilityMissing`]
+/// instead of a decode failure on some later frame.
+pub fn check_hello(msg: &WireMessage, required_caps: u64) -> Result<(u64, u64), WireError> {
+    match msg {
+        WireMessage::Hello {
+            protocol,
+            capabilities,
+            shard,
+            resume_epoch,
+        } => {
+            if *protocol != WIRE_PROTOCOL_VERSION {
+                return Err(WireError::VersionMismatch {
+                    ours: WIRE_PROTOCOL_VERSION,
+                    theirs: *protocol,
+                });
+            }
+            let missing = required_caps & !capabilities;
+            if missing != 0 {
+                return Err(WireError::CapabilityMissing { missing });
+            }
+            Ok((*shard, *resume_epoch))
+        }
+        other => Err(WireError::Io(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected Hello, got {other:?}"),
+        ))),
+    }
 }
 
 const KIND_HELLO: u8 = 0;
@@ -122,6 +240,8 @@ const KIND_BARRIER: u8 = 2;
 const KIND_BARRIER_ACK: u8 = 3;
 const KIND_SHUTDOWN: u8 = 4;
 const KIND_INGEST_SIGNED: u8 = 5;
+const KIND_QUERY: u8 = 6;
+const KIND_QUERY_REPLY: u8 = 7;
 
 /// An update type the service can ship in an ingest message: the wire-level
 /// face of the sampler-family layer.
@@ -133,15 +253,33 @@ const KIND_INGEST_SIGNED: u8 = 5;
 /// [`WireMessage::Ingest`], [`SignedUpdate`]s as
 /// [`WireMessage::IngestSigned`].
 pub trait IngestPayload: StreamUpdate {
+    /// Bytes one encoded update occupies ([`Self::put`]'s output) — the
+    /// per-element floor length decoders validate before allocating.
+    const WIRE_BYTES: usize;
+
+    /// Capability bits a worker must announce before the coordinator
+    /// ships it this update type ([`caps`]).
+    const REQUIRED_CAPS: u64;
+
     /// Wraps a routed chunk into this update type's ingest message.
     fn into_ingest(chunk: Vec<Self>) -> WireMessage;
 
     /// Extracts the chunk if `msg` is this update type's ingest message;
     /// hands the message back otherwise so the caller can dispatch it.
     fn from_ingest(msg: WireMessage) -> Result<Vec<Self>, WireMessage>;
+
+    /// Encodes one update (fixed width, [`Self::WIRE_BYTES`]) — shared by
+    /// the ingest frames and the coordinator's durable replay buffers.
+    fn put(w: &mut SnapshotWriter, update: &Self);
+
+    /// Decodes one update written by [`Self::put`].
+    fn get(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError>;
 }
 
 impl IngestPayload for Item {
+    const WIRE_BYTES: usize = 8;
+    const REQUIRED_CAPS: u64 = caps::QUERY;
+
     fn into_ingest(chunk: Vec<Self>) -> WireMessage {
         WireMessage::Ingest { items: chunk }
     }
@@ -152,9 +290,20 @@ impl IngestPayload for Item {
             other => Err(other),
         }
     }
+
+    fn put(w: &mut SnapshotWriter, update: &Self) {
+        w.put_u64(*update);
+    }
+
+    fn get(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
+        r.get_u64()
+    }
 }
 
 impl IngestPayload for SignedUpdate {
+    const WIRE_BYTES: usize = 16;
+    const REQUIRED_CAPS: u64 = caps::QUERY | caps::SIGNED_INGEST;
+
     fn into_ingest(chunk: Vec<Self>) -> WireMessage {
         WireMessage::IngestSigned { updates: chunk }
     }
@@ -164,6 +313,18 @@ impl IngestPayload for SignedUpdate {
             WireMessage::IngestSigned { updates } => Ok(updates),
             other => Err(other),
         }
+    }
+
+    fn put(w: &mut SnapshotWriter, update: &Self) {
+        w.put_u64(update.item);
+        // Two's-complement cast: the full i64 range round-trips.
+        w.put_u64(update.delta as u64);
+    }
+
+    fn get(r: &mut SnapshotReader<'_>) -> Result<Self, CodecError> {
+        let item = r.get_u64()?;
+        let delta = r.get_u64()? as i64;
+        Ok(SignedUpdate { item, delta })
     }
 }
 
@@ -176,6 +337,19 @@ pub enum WireError {
     Io(io::Error),
     /// The frame bytes arrived but are not a valid message.
     Codec(CodecError),
+    /// The peer's `Hello` announced a different wire protocol version
+    /// (see [`check_hello`]).
+    VersionMismatch {
+        /// The version this build speaks ([`WIRE_PROTOCOL_VERSION`]).
+        ours: u16,
+        /// The version the peer announced.
+        theirs: u16,
+    },
+    /// The peer's `Hello` lacks capability bits the job requires.
+    CapabilityMissing {
+        /// The required bits the peer did not announce ([`caps`]).
+        missing: u64,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -183,6 +357,14 @@ impl std::fmt::Display for WireError {
         match self {
             WireError::Io(e) => write!(f, "wire transport error: {e}"),
             WireError::Codec(e) => write!(f, "wire frame error: {e}"),
+            WireError::VersionMismatch { ours, theirs } => write!(
+                f,
+                "wire protocol version mismatch: this build speaks v{ours}, peer speaks v{theirs}"
+            ),
+            WireError::CapabilityMissing { missing } => write!(
+                f,
+                "peer lacks required wire capabilities (missing bits {missing:#x})"
+            ),
         }
     }
 }
@@ -207,27 +389,32 @@ pub fn encode_message(msg: &WireMessage) -> Vec<u8> {
     w.put_tag(tag::WIRE_MESSAGE);
     match msg {
         WireMessage::Hello {
+            protocol,
+            capabilities,
             shard,
             resume_epoch,
         } => {
+            // Frozen layout (all fixed-width, version first): any future
+            // protocol version's Hello still decodes, so mismatches fail
+            // typed in `check_hello`, never as a misparse.
             w.put_u8(KIND_HELLO);
+            w.put_u16(*protocol);
+            w.put_u64(*capabilities);
             w.put_u64(*shard);
             w.put_u64(*resume_epoch);
         }
         WireMessage::Ingest { items } => {
             w.put_u8(KIND_INGEST);
             w.put_len(items.len());
-            for &item in items {
-                w.put_u64(item);
+            for item in items {
+                Item::put(&mut w, item);
             }
         }
         WireMessage::IngestSigned { updates } => {
             w.put_u8(KIND_INGEST_SIGNED);
             w.put_len(updates.len());
-            for &SignedUpdate { item, delta } in updates {
-                w.put_u64(item);
-                // Two's-complement cast: the full i64 range round-trips.
-                w.put_u64(delta as u64);
+            for update in updates {
+                SignedUpdate::put(&mut w, update);
             }
         }
         WireMessage::Barrier { epoch, kind } => {
@@ -260,6 +447,22 @@ pub fn encode_message(msg: &WireMessage) -> Vec<u8> {
         WireMessage::Shutdown => {
             w.put_u8(KIND_SHUTDOWN);
         }
+        WireMessage::Query => {
+            w.put_u8(KIND_QUERY);
+        }
+        WireMessage::QueryReply {
+            processed,
+            merged_fnv,
+            sample,
+        } => {
+            w.put_u8(KIND_QUERY_REPLY);
+            w.put_u64(*processed);
+            w.put_u64(*merged_fnv);
+            w.put_len(sample.len());
+            let mut payload = w.into_bytes();
+            payload.extend_from_slice(sample.as_bytes());
+            return seal(tag::WIRE_MESSAGE, &payload);
+        }
     }
     seal(tag::WIRE_MESSAGE, &w.into_bytes())
 }
@@ -271,24 +474,24 @@ pub fn decode_message(frame: &[u8]) -> Result<WireMessage, CodecError> {
     r.expect_tag(tag::WIRE_MESSAGE)?;
     let msg = match r.get_u8()? {
         KIND_HELLO => WireMessage::Hello {
+            protocol: r.get_u16()?,
+            capabilities: r.get_u64()?,
             shard: r.get_u64()?,
             resume_epoch: r.get_u64()?,
         },
         KIND_INGEST => {
-            let len = r.get_len(8)?;
+            let len = r.get_len(Item::WIRE_BYTES)?;
             let mut items = Vec::with_capacity(len);
             for _ in 0..len {
-                items.push(r.get_u64()?);
+                items.push(Item::get(&mut r)?);
             }
             WireMessage::Ingest { items }
         }
         KIND_INGEST_SIGNED => {
-            let len = r.get_len(16)?;
+            let len = r.get_len(SignedUpdate::WIRE_BYTES)?;
             let mut updates = Vec::with_capacity(len);
             for _ in 0..len {
-                let item = r.get_u64()?;
-                let delta = r.get_u64()? as i64;
-                updates.push(SignedUpdate { item, delta });
+                updates.push(SignedUpdate::get(&mut r)?);
             }
             WireMessage::IngestSigned { updates }
         }
@@ -327,6 +530,21 @@ pub fn decode_message(frame: &[u8]) -> Result<WireMessage, CodecError> {
             }
         }
         KIND_SHUTDOWN => WireMessage::Shutdown,
+        KIND_QUERY => WireMessage::Query,
+        KIND_QUERY_REPLY => {
+            let processed = r.get_u64()?;
+            let merged_fnv = r.get_u64()?;
+            let len = r.get_len(1)?;
+            let sample =
+                String::from_utf8(r.get_bytes(len)?).map_err(|_| CodecError::InvalidValue {
+                    what: "query reply sample is not utf-8",
+                })?;
+            WireMessage::QueryReply {
+                processed,
+                merged_fnv,
+                sample,
+            }
+        }
         _ => {
             return Err(CodecError::InvalidValue {
                 what: "unknown wire message kind",
@@ -401,9 +619,23 @@ mod tests {
 
     fn all_messages() -> Vec<WireMessage> {
         vec![
+            WireMessage::hello(3, 17),
             WireMessage::Hello {
-                shard: 3,
-                resume_epoch: 17,
+                protocol: 9,
+                capabilities: 0,
+                shard: 1,
+                resume_epoch: 0,
+            },
+            WireMessage::Query,
+            WireMessage::QueryReply {
+                processed: 123_456,
+                merged_fnv: 0xDEAD_BEEF,
+                sample: "index:42".to_string(),
+            },
+            WireMessage::QueryReply {
+                processed: 0,
+                merged_fnv: 0,
+                sample: String::new(),
             },
             WireMessage::Ingest {
                 items: (0..1000).collect(),
@@ -567,6 +799,64 @@ mod tests {
             <SignedUpdate as IngestPayload>::from_ingest(WireMessage::Ingest { items: vec![] })
                 .is_err()
         );
+    }
+
+    #[test]
+    fn hello_negotiation_is_typed() {
+        // A same-build Hello negotiates and hands back shard + epoch.
+        assert_eq!(
+            check_hello(&WireMessage::hello(4, 9), caps::ALL).unwrap(),
+            (4, 9)
+        );
+        // A foreign protocol version round-trips the wire (frozen layout)
+        // and fails negotiation as the typed VersionMismatch.
+        let foreign = WireMessage::Hello {
+            protocol: WIRE_PROTOCOL_VERSION + 1,
+            capabilities: caps::ALL,
+            shard: 0,
+            resume_epoch: 0,
+        };
+        let decoded = decode_message(&encode_message(&foreign)).unwrap();
+        assert_eq!(decoded, foreign);
+        assert!(matches!(
+            check_hello(&decoded, caps::QUERY),
+            Err(WireError::VersionMismatch {
+                ours: WIRE_PROTOCOL_VERSION,
+                theirs
+            }) if theirs == WIRE_PROTOCOL_VERSION + 1
+        ));
+        // Missing capability bits fail typed too, naming the missing bits.
+        let limited = WireMessage::Hello {
+            protocol: WIRE_PROTOCOL_VERSION,
+            capabilities: caps::QUERY,
+            shard: 0,
+            resume_epoch: 0,
+        };
+        assert!(matches!(
+            check_hello(&limited, caps::QUERY | caps::SIGNED_INGEST),
+            Err(WireError::CapabilityMissing {
+                missing: caps::SIGNED_INGEST
+            })
+        ));
+        // A non-Hello message is rejected outright.
+        assert!(check_hello(&WireMessage::Shutdown, 0).is_err());
+    }
+
+    #[test]
+    fn query_reply_length_is_validated_before_allocating() {
+        // A sealed QueryReply claiming a huge sample length fails the
+        // length check instead of attempting the allocation.
+        let mut w = SnapshotWriter::new();
+        w.put_tag(tag::WIRE_MESSAGE);
+        w.put_u8(7); // KIND_QUERY_REPLY
+        w.put_u64(1);
+        w.put_u64(2);
+        w.put_u64(u64::MAX);
+        let frame = seal(tag::WIRE_MESSAGE, &w.into_bytes());
+        assert!(matches!(
+            decode_message(&frame),
+            Err(CodecError::Truncated { .. })
+        ));
     }
 
     #[test]
