@@ -93,5 +93,11 @@ pub use framework::{MeasureNormalizer, RejectionNormalizer, TrulyPerfectGSampler
 pub use lp::TrulyPerfectLpSampler;
 pub use runtime::RuntimeStats;
 pub use sampler_unit::SamplerUnit;
-pub use sharded::{hash_route, ShardedSampler, ShardedSamplerBuilder, ShardingStrategy};
+pub use sharded::{
+    hash_route, QueryCacheStats, ShardedSampler, ShardedSamplerBuilder, ShardingStrategy,
+};
 pub use turnstile::StrictTurnstileF0Sampler;
+// The typed query surface is defined once in `tps_streams` and re-exported
+// here so in-process callers of `ShardedSampler::query` need only this
+// crate.
+pub use tps_streams::{QueryConsistency, QueryOptions, QuerySnapshot};

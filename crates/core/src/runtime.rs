@@ -96,6 +96,10 @@ pub struct RuntimeStats {
     pub dropped_chunks: u64,
     /// Items lost inside those shed chunks.
     pub dropped_items: u64,
+    /// Snapshot barriers completed ([`ShardPool::snapshot_all`]) — each
+    /// one is a consistent-cut query the pool served by serialising every
+    /// shard in-band.
+    pub snapshots: u64,
 }
 
 /// One command on a shard's ingest ring. Coarse by design: the ring is
@@ -334,6 +338,9 @@ impl<U: StreamUpdate> ShardPool<U> {
 
     fn barrier(&mut self, snapshot: bool) -> Vec<Option<Vec<u8>>> {
         self.epoch += 1;
+        if snapshot {
+            self.stats.snapshots += 1;
+        }
         let epoch = self.epoch;
         for shard in 0..self.producers.len() {
             // A barrier must sit after every chunk of the cut, so spilled

@@ -35,6 +35,15 @@
 //! ingesting as soon as their (cheap) serialisation is done instead of
 //! stalling behind an `O(total state)` merge.
 //!
+//! On top of that, [`ShardedSampler::query`] is the typed front door over
+//! [`ShardedSampler::merged`]: a
+//! [`QueryConsistency::Consistent`] request forces the fresh fold-merge
+//! above, while [`QueryConsistency::Cached`] reuses the last consistent
+//! fold-merge when it is within the caller's staleness bound — no
+//! barrier, no merge, no waiting on ingest. Staleness is measured in
+//! in-process *epochs* (one per ingest call); cache hits and misses are
+//! counted in [`QueryCacheStats`].
+//!
 //! ## Construction and configuration
 //!
 //! The front door is [`ShardedSampler::builder`]: shard count, routing
@@ -54,8 +63,8 @@ use tps_random::Xoshiro256;
 use tps_streams::codec::{self, CodecError, Restore, Snapshot, SnapshotReader, SnapshotWriter};
 use tps_streams::spsc::Backpressure;
 use tps_streams::{
-    Item, MergeableSampler, SampleOutcome, SignedUpdate, SpaceUsage, StreamSampler, StreamUpdate,
-    TurnstileSampler, UpdateSampler,
+    Item, MergeableSampler, QueryConsistency, QueryOptions, QuerySnapshot, SampleOutcome,
+    SignedUpdate, SpaceUsage, StreamSampler, StreamUpdate, TurnstileSampler, UpdateSampler,
 };
 
 /// How [`ShardedSampler`] routes updates to shards.
@@ -263,8 +272,31 @@ impl ShardedSamplerBuilder {
             backpressure: self.backpressure,
             parallel_cutoff: self.parallel_cutoff,
             chunk_len: self.chunk_len,
+            epoch: 0,
+            cache: None,
+            cache_stats: QueryCacheStats::default(),
         }
     }
+}
+
+/// Hit/miss counters for [`ShardedSampler::query`]'s cached mode —
+/// [`RuntimeStats`]-style plain integers, cheap to read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryCacheStats {
+    /// Cached queries answered from the last consistent fold-merge.
+    pub hits: u64,
+    /// Queries that forced a fresh fold-merge: every consistent request,
+    /// plus cached requests whose staleness bound the cache could not
+    /// satisfy.
+    pub misses: u64,
+}
+
+/// The last consistent fold-merge, kept for cached queries. Transient:
+/// never serialised, dropped on clone.
+struct MergedCache<S> {
+    epoch: u64,
+    cut: u64,
+    value: S,
 }
 
 /// The live half of the runtime: the worker pool plus the per-shard
@@ -333,6 +365,17 @@ pub struct ShardedSampler<S, U: StreamUpdate = Item> {
     /// Items staged per shard before a chunk ships to its ring.
     /// Serialised since format v2.
     chunk_len: usize,
+    /// Ingest generation counter (one per [`Self::ingest`] /
+    /// [`Self::ingest_batch`] call): the staleness clock of the query
+    /// cache. Transient — never serialised, so a restored sampler starts
+    /// at epoch 0 just like it starts with a cold runtime.
+    epoch: u64,
+    /// The last consistent fold-merge, reused by cached queries.
+    /// Transient for the same reason as the runtime: operational state,
+    /// not logical state.
+    cache: Option<MergedCache<S>>,
+    /// Hit/miss counters for the query cache. Transient.
+    cache_stats: QueryCacheStats,
 }
 
 // `UnsafeCell` suppresses auto-`Send`; shipping the whole front-end to
@@ -550,6 +593,7 @@ where
     /// service's reference run) delegate to.
     pub fn ingest(&mut self, update: U) {
         self.processed += 1;
+        self.epoch += 1;
         if self.runtime.is_some() {
             self.scatter_to_runtime(std::slice::from_ref(&update));
             return;
@@ -573,6 +617,7 @@ where
         if updates.is_empty() {
             return;
         }
+        self.epoch += 1;
         let k = self.shards.len();
         if k == 1 {
             self.shard_mut(0).ingest_batch(updates);
@@ -639,6 +684,61 @@ where
                 merged = merged.merge(shard, &mut self.rng);
             }
             merged
+        }
+    }
+
+    /// The ingest generation this sampler is at: one epoch per
+    /// [`Self::ingest`] / [`Self::ingest_batch`] call. This is the clock
+    /// [`QueryConsistency::Cached`]'s staleness bound is measured against.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Hit/miss counters of the query cache (see [`QueryCacheStats`]).
+    pub fn query_cache_stats(&self) -> QueryCacheStats {
+        self.cache_stats
+    }
+
+    /// The typed query surface over [`Self::merged`] — the in-process
+    /// twin of the service's query plane.
+    ///
+    /// A [`QueryConsistency::Consistent`] request behaves exactly like
+    /// [`Self::merged`] (same fold-merge, same merge coins — the two are
+    /// byte-identical) and additionally republishes the result into the
+    /// query cache. A [`QueryConsistency::Cached`] request is answered
+    /// from that cache when the cache's epoch is at most
+    /// `max_epochs_stale` ingest calls behind [`Self::epoch`] — without
+    /// touching the shards, the runtime, or the merge coins — and
+    /// escalates to the consistent path otherwise. Cached answers are
+    /// clones of one published merge, so repeated cached queries return
+    /// byte-identical samplers.
+    pub fn query(&mut self, options: &QueryOptions) -> QuerySnapshot<S> {
+        if let QueryConsistency::Cached { max_epochs_stale } = options.consistency {
+            if let Some(cache) = &self.cache {
+                if self.epoch - cache.epoch <= max_epochs_stale {
+                    self.cache_stats.hits += 1;
+                    return QuerySnapshot {
+                        value: cache.value.clone(),
+                        epoch: cache.epoch,
+                        cut: cache.cut,
+                        cached: true,
+                    };
+                }
+            }
+        }
+        self.cache_stats.misses += 1;
+        let value = self.merged();
+        let (epoch, cut) = (self.epoch, self.processed);
+        self.cache = Some(MergedCache {
+            epoch,
+            cut,
+            value: value.clone(),
+        });
+        QuerySnapshot {
+            value,
+            epoch,
+            cut,
+            cached: false,
         }
     }
 }
@@ -745,8 +845,8 @@ where
     U: StreamUpdate,
 {
     /// Clones the coordinator state and (quiesced) shard states. The clone
-    /// starts without a live runtime; its pool starts lazily at its first
-    /// large batch.
+    /// starts without a live runtime and with a cold query cache; its pool
+    /// starts lazily at its first large batch.
     fn clone(&self) -> Self {
         self.quiesce();
         Self {
@@ -764,6 +864,9 @@ where
             backpressure: self.backpressure,
             parallel_cutoff: self.parallel_cutoff,
             chunk_len: self.chunk_len,
+            epoch: self.epoch,
+            cache: None,
+            cache_stats: QueryCacheStats::default(),
         }
     }
 }
@@ -792,8 +895,10 @@ where
             .field("strategy", &self.strategy)
             .field("cursor", &self.cursor)
             .field("processed", &self.processed)
+            .field("epoch", &self.epoch)
             .field("backpressure", &self.backpressure)
             .field("runtime_active", &self.runtime.is_some())
+            .field("cached_query", &self.cache.is_some())
             .field("shards", &shards)
             .finish()
     }
@@ -929,6 +1034,10 @@ where
             backpressure,
             parallel_cutoff,
             chunk_len,
+            // Like the runtime: operational state restarts cold.
+            epoch: 0,
+            cache: None,
+            cache_stats: QueryCacheStats::default(),
         })
     }
 }
@@ -1200,6 +1309,113 @@ mod tests {
         assert!(stats.chunks > 0, "runtime ingest must count chunks");
         assert_eq!(stats.dropped_chunks, 0);
         assert_eq!(stats.spilled_pending, 0);
+    }
+
+    /// A consistent `query()` is `merged()` by another name: same merged
+    /// snapshot bytes, same merge-coin consumption, so the two paths stay
+    /// interchangeable draw for draw.
+    #[test]
+    fn consistent_query_equals_merged() {
+        let stream = zipfish_stream(3_000, 61);
+        let mut via_merged = sharded_l2(3, ShardingStrategy::Hash, 13);
+        let mut via_query = sharded_l2(3, ShardingStrategy::Hash, 13);
+        via_merged.update_batch(&stream);
+        via_query.update_batch(&stream);
+        let merged = via_merged.merged();
+        let snap = via_query.query(&QueryOptions::consistent());
+        assert!(!snap.cached);
+        assert_eq!(snap.cut, 3_000);
+        assert_eq!(snap.value.snapshot(), merged.snapshot());
+        // Both consumed the same coins: the next draws still agree.
+        for draw in 0..4 {
+            assert_eq!(
+                via_merged.sample(),
+                via_query.sample(),
+                "coin streams diverged at draw {draw}"
+            );
+        }
+    }
+
+    /// A cached query within its staleness bound is a pure cache read:
+    /// byte-identical to the consistent merge that filled the cache, no
+    /// merge coins consumed, and the hit is counted.
+    #[test]
+    fn cached_query_serves_the_published_merge_without_coins() {
+        let stream = zipfish_stream(2_000, 61);
+        let mut live = sharded_l2(2, ShardingStrategy::Hash, 23);
+        let mut reference = sharded_l2(2, ShardingStrategy::Hash, 23);
+        live.update_batch(&stream);
+        reference.update_batch(&stream);
+        let published = live.query(&QueryOptions::consistent());
+        let _ = reference.query(&QueryOptions::consistent());
+        // Repeated cached reads answer from the same published merge.
+        for round in 0..3 {
+            let hit = live.query(&QueryOptions::cached(0));
+            assert!(hit.cached, "round {round} missed a warm cache");
+            assert_eq!(hit.epoch, published.epoch);
+            assert_eq!(hit.cut, published.cut);
+            assert_eq!(hit.value.snapshot(), published.value.snapshot());
+        }
+        assert_eq!(live.query_cache_stats().hits, 3);
+        assert_eq!(live.query_cache_stats().misses, 1);
+        // The cache reads drew no merge coins: the next consistent query
+        // matches a reference that never queried the cache.
+        assert_eq!(
+            live.query(&QueryOptions::consistent()).value.snapshot(),
+            reference
+                .query(&QueryOptions::consistent())
+                .value
+                .snapshot()
+        );
+    }
+
+    /// A cache staler than the caller's bound escalates to the consistent
+    /// path; a tolerant bound keeps serving the old cut and reports its
+    /// (older) epoch honestly.
+    #[test]
+    fn stale_cache_escalates_within_the_bound() {
+        let stream = zipfish_stream(2_000, 61);
+        let (first, second) = stream.split_at(1_000);
+        let mut sampler = sharded_l2(2, ShardingStrategy::Hash, 29);
+        sampler.update_batch(first);
+        let published = sampler.query(&QueryOptions::consistent());
+        // One more ingest call moves the live epoch past the cache.
+        sampler.update_batch(second);
+        assert_eq!(sampler.epoch(), published.epoch + 1);
+        // Tolerating one epoch of lag still hits, pinned to the old cut.
+        let lagged = sampler.query(&QueryOptions::cached(1));
+        assert!(lagged.cached);
+        assert_eq!(lagged.cut, 1_000);
+        assert!(
+            sampler.epoch() - lagged.epoch <= 1,
+            "staleness bound violated"
+        );
+        // Demanding the current epoch escalates: fresh cut, full stream.
+        let fresh = sampler.query(&QueryOptions::cached(0));
+        assert!(!fresh.cached, "stale cache served past its bound");
+        assert_eq!(fresh.cut, 2_000);
+        assert_eq!(fresh.epoch, sampler.epoch());
+        // And the escalation republished: cached(0) now hits.
+        assert!(sampler.query(&QueryOptions::cached(0)).cached);
+    }
+
+    /// Epoch, cache and counters are operational state: a snapshot round
+    /// trip resets them (like the runtime), while the logical sampler
+    /// state is untouched.
+    #[test]
+    fn query_cache_is_transient_across_snapshots() {
+        let mut sampler = sharded_l2(2, ShardingStrategy::Hash, 31);
+        sampler.update_batch(&zipfish_stream(1_500, 37));
+        let _ = sampler.query(&QueryOptions::consistent());
+        assert!(sampler.query(&QueryOptions::cached(0)).cached);
+        let restored: ShardedSampler<TrulyPerfectLpSampler> =
+            ShardedSampler::restore(&sampler.snapshot()).unwrap();
+        assert_eq!(restored.epoch(), 0);
+        assert_eq!(restored.query_cache_stats(), QueryCacheStats::default());
+        // A restored sampler has no cache to serve: cached(anything) must
+        // escalate to a fresh consistent merge.
+        let mut restored = restored;
+        assert!(!restored.query(&QueryOptions::cached(u64::MAX)).cached);
     }
 
     // ----- turnstile instantiation: the same plumbing hosts signed shards -

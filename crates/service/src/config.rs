@@ -489,13 +489,19 @@ pub struct FaultPlan {
 /// Per-invocation query-plane wiring (runtime-only, like [`FaultPlan`]).
 #[derive(Debug, Clone, Default)]
 pub struct QueryPlan {
-    /// Bind a TCP listener here (e.g. `127.0.0.1:0`) and serve
-    /// consistent-cut queries to clients while ingest runs; the bound
-    /// address is announced as `query-listening <addr>` on stdout.
+    /// Bind a TCP listener here (e.g. `127.0.0.1:0`) and start the
+    /// non-stalling query plane (`query.rs`): a dedicated accept thread
+    /// plus detached per-client handlers serving cached queries from the
+    /// published snapshot cache and consistent queries from one query
+    /// barrier per chunk boundary. The bound address is announced as
+    /// `query-listening <addr>` on stdout.
     pub listen: Option<String>,
-    /// Test hook: after routing this many chunks, *block* until one query
-    /// client has been served — makes "a query landed mid-ingest" a
-    /// deterministic fact rather than a race.
+    /// Test hook: after routing this many chunks, *block* until a
+    /// consistent-cut demand arrives and serve it at exactly this cut —
+    /// makes "a query landed mid-ingest" a deterministic fact rather
+    /// than a race. The awaited query must be `Consistent` (or a cached
+    /// query that escalates): a cached query satisfied by the snapshot
+    /// cache never reaches the coordinator.
     pub await_after_chunks: Option<u64>,
 }
 

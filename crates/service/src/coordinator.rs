@@ -48,9 +48,7 @@ use tps_core::sharded::{
 use tps_random::Xoshiro256;
 use tps_streams::codec::delta::IncrementalCheckpointer;
 use tps_streams::codec::{checksum, Restore, Snapshot};
-use tps_streams::wire::transport::{
-    tcp_connect, Connection, FramedConnection, Listener, TcpConnection, TcpServerListener,
-};
+use tps_streams::wire::transport::{tcp_connect, Connection, FramedConnection, TcpConnection};
 use tps_streams::wire::{check_hello, BarrierKind, IngestPayload, WireError, WireMessage};
 use tps_streams::{MergeableSampler, SampleOutcome, StreamUpdate, UpdateSampler};
 
@@ -59,6 +57,7 @@ use crate::config::{
     QueryPlan, SamplerKind, TransportKind,
 };
 use crate::manifest::{peek_spec, Manifest, ShardState};
+use crate::query::{PublishedCut, QueryPlane};
 use crate::store::CheckpointStore;
 
 fn wire_to_io(e: WireError) -> io::Error {
@@ -445,7 +444,7 @@ where
     })
 }
 
-fn merge_report(
+pub(crate) fn merge_report(
     kind: SamplerKind,
     snapshots: &[Vec<u8>],
     seed: u64,
@@ -516,29 +515,10 @@ fn persist_manifest<U: IngestPayload>(
     durability.persist(&manifest)
 }
 
-/// Serves one query client at a consistent cut: bump the epoch, run a
-/// query barrier (workers snapshot, then keep ingesting), merge off the
-/// ingest path, reply with the drawn sample + checksum.
-fn serve_query_client<U: IngestPayload>(
-    spec: &JobSpec,
-    workers: &mut [WorkerHandle<U>],
-    epoch: &mut u64,
-    chunks_routed: u64,
-    client: &mut TcpConnection,
-) -> io::Result<()> {
-    match client.recv().map_err(wire_to_io)? {
-        Some(WireMessage::Query) => {}
-        other => return Err(invalid(format!("query client sent {other:?}"))),
-    }
-    *epoch += 1;
-    let snapshots = query_barrier(workers, *epoch)?;
-    let processed = (chunks_routed * spec.chunk as u64).min(spec.count as u64);
-    let report = merge_report(spec.sampler, &snapshots, spec.seed, processed)?;
-    client.send(&WireMessage::QueryReply {
-        processed: report.processed,
-        merged_fnv: report.merged_fnv,
-        sample: report.sample,
-    })
+/// The routed stream-prefix length at a chunk cut (the final chunk may
+/// be short, so the product is clamped to the actual stream length).
+fn routed_prefix(stream_len: usize, chunks_routed: u64, chunk: usize) -> u64 {
+    (chunks_routed * chunk as u64).min(stream_len as u64)
 }
 
 /// The kind-generic job body: attach workers, route the stream,
@@ -645,15 +625,11 @@ fn drive_job<U: IngestPayload>(
         persist_manifest(&mut durability, spec, 0, 0, &workers)?;
     }
 
-    let mut query_listener = match &query.listen {
-        Some(addr) => {
-            let listener = TcpServerListener::bind(addr.as_str())
-                .map_err(|e| invalid(format!("query listener {addr}: {e}")))?;
-            println!("query-listening {}", listener.local_addr()?);
-            use std::io::Write;
-            io::stdout().flush()?;
-            Some(listener)
-        }
+    // The non-stalling query plane: a dedicated accept thread plus
+    // detached handler threads serve clients from the published-cut
+    // slot, so a wedged client can never hold up a barrier (`query.rs`).
+    let plane = match &query.listen {
+        Some(addr) => Some(QueryPlane::start(addr, spec.sampler, spec.seed)?),
         None => None,
     };
 
@@ -699,11 +675,16 @@ fn drive_job<U: IngestPayload>(
             // Durability order: the manifest recording this barrier's cut
             // is on disk before any worker is told to checkpoint.
             persist_manifest(&mut durability, spec, epoch, chunks_routed, &workers)?;
+            // With a live query plane, checkpoint barriers *publish*: the
+            // same barrier round that makes the cut durable also hands
+            // its snapshots to the snapshot cache.
+            let kind = if plane.is_some() {
+                BarrierKind::CheckpointPublish
+            } else {
+                BarrierKind::Checkpoint
+            };
             for worker in workers.iter_mut() {
-                worker.send(&WireMessage::Barrier {
-                    epoch,
-                    kind: BarrierKind::Checkpoint,
-                })?;
+                worker.send(&WireMessage::Barrier { epoch, kind })?;
             }
             if let Some(die) = fault.die {
                 if die.mid_barrier && chunks_routed >= die.after_chunks {
@@ -712,43 +693,57 @@ fn drive_job<U: IngestPayload>(
                     std::process::abort();
                 }
             }
+            let mut snapshots = Vec::with_capacity(workers.len());
             for worker in workers.iter_mut() {
-                if worker.expect_ack(epoch)?.is_some() {
-                    return Err(invalid(format!(
-                        "worker {}: checkpoint ack carried a snapshot",
-                        worker.shard
-                    )));
+                match (kind, worker.expect_ack(epoch)?) {
+                    (BarrierKind::CheckpointPublish, Some(bytes)) => snapshots.push(bytes),
+                    (BarrierKind::Checkpoint, None) => {}
+                    (_, got) => {
+                        return Err(invalid(format!(
+                            "worker {}: {kind:?} ack carried the wrong payload \
+                             (snapshot present: {})",
+                            worker.shard,
+                            got.is_some()
+                        )))
+                    }
                 }
                 worker.replay.retain(|&(tag, _)| tag >= epoch);
                 worker.acked_epoch = epoch;
             }
+            if let Some(plane) = &plane {
+                plane.publish(PublishedCut {
+                    epoch,
+                    chunks_routed,
+                    processed: routed_prefix(stream.len(), chunks_routed, spec.chunk),
+                    snapshots,
+                });
+            }
         }
 
-        if let Some(listener) = query_listener.as_mut() {
-            match query.await_after_chunks {
-                // Deterministic test hook: the first query is served at
-                // exactly this cut — earlier connections wait in the
-                // accept queue, and the barrier blocks until one shows
-                // up, however slow the client is to dial in.
-                Some(cut) if chunks_routed == cut => {
-                    let mut client = listener
-                        .accept()?
-                        .expect("tcp listener accepts indefinitely");
-                    serve_query_client(spec, &mut workers, &mut epoch, chunks_routed, &mut client)?;
-                }
-                Some(cut) if chunks_routed < cut => {}
-                // Production mode (and past the awaited cut): serve
-                // whoever is waiting, without ever blocking ingest.
-                _ => {
-                    while let Some(mut client) = listener.accept_pending()? {
-                        serve_query_client(
-                            spec,
-                            &mut workers,
-                            &mut epoch,
-                            chunks_routed,
-                            &mut client,
-                        )?;
-                    }
+        if let Some(plane) = &plane {
+            // Consistent-cut demands wait in the plane's channel; one
+            // query barrier per chunk boundary serves all of them with
+            // the same published cut. The barrier never touches a client
+            // socket — replies happen in the handlers' own threads.
+            let pending = match query.await_after_chunks {
+                // Deterministic test hook: block at exactly this cut
+                // until a consistent query lands, however slow the client
+                // is to dial in.
+                Some(cut) if chunks_routed == cut => plane.wait_for_request()?,
+                Some(cut) if chunks_routed < cut => Vec::new(),
+                _ => plane.take_requests(),
+            };
+            if !pending.is_empty() {
+                epoch += 1;
+                let snapshots = query_barrier(&mut workers, epoch)?;
+                let published = plane.publish(PublishedCut {
+                    epoch,
+                    chunks_routed,
+                    processed: routed_prefix(stream.len(), chunks_routed, spec.chunk),
+                    snapshots,
+                });
+                for request in pending {
+                    request.fulfil(&published);
                 }
             }
         }
@@ -756,6 +751,22 @@ fn drive_job<U: IngestPayload>(
 
     epoch += 1;
     let snapshots = query_barrier(&mut workers, epoch)?;
+    if let Some(plane) = plane {
+        // Publish the final cut and answer any last consistent-cut
+        // demands with it; then tear the plane down. Handler threads are
+        // detached, so however wedged a client is, the job still ends —
+        // the plane's drop rejects anything that arrives too late.
+        let published = plane.publish(PublishedCut {
+            epoch,
+            chunks_routed,
+            processed: stream.len() as u64,
+            snapshots: snapshots.clone(),
+        });
+        for request in plane.take_requests() {
+            request.fulfil(&published);
+        }
+        plane.finish();
+    }
     for worker in workers.iter_mut() {
         worker.send(&WireMessage::Shutdown)?;
     }

@@ -19,8 +19,13 @@
 //!   the merged answer is **byte-identical** to an in-process
 //!   [`ShardedSampler`](tps_core::sharded::ShardedSampler) over the same
 //!   stream (the `reference` subcommand computes exactly that). A TCP
-//!   **query plane** serves the same consistent-cut answer to clients
-//!   ([`client::query`]) *while ingest runs*.
+//!   **query plane** ([`query::QueryPlane`]) serves that answer to any
+//!   number of concurrent clients ([`client::QueryClient`]) *while ingest
+//!   runs*, off the barrier loop: checkpoint barriers publish their cut
+//!   into a snapshot cache, cached queries are answered straight from it,
+//!   and consistent queries cost one query barrier at the next chunk
+//!   boundary — a wedged client blocks only its own detached handler
+//!   thread, never a barrier (see `query.rs`).
 //!
 //! ## Failure semantics
 //!
@@ -54,12 +59,19 @@ pub mod client;
 pub mod config;
 pub mod coordinator;
 pub mod manifest;
+pub mod query;
 pub mod store;
 pub mod worker;
 
+pub use client::{QueryClient, QueryError};
 pub use config::{
     DieSpec, FaultPlan, JobSpec, KillSpec, QueryPlan, SamplerKind, ServiceBuilder, TransportKind,
     WorkerConfig,
 };
 pub use coordinator::{resume_job, run_job, run_reference, QueryReport};
+pub use query::{QueryPlane, QueryPlaneStats};
 pub use store::CheckpointStore;
+// The typed query surface is defined once in `tps_streams` and
+// re-exported here: the same `QueryOptions`/`QuerySnapshot` pair drives
+// `ShardedSampler::query`, `QueryClient::query` and the CLI.
+pub use tps_streams::{QueryConsistency, QueryOptions, QuerySnapshot};

@@ -10,7 +10,7 @@ use tps_service::config::{
     DieSpec, FaultPlan, KillSpec, QueryPlan, SamplerKind, ServiceBuilder, TransportKind,
     WorkerConfig,
 };
-use tps_service::{client, coordinator, worker};
+use tps_service::{client, coordinator, worker, QueryOptions};
 
 fn usage() -> String {
     "usage:\n  \
@@ -23,7 +23,8 @@ fn usage() -> String {
      [--query-listen ADDR [--await-query-after-chunks M]]\n  \
      tps-service resume --checkpoint-dir DIR [--worker-exe PATH] [--query-listen ADDR]\n  \
      tps-service reference --workers K --sampler l2|f0|g|turnstile --universe U --seed S --count N\n  \
-     tps-service query --connect ADDR"
+     tps-service query --connect ADDR [--cached MAX_EPOCHS_STALE] [--timeout-ms T] \
+     [--dial-attempts N]"
         .to_string()
 }
 
@@ -182,8 +183,25 @@ fn run() -> Result<(), String> {
         Some("query") => {
             let flags = Flags::parse(&args[1..])?;
             let addr: String = flags.required("connect")?;
-            let report = client::query(&addr).map_err(|e| e.to_string())?;
-            println!("{report}");
+            let options = match flags.optional("cached")? {
+                Some(max_epochs_stale) => QueryOptions::cached(max_epochs_stale),
+                None => QueryOptions::consistent(),
+            };
+            let mut client = client::QueryClient::new(addr);
+            if let Some(ms) = flags.optional::<u64>("timeout-ms")? {
+                client = client.read_timeout(std::time::Duration::from_millis(ms));
+            }
+            if let Some(attempts) = flags.optional("dial-attempts")? {
+                client = client.dial_attempts(attempts);
+            }
+            let snapshot = client.query(&options).map_err(|e| e.to_string())?;
+            // Metadata first, report line *last*: everything that parses
+            // coordinator output takes the final line.
+            println!(
+                "query-cut epoch={} cut={} cached={}",
+                snapshot.epoch, snapshot.cut, snapshot.cached
+            );
+            println!("{}", snapshot.value);
             Ok(())
         }
         _ => Err(usage()),

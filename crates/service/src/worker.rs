@@ -7,7 +7,10 @@
 //! announce the recovered epoch in `Hello`, then loop — apply `Ingest`
 //! chunks in arrival order; on a `Checkpoint` barrier append a delta
 //! frame durably *before* acking (and GC the chain when the checkpointer
-//! rebased); on a `Query` barrier ack with the full sealed snapshot. The
+//! rebased); on a `Query` barrier ack with the full sealed snapshot; on a
+//! `CheckpointPublish` barrier do both — the checkpoint frame goes to
+//! disk *and* the ack carries the snapshot, feeding the coordinator's
+//! query-plane snapshot cache in the same round. The
 //! worker never sees the stream outside its shard and never touches the
 //! golden-corpus registry: its entire interface is the connection and the
 //! chain file.
@@ -141,7 +144,7 @@ where
         match msg {
             WireMessage::Barrier { epoch, kind } => {
                 let snapshot = match kind {
-                    BarrierKind::Checkpoint => {
+                    BarrierKind::Checkpoint | BarrierKind::CheckpointPublish => {
                         let frame = checkpointer.checkpoint(&sampler, epoch);
                         store.append_frame(frame.bytes())?;
                         if !frame.is_delta() {
@@ -149,7 +152,11 @@ where
                             // this full frame is unreachable — collect it.
                             store.compact()?;
                         }
-                        None
+                        // A *publishing* checkpoint also acks the full
+                        // snapshot: one barrier round feeds both the
+                        // durable chain and the coordinator's snapshot
+                        // cache.
+                        (kind == BarrierKind::CheckpointPublish).then(|| sampler.snapshot())
                     }
                     BarrierKind::Query => Some(sampler.snapshot()),
                 };
@@ -408,6 +415,60 @@ mod tests {
             "turnstile recovery + replay drifted from the uninterrupted run"
         );
         let _ = StrictTurnstileF0Sampler::restore(&recovered_snapshot).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A `CheckpointPublish` barrier is a checkpoint *and* a query in one
+    /// round: the frame lands on the durable chain (the next session
+    /// resumes from it) and the ack carries the full snapshot, identical
+    /// to what a `Query` barrier at the same point would return.
+    #[test]
+    fn checkpoint_publish_acks_the_snapshot_and_stays_durable() {
+        let dir = temp_dir("publish");
+        let cfg = WorkerConfig {
+            shard: 0,
+            sampler: SamplerKind::L2,
+            universe: 1 << 12,
+            seed: 31,
+            checkpoint_dir: dir.clone(),
+            listen: None,
+        };
+        let store = CheckpointStore::for_shard(&dir, 0);
+        let _ = std::fs::remove_file(store.path());
+
+        let chunk: Vec<u64> = (0..4_000u64).map(|i| i % 113).collect();
+        let (done, out) = converse(
+            &cfg,
+            || make_l2(cfg.universe, cfg.seed, cfg.shard),
+            &[
+                WireMessage::Ingest {
+                    items: chunk.clone(),
+                },
+                WireMessage::Barrier {
+                    epoch: 1,
+                    kind: BarrierKind::CheckpointPublish,
+                },
+                WireMessage::Shutdown,
+            ],
+        );
+        assert!(done);
+        let published = match &out[1] {
+            WireMessage::BarrierAck {
+                epoch: 1,
+                snapshot: Some(bytes),
+                ..
+            } => bytes.clone(),
+            other => panic!("expected publishing ack, got {other:?}"),
+        };
+        let mut reference = make_l2(cfg.universe, cfg.seed, cfg.shard);
+        reference.update_batch(&chunk);
+        assert_eq!(
+            published,
+            reference.snapshot(),
+            "published snapshot drifted from the uninterrupted sampler"
+        );
+        // And the same barrier made the cut durable.
+        assert_eq!(store.recover().unwrap().unwrap().epoch, 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -24,14 +24,19 @@
 //! preserved there for post-mortem — CI uploads it as an artifact.
 
 use std::io::{BufRead, BufReader};
+use std::net::TcpStream;
 use std::path::{Path, PathBuf};
-use std::process::{Command, Stdio};
+use std::process::{Child, Command, Stdio};
+use std::time::Instant;
 
 use tps_service::config::{SamplerKind, ServiceBuilder, TransportKind};
 use tps_service::coordinator::{run_reference, QueryReport};
 use tps_service::store::CheckpointStore;
 use tps_service::JobSpec;
 use tps_streams::codec::delta::{peek_frame, FrameKind};
+use tps_streams::wire::transport::{tcp_framed, Connection};
+use tps_streams::wire::WireMessage;
+use tps_streams::QueryOptions;
 
 fn service_exe() -> PathBuf {
     PathBuf::from(env!("CARGO_BIN_EXE_tps-service"))
@@ -428,4 +433,215 @@ fn mid_ingest_query_returns_consistent_cut_without_stopping_ingest() {
         run_reference(&spec),
         "final report after a mid-ingest query drifted from the reference"
     );
+}
+
+/// Spawns a coordinator with the query plane bound on an ephemeral port,
+/// returning the child, its buffered stdout (positioned after the
+/// announcement line) and the announced query endpoint.
+fn spawn_query_coordinator(
+    spec: &JobSpec,
+    extra: &[&str],
+) -> (Child, BufReader<std::process::ChildStdout>, String) {
+    let mut args = vec!["--query-listen", "127.0.0.1:0"];
+    args.extend_from_slice(extra);
+    let mut coordinator = coordinator_cmd(spec, &args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("coordinator spawns");
+    let mut stdout = BufReader::new(coordinator.stdout.take().expect("piped stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("endpoint line");
+    let addr = line
+        .trim()
+        .strip_prefix("query-listening ")
+        .unwrap_or_else(|| panic!("unexpected announcement {line:?}"))
+        .to_string();
+    (coordinator, stdout, addr)
+}
+
+/// Reads the coordinator's final report and asserts a clean exit.
+fn finish_coordinator(
+    mut coordinator: Child,
+    mut stdout: BufReader<std::process::ChildStdout>,
+) -> QueryReport {
+    let mut rest = Vec::new();
+    std::io::Read::read_to_end(&mut stdout, &mut rest).expect("final report");
+    let status = coordinator.wait().expect("coordinator exits");
+    assert!(status.success(), "coordinator failed");
+    parse_report(&rest)
+}
+
+/// A client that wedges is a client's problem, not the job's: with one
+/// connection that never even sends a query and another that sends a
+/// consistent query but never reads its reply, ingest must run to
+/// completion and the final report must stay byte-identical to the
+/// undisturbed run — over both worker transports. This is the tentpole
+/// contract of the dedicated-thread query plane: before it, a stalled
+/// client inside the barrier loop would have hung the coordinator.
+#[test]
+fn stalled_query_clients_do_not_stall_ingest_on_either_transport() {
+    for tcp in [false, true] {
+        let label = if tcp { "tcp" } else { "pipe" };
+
+        let calm_dir = JobDir::fresh(&format!("stall-calm-{label}"));
+        let calm_spec = base_spec(SamplerKind::L2, calm_dir.path(), tcp);
+        let calm = run_service(&calm_spec, &[]);
+
+        let dir = JobDir::fresh(&format!("stall-{label}"));
+        let spec = base_spec(SamplerKind::L2, dir.path(), tcp);
+        // Block at the chunk-15 cut so both stalls are provably
+        // mid-ingest, then let the never-reading client's consistent
+        // query release the barrier.
+        let (coordinator, stdout, addr) =
+            spawn_query_coordinator(&spec, &["--await-query-after-chunks", "15"]);
+
+        // Stall #1: dials the plane and never sends a byte. Its handler
+        // thread parks in recv() forever.
+        let silent = TcpStream::connect(&addr).expect("silent client connects");
+
+        // Stall #2: completes the handshake, asks for a consistent cut,
+        // and never reads the reply — the worst-behaved real client.
+        let mut deaf = tcp_framed(TcpStream::connect(&addr).expect("deaf client connects"))
+            .expect("deaf client frames");
+        match deaf.recv() {
+            Ok(Some(WireMessage::Hello { .. })) => {}
+            other => panic!("{label}: expected the plane's hello, got {other:?}"),
+        }
+        deaf.send(&WireMessage::Query {
+            options: QueryOptions::consistent(),
+        })
+        .expect("deaf client queries");
+
+        // The job must finish with both clients still wedged.
+        let fin = finish_coordinator(coordinator, stdout);
+        assert_eq!(
+            fin, calm,
+            "{label}: stalled query clients perturbed the final report"
+        );
+        assert_eq!(
+            fin,
+            run_reference(&spec),
+            "{label}: final report drifted from the reference"
+        );
+        drop(silent);
+        drop(deaf);
+    }
+}
+
+/// N clients query the plane concurrently mid-ingest — consistent and
+/// cached modes mixed, plus one deliberately stalled connection — and
+/// every well-behaved client gets a valid cut while the job runs to a
+/// reference-identical report. Latencies land in a small JSON artifact
+/// when `TPS_SMOKE_ARTIFACT_DIR` is set (CI uploads it).
+#[test]
+fn concurrent_queries_mid_ingest_all_get_valid_cuts() {
+    let dir = JobDir::fresh("concurrent-queries");
+    // Double-length job: plenty of ingest left after the awaited cut for
+    // every concurrent client to land mid-stream.
+    let spec = JobSpec {
+        count: 60_000,
+        ..base_spec(SamplerKind::L2, dir.path(), true)
+    };
+    let (coordinator, stdout, addr) =
+        spawn_query_coordinator(&spec, &["--await-query-after-chunks", "15"]);
+
+    // One wedged connection up front: it must inconvenience nobody.
+    let stalled = TcpStream::connect(&addr).expect("stalled client connects");
+
+    // Four well-behaved clients in parallel: two consistent (the first
+    // of them releases the awaited cut), two served from the snapshot
+    // cache with a generous staleness bound.
+    let modes: &[&[&str]] = &[&[], &[], &["--cached", "1000"], &["--cached", "1000"]];
+    let started = Instant::now();
+    let clients: Vec<(usize, Child, Instant)> = modes
+        .iter()
+        .enumerate()
+        .map(|(i, mode)| {
+            let mut cmd = Command::new(service_exe());
+            cmd.arg("query")
+                .arg("--connect")
+                .arg(&addr)
+                .arg("--dial-attempts")
+                .arg("10")
+                .args(*mode);
+            (
+                i,
+                cmd.stdout(Stdio::piped())
+                    .stderr(Stdio::piped())
+                    .spawn()
+                    .expect("client spawns"),
+                Instant::now(),
+            )
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    for (i, client, spawned) in clients {
+        let output = client.wait_with_output().expect("client finishes");
+        let millis = spawned.elapsed().as_millis() as u64;
+        assert!(
+            output.status.success(),
+            "client {i} failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let text = String::from_utf8(output.stdout.clone()).expect("utf8 client output");
+        // First line: `query-cut epoch=E cut=C cached=B`; last line: the
+        // report. The cut metadata must agree with the report's cut.
+        let meta = text.lines().next().expect("metadata line").to_string();
+        assert!(
+            meta.starts_with("query-cut "),
+            "client {i}: no metadata: {meta:?}"
+        );
+        let field = |key: &str| -> String {
+            meta.split_whitespace()
+                .find_map(|f| f.strip_prefix(&format!("{key}=")).map(str::to_string))
+                .unwrap_or_else(|| panic!("client {i}: no {key} in {meta:?}"))
+        };
+        let cut: u64 = field("cut").parse().expect("cut parses");
+        let cached: bool = field("cached").parse().expect("cached parses");
+        let report = parse_report(&output.stdout);
+        // The reply is pinned to a real chunk cut, and its processed
+        // count is exactly that cut's routed prefix.
+        assert_eq!(
+            report.processed,
+            (cut * spec.chunk as u64).min(spec.count as u64),
+            "client {i}: processed does not match the cut metadata"
+        );
+        assert!(
+            cut <= (spec.count / spec.chunk) as u64,
+            "client {i}: cut beyond the stream"
+        );
+        latencies.push((i, cached, report.processed, millis));
+    }
+
+    let fin = finish_coordinator(coordinator, stdout);
+    drop(stalled);
+    assert_eq!(fin.processed, spec.count as u64);
+    assert_eq!(
+        fin,
+        run_reference(&spec),
+        "final report after concurrent queries drifted from the reference"
+    );
+
+    if let Ok(root) = std::env::var("TPS_SMOKE_ARTIFACT_DIR") {
+        let entries: Vec<String> = latencies
+            .iter()
+            .map(|(i, cached, processed, millis)| {
+                format!(
+                    "{{\"client\":{i},\"cached\":{cached},\"processed\":{processed},\
+                     \"latency_ms\":{millis}}}"
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\"job_ms\":{},\"queries\":[{}]}}\n",
+            started.elapsed().as_millis(),
+            entries.join(",")
+        );
+        let _ = std::fs::create_dir_all(&root);
+        std::fs::write(Path::new(&root).join("query_latency.json"), json)
+            .expect("latency artifact writes");
+        eprintln!("smoke: wrote query_latency.json");
+    }
 }

@@ -21,7 +21,9 @@
 //! * a bounded SPSC ring and the backpressure policy type behind the
 //!   persistent sharded runtime in `tps-core` ([`spsc`]),
 //! * the framed coordinator↔worker control protocol of the cross-process
-//!   ingest service ([`wire`]), and
+//!   ingest service ([`wire`]),
+//! * the typed query surface — consistency levels, options, reply
+//!   envelope — shared by every query front door ([`query`]), and
 //! * a tiny space-accounting trait so every data structure in the workspace
 //!   can report measured memory to the benchmark harness ([`space`]).
 
@@ -36,6 +38,7 @@ pub mod generators;
 pub mod measure;
 pub mod merge;
 pub mod model;
+pub mod query;
 pub mod space;
 pub mod spsc;
 pub mod stats;
@@ -52,6 +55,7 @@ pub use model::{
     Estimator, MatrixSampler, SampleOutcome, SlidingWindowSampler, StreamSampler, TurnstileSampler,
     UpdateSampler,
 };
+pub use query::{QueryConsistency, QueryOptions, QuerySnapshot};
 pub use space::SpaceUsage;
 pub use spsc::Backpressure;
 pub use update::{Item, MatrixUpdate, SignedUpdate, StreamUpdate, Timestamp, WindowSpec};

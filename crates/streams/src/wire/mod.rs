@@ -31,8 +31,10 @@
 //! worker → coordinator   BarrierAck { shard, epoch, snapshot? }
 //! coordinator → worker   Shutdown                           (clean exit)
 //!
-//! client → coordinator   Query                              (live query plane)
-//! coordinator → client   QueryReply { processed, merged_fnv, sample }
+//! coordinator → client   Hello { protocol, capabilities, .. }   (query plane)
+//! client → coordinator   Query { options }
+//! coordinator → client   QueryReply { processed, merged_fnv, epoch, cut, cached, sample }
+//!                        | QueryRejected { code, detail }
 //! ```
 //!
 //! A `Checkpoint` barrier makes the worker append an incremental frame
@@ -40,9 +42,18 @@
 //! the coordinator's signal that the chunks before the barrier are durable,
 //! so its replay buffer can shrink); a `Query` barrier returns the worker's
 //! full sealed snapshot in the ack, for restore-and-merge at the
-//! coordinator. `Hello::resume_epoch` reports the checkpoint epoch a
-//! restarted worker recovered to (`0` = fresh start), which tells the
-//! coordinator exactly which buffered chunks to re-send.
+//! coordinator; a `CheckpointPublish` barrier does both — one barrier
+//! round feeds the on-disk chain *and* the query plane's snapshot cache.
+//! `Hello::resume_epoch` reports the checkpoint epoch a restarted worker
+//! recovered to (`0` = fresh start), which tells the coordinator exactly
+//! which buffered chunks to re-send.
+//!
+//! On the query plane the roles flip: the *server* leads with its `Hello`
+//! (so a client can check the [`caps::CACHED_QUERY`] bit before asking
+//! for a cached answer), the client sends one [`WireMessage::Query`]
+//! carrying its typed [`QueryOptions`], and the server answers with a
+//! [`WireMessage::QueryReply`] pinned to the cut that produced it — or a
+//! typed [`WireMessage::QueryRejected`] when it cannot.
 //!
 //! ## Versioning and negotiation
 //!
@@ -63,6 +74,7 @@ pub mod transport;
 use std::io::{self, Read, Write};
 
 use crate::codec::{seal, tag, unseal, CodecError, SnapshotReader, SnapshotWriter};
+use crate::query::{QueryConsistency, QueryOptions};
 use crate::update::{Item, SignedUpdate, StreamUpdate};
 
 /// Version of the coordinator↔worker conversation this build speaks.
@@ -71,7 +83,11 @@ use crate::update::{Item, SignedUpdate, StreamUpdate};
 /// (anything a same-version peer could misinterpret). The `Hello` layout
 /// is exempt — it is frozen so that version mismatches are always
 /// *detectable* (see the module docs).
-pub const WIRE_PROTOCOL_VERSION: u16 = 1;
+///
+/// v2 re-laid-out `Query`/`QueryReply` for the typed query surface
+/// (consistency options in the request; epoch/cut/cached in the reply),
+/// added `QueryRejected` and the `CheckpointPublish` barrier kind.
+pub const WIRE_PROTOCOL_VERSION: u16 = 2;
 
 /// Capability bits a worker announces in its [`WireMessage::Hello`].
 ///
@@ -86,9 +102,14 @@ pub mod caps {
     /// The worker serves `Query` barriers (consistent-cut snapshot acks),
     /// which the live query plane and the final merged query both need.
     pub const QUERY: u64 = 1 << 1;
+    /// The query plane serves [`super::QueryConsistency::Cached`] queries
+    /// from its published snapshot cache. Announced by the coordinator's
+    /// server-side `Hello` on query-plane connections; a client asking
+    /// for a cached answer checks this bit before sending its request.
+    pub const CACHED_QUERY: u64 = 1 << 2;
 
     /// Every capability this build implements.
-    pub const ALL: u64 = SIGNED_INGEST | QUERY;
+    pub const ALL: u64 = SIGNED_INGEST | QUERY | CACHED_QUERY;
 }
 
 /// Hard cap on a single wire message (prefix-declared), validated before
@@ -114,6 +135,11 @@ pub enum BarrierKind {
     Checkpoint,
     /// Ack with the worker's full sealed snapshot (consistent-cut query).
     Query,
+    /// Both at once: append the checkpoint frame *and* ack with the full
+    /// sealed snapshot. Used when the query plane is live, so every
+    /// checkpoint barrier also feeds the published snapshot cache in the
+    /// same round.
+    CheckpointPublish,
 }
 
 /// One control message of the coordinator↔worker protocol.
@@ -170,20 +196,54 @@ pub enum WireMessage {
     },
     /// Coordinator → worker: drain and exit cleanly.
     Shutdown,
-    /// Client → coordinator: draw a consistent-cut merged sample *now*,
-    /// while ingest keeps running (the live query plane).
-    Query,
+    /// Client → coordinator: draw a merged sample, while ingest keeps
+    /// running (the live query plane). The typed [`QueryOptions`] pick
+    /// between a fresh consistent cut and the published snapshot cache.
+    ///
+    /// A v1 client's bare `Query` (empty body) decodes as the default
+    /// consistent options, so old clients keep getting the answer they
+    /// always got.
+    Query {
+        /// The requested consistency level.
+        options: QueryOptions,
+    },
     /// Coordinator → client: the answer to a [`WireMessage::Query`] — the
-    /// same three fields the final job report prints.
+    /// three fields the final job report prints, pinned to the cut that
+    /// produced them.
     QueryReply {
-        /// Stream items routed when the query barrier cut the stream.
+        /// Stream items routed when the barrier cut the stream.
         processed: u64,
         /// FNV-1a 64 over the merged sampler's sealed snapshot bytes.
         merged_fnv: u64,
+        /// The barrier epoch of the cut that produced this answer.
+        epoch: u64,
+        /// Chunks routed when the cut was taken.
+        cut: u64,
+        /// Whether the published snapshot cache served the answer
+        /// (`true`) or a fresh consistent cut was forced (`false`).
+        cached: bool,
         /// The merged sampler's drawn sample, in the report spelling
         /// (`index:<i>` | `empty` | `fail`).
         sample: String,
     },
+    /// Coordinator → client: the query could not be answered — a typed
+    /// rejection ([`reject`]) instead of a dropped connection.
+    QueryRejected {
+        /// Why ([`reject`] codes).
+        code: u8,
+        /// Human-readable detail for logs and error messages.
+        detail: String,
+    },
+}
+
+/// Rejection codes a [`WireMessage::QueryRejected`] can carry.
+pub mod reject {
+    /// No published cut satisfies the requested staleness bound and the
+    /// consistent path is unavailable.
+    pub const STALE: u8 = 0;
+    /// The query plane is shutting down; the job has finished or is
+    /// tearing down.
+    pub const CLOSED: u8 = 1;
 }
 
 impl WireMessage {
@@ -242,6 +302,7 @@ const KIND_SHUTDOWN: u8 = 4;
 const KIND_INGEST_SIGNED: u8 = 5;
 const KIND_QUERY: u8 = 6;
 const KIND_QUERY_REPLY: u8 = 7;
+const KIND_QUERY_REJECTED: u8 = 8;
 
 /// An update type the service can ship in an ingest message: the wire-level
 /// face of the sampler-family layer.
@@ -423,6 +484,7 @@ pub fn encode_message(msg: &WireMessage) -> Vec<u8> {
             w.put_u8(match kind {
                 BarrierKind::Checkpoint => 0,
                 BarrierKind::Query => 1,
+                BarrierKind::CheckpointPublish => 2,
             });
         }
         WireMessage::BarrierAck {
@@ -447,20 +509,41 @@ pub fn encode_message(msg: &WireMessage) -> Vec<u8> {
         WireMessage::Shutdown => {
             w.put_u8(KIND_SHUTDOWN);
         }
-        WireMessage::Query => {
+        WireMessage::Query { options } => {
             w.put_u8(KIND_QUERY);
+            match options.consistency {
+                QueryConsistency::Consistent => w.put_u8(0),
+                QueryConsistency::Cached { max_epochs_stale } => {
+                    w.put_u8(1);
+                    w.put_u64(max_epochs_stale);
+                }
+            }
         }
         WireMessage::QueryReply {
             processed,
             merged_fnv,
+            epoch,
+            cut,
+            cached,
             sample,
         } => {
             w.put_u8(KIND_QUERY_REPLY);
             w.put_u64(*processed);
             w.put_u64(*merged_fnv);
+            w.put_u64(*epoch);
+            w.put_u64(*cut);
+            w.put_u8(u8::from(*cached));
             w.put_len(sample.len());
             let mut payload = w.into_bytes();
             payload.extend_from_slice(sample.as_bytes());
+            return seal(tag::WIRE_MESSAGE, &payload);
+        }
+        WireMessage::QueryRejected { code, detail } => {
+            w.put_u8(KIND_QUERY_REJECTED);
+            w.put_u8(*code);
+            w.put_len(detail.len());
+            let mut payload = w.into_bytes();
+            payload.extend_from_slice(detail.as_bytes());
             return seal(tag::WIRE_MESSAGE, &payload);
         }
     }
@@ -500,9 +583,11 @@ pub fn decode_message(frame: &[u8]) -> Result<WireMessage, CodecError> {
             let kind = match r.get_u8()? {
                 0 => BarrierKind::Checkpoint,
                 1 => BarrierKind::Query,
+                2 => BarrierKind::CheckpointPublish,
                 _ => {
                     return Err(CodecError::InvalidValue {
-                        what: "barrier kind must be 0 (checkpoint) or 1 (query)",
+                        what: "barrier kind must be 0 (checkpoint), 1 (query) \
+                               or 2 (checkpoint+publish)",
                     })
                 }
             };
@@ -530,10 +615,43 @@ pub fn decode_message(frame: &[u8]) -> Result<WireMessage, CodecError> {
             }
         }
         KIND_SHUTDOWN => WireMessage::Shutdown,
-        KIND_QUERY => WireMessage::Query,
+        KIND_QUERY => {
+            // Lenient on the body: a v1 client's Query had no body at all,
+            // and it always meant "consistent cut". Decode that shape as
+            // the default options so old clients keep working.
+            let consistency = if r.remaining() == 0 {
+                QueryConsistency::Consistent
+            } else {
+                match r.get_u8()? {
+                    0 => QueryConsistency::Consistent,
+                    1 => QueryConsistency::Cached {
+                        max_epochs_stale: r.get_u64()?,
+                    },
+                    _ => {
+                        return Err(CodecError::InvalidValue {
+                            what: "query consistency must be 0 (consistent) or 1 (cached)",
+                        })
+                    }
+                }
+            };
+            WireMessage::Query {
+                options: QueryOptions { consistency },
+            }
+        }
         KIND_QUERY_REPLY => {
             let processed = r.get_u64()?;
             let merged_fnv = r.get_u64()?;
+            let epoch = r.get_u64()?;
+            let cut = r.get_u64()?;
+            let cached = match r.get_u8()? {
+                0 => false,
+                1 => true,
+                _ => {
+                    return Err(CodecError::InvalidValue {
+                        what: "query reply cached flag must be 0 or 1",
+                    })
+                }
+            };
             let len = r.get_len(1)?;
             let sample =
                 String::from_utf8(r.get_bytes(len)?).map_err(|_| CodecError::InvalidValue {
@@ -542,8 +660,20 @@ pub fn decode_message(frame: &[u8]) -> Result<WireMessage, CodecError> {
             WireMessage::QueryReply {
                 processed,
                 merged_fnv,
+                epoch,
+                cut,
+                cached,
                 sample,
             }
+        }
+        KIND_QUERY_REJECTED => {
+            let code = r.get_u8()?;
+            let len = r.get_len(1)?;
+            let detail =
+                String::from_utf8(r.get_bytes(len)?).map_err(|_| CodecError::InvalidValue {
+                    what: "query rejection detail is not utf-8",
+                })?;
+            WireMessage::QueryRejected { code, detail }
         }
         _ => {
             return Err(CodecError::InvalidValue {
@@ -626,16 +756,31 @@ mod tests {
                 shard: 1,
                 resume_epoch: 0,
             },
-            WireMessage::Query,
+            WireMessage::Query {
+                options: QueryOptions::consistent(),
+            },
+            WireMessage::Query {
+                options: QueryOptions::cached(3),
+            },
             WireMessage::QueryReply {
                 processed: 123_456,
                 merged_fnv: 0xDEAD_BEEF,
+                epoch: 7,
+                cut: 21,
+                cached: true,
                 sample: "index:42".to_string(),
             },
             WireMessage::QueryReply {
                 processed: 0,
                 merged_fnv: 0,
+                epoch: 0,
+                cut: 0,
+                cached: false,
                 sample: String::new(),
+            },
+            WireMessage::QueryRejected {
+                code: reject::STALE,
+                detail: "no cut within 2 epochs".to_string(),
             },
             WireMessage::Ingest {
                 items: (0..1000).collect(),
@@ -657,6 +802,10 @@ mod tests {
             WireMessage::Barrier {
                 epoch: 10,
                 kind: BarrierKind::Query,
+            },
+            WireMessage::Barrier {
+                epoch: 11,
+                kind: BarrierKind::CheckpointPublish,
             },
             WireMessage::BarrierAck {
                 shard: 1,
@@ -849,13 +998,42 @@ mod tests {
         let mut w = SnapshotWriter::new();
         w.put_tag(tag::WIRE_MESSAGE);
         w.put_u8(7); // KIND_QUERY_REPLY
-        w.put_u64(1);
-        w.put_u64(2);
+        w.put_u64(1); // processed
+        w.put_u64(2); // merged_fnv
+        w.put_u64(3); // epoch
+        w.put_u64(4); // cut
+        w.put_u8(0); // cached
         w.put_u64(u64::MAX);
         let frame = seal(tag::WIRE_MESSAGE, &w.into_bytes());
         assert!(matches!(
             decode_message(&frame),
             Err(CodecError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn bare_v1_query_decodes_as_consistent() {
+        // A v1 client's Query carried no body at all; it must decode as
+        // the default consistent options, not as a truncation error.
+        let mut w = SnapshotWriter::new();
+        w.put_tag(tag::WIRE_MESSAGE);
+        w.put_u8(6); // KIND_QUERY, nothing after it
+        let frame = seal(tag::WIRE_MESSAGE, &w.into_bytes());
+        assert_eq!(
+            decode_message(&frame).unwrap(),
+            WireMessage::Query {
+                options: QueryOptions::consistent(),
+            }
+        );
+        // An unknown consistency byte still fails typed.
+        let mut w = SnapshotWriter::new();
+        w.put_tag(tag::WIRE_MESSAGE);
+        w.put_u8(6);
+        w.put_u8(9);
+        let frame = seal(tag::WIRE_MESSAGE, &w.into_bytes());
+        assert!(matches!(
+            decode_message(&frame),
+            Err(CodecError::InvalidValue { .. })
         ));
     }
 

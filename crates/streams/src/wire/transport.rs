@@ -30,8 +30,32 @@
 
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 use super::{read_message, write_message, WireError, WireMessage};
+
+/// The next sleep in the bounded accept-poll backoff schedule: doubling
+/// from [`POLL_BACKOFF_FLOOR`] up to [`POLL_BACKOFF_CAP`].
+///
+/// An idle accept loop built on [`TcpServerListener::accept_pending`]
+/// alone spins a core; sleeping a fixed tick either wastes latency (long
+/// tick) or still burns CPU (short tick). The schedule starts at 1 ms —
+/// a freshly-idle listener stays responsive — and caps at 16 ms, so an
+/// idle window of any length costs a bounded ~64 polls/second instead of
+/// millions.
+pub fn poll_backoff(previous: Duration) -> Duration {
+    if previous < POLL_BACKOFF_FLOOR {
+        POLL_BACKOFF_FLOOR
+    } else {
+        (previous * 2).min(POLL_BACKOFF_CAP)
+    }
+}
+
+/// Where the accept-poll backoff schedule starts.
+pub const POLL_BACKOFF_FLOOR: Duration = Duration::from_millis(1);
+
+/// Where the accept-poll backoff schedule tops out.
+pub const POLL_BACKOFF_CAP: Duration = Duration::from_millis(16);
 
 /// One framed duplex conversation: send a message, receive a message.
 ///
@@ -177,6 +201,27 @@ impl TcpServerListener {
             None => Ok(None),
         }
     }
+
+    /// Polls for a pending connection for up to `timeout`, sleeping the
+    /// bounded [`poll_backoff`] schedule between polls — the dedicated
+    /// accept thread's replacement for a `accept_pending` busy loop. An
+    /// idle window costs a handful of polls (1, 2, 4, … 16 ms apart),
+    /// never a spinning core.
+    pub fn accept_within(&self, timeout: Duration) -> io::Result<Option<TcpConnection>> {
+        let deadline = Instant::now() + timeout;
+        let mut backoff = Duration::ZERO;
+        loop {
+            if let Some(conn) = self.accept_pending()? {
+                return Ok(Some(conn));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            backoff = poll_backoff(backoff);
+            std::thread::sleep(backoff.min(deadline - now));
+        }
+    }
 }
 
 impl Listener for TcpServerListener {
@@ -219,10 +264,18 @@ mod tests {
             // The listener outlives the dead peer: a second connection
             // works (this is what coordinator-crash recovery leans on).
             let mut conn = listener.accept().unwrap().expect("tcp accepts again");
-            assert_eq!(conn.recv().unwrap(), Some(WireMessage::Query));
+            assert_eq!(
+                conn.recv().unwrap(),
+                Some(WireMessage::Query {
+                    options: Default::default(),
+                })
+            );
             conn.send(&WireMessage::QueryReply {
                 processed: 7,
                 merged_fnv: 9,
+                epoch: 1,
+                cut: 2,
+                cached: false,
                 sample: "empty".to_string(),
             })
             .unwrap();
@@ -239,7 +292,10 @@ mod tests {
         } // dropped: simulates the first peer dying
 
         let mut conn = tcp_connect(addr).unwrap();
-        conn.send(&WireMessage::Query).unwrap();
+        conn.send(&WireMessage::Query {
+            options: Default::default(),
+        })
+        .unwrap();
         match conn.recv().unwrap() {
             Some(WireMessage::QueryReply { processed: 7, .. }) => {}
             other => panic!("expected reply, got {other:?}"),
@@ -257,19 +313,62 @@ mod tests {
         // asynchronous to the accept queue).
         let client = std::thread::spawn(move || {
             let mut conn = tcp_connect(addr).unwrap();
-            conn.send(&WireMessage::Query).unwrap();
+            conn.send(&WireMessage::Query {
+                options: Default::default(),
+            })
+            .unwrap();
         });
-        let mut served = None;
-        for _ in 0..200 {
-            if let Some(conn) = listener.accept_pending().unwrap() {
-                served = Some(conn);
-                break;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(5));
-        }
-        let mut conn = served.expect("queued client surfaces");
-        assert_eq!(conn.recv().unwrap(), Some(WireMessage::Query));
+        let mut conn = listener
+            .accept_within(Duration::from_secs(10))
+            .unwrap()
+            .expect("queued client surfaces");
+        assert_eq!(
+            conn.recv().unwrap(),
+            Some(WireMessage::Query {
+                options: Default::default(),
+            })
+        );
         client.join().unwrap();
+    }
+
+    #[test]
+    fn poll_backoff_schedule_is_bounded() {
+        // The schedule starts at the floor, doubles, and pins at the cap.
+        let mut backoff = Duration::ZERO;
+        let mut seen = Vec::new();
+        for _ in 0..8 {
+            backoff = poll_backoff(backoff);
+            seen.push(backoff.as_millis());
+        }
+        assert_eq!(seen, [1, 2, 4, 8, 16, 16, 16, 16]);
+        // Consequence: any one-second idle window costs a bounded number
+        // of polls (floor-to-cap ramp plus cap-spaced ticks), not a spin.
+        let mut polls = 0u32;
+        let mut waited = Duration::ZERO;
+        let mut step = Duration::ZERO;
+        while waited < Duration::from_secs(1) {
+            polls += 1;
+            step = poll_backoff(step);
+            waited += step;
+        }
+        assert!(polls <= 68, "idle second costs {polls} polls");
+    }
+
+    #[test]
+    fn idle_accept_within_sleeps_instead_of_spinning() {
+        let listener = TcpServerListener::bind("127.0.0.1:0").unwrap();
+        // An idle window returns None at the deadline; the backoff
+        // schedule means the wait is dominated by sleeps, not polls.
+        let start = Instant::now();
+        assert!(listener
+            .accept_within(Duration::from_millis(50))
+            .unwrap()
+            .is_none());
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(50),
+            "returned {elapsed:?} before the idle deadline"
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@ use tps_core::f0::SlidingWindowF0Sampler;
 use tps_core::lp::TrulyPerfectLpSampler;
 use tps_core::sharded::{ShardedSamplerBuilder, ShardingStrategy};
 use tps_core::sliding::SlidingWindowGSampler;
+use tps_core::QueryOptions;
 use tps_random::default_rng;
 use tps_streams::frequency::FrequencyVector;
 use tps_streams::generators::drifting_stream;
@@ -125,18 +126,31 @@ fn main() {
             truth.insert(packet);
         }
         sharded.update_batch(&batch);
-        if batch_no % report_every == 0 {
-            // Snapshot-isolated query: the workers keep draining their
-            // rings while this merged view is restored and sampled.
-            match sharded.merged().sample() {
+        // The monitor reports every fourth batch through the typed query
+        // surface. Every `report_every`-th batch demands a fresh
+        // consistent cut (one fold-merge across the shards, republished
+        // into the snapshot cache); the reports in between accept the
+        // cached merge while it is at most four ingest epochs stale —
+        // answered without touching the workers or spending merge coins.
+        if batch_no % 4 == 0 {
+            let options = if batch_no % report_every == 0 {
+                QueryOptions::consistent()
+            } else {
+                QueryOptions::cached(4)
+            };
+            let mut view = sharded.query(&options);
+            let mode = if view.cached { "cached" } else { "fresh" };
+            match view.value.sample() {
                 SampleOutcome::Index(flow) => {
                     assert!(truth.get(flow) > 0, "sampled flow {flow} never seen");
                     println!(
-                        "  after batch {batch_no:>2}        : sampled flow {flow} ({} packets so far)",
+                        "  after batch {batch_no:>2} ({mode:>6}): sampled flow {flow} \
+                         (epoch {}, {} packets so far)",
+                        view.epoch,
                         truth.get(flow)
                     );
                 }
-                outcome => println!("  after batch {batch_no:>2}        : {outcome:?}"),
+                outcome => println!("  after batch {batch_no:>2} ({mode:>6}): {outcome:?}"),
             }
             assert!(
                 sharded.runtime_active(),
@@ -145,15 +159,23 @@ fn main() {
         }
     }
     sharded.flush();
+    let cache = sharded.query_cache_stats();
+    assert!(
+        cache.hits > 0,
+        "the cached reports should have hit the published merge"
+    );
     println!(
-        "sharded monitor ingested {} packets across {} shards (runtime {}).",
+        "sharded monitor ingested {} packets across {} shards (runtime {}); \
+         query cache: {} hits, {} misses.",
         sharded.processed(),
         sharded.shard_count(),
         if sharded.runtime_active() {
             "live"
         } else {
             "idle"
-        }
+        },
+        cache.hits,
+        cache.misses
     );
 }
 

@@ -14,12 +14,15 @@
 //! assert!(!matches!(sampler.sample(), SampleOutcome::Empty));
 //! ```
 //!
-//! The parallel front door is builder-first:
+//! The parallel front door is builder-first, and queries go through the
+//! typed [`QueryOptions`] surface — the same options drive the in-process
+//! [`ShardedSampler::query`], the networked [`QueryClient`] and the
+//! `tps-service query` CLI:
 //!
 //! ```
 //! use truly_perfect_samplers::{
-//!     restore_bytes, snapshot_bytes, Backpressure, ShardedSampler, ShardedSamplerBuilder,
-//!     StreamSampler, TrulyPerfectLpSampler,
+//!     restore_bytes, snapshot_bytes, Backpressure, QueryOptions, ShardedSampler,
+//!     ShardedSamplerBuilder, StreamSampler, TrulyPerfectLpSampler,
 //! };
 //!
 //! let mut sharded = ShardedSamplerBuilder::new(4)
@@ -27,6 +30,12 @@
 //!     .backpressure(Backpressure::Spill)
 //!     .build(|shard| TrulyPerfectLpSampler::new(2.0, 1024, 0.05, 42 ^ ((shard as u64) << 32)));
 //! sharded.update_batch(&[3, 3, 3, 7, 7, 11]);
+//!
+//! // A consistent query folds the shards fresh; a cached query reuses
+//! // the last published merge while it is within the staleness bound.
+//! let fresh = sharded.query(&QueryOptions::consistent());
+//! let cached = sharded.query(&QueryOptions::cached(2));
+//! assert!(cached.cached && cached.epoch == fresh.epoch);
 //!
 //! // Checkpoint and restore through the top-level helpers.
 //! let bytes = snapshot_bytes(&sharded);
@@ -36,27 +45,33 @@
 //!
 //! See `crates/README.md` for the crate dependency DAG, the map from
 //! modules to paper theorems, and the cross-process ingest service
-//! (`tps-service`) built on these pieces.
+//! (`tps-service`) built on these pieces — including the non-stalling
+//! TCP query plane its coordinator serves ([`QueryClient`] dials it).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub use tps_core as core;
 pub use tps_random as random;
+pub use tps_service as service;
 pub use tps_sketches as sketches;
 pub use tps_streams as streams;
 pub use tps_window as window;
 
 pub use tps_core::lp::TrulyPerfectLpSampler;
 pub use tps_core::{
-    hash_route, RuntimeStats, ShardedSampler, ShardedSamplerBuilder, ShardingStrategy,
-    StrictTurnstileF0Sampler, TrulyPerfectGSampler,
+    hash_route, QueryCacheStats, RuntimeStats, ShardedSampler, ShardedSamplerBuilder,
+    ShardingStrategy, StrictTurnstileF0Sampler, TrulyPerfectGSampler,
 };
+// The typed query surface (shared by `ShardedSampler::query`, the
+// networked `QueryClient` and the CLI) plus the client itself.
+pub use tps_service::{QueryClient, QueryError, QueryReport};
 pub use tps_streams::codec::migrate::upgrade_to_current;
 pub use tps_streams::{
     Backpressure, CodecError, MergeableSampler, MergeableSummary, Restore, SampleOutcome,
     SignedUpdate, SlidingWindowSampler, Snapshot, StreamSampler, TurnstileSampler,
 };
+pub use tps_streams::{QueryConsistency, QueryOptions, QuerySnapshot};
 
 /// Seals `component`'s complete logical state as a versioned, checksummed
 /// snapshot — the facade spelling of [`Snapshot::snapshot`], so callers
